@@ -1,0 +1,32 @@
+//! Benchmarks of the dependency analysis (Tables 1 and 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use strudel_core::prelude::*;
+use strudel_datagen::{dbpedia_persons, person_columns, wordnet_nouns};
+
+fn bench_dependency_matrix(c: &mut Criterion) {
+    let dbpedia = dbpedia_persons();
+    let cols = person_columns(&dbpedia);
+    let table_columns = [cols.death_place, cols.birth_place, cols.death_date, cols.birth_date];
+    c.bench_function("dependency_matrix/dbpedia4x4", |b| {
+        b.iter(|| black_box(dependency_matrix(black_box(&dbpedia), &table_columns)))
+    });
+}
+
+fn bench_sym_dep_ranking(c: &mut Criterion) {
+    let dbpedia = dbpedia_persons();
+    let wordnet = wordnet_nouns();
+    let mut group = c.benchmark_group("sym_dependency_ranking");
+    group.bench_function("dbpedia/28pairs", |b| {
+        b.iter(|| black_box(sym_dependency_ranking(black_box(&dbpedia))))
+    });
+    group.bench_function("wordnet/66pairs", |b| {
+        b.iter(|| black_box(sym_dependency_ranking(black_box(&wordnet))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dependency_matrix, bench_sym_dep_ranking);
+criterion_main!(benches);

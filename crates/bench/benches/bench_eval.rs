@@ -1,0 +1,78 @@
+//! Structuredness-evaluation benchmarks (the measurement side of Figures 2–3
+//! and the offline `count(ϕ, τ, M)` precomputation of the ILP encoding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use strudel_core::prelude::SigmaSpec;
+use strudel_datagen::{dbpedia_persons, wordnet_nouns};
+use strudel_rules::eval::Evaluator;
+use strudel_rules::prelude::{coverage, similarity, sigma_cov, sigma_sim};
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let dbpedia = dbpedia_persons();
+    let wordnet = wordnet_nouns();
+    let mut group = c.benchmark_group("closed_forms");
+    group.bench_function("sigma_cov/dbpedia", |b| {
+        b.iter(|| black_box(sigma_cov(black_box(&dbpedia))))
+    });
+    group.bench_function("sigma_sim/dbpedia", |b| {
+        b.iter(|| black_box(sigma_sim(black_box(&dbpedia))))
+    });
+    group.bench_function("sigma_cov/wordnet", |b| {
+        b.iter(|| black_box(sigma_cov(black_box(&wordnet))))
+    });
+    group.bench_function("sigma_sim/wordnet", |b| {
+        b.iter(|| black_box(sigma_sim(black_box(&wordnet))))
+    });
+    group.finish();
+}
+
+fn bench_generic_evaluator(c: &mut Criterion) {
+    let dbpedia = dbpedia_persons();
+    let cov = coverage();
+    let sim = similarity();
+    let mut group = c.benchmark_group("generic_evaluator");
+    group.sample_size(20);
+    group.bench_function("sigma/cov/dbpedia", |b| {
+        b.iter(|| Evaluator::new(&dbpedia).sigma(black_box(&cov)).unwrap())
+    });
+    group.bench_function("sigma/sim/dbpedia", |b| {
+        b.iter(|| Evaluator::new(&dbpedia).sigma(black_box(&sim)).unwrap())
+    });
+    group.bench_function("sigma_spec/symdep/dbpedia", |b| {
+        let spec = SigmaSpec::SymDependency {
+            p1: "http://dbpedia.org/ontology/deathPlace".into(),
+            p2: "http://dbpedia.org/ontology/deathDate".into(),
+        };
+        b.iter(|| spec.evaluate(black_box(&dbpedia)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_rough_counts(c: &mut Criterion) {
+    let dbpedia = dbpedia_persons();
+    let wordnet = wordnet_nouns();
+    let cov = coverage();
+    let sim = similarity();
+    let mut group = c.benchmark_group("rough_counts");
+    group.sample_size(10);
+    group.bench_function("cov/dbpedia", |b| {
+        b.iter(|| Evaluator::new(&dbpedia).rough_counts(black_box(&cov)).unwrap())
+    });
+    group.bench_function("sim/dbpedia", |b| {
+        b.iter(|| Evaluator::new(&dbpedia).rough_counts(black_box(&sim)).unwrap())
+    });
+    group.bench_function("cov/wordnet", |b| {
+        b.iter(|| Evaluator::new(&wordnet).rough_counts(black_box(&cov)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_closed_forms,
+    bench_generic_evaluator,
+    bench_rough_counts
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Benchmarks of the lowest-k search (Figures 5 and 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use strudel_core::prelude::*;
+use strudel_datagen::{synthetic_sort, wordnet_nouns_scaled, SyntheticSortConfig};
+
+/// A hybrid engine whose exact fallback is time-boxed: benchmarks must have a
+/// bounded per-iteration cost even when a probe sits at the feasibility
+/// boundary, where an unbounded infeasibility proof could run for minutes.
+fn bounded_hybrid() -> HybridEngine {
+    HybridEngine::with_engines(
+        GreedyEngine::new(),
+        IlpEngine::with_time_limit(Duration::from_millis(500)),
+    )
+}
+
+fn bench_lowest_k_small(c: &mut Criterion) {
+    let sort = synthetic_sort(
+        &SyntheticSortConfig {
+            subjects: 5_000,
+            properties: 8,
+            signatures: 12,
+            ..SyntheticSortConfig::default()
+        },
+        3,
+    );
+    let theta = Ratio::new(9, 10);
+    let mut group = c.benchmark_group("lowest_k_12sigs");
+    group.sample_size(10);
+    group.bench_function("ilp/upward", |b| {
+        let engine = IlpEngine::new();
+        b.iter(|| {
+            black_box(
+                lowest_k(
+                    black_box(&sort),
+                    &SigmaSpec::Coverage,
+                    theta,
+                    &engine,
+                    SweepDirection::Upward,
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("hybrid/downward", |b| {
+        let engine = bounded_hybrid();
+        b.iter(|| {
+            black_box(
+                lowest_k(
+                    black_box(&sort),
+                    &SigmaSpec::Coverage,
+                    theta,
+                    &engine,
+                    SweepDirection::Downward,
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_lowest_k_wordnet(c: &mut Criterion) {
+    // A scaled-down WordNet keeps the 53-signature structure but makes σ
+    // re-evaluation cheap, isolating the search overhead.
+    let wordnet = wordnet_nouns_scaled(100);
+    let mut group = c.benchmark_group("lowest_k_wordnet53");
+    group.sample_size(10);
+    group.bench_function("hybrid/sim_theta0.98/downward", |b| {
+        let engine = bounded_hybrid();
+        b.iter(|| {
+            black_box(
+                lowest_k(
+                    black_box(&wordnet),
+                    &SigmaSpec::Similarity,
+                    Ratio::new(98, 100),
+                    &engine,
+                    SweepDirection::Downward,
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowest_k_small, bench_lowest_k_wordnet);
+criterion_main!(benches);

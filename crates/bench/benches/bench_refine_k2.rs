@@ -1,0 +1,78 @@
+//! Benchmarks of single k = 2 refinement decisions (the building block of
+//! Figures 4 and 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use strudel_core::prelude::*;
+use strudel_datagen::{dbpedia_persons, synthetic_sort, SyntheticSortConfig};
+
+fn medium_sort() -> strudel_rdf::signature::SignatureView {
+    synthetic_sort(
+        &SyntheticSortConfig {
+            subjects: 20_000,
+            properties: 10,
+            signatures: 16,
+            ..SyntheticSortConfig::default()
+        },
+        11,
+    )
+}
+
+fn bench_single_decision(c: &mut Criterion) {
+    let sort = medium_sort();
+    let theta = Ratio::new(7, 10);
+    let mut group = c.benchmark_group("refine_k2_decision");
+    group.sample_size(10);
+    group.bench_function("ilp/cov/16sigs", |b| {
+        let engine = IlpEngine::new();
+        b.iter(|| {
+            black_box(
+                engine
+                    .refine(black_box(&sort), &SigmaSpec::Coverage, 2, theta)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("ilp/sim/16sigs", |b| {
+        let engine = IlpEngine::new();
+        b.iter(|| {
+            black_box(
+                engine
+                    .refine(black_box(&sort), &SigmaSpec::Similarity, 2, Ratio::new(4, 5))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_dbpedia_scale(c: &mut Criterion) {
+    let dbpedia = dbpedia_persons();
+    let mut group = c.benchmark_group("refine_k2_dbpedia64");
+    group.sample_size(10);
+    group.bench_function("greedy/cov", |b| {
+        let engine = GreedyEngine::new();
+        b.iter(|| {
+            black_box(
+                engine
+                    .refine(black_box(&dbpedia), &SigmaSpec::Coverage, 2, Ratio::new(3, 5))
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("hybrid/cov_feasible_probe", |b| {
+        let engine = HybridEngine::new();
+        b.iter(|| {
+            black_box(
+                engine
+                    .refine(black_box(&dbpedia), &SigmaSpec::Coverage, 2, Ratio::new(3, 5))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_decision, bench_dbpedia_scale);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! The micro-benchmark behind Figure 8: how a single k = 2 decision scales
+//! with the number of signatures and with the number of properties.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use strudel_core::prelude::*;
+use strudel_datagen::{synthetic_sort, SyntheticSortConfig};
+
+fn bench_signature_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_signatures");
+    group.sample_size(10);
+    for signatures in [8usize, 16, 24, 32] {
+        let sort = synthetic_sort(
+            &SyntheticSortConfig {
+                subjects: 10_000,
+                properties: 12,
+                signatures,
+                ..SyntheticSortConfig::default()
+            },
+            42,
+        );
+        let engine = IlpEngine::new();
+        group.bench_with_input(
+            BenchmarkId::new("ilp_cov_theta0.7", signatures),
+            &sort,
+            |b, sort| {
+                b.iter(|| {
+                    black_box(
+                        exists_sort_refinement(
+                            black_box(sort),
+                            &SigmaSpec::Coverage,
+                            Ratio::new(7, 10),
+                            2,
+                            &engine,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_property_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_properties");
+    group.sample_size(10);
+    for properties in [8usize, 16, 24, 32] {
+        let sort = synthetic_sort(
+            &SyntheticSortConfig {
+                subjects: 10_000,
+                properties,
+                signatures: 16,
+                ..SyntheticSortConfig::default()
+            },
+            43,
+        );
+        let engine = IlpEngine::new();
+        group.bench_with_input(
+            BenchmarkId::new("ilp_cov_theta0.7", properties),
+            &sort,
+            |b, sort| {
+                b.iter(|| {
+                    black_box(
+                        exists_sort_refinement(
+                            black_box(sort),
+                            &SigmaSpec::Coverage,
+                            Ratio::new(7, 10),
+                            2,
+                            &engine,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_subject_independence(c: &mut Criterion) {
+    // The paper's observation: runtime does not depend on the number of
+    // subjects. Same signature/property structure, different subject counts.
+    let mut group = c.benchmark_group("scaling_subjects");
+    group.sample_size(10);
+    for subjects in [1_000usize, 10_000, 100_000] {
+        let sort = synthetic_sort(
+            &SyntheticSortConfig {
+                subjects,
+                properties: 12,
+                signatures: 16,
+                ..SyntheticSortConfig::default()
+            },
+            44,
+        );
+        let engine = IlpEngine::new();
+        group.bench_with_input(
+            BenchmarkId::new("ilp_cov_theta0.7", subjects),
+            &sort,
+            |b, sort| {
+                b.iter(|| {
+                    black_box(
+                        exists_sort_refinement(
+                            black_box(sort),
+                            &SigmaSpec::Coverage,
+                            Ratio::new(7, 10),
+                            2,
+                            &engine,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signature_scaling,
+    bench_property_scaling,
+    bench_subject_independence
+);
+criterion_main!(benches);

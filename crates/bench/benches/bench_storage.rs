@@ -1,0 +1,140 @@
+//! Storage-layout benchmarks: what a sort refinement buys in physical design.
+//!
+//! This is the executable form of the paper's motivation ("storage layouts …
+//! use schemas to guide the decision making") and of its closing question
+//! about structuredness predicting query performance. Three measurements:
+//!
+//! * building each layout from the same materialised DBpedia-Persons-like
+//!   graph,
+//! * running the shared query workload over each layout,
+//! * the workload cost of the refinement-derived property tables as the
+//!   dataset's structuredness is eroded (structuredness ⇄ performance link).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use strudel_core::prelude::*;
+use strudel_datagen::{dbpedia_persons_scaled, degrade_view, materialize_graph, NoiseConfig};
+use strudel_rdf::graph::Graph;
+use strudel_rdf::matrix::PropertyStructureView;
+use strudel_rdf::signature::SignatureView;
+use strudel_storage::prelude::*;
+
+const SORT_IRI: &str = "http://xmlns.com/foaf/0.1/Person";
+const SCALE: u64 = 400;
+
+fn materialised_persons() -> (Graph, PropertyStructureView, SignatureView) {
+    let view = dbpedia_persons_scaled(SCALE);
+    let graph = materialize_graph(&view, SORT_IRI, "http://strudel.example/bench/", 2014);
+    let matrix = PropertyStructureView::from_sort(&graph, SORT_IRI, true)
+        .expect("the materialised graph declares the Person sort");
+    let view = SignatureView::from_matrix(&matrix);
+    (graph, matrix, view)
+}
+
+fn refinement_for(view: &SignatureView) -> SortRefinement {
+    let engine = HybridEngine::new();
+    highest_theta(
+        view,
+        &SigmaSpec::Coverage,
+        2,
+        &engine,
+        &HighestThetaOptions::default(),
+    )
+    .expect("the search completes")
+    .refinement
+    .expect("a refinement always exists at the starting threshold")
+}
+
+fn bench_layout_build(c: &mut Criterion) {
+    let (graph, matrix, view) = materialised_persons();
+    let refinement = refinement_for(&view);
+    let config = LayoutConfig::excluding_rdf_type();
+    let mut group = c.benchmark_group("layout_build");
+    group.sample_size(10);
+    group.bench_function("triple_store", |b| {
+        b.iter(|| black_box(TripleStoreLayout::build(black_box(&graph), &config)))
+    });
+    group.bench_function("horizontal", |b| {
+        b.iter(|| black_box(HorizontalLayout::build(black_box(&graph), &config)))
+    });
+    group.bench_function("property_tables_k2", |b| {
+        b.iter(|| {
+            black_box(
+                PropertyTablesLayout::from_refinement(
+                    black_box(&graph),
+                    &matrix,
+                    &view,
+                    &refinement,
+                    &config,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let (graph, matrix, view) = materialised_persons();
+    let refinement = refinement_for(&view);
+    let config = LayoutConfig::excluding_rdf_type();
+    let triple_store = TripleStoreLayout::build(&graph, &config);
+    let horizontal = HorizontalLayout::build(&graph, &config);
+    let property_tables =
+        PropertyTablesLayout::from_refinement(&graph, &matrix, &view, &refinement, &config)
+            .unwrap();
+    let queries = generate_workload(&graph, &WorkloadConfig::default());
+
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    for (label, layout) in [
+        ("triple_store", &triple_store as &dyn Layout),
+        ("horizontal", &horizontal as &dyn Layout),
+        ("property_tables_k2", &property_tables as &dyn Layout),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut total = QueryCost::default();
+                for query in &queries {
+                    let (_, cost) = layout.execute(black_box(query));
+                    total += cost;
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_structuredness_erosion(c: &mut Criterion) {
+    let config = LayoutConfig::excluding_rdf_type();
+    let mut group = c.benchmark_group("erosion_workload");
+    group.sample_size(10);
+    for drop in [0.0f64, 0.3, 0.6] {
+        let base = dbpedia_persons_scaled(SCALE * 2);
+        let degraded = degrade_view(&base, &NoiseConfig::erosion(drop, 7));
+        let graph = materialize_graph(&degraded, SORT_IRI, "http://strudel.example/erode/", 7);
+        let horizontal = HorizontalLayout::build(&graph, &config);
+        let queries = generate_workload(&graph, &WorkloadConfig::default());
+        group.bench_function(format!("horizontal/drop{:.0}pct", drop * 100.0), |b| {
+            b.iter(|| {
+                let mut total = QueryCost::default();
+                for query in &queries {
+                    let (_, cost) = horizontal.execute(black_box(query));
+                    total += cost;
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_layout_build,
+    bench_workload,
+    bench_structuredness_erosion
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! The experiment runner: regenerates every table and figure of the paper's
+//! evaluation section and prints measured-vs-paper reports.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--full] [--seed N] [EXPERIMENT ...]
+//!
+//! EXPERIMENT ∈ { fig1, sec22, fig2, fig3, fig4a, fig4b, fig4c, fig5a, fig5b,
+//!                table1, table2, fig6, fig7, fig8, sec74, all }
+//! ```
+//!
+//! By default the *quick* budget is used (coarser θ steps, tight per-instance
+//! time limits, a smaller scalability sample); `--full` switches to the
+//! paper-faithful budget. Every report states explicitly when a result was
+//! limited by the budget.
+
+use std::env;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use strudel_bench::experiments::{
+    datasets_overview, dbpedia, motivation, scalability, semantic, wordnet,
+};
+use strudel_bench::ExperimentBudget;
+
+const ALL_EXPERIMENTS: [&str; 15] = [
+    "fig1", "sec22", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "table1",
+    "table2", "fig6", "fig7", "fig8", "sec74",
+];
+
+fn main() -> ExitCode {
+    let mut budget = ExperimentBudget::quick();
+    let mut seed = 2014u64;
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => budget = ExperimentBudget::full(),
+            "--quick" => budget = ExperimentBudget::quick(),
+            "--seed" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--seed requires a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(parsed) => seed = parsed,
+                    Err(_) => {
+                        eprintln!("invalid seed '{value}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "all" => selected.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if ALL_EXPERIMENTS.contains(&other) => selected.push(other.to_owned()),
+            other => {
+                eprintln!("unknown experiment or flag '{other}'");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    selected.dedup();
+
+    println!(
+        "# strudel experiment run ({} budget, seed {seed})\n",
+        if budget.quick { "quick" } else { "full" }
+    );
+
+    for name in &selected {
+        let begin = Instant::now();
+        let report = run_experiment(name, &budget, seed);
+        println!("{report}");
+        println!("[{name} completed in {:.1}s]\n", begin.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_experiment(name: &str, budget: &ExperimentBudget, seed: u64) -> String {
+    match name {
+        "fig1" => motivation::figure1().to_string(),
+        "sec22" => {
+            let subjects = if budget.quick { 2_000 } else { 20_000 };
+            motivation::section22(subjects, seed).to_string()
+        }
+        "fig2" => datasets_overview::figure2().to_string(),
+        "fig3" => datasets_overview::figure3().to_string(),
+        "fig4a" => dbpedia::figure4(dbpedia::Figure4Panel::Coverage, budget).to_string(),
+        "fig4b" => dbpedia::figure4(dbpedia::Figure4Panel::Similarity, budget).to_string(),
+        "fig4c" => dbpedia::figure4(dbpedia::Figure4Panel::SymDependency, budget).to_string(),
+        "fig5a" => dbpedia::figure5(false, budget).to_string(),
+        "fig5b" => dbpedia::figure5(true, budget).to_string(),
+        "table1" => dbpedia::table1().to_string(),
+        "table2" => dbpedia::table2().to_string(),
+        "fig6" => format!(
+            "{}\n{}",
+            wordnet::figure6(false, budget),
+            wordnet::figure6(true, budget)
+        ),
+        "fig7" => format!(
+            "{}\n{}",
+            wordnet::figure7(false, budget),
+            wordnet::figure7(true, budget)
+        ),
+        "fig8" => scalability::figure8(budget, seed).to_string(),
+        "sec74" => semantic::section74(budget).to_string(),
+        other => format!("unknown experiment '{other}'"),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: experiments [--full|--quick] [--seed N] [EXPERIMENT ...]\n\
+         experiments: {}  (default: all)",
+        ALL_EXPERIMENTS.join(", ")
+    );
+}

@@ -1,0 +1,72 @@
+//! Experiment budgets: how much solver effort each experiment may spend.
+//!
+//! The paper's experiments ran on a 2×6-core / 64 GB machine with CPLEX and
+//! individual ILP instances took anywhere from milliseconds to hours. This
+//! reproduction runs on commodity hardware with a pure-Rust solver, so every
+//! experiment accepts a budget; results obtained under a tight budget are
+//! flagged rather than silently truncated.
+
+use std::time::Duration;
+
+use strudel_rules::prelude::Ratio;
+
+/// Budget parameters shared by the experiment harness.
+#[derive(Clone, Debug)]
+pub struct ExperimentBudget {
+    /// Wall-clock limit per ILP decision-problem instance.
+    pub instance_time_limit: Duration,
+    /// Step of the sequential θ search (the paper uses 0.01).
+    pub theta_step: Ratio,
+    /// Number of YAGO-like sorts in the scalability sweep (the paper samples ≈500).
+    pub yago_sorts: usize,
+    /// Cap on signatures per YAGO-like sort in the sweep.
+    pub yago_max_signatures: usize,
+    /// Whether this is the quick (smoke-test) budget.
+    pub quick: bool,
+}
+
+impl ExperimentBudget {
+    /// The full budget: paper-faithful θ step, generous per-instance limits.
+    pub fn full() -> Self {
+        ExperimentBudget {
+            instance_time_limit: Duration::from_secs(60),
+            theta_step: Ratio::new(1, 100),
+            yago_sorts: 200,
+            yago_max_signatures: 120,
+            quick: false,
+        }
+    }
+
+    /// A quick budget suitable for CI runs and smoke tests: coarser θ steps,
+    /// tight per-instance limits, a smaller scalability sample.
+    pub fn quick() -> Self {
+        ExperimentBudget {
+            instance_time_limit: Duration::from_secs(5),
+            theta_step: Ratio::new(1, 50),
+            yago_sorts: 40,
+            yago_max_signatures: 48,
+            quick: true,
+        }
+    }
+}
+
+impl Default for ExperimentBudget {
+    fn default() -> Self {
+        ExperimentBudget::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_are_ordered() {
+        let quick = ExperimentBudget::quick();
+        let full = ExperimentBudget::full();
+        assert!(quick.instance_time_limit < full.instance_time_limit);
+        assert!(quick.theta_step > full.theta_step);
+        assert!(quick.yago_sorts < full.yago_sorts);
+        assert!(quick.quick && !full.quick);
+    }
+}

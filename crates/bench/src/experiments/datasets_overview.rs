@@ -1,0 +1,129 @@
+//! Figures 2 and 3: the two study datasets at a glance.
+
+use std::fmt;
+
+use strudel_core::prelude::*;
+use strudel_datagen::{dbpedia_persons, wordnet_nouns};
+use strudel_rdf::signature::SignatureView;
+
+/// Measured statistics of one dataset, next to the paper's published values.
+#[derive(Clone, Debug)]
+pub struct DatasetOverview {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Figure id in the paper.
+    pub figure: &'static str,
+    /// Measured subject count / paper subject count.
+    pub subjects: (usize, usize),
+    /// Measured property count / paper property count.
+    pub properties: (usize, usize),
+    /// Measured signature count / paper signature count.
+    pub signatures: (usize, usize),
+    /// Measured σ_Cov / paper σ_Cov.
+    pub cov: (f64, f64),
+    /// Measured σ_Sim / paper σ_Sim.
+    pub sim: (f64, f64),
+    /// ASCII rendering of the horizontal table (top signatures).
+    pub rendering: String,
+}
+
+impl fmt::Display for DatasetOverview {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ({}) ==", self.name, self.figure)?;
+        writeln!(
+            f,
+            "  {:<12} {:>12} {:>12}",
+            "quantity", "measured", "paper"
+        )?;
+        writeln!(f, "  {:<12} {:>12} {:>12}", "subjects", self.subjects.0, self.subjects.1)?;
+        writeln!(
+            f,
+            "  {:<12} {:>12} {:>12}",
+            "properties", self.properties.0, self.properties.1
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>12} {:>12}",
+            "signatures", self.signatures.0, self.signatures.1
+        )?;
+        writeln!(f, "  {:<12} {:>12.3} {:>12.2}", "σCov", self.cov.0, self.cov.1)?;
+        writeln!(f, "  {:<12} {:>12.3} {:>12.2}", "σSim", self.sim.0, self.sim.1)?;
+        writeln!(f, "{}", self.rendering)
+    }
+}
+
+fn overview(
+    name: &'static str,
+    figure: &'static str,
+    view: &SignatureView,
+    paper: (usize, usize, usize, f64, f64),
+) -> DatasetOverview {
+    DatasetOverview {
+        name,
+        figure,
+        subjects: (view.subject_count(), paper.0),
+        properties: (view.property_count(), paper.1),
+        signatures: (view.signature_count(), paper.2),
+        cov: (
+            SigmaSpec::Coverage.evaluate(view).unwrap().to_f64(),
+            paper.3,
+        ),
+        sim: (
+            SigmaSpec::Similarity.evaluate(view).unwrap().to_f64(),
+            paper.4,
+        ),
+        rendering: render_view(
+            view,
+            &RenderOptions {
+                max_rows: 12,
+                ..RenderOptions::default()
+            },
+        ),
+    }
+}
+
+/// Figure 2: DBpedia Persons.
+pub fn figure2() -> DatasetOverview {
+    overview(
+        "DBpedia Persons",
+        "Figure 2",
+        &dbpedia_persons(),
+        (790_703, 8, 64, 0.54, 0.77),
+    )
+}
+
+/// Figure 3: WordNet Nouns.
+pub fn figure3() -> DatasetOverview {
+    overview(
+        "WordNet Nouns",
+        "Figure 3",
+        &wordnet_nouns(),
+        (79_689, 12, 53, 0.44, 0.93),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_matches_paper_within_tolerance() {
+        let overview = figure2();
+        assert_eq!(overview.subjects.0, overview.subjects.1);
+        assert_eq!(overview.signatures.0, overview.signatures.1);
+        assert!((overview.cov.0 - overview.cov.1).abs() < 0.01);
+        assert!((overview.sim.0 - overview.sim.1).abs() < 0.01);
+        let text = overview.to_string();
+        assert!(text.contains("DBpedia Persons"));
+        assert!(text.contains("paper"));
+    }
+
+    #[test]
+    fn figure3_matches_paper_within_tolerance() {
+        let overview = figure3();
+        assert_eq!(overview.subjects.0, overview.subjects.1);
+        assert_eq!(overview.signatures.0, overview.signatures.1);
+        assert!((overview.cov.0 - overview.cov.1).abs() < 0.01);
+        assert!((overview.sim.0 - overview.sim.1).abs() < 0.02);
+    }
+}

@@ -1,0 +1,419 @@
+//! The DBpedia Persons experiments: Figure 4 (k = 2 highest-θ refinements),
+//! Figure 5 (lowest k at θ = 0.9), Table 1 (σ_Dep matrix) and Table 2
+//! (σ_SymDep ranking).
+
+use std::fmt;
+use std::time::Duration;
+
+use strudel_core::prelude::*;
+use strudel_datagen::dbpedia::{dbpedia_persons, person_columns, properties};
+use strudel_rdf::signature::SignatureView;
+
+use crate::budget::ExperimentBudget;
+use crate::experiments::{format_sort_table, summarize_sorts, SortSummary};
+
+/// Which of the three Figure 4 panels to reproduce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Figure4Panel {
+    /// Figure 4a: σ_Cov.
+    Coverage,
+    /// Figure 4b: σ_Sim.
+    Similarity,
+    /// Figure 4c: σ_SymDep[deathPlace, deathDate].
+    SymDependency,
+}
+
+impl Figure4Panel {
+    fn spec(self) -> SigmaSpec {
+        match self {
+            Figure4Panel::Coverage => SigmaSpec::Coverage,
+            Figure4Panel::Similarity => SigmaSpec::Similarity,
+            Figure4Panel::SymDependency => SigmaSpec::SymDependency {
+                p1: properties::DEATH_PLACE.into(),
+                p2: properties::DEATH_DATE.into(),
+            },
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Figure4Panel::Coverage => "Figure 4a (σCov)",
+            Figure4Panel::Similarity => "Figure 4b (σSim)",
+            Figure4Panel::SymDependency => "Figure 4c (σSymDep[deathPlace,deathDate])",
+        }
+    }
+
+    /// The paper's reported sort sizes for the panel.
+    fn paper_sizes(self) -> (usize, usize) {
+        match self {
+            Figure4Panel::Coverage => (528_593, 262_110),
+            Figure4Panel::Similarity => (403_406, 387_297),
+            Figure4Panel::SymDependency => (485_093, 305_610),
+        }
+    }
+}
+
+/// Result of one Figure 4 panel.
+#[derive(Clone, Debug)]
+pub struct Figure4Result {
+    /// Which panel was run.
+    pub panel: Figure4Panel,
+    /// The highest threshold found feasible.
+    pub theta: f64,
+    /// Per-sort summaries (largest sort first).
+    pub sorts: Vec<SortSummary>,
+    /// Whether the largest sort is free of death properties (the paper's
+    /// headline observation for 4a: the solver discovers the "alive" sort).
+    pub largest_sort_is_death_free: bool,
+    /// The paper's reported sort sizes, for side-by-side comparison.
+    pub paper_sizes: (usize, usize),
+    /// Whether the θ-sweep stopped because of the time budget rather than a
+    /// proven infeasibility.
+    pub hit_budget: bool,
+    /// Number of decision-problem probes performed.
+    pub probes: usize,
+}
+
+impl fmt::Display for Figure4Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — DBpedia Persons, k = 2 ==", self.panel.label())?;
+        writeln!(
+            f,
+            "  highest feasible θ = {:.3} ({} probes{})",
+            self.theta,
+            self.probes,
+            if self.hit_budget { ", stopped by budget" } else { "" }
+        )?;
+        writeln!(
+            f,
+            "  paper sort sizes: {} / {} subjects",
+            self.paper_sizes.0, self.paper_sizes.1
+        )?;
+        writeln!(
+            f,
+            "  largest sort death-free: {}",
+            self.largest_sort_is_death_free
+        )?;
+        write!(f, "{}", format_sort_table(&self.sorts))
+    }
+}
+
+fn engine_for(budget: &ExperimentBudget) -> HybridEngine {
+    HybridEngine::with_engines(
+        GreedyEngine::new(),
+        IlpEngine::with_time_limit(budget.instance_time_limit),
+    )
+}
+
+/// Runs one Figure 4 panel on the calibrated DBpedia Persons dataset.
+pub fn figure4(panel: Figure4Panel, budget: &ExperimentBudget) -> Figure4Result {
+    let view = dbpedia_persons();
+    figure4_on(panel, &view, budget)
+}
+
+/// Runs one Figure 4 panel on a caller-supplied DBpedia-shaped view (used by
+/// the tests with a scaled-down dataset).
+pub fn figure4_on(
+    panel: Figure4Panel,
+    view: &SignatureView,
+    budget: &ExperimentBudget,
+) -> Figure4Result {
+    let spec = panel.spec();
+    let engine = engine_for(budget);
+    let options = HighestThetaOptions {
+        step: budget.theta_step,
+        start: None,
+    };
+    let result = highest_theta(view, &spec, 2, &engine, &options)
+        .expect("the highest-θ search cannot fail on a valid dataset");
+    let refinement = result
+        .refinement
+        .expect("the starting threshold σ(D) is always feasible");
+    let sorts = summarize_sorts(view, &refinement);
+    let cols = person_columns(view);
+    let largest_sort_is_death_free = refinement
+        .sorts
+        .first()
+        .map(|sort| {
+            let sub = view.subset(&sort.signatures);
+            sub.property_subject_count(cols.death_date) == 0
+                && sub.property_subject_count(cols.death_place) == 0
+        })
+        .unwrap_or(false);
+    Figure4Result {
+        panel,
+        theta: result.theta.to_f64(),
+        sorts,
+        largest_sort_is_death_free,
+        paper_sizes: panel.paper_sizes(),
+        hit_budget: result.hit_budget,
+        probes: result.steps.len(),
+    }
+}
+
+/// Result of one Figure 5 panel (lowest k at a fixed threshold).
+#[derive(Clone, Debug)]
+pub struct Figure5Result {
+    /// The structuredness function used.
+    pub spec_name: String,
+    /// The threshold.
+    pub theta: f64,
+    /// The smallest k found (None if even the starting probe failed).
+    pub k: Option<usize>,
+    /// The paper's reported k.
+    pub paper_k: usize,
+    /// Per-sort summaries of the found refinement.
+    pub sorts: Vec<SortSummary>,
+    /// Whether the sweep was cut short by the budget.
+    pub hit_budget: bool,
+}
+
+impl fmt::Display for Figure5Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Figure 5 ({}) — DBpedia Persons, lowest k at θ = {:.2} ==",
+            self.spec_name, self.theta
+        )?;
+        writeln!(
+            f,
+            "  measured k = {:?}, paper k = {}{}",
+            self.k,
+            self.paper_k,
+            if self.hit_budget { " (budget-limited)" } else { "" }
+        )?;
+        write!(f, "{}", format_sort_table(&self.sorts))
+    }
+}
+
+/// Figure 5a (σ_Cov, θ = 0.9, paper k = 9) or 5b (σ_Sim, θ = 0.9, paper k = 4).
+pub fn figure5(use_similarity: bool, budget: &ExperimentBudget) -> Figure5Result {
+    let view = dbpedia_persons();
+    figure5_on(use_similarity, &view, budget)
+}
+
+/// Figure 5 on a caller-supplied view.
+pub fn figure5_on(
+    use_similarity: bool,
+    view: &SignatureView,
+    budget: &ExperimentBudget,
+) -> Figure5Result {
+    let (spec, paper_k) = if use_similarity {
+        (SigmaSpec::Similarity, 4)
+    } else {
+        (SigmaSpec::Coverage, 9)
+    };
+    let theta = Ratio::new(9, 10);
+    let engine = engine_for(budget);
+    let result = lowest_k(
+        view,
+        &spec,
+        theta,
+        &engine,
+        SweepDirection::Downward,
+        None,
+    )
+    .expect("the lowest-k sweep cannot fail on a valid dataset");
+    let sorts = result
+        .refinement
+        .as_ref()
+        .map(|refinement| summarize_sorts(view, refinement))
+        .unwrap_or_default();
+    Figure5Result {
+        spec_name: spec.name(),
+        theta: theta.to_f64(),
+        k: result.k,
+        paper_k,
+        sorts,
+        hit_budget: result.hit_budget,
+    }
+}
+
+/// Table 1: the σ_Dep matrix over deathPlace, birthPlace, deathDate, birthDate.
+#[derive(Clone, Debug)]
+pub struct Table1Result {
+    /// Row/column labels.
+    pub labels: [&'static str; 4],
+    /// Measured values, `matrix[i][j] = Dep[labels[i], labels[j]]`.
+    pub measured: [[f64; 4]; 4],
+    /// The paper's values.
+    pub paper: [[f64; 4]; 4],
+}
+
+impl fmt::Display for Table1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Table 1 — σDep matrix (measured | paper) ==")?;
+        writeln!(
+            f,
+            "  {:>12} {:>13} {:>13} {:>13} {:>13}",
+            "", self.labels[0], self.labels[1], self.labels[2], self.labels[3]
+        )?;
+        for i in 0..4 {
+            let cells: Vec<String> = (0..4)
+                .map(|j| format!("{:.2}|{:.2}", self.measured[i][j], self.paper[i][j]))
+                .collect();
+            writeln!(
+                f,
+                "  {:>12} {:>13} {:>13} {:>13} {:>13}",
+                self.labels[i], cells[0], cells[1], cells[2], cells[3]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs Table 1 on the calibrated DBpedia Persons dataset.
+pub fn table1() -> Table1Result {
+    let view = dbpedia_persons();
+    let cols = person_columns(&view);
+    let order = [cols.death_place, cols.birth_place, cols.death_date, cols.birth_date];
+    let matrix = dependency_matrix(&view, &order);
+    let mut measured = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            measured[i][j] = matrix[i][j].to_f64();
+        }
+    }
+    Table1Result {
+        labels: ["deathPlace", "birthPlace", "deathDate", "birthDate"],
+        measured,
+        paper: [
+            [1.0, 0.93, 0.82, 0.77],
+            [0.26, 1.0, 0.27, 0.75],
+            [0.43, 0.50, 1.0, 0.89],
+            [0.17, 0.57, 0.37, 1.0],
+        ],
+    }
+}
+
+/// Table 2: the σ_SymDep ranking (top and bottom pairs).
+#[derive(Clone, Debug)]
+pub struct Table2Result {
+    /// The highest-ranked pairs (property a, property b, value).
+    pub top: Vec<(String, String, f64)>,
+    /// The lowest-ranked pairs.
+    pub bottom: Vec<(String, String, f64)>,
+    /// The paper's top pair (givenName, surname, 1.0).
+    pub paper_top: (&'static str, &'static str, f64),
+    /// The paper's bottom pair (deathPlace, surname, 0.11).
+    pub paper_bottom: (&'static str, &'static str, f64),
+}
+
+impl fmt::Display for Table2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Table 2 — σSymDep ranking ==")?;
+        writeln!(f, "  top pairs (paper: {} / {} = {:.2}):", self.paper_top.0, self.paper_top.1, self.paper_top.2)?;
+        for (a, b, v) in &self.top {
+            writeln!(f, "    {:<12} {:<12} {:.2}", shorten(a), shorten(b), v)?;
+        }
+        writeln!(
+            f,
+            "  bottom pairs (paper: {} / {} = {:.2}):",
+            self.paper_bottom.0, self.paper_bottom.1, self.paper_bottom.2
+        )?;
+        for (a, b, v) in &self.bottom {
+            writeln!(f, "    {:<12} {:<12} {:.2}", shorten(a), shorten(b), v)?;
+        }
+        Ok(())
+    }
+}
+
+fn shorten(iri: &str) -> &str {
+    iri.rsplit(['/', '#']).next().unwrap_or(iri)
+}
+
+/// Runs Table 2 on the calibrated DBpedia Persons dataset.
+pub fn table2() -> Table2Result {
+    let view = dbpedia_persons();
+    let ranking = sym_dependency_ranking(&view);
+    let as_tuple = |entry: &SymDepEntry| {
+        (
+            entry.property_a.clone(),
+            entry.property_b.clone(),
+            entry.value.to_f64(),
+        )
+    };
+    Table2Result {
+        top: ranking.iter().take(4).map(as_tuple).collect(),
+        bottom: ranking.iter().rev().take(4).rev().map(as_tuple).collect(),
+        paper_top: ("givenName", "surName", 1.0),
+        paper_bottom: ("deathPlace", "surName", 0.11),
+    }
+}
+
+/// A convenience engine constructor shared with the WordNet module.
+pub(crate) fn hybrid_engine(time_limit: Duration) -> HybridEngine {
+    HybridEngine::with_engines(GreedyEngine::new(), IlpEngine::with_time_limit(time_limit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_datagen::dbpedia_persons_scaled;
+
+    fn quick_budget() -> ExperimentBudget {
+        ExperimentBudget {
+            instance_time_limit: Duration::from_secs(2),
+            theta_step: Ratio::new(1, 20),
+            ..ExperimentBudget::quick()
+        }
+    }
+
+    #[test]
+    fn figure4a_discovers_a_death_free_sort_on_the_scaled_dataset() {
+        let view = dbpedia_persons_scaled(2000);
+        let result = figure4_on(Figure4Panel::Coverage, &view, &quick_budget());
+        assert_eq!(result.sorts.len(), 2);
+        // The split must improve on the whole dataset's coverage (≈ 0.54).
+        assert!(result.theta > 0.54);
+        let text = result.to_string();
+        assert!(text.contains("Figure 4a"));
+    }
+
+    #[test]
+    fn figure5_cov_needs_more_sorts_than_sim_on_the_scaled_dataset() {
+        let view = dbpedia_persons_scaled(2000);
+        let cov = figure5_on(false, &view, &quick_budget());
+        let sim = figure5_on(true, &view, &quick_budget());
+        // The paper's qualitative finding: Sim tolerates missing properties,
+        // so it needs (weakly) fewer implicit sorts to reach θ = 0.9.
+        if let (Some(k_cov), Some(k_sim)) = (cov.k, sim.k) {
+            assert!(k_sim <= k_cov, "k_sim = {k_sim} > k_cov = {k_cov}");
+        }
+        assert!(cov.to_string().contains("lowest k"));
+    }
+
+    #[test]
+    fn table1_reproduces_the_death_place_row() {
+        let result = table1();
+        // First row: deathPlace implies the other properties with high
+        // probability; diagonal is exactly 1.
+        for i in 0..4 {
+            assert!((result.measured[i][i] - 1.0).abs() < 1e-9);
+        }
+        for j in 1..4 {
+            assert!(
+                (result.measured[0][j] - result.paper[0][j]).abs() < 0.12,
+                "Dep[deathPlace, {}] measured {:.2} vs paper {:.2}",
+                result.labels[j],
+                result.measured[0][j],
+                result.paper[0][j]
+            );
+        }
+        assert!(result.to_string().contains("Table 1"));
+    }
+
+    #[test]
+    fn table2_top_pair_is_given_name_surname() {
+        let result = table2();
+        let (a, b, v) = &result.top[0];
+        assert!(a.contains("ivenName") || b.contains("ivenName"));
+        assert!(a.contains("urname") || b.contains("urname") || a.contains("urName") || b.contains("urName"));
+        assert!(*v > 0.99);
+        // The bottom of the ranking involves deathPlace, as in the paper.
+        assert!(result
+            .bottom
+            .iter()
+            .any(|(a, b, _)| a.contains("deathPlace") || b.contains("deathPlace")));
+    }
+}

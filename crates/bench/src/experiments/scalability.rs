@@ -1,0 +1,190 @@
+//! Figure 8: scalability of the ILP-based solution over a YAGO-like sample of
+//! explicit sorts.
+//!
+//! For every sampled sort a highest-θ refinement with k = 2 is solved and the
+//! total solve time recorded. The paper then studies runtime as a function of
+//! the number of signatures (best fit ≈ s^2.53) and of the number of
+//! properties (best fit ≈ e^{0.28 p}), and notes that runtime does **not**
+//! depend on the number of subjects. We reproduce the sweep, the fits and the
+//! subject-independence check; absolute runtimes and fitted exponents differ
+//! (different solver, different hardware) but the qualitative shape is the
+//! comparison target.
+
+use std::fmt;
+use std::time::Instant;
+
+use strudel_core::prelude::*;
+use strudel_datagen::yago::{yago_sample, YagoSampleConfig};
+
+use crate::budget::ExperimentBudget;
+use crate::experiments::dbpedia::hybrid_engine;
+use crate::fitting::{exponential_rate, linear_fit, power_law_exponent};
+
+/// One sampled sort's measurement.
+#[derive(Clone, Debug)]
+pub struct SortMeasurement {
+    /// Number of subjects in the sort.
+    pub subjects: usize,
+    /// Number of signatures.
+    pub signatures: usize,
+    /// Number of properties.
+    pub properties: usize,
+    /// Total wall-clock time of the highest-θ search (seconds).
+    pub runtime_seconds: f64,
+    /// The best threshold found.
+    pub theta: f64,
+    /// Whether any probe hit the per-instance budget.
+    pub hit_budget: bool,
+}
+
+/// The Figure 8 reproduction.
+#[derive(Clone, Debug)]
+pub struct Figure8Result {
+    /// Per-sort measurements.
+    pub measurements: Vec<SortMeasurement>,
+    /// Fitted exponent of `runtime ≈ a · signatures^b` and its R².
+    pub signature_power_fit: Option<(f64, f64)>,
+    /// Fitted rate of `runtime ≈ a · e^{b · properties}` and its R².
+    pub property_exponential_fit: Option<(f64, f64)>,
+    /// Slope and R² of runtime vs. number of subjects (expected ≈ 0 slope /
+    /// negligible correlation).
+    pub subject_fit: Option<(f64, f64)>,
+    /// The paper's fitted signature exponent (2.53).
+    pub paper_signature_exponent: f64,
+    /// The paper's fitted property rate (0.28).
+    pub paper_property_rate: f64,
+}
+
+impl fmt::Display for Figure8Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Figure 8 — scalability over {} YAGO-like sorts ==", self.measurements.len())?;
+        writeln!(
+            f,
+            "  {:>9} {:>11} {:>11} {:>11} {:>8}",
+            "subjects", "signatures", "properties", "runtime(s)", "θ"
+        )?;
+        for m in &self.measurements {
+            writeln!(
+                f,
+                "  {:>9} {:>11} {:>11} {:>11.3} {:>8.3}{}",
+                m.subjects,
+                m.signatures,
+                m.properties,
+                m.runtime_seconds,
+                m.theta,
+                if m.hit_budget { " *" } else { "" }
+            )?;
+        }
+        if let Some((exponent, r2)) = self.signature_power_fit {
+            writeln!(
+                f,
+                "  runtime ~ signatures^{exponent:.2} (R² = {r2:.2}); paper: signatures^{:.2}",
+                self.paper_signature_exponent
+            )?;
+        }
+        if let Some((rate, r2)) = self.property_exponential_fit {
+            writeln!(
+                f,
+                "  runtime ~ e^({rate:.3}·properties) (R² = {r2:.2}); paper: e^({:.2}·p)",
+                self.paper_property_rate
+            )?;
+        }
+        if let Some((slope, r2)) = self.subject_fit {
+            writeln!(
+                f,
+                "  runtime vs subjects: slope {slope:.2e} s/subject (R² = {r2:.2}) — runtime does not scale with subject count"
+            )?;
+        }
+        writeln!(f, "  (* = at least one probe hit the per-instance time budget)")
+    }
+}
+
+/// Runs the Figure 8 sweep with the given budget and seed.
+pub fn figure8(budget: &ExperimentBudget, seed: u64) -> Figure8Result {
+    let config = YagoSampleConfig {
+        num_sorts: budget.yago_sorts,
+        max_signatures: budget.yago_max_signatures,
+        max_subjects: if budget.quick { 20_000 } else { 100_000 },
+        ..YagoSampleConfig::default()
+    };
+    let sample = yago_sample(&config, seed);
+    let engine = hybrid_engine(budget.instance_time_limit);
+    let options = HighestThetaOptions {
+        step: budget.theta_step,
+        start: None,
+    };
+
+    let mut measurements = Vec::with_capacity(sample.len());
+    for sort in &sample {
+        let begin = Instant::now();
+        let result = highest_theta(&sort.view, &SigmaSpec::Coverage, 2, &engine, &options)
+            .expect("the highest-θ search cannot fail on a valid dataset");
+        let runtime_seconds = begin.elapsed().as_secs_f64();
+        measurements.push(SortMeasurement {
+            subjects: sort.view.subject_count(),
+            signatures: sort.view.signature_count(),
+            properties: sort.view.property_count(),
+            runtime_seconds,
+            theta: result.theta.to_f64(),
+            hit_budget: result.hit_budget,
+        });
+    }
+
+    let signature_points: Vec<(f64, f64)> = measurements
+        .iter()
+        .map(|m| (m.signatures as f64, m.runtime_seconds.max(1e-6)))
+        .collect();
+    let property_points: Vec<(f64, f64)> = measurements
+        .iter()
+        .map(|m| (m.properties as f64, m.runtime_seconds.max(1e-6)))
+        .collect();
+    let subject_points: Vec<(f64, f64)> = measurements
+        .iter()
+        .map(|m| (m.subjects as f64, m.runtime_seconds.max(1e-6)))
+        .collect();
+
+    Figure8Result {
+        signature_power_fit: power_law_exponent(&signature_points),
+        property_exponential_fit: exponential_rate(&property_points),
+        subject_fit: linear_fit(&subject_points).map(|fit| (fit.slope, fit.r_squared)),
+        measurements,
+        paper_signature_exponent: 2.53,
+        paper_property_rate: 0.28,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn small_sweep_produces_fits_and_grows_with_signatures() {
+        let budget = ExperimentBudget {
+            instance_time_limit: Duration::from_secs(1),
+            theta_step: Ratio::new(1, 10),
+            yago_sorts: 12,
+            yago_max_signatures: 24,
+            quick: true,
+        };
+        let result = figure8(&budget, 7);
+        assert_eq!(result.measurements.len(), 12);
+        assert!(result.signature_power_fit.is_some());
+        assert!(result.property_exponential_fit.is_some());
+        // Runtime should (weakly) grow with signature count: compare the mean
+        // runtime of the smallest and largest halves.
+        let mut by_signatures = result.measurements.clone();
+        by_signatures.sort_by_key(|m| m.signatures);
+        let half = by_signatures.len() / 2;
+        let mean = |ms: &[SortMeasurement]| {
+            ms.iter().map(|m| m.runtime_seconds).sum::<f64>() / ms.len() as f64
+        };
+        assert!(
+            mean(&by_signatures[half..]) >= mean(&by_signatures[..half]) * 0.5,
+            "runtime collapsed for larger sorts, which is implausible"
+        );
+        let text = result.to_string();
+        assert!(text.contains("Figure 8"));
+        assert!(text.contains("signatures^"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Least-squares fits used by the scalability figure (Figure 8).
+//!
+//! The paper fits a power law `runtime ≈ s^2.53` to runtime vs. number of
+//! signatures and an exponential `runtime ≈ e^{0.28 p}` to runtime vs. number
+//! of properties. Both are straight lines after taking logarithms, so a
+//! simple ordinary-least-squares fit on transformed data reproduces them.
+
+/// Result of a straight-line fit `y = slope · x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares on `(x, y)` pairs. Returns `None` with fewer than
+/// two distinct x values.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let ss_xx: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    let ss_xy: f64 = points
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let ss_yy: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    if ss_xx.abs() < f64::EPSILON {
+        return None;
+    }
+    let slope = ss_xy / ss_xx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if ss_yy.abs() < f64::EPSILON {
+        1.0
+    } else {
+        (ss_xy * ss_xy) / (ss_xx * ss_yy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits `y ≈ a · x^b` by regressing `ln y` on `ln x`; returns `(b, R²)`.
+/// Points with non-positive coordinates are skipped.
+pub fn power_law_exponent(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    linear_fit(&transformed).map(|fit| (fit.slope, fit.r_squared))
+}
+
+/// Fits `y ≈ a · e^{b·x}` by regressing `ln y` on `x`; returns `(b, R²)`.
+/// Points with non-positive y are skipped.
+pub fn exponential_rate(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(_, y)| *y > 0.0)
+        .map(|(x, y)| (*x, y.ln()))
+        .collect();
+    linear_fit(&transformed).map(|fit| (fit.slope, fit.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_an_exact_line() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        let fit = linear_fit(&points).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 1.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_a_power_law() {
+        let points: Vec<(f64, f64)> = (1..50).map(|i| (i as f64, 2.0 * (i as f64).powf(2.5))).collect();
+        let (exponent, r2) = power_law_exponent(&points).unwrap();
+        assert!((exponent - 2.5).abs() < 1e-6, "exponent {exponent}");
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn recovers_an_exponential_rate() {
+        let points: Vec<(f64, f64)> = (1..40).map(|i| (i as f64, 0.5 * (0.28 * i as f64).exp())).collect();
+        let (rate, r2) = exponential_rate(&points).unwrap();
+        assert!((rate - 0.28).abs() < 1e-6, "rate {rate}");
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+        assert!(power_law_exponent(&[(0.0, 1.0), (-1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn noisy_data_has_lower_r_squared() {
+        let points = vec![
+            (1.0, 1.0),
+            (2.0, 4.5),
+            (3.0, 2.5),
+            (4.0, 7.0),
+            (5.0, 3.5),
+        ];
+        let fit = linear_fit(&points).unwrap();
+        assert!(fit.r_squared < 0.9);
+    }
+}

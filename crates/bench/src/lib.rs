@@ -1,0 +1,28 @@
+//! # strudel-bench
+//!
+//! The benchmark and experiment harness of the **strudel** reproduction of
+//! Arenas et al., VLDB 2014.
+//!
+//! * [`experiments`] — one module per table/figure of the paper's evaluation
+//!   (Section 7), each producing a report comparing measured values with the
+//!   published ones. The `experiments` binary
+//!   (`cargo run -p strudel-bench --bin experiments -- all`) runs them and
+//!   prints the reports; `--markdown` emits the rows used by
+//!   `EXPERIMENTS.md`.
+//! * [`budget`] — effort budgets (quick vs full).
+//! * [`fitting`] — the least-squares fits used by the scalability figure.
+//!
+//! The Criterion micro-benchmarks under `benches/` cover the same ground at
+//! fixed, small instance sizes so that `cargo bench` finishes in minutes:
+//! structuredness evaluation, ILP encoding + solving, the two search
+//! strategies, the dependency analysis, the scalability sweep, and engine /
+//! symmetry-breaking ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod experiments;
+pub mod fitting;
+
+pub use budget::ExperimentBudget;

@@ -1,0 +1,187 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Each command declares which `--options` take a value and which `--flags`
+//! are boolean; everything else is a positional argument. Options may repeat
+//! (`--rule cov --rule sim`). `--option=value` and `--option value` are both
+//! accepted. Unknown options are an error — silently ignoring a typo like
+//! `--theta0.9` would produce a misleading report.
+
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+use crate::error::CliError;
+
+/// What a command accepts.
+#[derive(Clone, Copy, Debug)]
+pub struct ArgSpec {
+    /// Names (without `--`) of options that take a value.
+    pub options: &'static [&'static str],
+    /// Names (without `--`) of boolean flags.
+    pub flags: &'static [&'static str],
+    /// Minimum number of positional arguments.
+    pub min_positional: usize,
+    /// Maximum number of positional arguments.
+    pub max_positional: usize,
+}
+
+/// The parsed form of a command line.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArgs {
+    positionals: Vec<String>,
+    options: BTreeMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// The `idx`-th positional argument.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.positionals.get(idx).map(String::as_str)
+    }
+
+    /// All positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The last value given for an option, if any.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options
+            .get(name)
+            .and_then(|values| values.last())
+            .map(String::as_str)
+    }
+
+    /// Every value given for a (repeatable) option.
+    pub fn option_values(&self, name: &str) -> &[String] {
+        self.options.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// The last value of an option parsed into `T`.
+    pub fn option_parsed<T>(&self, name: &str) -> Result<Option<T>, CliError>
+    where
+        T: FromStr,
+        T::Err: std::fmt::Display,
+    {
+        match self.option(name) {
+            None => Ok(None),
+            Some(text) => text.parse::<T>().map(Some).map_err(|err| {
+                CliError::Usage(format!("invalid value '{text}' for --{name}: {err}"))
+            }),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|flag| flag == name)
+    }
+}
+
+/// Parses the arguments of one command according to its spec.
+pub fn parse_args(args: &[String], spec: &ArgSpec) -> Result<ParsedArgs, CliError> {
+    let mut parsed = ParsedArgs::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(rest) = arg.strip_prefix("--") {
+            let (name, inline_value) = match rest.split_once('=') {
+                Some((name, value)) => (name, Some(value.to_owned())),
+                None => (rest, None),
+            };
+            if spec.flags.contains(&name) {
+                if let Some(value) = inline_value {
+                    return Err(CliError::Usage(format!(
+                        "flag --{name} does not take a value (got '{value}')"
+                    )));
+                }
+                parsed.flags.push(name.to_owned());
+            } else if spec.options.contains(&name) {
+                let value = match inline_value {
+                    Some(value) => value,
+                    None => iter
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage(format!("--{name} requires a value")))?,
+                };
+                parsed.options.entry(name.to_owned()).or_default().push(value);
+            } else {
+                return Err(CliError::Usage(format!("unknown option --{name}")));
+            }
+        } else {
+            parsed.positionals.push(arg.clone());
+        }
+    }
+    if parsed.positionals.len() < spec.min_positional {
+        return Err(CliError::Usage(format!(
+            "expected at least {} positional argument(s), got {}",
+            spec.min_positional,
+            parsed.positionals.len()
+        )));
+    }
+    if parsed.positionals.len() > spec.max_positional {
+        return Err(CliError::Usage(format!(
+            "expected at most {} positional argument(s), got {} ('{}' is unexpected)",
+            spec.max_positional,
+            parsed.positionals.len(),
+            parsed.positionals[spec.max_positional]
+        )));
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: ArgSpec = ArgSpec {
+        options: &["rule", "k", "theta"],
+        flags: &["render"],
+        min_positional: 1,
+        max_positional: 2,
+    };
+
+    fn args(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| (*w).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_options_and_flags() {
+        let parsed = parse_args(
+            &args(&["data.nt", "--rule", "cov", "--rule=sim", "--k", "3", "--render"]),
+            &SPEC,
+        )
+        .unwrap();
+        assert_eq!(parsed.positional(0), Some("data.nt"));
+        assert_eq!(parsed.positional(1), None);
+        assert_eq!(parsed.option_values("rule"), &["cov".to_owned(), "sim".to_owned()]);
+        assert_eq!(parsed.option("rule"), Some("sim"));
+        assert_eq!(parsed.option_parsed::<usize>("k").unwrap(), Some(3));
+        assert_eq!(parsed.option_parsed::<usize>("theta").unwrap(), None);
+        assert!(parsed.has_flag("render"));
+        assert!(!parsed.has_flag("verbose"));
+    }
+
+    #[test]
+    fn rejects_unknown_options_and_bad_values() {
+        let err = parse_args(&args(&["data.nt", "--bogus"]), &SPEC).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+
+        let err = parse_args(&args(&["data.nt", "--k"]), &SPEC).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
+
+        let parsed = parse_args(&args(&["data.nt", "--k", "three"]), &SPEC).unwrap();
+        let err = parsed.option_parsed::<usize>("k").unwrap_err();
+        assert!(err.to_string().contains("three"));
+
+        let err = parse_args(&args(&["data.nt", "--render=yes"]), &SPEC).unwrap_err();
+        assert!(err.to_string().contains("does not take a value"));
+    }
+
+    #[test]
+    fn enforces_positional_bounds() {
+        let err = parse_args(&args(&[]), &SPEC).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
+
+        let err = parse_args(&args(&["a.nt", "b.nt", "c.nt"]), &SPEC).unwrap_err();
+        assert!(err.to_string().contains("at most 2"));
+        assert!(err.to_string().contains("c.nt"));
+    }
+}

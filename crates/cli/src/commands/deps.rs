@@ -1,0 +1,154 @@
+//! `strudel deps` — property dependency analysis (Tables 1 and 2).
+
+use strudel_core::prelude::{dependency_matrix, sym_dependency_ranking};
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+use crate::io::{load_graph, views_of};
+
+/// Argument specification of `deps`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["sort", "properties", "top"],
+    flags: &[],
+    min_positional: 1,
+    max_positional: 1,
+};
+
+/// Usage text of `deps`.
+pub const USAGE: &str = "strudel deps <FILE> [--sort IRI] [--properties p1,p2,...] [--top N]
+  Prints the σ_Dep matrix over the chosen properties and the σ_SymDep ranking
+  of all property pairs (most / least correlated).";
+
+/// How many properties the matrix defaults to when none are named.
+const DEFAULT_MATRIX_PROPERTIES: usize = 8;
+
+fn local(iri: &str) -> &str {
+    iri.rsplit(['/', '#']).next().unwrap_or(iri)
+}
+
+/// Runs the command.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args, &SPEC)?;
+    let path = parsed.positional(0).expect("spec requires one positional");
+    let graph = load_graph(path)?;
+    let (_, view) = views_of(&graph, parsed.option("sort"))?;
+    let top = parsed.option_parsed::<usize>("top")?.unwrap_or(4).max(1);
+
+    // Which columns go into the σ_Dep matrix.
+    let columns: Vec<usize> = match parsed.option("properties") {
+        Some(list) => {
+            let mut columns = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                let column = view
+                    .properties()
+                    .iter()
+                    .position(|p| p == name || local(p) == name)
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("property '{name}' does not occur in the dataset"))
+                    })?;
+                columns.push(column);
+            }
+            columns
+        }
+        None => {
+            let mut used: Vec<usize> = (0..view.property_count())
+                .filter(|&col| view.property_subject_count(col) > 0)
+                .collect();
+            used.sort_by_key(|&col| std::cmp::Reverse(view.property_subject_count(col)));
+            used.truncate(DEFAULT_MATRIX_PROPERTIES);
+            used
+        }
+    };
+    if columns.is_empty() {
+        return Err(CliError::Usage(
+            "no properties to analyse; pass --properties p1,p2,...".to_owned(),
+        ));
+    }
+
+    let mut out = format!("σ_Dep matrix (row: p1, column: p2) for {path}\n");
+    let matrix = dependency_matrix(&view, &columns);
+    let labels: Vec<&str> = columns.iter().map(|&c| local(&view.properties()[c])).collect();
+    let width = labels.iter().map(|l| l.len()).max().unwrap_or(8).max(6);
+    out.push_str(&format!("{:>width$} ", ""));
+    for label in &labels {
+        out.push_str(&format!("{label:>width$} "));
+    }
+    out.push('\n');
+    for (row_idx, row) in matrix.iter().enumerate() {
+        out.push_str(&format!("{:>width$} ", labels[row_idx]));
+        for value in row {
+            out.push_str(&format!("{:>width$.2} ", value.to_f64()));
+        }
+        out.push('\n');
+    }
+
+    let ranking = sym_dependency_ranking(&view);
+    if !ranking.is_empty() {
+        out.push_str(&format!("\nσ_SymDep ranking ({} pairs)\n", ranking.len()));
+        out.push_str("most correlated:\n");
+        for entry in ranking.iter().take(top) {
+            out.push_str(&format!(
+                "  {:<20} {:<20} {:.2}\n",
+                local(&entry.property_a),
+                local(&entry.property_b),
+                entry.value.to_f64()
+            ));
+        }
+        out.push_str("least correlated:\n");
+        for entry in ranking.iter().rev().take(top).rev() {
+            out.push_str(&format!(
+                "  {:<20} {:<20} {:.2}\n",
+                local(&entry.property_a),
+                local(&entry.property_b),
+                entry.value.to_f64()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::{args, write_persons_ntriples};
+
+    #[test]
+    fn matrix_and_ranking_are_printed() {
+        let file = write_persons_ntriples("deps-basic");
+        let output = run(&args(&[file.to_str().unwrap(), "--sort", "http://ex/Person"])).unwrap();
+        assert!(output.contains("σ_Dep matrix"));
+        assert!(output.contains("most correlated"));
+        assert!(output.contains("least correlated"));
+        assert!(output.contains("name"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn explicit_properties_select_matrix_columns() {
+        let file = write_persons_ntriples("deps-explicit");
+        let output = run(&args(&[
+            file.to_str().unwrap(),
+            "--properties",
+            "birthDate,deathDate",
+            "--top",
+            "2",
+        ]))
+        .unwrap();
+        assert!(output.contains("birthDate"));
+        assert!(output.contains("deathDate"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn unknown_properties_are_rejected() {
+        let file = write_persons_ntriples("deps-unknown");
+        let err = run(&args(&[
+            file.to_str().unwrap(),
+            "--properties",
+            "notARealProperty",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("notARealProperty"));
+        std::fs::remove_file(&file).ok();
+    }
+}

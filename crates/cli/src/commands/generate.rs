@@ -1,0 +1,153 @@
+//! `strudel generate` — write calibrated synthetic datasets to disk.
+
+use strudel_datagen::{
+    benchmark_sorts, dbpedia_persons_scaled, materialize_graph, mixed_drug_companies_and_sultans,
+    wordnet_nouns_scaled, BenchmarkProfile,
+};
+use strudel_rdf::graph::Graph;
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::builtin::{sigma_cov, sigma_sim};
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+use crate::io::save_ntriples;
+
+/// Argument specification of `generate`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["out", "seed", "scale", "subjects"],
+    flags: &[],
+    min_positional: 1,
+    max_positional: 1,
+};
+
+/// Usage text of `generate`.
+pub const USAGE: &str = "strudel generate <DATASET> [--out FILE.nt] [--seed N] [--scale N] [--subjects N]
+  DATASET ∈ { dbpedia, wordnet, mixed, lubm, sp2bench, bsbm }
+  dbpedia / wordnet use the paper-calibrated views scaled down by --scale (default 1000);
+  the benchmark profiles generate --subjects entities per sort (default 1000).
+  Without --out only summary statistics are printed.";
+
+/// Runs the command.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args, &SPEC)?;
+    let dataset = parsed.positional(0).expect("spec requires one positional");
+    let seed = parsed.option_parsed::<u64>("seed")?.unwrap_or(2014);
+    let scale = parsed.option_parsed::<u64>("scale")?.unwrap_or(1000).max(1);
+    let subjects = parsed.option_parsed::<usize>("subjects")?.unwrap_or(1000).max(1);
+
+    // Each generated part is a (sort IRI, view) pair; parts are materialised
+    // into one graph.
+    let parts: Vec<(String, SignatureView)> = match dataset.to_ascii_lowercase().as_str() {
+        "dbpedia" | "dbpedia-persons" => vec![(
+            "http://xmlns.com/foaf/0.1/Person".to_owned(),
+            dbpedia_persons_scaled(scale),
+        )],
+        "wordnet" | "wordnet-nouns" => vec![(
+            "http://www.w3.org/2006/03/wn/wn20/schema/NounSynset".to_owned(),
+            wordnet_nouns_scaled(scale),
+        )],
+        "mixed" => vec![(
+            "http://strudel.example/MixedCompanySultan".to_owned(),
+            mixed_drug_companies_and_sultans().view,
+        )],
+        "lubm" | "sp2bench" | "bsbm" => {
+            let profile = match dataset.to_ascii_lowercase().as_str() {
+                "lubm" => BenchmarkProfile::Lubm,
+                "sp2bench" => BenchmarkProfile::Sp2Bench,
+                _ => BenchmarkProfile::Bsbm,
+            };
+            benchmark_sorts(profile, subjects, seed)
+                .into_iter()
+                .map(|sort| (sort.sort, sort.view))
+                .collect()
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown dataset '{other}'; expected dbpedia, wordnet, mixed, lubm, sp2bench, or bsbm"
+            )))
+        }
+    };
+
+    let mut out = format!("dataset: {dataset} (seed {seed})\n");
+    let mut combined = Graph::new();
+    for (idx, (sort_iri, view)) in parts.iter().enumerate() {
+        out.push_str(&format!(
+            "  <{sort_iri}>: {} subjects, {} properties, {} signatures, σ_Cov = {:.3}, σ_Sim = {:.3}\n",
+            view.subject_count(),
+            view.property_count(),
+            view.signature_count(),
+            sigma_cov(view).to_f64(),
+            sigma_sim(view).to_f64()
+        ));
+        if parsed.option("out").is_some() {
+            let base = format!("http://strudel.example/data/{idx}/");
+            let part = materialize_graph(view, sort_iri, &base, seed.wrapping_add(idx as u64));
+            for triple in part.triples() {
+                let subject = part.iri(triple.subject).to_owned();
+                let predicate = part.iri(triple.predicate).to_owned();
+                match triple.object {
+                    strudel_rdf::term::Object::Iri(id) => {
+                        combined.insert_iri_triple(&subject, &predicate, part.iri(id));
+                    }
+                    strudel_rdf::term::Object::Literal(id) => {
+                        combined.insert_literal_triple(
+                            &subject,
+                            &predicate,
+                            part.dictionary().literal(id).clone(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(path) = parsed.option("out") {
+        save_ntriples(path, &combined)?;
+        out.push_str(&format!("wrote {path}: {} triples\n", combined.len()));
+    } else {
+        out.push_str("(pass --out FILE.nt to materialise the triples)\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::{args, temp_path};
+    use crate::io::load_graph;
+
+    #[test]
+    fn summary_only_without_out() {
+        let output = run(&args(&["dbpedia", "--scale", "10000"])).unwrap();
+        assert!(output.contains("foaf/0.1/Person"));
+        assert!(output.contains("σ_Cov"));
+        assert!(output.contains("pass --out"));
+    }
+
+    #[test]
+    fn benchmark_profiles_materialise_to_ntriples() {
+        let path = temp_path("generate-lubm.nt");
+        let output = run(&args(&[
+            "lubm",
+            "--subjects",
+            "20",
+            "--seed",
+            "7",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(output.contains("wrote"));
+        let graph = load_graph(path.to_str().unwrap()).unwrap();
+        assert!(graph.len() > 100);
+        // All three LUBM-like sorts are declared.
+        assert_eq!(graph.sorts().len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_datasets_are_rejected() {
+        let err = run(&args(&["freebase"])).unwrap_err();
+        assert!(err.to_string().contains("freebase"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The CLI commands and their dispatcher.
+
+pub mod analyze;
+pub mod deps;
+pub mod generate;
+pub mod layout;
+pub mod refine;
+pub mod survey;
+
+use crate::error::CliError;
+
+/// The overall usage text.
+pub fn usage() -> String {
+    format!(
+        "strudel — RDF structuredness and sort refinement (Arenas et al., VLDB 2014)\n\n\
+         usage: strudel <COMMAND> [ARGS]\n\n\
+         commands:\n\
+         {}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n\
+         Run 'strudel <COMMAND> --help' style questions by consulting the lines above;\n\
+         rules (SPEC) are cov, sim, cov-ignoring:<props>, dep:<p1>,<p2>, symdep:<p1>,<p2>,\n\
+         depdisj:<p1>,<p2>, or any rule of the language such as 'c = c -> val(c) = 1'.",
+        analyze::USAGE,
+        survey::USAGE,
+        refine::USAGE,
+        deps::USAGE,
+        layout::USAGE,
+        generate::USAGE,
+    )
+}
+
+/// Dispatches a full argument list (excluding the program name) to a command
+/// and returns its textual report.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage(
+            "no command given; run 'strudel help' for usage".to_owned(),
+        ));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "analyze" => analyze::run(rest),
+        "survey" => survey::run(rest),
+        "refine" => refine::run(rest),
+        "deps" => deps::run(rest),
+        "layout" => layout::run(rest),
+        "generate" => generate::run(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'; run 'strudel help' for usage"
+        ))),
+    }
+}
+
+/// Shared fixtures for the command unit tests.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::fs;
+    use std::path::PathBuf;
+
+    /// Converts string literals into the owned argument vector `run` expects.
+    pub fn args(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| (*w).to_owned()).collect()
+    }
+
+    /// A unique temp-file path for this process and tag.
+    pub fn temp_path(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("strudel-cli-{}-{tag}", std::process::id()));
+        path
+    }
+
+    /// Writes a small DBpedia-Persons-like N-Triples document: six "alive"
+    /// people with name + birthDate and three "dead" people with deathDate
+    /// and deathPlace on top.
+    pub fn write_persons_ntriples(tag: &str) -> PathBuf {
+        let mut doc = String::new();
+        for idx in 0..6 {
+            let s = format!("<http://ex/alive{idx}>");
+            doc.push_str(&format!(
+                "{s} <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+                 {s} <http://ex/name> \"Alive {idx}\" .\n\
+                 {s} <http://ex/birthDate> \"199{idx}-01-01\" .\n"
+            ));
+        }
+        for idx in 0..3 {
+            let s = format!("<http://ex/dead{idx}>");
+            doc.push_str(&format!(
+                "{s} <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+                 {s} <http://ex/name> \"Dead {idx}\" .\n\
+                 {s} <http://ex/birthDate> \"190{idx}-01-01\" .\n\
+                 {s} <http://ex/deathDate> \"198{idx}-01-01\" .\n\
+                 {s} <http://ex/deathPlace> <http://ex/place{idx}> .\n"
+            ));
+        }
+        let path = temp_path(&format!("{tag}.nt"));
+        fs::write(&path, doc).expect("temp files are writable");
+        path
+    }
+
+    /// Writes a document with two explicit sorts of different structuredness.
+    pub fn write_two_sorts_ntriples(tag: &str) -> PathBuf {
+        let mut doc = String::new();
+        for idx in 0..6 {
+            let s = format!("<http://ex/person{idx}>");
+            doc.push_str(&format!(
+                "{s} <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+                 {s} <http://ex/name> \"P{idx}\" .\n"
+            ));
+            if idx < 2 {
+                doc.push_str(&format!("{s} <http://ex/birthDate> \"1990-01-01\" .\n"));
+            }
+        }
+        for idx in 0..3 {
+            let s = format!("<http://ex/city{idx}>");
+            doc.push_str(&format!(
+                "{s} <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/City> .\n\
+                 {s} <http://ex/name> \"C{idx}\" .\n\
+                 {s} <http://ex/population> \"1000\" .\n"
+            ));
+        }
+        let path = temp_path(&format!("{tag}.nt"));
+        fs::write(&path, doc).expect("temp files are writable");
+        path
+    }
+
+    /// Writes a document without any rdf:type declarations.
+    pub fn write_untyped_ntriples(tag: &str) -> PathBuf {
+        let doc = "<http://ex/s> <http://ex/p> \"v\" .\n\
+                   <http://ex/s> <http://ex/q> <http://ex/o> .\n";
+        let path = temp_path(&format!("{tag}.nt"));
+        fs::write(&path, doc).expect("temp files are writable");
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use test_support::args;
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let help = run(&args(&["help"])).unwrap();
+        assert!(help.contains("strudel analyze"));
+        assert!(help.contains("strudel refine"));
+        assert!(help.contains("strudel layout"));
+
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+
+        let err = run(&[]).unwrap_err();
+        assert!(err.to_string().contains("no command"));
+    }
+}

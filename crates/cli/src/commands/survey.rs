@@ -1,0 +1,93 @@
+//! `strudel survey` — per-explicit-sort structuredness survey.
+
+use strudel_core::prelude::{render_survey, survey_sorts, SurveyOptions};
+use strudel_core::sigma::SigmaSpec;
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+use crate::io::load_graph;
+use crate::spec::parse_sigma_spec;
+
+/// Argument specification of `survey`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["min-subjects", "rule"],
+    flags: &[],
+    min_positional: 1,
+    max_positional: 1,
+};
+
+/// Usage text of `survey`.
+pub const USAGE: &str = "strudel survey <FILE> [--min-subjects N] [--rule SPEC]...
+  Lists every explicit sort (rdf:type value) with its size and structuredness.";
+
+/// Runs the command.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args, &SPEC)?;
+    let path = parsed.positional(0).expect("spec requires one positional");
+    let graph = load_graph(path)?;
+
+    let specs: Vec<SigmaSpec> = if parsed.option_values("rule").is_empty() {
+        vec![SigmaSpec::Coverage, SigmaSpec::Similarity]
+    } else {
+        parsed
+            .option_values("rule")
+            .iter()
+            .map(|text| parse_sigma_spec(text))
+            .collect::<Result<_, _>>()?
+    };
+    let options = SurveyOptions {
+        specs,
+        min_subjects: parsed.option_parsed::<usize>("min-subjects")?.unwrap_or(1),
+        exclude_rdf_type: true,
+    };
+    let reports = survey_sorts(&graph, &options)?;
+    if reports.is_empty() {
+        return Ok(format!(
+            "{path}: no explicit sorts (rdf:type declarations) found\n"
+        ));
+    }
+    let mut out = format!("{path}: {} explicit sort(s)\n", reports.len());
+    out.push_str(&render_survey(&reports));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::{args, write_two_sorts_ntriples};
+
+    #[test]
+    fn lists_every_sort_with_its_sigma() {
+        let file = write_two_sorts_ntriples("survey-basic");
+        let output = run(&args(&[file.to_str().unwrap()])).unwrap();
+        assert!(output.contains("2 explicit sort(s)"));
+        assert!(output.contains("http://ex/Person"));
+        assert!(output.contains("http://ex/City"));
+        assert!(output.contains("Cov"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn min_subjects_filters_and_custom_rules_apply() {
+        let file = write_two_sorts_ntriples("survey-filter");
+        let output = run(&args(&[
+            file.to_str().unwrap(),
+            "--min-subjects",
+            "4",
+            "--rule",
+            "cov",
+        ]))
+        .unwrap();
+        assert!(output.contains("http://ex/Person"));
+        assert!(!output.contains("http://ex/City"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn untyped_documents_are_reported_gracefully() {
+        let file = crate::commands::test_support::write_untyped_ntriples("survey-untyped");
+        let output = run(&args(&[file.to_str().unwrap()])).unwrap();
+        assert!(output.contains("no explicit sorts"));
+        std::fs::remove_file(&file).ok();
+    }
+}

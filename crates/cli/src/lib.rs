@@ -1,0 +1,27 @@
+//! # strudel-cli
+//!
+//! The `strudel` command-line tool: measure the structuredness of RDF
+//! documents, survey their explicit sorts, discover sort refinements, analyse
+//! property dependencies, generate calibrated synthetic datasets, and get
+//! schema-guided storage layout advice — all from the shell.
+//!
+//! The crate exposes every command as a library function returning the report
+//! text, so the binary is a thin wrapper and everything is testable without
+//! spawning processes:
+//!
+//! ```
+//! let help = strudel_cli::run(&["help".to_owned()]).unwrap();
+//! assert!(help.contains("strudel refine"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+pub mod io;
+pub mod spec;
+
+pub use commands::{run, usage};
+pub use error::CliError;

@@ -1,0 +1,20 @@
+//! The `strudel` binary: a thin wrapper around [`strudel_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match strudel_cli::run(&args) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            if matches!(error, strudel_cli::CliError::Usage(_)) {
+                eprintln!("\n{}", strudel_cli::usage());
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Parsing command-line rule and engine specifications.
+
+use std::time::Duration;
+
+use strudel_core::engine::{
+    GreedyEngine, HybridEngine, IlpEngine, IlpEngineConfig, RefinementEngine,
+};
+use strudel_core::sigma::SigmaSpec;
+use strudel_rules::parser::parse_rule;
+
+use crate::error::CliError;
+
+/// Parses a `--rule` argument into a structuredness function.
+///
+/// Accepted forms:
+///
+/// * `cov` / `coverage` — σ_Cov,
+/// * `sim` / `similarity` — σ_Sim,
+/// * `cov-ignoring:<p1>,<p2>,…` — σ_Cov ignoring the listed property IRIs,
+/// * `dep:<p1>,<p2>` — σ_Dep[p1, p2],
+/// * `symdep:<p1>,<p2>` — σ_SymDep[p1, p2],
+/// * `depdisj:<p1>,<p2>` — the disjunctive dependency variant,
+/// * anything containing `->` — a rule of the language, parsed verbatim.
+pub fn parse_sigma_spec(text: &str) -> Result<SigmaSpec, CliError> {
+    let trimmed = text.trim();
+    match trimmed.to_ascii_lowercase().as_str() {
+        "cov" | "coverage" => return Ok(SigmaSpec::Coverage),
+        "sim" | "similarity" => return Ok(SigmaSpec::Similarity),
+        _ => {}
+    }
+    if let Some(rest) = strip_prefix_ci(trimmed, "cov-ignoring:") {
+        let properties = split_properties(rest, "cov-ignoring", 1)?;
+        return Ok(SigmaSpec::CoverageIgnoring(properties));
+    }
+    if let Some(rest) = strip_prefix_ci(trimmed, "dep:") {
+        let properties = split_properties(rest, "dep", 2)?;
+        return Ok(SigmaSpec::Dependency {
+            p1: properties[0].clone(),
+            p2: properties[1].clone(),
+        });
+    }
+    if let Some(rest) = strip_prefix_ci(trimmed, "symdep:") {
+        let properties = split_properties(rest, "symdep", 2)?;
+        return Ok(SigmaSpec::SymDependency {
+            p1: properties[0].clone(),
+            p2: properties[1].clone(),
+        });
+    }
+    if let Some(rest) = strip_prefix_ci(trimmed, "depdisj:") {
+        let properties = split_properties(rest, "depdisj", 2)?;
+        return Ok(SigmaSpec::DependencyDisjunctive {
+            p1: properties[0].clone(),
+            p2: properties[1].clone(),
+        });
+    }
+    if trimmed.contains("->") || trimmed.contains('↦') {
+        return Ok(SigmaSpec::Custom(parse_rule(trimmed)?));
+    }
+    Err(CliError::Usage(format!(
+        "unknown rule '{trimmed}'; expected cov, sim, cov-ignoring:<props>, dep:<p1>,<p2>, \
+         symdep:<p1>,<p2>, depdisj:<p1>,<p2>, or a rule of the language (containing '->')"
+    )))
+}
+
+fn strip_prefix_ci<'a>(text: &'a str, prefix: &str) -> Option<&'a str> {
+    if text.len() >= prefix.len() && text[..prefix.len()].eq_ignore_ascii_case(prefix) {
+        Some(&text[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+fn split_properties(rest: &str, form: &str, expected: usize) -> Result<Vec<String>, CliError> {
+    let properties: Vec<String> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if properties.len() < expected {
+        return Err(CliError::Usage(format!(
+            "'{form}:' needs at least {expected} comma-separated property IRI(s)"
+        )));
+    }
+    Ok(properties)
+}
+
+/// Builds a refinement engine from a `--engine` name and an optional
+/// per-instance time limit.
+pub fn build_engine(
+    name: Option<&str>,
+    time_limit: Option<Duration>,
+) -> Result<Box<dyn RefinementEngine>, CliError> {
+    let ilp_config = IlpEngineConfig {
+        time_limit,
+        ..IlpEngineConfig::default()
+    };
+    match name.unwrap_or("hybrid").to_ascii_lowercase().as_str() {
+        "hybrid" => Ok(Box::new(HybridEngine::with_engines(
+            GreedyEngine::new(),
+            IlpEngine::with_config(ilp_config),
+        ))),
+        "ilp" => Ok(Box::new(IlpEngine::with_config(ilp_config))),
+        "greedy" => Ok(Box::new(GreedyEngine::new())),
+        other => Err(CliError::Usage(format!(
+            "unknown engine '{other}'; expected hybrid, ilp, or greedy"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_rule_names_parse() {
+        assert_eq!(parse_sigma_spec("cov").unwrap(), SigmaSpec::Coverage);
+        assert_eq!(parse_sigma_spec("Coverage").unwrap(), SigmaSpec::Coverage);
+        assert_eq!(parse_sigma_spec(" sim ").unwrap(), SigmaSpec::Similarity);
+        assert_eq!(
+            parse_sigma_spec("dep:http://ex/a,http://ex/b").unwrap(),
+            SigmaSpec::Dependency {
+                p1: "http://ex/a".into(),
+                p2: "http://ex/b".into()
+            }
+        );
+        assert_eq!(
+            parse_sigma_spec("SymDep:http://ex/a, http://ex/b").unwrap(),
+            SigmaSpec::SymDependency {
+                p1: "http://ex/a".into(),
+                p2: "http://ex/b".into()
+            }
+        );
+        assert!(matches!(
+            parse_sigma_spec("cov-ignoring:http://ex/type").unwrap(),
+            SigmaSpec::CoverageIgnoring(props) if props.len() == 1
+        ));
+        assert!(matches!(
+            parse_sigma_spec("depdisj:http://ex/a,http://ex/b").unwrap(),
+            SigmaSpec::DependencyDisjunctive { .. }
+        ));
+    }
+
+    #[test]
+    fn language_rules_parse_as_custom() {
+        let spec = parse_sigma_spec("c = c -> val(c) = 1").unwrap();
+        assert!(matches!(spec, SigmaSpec::Custom(_)));
+    }
+
+    #[test]
+    fn bad_rules_are_rejected_with_guidance() {
+        let err = parse_sigma_spec("covfefe").unwrap_err();
+        assert!(err.to_string().contains("expected cov"));
+        let err = parse_sigma_spec("dep:onlyone").unwrap_err();
+        assert!(err.to_string().contains("at least 2"));
+        let err = parse_sigma_spec("val(c = 1 ->").unwrap_err();
+        assert!(matches!(err, CliError::Rule(_)));
+    }
+
+    #[test]
+    fn engines_are_selected_by_name() {
+        assert_eq!(build_engine(None, None).unwrap().name(), "hybrid");
+        assert_eq!(build_engine(Some("ilp"), None).unwrap().name(), "ilp");
+        assert_eq!(
+            build_engine(Some("GREEDY"), Some(Duration::from_secs(1)))
+                .unwrap()
+                .name(),
+            "greedy"
+        );
+        assert!(build_engine(Some("cplex"), None).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end CLI pipeline test: generate → analyze → refine (+annotate) →
+//! survey the annotated output → layout advice, all through the public
+//! `strudel_cli::run` entry point the binary uses.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("strudel-cli-pipeline-{}-{tag}", std::process::id()));
+    path
+}
+
+fn run(words: &[&str]) -> Result<String, strudel_cli::CliError> {
+    let args: Vec<String> = words.iter().map(|w| (*w).to_owned()).collect();
+    strudel_cli::run(&args)
+}
+
+#[test]
+fn generate_analyze_refine_survey_layout_round_trip() {
+    let data = temp_path("mixed.nt");
+    let annotated = temp_path("annotated.nt");
+
+    // 1. Generate a benchmark-shaped dataset and materialise it.
+    let report = run(&[
+        "generate",
+        "lubm",
+        "--subjects",
+        "30",
+        "--seed",
+        "11",
+        "--out",
+        data.to_str().unwrap(),
+    ])
+    .expect("generate succeeds");
+    assert!(report.contains("wrote"));
+
+    // 2. Analyze: benchmark-shaped data is highly structured.
+    let report = run(&["analyze", data.to_str().unwrap(), "--rule", "cov", "--rule", "sim"])
+        .expect("analyze succeeds");
+    assert!(report.contains("σ_Cov"));
+    assert!(report.contains("σ_Sim"));
+
+    // 3. Survey the explicit sorts: the three LUBM-like sorts appear.
+    let report = run(&["survey", data.to_str().unwrap()]).expect("survey succeeds");
+    assert!(report.contains("3 explicit sort(s)"));
+    assert!(report.contains("GraduateStudent"));
+
+    // 4. Refine one sort and write the annotated copy.
+    let sort = "http://lubm.example.org/univ#GraduateStudent";
+    let report = run(&[
+        "refine",
+        data.to_str().unwrap(),
+        "--sort",
+        sort,
+        "--k",
+        "2",
+        "--annotate",
+        annotated.to_str().unwrap(),
+        "--base",
+        "http://lubm.example.org/univ#GraduateStudent/refined",
+    ])
+    .expect("refine succeeds");
+    assert!(report.contains("highest θ"));
+    assert!(report.contains("wrote"));
+
+    // 5. The annotated file now has the refined sorts as explicit sorts.
+    let report = run(&["survey", annotated.to_str().unwrap(), "--min-subjects", "1"])
+        .expect("survey of the annotated file succeeds");
+    assert!(report.contains("GraduateStudent/refined"));
+
+    // 6. Layout advice on the generated dataset runs end to end.
+    let report = run(&[
+        "layout",
+        data.to_str().unwrap(),
+        "--sort",
+        sort,
+        "--k",
+        "2",
+        "--queries",
+        "4",
+    ])
+    .expect("layout succeeds");
+    assert!(report.contains("recommended layout"));
+
+    fs::remove_file(&data).ok();
+    fs::remove_file(&annotated).ok();
+}
+
+#[test]
+fn deps_command_reports_dependencies_on_generated_data() {
+    let data = temp_path("deps.nt");
+    run(&[
+        "generate",
+        "sp2bench",
+        "--subjects",
+        "25",
+        "--out",
+        data.to_str().unwrap(),
+    ])
+    .expect("generate succeeds");
+
+    let report = run(&["deps", data.to_str().unwrap(), "--top", "3"]).expect("deps succeeds");
+    assert!(report.contains("σ_Dep matrix"));
+    assert!(report.contains("most correlated"));
+
+    fs::remove_file(&data).ok();
+}
+
+#[test]
+fn usage_errors_do_not_touch_the_filesystem() {
+    let err = run(&["refine"]).expect_err("missing file is a usage error");
+    assert!(err.to_string().contains("positional"));
+
+    let err = run(&["analyze", "/definitely/not/here.nt"]).expect_err("missing input file");
+    assert!(matches!(err, strudel_cli::CliError::Io { .. }));
+}

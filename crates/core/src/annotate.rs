@@ -1,0 +1,291 @@
+//! Materialising a sort refinement back into RDF.
+//!
+//! A sort refinement is only useful if it can be *applied*: either written
+//! back into the graph as explicit `rdf:type` declarations for the newly
+//! discovered implicit sorts (so downstream tools — storage advisors, query
+//! planners, validators — can see them), or used to split the dataset into
+//! the entity-preserving partition `{D₁, …, Dₖ}` of Definition 4.2. Both
+//! operations live here.
+
+use std::collections::BTreeMap;
+
+use strudel_rdf::bitset::BitSet;
+use strudel_rdf::graph::Graph;
+use strudel_rdf::matrix::PropertyStructureView;
+use strudel_rdf::signature::SignatureView;
+
+use crate::error::AnnotateError;
+use crate::refinement::SortRefinement;
+
+/// Outcome of annotating a graph with a refinement's implicit sorts.
+#[derive(Clone, Debug)]
+pub struct AnnotationSummary {
+    /// The IRIs minted for the implicit sorts, in the same order as
+    /// [`SortRefinement::sorts`].
+    pub sort_iris: Vec<String>,
+    /// Number of subjects that received a new `rdf:type` triple.
+    pub annotated_subjects: usize,
+    /// Number of `rdf:type` triples actually added (deduplicated inserts).
+    pub triples_added: usize,
+}
+
+/// The IRIs minted for a refinement's implicit sorts under a base IRI:
+/// `<base>/sort0`, `<base>/sort1`, … in [`SortRefinement::sorts`] order.
+pub fn refinement_sort_iris(base_iri: &str, refinement: &SortRefinement) -> Vec<String> {
+    let base = base_iri.trim_end_matches('/');
+    (0..refinement.k()).map(|idx| format!("{base}/sort{idx}")).collect()
+}
+
+/// Maps every subject of the matrix to the position (in `refinement.sorts`)
+/// of the implicit sort its signature belongs to.
+fn subject_sorts(
+    matrix: &PropertyStructureView,
+    view: &SignatureView,
+    refinement: &SortRefinement,
+) -> Result<Vec<usize>, AnnotateError> {
+    if refinement.k() == 0 {
+        return Err(AnnotateError::EmptyRefinement);
+    }
+    let assignment = refinement.assignment(view);
+    if let Some(unassigned) = assignment.iter().position(|&sort| sort == usize::MAX) {
+        return Err(AnnotateError::UnassignedSignature(unassigned));
+    }
+    let signature_of: BTreeMap<&BitSet, usize> = view
+        .entries()
+        .iter()
+        .enumerate()
+        .map(|(idx, entry)| (&entry.signature, idx))
+        .collect();
+    let mut sorts = Vec::with_capacity(matrix.subject_count());
+    for (row, subject) in matrix.subjects().iter().enumerate() {
+        let Some(&signature) = signature_of.get(matrix.row(row)) else {
+            return Err(AnnotateError::SignatureNotInView {
+                subject: subject.clone(),
+            });
+        };
+        sorts.push(assignment[signature]);
+    }
+    Ok(sorts)
+}
+
+/// Adds `subject rdf:type <base/sortᵢ>` triples to the graph for every
+/// subject of the matrix, following the refinement's assignment.
+///
+/// The matrix and view must come from (a typed subgraph of) `graph`, i.e. the
+/// usual `graph → PropertyStructureView → SignatureView → refinement`
+/// pipeline. Existing triples are left untouched; the refinement becomes
+/// *additional* schema information, which is exactly the paper's stance of
+/// accepting the data as they are.
+pub fn annotate_refinement(
+    graph: &mut Graph,
+    matrix: &PropertyStructureView,
+    view: &SignatureView,
+    refinement: &SortRefinement,
+    base_iri: &str,
+) -> Result<AnnotationSummary, AnnotateError> {
+    let sorts = subject_sorts(matrix, view, refinement)?;
+    let sort_iris = refinement_sort_iris(base_iri, refinement);
+    let mut triples_added = 0;
+    for (subject, &sort) in matrix.subjects().iter().zip(&sorts) {
+        if graph.insert_type(subject, &sort_iris[sort]) {
+            triples_added += 1;
+        }
+    }
+    Ok(AnnotationSummary {
+        sort_iris,
+        annotated_subjects: sorts.len(),
+        triples_added,
+    })
+}
+
+/// Splits the graph into the entity-preserving partition `{D₁, …, Dₖ}`
+/// induced by the refinement: one graph per implicit sort, holding every
+/// triple whose subject belongs to that sort, in [`SortRefinement::sorts`]
+/// order.
+///
+/// Subjects of `graph` that are not rows of `matrix` (for example, subjects
+/// of a different explicit sort when `matrix` was built from a typed
+/// subgraph) are ignored.
+pub fn split_by_refinement(
+    graph: &Graph,
+    matrix: &PropertyStructureView,
+    view: &SignatureView,
+    refinement: &SortRefinement,
+) -> Result<Vec<Graph>, AnnotateError> {
+    let sorts = subject_sorts(matrix, view, refinement)?;
+    let sort_of_subject: BTreeMap<&str, usize> = matrix
+        .subjects()
+        .iter()
+        .map(String::as_str)
+        .zip(sorts.iter().copied())
+        .collect();
+    let mut parts: Vec<Graph> = (0..refinement.k()).map(|_| Graph::new()).collect();
+    for triple in graph.triples() {
+        let subject = graph.iri(triple.subject);
+        let Some(&sort) = sort_of_subject.get(subject) else {
+            continue;
+        };
+        let part = &mut parts[sort];
+        let predicate = graph.iri(triple.predicate).to_owned();
+        match triple.object {
+            strudel_rdf::term::Object::Iri(id) => {
+                part.insert_iri_triple(subject, &predicate, graph.iri(id));
+            }
+            strudel_rdf::term::Object::Literal(id) => {
+                let literal = graph.dictionary().literal(id).clone();
+                part.insert_literal_triple(subject, &predicate, literal);
+            }
+        }
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigma::SigmaSpec;
+    use strudel_rdf::term::Literal;
+    use strudel_rules::prelude::Ratio;
+
+    fn persons_graph() -> Graph {
+        let mut graph = Graph::new();
+        for idx in 0..6 {
+            let subject = format!("http://ex/alive{idx}");
+            graph.insert_type(&subject, "http://ex/Person");
+            graph.insert_literal_triple(&subject, "http://ex/name", Literal::simple("x"));
+        }
+        for idx in 0..3 {
+            let subject = format!("http://ex/dead{idx}");
+            graph.insert_type(&subject, "http://ex/Person");
+            graph.insert_literal_triple(&subject, "http://ex/name", Literal::simple("y"));
+            graph.insert_literal_triple(&subject, "http://ex/deathDate", Literal::simple("1980"));
+        }
+        graph
+    }
+
+    fn pipeline(graph: &Graph) -> (PropertyStructureView, SignatureView, SortRefinement) {
+        let matrix = PropertyStructureView::from_sort(graph, "http://ex/Person", true).unwrap();
+        let view = SignatureView::from_matrix(&matrix);
+        // Signature 0 = {name} (6 subjects), signature 1 = {name, deathDate}.
+        let refinement = SortRefinement::from_assignment(
+            &view,
+            &SigmaSpec::Coverage,
+            Ratio::ONE,
+            &[0, 1],
+            2,
+        )
+        .unwrap();
+        (matrix, view, refinement)
+    }
+
+    #[test]
+    fn annotation_adds_one_type_triple_per_subject() {
+        let mut graph = persons_graph();
+        let (matrix, view, refinement) = pipeline(&graph);
+        let before = graph.len();
+        let summary = annotate_refinement(
+            &mut graph,
+            &matrix,
+            &view,
+            &refinement,
+            "http://ex/Person/refined",
+        )
+        .unwrap();
+        assert_eq!(summary.annotated_subjects, 9);
+        assert_eq!(summary.triples_added, 9);
+        assert_eq!(graph.len(), before + 9);
+        assert_eq!(summary.sort_iris.len(), 2);
+
+        // The new sorts are now queryable explicit sorts of the graph.
+        let large = graph.subjects_of_sort_named(&summary.sort_iris[0]);
+        let small = graph.subjects_of_sort_named(&summary.sort_iris[1]);
+        assert_eq!(large.len(), 6);
+        assert_eq!(small.len(), 3);
+
+        // Annotating twice adds nothing new.
+        let again = annotate_refinement(
+            &mut graph,
+            &matrix,
+            &view,
+            &refinement,
+            "http://ex/Person/refined",
+        )
+        .unwrap();
+        assert_eq!(again.triples_added, 0);
+    }
+
+    #[test]
+    fn split_preserves_entities_and_partitions_triples() {
+        let graph = persons_graph();
+        let (matrix, view, refinement) = pipeline(&graph);
+        let parts = split_by_refinement(&graph, &matrix, &view, &refinement).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].subject_count(), 6);
+        assert_eq!(parts[1].subject_count(), 3);
+        // Entity preservation: every triple of a subject lands in one part.
+        let total: usize = parts.iter().map(Graph::len).sum();
+        assert_eq!(total, graph.len());
+        // The deathDate property only exists in the second part.
+        assert!(parts[1]
+            .properties()
+            .iter()
+            .any(|&p| parts[1].iri(p) == "http://ex/deathDate"));
+        assert!(!parts[0]
+            .properties()
+            .iter()
+            .any(|&p| parts[0].iri(p) == "http://ex/deathDate"));
+    }
+
+    #[test]
+    fn sort_iris_are_stable_and_slash_safe() {
+        let graph = persons_graph();
+        let (_, _, refinement) = pipeline(&graph);
+        let a = refinement_sort_iris("http://ex/refined", &refinement);
+        let b = refinement_sort_iris("http://ex/refined/", &refinement);
+        assert_eq!(a, b);
+        assert_eq!(a[0], "http://ex/refined/sort0");
+    }
+
+    #[test]
+    fn mismatched_graphs_are_rejected() {
+        let graph = persons_graph();
+        let (matrix, view, refinement) = pipeline(&graph);
+
+        // A matrix from a *different* graph (extra property) has rows whose
+        // patterns the view does not know.
+        let mut other = persons_graph();
+        other.insert_literal_triple(
+            "http://ex/alive0",
+            "http://ex/nickname",
+            Literal::simple("Zed"),
+        );
+        let other_matrix = PropertyStructureView::from_sort(&other, "http://ex/Person", true).unwrap();
+        let err = split_by_refinement(&other, &other_matrix, &view, &refinement).unwrap_err();
+        assert!(matches!(err, AnnotateError::SignatureNotInView { .. }));
+
+        // A refinement that does not cover every signature is rejected.
+        let partial = SortRefinement {
+            sorts: vec![refinement.sorts[0].clone()],
+            spec: refinement.spec.clone(),
+            threshold: refinement.threshold,
+        };
+        let err = split_by_refinement(&graph, &matrix, &view, &partial).unwrap_err();
+        assert!(matches!(err, AnnotateError::UnassignedSignature(_)));
+
+        // An empty refinement is rejected outright.
+        let empty = SortRefinement {
+            sorts: Vec::new(),
+            spec: refinement.spec.clone(),
+            threshold: refinement.threshold,
+        };
+        let err = annotate_refinement(
+            &mut persons_graph(),
+            &matrix,
+            &view,
+            &empty,
+            "http://ex/refined",
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnnotateError::EmptyRefinement));
+    }
+}

@@ -1,0 +1,113 @@
+//! Dependency analysis between properties (Section 7.1.3, Tables 1 and 2).
+//!
+//! The dependency functions are poor objectives for sort refinement (they can
+//! always be satisfied trivially, as the paper notes), but they are excellent
+//! *descriptive* tools: the σ_Dep matrix over a set of properties and the
+//! σ_SymDep ranking over all property pairs expose which facts imply which
+//! others in a dataset.
+
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::builtin::{sigma_dep, sigma_sym_dep};
+use strudel_rules::prelude::Ratio;
+
+/// The σ_Dep matrix over a list of property columns:
+/// `matrix[i][j] = σ_Dep[properties[i], properties[j]]` (the probability that
+/// a subject with property `i` also has property `j`).
+pub fn dependency_matrix(view: &SignatureView, columns: &[usize]) -> Vec<Vec<Ratio>> {
+    columns
+        .iter()
+        .map(|&p1| columns.iter().map(|&p2| sigma_dep(view, p1, p2)).collect())
+        .collect()
+}
+
+/// One entry of the σ_SymDep ranking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymDepEntry {
+    /// First property IRI.
+    pub property_a: String,
+    /// Second property IRI.
+    pub property_b: String,
+    /// σ_SymDep[a, b].
+    pub value: Ratio,
+}
+
+/// Ranks every unordered pair of *used* properties by σ_SymDep, highest
+/// first (Table 2).
+pub fn sym_dependency_ranking(view: &SignatureView) -> Vec<SymDepEntry> {
+    let used: Vec<usize> = (0..view.property_count())
+        .filter(|&col| view.property_subject_count(col) > 0)
+        .collect();
+    let mut entries = Vec::new();
+    for (idx, &a) in used.iter().enumerate() {
+        for &b in used.iter().skip(idx + 1) {
+            entries.push(SymDepEntry {
+                property_a: view.properties()[a].clone(),
+                property_b: view.properties()[b].clone(),
+                value: sigma_sym_dep(view, a, b),
+            });
+        }
+    }
+    entries.sort_by(|x, y| y.value.cmp(&x.value).then_with(|| {
+        (x.property_a.clone(), x.property_b.clone()).cmp(&(y.property_a.clone(), y.property_b.clone()))
+    }));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> SignatureView {
+        SignatureView::from_counts(
+            vec![
+                "http://ex/name".into(),
+                "http://ex/givenName".into(),
+                "http://ex/deathPlace".into(),
+                "http://ex/unused".into(),
+            ],
+            vec![
+                (vec![0, 1], 70),
+                (vec![0], 25),
+                (vec![0, 1, 2], 5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_diagonal_is_one_and_rows_reflect_implication() {
+        let view = view();
+        let columns = [0usize, 1, 2];
+        let matrix = dependency_matrix(&view, &columns);
+        for (i, row) in matrix.iter().enumerate() {
+            assert_eq!(row[i], Ratio::ONE, "Dep[p, p] = 1");
+        }
+        // Everybody with a deathPlace has a name and a givenName.
+        assert_eq!(matrix[2][0], Ratio::ONE);
+        assert_eq!(matrix[2][1], Ratio::ONE);
+        // Few people with a name have a deathPlace.
+        assert_eq!(matrix[0][2], Ratio::new(5, 100));
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_skips_unused_properties() {
+        let view = view();
+        let ranking = sym_dependency_ranking(&view);
+        // 3 used properties → 3 pairs.
+        assert_eq!(ranking.len(), 3);
+        for window in ranking.windows(2) {
+            assert!(window[0].value >= window[1].value);
+        }
+        // The most correlated pair is name/givenName.
+        assert!(ranking[0].property_a.contains("name") || ranking[0].property_b.contains("name"));
+        assert!(ranking
+            .iter()
+            .all(|entry| !entry.property_a.contains("unused") && !entry.property_b.contains("unused")));
+    }
+
+    #[test]
+    fn ranking_of_single_property_dataset_is_empty() {
+        let view = SignatureView::from_counts(vec!["http://ex/p".into()], vec![(vec![0], 5)]).unwrap();
+        assert!(sym_dependency_ranking(&view).is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! The ILP-backed refinement engine — the paper's solution strategy.
+
+use std::time::Duration;
+
+use strudel_ilp::prelude::{presolve, SolveStatus, Solver, SolverConfig};
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::eval::RoughCountTable;
+use strudel_rules::prelude::Ratio;
+
+use crate::encode::{encode_with_table, EncodingConfig};
+use crate::error::RefineError;
+use crate::refinement::SortRefinement;
+use crate::sigma::SigmaSpec;
+
+use super::{RefineOutcome, RefinementEngine};
+
+/// Configuration of the ILP engine.
+#[derive(Clone, Debug)]
+pub struct IlpEngineConfig {
+    /// Configuration of the Section-6 encoding (symmetry breaking etc.).
+    pub encoding: EncodingConfig,
+    /// Wall-clock limit per decision-problem instance. `None` = unlimited,
+    /// mirroring the paper's observation that proving infeasibility can take
+    /// orders of magnitude longer than finding a solution.
+    pub time_limit: Option<Duration>,
+    /// Node limit per instance.
+    pub node_limit: Option<u64>,
+    /// Whether to run presolve on the encoded model before solving.
+    pub presolve: bool,
+}
+
+impl Default for IlpEngineConfig {
+    fn default() -> Self {
+        IlpEngineConfig {
+            encoding: EncodingConfig::default(),
+            time_limit: None,
+            node_limit: None,
+            presolve: true,
+        }
+    }
+}
+
+/// The engine that encodes the instance as an ILP and solves it exactly.
+#[derive(Clone, Debug, Default)]
+pub struct IlpEngine {
+    config: IlpEngineConfig,
+}
+
+impl IlpEngine {
+    /// Creates an engine with default configuration.
+    pub fn new() -> Self {
+        IlpEngine::default()
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(config: IlpEngineConfig) -> Self {
+        IlpEngine { config }
+    }
+
+    /// Creates an engine with a per-instance time limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        IlpEngine::with_config(IlpEngineConfig {
+            time_limit: Some(limit),
+            ..IlpEngineConfig::default()
+        })
+    }
+
+    /// Solves one instance reusing a precomputed rough-count table (the table
+    /// depends only on the rule and the dataset, so θ- and k-sweeps avoid
+    /// recomputing it).
+    pub fn refine_with_table(
+        &self,
+        view: &SignatureView,
+        spec: &SigmaSpec,
+        table: RoughCountTable,
+        k: usize,
+        theta: Ratio,
+    ) -> Result<RefineOutcome, RefineError> {
+        let encoding = encode_with_table(view, table, k, theta, &self.config.encoding)?;
+        let mut model = encoding.model.clone();
+        if self.config.presolve {
+            presolve(&mut model);
+        }
+        let solver = Solver::with_config(SolverConfig {
+            time_limit: self.config.time_limit,
+            node_limit: self.config.node_limit,
+            use_lp_root_bound: false,
+            first_solution_only: true,
+            ..SolverConfig::default()
+        });
+        let result = solver.solve(&model).map_err(|e| RefineError::Ilp(e.to_string()))?;
+        match result.status {
+            SolveStatus::Optimal | SolveStatus::Feasible => {
+                let solution = result.solution.expect("status guarantees a solution");
+                let assignment = encoding.extract_assignment(&solution);
+                let refinement =
+                    SortRefinement::from_assignment(view, spec, theta, &assignment, k)?;
+                Ok(RefineOutcome::Refinement(refinement))
+            }
+            SolveStatus::Infeasible => Ok(RefineOutcome::Infeasible),
+            SolveStatus::Unknown => Ok(RefineOutcome::Unknown),
+        }
+    }
+}
+
+impl RefinementEngine for IlpEngine {
+    fn name(&self) -> &'static str {
+        "ilp"
+    }
+
+    fn refine(
+        &self,
+        view: &SignatureView,
+        spec: &SigmaSpec,
+        k: usize,
+        theta: Ratio,
+    ) -> Result<RefineOutcome, RefineError> {
+        crate::encode::validate_inputs(view, theta, k)?;
+        let rule = spec.rule();
+        let table = strudel_rules::eval::Evaluator::new(view)
+            .rough_counts(&rule)
+            .map_err(RefineError::from)?;
+        self.refine_with_table(view, spec, table, k, theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> SignatureView {
+        SignatureView::from_counts(
+            vec![
+                "http://ex/name".into(),
+                "http://ex/birthDate".into(),
+                "http://ex/deathDate".into(),
+                "http://ex/deathPlace".into(),
+            ],
+            vec![
+                (vec![0], 40),
+                (vec![0, 1], 25),
+                (vec![0, 1, 2], 10),
+                (vec![0, 1, 2, 3], 5),
+                (vec![0, 2, 3], 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_a_cov_refinement_and_validates_it() {
+        let view = view();
+        let engine = IlpEngine::new();
+        // The best 2-way split of this view groups {name} + {name,birthDate}
+        // against the death-bearing signatures, reaching min σCov ≈ 0.69, so
+        // θ = 0.65 is feasible while θ = 0.8 is not (see the test below).
+        let theta = Ratio::new(13, 20);
+        let outcome = engine
+            .refine(&view, &SigmaSpec::Coverage, 2, theta)
+            .unwrap();
+        let refinement = outcome.refinement().expect("θ = 0.65 with k = 2 is feasible");
+        refinement.validate(&view).unwrap();
+        assert!(refinement.min_sigma() >= theta);
+        assert!(refinement.k() <= 2);
+
+        let outcome = engine
+            .refine(&view, &SigmaSpec::Coverage, 2, Ratio::new(4, 5))
+            .unwrap();
+        assert!(matches!(outcome, RefineOutcome::Infeasible));
+    }
+
+    #[test]
+    fn reports_infeasibility_for_impossible_thresholds() {
+        let view = view();
+        let engine = IlpEngine::new();
+        // Coverage 1.0 with a single sort requires all signatures identical.
+        let outcome = engine
+            .refine(&view, &SigmaSpec::Coverage, 1, Ratio::ONE)
+            .unwrap();
+        assert!(matches!(outcome, RefineOutcome::Infeasible));
+    }
+
+    #[test]
+    fn threshold_one_with_k_equal_signature_count_is_feasible() {
+        let view = view();
+        let engine = IlpEngine::new();
+        let outcome = engine
+            .refine(&view, &SigmaSpec::Coverage, view.signature_count(), Ratio::ONE)
+            .unwrap();
+        let refinement = outcome.refinement().expect("singleton sorts have σCov = 1");
+        assert_eq!(refinement.k(), view.signature_count());
+        assert_eq!(refinement.min_sigma(), Ratio::ONE);
+    }
+
+    #[test]
+    fn a_tiny_node_limit_yields_unknown_not_a_wrong_answer() {
+        let view = view();
+        let engine = IlpEngine::with_config(IlpEngineConfig {
+            node_limit: Some(1),
+            ..IlpEngineConfig::default()
+        });
+        let outcome = engine
+            .refine(&view, &SigmaSpec::Similarity, 2, Ratio::new(99, 100))
+            .unwrap();
+        // With one node the solver cannot decide; it must not claim either way
+        // unless it actually proved it.
+        if let RefineOutcome::Refinement(refinement) = &outcome {
+            assert!(refinement.min_sigma() >= Ratio::new(99, 100));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Error types of the sort-refinement layer.
+
+use std::fmt;
+
+use strudel_rules::error::EvalError;
+
+/// Errors raised while encoding or solving a sort-refinement problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefineError {
+    /// The requested number of implicit sorts is zero.
+    ZeroSorts,
+    /// The threshold is outside `[0, 1]`.
+    ThresholdOutOfRange(String),
+    /// The dataset has no signatures at all.
+    EmptyDataset,
+    /// Evaluating the structuredness rule failed.
+    Eval(EvalError),
+    /// The underlying ILP solver reported an error.
+    Ilp(String),
+    /// A solver budget (time or nodes) expired before the decision problem
+    /// could be answered.
+    BudgetExhausted {
+        /// Human-readable description of what was being decided.
+        context: String,
+    },
+    /// The exhaustive engine was asked to handle an instance above its size
+    /// guard (it exists as a cross-checking oracle, not a production engine).
+    InstanceTooLarge {
+        /// Number of signatures in the instance.
+        signatures: usize,
+        /// Number of implicit sorts requested.
+        k: usize,
+        /// The engine's configured limit on `k^signatures`.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::ZeroSorts => write!(f, "a sort refinement needs at least one implicit sort (k ≥ 1)"),
+            RefineError::ThresholdOutOfRange(theta) => {
+                write!(f, "threshold {theta} is outside the unit interval [0, 1]")
+            }
+            RefineError::EmptyDataset => write!(f, "the dataset has no signatures"),
+            RefineError::Eval(err) => write!(f, "structuredness evaluation failed: {err}"),
+            RefineError::Ilp(message) => write!(f, "ILP solver error: {message}"),
+            RefineError::BudgetExhausted { context } => {
+                write!(f, "solver budget exhausted while {context}")
+            }
+            RefineError::InstanceTooLarge { signatures, k, limit } => write!(
+                f,
+                "exhaustive search over {k}^{signatures} assignments exceeds the configured limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RefineError {}
+
+impl From<EvalError> for RefineError {
+    fn from(err: EvalError) -> Self {
+        RefineError::Eval(err)
+    }
+}
+
+/// Errors raised when validating a sort refinement against its dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A signature is assigned to more than one implicit sort.
+    DuplicateSignature(usize),
+    /// A signature of the dataset is missing from every implicit sort.
+    MissingSignature(usize),
+    /// A signature index is out of range for the dataset.
+    UnknownSignature(usize),
+    /// An implicit sort is empty.
+    EmptySort(usize),
+    /// An implicit sort's structuredness is below the claimed threshold.
+    BelowThreshold {
+        /// Index of the offending implicit sort.
+        sort: usize,
+        /// Its structuredness value (as a string, for readability).
+        sigma: String,
+        /// The claimed threshold.
+        threshold: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::DuplicateSignature(sig) => {
+                write!(f, "signature #{sig} appears in more than one implicit sort")
+            }
+            ValidationError::MissingSignature(sig) => {
+                write!(f, "signature #{sig} is not covered by any implicit sort")
+            }
+            ValidationError::UnknownSignature(sig) => {
+                write!(f, "signature #{sig} does not exist in the dataset")
+            }
+            ValidationError::EmptySort(sort) => write!(f, "implicit sort #{sort} is empty"),
+            ValidationError::BelowThreshold { sort, sigma, threshold } => write!(
+                f,
+                "implicit sort #{sort} has structuredness {sigma}, below the threshold {threshold}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Errors raised when materialising a sort refinement back into an RDF graph
+/// (annotation with implicit-sort types, or splitting into subgraphs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotateError {
+    /// A subject's property pattern does not match any signature of the view
+    /// the refinement was computed on — the graph and the refinement are out
+    /// of sync.
+    SignatureNotInView {
+        /// The offending subject IRI.
+        subject: String,
+    },
+    /// A signature of the view is not assigned to any implicit sort.
+    UnassignedSignature(usize),
+    /// The refinement has no implicit sorts at all.
+    EmptyRefinement,
+}
+
+impl fmt::Display for AnnotateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnotateError::SignatureNotInView { subject } => write!(
+                f,
+                "subject '{subject}' has a property pattern unknown to the refinement's signature view"
+            ),
+            AnnotateError::UnassignedSignature(sig) => {
+                write!(f, "signature #{sig} is not assigned to any implicit sort")
+            }
+            AnnotateError::EmptyRefinement => {
+                write!(f, "the refinement contains no implicit sorts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnnotateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_specifics() {
+        assert!(RefineError::ZeroSorts.to_string().contains("k ≥ 1"));
+        assert!(RefineError::ThresholdOutOfRange("3/2".into())
+            .to_string()
+            .contains("3/2"));
+        assert!(RefineError::InstanceTooLarge {
+            signatures: 40,
+            k: 3,
+            limit: 1_000_000
+        }
+        .to_string()
+        .contains("3^40"));
+        assert!(ValidationError::BelowThreshold {
+            sort: 1,
+            sigma: "1/2".into(),
+            threshold: "9/10".into()
+        }
+        .to_string()
+        .contains("9/10"));
+    }
+
+    #[test]
+    fn eval_errors_convert() {
+        let err: RefineError = EvalError::SubjectConstantUnsupported.into();
+        assert!(matches!(err, RefineError::Eval(_)));
+    }
+}

@@ -1,0 +1,118 @@
+//! The decision problem `ExistsSortRefinement(r)` (Section 5).
+//!
+//! > **Input**: an RDF graph D, a rational θ ∈ [0, 1] and a positive integer
+//! > k. **Output**: true iff there exists a σ_r-sort refinement of D with
+//! > threshold θ containing at most k implicit sorts.
+//!
+//! The problem is NP-complete (Theorem 5.1); this module exposes it directly
+//! on top of any [`RefinementEngine`].
+
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::prelude::Ratio;
+
+use crate::engine::{RefineOutcome, RefinementEngine};
+use crate::error::RefineError;
+use crate::sigma::SigmaSpec;
+
+/// Answers `ExistsSortRefinement` on `(view, θ, k)` for the structuredness
+/// function `spec`, using the given engine.
+///
+/// Returns `Ok(Some(true))` / `Ok(Some(false))` when the engine decided the
+/// instance, and `Ok(None)` when it ran out of budget (only possible for
+/// engines with time/node limits or for the greedy heuristic).
+pub fn exists_sort_refinement(
+    view: &SignatureView,
+    spec: &SigmaSpec,
+    theta: Ratio,
+    k: usize,
+    engine: &dyn RefinementEngine,
+) -> Result<Option<bool>, RefineError> {
+    match engine.refine(view, spec, k, theta)? {
+        RefineOutcome::Refinement(_) => Ok(Some(true)),
+        RefineOutcome::Infeasible => Ok(Some(false)),
+        RefineOutcome::Unknown => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ExhaustiveEngine, GreedyEngine, IlpEngine};
+
+    fn view() -> SignatureView {
+        SignatureView::from_counts(
+            vec!["http://ex/a".into(), "http://ex/b".into()],
+            vec![(vec![0], 5), (vec![0, 1], 3), (vec![1], 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn decisions_match_between_exact_engines() {
+        let view = view();
+        let thetas = [Ratio::new(1, 2), Ratio::new(3, 4), Ratio::new(9, 10), Ratio::ONE];
+        for &theta in &thetas {
+            for k in 1..=3 {
+                let ilp = exists_sort_refinement(&view, &SigmaSpec::Coverage, theta, k, &IlpEngine::new())
+                    .unwrap();
+                let exhaustive = exists_sort_refinement(
+                    &view,
+                    &SigmaSpec::Coverage,
+                    theta,
+                    k,
+                    &ExhaustiveEngine::new(),
+                )
+                .unwrap();
+                assert_eq!(ilp, exhaustive, "θ = {theta}, k = {k}");
+                assert!(ilp.is_some(), "exact engines always decide");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_positive_answers_are_sound() {
+        let view = view();
+        let theta = Ratio::new(3, 4);
+        for k in 1..=3 {
+            let greedy =
+                exists_sort_refinement(&view, &SigmaSpec::Coverage, theta, k, &GreedyEngine::new())
+                    .unwrap();
+            if greedy == Some(true) {
+                let exact = exists_sort_refinement(
+                    &view,
+                    &SigmaSpec::Coverage,
+                    theta,
+                    k,
+                    &ExhaustiveEngine::new(),
+                )
+                .unwrap();
+                assert_eq!(exact, Some(true), "greedy found a refinement the oracle denies");
+            }
+            assert_ne!(greedy, Some(false), "the greedy engine cannot prove infeasibility");
+        }
+    }
+
+    #[test]
+    fn monotonicity_in_k_and_theta() {
+        // Feasibility is monotone: larger k helps, larger θ hurts.
+        let view = view();
+        let engine = IlpEngine::new();
+        let feasible = |theta: Ratio, k: usize| {
+            exists_sort_refinement(&view, &SigmaSpec::Coverage, theta, k, &engine)
+                .unwrap()
+                .unwrap()
+        };
+        for &theta in &[Ratio::new(1, 2), Ratio::new(4, 5), Ratio::ONE] {
+            for k in 1..3 {
+                if feasible(theta, k) {
+                    assert!(feasible(theta, k + 1), "monotone in k at θ = {theta}");
+                }
+            }
+        }
+        for k in 1..=3 {
+            if feasible(Ratio::new(9, 10), k) {
+                assert!(feasible(Ratio::new(1, 2), k), "monotone in θ at k = {k}");
+            }
+        }
+    }
+}

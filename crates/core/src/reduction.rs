@@ -1,0 +1,302 @@
+//! The 3-colorability reduction behind Theorem 5.1 (Appendix A).
+//!
+//! A loop-free undirected graph `G` with `n` nodes is encoded as a matrix
+//! `M_G` with `4n` rows and `2n + 3` columns (`sp1`, `sp2`, `idp`, a "left"
+//! identity block and a "right" block holding the complemented adjacency
+//! matrix). The fixed rule `r₀` is built so that an entity-preserving,
+//! signature-closed partition of the rows into at most three parts with
+//! `σ_{r₀} = 1` on every part exists iff `G` is 3-colorable.
+//!
+//! This module constructs `M_G`, the rule `r₀`, and the partition induced by
+//! a coloring; together with the generic evaluator it lets the test-suite
+//! check the reduction's behaviour on concrete graphs.
+
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::ast::{Atom, Formula, Rule, Var};
+use strudel_rules::eval::{EvalConfig, Evaluator};
+use strudel_rules::prelude::Ratio;
+
+/// Property IRI of the `sp1` column.
+pub const SP1: &str = "urn:strudel:reduction:sp1";
+/// Property IRI of the `sp2` column.
+pub const SP2: &str = "urn:strudel:reduction:sp2";
+/// Property IRI of the `idp` column.
+pub const IDP: &str = "urn:strudel:reduction:idp";
+
+/// A reduction instance: the signature view of `M_G` plus the entry indexes
+/// of its structural row groups.
+#[derive(Clone, Debug)]
+pub struct ReductionInstance {
+    /// The signature view of `M_G` (every row is its own signature set of
+    /// size 1, thanks to the `sp1`/`sp2` columns).
+    pub view: SignatureView,
+    /// `auxiliary[b][v]` is the entry index of auxiliary block `b`'s row for
+    /// node `v` (`b ∈ {0, 1, 2}`).
+    pub auxiliary: [Vec<usize>; 3],
+    /// `lower[v]` is the entry index of the lower-section row of node `v`.
+    pub lower: Vec<usize>,
+    /// Number of nodes of the encoded graph.
+    pub nodes: usize,
+}
+
+/// Builds `M_G` for a graph given by its node count and edge list.
+///
+/// # Panics
+/// Panics on self-loops or out-of-range edges (the reduction assumes a simple
+/// loop-free graph).
+pub fn reduction_instance(nodes: usize, edges: &[(usize, usize)]) -> ReductionInstance {
+    assert!(nodes > 0, "the reduction needs at least one node");
+    for &(u, v) in edges {
+        assert!(u != v, "self-loops are not allowed");
+        assert!(u < nodes && v < nodes, "edge endpoint out of range");
+    }
+    let adjacent = |u: usize, v: usize| {
+        edges
+            .iter()
+            .any(|&(a, b)| (a == u && b == v) || (a == v && b == u))
+    };
+
+    // Column layout: sp1, sp2, idp, left_0.., right_0..
+    let mut properties = vec![SP1.to_owned(), SP2.to_owned(), IDP.to_owned()];
+    for i in 0..nodes {
+        properties.push(format!("urn:strudel:reduction:left{i}"));
+    }
+    for i in 0..nodes {
+        properties.push(format!("urn:strudel:reduction:right{i}"));
+    }
+    let sp1 = 0usize;
+    let sp2 = 1usize;
+    let idp = 2usize;
+    let left = |i: usize| 3 + i;
+    let right = |i: usize| 3 + nodes + i;
+
+    // Build the 4n rows in construction order; each is a distinct signature
+    // with multiplicity 1.
+    let mut rows: Vec<Vec<usize>> = Vec::with_capacity(4 * nodes);
+    // Auxiliary blocks: (sp1, sp2) ∈ {(0,0), (0,1), (1,0)}, idp = 1, identity
+    // in both the left and right blocks.
+    for (has_sp1, has_sp2) in [(false, false), (false, true), (true, false)] {
+        for v in 0..nodes {
+            let mut row = Vec::new();
+            if has_sp1 {
+                row.push(sp1);
+            }
+            if has_sp2 {
+                row.push(sp2);
+            }
+            row.push(idp);
+            row.push(left(v));
+            row.push(right(v));
+            rows.push(row);
+        }
+    }
+    // Lower section: sp1 = sp2 = 1, idp = 0, identity on the left, the
+    // complemented adjacency matrix on the right (1 on the diagonal because
+    // the graph has no self-loops).
+    for v in 0..nodes {
+        let mut row = vec![sp1, sp2, left(v)];
+        for w in 0..nodes {
+            if !adjacent(v, w) {
+                row.push(right(w));
+            }
+        }
+        rows.push(row);
+    }
+
+    let signatures: Vec<(Vec<usize>, usize)> = rows.iter().cloned().map(|r| (r, 1)).collect();
+    let view = SignatureView::from_counts(properties, signatures)
+        .expect("reduction rows use valid column indexes");
+
+    // `SignatureView::from_counts` reorders entries; recover each row's entry
+    // index by matching its property pattern.
+    let locate = |row: &Vec<usize>| -> usize {
+        let mut sorted = row.clone();
+        sorted.sort_unstable();
+        view.entries()
+            .iter()
+            .position(|entry| entry.signature.iter().collect::<Vec<_>>() == sorted)
+            .expect("every constructed row is present in the view")
+    };
+    let auxiliary = [
+        (0..nodes).map(|v| locate(&rows[v])).collect(),
+        (0..nodes).map(|v| locate(&rows[nodes + v])).collect(),
+        (0..nodes).map(|v| locate(&rows[2 * nodes + v])).collect(),
+    ];
+    let lower = (0..nodes).map(|v| locate(&rows[3 * nodes + v])).collect();
+
+    ReductionInstance {
+        view,
+        auxiliary,
+        lower,
+        nodes,
+    }
+}
+
+/// The fixed rule `r₀` of the NP-hardness proof (equation (2) of Appendix A).
+pub fn rule_r0() -> Rule {
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    let not_sp = |name: &str| {
+        vec![
+            Formula::not(Formula::atom(Atom::PropEqConst(v(name), SP1.to_owned()))),
+            Formula::not(Formula::atom(Atom::PropEqConst(v(name), SP2.to_owned()))),
+        ]
+    };
+    let mut antecedent: Vec<Formula> = Vec::new();
+    for name in ["c1", "c2", "d1", "d2", "e", "f1", "f2"] {
+        antecedent.extend(not_sp(name));
+    }
+    // prop(x) = idp ∧ val(x) = 1.
+    antecedent.push(Formula::atom(Atom::PropEqConst(v("x"), IDP.to_owned())));
+    antecedent.push(Formula::atom(Atom::ValEqConst(v("x"), true)));
+    // c1, c2 share x's row, carry value 1, and are pairwise distinct cells.
+    antecedent.push(Formula::not(Formula::atom(Atom::VarEq(v("c1"), v("x")))));
+    antecedent.push(Formula::atom(Atom::SubjEqSubj(v("c1"), v("x"))));
+    antecedent.push(Formula::atom(Atom::ValEqConst(v("c1"), true)));
+    antecedent.push(Formula::not(Formula::atom(Atom::VarEq(v("c2"), v("x")))));
+    antecedent.push(Formula::atom(Atom::SubjEqSubj(v("c2"), v("x"))));
+    antecedent.push(Formula::atom(Atom::ValEqConst(v("c2"), true)));
+    antecedent.push(Formula::not(Formula::atom(Atom::VarEq(v("c1"), v("c2")))));
+    // y in the lower section; d1, d2 in y's row under c1's and c2's columns.
+    antecedent.push(Formula::atom(Atom::PropEqConst(v("y"), IDP.to_owned())));
+    antecedent.push(Formula::atom(Atom::ValEqConst(v("y"), false)));
+    antecedent.push(Formula::atom(Atom::SubjEqSubj(v("d1"), v("y"))));
+    antecedent.push(Formula::atom(Atom::PropEqProp(v("d1"), v("c1"))));
+    antecedent.push(Formula::atom(Atom::SubjEqSubj(v("d2"), v("y"))));
+    antecedent.push(Formula::atom(Atom::PropEqProp(v("d2"), v("c2"))));
+    // z and e detect duplicated auxiliary rows.
+    antecedent.push(Formula::atom(Atom::PropEqConst(v("z"), IDP.to_owned())));
+    antecedent.push(Formula::atom(Atom::SubjEqSubj(v("z"), v("e"))));
+    antecedent.push(Formula::atom(Atom::PropEqProp(v("e"), v("c1"))));
+    antecedent.push(Formula::not(Formula::atom(Atom::VarEq(v("e"), v("c1")))));
+    antecedent.push(Formula::atom(Atom::ValEqConst(v("e"), true)));
+    // u, f1, f2 restrict the columns of c1/c2 to nodes present in the part.
+    antecedent.push(Formula::atom(Atom::PropEqConst(v("u"), IDP.to_owned())));
+    antecedent.push(Formula::atom(Atom::ValEqConst(v("u"), false)));
+    antecedent.push(Formula::atom(Atom::SubjEqSubj(v("u"), v("f1"))));
+    antecedent.push(Formula::atom(Atom::PropEqProp(v("f1"), v("c1"))));
+    antecedent.push(Formula::atom(Atom::SubjEqSubj(v("u"), v("f2"))));
+    antecedent.push(Formula::atom(Atom::PropEqProp(v("f2"), v("c2"))));
+    antecedent.push(Formula::atom(Atom::ValEqConst(v("f1"), true)));
+    antecedent.push(Formula::atom(Atom::ValEqConst(v("f2"), true)));
+
+    let consequent = Formula::and(
+        Formula::or(
+            Formula::atom(Atom::ValEqConst(v("d1"), true)),
+            Formula::atom(Atom::ValEqConst(v("d2"), true)),
+        ),
+        Formula::atom(Atom::ValEqConst(v("z"), false)),
+    );
+
+    Rule::named("r0", Formula::and_all(antecedent), consequent).expect("r0 is well-formed")
+}
+
+/// The partition of signature-entry indexes induced by a 3-coloring: part `c`
+/// consists of auxiliary block `c` plus the lower rows of the nodes colored
+/// `c` (exactly the construction of the Appendix A proof).
+pub fn coloring_partition(instance: &ReductionInstance, coloring: &[usize]) -> Vec<Vec<usize>> {
+    assert_eq!(coloring.len(), instance.nodes, "one color per node required");
+    let mut parts: Vec<Vec<usize>> = (0..3)
+        .map(|block| instance.auxiliary[block].clone())
+        .collect();
+    for (node, &color) in coloring.iter().enumerate() {
+        assert!(color < 3, "colors must be in 0..3");
+        parts[color].push(instance.lower[node]);
+    }
+    parts
+}
+
+/// Evaluates σ_{r₀} on one part (a set of signature-entry indexes).
+pub fn sigma_r0(instance: &ReductionInstance, part: &[usize]) -> Ratio {
+    let sub = instance.view.subset(part);
+    let config = EvalConfig {
+        max_rough_assignments: 500_000_000,
+    };
+    Evaluator::with_config(&sub, config)
+        .sigma(&rule_r0())
+        .expect("r0 has no subject constants")
+}
+
+/// Checks whether the partition induced by `coloring` is a σ_{r₀}-sort
+/// refinement with threshold 1 (true exactly when the coloring is proper,
+/// by the correctness of the reduction).
+pub fn coloring_achieves_threshold_one(
+    instance: &ReductionInstance,
+    coloring: &[usize],
+) -> bool {
+    coloring_partition(instance, coloring)
+        .iter()
+        .all(|part| sigma_r0(instance, part) == Ratio::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (usize, Vec<(usize, usize)>) {
+        (3, vec![(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn instance_has_the_documented_shape() {
+        let (n, edges) = triangle();
+        let instance = reduction_instance(n, &edges);
+        assert_eq!(instance.view.signature_count(), 4 * n);
+        assert_eq!(instance.view.subject_count(), 4 * n);
+        assert_eq!(instance.view.property_count(), 2 * n + 3);
+        // All structural indexes are distinct.
+        let mut all: Vec<usize> = instance
+            .auxiliary
+            .iter()
+            .flatten()
+            .chain(instance.lower.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4 * n);
+    }
+
+    #[test]
+    fn rule_r0_is_well_formed() {
+        let rule = rule_r0();
+        assert_eq!(rule.variables().len(), 11);
+        assert!(!rule.mentions_subject_constant());
+    }
+
+    #[test]
+    fn proper_coloring_reaches_threshold_one() {
+        let (n, edges) = triangle();
+        let instance = reduction_instance(n, &edges);
+        // The triangle's unique coloring up to renaming.
+        assert!(coloring_achieves_threshold_one(&instance, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn improper_coloring_fails_threshold_one() {
+        let (n, edges) = triangle();
+        let instance = reduction_instance(n, &edges);
+        // Nodes 0 and 1 are adjacent but share a color.
+        assert!(!coloring_achieves_threshold_one(&instance, &[0, 0, 1]));
+    }
+
+    #[test]
+    fn duplicated_auxiliary_rows_break_the_threshold() {
+        // Example A.4: a part containing two copies of an auxiliary row has
+        // σ_{r0} < 1 because of the (z, e) mechanism.
+        let (n, edges) = triangle();
+        let instance = reduction_instance(n, &edges);
+        let mut part = instance.auxiliary[0].clone();
+        part.extend(instance.auxiliary[1].iter().copied());
+        part.push(instance.lower[0]);
+        assert!(sigma_r0(&instance, &part) < Ratio::ONE);
+    }
+
+    #[test]
+    fn empty_color_classes_are_trivially_satisfied() {
+        let instance = reduction_instance(2, &[(0, 1)]);
+        // Color both nodes with colors 0 and 1; color 2 is empty.
+        assert!(coloring_achieves_threshold_one(&instance, &[0, 1]));
+    }
+}

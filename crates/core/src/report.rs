@@ -1,0 +1,192 @@
+//! Text rendering of signature views and refinements, in the spirit of the
+//! paper's "horizontal table" figures (Figures 2–7).
+//!
+//! Each rendered row is one signature set (largest first); `█` marks a
+//! property the signature has, `·` one it lacks, and the right-hand column
+//! shows the signature-set size. The experiments binary and the examples use
+//! these renderings to make refinement results inspectable at a glance.
+
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::prelude::Ratio;
+
+use crate::refinement::SortRefinement;
+
+/// Options controlling the rendering.
+#[derive(Clone, Debug)]
+pub struct RenderOptions {
+    /// Maximum number of signature rows rendered per view.
+    pub max_rows: usize,
+    /// Width reserved for the property header (IRIs are shortened to their
+    /// local names and truncated to this width).
+    pub label_width: usize,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            max_rows: 24,
+            label_width: 14,
+        }
+    }
+}
+
+fn local_name(iri: &str) -> &str {
+    iri.rsplit(['/', '#']).next().unwrap_or(iri)
+}
+
+/// Renders a signature view as an ASCII horizontal table.
+pub fn render_view(view: &SignatureView, options: &RenderOptions) -> String {
+    let mut out = String::new();
+    let labels: Vec<String> = view
+        .properties()
+        .iter()
+        .map(|p| {
+            let mut name = local_name(p).to_owned();
+            name.truncate(options.label_width);
+            name
+        })
+        .collect();
+
+    // Header: one line per label, printed vertically-ish (abbreviated): we
+    // print the property names as a legend instead of rotated headers.
+    out.push_str(&format!(
+        "{} subjects, {} properties, {} signatures\n",
+        view.subject_count(),
+        view.property_count(),
+        view.signature_count()
+    ));
+    for (idx, label) in labels.iter().enumerate() {
+        out.push_str(&format!("  col {idx:>2}: {label}\n"));
+    }
+    out.push_str(&format!(
+        "  {} | count\n",
+        (0..view.property_count())
+            .map(|c| format!("{:>2}", c % 100))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    for entry in view.entries().iter().take(options.max_rows) {
+        let cells: Vec<String> = (0..view.property_count())
+            .map(|col| {
+                if entry.signature.contains(col) {
+                    " █".to_owned()
+                } else {
+                    " ·".to_owned()
+                }
+            })
+            .collect();
+        out.push_str(&format!("  {} | {}\n", cells.join(" "), entry.count));
+    }
+    if view.signature_count() > options.max_rows {
+        out.push_str(&format!(
+            "  … {} more signatures\n",
+            view.signature_count() - options.max_rows
+        ));
+    }
+    out
+}
+
+/// Renders a refinement: per-sort size, signature count and σ value, plus the
+/// horizontal table of each implicit sort.
+pub fn render_refinement(
+    view: &SignatureView,
+    refinement: &SortRefinement,
+    options: &RenderOptions,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} refinement, threshold {} ({:.3}), {} implicit sorts, min σ = {:.3}\n",
+        refinement.spec.name(),
+        refinement.threshold,
+        refinement.threshold.to_f64(),
+        refinement.k(),
+        refinement.min_sigma().to_f64(),
+    ));
+    for (idx, sort) in refinement.sorts.iter().enumerate() {
+        out.push_str(&format!(
+            "sort {idx}: {} subjects, {} signatures, σ = {} ({:.3})\n",
+            sort.subjects,
+            sort.signatures.len(),
+            sort.sigma,
+            sort.sigma.to_f64(),
+        ));
+        let sub = view.subset(&sort.signatures);
+        for line in render_view(&sub, options).lines().skip(1 + view.property_count()) {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats a ratio as both an exact fraction and a rounded decimal.
+pub fn format_sigma(value: Ratio) -> String {
+    format!("{value} ≈ {:.3}", value.to_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refinement::SortRefinement;
+    use crate::sigma::SigmaSpec;
+
+    fn view() -> SignatureView {
+        SignatureView::from_counts(
+            vec!["http://ex/name".into(), "http://ex/deathDate".into()],
+            vec![(vec![0], 8), (vec![0, 1], 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn view_rendering_mentions_counts_and_cells() {
+        let text = render_view(&view(), &RenderOptions::default());
+        assert!(text.contains("10 subjects, 2 properties, 2 signatures"));
+        assert!(text.contains("name"));
+        assert!(text.contains('█'));
+        assert!(text.contains('·'));
+        assert!(text.contains("| 8"));
+    }
+
+    #[test]
+    fn long_views_are_truncated() {
+        let many = SignatureView::from_counts(
+            (0..30).map(|i| format!("http://ex/p{i}")).collect(),
+            (0..30).map(|i| (vec![i], i + 1)).collect(),
+        )
+        .unwrap();
+        let text = render_view(
+            &many,
+            &RenderOptions {
+                max_rows: 5,
+                ..RenderOptions::default()
+            },
+        );
+        assert!(text.contains("more signatures"));
+    }
+
+    #[test]
+    fn refinement_rendering_lists_every_sort() {
+        let view = view();
+        let refinement = SortRefinement::from_assignment(
+            &view,
+            &SigmaSpec::Coverage,
+            Ratio::new(1, 2),
+            &[0, 1],
+            2,
+        )
+        .unwrap();
+        let text = render_refinement(&view, &refinement, &RenderOptions::default());
+        assert!(text.contains("sort 0"));
+        assert!(text.contains("sort 1"));
+        assert!(text.contains("Cov refinement"));
+    }
+
+    #[test]
+    fn format_sigma_shows_fraction_and_decimal() {
+        let text = format_sigma(Ratio::new(27, 50));
+        assert!(text.contains("27/50"));
+        assert!(text.contains("0.540"));
+    }
+}

@@ -1,0 +1,233 @@
+//! A uniform handle on structuredness functions.
+//!
+//! The refinement engines need two things from a structuredness function:
+//! its *rule* (for the ILP encoding's rough-count constants) and a way to
+//! evaluate it on arbitrary sub-views (for reporting and for the
+//! exhaustive/greedy engines). [`SigmaSpec`] bundles both, using the paper's
+//! closed forms when available and the generic signature-based evaluator for
+//! custom rules.
+
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::builtin;
+use strudel_rules::error::EvalError;
+use strudel_rules::eval::{EvalConfig, Evaluator};
+use strudel_rules::prelude::{Ratio, Rule};
+
+/// A structuredness function the refinement machinery can work with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SigmaSpec {
+    /// σ_Cov (Section 2.2.1).
+    Coverage,
+    /// σ_Cov restricted to ignore the given property IRIs (Section 7.4).
+    CoverageIgnoring(Vec<String>),
+    /// σ_Sim (Section 2.2.2).
+    Similarity,
+    /// σ_Dep[p1, p2] (Section 2.2.3).
+    Dependency {
+        /// The antecedent property IRI.
+        p1: String,
+        /// The consequent property IRI.
+        p2: String,
+    },
+    /// σ_SymDep[p1, p2] (Section 2.2.3).
+    SymDependency {
+        /// The first property IRI.
+        p1: String,
+        /// The second property IRI.
+        p2: String,
+    },
+    /// The disjunctive dependency variant (end of Section 3.2).
+    DependencyDisjunctive {
+        /// The antecedent property IRI.
+        p1: String,
+        /// The consequent property IRI.
+        p2: String,
+    },
+    /// Any rule of the language, evaluated generically.
+    Custom(Rule),
+}
+
+impl SigmaSpec {
+    /// A short human-readable name (used in reports and benchmarks).
+    pub fn name(&self) -> String {
+        match self {
+            SigmaSpec::Coverage => "Cov".to_owned(),
+            SigmaSpec::CoverageIgnoring(props) => format!("Cov\\{{{}}}", props.len()),
+            SigmaSpec::Similarity => "Sim".to_owned(),
+            SigmaSpec::Dependency { p1, p2 } => {
+                format!("Dep[{},{}]", short(p1), short(p2))
+            }
+            SigmaSpec::SymDependency { p1, p2 } => {
+                format!("SymDep[{},{}]", short(p1), short(p2))
+            }
+            SigmaSpec::DependencyDisjunctive { p1, p2 } => {
+                format!("DepDisj[{},{}]", short(p1), short(p2))
+            }
+            SigmaSpec::Custom(rule) => rule
+                .name
+                .clone()
+                .unwrap_or_else(|| "custom".to_owned()),
+        }
+    }
+
+    /// The rule of the language defining this structuredness function.
+    pub fn rule(&self) -> Rule {
+        match self {
+            SigmaSpec::Coverage => builtin::coverage(),
+            SigmaSpec::CoverageIgnoring(props) => {
+                let refs: Vec<&str> = props.iter().map(String::as_str).collect();
+                builtin::coverage_ignoring(&refs)
+            }
+            SigmaSpec::Similarity => builtin::similarity(),
+            SigmaSpec::Dependency { p1, p2 } => builtin::dependency(p1, p2),
+            SigmaSpec::SymDependency { p1, p2 } => builtin::sym_dependency(p1, p2),
+            SigmaSpec::DependencyDisjunctive { p1, p2 } => {
+                builtin::dependency_disjunctive(p1, p2)
+            }
+            SigmaSpec::Custom(rule) => rule.clone(),
+        }
+    }
+
+    /// Evaluates the structuredness of a (sub-)view, using a closed form when
+    /// one exists and the generic evaluator otherwise.
+    pub fn evaluate(&self, view: &SignatureView) -> Result<Ratio, EvalError> {
+        match self {
+            SigmaSpec::Coverage => Ok(builtin::sigma_cov(view)),
+            SigmaSpec::CoverageIgnoring(props) => {
+                let ignored: Vec<usize> = props
+                    .iter()
+                    .filter_map(|p| view.property_index(p))
+                    .collect();
+                Ok(builtin::sigma_cov_ignoring(view, &ignored))
+            }
+            SigmaSpec::Similarity => Ok(builtin::sigma_sim(view)),
+            SigmaSpec::Dependency { p1, p2 } => Ok(Self::pairwise(
+                view,
+                p1,
+                p2,
+                builtin::sigma_dep,
+            )),
+            SigmaSpec::SymDependency { p1, p2 } => Ok(Self::pairwise(
+                view,
+                p1,
+                p2,
+                builtin::sigma_sym_dep,
+            )),
+            SigmaSpec::DependencyDisjunctive { p1, p2 } => Ok(Self::pairwise(
+                view,
+                p1,
+                p2,
+                builtin::sigma_dep_disjunctive,
+            )),
+            SigmaSpec::Custom(rule) => Evaluator::new(view).sigma(rule),
+        }
+    }
+
+    /// Evaluates with an explicit evaluator configuration (budget control for
+    /// custom rules; closed forms ignore the configuration).
+    pub fn evaluate_with_config(
+        &self,
+        view: &SignatureView,
+        config: &EvalConfig,
+    ) -> Result<Ratio, EvalError> {
+        match self {
+            SigmaSpec::Custom(rule) => Evaluator::with_config(view, config.clone()).sigma(rule),
+            _ => self.evaluate(view),
+        }
+    }
+
+    fn pairwise(
+        view: &SignatureView,
+        p1: &str,
+        p2: &str,
+        f: fn(&SignatureView, usize, usize) -> Ratio,
+    ) -> Ratio {
+        match (view.property_index(p1), view.property_index(p2)) {
+            (Some(a), Some(b)) => f(view, a, b),
+            // A property absent from the view has no subjects: no total
+            // cases, σ = 1 by definition.
+            _ => Ratio::ONE,
+        }
+    }
+}
+
+fn short(iri: &str) -> &str {
+    iri.rsplit(['/', '#']).next().unwrap_or(iri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_view() -> SignatureView {
+        SignatureView::from_counts(
+            vec![
+                "http://ex/name".into(),
+                "http://ex/birthDate".into(),
+                "http://ex/deathDate".into(),
+            ],
+            vec![(vec![0], 6), (vec![0, 1], 3), (vec![0, 1, 2], 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn closed_forms_and_generic_evaluator_agree() {
+        let view = sample_view();
+        let specs = vec![
+            SigmaSpec::Coverage,
+            SigmaSpec::Similarity,
+            SigmaSpec::CoverageIgnoring(vec!["http://ex/deathDate".into()]),
+            SigmaSpec::Dependency {
+                p1: "http://ex/birthDate".into(),
+                p2: "http://ex/deathDate".into(),
+            },
+            SigmaSpec::SymDependency {
+                p1: "http://ex/birthDate".into(),
+                p2: "http://ex/deathDate".into(),
+            },
+            SigmaSpec::DependencyDisjunctive {
+                p1: "http://ex/birthDate".into(),
+                p2: "http://ex/deathDate".into(),
+            },
+        ];
+        for spec in specs {
+            let fast = spec.evaluate(&view).unwrap();
+            let generic = Evaluator::new(&view).sigma(&spec.rule()).unwrap();
+            assert_eq!(fast, generic, "spec {} disagrees with its rule", spec.name());
+        }
+    }
+
+    #[test]
+    fn custom_rules_are_evaluated_generically() {
+        let view = sample_view();
+        let rule = strudel_rules::parser::parse_rule("c = c -> val(c) = 1").unwrap();
+        let spec = SigmaSpec::Custom(rule);
+        assert_eq!(
+            spec.evaluate(&view).unwrap(),
+            SigmaSpec::Coverage.evaluate(&view).unwrap()
+        );
+        assert_eq!(spec.name(), "custom");
+    }
+
+    #[test]
+    fn dependency_on_missing_property_is_one() {
+        let view = sample_view();
+        let spec = SigmaSpec::Dependency {
+            p1: "http://ex/notThere".into(),
+            p2: "http://ex/name".into(),
+        };
+        assert_eq!(spec.evaluate(&view).unwrap(), Ratio::ONE);
+    }
+
+    #[test]
+    fn names_are_compact() {
+        assert_eq!(SigmaSpec::Coverage.name(), "Cov");
+        assert_eq!(SigmaSpec::Similarity.name(), "Sim");
+        let dep = SigmaSpec::Dependency {
+            p1: "http://dbpedia.org/ontology/deathPlace".into(),
+            p2: "http://dbpedia.org/ontology/deathDate".into(),
+        };
+        assert_eq!(dep.name(), "Dep[deathPlace,deathDate]");
+    }
+}

@@ -1,0 +1,191 @@
+//! Undirected graphs and the matrix construction of the NP-hardness proof
+//! (Theorem 5.1 / Appendix A).
+//!
+//! The reduction maps a loop-free undirected graph `G` with `n` nodes to an
+//! RDF-graph matrix `M_G` with `4n` rows and `2n + 3` columns such that `G`
+//! is 3-colorable iff the corresponding RDF graph admits a σ_{r₀}-sort
+//! refinement with threshold 1 and at most 3 implicit sorts. This module
+//! provides the graphs (well-known examples plus seeded random ones); the
+//! matrix construction itself lives in `strudel-core::reduction` next to the
+//! rule `r₀`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple undirected graph without self-loops.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UndirectedGraph {
+    nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl UndirectedGraph {
+    /// Creates a graph with `nodes` nodes and the given edges.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn new(nodes: usize, edges: &[(usize, usize)]) -> Self {
+        let mut normalized = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            assert!(u != v, "self-loops are not allowed (the reduction assumes none)");
+            assert!(u < nodes && v < nodes, "edge endpoint out of range");
+            let edge = (u.min(v), u.max(v));
+            if !normalized.contains(&edge) {
+                normalized.push(edge);
+            }
+        }
+        UndirectedGraph {
+            nodes,
+            edges: normalized,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// The edges, each reported once with `u < v`.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Whether nodes `u` and `v` are adjacent.
+    pub fn adjacent(&self, u: usize, v: usize) -> bool {
+        let edge = (u.min(v), u.max(v));
+        self.edges.contains(&edge)
+    }
+
+    /// Checks whether `coloring` (one color per node) is a proper coloring.
+    pub fn is_proper_coloring(&self, coloring: &[usize]) -> bool {
+        coloring.len() == self.nodes
+            && self.edges.iter().all(|&(u, v)| coloring[u] != coloring[v])
+    }
+
+    /// Exhaustively searches for a proper 3-coloring (exponential; intended
+    /// for the small graphs used in tests).
+    pub fn find_3_coloring(&self) -> Option<Vec<usize>> {
+        let mut coloring = vec![0usize; self.nodes];
+        if self.try_color(0, &mut coloring) {
+            Some(coloring)
+        } else {
+            None
+        }
+    }
+
+    fn try_color(&self, node: usize, coloring: &mut Vec<usize>) -> bool {
+        if node == self.nodes {
+            return true;
+        }
+        for color in 0..3 {
+            coloring[node] = color;
+            let consistent = (0..node).all(|prev| {
+                !self.adjacent(prev, node) || coloring[prev] != coloring[node]
+            });
+            if consistent && self.try_color(node + 1, coloring) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The triangle K₃ (3-colorable, not 2-colorable).
+    pub fn triangle() -> Self {
+        UndirectedGraph::new(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    /// The complete graph K₄ (not 3-colorable).
+    pub fn k4() -> Self {
+        UndirectedGraph::new(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    /// The 5-cycle C₅ (3-colorable, not 2-colorable).
+    pub fn c5() -> Self {
+        UndirectedGraph::new(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    }
+
+    /// The path P₄ (2-colorable).
+    pub fn path4() -> Self {
+        UndirectedGraph::new(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    /// The wheel W₅ (a 5-cycle plus a hub connected to every node): its
+    /// chromatic number is 4, so it is *not* 3-colorable.
+    pub fn wheel5() -> Self {
+        UndirectedGraph::new(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (5, 0),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+                (5, 4),
+            ],
+        )
+    }
+
+    /// A seeded Erdős–Rényi random graph `G(n, p)`.
+    pub fn random(nodes: usize, edge_probability: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..nodes {
+            for v in (u + 1)..nodes {
+                if rng.gen_bool(edge_probability.clamp(0.0, 1.0)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        UndirectedGraph::new(nodes, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_graphs_have_expected_colorability() {
+        assert!(UndirectedGraph::triangle().find_3_coloring().is_some());
+        assert!(UndirectedGraph::c5().find_3_coloring().is_some());
+        assert!(UndirectedGraph::path4().find_3_coloring().is_some());
+        assert!(UndirectedGraph::k4().find_3_coloring().is_none());
+        assert!(UndirectedGraph::wheel5().find_3_coloring().is_none());
+    }
+
+    #[test]
+    fn colorings_are_validated() {
+        let triangle = UndirectedGraph::triangle();
+        let coloring = triangle.find_3_coloring().unwrap();
+        assert!(triangle.is_proper_coloring(&coloring));
+        assert!(!triangle.is_proper_coloring(&[0, 0, 1]));
+        assert!(!triangle.is_proper_coloring(&[0, 1]));
+    }
+
+    #[test]
+    fn duplicate_edges_are_normalized() {
+        let graph = UndirectedGraph::new(3, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(graph.edges().len(), 1);
+        assert!(graph.adjacent(1, 0));
+        assert!(!graph.adjacent(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_panic() {
+        UndirectedGraph::new(2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn random_graphs_are_reproducible() {
+        let a = UndirectedGraph::random(8, 0.4, 5);
+        let b = UndirectedGraph::random(8, 0.4, 5);
+        assert_eq!(a, b);
+        let c = UndirectedGraph::random(8, 0.4, 6);
+        assert!(a != c || a.edges().is_empty());
+    }
+}

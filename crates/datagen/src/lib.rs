@@ -1,0 +1,49 @@
+//! # strudel-datagen
+//!
+//! Synthetic dataset generators for the **strudel** reproduction of
+//! *"A Principled Approach to Bridging the Gap between Graph Data and their
+//! Schemas"* (Arenas et al., VLDB 2014).
+//!
+//! The paper evaluates on DBpedia Persons, WordNet Nouns, a ~500-sort YAGO
+//! sample and a mixed Drug-Companies/Sultans dataset. Those dumps are not
+//! distributed with this repository; every algorithm in the paper consumes
+//! only the *signature view* of a dataset, so this crate builds calibrated
+//! synthetic signature views instead (see `DESIGN.md` §4 for the
+//! substitution argument):
+//!
+//! * [`dbpedia`] — 790 703 subjects / 8 properties / 64 signatures,
+//!   σ_Cov ≈ 0.54, σ_Sim ≈ 0.77, published per-property counts,
+//! * [`wordnet`] — 79 689 subjects / 12 properties / 53 signatures,
+//!   σ_Cov ≈ 0.44, σ_Sim ≈ 0.93,
+//! * [`yago`] / [`workload`] — seeded samples of explicit sorts spanning the
+//!   published size/signature/property ranges for the scalability study,
+//! * [`mixed`] — the 27-company / 40-sultan mixture of Section 7.4,
+//! * [`benchmark`] — benchmark-shaped sorts (LUBM / SP2Bench / BSBM-like)
+//!   with σ_Cov close to 1, for the Section 2.2.1 benchmark-vs-reality claim,
+//! * [`noise`] — controlled structuredness degradation of any view,
+//! * [`coloring`] — graphs for the 3-coloring NP-hardness reduction,
+//! * [`materialize`] — expansion of any view into an actual RDF graph for
+//!   end-to-end pipeline tests and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod coloring;
+pub mod dbpedia;
+pub mod materialize;
+pub mod mixed;
+pub mod noise;
+pub mod wordnet;
+pub mod workload;
+pub mod yago;
+
+pub use benchmark::{benchmark_sorts, BenchmarkProfile, BenchmarkSort};
+pub use coloring::UndirectedGraph;
+pub use dbpedia::{dbpedia_persons, dbpedia_persons_scaled, person_columns, PersonColumns};
+pub use materialize::materialize_graph;
+pub use mixed::{mixed_drug_companies_and_sultans, MixedDataset, TrueSort};
+pub use noise::{degrade_view, erosion_sweep, NoiseConfig};
+pub use wordnet::{wordnet_nouns, wordnet_nouns_scaled};
+pub use workload::{synthetic_sort, SyntheticSortConfig};
+pub use yago::{yago_sample, YagoSampleConfig, YagoSort};

@@ -1,0 +1,248 @@
+//! The mixed two-sort dataset of the semantic-correctness experiment
+//! (Section 7.4).
+//!
+//! The paper mixes all triples of the YAGO explicit sorts *Drug Companies*
+//! (27 subjects) and *Sultans* (40 subjects) into one dataset, runs a highest-θ
+//! sort refinement with k = 2, and checks how well the two implicit sorts
+//! recover the original explicit sorts. We build a synthetic mixture with the
+//! same cardinalities and the same structural character: the two sorts use
+//! largely disjoint domain properties but share the generic RDF bookkeeping
+//! properties (`rdf:type`, `owl:sameAs`, `rdfs:subClassOf`, `rdfs:label`),
+//! and a fraction of the sultans have sparse records that are easy to
+//! confuse with the other sort — the source of the paper's 17 misclassified
+//! sultans under the plain Cov rule.
+
+use strudel_rdf::signature::SignatureView;
+use strudel_rdf::vocab::{OWL_SAME_AS, RDFS_LABEL, RDFS_SUBCLASS_OF, RDF_TYPE};
+
+/// Ground-truth label of a signature in the mixed dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrueSort {
+    /// The signature belongs to the Drug Company explicit sort.
+    DrugCompany,
+    /// The signature belongs to the Sultan explicit sort.
+    Sultan,
+}
+
+/// The mixed dataset: a signature view plus, for every signature entry, its
+/// ground-truth explicit sort.
+#[derive(Clone, Debug)]
+pub struct MixedDataset {
+    /// The combined signature view.
+    pub view: SignatureView,
+    /// `labels[i]` is the ground truth of `view.entries()[i]`.
+    pub labels: Vec<TrueSort>,
+}
+
+/// Property IRIs of the mixed dataset.
+pub mod properties {
+    /// Shared generic properties (ignored by the modified Cov rule of §7.4).
+    pub use strudel_rdf::vocab::{OWL_SAME_AS, RDFS_LABEL, RDFS_SUBCLASS_OF, RDF_TYPE};
+
+    /// Drug-company domain properties.
+    pub const COMPANY_PROPS: [&str; 5] = [
+        "http://yago-knowledge.org/resource/hasProduct",
+        "http://yago-knowledge.org/resource/hasRevenue",
+        "http://yago-knowledge.org/resource/hasNumberOfEmployees",
+        "http://yago-knowledge.org/resource/isLocatedIn",
+        "http://yago-knowledge.org/resource/wasCreatedOnDate",
+    ];
+
+    /// Sultan domain properties.
+    pub const SULTAN_PROPS: [&str; 5] = [
+        "http://yago-knowledge.org/resource/wasBornOnDate",
+        "http://yago-knowledge.org/resource/diedOnDate",
+        "http://yago-knowledge.org/resource/hasPredecessor",
+        "http://yago-knowledge.org/resource/hasSuccessor",
+        "http://yago-knowledge.org/resource/hasChild",
+    ];
+}
+
+/// Builds the mixed Drug-Company/Sultan dataset with the paper's
+/// cardinalities (27 drug companies, 40 sultans).
+pub fn mixed_drug_companies_and_sultans() -> MixedDataset {
+    let mut property_names: Vec<String> = vec![
+        RDF_TYPE.to_owned(),
+        OWL_SAME_AS.to_owned(),
+        RDFS_SUBCLASS_OF.to_owned(),
+        RDFS_LABEL.to_owned(),
+    ];
+    property_names.extend(properties::COMPANY_PROPS.iter().map(|p| (*p).to_string()));
+    property_names.extend(properties::SULTAN_PROPS.iter().map(|p| (*p).to_string()));
+
+    // Column indexes.
+    let generic: Vec<usize> = (0..4).collect();
+    let company: Vec<usize> = (4..9).collect();
+    let sultan: Vec<usize> = (9..14).collect();
+
+    let mut signatures: Vec<(Vec<usize>, usize)> = Vec::new();
+    let mut labels: Vec<TrueSort> = Vec::new();
+    let push = |props: Vec<usize>, count: usize, label: TrueSort,
+                    signatures: &mut Vec<(Vec<usize>, usize)>,
+                    labels: &mut Vec<TrueSort>| {
+        signatures.push((props, count));
+        labels.push(label);
+    };
+
+    // Drug companies (27 subjects): well-documented, most domain properties
+    // present plus all generic ones.
+    let full_company: Vec<usize> = generic.iter().chain(company.iter()).copied().collect();
+    push(full_company.clone(), 12, TrueSort::DrugCompany, &mut signatures, &mut labels);
+    push(
+        full_company.iter().copied().filter(|&p| p != company[4]).collect(),
+        8,
+        TrueSort::DrugCompany,
+        &mut signatures,
+        &mut labels,
+    );
+    push(
+        full_company.iter().copied().filter(|&p| p != company[1] && p != company[2]).collect(),
+        5,
+        TrueSort::DrugCompany,
+        &mut signatures,
+        &mut labels,
+    );
+    push(
+        generic.iter().copied().chain([company[0], company[3]]).collect(),
+        2,
+        TrueSort::DrugCompany,
+        &mut signatures,
+        &mut labels,
+    );
+
+    // Sultans (40 subjects): 23 richly documented, 17 sparse records that
+    // only carry generic properties plus perhaps a date — the ones the plain
+    // Cov rule groups with the companies.
+    let full_sultan: Vec<usize> = generic.iter().chain(sultan.iter()).copied().collect();
+    push(full_sultan.clone(), 10, TrueSort::Sultan, &mut signatures, &mut labels);
+    push(
+        full_sultan.iter().copied().filter(|&p| p != sultan[4]).collect(),
+        8,
+        TrueSort::Sultan,
+        &mut signatures,
+        &mut labels,
+    );
+    push(
+        full_sultan.iter().copied().filter(|&p| p != sultan[2] && p != sultan[3]).collect(),
+        5,
+        TrueSort::Sultan,
+        &mut signatures,
+        &mut labels,
+    );
+    // Sparse sultans: generic properties only, or generic + birth date.
+    push(generic.clone(), 9, TrueSort::Sultan, &mut signatures, &mut labels);
+    push(
+        generic.iter().copied().chain([sultan[0]]).collect(),
+        8,
+        TrueSort::Sultan,
+        &mut signatures,
+        &mut labels,
+    );
+
+    let view = SignatureView::from_counts(property_names, signatures.clone())
+        .expect("mixed dataset property indexes are valid");
+
+    // `SignatureView::from_counts` sorts entries by size; re-derive the label
+    // of each entry by matching property patterns.
+    let mut sorted_labels = Vec::with_capacity(view.signature_count());
+    for entry in view.entries() {
+        let pattern: Vec<usize> = entry.signature.iter().collect();
+        let original = signatures
+            .iter()
+            .position(|(props, _)| {
+                let mut sorted = props.clone();
+                sorted.sort_unstable();
+                sorted == pattern
+            })
+            .expect("every entry originates from the construction");
+        sorted_labels.push(labels[original]);
+    }
+
+    MixedDataset {
+        view,
+        labels: sorted_labels,
+    }
+}
+
+impl MixedDataset {
+    /// The ground-truth labels as a per-signature boolean vector with drug
+    /// companies as the positive class (the paper's reading in Section 7.4).
+    /// This is the shape expected by `strudel_core::classify`.
+    pub fn positive_labels(&self) -> Vec<bool> {
+        self.labels
+            .iter()
+            .map(|&label| label == TrueSort::DrugCompany)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_rules::prelude::*;
+
+    #[test]
+    fn has_the_papers_cardinalities() {
+        let dataset = mixed_drug_companies_and_sultans();
+        let companies: usize = dataset
+            .view
+            .entries()
+            .iter()
+            .zip(&dataset.labels)
+            .filter(|(_, &label)| label == TrueSort::DrugCompany)
+            .map(|(entry, _)| entry.count)
+            .sum();
+        let sultans: usize = dataset
+            .view
+            .entries()
+            .iter()
+            .zip(&dataset.labels)
+            .filter(|(_, &label)| label == TrueSort::Sultan)
+            .map(|(entry, _)| entry.count)
+            .sum();
+        assert_eq!(companies, 27);
+        assert_eq!(sultans, 40);
+        assert_eq!(dataset.view.subject_count(), 67);
+        assert_eq!(dataset.labels.len(), dataset.view.signature_count());
+    }
+
+    #[test]
+    fn the_mixture_is_less_structured_than_its_parts() {
+        let dataset = mixed_drug_companies_and_sultans();
+        let company_indexes: Vec<usize> = dataset
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == TrueSort::DrugCompany)
+            .map(|(i, _)| i)
+            .collect();
+        let sultan_indexes: Vec<usize> = dataset
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == TrueSort::Sultan)
+            .map(|(i, _)| i)
+            .collect();
+        let mixture_cov = sigma_cov(&dataset.view);
+        let company_cov = sigma_cov(&dataset.view.subset(&company_indexes));
+        let sultan_cov = sigma_cov(&dataset.view.subset(&sultan_indexes));
+        assert!(company_cov > mixture_cov);
+        assert!(sultan_cov > mixture_cov);
+    }
+
+    #[test]
+    fn positive_labels_follow_the_drug_company_class() {
+        let dataset = mixed_drug_companies_and_sultans();
+        let labels = dataset.positive_labels();
+        assert_eq!(labels.len(), dataset.view.signature_count());
+        let positives: usize = dataset
+            .view
+            .entries()
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &positive)| positive)
+            .map(|(entry, _)| entry.count)
+            .sum();
+        assert_eq!(positives, 27);
+    }
+}

@@ -1,0 +1,290 @@
+//! A synthetic stand-in for the **WordNet Nouns** dataset (Section 7.2).
+//!
+//! Calibrated to the published statistics: 79 689 subjects, 12 properties,
+//! 53 signatures, σ_Cov ≈ 0.44 and σ_Sim ≈ 0.93 — a highly structured sort
+//! where a few properties are (nearly) universal and the rest are rare, the
+//! opposite regime from DBpedia Persons.
+
+use strudel_rdf::signature::SignatureView;
+
+/// WordNet schema property IRIs (column order of Figure 3).
+pub mod properties {
+    const NS: &str = "http://www.w3.org/2006/03/wn/wn20/schema/";
+
+    /// `wn:gloss`
+    pub const GLOSS: &str = "http://www.w3.org/2006/03/wn/wn20/schema/gloss";
+    /// `rdfs:label`
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `wn:synsetId`
+    pub const SYNSET_ID: &str = "http://www.w3.org/2006/03/wn/wn20/schema/synsetId";
+    /// `wn:hyponymOf`
+    pub const HYPONYM_OF: &str = "http://www.w3.org/2006/03/wn/wn20/schema/hyponymOf";
+    /// `wn:classifiedByTopic`
+    pub const CLASSIFIED_BY_TOPIC: &str =
+        "http://www.w3.org/2006/03/wn/wn20/schema/classifiedByTopic";
+    /// `wn:containsWordSense`
+    pub const CONTAINS_WORD_SENSE: &str =
+        "http://www.w3.org/2006/03/wn/wn20/schema/containsWordSense";
+    /// `wn:memberMeronymOf`
+    pub const MEMBER_MERONYM_OF: &str =
+        "http://www.w3.org/2006/03/wn/wn20/schema/memberMeronymOf";
+    /// `wn:partMeronymOf`
+    pub const PART_MERONYM_OF: &str = "http://www.w3.org/2006/03/wn/wn20/schema/partMeronymOf";
+    /// `wn:substanceMeronymOf`
+    pub const SUBSTANCE_MERONYM_OF: &str =
+        "http://www.w3.org/2006/03/wn/wn20/schema/substanceMeronymOf";
+    /// `wn:classifiedByUsage`
+    pub const CLASSIFIED_BY_USAGE: &str =
+        "http://www.w3.org/2006/03/wn/wn20/schema/classifiedByUsage";
+    /// `wn:classifiedByRegion`
+    pub const CLASSIFIED_BY_REGION: &str =
+        "http://www.w3.org/2006/03/wn/wn20/schema/classifiedByRegion";
+    /// `wn:attribute`
+    pub const ATTRIBUTE: &str = "http://www.w3.org/2006/03/wn/wn20/schema/attribute";
+
+    /// All twelve properties in the paper's column order.
+    pub const ALL: [&str; 12] = [
+        GLOSS,
+        LABEL,
+        SYNSET_ID,
+        HYPONYM_OF,
+        CLASSIFIED_BY_TOPIC,
+        CONTAINS_WORD_SENSE,
+        MEMBER_MERONYM_OF,
+        PART_MERONYM_OF,
+        SUBSTANCE_MERONYM_OF,
+        CLASSIFIED_BY_USAGE,
+        CLASSIFIED_BY_REGION,
+        ATTRIBUTE,
+    ];
+
+    /// Keeps the (otherwise unused) namespace constant referenced in docs.
+    #[allow(dead_code)]
+    const _: &str = NS;
+}
+
+/// The `wn:NounSynset` sort IRI.
+pub const NOUN_SORT: &str = "http://www.w3.org/2006/03/wn/wn20/schema/NounSynset";
+
+/// Target number of distinct signatures (Figure 3).
+const TARGET_SIGNATURES: usize = 53;
+
+/// Builds the calibrated WordNet Nouns signature view
+/// (79 689 subjects, 12 properties, 53 signatures).
+pub fn wordnet_nouns() -> SignatureView {
+    build(1)
+}
+
+/// A proportionally scaled-down WordNet Nouns view (counts divided by
+/// `factor`, rounded up).
+pub fn wordnet_nouns_scaled(factor: u64) -> SignatureView {
+    build(factor.max(1))
+}
+
+fn build(scale: u64) -> SignatureView {
+    // Column indexes, following properties::ALL order.
+    const GLOSS: usize = 0;
+    const LABEL: usize = 1;
+    const SYNSET_ID: usize = 2;
+    const HYPONYM: usize = 3;
+    const TOPIC: usize = 4;
+    const WORD_SENSE: usize = 5;
+    const MEMBER: usize = 6;
+    const PART: usize = 7;
+    const SUBSTANCE: usize = 8;
+    const USAGE: usize = 9;
+    const REGION: usize = 10;
+    const ATTRIBUTE: usize = 11;
+
+    /// The four (nearly) universal properties.
+    const BASE: [usize; 4] = [GLOSS, LABEL, SYNSET_ID, WORD_SENSE];
+
+    // Signatures carrying at least one rare property; `true`/`false` flags
+    // are (hyponymOf, classifiedByTopic) membership, the Vec lists the rare
+    // properties, and the count is the signature-set size. Rare-property
+    // marginals: member 2 800, part 1 600, substance 900, region 350,
+    // usage 230, attribute 120.
+    let rare_signatures: Vec<(bool, bool, Vec<usize>, u64)> = vec![
+        (true, false, vec![MEMBER], 1_500),
+        (true, true, vec![MEMBER], 700),
+        (false, false, vec![MEMBER], 300),
+        (true, false, vec![MEMBER, PART], 200),
+        (false, true, vec![MEMBER], 70),
+        (false, false, vec![MEMBER, PART], 30),
+        (true, false, vec![PART], 800),
+        (true, true, vec![PART], 350),
+        (false, false, vec![PART], 150),
+        (true, false, vec![PART, SUBSTANCE], 50),
+        (false, true, vec![PART], 20),
+        (true, false, vec![SUBSTANCE], 500),
+        (true, true, vec![SUBSTANCE], 200),
+        (false, false, vec![SUBSTANCE], 100),
+        (false, true, vec![SUBSTANCE], 30),
+        (true, false, vec![REGION, SUBSTANCE], 20),
+        (true, false, vec![REGION], 180),
+        (true, true, vec![REGION], 90),
+        (false, false, vec![REGION], 40),
+        (false, true, vec![REGION], 20),
+        (true, false, vec![USAGE], 120),
+        (true, true, vec![USAGE], 60),
+        (false, false, vec![USAGE], 30),
+        (false, true, vec![USAGE], 20),
+        (true, false, vec![ATTRIBUTE], 60),
+        (true, true, vec![ATTRIBUTE], 30),
+        (false, false, vec![ATTRIBUTE], 20),
+        (false, true, vec![ATTRIBUTE], 10),
+    ];
+
+    let rare_total: u64 = rare_signatures.iter().map(|(_, _, _, c)| *c).sum();
+    let rare_with_hyponym: u64 = rare_signatures
+        .iter()
+        .filter(|(h, _, _, _)| *h)
+        .map(|(_, _, _, c)| *c)
+        .sum();
+    let rare_with_topic: u64 = rare_signatures
+        .iter()
+        .filter(|(_, t, _, _)| *t)
+        .map(|(_, _, _, c)| *c)
+        .sum();
+
+    // Marginal targets: hyponymOf 72 000, classifiedByTopic 24 000,
+    // 79 689 subjects total (values chosen so that σCov = 0.44 and
+    // σSim ≈ 0.93 exactly as published).
+    const SUBJECTS: u64 = 79_689;
+    const HYPONYM_TOTAL: u64 = 72_000;
+    const TOPIC_TOTAL: u64 = 24_000;
+    const HYPONYM_AND_TOPIC: u64 = 20_000;
+
+    let hyponym_and_topic = HYPONYM_AND_TOPIC;
+    let hyponym_only = HYPONYM_TOTAL - rare_with_hyponym - hyponym_and_topic;
+    let topic_only = TOPIC_TOTAL - rare_with_topic - hyponym_and_topic;
+    let base_only = SUBJECTS - rare_total - hyponym_and_topic - hyponym_only - topic_only;
+
+    let mut signatures: Vec<(Vec<usize>, u64)> = Vec::new();
+    let make_props = |hyponym: bool, topic: bool, rare: &[usize]| -> Vec<usize> {
+        let mut props: Vec<usize> = BASE.to_vec();
+        if hyponym {
+            props.push(HYPONYM);
+        }
+        if topic {
+            props.push(TOPIC);
+        }
+        props.extend_from_slice(rare);
+        props
+    };
+
+    for (hyponym, topic, rare, count) in &rare_signatures {
+        signatures.push((make_props(*hyponym, *topic, rare), *count));
+    }
+    signatures.push((make_props(true, true, &[]), hyponym_and_topic));
+    signatures.push((make_props(true, false, &[]), hyponym_only));
+    signatures.push((make_props(false, true, &[]), topic_only));
+    signatures.push((make_props(false, false, &[]), base_only));
+
+    // Pad with small "defect" signatures (a nearly-universal property missing
+    // for a handful of subjects) until the published signature count of 53 is
+    // reached. The subjects are carved out of existing signature sets so the
+    // total stays exact; duplicate patterns are skipped so the signature
+    // count is exact as well.
+    let defect_sizes = [40u64, 30, 25, 20, 18, 15, 12, 10, 9, 8, 7, 6, 6, 5, 5, 4, 4, 3, 3, 2, 2];
+    let mut existing: std::collections::HashSet<Vec<usize>> = signatures
+        .iter()
+        .map(|(props, _)| {
+            let mut sorted = props.clone();
+            sorted.sort_unstable();
+            sorted
+        })
+        .collect();
+    let mut defect_cursor = 0usize;
+    'pad: for source_idx in 0..signatures.len() {
+        for &missing_base in &BASE {
+            if signatures.len() >= TARGET_SIGNATURES {
+                break 'pad;
+            }
+            let carve = defect_sizes[defect_cursor % defect_sizes.len()];
+            let (props, count) = signatures[source_idx].clone();
+            if count <= carve * 2 {
+                continue;
+            }
+            let defect_props: Vec<usize> =
+                props.iter().copied().filter(|&p| p != missing_base).collect();
+            let mut key = defect_props.clone();
+            key.sort_unstable();
+            if !existing.insert(key) {
+                continue;
+            }
+            signatures[source_idx] = (props, count - carve);
+            signatures.push((defect_props, carve));
+            defect_cursor += 1;
+        }
+    }
+    debug_assert_eq!(signatures.len(), TARGET_SIGNATURES);
+
+    let scaled: Vec<(Vec<usize>, usize)> = signatures
+        .into_iter()
+        .map(|(props, count)| (props, usize::try_from(count.div_ceil(scale)).unwrap()))
+        .collect();
+
+    SignatureView::from_counts(
+        properties::ALL.iter().map(|p| (*p).to_string()).collect(),
+        scaled,
+    )
+    .expect("WordNet construction uses valid property indexes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_rules::prelude::*;
+
+    #[test]
+    fn matches_published_dataset_statistics() {
+        let view = wordnet_nouns();
+        assert_eq!(view.property_count(), 12);
+        assert_eq!(view.subject_count(), 79_689);
+        assert_eq!(view.signature_count(), 53);
+    }
+
+    #[test]
+    fn matches_published_structuredness_values() {
+        let view = wordnet_nouns();
+        let cov = sigma_cov(&view).to_f64();
+        let sim = sigma_sim(&view).to_f64();
+        assert!((cov - 0.44).abs() < 0.01, "σCov = {cov}");
+        assert!((sim - 0.93).abs() < 0.015, "σSim = {sim}");
+    }
+
+    #[test]
+    fn has_dominant_and_rare_properties() {
+        let view = wordnet_nouns();
+        let gloss = view.property_index(properties::GLOSS).unwrap();
+        let attribute = view.property_index(properties::ATTRIBUTE).unwrap();
+        let gloss_count = view.property_subject_count(gloss);
+        let attribute_count = view.property_subject_count(attribute);
+        assert!(gloss_count > 79_000, "gloss is nearly universal");
+        assert!(attribute_count < 200, "attribute is rare");
+    }
+
+    #[test]
+    fn dominant_signatures_cover_most_subjects() {
+        // The paper notes roughly 5 dominant signatures representing most
+        // subjects (Section 7.2.1).
+        let view = wordnet_nouns();
+        let top5: usize = view.entries().iter().take(5).map(|e| e.count).sum();
+        assert!(
+            top5 as f64 / view.subject_count() as f64 > 0.9,
+            "top-5 signatures cover {top5} of {}",
+            view.subject_count()
+        );
+    }
+
+    #[test]
+    fn scaled_view_preserves_ratios() {
+        let full = wordnet_nouns();
+        let small = wordnet_nouns_scaled(100);
+        assert_eq!(small.signature_count(), full.signature_count());
+        let cov_full = sigma_cov(&full).to_f64();
+        let cov_small = sigma_cov(&small).to_f64();
+        assert!((cov_full - cov_small).abs() < 0.05);
+    }
+}

@@ -1,0 +1,193 @@
+//! Generic configurable generator of synthetic sorts (signature views).
+//!
+//! This powers the YAGO scalability sample (Section 7.3) and any ad-hoc
+//! stress workloads: given a target number of subjects, properties and
+//! signatures, it produces a seeded, reproducible signature view with a
+//! skewed ("few dominant, long tail") signature-size distribution and
+//! property popularities that decay geometrically — the shape observed in
+//! real explicit sorts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strudel_rdf::signature::SignatureView;
+
+/// Configuration of a synthetic sort.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticSortConfig {
+    /// Number of subjects in the sort.
+    pub subjects: usize,
+    /// Number of properties (columns).
+    pub properties: usize,
+    /// Number of distinct signatures to aim for (the generator may produce
+    /// slightly fewer if random signatures collide).
+    pub signatures: usize,
+    /// Geometric decay of property popularity: property `i` is included in a
+    /// random signature with probability `max(base_density · decay^i, floor)`.
+    pub property_decay: f64,
+    /// Popularity of the most popular property.
+    pub base_density: f64,
+    /// Zipf-like skew of signature-set sizes (1.0 = classic Zipf).
+    pub size_skew: f64,
+}
+
+impl Default for SyntheticSortConfig {
+    fn default() -> Self {
+        SyntheticSortConfig {
+            subjects: 10_000,
+            properties: 12,
+            signatures: 40,
+            property_decay: 0.8,
+            base_density: 0.95,
+            size_skew: 1.0,
+        }
+    }
+}
+
+/// Generates a synthetic sort as a signature view. Deterministic for a given
+/// `(config, seed)` pair.
+pub fn synthetic_sort(config: &SyntheticSortConfig, seed: u64) -> SignatureView {
+    assert!(config.subjects > 0, "a sort needs at least one subject");
+    assert!(config.properties > 0, "a sort needs at least one property");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let signature_target = config.signatures.clamp(1, config.subjects);
+
+    let properties: Vec<String> = (0..config.properties)
+        .map(|i| format!("http://yago-knowledge.org/resource/property{i}"))
+        .collect();
+
+    // Property inclusion probabilities with geometric decay and a floor that
+    // keeps even the rarest property reachable.
+    let inclusion: Vec<f64> = (0..config.properties)
+        .map(|i| {
+            (config.base_density * config.property_decay.powi(i as i32)).clamp(0.01, 1.0)
+        })
+        .collect();
+
+    // Draw distinct signatures. The first signature is the "full head"
+    // pattern (all popular properties) so every sort has a dominant shape.
+    let mut patterns: Vec<Vec<usize>> = Vec::with_capacity(signature_target);
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while patterns.len() < signature_target && attempts < signature_target * 64 {
+        attempts += 1;
+        let pattern: Vec<usize> = (0..config.properties)
+            .filter(|&i| {
+                if patterns.is_empty() {
+                    inclusion[i] >= 0.5
+                } else {
+                    rng.gen_bool(inclusion[i])
+                }
+            })
+            .collect();
+        if pattern.is_empty() {
+            continue;
+        }
+        if seen.insert(pattern.clone()) {
+            patterns.push(pattern);
+        }
+    }
+    if patterns.is_empty() {
+        patterns.push(vec![0]);
+    }
+
+    // Zipf-like signature-set sizes summing exactly to the subject count.
+    let weights: Vec<f64> = (0..patterns.len())
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(config.size_skew))
+        .collect();
+    let weight_sum: f64 = weights.iter().sum();
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / weight_sum) * config.subjects as f64).floor().max(1.0) as usize)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    // Adjust to hit the exact subject count: trim from the tail or add to the
+    // head as needed.
+    while assigned > config.subjects {
+        if let Some(count) = counts.iter_mut().rev().find(|c| **c > 1) {
+            *count -= 1;
+            assigned -= 1;
+        } else {
+            break;
+        }
+    }
+    if assigned < config.subjects {
+        counts[0] += config.subjects - assigned;
+    }
+
+    let signatures: Vec<(Vec<usize>, usize)> = patterns.into_iter().zip(counts).collect();
+    SignatureView::from_counts(properties, signatures)
+        .expect("generated property indexes are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_rules::prelude::*;
+
+    #[test]
+    fn respects_requested_dimensions() {
+        let config = SyntheticSortConfig {
+            subjects: 5_000,
+            properties: 20,
+            signatures: 60,
+            ..SyntheticSortConfig::default()
+        };
+        let view = synthetic_sort(&config, 42);
+        assert_eq!(view.subject_count(), 5_000);
+        assert_eq!(view.property_count(), 20);
+        assert!(view.signature_count() <= 60);
+        assert!(view.signature_count() >= 40, "got {}", view.signature_count());
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let config = SyntheticSortConfig::default();
+        let a = synthetic_sort(&config, 7);
+        let b = synthetic_sort(&config, 7);
+        let c = synthetic_sort(&config, 8);
+        assert_eq!(a.signature_count(), b.signature_count());
+        assert_eq!(a.ones(), b.ones());
+        let differs = a.signature_count() != c.signature_count() || a.ones() != c.ones();
+        assert!(differs, "different seeds should give different sorts");
+    }
+
+    #[test]
+    fn sizes_are_skewed() {
+        let view = synthetic_sort(&SyntheticSortConfig::default(), 3);
+        let first = view.entries()[0].count;
+        let last = view.entries().last().unwrap().count;
+        assert!(first > last * 4, "head {first} vs tail {last}");
+    }
+
+    #[test]
+    fn structuredness_is_in_range_and_plausible() {
+        let view = synthetic_sort(&SyntheticSortConfig::default(), 11);
+        let cov = sigma_cov(&view);
+        let sim = sigma_sim(&view);
+        assert!(cov > Ratio::ZERO && cov < Ratio::ONE);
+        assert!(sim > Ratio::ZERO && sim <= Ratio::ONE);
+    }
+
+    #[test]
+    fn single_signature_sorts_are_fully_structured() {
+        let config = SyntheticSortConfig {
+            subjects: 100,
+            properties: 5,
+            signatures: 1,
+            ..SyntheticSortConfig::default()
+        };
+        let view = synthetic_sort(&config, 1);
+        assert_eq!(view.signature_count(), 1);
+        assert_eq!(sigma_cov(&view), Ratio::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subject")]
+    fn zero_subjects_panics() {
+        let config = SyntheticSortConfig {
+            subjects: 0,
+            ..SyntheticSortConfig::default()
+        };
+        synthetic_sort(&config, 0);
+    }
+}

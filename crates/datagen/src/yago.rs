@@ -1,0 +1,155 @@
+//! A synthetic stand-in for the **YAGO explicit-sort sample** used in the
+//! scalability study (Section 7.3).
+//!
+//! The paper samples ≈500 explicit sorts from YAGO with sizes ranging from
+//! ~10² to ~10⁵ subjects, 1–350 signatures and 10–40 properties, noting that
+//! 99.9 % of all YAGO sorts have < 350 signatures and 99.8 % have < 40
+//! properties. This module draws a reproducible sample from those ranges with
+//! the same strong skew towards small sorts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strudel_rdf::signature::SignatureView;
+
+use crate::workload::{synthetic_sort, SyntheticSortConfig};
+
+/// Configuration of the YAGO-like sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct YagoSampleConfig {
+    /// Number of sorts to draw.
+    pub num_sorts: usize,
+    /// Smallest number of subjects per sort.
+    pub min_subjects: usize,
+    /// Largest number of subjects per sort.
+    pub max_subjects: usize,
+    /// Largest number of signatures per sort.
+    pub max_signatures: usize,
+    /// Smallest number of properties per sort.
+    pub min_properties: usize,
+    /// Largest number of properties per sort.
+    pub max_properties: usize,
+}
+
+impl Default for YagoSampleConfig {
+    fn default() -> Self {
+        YagoSampleConfig {
+            num_sorts: 500,
+            min_subjects: 100,
+            max_subjects: 100_000,
+            max_signatures: 350,
+            min_properties: 10,
+            max_properties: 40,
+        }
+    }
+}
+
+/// One sampled explicit sort.
+#[derive(Clone, Debug)]
+pub struct YagoSort {
+    /// A synthetic sort IRI.
+    pub sort_iri: String,
+    /// The signature view of the sort.
+    pub view: SignatureView,
+}
+
+/// Draws a reproducible YAGO-like sample of explicit sorts.
+pub fn yago_sample(config: &YagoSampleConfig, seed: u64) -> Vec<YagoSort> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sorts = Vec::with_capacity(config.num_sorts);
+    for index in 0..config.num_sorts {
+        // Log-uniform subject counts: most sorts are small.
+        let log_min = (config.min_subjects as f64).ln();
+        let log_max = (config.max_subjects as f64).ln();
+        let subjects = rng.gen_range(log_min..=log_max).exp().round() as usize;
+        let subjects = subjects.clamp(config.min_subjects, config.max_subjects);
+
+        // Signature counts: quadratically skewed towards the low end, capped
+        // both by the configured maximum and by the subject count.
+        let skew: f64 = rng.gen_range(0.0f64..1.0);
+        let signatures = (1.0 + skew * skew * (config.max_signatures as f64 - 1.0)).round() as usize;
+        let signatures = signatures.min(subjects).max(1);
+
+        // Property counts: triangular-ish, most sorts in the 10–25 range.
+        let properties = config.min_properties
+            + ((rng.gen_range(0.0f64..1.0) * rng.gen_range(0.0f64..1.0))
+                * (config.max_properties - config.min_properties) as f64)
+                .round() as usize;
+
+        let sort_config = SyntheticSortConfig {
+            subjects,
+            properties,
+            signatures,
+            property_decay: rng.gen_range(0.6..0.95),
+            base_density: rng.gen_range(0.8..1.0),
+            size_skew: rng.gen_range(0.8..1.4),
+        };
+        let view = synthetic_sort(&sort_config, seed.wrapping_add(index as u64 * 7919));
+        sorts.push(YagoSort {
+            sort_iri: format!("http://yago-knowledge.org/resource/wikicat_SyntheticSort_{index}"),
+            view,
+        });
+    }
+    sorts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> YagoSampleConfig {
+        YagoSampleConfig {
+            num_sorts: 40,
+            min_subjects: 50,
+            max_subjects: 5_000,
+            max_signatures: 80,
+            min_properties: 8,
+            max_properties: 30,
+        }
+    }
+
+    #[test]
+    fn sample_respects_configured_ranges() {
+        let sorts = yago_sample(&small_config(), 123);
+        assert_eq!(sorts.len(), 40);
+        for sort in &sorts {
+            assert!(sort.view.subject_count() >= 50);
+            assert!(sort.view.subject_count() <= 5_000);
+            assert!(sort.view.signature_count() <= 80);
+            assert!(sort.view.property_count() >= 8);
+            assert!(sort.view.property_count() <= 30);
+            assert!(sort.sort_iri.starts_with("http://yago-knowledge.org/"));
+        }
+    }
+
+    #[test]
+    fn sample_is_reproducible() {
+        let a = yago_sample(&small_config(), 99);
+        let b = yago_sample(&small_config(), 99);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.view.subject_count(), y.view.subject_count());
+            assert_eq!(x.view.signature_count(), y.view.signature_count());
+        }
+    }
+
+    #[test]
+    fn sample_is_skewed_towards_small_sorts() {
+        let sorts = yago_sample(&YagoSampleConfig::default(), 7);
+        let small = sorts
+            .iter()
+            .filter(|s| s.view.signature_count() < 100)
+            .count();
+        assert!(
+            small * 2 > sorts.len(),
+            "expected most sorts to have few signatures, got {small}/{}",
+            sorts.len()
+        );
+    }
+
+    #[test]
+    fn sorts_vary_in_size() {
+        let sorts = yago_sample(&small_config(), 5);
+        let min = sorts.iter().map(|s| s.view.subject_count()).min().unwrap();
+        let max = sorts.iter().map(|s| s.view.subject_count()).max().unwrap();
+        assert!(max > min * 4, "sample spans sizes {min}..{max}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Linear-programming relaxation of an integer model.
+//!
+//! Dropping the integrality requirement of an ILP yields an LP whose optimum
+//! bounds the integer optimum. The branch & bound solver uses this at the
+//! root node (for objective-bearing models below a size threshold) to detect
+//! early that an incumbent is already optimal.
+
+use crate::error::IlpError;
+use crate::model::{Cmp, Model, Sense};
+use crate::simplex::{solve_lp, LpOutcome, LpProblem};
+
+/// Hard cap on `variables + rows` for the dense relaxation.
+const MAX_DENSE_SIZE: usize = 20_000;
+
+/// Builds and solves the LP relaxation of a model, returning the full
+/// outcome (solution values are fractional).
+pub fn lp_relaxation(model: &Model) -> Result<LpOutcome, IlpError> {
+    let num_vars = model.num_vars();
+    let mut row_estimate = 0usize;
+    for constraint in model.constraints() {
+        row_estimate += match constraint.cmp {
+            Cmp::Eq => 2,
+            _ => 1,
+        };
+    }
+    row_estimate += num_vars; // upper-bound rows
+    if num_vars + row_estimate > MAX_DENSE_SIZE {
+        return Err(IlpError::RelaxationTooLarge {
+            vars: num_vars,
+            constraints: model.num_constraints(),
+        });
+    }
+
+    // Substitute y_j = x_j - lower_j ≥ 0 so the canonical form's x ≥ 0 applies.
+    let lowers: Vec<i64> = model.vars().iter().map(|v| v.lower).collect();
+    let mut lp = LpProblem::new(num_vars);
+
+    // Objective (oriented to maximization; the caller re-orients the value).
+    if let Some(objective) = model.objective() {
+        let sign = match objective.sense {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        for &(var, coeff) in &objective.expr.terms {
+            lp.objective[var.index()] += sign * coeff as f64;
+        }
+    }
+
+    // Variable upper bounds: y_j ≤ upper_j - lower_j.
+    for (idx, def) in model.vars().iter().enumerate() {
+        let mut row = vec![0.0; num_vars];
+        row[idx] = 1.0;
+        lp.add_row(row, (def.upper - def.lower) as f64);
+    }
+
+    // Constraints, rewritten over the shifted variables.
+    for constraint in model.constraints() {
+        let mut coefficients = vec![0.0; num_vars];
+        let mut shift = 0f64;
+        for &(var, coeff) in &constraint.expr.terms {
+            coefficients[var.index()] += coeff as f64;
+            shift += coeff as f64 * lowers[var.index()] as f64;
+        }
+        let rhs = constraint.rhs as f64 - constraint.expr.constant as f64 - shift;
+        match constraint.cmp {
+            Cmp::Le => lp.add_row(coefficients, rhs),
+            Cmp::Ge => lp.add_row(coefficients.iter().map(|c| -c).collect(), -rhs),
+            Cmp::Eq => {
+                lp.add_row(coefficients.clone(), rhs);
+                lp.add_row(coefficients.iter().map(|c| -c).collect(), -rhs);
+            }
+        }
+    }
+
+    Ok(solve_lp(&lp))
+}
+
+/// Returns an upper bound, in *oriented* terms (larger is better regardless
+/// of the model's sense), on the objective of any integer-feasible solution.
+pub fn lp_objective_bound(model: &Model) -> Result<f64, IlpError> {
+    let Some(objective) = model.objective() else {
+        return Ok(f64::INFINITY);
+    };
+    match lp_relaxation(model)? {
+        LpOutcome::Optimal {
+            objective: relaxed, ..
+        } => {
+            // Undo the variable shift: the relaxation optimized over
+            // y = x - lower, so add back Σ c_j · lower_j (oriented).
+            let sign = match objective.sense {
+                Sense::Maximize => 1.0,
+                Sense::Minimize => -1.0,
+            };
+            let mut shift = sign * objective.expr.constant as f64;
+            for &(var, coeff) in &objective.expr.terms {
+                shift += sign * coeff as f64 * model.vars()[var.index()].lower as f64;
+            }
+            Ok(relaxed + shift)
+        }
+        LpOutcome::Infeasible => Ok(f64::NEG_INFINITY),
+        LpOutcome::Unbounded => Err(IlpError::Unbounded),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LinExpr, Model, Sense};
+
+    #[test]
+    fn knapsack_relaxation_bounds_the_integer_optimum() {
+        let mut model = Model::new();
+        let weights = [2i64, 3, 4, 5];
+        let values = [3i64, 4, 5, 6];
+        let vars: Vec<_> = (0..4).map(|i| model.add_binary(format!("x{i}"))).collect();
+        let mut weight_expr = LinExpr::new();
+        let mut value_expr = LinExpr::new();
+        for i in 0..4 {
+            weight_expr.add_term(weights[i], vars[i]);
+            value_expr.add_term(values[i], vars[i]);
+        }
+        model.add_constraint("capacity", weight_expr, Cmp::Le, 5);
+        model.set_objective(Sense::Maximize, value_expr);
+        let bound = lp_objective_bound(&model).unwrap();
+        // The integer optimum is 7; the relaxation must not be below it.
+        assert!(bound >= 7.0 - 1e-6, "bound {bound}");
+    }
+
+    #[test]
+    fn minimization_bound_is_oriented() {
+        // Minimize x + y with x + 2y ≥ 7, x,y ∈ [0,5]; integer optimum 4,
+        // LP optimum 3.5 → oriented bound = -3.5 ≥ oriented optimum (-4).
+        let mut model = Model::new();
+        let x = model.add_integer("x", 0, 5);
+        let y = model.add_integer("y", 0, 5);
+        model.add_constraint("cover", LinExpr::new().plus(1, x).plus(2, y), Cmp::Ge, 7);
+        model.set_objective(Sense::Minimize, LinExpr::new().plus(1, x).plus(1, y));
+        let bound = lp_objective_bound(&model).unwrap();
+        assert!(bound >= -4.0 - 1e-6);
+        assert!(bound <= -3.5 + 1e-6);
+    }
+
+    #[test]
+    fn shifted_lower_bounds_are_handled() {
+        // x ∈ [2, 6], maximize x with x ≤ 5 → bound 5.
+        let mut model = Model::new();
+        let x = model.add_integer("x", 2, 6);
+        model.add_constraint("cap", LinExpr::var(x), Cmp::Le, 5);
+        model.set_objective(Sense::Maximize, LinExpr::var(x));
+        let bound = lp_objective_bound(&model).unwrap();
+        assert!((bound - 5.0).abs() < 1e-6, "bound {bound}");
+    }
+
+    #[test]
+    fn infeasible_relaxation_gives_negative_infinity() {
+        let mut model = Model::new();
+        let x = model.add_binary("x");
+        model.add_constraint("impossible", LinExpr::var(x), Cmp::Ge, 2);
+        model.set_objective(Sense::Maximize, LinExpr::var(x));
+        let bound = lp_objective_bound(&model).unwrap();
+        assert_eq!(bound, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn models_without_objective_are_unbounded_above() {
+        let mut model = Model::new();
+        let _x = model.add_binary("x");
+        assert_eq!(lp_objective_bound(&model).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn oversized_models_are_rejected() {
+        let mut model = Model::new();
+        for i in 0..30_000 {
+            model.add_binary(format!("x{i}"));
+        }
+        assert!(matches!(
+            lp_relaxation(&model),
+            Err(IlpError::RelaxationTooLarge { .. })
+        ));
+    }
+}

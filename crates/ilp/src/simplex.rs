@@ -1,0 +1,409 @@
+//! A dense two-phase primal simplex solver for linear programs.
+//!
+//! This is the LP workhorse behind the optional root-node relaxation bound of
+//! the branch & bound solver, and a usable standalone LP solver for small
+//! dense problems. It implements the classic tableau method with Bland's rule
+//! (anti-cycling) and a phase-1 artificial-variable start.
+//!
+//! The solver maximizes `c·x` subject to `A·x ≤ b` and `x ≥ 0`. Callers with
+//! general bounds or equality constraints are expected to have rewritten them
+//! into this form (see [`crate::lp_relax`]).
+
+/// Numerical tolerance for pivots and feasibility checks.
+const EPSILON: f64 = 1e-9;
+
+/// A linear program in the canonical form `maximize c·x, A·x ≤ b, x ≥ 0`.
+#[derive(Clone, Debug, Default)]
+pub struct LpProblem {
+    /// Objective coefficients (length = number of structural variables).
+    pub objective: Vec<f64>,
+    /// Constraint rows `(a, b)` meaning `a·x ≤ b`.
+    pub rows: Vec<(Vec<f64>, f64)>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimal objective value.
+        objective: f64,
+        /// The optimal values of the structural variables.
+        solution: Vec<f64>,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with `num_vars` structural variables.
+    pub fn new(num_vars: usize) -> Self {
+        LpProblem {
+            objective: vec![0.0; num_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a `a·x ≤ b` row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the number of variables.
+    pub fn add_row(&mut self, coefficients: Vec<f64>, rhs: f64) {
+        assert_eq!(
+            coefficients.len(),
+            self.objective.len(),
+            "row length must match the number of variables"
+        );
+        self.rows.push((coefficients, rhs));
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+}
+
+/// Solves a canonical-form LP with the two-phase tableau simplex method.
+pub fn solve_lp(problem: &LpProblem) -> LpOutcome {
+    Tableau::build(problem).solve(problem)
+}
+
+struct Tableau {
+    /// `rows × columns` coefficient matrix; the last column is the rhs.
+    data: Vec<Vec<f64>>,
+    /// Index of the basic variable of each row.
+    basis: Vec<usize>,
+    num_structural: usize,
+    num_slack: usize,
+    num_artificial: usize,
+}
+
+impl Tableau {
+    fn build(problem: &LpProblem) -> Tableau {
+        let n = problem.num_vars();
+        let m = problem.rows.len();
+        // Column layout: [structural | slack/surplus | artificial | rhs].
+        let num_slack = m;
+        // Artificials are only needed for rows whose rhs is negative (they
+        // become ≥ rows after sign normalization).
+        let artificial_rows: Vec<usize> = problem
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, b))| *b < -EPSILON)
+            .map(|(i, _)| i)
+            .collect();
+        let num_artificial = artificial_rows.len();
+        let width = n + num_slack + num_artificial + 1;
+
+        let mut data = vec![vec![0.0; width]; m];
+        let mut basis = vec![0usize; m];
+        let mut artificial_cursor = 0usize;
+        for (row_idx, (coefficients, rhs)) in problem.rows.iter().enumerate() {
+            let negate = *rhs < -EPSILON;
+            let sign = if negate { -1.0 } else { 1.0 };
+            for (j, &a) in coefficients.iter().enumerate() {
+                data[row_idx][j] = sign * a;
+            }
+            // Slack (or surplus when the row was negated).
+            data[row_idx][n + row_idx] = sign;
+            data[row_idx][width - 1] = sign * rhs;
+            if negate {
+                let art_col = n + num_slack + artificial_cursor;
+                artificial_cursor += 1;
+                data[row_idx][art_col] = 1.0;
+                basis[row_idx] = art_col;
+            } else {
+                basis[row_idx] = n + row_idx;
+            }
+        }
+
+        Tableau {
+            data,
+            basis,
+            num_structural: n,
+            num_slack,
+            num_artificial,
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.num_structural + self.num_slack + self.num_artificial + 1
+    }
+
+    fn solve(mut self, problem: &LpProblem) -> LpOutcome {
+        if self.num_artificial > 0 {
+            // Phase 1: minimize the sum of artificial variables, i.e.
+            // maximize the negated sum.
+            let mut phase1 = vec![0.0; self.width() - 1];
+            for col in
+                self.num_structural + self.num_slack..self.num_structural + self.num_slack + self.num_artificial
+            {
+                phase1[col] = -1.0;
+            }
+            match self.run_simplex(&phase1) {
+                SimplexRun::Unbounded => return LpOutcome::Infeasible,
+                SimplexRun::Optimal { objective } => {
+                    if objective < -1e-7 {
+                        return LpOutcome::Infeasible;
+                    }
+                }
+            }
+            self.drive_out_artificials();
+        }
+
+        // Phase 2: maximize the real objective over structural variables.
+        let mut phase2 = vec![0.0; self.width() - 1];
+        phase2[..self.num_structural].copy_from_slice(&problem.objective);
+        // Forbid artificial variables from re-entering.
+        match self.run_simplex_with_banned(&phase2, self.num_structural + self.num_slack) {
+            SimplexRun::Unbounded => LpOutcome::Unbounded,
+            SimplexRun::Optimal { objective } => {
+                let mut solution = vec![0.0; self.num_structural];
+                for (row, &basic) in self.basis.iter().enumerate() {
+                    if basic < self.num_structural {
+                        solution[basic] = self.data[row][self.width() - 1];
+                    }
+                }
+                LpOutcome::Optimal {
+                    objective,
+                    solution,
+                }
+            }
+        }
+    }
+
+    /// After phase 1, pivot any artificial variable remaining in the basis
+    /// (at value 0) out of it when possible; rows where this is impossible
+    /// are redundant and harmless.
+    fn drive_out_artificials(&mut self) {
+        let art_start = self.num_structural + self.num_slack;
+        let rhs_col = self.width() - 1;
+        for row in 0..self.data.len() {
+            if self.basis[row] >= art_start {
+                let pivot_col = (0..art_start).find(|&col| self.data[row][col].abs() > EPSILON);
+                if let Some(col) = pivot_col {
+                    self.pivot(row, col);
+                } else {
+                    // Redundant row: force its rhs to zero to avoid noise.
+                    self.data[row][rhs_col] = 0.0;
+                }
+            }
+        }
+    }
+
+    fn run_simplex(&mut self, objective: &[f64]) -> SimplexRun {
+        self.run_simplex_with_banned(objective, usize::MAX)
+    }
+
+    /// Runs the primal simplex. Columns at or beyond `banned_from` may not
+    /// enter the basis.
+    fn run_simplex_with_banned(&mut self, objective: &[f64], banned_from: usize) -> SimplexRun {
+        let rhs_col = self.width() - 1;
+        // Reduced costs are recomputed from scratch each iteration; the
+        // tableau sizes used in this crate are small enough that clarity wins
+        // over a revised-simplex implementation.
+        let max_iterations = 20_000usize.max(100 * self.data.len().max(objective.len()));
+        for _ in 0..max_iterations {
+            let reduced = self.reduced_costs(objective);
+            // Bland's rule: smallest-index entering column with positive
+            // reduced cost.
+            let entering =
+                (0..reduced.len()).find(|&col| col < banned_from && reduced[col] > EPSILON);
+            let Some(entering) = entering else {
+                return SimplexRun::Optimal {
+                    objective: self.objective_value(objective),
+                };
+            };
+            // Ratio test: smallest ratio rhs / coefficient over positive
+            // coefficients; ties broken by smallest basis index (Bland).
+            let mut leaving: Option<(usize, f64)> = None;
+            for row in 0..self.data.len() {
+                let coeff = self.data[row][entering];
+                if coeff > EPSILON {
+                    let ratio = self.data[row][rhs_col] / coeff;
+                    let better = match leaving {
+                        None => true,
+                        Some((best_row, best_ratio)) => {
+                            ratio < best_ratio - EPSILON
+                                || (ratio < best_ratio + EPSILON
+                                    && self.basis[row] < self.basis[best_row])
+                        }
+                    };
+                    if better {
+                        leaving = Some((row, ratio));
+                    }
+                }
+            }
+            let Some((leaving_row, _)) = leaving else {
+                return SimplexRun::Unbounded;
+            };
+            self.pivot(leaving_row, entering);
+        }
+        // Hitting the iteration cap on these tiny problems indicates cycling;
+        // report the current (feasible) point as optimal-so-far.
+        SimplexRun::Optimal {
+            objective: self.objective_value(objective),
+        }
+    }
+
+    fn reduced_costs(&self, objective: &[f64]) -> Vec<f64> {
+        let width = self.width() - 1;
+        let mut costs = vec![0.0; width];
+        for (col, cost) in costs.iter_mut().enumerate() {
+            *cost = objective.get(col).copied().unwrap_or(0.0);
+            for (row, &basic) in self.basis.iter().enumerate() {
+                let basic_cost = objective.get(basic).copied().unwrap_or(0.0);
+                if basic_cost != 0.0 {
+                    *cost -= basic_cost * self.data[row][col];
+                }
+            }
+        }
+        costs
+    }
+
+    fn objective_value(&self, objective: &[f64]) -> f64 {
+        let rhs_col = self.width() - 1;
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(row, &basic)| {
+                objective.get(basic).copied().unwrap_or(0.0) * self.data[row][rhs_col]
+            })
+            .sum()
+    }
+
+    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let width = self.width();
+        let pivot_value = self.data[pivot_row][pivot_col];
+        debug_assert!(pivot_value.abs() > EPSILON, "pivot on a zero element");
+        for col in 0..width {
+            self.data[pivot_row][col] /= pivot_value;
+        }
+        for row in 0..self.data.len() {
+            if row == pivot_row {
+                continue;
+            }
+            let factor = self.data[row][pivot_col];
+            if factor.abs() > EPSILON {
+                for col in 0..width {
+                    self.data[row][col] -= factor * self.data[pivot_row][col];
+                }
+            }
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+}
+
+enum SimplexRun {
+    Optimal { objective: f64 },
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn maximizes_a_textbook_lp() {
+        // maximize 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → optimum 36 at (2, 6).
+        let mut lp = LpProblem::new(2);
+        lp.objective = vec![3.0, 5.0];
+        lp.add_row(vec![1.0, 0.0], 4.0);
+        lp.add_row(vec![0.0, 2.0], 12.0);
+        lp.add_row(vec![3.0, 2.0], 18.0);
+        match solve_lp(&lp) {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert_close(objective, 36.0);
+                assert_close(solution[0], 2.0);
+                assert_close(solution[1], 6.0);
+            }
+            other => panic!("expected optimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // maximize x with only x ≥ 0 (no rows): unbounded.
+        let mut lp = LpProblem::new(1);
+        lp.objective = vec![1.0];
+        assert_eq!(solve_lp(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x ≤ 1 and -x ≤ -3 (i.e. x ≥ 3) cannot both hold.
+        let mut lp = LpProblem::new(1);
+        lp.objective = vec![1.0];
+        lp.add_row(vec![1.0], 1.0);
+        lp.add_row(vec![-1.0], -3.0);
+        assert_eq!(solve_lp(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn phase_one_finds_a_start_for_negative_rhs() {
+        // maximize x + y s.t. x + y ≤ 10, -x ≤ -2 (x ≥ 2), -y ≤ -3 (y ≥ 3).
+        let mut lp = LpProblem::new(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.add_row(vec![1.0, 1.0], 10.0);
+        lp.add_row(vec![-1.0, 0.0], -2.0);
+        lp.add_row(vec![0.0, -1.0], -3.0);
+        match solve_lp(&lp) {
+            LpOutcome::Optimal { objective, .. } => assert_close(objective, 10.0),
+            other => panic!("expected optimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn knapsack_relaxation_bound_is_fractional() {
+        // LP relaxation of the knapsack used in the solver tests: weights
+        // 2,3,4,5, values 3,4,5,6, capacity 5, x ∈ [0,1]. The LP optimum is
+        // 3 + 4 = 7 plus 0 room → actually x1=1, x2=1 uses the whole capacity,
+        // so the relaxation already achieves 7; adding fractional x3 is not
+        // possible. Optimum 7.
+        let mut lp = LpProblem::new(4);
+        lp.objective = vec![3.0, 4.0, 5.0, 6.0];
+        lp.add_row(vec![2.0, 3.0, 4.0, 5.0], 5.0);
+        for i in 0..4 {
+            let mut row = vec![0.0; 4];
+            row[i] = 1.0;
+            lp.add_row(row, 1.0);
+        }
+        match solve_lp(&lp) {
+            LpOutcome::Optimal { objective, .. } => assert_close(objective, 7.0),
+            other => panic!("expected optimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A degenerate LP that classically cycles without Bland's rule.
+        let mut lp = LpProblem::new(4);
+        lp.objective = vec![0.75, -150.0, 0.02, -6.0];
+        lp.add_row(vec![0.25, -60.0, -0.04, 9.0], 0.0);
+        lp.add_row(vec![0.5, -90.0, -0.02, 3.0], 0.0);
+        lp.add_row(vec![0.0, 0.0, 1.0, 0.0], 1.0);
+        match solve_lp(&lp) {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective - 0.05).abs() < 1e-4, "objective {objective}");
+            }
+            other => panic!("expected optimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_length_panics() {
+        let mut lp = LpProblem::new(2);
+        lp.add_row(vec![1.0], 1.0);
+    }
+}

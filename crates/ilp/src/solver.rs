@@ -1,0 +1,464 @@
+//! Branch & bound search over the propagation engine.
+//!
+//! The solver is tuned for the shape of the paper's sort-refinement
+//! instances: almost all variables (`U_{i,p}`, `T_{i,τ}`) are functionally
+//! implied by the `X_{i,µ}` assignment variables, so the search only needs to
+//! *branch* on the declared decision groups (one group per signature, one
+//! member per candidate implicit sort) and let propagation fix everything
+//! else. Models without decision groups fall back to binary/interval
+//! branching, and objective-bearing models are handled with incumbent-based
+//! bounding (plus an optional LP relaxation bound at the root).
+
+use std::time::{Duration, Instant};
+
+use crate::engine::Engine;
+use crate::error::IlpError;
+use crate::lp_relax::lp_objective_bound;
+use crate::model::{Model, Objective, Sense};
+use crate::solution::{SolveResult, SolveStats, SolveStatus};
+
+/// Configuration of the branch & bound search.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Wall-clock limit for the whole solve.
+    pub time_limit: Option<Duration>,
+    /// Limit on the number of explored nodes.
+    pub node_limit: Option<u64>,
+    /// Whether to compute an LP-relaxation bound at the root node for
+    /// objective-bearing models (only attempted below [`SolverConfig::lp_size_limit`]).
+    pub use_lp_root_bound: bool,
+    /// Maximum `variables + constraints` for which the dense LP relaxation is
+    /// attempted.
+    pub lp_size_limit: usize,
+    /// Stop at the first feasible solution even if an objective is present.
+    pub first_solution_only: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            time_limit: None,
+            node_limit: None,
+            use_lp_root_bound: true,
+            lp_size_limit: 2_000,
+            first_solution_only: false,
+        }
+    }
+}
+
+/// The branch & bound ILP solver.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+struct SearchState<'a> {
+    engine: Engine,
+    model: &'a Model,
+    config: &'a SolverConfig,
+    deadline: Option<Instant>,
+    nodes: u64,
+    conflicts: u64,
+    lp_relaxations: u64,
+    incumbent: Option<Vec<i64>>,
+    incumbent_objective: Option<i128>,
+    /// Root LP bound on the objective (in maximization orientation).
+    root_bound: Option<f64>,
+    aborted: bool,
+}
+
+impl Solver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> Self {
+        Solver {
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Creates a solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver { config }
+    }
+
+    /// Solves the model.
+    pub fn solve(&self, model: &Model) -> Result<SolveResult, IlpError> {
+        let start = Instant::now();
+        let mut engine = Engine::new(model)?;
+        engine.schedule_all();
+
+        let mut state = SearchState {
+            engine,
+            model,
+            config: &self.config,
+            deadline: self.config.time_limit.map(|limit| start + limit),
+            nodes: 0,
+            conflicts: 0,
+            lp_relaxations: 0,
+            incumbent: None,
+            incumbent_objective: None,
+            root_bound: None,
+            aborted: false,
+        };
+
+        let root_feasible = state.engine.propagate().is_ok();
+        if root_feasible {
+            if let Some(objective) = model.objective() {
+                if self.config.use_lp_root_bound
+                    && model.num_vars() + model.num_constraints() <= self.config.lp_size_limit
+                {
+                    if let Ok(bound) = lp_objective_bound(model) {
+                        state.root_bound = Some(bound);
+                        state.lp_relaxations += 1;
+                    }
+                }
+                let _ = objective;
+            }
+            state.search();
+        }
+
+        let stats = SolveStats {
+            nodes: state.nodes,
+            propagations: state.engine.propagations,
+            conflicts: state.conflicts,
+            lp_relaxations: state.lp_relaxations,
+            elapsed: start.elapsed(),
+        };
+
+        let status = match (&state.incumbent, state.aborted) {
+            (Some(_), false) => SolveStatus::Optimal,
+            (Some(_), true) => SolveStatus::Feasible,
+            (None, false) => SolveStatus::Infeasible,
+            (None, true) => SolveStatus::Unknown,
+        };
+
+        Ok(SolveResult {
+            status,
+            objective: state.incumbent_objective,
+            solution: state.incumbent,
+            stats,
+        })
+    }
+}
+
+impl<'a> SearchState<'a> {
+    /// Orientation-normalized objective value: larger is always better.
+    fn oriented(objective: &Objective, value: i128) -> i128 {
+        match objective.sense {
+            Sense::Maximize => value,
+            Sense::Minimize => -value,
+        }
+    }
+
+    fn out_of_budget(&mut self) -> bool {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.aborted = true;
+                return true;
+            }
+        }
+        if let Some(limit) = self.config.node_limit {
+            if self.nodes >= limit {
+                self.aborted = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Upper bound (in oriented terms) on the objective achievable from the
+    /// current bounds; used to prune dominated subtrees.
+    fn objective_upper_bound(&self, objective: &Objective) -> i128 {
+        let oriented_constant = match objective.sense {
+            Sense::Maximize => i128::from(objective.expr.constant),
+            Sense::Minimize => -i128::from(objective.expr.constant),
+        };
+        let mut bound = oriented_constant;
+        for &(var, coeff) in &objective.expr.terms {
+            let coeff_i = i128::from(coeff);
+            let oriented_coeff = match objective.sense {
+                Sense::Maximize => coeff_i,
+                Sense::Minimize => -coeff_i,
+            };
+            let value = if oriented_coeff >= 0 {
+                i128::from(self.engine.upper(var.index()))
+            } else {
+                i128::from(self.engine.lower(var.index()))
+            };
+            bound += oriented_coeff * value;
+        }
+        bound
+    }
+
+    /// Returns true when the search in this subtree should stop entirely
+    /// (budget exhausted or a satisfying solution found for a pure
+    /// feasibility problem).
+    fn search(&mut self) -> bool {
+        self.nodes += 1;
+        if self.out_of_budget() {
+            return true;
+        }
+
+        // Prune by objective bound.
+        if let (Some(objective), Some(best)) =
+            (self.model.objective(), self.incumbent_objective)
+        {
+            let oriented_best = Self::oriented(objective, best);
+            if self.objective_upper_bound(objective) <= oriented_best {
+                return false;
+            }
+            if let Some(root_bound) = self.root_bound {
+                // The root LP bound is global: once the incumbent matches it
+                // the incumbent is optimal.
+                if (oriented_best as f64) >= root_bound - 1e-6 {
+                    return true;
+                }
+            }
+        }
+
+        if self.engine.all_fixed() {
+            let assignment = self.engine.assignment();
+            debug_assert_eq!(self.model.check_assignment(&assignment), Ok(()));
+            let objective_value = self
+                .model
+                .objective()
+                .map(|objective| objective.expr.evaluate(&assignment));
+            let improves = match (self.model.objective(), self.incumbent_objective) {
+                (None, _) => true,
+                (Some(_), None) => true,
+                (Some(objective), Some(best)) => {
+                    Self::oriented(objective, objective_value.expect("objective evaluated"))
+                        > Self::oriented(objective, best)
+                }
+            };
+            if improves {
+                self.incumbent = Some(assignment);
+                self.incumbent_objective = objective_value;
+            }
+            // A feasibility problem (or first-solution mode) stops at the
+            // first solution; an optimization problem keeps searching.
+            return self.model.objective().is_none() || self.config.first_solution_only;
+        }
+
+        for value_choice in self.branch_choices() {
+            self.engine.push_level();
+            let feasible = self.apply_choice(&value_choice).is_ok()
+                && self.engine.propagate().is_ok();
+            let stop = if feasible {
+                self.search()
+            } else {
+                self.conflicts += 1;
+                false
+            };
+            self.engine.pop_level();
+            if stop {
+                return true;
+            }
+            if self.out_of_budget() {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn apply_choice(&mut self, choice: &BranchChoice) -> Result<(), crate::engine::Conflict> {
+        match *choice {
+            BranchChoice::Fix { var, value } => self.engine.fix(var, value),
+            BranchChoice::UpperAtMost { var, value } => self.engine.set_upper(var, value),
+            BranchChoice::LowerAtLeast { var, value } => self.engine.set_lower(var, value),
+        }
+    }
+
+    /// Decides what to branch on at this node.
+    fn branch_choices(&self) -> Vec<BranchChoice> {
+        // 1. Decision groups: find the first group not yet decided (no member
+        //    fixed to 1) and branch over its still-possible members.
+        for group in self.model.decision_groups() {
+            let decided = group.iter().any(|&var| self.engine.lower(var.index()) == 1);
+            if decided {
+                continue;
+            }
+            let free: Vec<BranchChoice> = group
+                .iter()
+                .filter(|&&var| self.engine.upper(var.index()) == 1)
+                .map(|&var| BranchChoice::Fix {
+                    var: var.index(),
+                    value: 1,
+                })
+                .collect();
+            if !free.is_empty() {
+                return free;
+            }
+            // All members are forced to 0: the group's exactly-one constraint
+            // will conflict during propagation of the child; branch on the
+            // first member to surface the conflict.
+            return vec![BranchChoice::Fix {
+                var: group[0].index(),
+                value: 0,
+            }];
+        }
+
+        // 2. Fallback: branch on the first unfixed variable.
+        for var in 0..self.engine.num_vars() {
+            if !self.engine.is_fixed(var) {
+                let lower = self.engine.lower(var);
+                let upper = self.engine.upper(var);
+                if upper - lower == 1 {
+                    return vec![
+                        BranchChoice::Fix { var, value: upper },
+                        BranchChoice::Fix { var, value: lower },
+                    ];
+                }
+                let mid = lower + (upper - lower) / 2;
+                return vec![
+                    BranchChoice::UpperAtMost { var, value: mid },
+                    BranchChoice::LowerAtLeast { var, value: mid + 1 },
+                ];
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// A single branching decision.
+enum BranchChoice {
+    Fix { var: usize, value: i64 },
+    UpperAtMost { var: usize, value: i64 },
+    LowerAtLeast { var: usize, value: i64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LinExpr, Model, Sense};
+
+    #[test]
+    fn solves_a_small_assignment_feasibility_problem() {
+        // Three items, two bins, each item in exactly one bin, bin capacities.
+        let mut model = Model::new();
+        let sizes = [3i64, 2, 2];
+        let mut assign = Vec::new();
+        for (item, _) in sizes.iter().enumerate() {
+            let in_a = model.add_binary(format!("item{item}_binA"));
+            let in_b = model.add_binary(format!("item{item}_binB"));
+            model.add_constraint(
+                format!("item{item}_once"),
+                LinExpr::new().plus(1, in_a).plus(1, in_b),
+                Cmp::Eq,
+                1,
+            );
+            model.add_decision_group(vec![in_a, in_b]);
+            assign.push((in_a, in_b));
+        }
+        for (bin, pick) in [(0usize, 0usize), (1, 1)] {
+            let mut expr = LinExpr::new();
+            for (item, &size) in sizes.iter().enumerate() {
+                let var = if pick == 0 { assign[item].0 } else { assign[item].1 };
+                expr.add_term(size, var);
+            }
+            model.add_constraint(format!("cap_bin{bin}"), expr, Cmp::Le, 4);
+        }
+        let result = Solver::new().solve(&model).unwrap();
+        assert_eq!(result.status, SolveStatus::Optimal);
+        let solution = result.solution.unwrap();
+        assert!(model.check_assignment(&solution).is_ok());
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut model = Model::new();
+        let x = model.add_binary("x");
+        let y = model.add_binary("y");
+        model.add_constraint("ge", LinExpr::new().plus(1, x).plus(1, y), Cmp::Ge, 2);
+        model.add_constraint("le", LinExpr::new().plus(1, x).plus(1, y), Cmp::Le, 1);
+        let result = Solver::new().solve(&model).unwrap();
+        assert_eq!(result.status, SolveStatus::Infeasible);
+        assert!(result.solution.is_none());
+    }
+
+    #[test]
+    fn maximizes_a_knapsack() {
+        // Classic 0/1 knapsack: weights 2,3,4,5 values 3,4,5,6, capacity 5.
+        // Optimum is items {2,3} (weights 2+3) with value 7.
+        let mut model = Model::new();
+        let weights = [2i64, 3, 4, 5];
+        let values = [3i64, 4, 5, 6];
+        let vars: Vec<_> = (0..4).map(|i| model.add_binary(format!("x{i}"))).collect();
+        let mut weight_expr = LinExpr::new();
+        let mut value_expr = LinExpr::new();
+        for i in 0..4 {
+            weight_expr.add_term(weights[i], vars[i]);
+            value_expr.add_term(values[i], vars[i]);
+        }
+        model.add_constraint("capacity", weight_expr, Cmp::Le, 5);
+        model.set_objective(Sense::Maximize, value_expr);
+        let result = Solver::new().solve(&model).unwrap();
+        assert_eq!(result.status, SolveStatus::Optimal);
+        assert_eq!(result.objective, Some(7));
+        let solution = result.solution.unwrap();
+        assert_eq!(solution[0], 1);
+        assert_eq!(solution[1], 1);
+    }
+
+    #[test]
+    fn minimizes_with_integer_ranges() {
+        // Minimize x + y subject to x + 2y ≥ 7, x,y ∈ [0,5]; optimum 4 (x=1,y=3 or x=3,y=2).
+        let mut model = Model::new();
+        let x = model.add_integer("x", 0, 5);
+        let y = model.add_integer("y", 0, 5);
+        model.add_constraint("cover", LinExpr::new().plus(1, x).plus(2, y), Cmp::Ge, 7);
+        model.set_objective(Sense::Minimize, LinExpr::new().plus(1, x).plus(1, y));
+        let result = Solver::new().solve(&model).unwrap();
+        assert_eq!(result.status, SolveStatus::Optimal);
+        assert_eq!(result.objective, Some(4));
+    }
+
+    #[test]
+    fn node_limit_yields_unknown_or_feasible() {
+        // A model with plenty of solutions but a node limit of 1: the solver
+        // must not claim infeasibility.
+        let mut model = Model::new();
+        let vars: Vec<_> = (0..10).map(|i| model.add_binary(format!("x{i}"))).collect();
+        let mut expr = LinExpr::new();
+        for &v in &vars {
+            expr.add_term(1, v);
+        }
+        model.add_constraint("half", expr.clone(), Cmp::Ge, 5);
+        model.set_objective(Sense::Maximize, expr);
+        let config = SolverConfig {
+            node_limit: Some(1),
+            use_lp_root_bound: false,
+            ..SolverConfig::default()
+        };
+        let result = Solver::with_config(config).solve(&model).unwrap();
+        assert_ne!(result.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn first_solution_only_stops_early() {
+        let mut model = Model::new();
+        let vars: Vec<_> = (0..6).map(|i| model.add_binary(format!("x{i}"))).collect();
+        let mut expr = LinExpr::new();
+        for &v in &vars {
+            expr.add_term(1, v);
+        }
+        model.add_constraint("some", expr.clone(), Cmp::Ge, 2);
+        model.set_objective(Sense::Maximize, expr);
+        let config = SolverConfig {
+            first_solution_only: true,
+            use_lp_root_bound: false,
+            ..SolverConfig::default()
+        };
+        let result = Solver::with_config(config).solve(&model).unwrap();
+        assert!(result.status.has_solution());
+        // The first solution is not necessarily optimal (objective 6).
+        assert!(result.objective.unwrap() >= 2);
+    }
+
+    #[test]
+    fn empty_model_is_trivially_satisfiable() {
+        let model = Model::new();
+        let result = Solver::new().solve(&model).unwrap();
+        assert_eq!(result.status, SolveStatus::Optimal);
+        assert_eq!(result.solution.unwrap().len(), 0);
+    }
+}

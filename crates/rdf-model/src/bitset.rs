@@ -1,0 +1,254 @@
+//! A compact fixed-capacity bit set used for signatures and property masks.
+//!
+//! The property-structure view of an RDF graph (Section 2.1 of the paper) is a
+//! 0/1 matrix. Rows of that matrix — and therefore *signatures* (Definition
+//! 4.1) — are naturally represented as bit sets over the property columns.
+//! Real sorts have few properties (8 for DBpedia Persons, 12 for WordNet
+//! Nouns, ≤ 80 for the YAGO sample), so a small `Vec<u64>` is all we need.
+
+/// A growable bit set backed by 64-bit words.
+///
+/// The set has a logical *capacity* (number of addressable bits) fixed at
+/// construction; operations on indexes beyond the capacity panic, which keeps
+/// accidental column mix-ups loud during development.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bit set able to hold `capacity` bits.
+    pub fn new(capacity: usize) -> Self {
+        let n_words = capacity.div_ceil(64).max(1);
+        BitSet {
+            words: vec![0; n_words],
+            capacity,
+        }
+    }
+
+    /// Creates a bit set with the bits listed in `indexes` set.
+    pub fn from_indexes(capacity: usize, indexes: &[usize]) -> Self {
+        let mut set = BitSet::new(capacity);
+        for &i in indexes {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// Number of addressable bits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn check(&self, index: usize) {
+        assert!(
+            index < self.capacity,
+            "bit index {index} out of range for BitSet of capacity {}",
+            self.capacity
+        );
+    }
+
+    /// Sets the bit at `index`, returning whether it was previously unset.
+    pub fn insert(&mut self, index: usize) -> bool {
+        self.check(index);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let was_unset = *word & mask == 0;
+        *word |= mask;
+        was_unset
+    }
+
+    /// Clears the bit at `index`, returning whether it was previously set.
+    pub fn remove(&mut self, index: usize) -> bool {
+        self.check(index);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let was_set = *word & mask != 0;
+        *word &= !mask;
+        was_set
+    }
+
+    /// Returns whether the bit at `index` is set.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        self.check(index);
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the indexes of set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Returns `true` if every bit set in `self` is also set in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter().chain(std::iter::repeat(&0)))
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// In-place union with `other` (capacities must match).
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in union");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other` (capacities must match).
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in intersection"
+        );
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// Counts bits set in both `self` and `other`.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Counts bits set in `self` or `other`.
+    pub fn union_len(&self, other: &BitSet) -> usize {
+        let common_len: usize = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a | b).count_ones() as usize)
+            .sum();
+        // Account for a possible length mismatch defensively (should not
+        // happen when capacities agree, but keeps the function total).
+        let extra_self: usize = self
+            .words
+            .iter()
+            .skip(other.words.len())
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let extra_other: usize = other
+            .words
+            .iter()
+            .skip(self.words.len())
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        common_len + extra_self + extra_other
+    }
+
+    /// The raw backing words (least-significant word first).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indexes into a bit set with capacity `max + 1`.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let indexes: Vec<usize> = iter.into_iter().collect();
+        let capacity = indexes.iter().copied().max().map_or(0, |m| m + 1);
+        BitSet::from_indexes(capacity, &indexes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_bits() {
+        let set = BitSet::new(10);
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(!set.contains(3));
+        assert_eq!(set.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_remove_round_trip() {
+        let mut set = BitSet::new(130);
+        assert!(set.insert(0));
+        assert!(set.insert(64));
+        assert!(set.insert(129));
+        assert!(!set.insert(64), "second insert reports already present");
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(64));
+        assert!(set.remove(64));
+        assert!(!set.remove(64));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_access_panics() {
+        let set = BitSet::new(8);
+        set.contains(8);
+    }
+
+    #[test]
+    fn subset_and_set_operations() {
+        let a = BitSet::from_indexes(10, &[1, 3, 5]);
+        let b = BitSet::from_indexes(10, &[1, 2, 3, 5, 7]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(a.intersection_len(&b), 3);
+        assert_eq!(a.union_len(&b), 5);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 5, 7]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_capacity() {
+        let set: BitSet = vec![2usize, 9, 4].into_iter().collect();
+        assert_eq!(set.capacity(), 10);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn ordering_is_stable_for_identical_capacity() {
+        let a = BitSet::from_indexes(8, &[0]);
+        let b = BitSet::from_indexes(8, &[1]);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,414 @@
+//! A line-oriented N-Triples parser and serializer.
+//!
+//! Supports the subset of N-Triples needed for the datasets the paper works
+//! with: IRI subjects/predicates, IRI or literal objects, typed literals
+//! (`^^<iri>`), language tags (`@lang`), `#` comments, and the standard string
+//! escapes (`\t \n \r \" \\ \uXXXX \UXXXXXXXX`). Blank nodes are intentionally
+//! rejected: the paper's data model (Section 2.1) only considers URI subjects.
+
+use crate::error::ParseError;
+use crate::graph::Graph;
+use crate::term::{Literal, Object};
+
+/// Parses an entire N-Triples document into a [`Graph`].
+pub fn parse_ntriples(input: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    parse_ntriples_into(input, &mut graph)?;
+    Ok(graph)
+}
+
+/// Parses an N-Triples document, adding its triples to an existing graph.
+pub fn parse_ntriples_into(input: &str, graph: &mut Graph) -> Result<(), ParseError> {
+    for (line_no, raw_line) in input.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parser = LineParser::new(line, line_no + 1);
+        parser.parse_statement(graph)?;
+    }
+    Ok(())
+}
+
+/// Serializes a graph as N-Triples, one triple per line, in insertion order.
+pub fn write_ntriples(graph: &Graph) -> String {
+    let mut out = String::new();
+    for triple in graph.triples() {
+        out.push('<');
+        out.push_str(&escape_iri(graph.iri(triple.subject)));
+        out.push_str("> <");
+        out.push_str(&escape_iri(graph.iri(triple.predicate)));
+        out.push_str("> ");
+        match triple.object {
+            Object::Iri(id) => {
+                out.push('<');
+                out.push_str(&escape_iri(graph.iri(id)));
+                out.push('>');
+            }
+            Object::Literal(id) => {
+                let literal = graph.dictionary().literal(id);
+                out.push('"');
+                out.push_str(&escape_string(&literal.lexical));
+                out.push('"');
+                if let Some(lang) = &literal.language {
+                    out.push('@');
+                    out.push_str(lang);
+                } else if let Some(dt) = &literal.datatype {
+                    out.push_str("^^<");
+                    out.push_str(&escape_iri(dt));
+                    out.push('>');
+                }
+            }
+        }
+        out.push_str(" .\n");
+    }
+    out
+}
+
+fn escape_iri(iri: &str) -> String {
+    // IRIs in our datasets never contain '>' or control characters, but be
+    // defensive so round-trips cannot silently corrupt data.
+    iri.replace('\\', "\\\\").replace('>', "\\>")
+}
+
+fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+struct LineParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn new(line: &'a str, line_no: usize) -> Self {
+        LineParser {
+            bytes: line.as_bytes(),
+            pos: 0,
+            line: line_no,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.pos + 1, message)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected '{}', found {:?}",
+                byte as char,
+                self.peek().map(|b| b as char)
+            )))
+        }
+    }
+
+    fn parse_statement(&mut self, graph: &mut Graph) -> Result<(), ParseError> {
+        self.skip_ws();
+        let subject = self.parse_iri_ref()?;
+        self.skip_ws();
+        let predicate = self.parse_iri_ref()?;
+        self.skip_ws();
+        let object = self.parse_object()?;
+        self.skip_ws();
+        self.expect(b'.')?;
+        self.skip_ws();
+        if let Some(next) = self.peek() {
+            if next != b'#' {
+                return Err(self.error("unexpected content after '.'"));
+            }
+        }
+        let s = graph.intern_iri(&subject);
+        let p = graph.intern_iri(&predicate);
+        let o = match object {
+            ParsedObject::Iri(iri) => Object::Iri(graph.intern_iri(&iri)),
+            ParsedObject::Literal(literal) => {
+                Object::Literal(graph.dictionary_mut().intern_literal(literal))
+            }
+        };
+        graph.insert(s, p, o);
+        Ok(())
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(b'<') => {}
+            Some(b'_') => {
+                return Err(self.error(
+                    "blank nodes are not supported: the structuredness framework assumes URI subjects",
+                ))
+            }
+            _ => return Err(self.error("expected IRI starting with '<'")),
+        }
+        self.pos += 1;
+        let mut iri = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated IRI")),
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(iri);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'>') => {
+                            iri.push('>');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            iri.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'u') | Some(b'U') => {
+                            let ch = self.parse_unicode_escape()?;
+                            iri.push(ch);
+                        }
+                        _ => return Err(self.error("invalid escape in IRI")),
+                    }
+                }
+                Some(other) => {
+                    // Consume a full UTF-8 character, not just a byte.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in IRI"))?;
+                    let ch = text.chars().next().unwrap_or(other as char);
+                    if ch.is_whitespace() {
+                        return Err(self.error("whitespace inside IRI"));
+                    }
+                    iri.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<ParsedObject, ParseError> {
+        match self.peek() {
+            Some(b'<') => Ok(ParsedObject::Iri(self.parse_iri_ref()?)),
+            Some(b'"') => self.parse_literal().map(ParsedObject::Literal),
+            Some(b'_') => Err(self.error(
+                "blank nodes are not supported: the structuredness framework assumes URI subjects",
+            )),
+            _ => Err(self.error("expected IRI or literal object")),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        self.expect(b'"')?;
+        let mut lexical = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            lexical.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            lexical.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            lexical.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            lexical.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            lexical.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'u') | Some(b'U') => {
+                            let ch = self.parse_unicode_escape()?;
+                            lexical.push(ch);
+                        }
+                        _ => return Err(self.error("invalid escape in string literal")),
+                    }
+                }
+                Some(_) => {
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in literal"))?;
+                    let ch = text.chars().next().expect("non-empty checked above");
+                    lexical.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        // Optional language tag or datatype.
+        match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.pos == start {
+                    return Err(self.error("empty language tag"));
+                }
+                let tag = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ASCII checked")
+                    .to_owned();
+                Ok(Literal::lang(lexical, tag))
+            }
+            Some(b'^') => {
+                self.pos += 1;
+                self.expect(b'^')?;
+                let datatype = self.parse_iri_ref()?;
+                Ok(Literal::typed(lexical, datatype))
+            }
+            _ => Ok(Literal::simple(lexical)),
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, ParseError> {
+        let long = match self.peek() {
+            Some(b'u') => false,
+            Some(b'U') => true,
+            _ => return Err(self.error("expected unicode escape")),
+        };
+        self.pos += 1;
+        let len = if long { 8 } else { 4 };
+        if self.pos + len > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid hex in unicode escape"))?;
+        self.pos += len;
+        char::from_u32(code).ok_or_else(|| self.error("invalid unicode code point"))
+    }
+}
+
+enum ParsedObject {
+    Iri(String),
+    Literal(Literal),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = "\
+# a comment line
+<http://ex/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .
+<http://ex/alice> <http://ex/name> \"Alice\" .
+
+<http://ex/alice> <http://ex/birthDate> \"1980-01-01\"^^<http://www.w3.org/2001/XMLSchema#date> .
+<http://ex/alice> <http://ex/description> \"sagt \\\"hallo\\\"\"@de . # trailing comment
+";
+        let graph = parse_ntriples(doc).expect("document parses");
+        assert_eq!(graph.len(), 4);
+        assert_eq!(graph.subject_count(), 1);
+        assert_eq!(graph.subjects_of_sort_named("http://ex/Person").len(), 1);
+    }
+
+    #[test]
+    fn round_trips_through_serializer() {
+        let doc = "\
+<http://ex/s> <http://ex/p> <http://ex/o> .
+<http://ex/s> <http://ex/q> \"line\\nbreak\\t\\\"quoted\\\"\" .
+<http://ex/s> <http://ex/r> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/s> <http://ex/l> \"bonjour\"@fr .
+";
+        let graph = parse_ntriples(doc).expect("parses");
+        let serialized = write_ntriples(&graph);
+        let reparsed = parse_ntriples(&serialized).expect("round trip parses");
+        assert_eq!(reparsed.len(), graph.len());
+        let original: std::collections::BTreeSet<String> = doc
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.trim().to_owned())
+            .collect();
+        let round: std::collections::BTreeSet<String> = serialized
+            .lines()
+            .map(|l| l.trim().to_owned())
+            .collect();
+        assert_eq!(original, round);
+    }
+
+    #[test]
+    fn unicode_escapes_are_decoded() {
+        let doc = "<http://ex/s> <http://ex/p> \"caf\\u00E9\" .\n";
+        let graph = parse_ntriples(doc).expect("parses");
+        let triple = graph.triples().next().unwrap();
+        let Object::Literal(id) = triple.object else {
+            panic!("expected literal")
+        };
+        assert_eq!(graph.dictionary().literal(id).lexical, "café");
+    }
+
+    #[test]
+    fn rejects_blank_nodes() {
+        let err = parse_ntriples("_:b1 <http://ex/p> <http://ex/o> .\n").unwrap_err();
+        assert!(err.message.contains("blank nodes"));
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let err = parse_ntriples("<http://ex/s> <http://ex/p> <http://ex/o>\n").unwrap_err();
+        assert!(err.to_string().contains("expected '.'"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_garbage_after_dot() {
+        let err =
+            parse_ntriples("<http://ex/s> <http://ex/p> <http://ex/o> . garbage\n").unwrap_err();
+        assert!(err.message.contains("unexpected content"));
+    }
+
+    #[test]
+    fn rejects_unterminated_literal() {
+        let err = parse_ntriples("<http://ex/s> <http://ex/p> \"open .\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let doc = "<http://ex/s> <http://ex/p> <http://ex/o> .\nnot a triple\n";
+        let err = parse_ntriples(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Well-known vocabulary IRIs used throughout the paper and the toolkit.
+
+/// `rdf:type` — the property that declares a subject to be of a sort
+/// (Section 2.1: `(s, type, t)` declares `s` to be of sort `t`).
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// `owl:sameAs` — one of the generic properties ignored by the modified Cov
+/// rule in the semantic-correctness experiment (Section 7.4).
+pub const OWL_SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+/// `rdfs:subClassOf` — ignored by the modified Cov rule in Section 7.4.
+pub const RDFS_SUBCLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+
+/// `rdfs:label` — ignored by the modified Cov rule in Section 7.4.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+
+/// `foaf:Person` — the sort of the DBpedia Persons dataset (Section 7.1).
+pub const FOAF_PERSON: &str = "http://xmlns.com/foaf/0.1/Person";
+
+/// The WordNet noun-synset sort IRI (Section 7.2).
+pub const WN_NOUN_SYNSET: &str = "http://www.w3.org/2006/03/wn/wn20/schema/NounSynset";
+
+/// The four "syntactic" properties the Section 7.4 experiment excludes from
+/// the modified Cov rule.
+pub const GENERIC_PROPERTIES: [&str; 4] = [RDF_TYPE, OWL_SAME_AS, RDFS_SUBCLASS_OF, RDFS_LABEL];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdf_type_matches_paper_constant() {
+        assert_eq!(RDF_TYPE, "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    }
+
+    #[test]
+    fn generic_properties_include_type_and_label() {
+        assert!(GENERIC_PROPERTIES.contains(&RDF_TYPE));
+        assert!(GENERIC_PROPERTIES.contains(&RDFS_LABEL));
+        assert_eq!(GENERIC_PROPERTIES.len(), 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the RDF model crate.
+
+use proptest::prelude::*;
+use strudel_rdf::prelude::*;
+
+/// Strategy producing a "safe" IRI (no characters needing escapes).
+fn iri_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}".prop_map(|s| format!("http://example.org/{s}"))
+}
+
+/// Strategy producing arbitrary literal lexical forms including characters
+/// that require escaping in N-Triples.
+fn lexical_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~àéπ\\t\\n\"\\\\]{0,20}").expect("valid regex")
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    (lexical_strategy(), 0..3u8, "[a-z]{2}").prop_map(|(lex, kind, lang)| match kind {
+        0 => Literal::simple(lex),
+        1 => Literal::typed(lex, "http://www.w3.org/2001/XMLSchema#string"),
+        _ => Literal::lang(lex, lang),
+    })
+}
+
+/// A random triple: IRI subject/predicate, IRI-or-literal object.
+fn triple_strategy() -> impl Strategy<Value = (String, String, Result<String, Literal>)> {
+    (
+        iri_strategy(),
+        iri_strategy(),
+        prop_oneof![
+            iri_strategy().prop_map(Ok),
+            literal_strategy().prop_map(Err)
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serialize → parse is the identity on the triple set.
+    #[test]
+    fn ntriples_round_trip(triples in proptest::collection::vec(triple_strategy(), 0..40)) {
+        let mut graph = Graph::new();
+        for (s, p, o) in &triples {
+            match o {
+                Ok(iri) => graph.insert_iri_triple(s, p, iri),
+                Err(lit) => graph.insert_literal_triple(s, p, lit.clone()),
+            };
+        }
+        let text = write_ntriples(&graph);
+        let reparsed = parse_ntriples(&text).expect("serializer output must parse");
+        prop_assert_eq!(reparsed.len(), graph.len());
+        prop_assert_eq!(reparsed.subject_count(), graph.subject_count());
+        prop_assert_eq!(reparsed.property_count(), graph.property_count());
+        // The set of (s, p, object-kind) patterns must survive; compare via a
+        // canonical re-serialization.
+        let text2 = write_ntriples(&reparsed);
+        let mut lines1: Vec<&str> = text.lines().collect();
+        let mut lines2: Vec<&str> = text2.lines().collect();
+        lines1.sort_unstable();
+        lines2.sort_unstable();
+        prop_assert_eq!(lines1, lines2);
+    }
+
+    /// The signature view always conserves subjects, ones and column counts.
+    #[test]
+    fn signature_view_conserves_counts(rows in proptest::collection::vec(
+        proptest::collection::vec(any::<bool>(), 6..7), 1..60)
+    ) {
+        let properties: Vec<String> = (0..6).map(|i| format!("http://example.org/p{i}")).collect();
+        let subjects: Vec<String> = (0..rows.len()).map(|i| format!("http://example.org/s{i}")).collect();
+        let bit_rows: Vec<BitSet> = rows
+            .iter()
+            .map(|row| {
+                let idx: Vec<usize> = row
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &b)| b.then_some(i))
+                    .collect();
+                BitSet::from_indexes(6, &idx)
+            })
+            .collect();
+        let matrix = PropertyStructureView::from_rows(properties, subjects, bit_rows).unwrap();
+        let view = SignatureView::from_matrix(&matrix);
+
+        prop_assert_eq!(view.subject_count(), matrix.subject_count());
+        prop_assert_eq!(view.ones(), matrix.ones());
+        for col in 0..matrix.property_count() {
+            prop_assert_eq!(view.property_subject_count(col), matrix.column_count(col));
+        }
+        // Entries are sorted by descending count.
+        let counts: Vec<usize> = view.entries().iter().map(|e| e.count).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(counts, sorted);
+        // Round trip through the expanded matrix preserves the signature multiset.
+        let expanded = view.to_matrix();
+        let back = SignatureView::from_matrix(&expanded);
+        prop_assert_eq!(back.signature_count(), view.signature_count());
+        prop_assert_eq!(back.subject_count(), view.subject_count());
+    }
+
+    /// Graph membership queries agree with the matrix view.
+    #[test]
+    fn matrix_agrees_with_graph(triples in proptest::collection::vec(
+        (0..8u8, 0..5u8), 1..50)
+    ) {
+        let mut graph = Graph::new();
+        for &(s, p) in &triples {
+            graph.insert_literal_triple(
+                &format!("http://example.org/s{s}"),
+                &format!("http://example.org/p{p}"),
+                Literal::simple("v"),
+            );
+        }
+        let matrix = PropertyStructureView::from_graph(&graph, true);
+        for (row, subject) in matrix.subjects().iter().enumerate() {
+            for (col, property) in matrix.properties().iter().enumerate() {
+                let sid = graph.dictionary().iri_id(subject).unwrap();
+                let pid = graph.dictionary().iri_id(property).unwrap();
+                prop_assert_eq!(matrix.value(row, col), graph.has_property(sid, pid));
+            }
+        }
+    }
+}

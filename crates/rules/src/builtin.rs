@@ -1,0 +1,359 @@
+//! The structuredness functions discussed in the paper (Section 2.2 and 3.2),
+//! both as rules of the language and as closed-form evaluators.
+//!
+//! The closed forms are algebraic simplifications of the generic rule
+//! semantics over a signature view; they are used by the direct refinement
+//! engine where σ must be re-evaluated for many candidate subsets, and they
+//! are property-tested against the generic evaluator.
+
+use strudel_rdf::signature::SignatureView;
+
+use crate::ast::{Atom, Formula, Rule, Var};
+use crate::rational::Ratio;
+
+fn var(name: &str) -> Var {
+    Var::new(name)
+}
+
+/// The σ_Cov rule: `c = c ↦ val(c) = 1`.
+pub fn coverage() -> Rule {
+    Rule::named(
+        "Cov",
+        Formula::atom(Atom::VarEq(var("c"), var("c"))),
+        Formula::atom(Atom::ValEqConst(var("c"), true)),
+    )
+    .expect("the Cov rule is well-formed")
+}
+
+/// The modified σ_Cov rule that ignores the given property columns:
+/// `c = c ∧ ¬(prop(c) = p₁) ∧ … ↦ val(c) = 1` (used in Section 7.4 to ignore
+/// rdf:type, owl:sameAs, rdfs:subClassOf and rdfs:label).
+pub fn coverage_ignoring(ignored_properties: &[&str]) -> Rule {
+    let mut conjuncts = vec![Formula::atom(Atom::VarEq(var("c"), var("c")))];
+    for property in ignored_properties {
+        conjuncts.push(Formula::not(Formula::atom(Atom::PropEqConst(
+            var("c"),
+            (*property).to_owned(),
+        ))));
+    }
+    Rule::named(
+        "CovIgnoring",
+        Formula::and_all(conjuncts),
+        Formula::atom(Atom::ValEqConst(var("c"), true)),
+    )
+    .expect("the CovIgnoring rule is well-formed")
+}
+
+/// The σ_Sim rule:
+/// `¬(c1 = c2) ∧ prop(c1) = prop(c2) ∧ val(c1) = 1 ↦ val(c2) = 1`.
+pub fn similarity() -> Rule {
+    Rule::named(
+        "Sim",
+        Formula::and_all(vec![
+            Formula::not(Formula::atom(Atom::VarEq(var("c1"), var("c2")))),
+            Formula::atom(Atom::PropEqProp(var("c1"), var("c2"))),
+            Formula::atom(Atom::ValEqConst(var("c1"), true)),
+        ]),
+        Formula::atom(Atom::ValEqConst(var("c2"), true)),
+    )
+    .expect("the Sim rule is well-formed")
+}
+
+/// The σ_Dep[p1, p2] rule:
+/// `subj(c1) = subj(c2) ∧ prop(c1) = p1 ∧ prop(c2) = p2 ∧ val(c1) = 1 ↦ val(c2) = 1`.
+pub fn dependency(p1: &str, p2: &str) -> Rule {
+    Rule::named(
+        format!("Dep[{p1},{p2}]"),
+        Formula::and_all(vec![
+            Formula::atom(Atom::SubjEqSubj(var("c1"), var("c2"))),
+            Formula::atom(Atom::PropEqConst(var("c1"), p1.to_owned())),
+            Formula::atom(Atom::PropEqConst(var("c2"), p2.to_owned())),
+            Formula::atom(Atom::ValEqConst(var("c1"), true)),
+        ]),
+        Formula::atom(Atom::ValEqConst(var("c2"), true)),
+    )
+    .expect("the Dep rule is well-formed")
+}
+
+/// The σ_SymDep[p1, p2] rule:
+/// `subj(c1) = subj(c2) ∧ prop(c1) = p1 ∧ prop(c2) = p2 ∧ (val(c1) = 1 ∨ val(c2) = 1)
+///  ↦ val(c1) = 1 ∧ val(c2) = 1`.
+pub fn sym_dependency(p1: &str, p2: &str) -> Rule {
+    Rule::named(
+        format!("SymDep[{p1},{p2}]"),
+        Formula::and_all(vec![
+            Formula::atom(Atom::SubjEqSubj(var("c1"), var("c2"))),
+            Formula::atom(Atom::PropEqConst(var("c1"), p1.to_owned())),
+            Formula::atom(Atom::PropEqConst(var("c2"), p2.to_owned())),
+            Formula::or(
+                Formula::atom(Atom::ValEqConst(var("c1"), true)),
+                Formula::atom(Atom::ValEqConst(var("c2"), true)),
+            ),
+        ]),
+        Formula::and(
+            Formula::atom(Atom::ValEqConst(var("c1"), true)),
+            Formula::atom(Atom::ValEqConst(var("c2"), true)),
+        ),
+    )
+    .expect("the SymDep rule is well-formed")
+}
+
+/// The disjunctive dependency variant of Section 3.2:
+/// `subj(c1) = subj(c2) ∧ prop(c1) = p1 ∧ prop(c2) = p2 ↦ val(c1) = 0 ∨ val(c2) = 1`,
+/// the probability that a random subject either lacks `p1` or has `p2`.
+pub fn dependency_disjunctive(p1: &str, p2: &str) -> Rule {
+    Rule::named(
+        format!("DepDisj[{p1},{p2}]"),
+        Formula::and_all(vec![
+            Formula::atom(Atom::SubjEqSubj(var("c1"), var("c2"))),
+            Formula::atom(Atom::PropEqConst(var("c1"), p1.to_owned())),
+            Formula::atom(Atom::PropEqConst(var("c2"), p2.to_owned())),
+        ]),
+        Formula::or(
+            Formula::atom(Atom::ValEqConst(var("c1"), false)),
+            Formula::atom(Atom::ValEqConst(var("c2"), true)),
+        ),
+    )
+    .expect("the DepDisj rule is well-formed")
+}
+
+/// Closed-form σ_Cov: `(Σ_{s,p} M[s][p]) / (|S(D)| · |P(D)|)`, where `P(D)`
+/// counts only properties with at least one subject.
+pub fn sigma_cov(view: &SignatureView) -> Ratio {
+    let subjects = view.subject_count() as u128;
+    let used_properties = (0..view.property_count())
+        .filter(|&col| view.property_subject_count(col) > 0)
+        .count() as u128;
+    let total = subjects * used_properties;
+    if total == 0 {
+        return Ratio::ONE;
+    }
+    Ratio::from_counts(view.ones() as u128, total)
+}
+
+/// Closed-form σ_Cov ignoring a set of property columns.
+pub fn sigma_cov_ignoring(view: &SignatureView, ignored_columns: &[usize]) -> Ratio {
+    let subjects = view.subject_count() as u128;
+    let mut used_properties = 0u128;
+    let mut ones = 0u128;
+    for col in 0..view.property_count() {
+        if ignored_columns.contains(&col) {
+            continue;
+        }
+        let count = view.property_subject_count(col) as u128;
+        if count > 0 {
+            used_properties += 1;
+            ones += count;
+        }
+    }
+    let total = subjects * used_properties;
+    if total == 0 {
+        return Ratio::ONE;
+    }
+    Ratio::from_counts(ones, total)
+}
+
+/// Closed-form σ_Sim.
+///
+/// For every used property `p` with `n_p` subjects, the total cases are
+/// `n_p · (|S| − 1)` (pick the subject that has `p`, then any *different*
+/// subject) and the favorable cases are `n_p · (n_p − 1)`.
+pub fn sigma_sim(view: &SignatureView) -> Ratio {
+    let subjects = view.subject_count() as u128;
+    if subjects == 0 {
+        return Ratio::ONE;
+    }
+    let mut total = 0u128;
+    let mut favorable = 0u128;
+    for col in 0..view.property_count() {
+        let n_p = view.property_subject_count(col) as u128;
+        if n_p == 0 {
+            continue;
+        }
+        total += n_p * (subjects - 1);
+        favorable += n_p * (n_p - 1);
+    }
+    if total == 0 {
+        return Ratio::ONE;
+    }
+    Ratio::from_counts(favorable, total)
+}
+
+/// Closed-form σ_Dep[p1, p2]: the probability that a subject with `p1` also
+/// has `p2`. Trivially 1 when either property has no subjects (no total
+/// cases, exactly as the rule semantics dictates).
+pub fn sigma_dep(view: &SignatureView, p1: usize, p2: usize) -> Ratio {
+    if view.property_subject_count(p1) == 0 || view.property_subject_count(p2) == 0 {
+        return Ratio::ONE;
+    }
+    let total = view.property_subject_count(p1) as u128;
+    let favorable = view.property_pair_count(p1, p2) as u128;
+    Ratio::from_counts(favorable, total)
+}
+
+/// Closed-form σ_SymDep[p1, p2]: the probability that a subject with `p1` or
+/// `p2` has both.
+pub fn sigma_sym_dep(view: &SignatureView, p1: usize, p2: usize) -> Ratio {
+    if view.property_subject_count(p1) == 0 || view.property_subject_count(p2) == 0 {
+        return Ratio::ONE;
+    }
+    let total = view.property_either_count(p1, p2) as u128;
+    if total == 0 {
+        return Ratio::ONE;
+    }
+    let favorable = view.property_pair_count(p1, p2) as u128;
+    Ratio::from_counts(favorable, total)
+}
+
+/// Closed-form disjunctive dependency: the probability that a random subject
+/// lacks `p1` or has `p2`.
+pub fn sigma_dep_disjunctive(view: &SignatureView, p1: usize, p2: usize) -> Ratio {
+    if view.property_subject_count(p1) == 0 || view.property_subject_count(p2) == 0 {
+        return Ratio::ONE;
+    }
+    let subjects = view.subject_count() as u128;
+    if subjects == 0 {
+        return Ratio::ONE;
+    }
+    let with_p1 = view.property_subject_count(p1) as u128;
+    let with_both = view.property_pair_count(p1, p2) as u128;
+    // |¬p1 ∨ p2| = |S| − |p1| + |p1 ∧ p2|.
+    let favorable = subjects - with_p1 + with_both;
+    Ratio::from_counts(favorable, subjects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+
+    fn dbpedia_like_view() -> SignatureView {
+        // A small view with the flavour of DBpedia Persons: everyone has a
+        // name, some have birth data, few have death data.
+        SignatureView::from_counts(
+            vec![
+                "http://ex/name".into(),
+                "http://ex/birthDate".into(),
+                "http://ex/birthPlace".into(),
+                "http://ex/deathDate".into(),
+                "http://ex/deathPlace".into(),
+            ],
+            vec![
+                (vec![0], 40),
+                (vec![0, 1], 25),
+                (vec![0, 1, 2], 20),
+                (vec![0, 1, 2, 3], 10),
+                (vec![0, 1, 2, 3, 4], 5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn closed_forms_agree_with_generic_evaluator() {
+        let view = dbpedia_like_view();
+        let evaluator = Evaluator::new(&view);
+
+        assert_eq!(sigma_cov(&view), evaluator.sigma(&coverage()).unwrap());
+        assert_eq!(sigma_sim(&view), evaluator.sigma(&similarity()).unwrap());
+
+        let name = view.property_index("http://ex/name").unwrap();
+        let birth_date = view.property_index("http://ex/birthDate").unwrap();
+        let death_date = view.property_index("http://ex/deathDate").unwrap();
+        let death_place = view.property_index("http://ex/deathPlace").unwrap();
+
+        for (a, b) in [
+            (death_place, death_date),
+            (death_date, death_place),
+            (birth_date, name),
+            (name, death_date),
+        ] {
+            let pa = &view.properties()[a];
+            let pb = &view.properties()[b];
+            assert_eq!(
+                sigma_dep(&view, a, b),
+                evaluator.sigma(&dependency(pa, pb)).unwrap(),
+                "Dep[{pa},{pb}]"
+            );
+            assert_eq!(
+                sigma_sym_dep(&view, a, b),
+                evaluator.sigma(&sym_dependency(pa, pb)).unwrap(),
+                "SymDep[{pa},{pb}]"
+            );
+            assert_eq!(
+                sigma_dep_disjunctive(&view, a, b),
+                evaluator.sigma(&dependency_disjunctive(pa, pb)).unwrap(),
+                "DepDisj[{pa},{pb}]"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_ignoring_agrees_with_generic_evaluator() {
+        let view = dbpedia_like_view();
+        let evaluator = Evaluator::new(&view);
+        let ignored = ["http://ex/deathDate", "http://ex/deathPlace"];
+        let ignored_cols: Vec<usize> = ignored
+            .iter()
+            .map(|p| view.property_index(p).unwrap())
+            .collect();
+        assert_eq!(
+            sigma_cov_ignoring(&view, &ignored_cols),
+            evaluator.sigma(&coverage_ignoring(&ignored)).unwrap()
+        );
+    }
+
+    #[test]
+    fn dependency_is_directional() {
+        let view = dbpedia_like_view();
+        let death_place = view.property_index("http://ex/deathPlace").unwrap();
+        let name = view.property_index("http://ex/name").unwrap();
+        // Everybody with a death place has a name...
+        assert_eq!(sigma_dep(&view, death_place, name), Ratio::ONE);
+        // ...but few people with a name have a death place.
+        assert_eq!(sigma_dep(&view, name, death_place), Ratio::new(5, 100));
+    }
+
+    #[test]
+    fn dependencies_on_absent_properties_are_trivially_one() {
+        let view = SignatureView::from_counts(
+            vec!["http://ex/p".into(), "http://ex/q".into()],
+            vec![(vec![0], 10)],
+        )
+        .unwrap();
+        // q has no subjects at all.
+        assert_eq!(sigma_dep(&view, 1, 0), Ratio::ONE);
+        assert_eq!(sigma_dep(&view, 0, 1), Ratio::ONE);
+        assert_eq!(sigma_sym_dep(&view, 0, 1), Ratio::ONE);
+        assert_eq!(sigma_dep_disjunctive(&view, 0, 1), Ratio::ONE);
+    }
+
+    #[test]
+    fn sym_dependency_is_symmetric() {
+        let view = dbpedia_like_view();
+        for a in 0..view.property_count() {
+            for b in 0..view.property_count() {
+                assert_eq!(sigma_sym_dep(&view, a, b), sigma_sym_dep(&view, b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn rule_names_are_set() {
+        assert_eq!(coverage().name.as_deref(), Some("Cov"));
+        assert_eq!(similarity().name.as_deref(), Some("Sim"));
+        assert!(dependency("a", "b").name.as_deref().unwrap().starts_with("Dep["));
+        assert!(sym_dependency("a", "b")
+            .name
+            .as_deref()
+            .unwrap()
+            .starts_with("SymDep["));
+    }
+
+    #[test]
+    fn empty_view_yields_one() {
+        let view = SignatureView::from_counts(vec!["http://ex/p".into()], vec![]).unwrap();
+        assert_eq!(sigma_cov(&view), Ratio::ONE);
+        assert_eq!(sigma_sim(&view), Ratio::ONE);
+    }
+}

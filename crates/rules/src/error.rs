@@ -1,0 +1,93 @@
+//! Error types for rule construction, parsing and evaluation.
+
+use std::fmt;
+
+/// Errors raised when constructing or parsing a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// The consequent mentions a variable not bound by the antecedent,
+    /// violating `var(ϕ₂) ⊆ var(ϕ₁)`.
+    UnboundConsequentVariable(String),
+    /// The rule has no variables at all.
+    NoVariables,
+    /// A syntax error in the textual rule form.
+    Parse {
+        /// Byte offset in the input where the error was detected.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::UnboundConsequentVariable(name) => write!(
+                f,
+                "consequent variable '{name}' does not appear in the antecedent (var(ϕ2) ⊆ var(ϕ1) required)"
+            ),
+            RuleError::NoVariables => write!(f, "a rule must mention at least one variable"),
+            RuleError::Parse { position, message } => {
+                write!(f, "rule syntax error at byte {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// Errors raised while evaluating a structuredness function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The rule uses `subj(c) = <iri>`, which the signature-based evaluator
+    /// cannot answer (signature views do not retain individual subjects).
+    /// Use the naive matrix evaluator for such rules.
+    SubjectConstantUnsupported,
+    /// The rule mentions too many variables for the configured rough
+    /// assignment budget.
+    TooManyRoughAssignments {
+        /// Number of rough assignments the evaluation would enumerate.
+        required: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::SubjectConstantUnsupported => write!(
+                f,
+                "rules with subj(c) = <iri> atoms are not supported by the signature-based evaluator"
+            ),
+            EvalError::TooManyRoughAssignments { required, limit } => write!(
+                f,
+                "evaluation requires {required} rough assignments, above the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = RuleError::UnboundConsequentVariable("c9".into());
+        assert!(err.to_string().contains("c9"));
+        let err = RuleError::Parse {
+            position: 12,
+            message: "expected '->'".into(),
+        };
+        assert!(err.to_string().contains("byte 12"));
+        let err = EvalError::TooManyRoughAssignments {
+            required: 1000,
+            limit: 10,
+        };
+        assert!(err.to_string().contains("1000"));
+        assert!(EvalError::SubjectConstantUnsupported.to_string().contains("subj"));
+    }
+}

@@ -1,0 +1,754 @@
+//! Efficient, exact evaluation of structuredness functions over the
+//! signature view.
+//!
+//! This is the evaluation engine behind both the reported σ values and the
+//! `count(ϕ, τ, M)` constants of the ILP encoding (Section 6.2). It exploits
+//! the same observation the paper's implementation relies on: subjects with
+//! the same signature are structurally indistinguishable, so a variable
+//! assignment only needs to be known *up to* (signature set, property) pairs —
+//! the paper's *rough assignments* — plus the pattern of which variables share
+//! a subject.
+//!
+//! Concretely, for a fixed rough assignment τ the truth of every atom except
+//! subject equalities is already determined. The remaining uncertainty — which
+//! concrete subject of its signature set each variable denotes — only matters
+//! through the equality pattern among variables mapped to the same signature
+//! set. We therefore enumerate set partitions of the rule variables
+//! (co-blocked variables denote the same subject, distinct blocks denote
+//! distinct subjects) and weight each satisfying partition by a product of
+//! falling factorials. Rules have very few variables (2–4 in the paper), so
+//! Bell(n) is tiny and the evaluation is exact.
+
+use strudel_rdf::signature::SignatureView;
+
+use crate::ast::{Atom, Formula, Rule, Var};
+use crate::error::EvalError;
+use crate::rational::Ratio;
+
+/// Configuration of the signature-based evaluator.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Upper bound on the number of *complete* rough assignments visited in a
+    /// single count. Exceeding it aborts with
+    /// [`EvalError::TooManyRoughAssignments`] instead of hanging.
+    pub max_rough_assignments: u128,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            max_rough_assignments: 50_000_000,
+        }
+    }
+}
+
+/// One rough assignment τ with its precomputed counts
+/// (`count(ϕ₁, τ, M)` and `count(ϕ₁ ∧ ϕ₂, τ, M)` of Section 6.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoughEntry {
+    /// For each rule variable (in [`RoughCountTable::variables`] order) the
+    /// pair (signature index, property column) it is mapped to.
+    pub cells: Vec<(usize, usize)>,
+    /// Number of variable assignments compatible with τ satisfying ϕ₁.
+    pub antecedent_count: u128,
+    /// Number of variable assignments compatible with τ satisfying ϕ₁ ∧ ϕ₂.
+    pub favorable_count: u128,
+}
+
+/// The table of all rough assignments with non-zero antecedent count.
+#[derive(Clone, Debug)]
+pub struct RoughCountTable {
+    /// The rule variables in the order used by every entry's `cells` vector.
+    pub variables: Vec<Var>,
+    /// Entries with `antecedent_count > 0`.
+    pub entries: Vec<RoughEntry>,
+}
+
+impl RoughCountTable {
+    /// Sum of antecedent counts over all entries (equals `|total(ϕ₁, M)|`).
+    pub fn total_antecedent(&self) -> u128 {
+        self.entries.iter().map(|e| e.antecedent_count).sum()
+    }
+
+    /// Sum of favorable counts over all entries (equals `|total(ϕ₁ ∧ ϕ₂, M)|`).
+    pub fn total_favorable(&self) -> u128 {
+        self.entries.iter().map(|e| e.favorable_count).sum()
+    }
+}
+
+/// Exact signature-based evaluator of structuredness functions.
+pub struct Evaluator<'a> {
+    view: &'a SignatureView,
+    active_columns: Vec<usize>,
+    config: EvalConfig,
+}
+
+/// Truth value of an atom under a rough assignment alone.
+enum RoughTruth {
+    True,
+    False,
+    /// Depends on whether the two variables denote the same subject.
+    Unknown,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over a signature view with default configuration.
+    pub fn new(view: &'a SignatureView) -> Self {
+        Self::with_config(view, EvalConfig::default())
+    }
+
+    /// Creates an evaluator with an explicit configuration.
+    pub fn with_config(view: &'a SignatureView, config: EvalConfig) -> Self {
+        let active_columns = (0..view.property_count())
+            .filter(|&col| view.property_subject_count(col) > 0)
+            .collect();
+        Evaluator {
+            view,
+            active_columns,
+            config,
+        }
+    }
+
+    /// The property columns considered by the evaluator (columns of `P(D)`,
+    /// i.e. columns with at least one subject).
+    pub fn active_columns(&self) -> &[usize] {
+        &self.active_columns
+    }
+
+    /// Evaluates `σ_r` for the rule over the view.
+    pub fn sigma(&self, rule: &Rule) -> Result<Ratio, EvalError> {
+        if rule.mentions_subject_constant() {
+            return Err(EvalError::SubjectConstantUnsupported);
+        }
+        let variables = Self::order_variables(rule.antecedent(), rule.variables());
+        let total = self.count_with_vars(rule.antecedent(), &variables)?;
+        if total == 0 {
+            return Ok(Ratio::ONE);
+        }
+        let favorable = self.count_with_vars(&rule.favorable_formula(), &variables)?;
+        Ok(Ratio::from_counts(favorable, total))
+    }
+
+    /// Orders variables so that pruning during rough-assignment enumeration
+    /// kicks in as early as possible: variables constrained by constant atoms
+    /// (`prop(c) = u`, `val(c) = i`) come first, then variables connected to
+    /// already-ordered ones by binary atoms, then the rest.
+    fn order_variables(antecedent: &Formula, variables: Vec<Var>) -> Vec<Var> {
+        if variables.len() <= 2 || !antecedent.is_conjunctive() {
+            return variables;
+        }
+        let conjuncts = antecedent.conjuncts();
+        let atom_of = |conjunct: &&Formula| -> Option<Atom> {
+            match conjunct {
+                Formula::Atom(atom) => Some(atom.clone()),
+                Formula::Not(inner) => match inner.as_ref() {
+                    Formula::Atom(atom) => Some(atom.clone()),
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        let atoms: Vec<Atom> = conjuncts.iter().filter_map(atom_of).collect();
+        let constant_score = |var: &Var| -> usize {
+            atoms
+                .iter()
+                .filter(|atom| {
+                    matches!(atom,
+                        Atom::ValEqConst(v, _) | Atom::PropEqConst(v, _) if v == var)
+                })
+                .count()
+        };
+        let mut remaining: Vec<Var> = variables.clone();
+        let mut ordered: Vec<Var> = Vec::with_capacity(variables.len());
+        // Seed with the most constant-constrained variable.
+        remaining.sort_by_key(|v| std::cmp::Reverse(constant_score(v)));
+        ordered.push(remaining.remove(0));
+        while !remaining.is_empty() {
+            // Pick the remaining variable with the most atoms linking it to
+            // the already-ordered prefix (constant atoms count as links too).
+            let (best_idx, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, candidate)| {
+                    let linked = atoms
+                        .iter()
+                        .filter(|atom| {
+                            let vars = atom.variables();
+                            vars.iter().any(|v| *v == *candidate)
+                                && vars.iter().all(|v| *v == *candidate || ordered.contains(v))
+                        })
+                        .count();
+                    (linked, constant_score(candidate))
+                })
+                .expect("remaining is non-empty");
+            ordered.push(remaining.remove(best_idx));
+        }
+        ordered
+    }
+
+    /// Counts `|total(ϕ, M)|` for a standalone formula.
+    pub fn count(&self, formula: &Formula) -> Result<u128, EvalError> {
+        let variables: Vec<Var> = formula.variables().into_iter().collect();
+        self.count_with_vars(formula, &variables)
+    }
+
+    /// Builds the rough-count table for a rule: every rough assignment τ with
+    /// `count(ϕ₁, τ, M) > 0`, together with its antecedent and favorable
+    /// counts. This is exactly the set of constants the ILP encoding needs.
+    pub fn rough_counts(&self, rule: &Rule) -> Result<RoughCountTable, EvalError> {
+        if rule.mentions_subject_constant() {
+            return Err(EvalError::SubjectConstantUnsupported);
+        }
+        let variables = Self::order_variables(rule.antecedent(), rule.variables());
+        let favorable_formula = rule.favorable_formula();
+        let mut entries = Vec::new();
+        let mut visited = 0u128;
+        let mut tau = Vec::with_capacity(variables.len());
+        self.enumerate_rough(
+            rule.antecedent(),
+            &variables,
+            &mut tau,
+            &mut visited,
+            &mut |evaluator, tau| {
+                let antecedent_count = evaluator.count_rough(rule.antecedent(), &variables, tau);
+                if antecedent_count == 0 {
+                    return;
+                }
+                let favorable_count = evaluator.count_rough(&favorable_formula, &variables, tau);
+                entries.push(RoughEntry {
+                    cells: tau.to_vec(),
+                    antecedent_count,
+                    favorable_count,
+                });
+            },
+        )?;
+        Ok(RoughCountTable { variables, entries })
+    }
+
+    /// Counts assignments compatible with the rough assignment `tau` that
+    /// satisfy `formula` (`count(ϕ, τ, M)` in Section 6.2).
+    ///
+    /// `tau[i]` is the (signature index, property column) assigned to
+    /// `variables[i]`. The formula must not mention subject constants.
+    pub fn count_rough(&self, formula: &Formula, variables: &[Var], tau: &[(usize, usize)]) -> u128 {
+        debug_assert_eq!(variables.len(), tau.len());
+        let n = variables.len();
+        let mut blocks = vec![0usize; n];
+        let mut total = 0u128;
+        self.count_partitions(formula, variables, tau, &mut blocks, 1, &mut total);
+        total
+    }
+
+    /// Recursively enumerates set partitions via restricted growth strings.
+    /// `blocks[i]` is the block id of variable `i`; variable 0 is always in
+    /// block 0; variable `i` may join any existing block or open block
+    /// `max+1`.
+    fn count_partitions(
+        &self,
+        formula: &Formula,
+        variables: &[Var],
+        tau: &[(usize, usize)],
+        blocks: &mut [usize],
+        depth: usize,
+        total: &mut u128,
+    ) {
+        let n = variables.len();
+        if n == 0 {
+            return;
+        }
+        if depth == n {
+            if let Some(weight) = self.partition_weight(tau, blocks) {
+                if weight > 0 && self.eval_with_partition(formula, variables, tau, blocks) {
+                    *total += weight;
+                }
+            }
+            return;
+        }
+        let max_block = blocks[..depth].iter().copied().max().unwrap_or(0);
+        for block in 0..=max_block + 1 {
+            blocks[depth] = block;
+            if block <= max_block {
+                // Early validity check: joining a block whose members live in
+                // a different signature set can never denote the same subject.
+                let mut compatible = true;
+                for i in 0..depth {
+                    if blocks[i] == block && tau[i].0 != tau[depth].0 {
+                        compatible = false;
+                        break;
+                    }
+                }
+                if !compatible {
+                    continue;
+                }
+            } else {
+                // Opening a new block for this variable's signature set is
+                // pointless if the set cannot host another distinct subject:
+                // the partition weight would be zero.
+                let sig = tau[depth].0;
+                let blocks_in_sig = {
+                    let mut distinct = Vec::new();
+                    for i in 0..depth {
+                        if tau[i].0 == sig && !distinct.contains(&blocks[i]) {
+                            distinct.push(blocks[i]);
+                        }
+                    }
+                    distinct.len()
+                };
+                if blocks_in_sig >= self.view.entries()[sig].count {
+                    continue;
+                }
+            }
+            self.count_partitions(formula, variables, tau, blocks, depth + 1, total);
+        }
+    }
+
+    /// The number of subject choices realising a partition: for each
+    /// signature set, a falling factorial of its size by the number of
+    /// distinct blocks it hosts. Returns `None` if a block mixes signatures
+    /// (impossible partition).
+    fn partition_weight(&self, tau: &[(usize, usize)], blocks: &[usize]) -> Option<u128> {
+        let n = tau.len();
+        // block id -> signature index.
+        let mut block_sig: Vec<Option<usize>> = vec![None; n];
+        // signature index -> number of blocks mapped to it. Signature indexes
+        // are small (≤ |Λ|); use a Vec keyed by signature index lazily.
+        let mut blocks_per_sig: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            let sig = tau[i].0;
+            match block_sig[blocks[i]] {
+                None => {
+                    block_sig[blocks[i]] = Some(sig);
+                    match blocks_per_sig.iter_mut().find(|(s, _)| *s == sig) {
+                        Some((_, count)) => *count += 1,
+                        None => blocks_per_sig.push((sig, 1)),
+                    }
+                }
+                Some(existing) if existing == sig => {}
+                Some(_) => return None,
+            }
+        }
+        let mut weight = 1u128;
+        for (sig, block_count) in blocks_per_sig {
+            let size = self.view.entries()[sig].count as u128;
+            let mut factor = 1u128;
+            for k in 0..block_count as u128 {
+                if size <= k {
+                    return Some(0);
+                }
+                factor = factor.saturating_mul(size - k);
+            }
+            weight = weight.saturating_mul(factor);
+        }
+        Some(weight)
+    }
+
+    fn eval_with_partition(
+        &self,
+        formula: &Formula,
+        variables: &[Var],
+        tau: &[(usize, usize)],
+        blocks: &[usize],
+    ) -> bool {
+        match formula {
+            Formula::Atom(atom) => self.eval_atom_with_partition(atom, variables, tau, blocks),
+            Formula::Not(inner) => !self.eval_with_partition(inner, variables, tau, blocks),
+            Formula::And(a, b) => {
+                self.eval_with_partition(a, variables, tau, blocks)
+                    && self.eval_with_partition(b, variables, tau, blocks)
+            }
+            Formula::Or(a, b) => {
+                self.eval_with_partition(a, variables, tau, blocks)
+                    || self.eval_with_partition(b, variables, tau, blocks)
+            }
+        }
+    }
+
+    fn var_index(variables: &[Var], var: &Var) -> usize {
+        variables
+            .iter()
+            .position(|v| v == var)
+            .expect("formula variable missing from rule variable list")
+    }
+
+    fn eval_atom_with_partition(
+        &self,
+        atom: &Atom,
+        variables: &[Var],
+        tau: &[(usize, usize)],
+        blocks: &[usize],
+    ) -> bool {
+        match atom {
+            Atom::ValEqConst(v, expected) => {
+                let (sig, col) = tau[Self::var_index(variables, v)];
+                self.view.entries()[sig].signature.contains(col) == *expected
+            }
+            Atom::PropEqConst(v, iri) => {
+                let (_, col) = tau[Self::var_index(variables, v)];
+                self.view.properties()[col] == *iri
+            }
+            Atom::SubjEqConst(_, _) => {
+                unreachable!("subject constants rejected before evaluation")
+            }
+            Atom::VarEq(a, b) => {
+                let ia = Self::var_index(variables, a);
+                let ib = Self::var_index(variables, b);
+                tau[ia].1 == tau[ib].1 && blocks[ia] == blocks[ib]
+            }
+            Atom::ValEqVal(a, b) => {
+                let (sig_a, col_a) = tau[Self::var_index(variables, a)];
+                let (sig_b, col_b) = tau[Self::var_index(variables, b)];
+                self.view.entries()[sig_a].signature.contains(col_a)
+                    == self.view.entries()[sig_b].signature.contains(col_b)
+            }
+            Atom::PropEqProp(a, b) => {
+                let ia = Self::var_index(variables, a);
+                let ib = Self::var_index(variables, b);
+                tau[ia].1 == tau[ib].1
+            }
+            Atom::SubjEqSubj(a, b) => {
+                let ia = Self::var_index(variables, a);
+                let ib = Self::var_index(variables, b);
+                blocks[ia] == blocks[ib]
+            }
+        }
+    }
+
+    fn count_with_vars(&self, formula: &Formula, variables: &[Var]) -> Result<u128, EvalError> {
+        if variables.is_empty() {
+            return Ok(0);
+        }
+        for var in &formula.variables() {
+            debug_assert!(variables.contains(var), "formula variable not in scope");
+        }
+        let mut total = 0u128;
+        let mut visited = 0u128;
+        let mut tau = Vec::with_capacity(variables.len());
+        self.enumerate_rough(formula, variables, &mut tau, &mut visited, &mut |evaluator,
+                                                                               tau| {
+            total += evaluator.count_rough(formula, variables, tau);
+        })?;
+        Ok(total)
+    }
+
+    /// Enumerates rough assignments depth-first, pruning branches where a
+    /// fully-assigned conjunct of `formula` is already determined to be false
+    /// by the rough assignment alone. The callback is invoked for every
+    /// surviving complete rough assignment.
+    fn enumerate_rough(
+        &self,
+        formula: &Formula,
+        variables: &[Var],
+        tau: &mut Vec<(usize, usize)>,
+        visited: &mut u128,
+        callback: &mut dyn FnMut(&Self, &[(usize, usize)]),
+    ) -> Result<(), EvalError> {
+        // Pruning only ever uses top-level conjuncts that are (possibly
+        // negated) atoms; non-atomic conjuncts (e.g. a disjunctive
+        // consequent) are simply not used for pruning, which keeps the
+        // enumeration sound for arbitrary formulas.
+        let conjuncts: Vec<&Formula> = formula
+            .conjuncts()
+            .into_iter()
+            .filter(|conjunct| {
+                matches!(conjunct, Formula::Atom(_))
+                    || matches!(conjunct, Formula::Not(inner) if matches!(inner.as_ref(), Formula::Atom(_)))
+            })
+            .collect();
+        self.enumerate_rough_rec(formula, &conjuncts, variables, tau, visited, callback)
+    }
+
+    fn enumerate_rough_rec(
+        &self,
+        formula: &Formula,
+        conjuncts: &[&Formula],
+        variables: &[Var],
+        tau: &mut Vec<(usize, usize)>,
+        visited: &mut u128,
+        callback: &mut dyn FnMut(&Self, &[(usize, usize)]),
+    ) -> Result<(), EvalError> {
+        let depth = tau.len();
+        if depth == variables.len() {
+            *visited += 1;
+            if *visited > self.config.max_rough_assignments {
+                return Err(EvalError::TooManyRoughAssignments {
+                    required: *visited,
+                    limit: self.config.max_rough_assignments,
+                });
+            }
+            callback(self, tau);
+            return Ok(());
+        }
+        for sig in 0..self.view.signature_count() {
+            for &col in &self.active_columns {
+                tau.push((sig, col));
+                if self.prefix_viable(conjuncts, variables, tau) {
+                    self.enumerate_rough_rec(formula, conjuncts, variables, tau, visited, callback)?;
+                }
+                tau.pop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks whether any conjunct whose variables are all assigned is
+    /// already determined to be false under the partial rough assignment.
+    fn prefix_viable(
+        &self,
+        conjuncts: &[&Formula],
+        variables: &[Var],
+        tau: &[(usize, usize)],
+    ) -> bool {
+        let assigned = tau.len();
+        for conjunct in conjuncts {
+            let (atom, negated) = match conjunct {
+                Formula::Atom(atom) => (atom, false),
+                Formula::Not(inner) => match inner.as_ref() {
+                    Formula::Atom(atom) => (atom, true),
+                    _ => continue,
+                },
+                _ => continue,
+            };
+            let in_scope = atom
+                .variables()
+                .iter()
+                .all(|v| Self::var_index(variables, v) < assigned);
+            if !in_scope {
+                continue;
+            }
+            let truth = self.rough_truth(atom, variables, tau);
+            let determined_false = match (truth, negated) {
+                (RoughTruth::False, false) => true,
+                (RoughTruth::True, true) => true,
+                _ => false,
+            };
+            if determined_false {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Truth of an atom under a rough assignment alone (ignoring which
+    /// concrete subjects are chosen).
+    fn rough_truth(&self, atom: &Atom, variables: &[Var], tau: &[(usize, usize)]) -> RoughTruth {
+        match atom {
+            Atom::ValEqConst(v, expected) => {
+                let (sig, col) = tau[Self::var_index(variables, v)];
+                if self.view.entries()[sig].signature.contains(col) == *expected {
+                    RoughTruth::True
+                } else {
+                    RoughTruth::False
+                }
+            }
+            Atom::PropEqConst(v, iri) => {
+                let (_, col) = tau[Self::var_index(variables, v)];
+                if self.view.properties()[col] == *iri {
+                    RoughTruth::True
+                } else {
+                    RoughTruth::False
+                }
+            }
+            Atom::SubjEqConst(_, _) => RoughTruth::Unknown,
+            Atom::ValEqVal(a, b) => {
+                let (sig_a, col_a) = tau[Self::var_index(variables, a)];
+                let (sig_b, col_b) = tau[Self::var_index(variables, b)];
+                if self.view.entries()[sig_a].signature.contains(col_a)
+                    == self.view.entries()[sig_b].signature.contains(col_b)
+                {
+                    RoughTruth::True
+                } else {
+                    RoughTruth::False
+                }
+            }
+            Atom::PropEqProp(a, b) => {
+                let ia = Self::var_index(variables, a);
+                let ib = Self::var_index(variables, b);
+                if tau[ia].1 == tau[ib].1 {
+                    RoughTruth::True
+                } else {
+                    RoughTruth::False
+                }
+            }
+            Atom::VarEq(a, b) => {
+                let ia = Self::var_index(variables, a);
+                let ib = Self::var_index(variables, b);
+                if tau[ia].1 != tau[ib].1 || tau[ia].0 != tau[ib].0 {
+                    // Different column, or different signature set (disjoint
+                    // subject sets): the cells can never coincide.
+                    RoughTruth::False
+                } else if self.view.entries()[tau[ia].0].count == 1 {
+                    // A singleton signature set: same column and same (only)
+                    // subject, so the cells necessarily coincide.
+                    RoughTruth::True
+                } else {
+                    RoughTruth::Unknown
+                }
+            }
+            Atom::SubjEqSubj(a, b) => {
+                let ia = Self::var_index(variables, a);
+                let ib = Self::var_index(variables, b);
+                if tau[ia].0 != tau[ib].0 {
+                    RoughTruth::False
+                } else if self.view.entries()[tau[ia].0].count == 1 {
+                    RoughTruth::True
+                } else {
+                    RoughTruth::Unknown
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use crate::semantics::NaiveEvaluator;
+    use strudel_rdf::signature::SignatureView;
+
+    fn view(signatures: Vec<(Vec<usize>, usize)>, props: &[&str]) -> SignatureView {
+        SignatureView::from_counts(
+            props.iter().map(|p| format!("http://ex/{p}")).collect(),
+            signatures,
+        )
+        .unwrap()
+    }
+
+    fn cov() -> Rule {
+        parse_rule("c = c -> val(c) = 1").unwrap()
+    }
+
+    fn sim() -> Rule {
+        parse_rule("not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1")
+            .unwrap()
+    }
+
+    #[test]
+    fn cov_on_figure_1_examples() {
+        // D1: all subjects have the single property.
+        let d1 = view(vec![(vec![0], 10)], &["p"]);
+        assert_eq!(Evaluator::new(&d1).sigma(&cov()).unwrap(), Ratio::ONE);
+        // D2: one subject with {p,q}, nine with {p}.
+        let d2 = view(vec![(vec![0, 1], 1), (vec![0], 9)], &["p", "q"]);
+        assert_eq!(
+            Evaluator::new(&d2).sigma(&cov()).unwrap(),
+            Ratio::new(11, 20)
+        );
+        // D3: diagonal.
+        let d3 = view(
+            (0..5).map(|i| (vec![i], 1)).collect(),
+            &["p0", "p1", "p2", "p3", "p4"],
+        );
+        assert_eq!(Evaluator::new(&d3).sigma(&cov()).unwrap(), Ratio::new(1, 5));
+    }
+
+    #[test]
+    fn sim_on_figure_1_examples() {
+        let d2 = view(vec![(vec![0, 1], 1), (vec![0], 9)], &["p", "q"]);
+        assert_eq!(
+            Evaluator::new(&d2).sigma(&sim()).unwrap(),
+            Ratio::new(90, 99)
+        );
+        let d3 = view(
+            (0..4).map(|i| (vec![i], 1)).collect(),
+            &["p0", "p1", "p2", "p3"],
+        );
+        assert_eq!(Evaluator::new(&d3).sigma(&sim()).unwrap(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn agrees_with_naive_evaluator_on_small_views() {
+        let rules = vec![
+            cov(),
+            sim(),
+            parse_rule(
+                "subj(c1) = subj(c2) and prop(c1) = <http://ex/p> and \
+                 prop(c2) = <http://ex/q> and val(c1) = 1 -> val(c2) = 1",
+            )
+            .unwrap(),
+            parse_rule(
+                "subj(c1) = subj(c2) and prop(c1) = <http://ex/p> and prop(c2) = <http://ex/q> \
+                 and (val(c1) = 1 or val(c2) = 1) -> val(c1) = 1 and val(c2) = 1",
+            )
+            .unwrap(),
+        ];
+        let views = vec![
+            view(vec![(vec![0, 1], 2), (vec![0], 3), (vec![2], 1)], &["p", "q", "r"]),
+            view(vec![(vec![0], 4), (vec![1], 2)], &["p", "q"]),
+            view(vec![(vec![0, 1, 2], 3)], &["p", "q", "r"]),
+        ];
+        for rule in &rules {
+            for v in &views {
+                let fast = Evaluator::new(v).sigma(rule).unwrap();
+                let naive = NaiveEvaluator::new(&v.to_matrix()).sigma(rule);
+                assert_eq!(fast, naive, "rule {rule} disagrees on view {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rough_counts_sum_to_totals() {
+        let v = view(vec![(vec![0, 1], 2), (vec![0], 3)], &["p", "q"]);
+        let evaluator = Evaluator::new(&v);
+        let table = evaluator.rough_counts(&sim()).unwrap();
+        assert_eq!(
+            table.total_antecedent(),
+            evaluator.count(sim().antecedent()).unwrap()
+        );
+        assert_eq!(
+            table.total_favorable(),
+            evaluator.count(&sim().favorable_formula()).unwrap()
+        );
+        // Every favorable count is bounded by its antecedent count.
+        for entry in &table.entries {
+            assert!(entry.favorable_count <= entry.antecedent_count);
+            assert!(entry.antecedent_count > 0);
+        }
+    }
+
+    #[test]
+    fn sigma_is_one_without_total_cases() {
+        let v = view(vec![(vec![0], 5)], &["p", "q"]);
+        // q has no subjects → the dependency antecedent is unsatisfiable.
+        let rule = parse_rule(
+            "subj(c1) = subj(c2) and prop(c1) = <http://ex/q> and \
+             prop(c2) = <http://ex/p> and val(c1) = 1 -> val(c2) = 1",
+        )
+        .unwrap();
+        assert_eq!(Evaluator::new(&v).sigma(&rule).unwrap(), Ratio::ONE);
+    }
+
+    #[test]
+    fn subject_constant_rules_are_rejected() {
+        let v = view(vec![(vec![0], 5)], &["p"]);
+        let rule = parse_rule("subj(c) = <http://ex/s> -> val(c) = 1").unwrap();
+        assert!(matches!(
+            Evaluator::new(&v).sigma(&rule),
+            Err(EvalError::SubjectConstantUnsupported)
+        ));
+    }
+
+    #[test]
+    fn rough_assignment_budget_is_enforced() {
+        let v = view(vec![(vec![0], 5), (vec![1], 5)], &["p", "q"]);
+        let config = EvalConfig {
+            max_rough_assignments: 3,
+        };
+        let evaluator = Evaluator::with_config(&v, config);
+        assert!(matches!(
+            evaluator.sigma(&cov()),
+            Err(EvalError::TooManyRoughAssignments { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_signature_rows_count_as_subjects() {
+        // One signature with no properties at all plus one with {p}: the
+        // all-zero rows still contribute to |S(D)| for Cov.
+        let v = view(vec![(vec![], 5), (vec![0], 5)], &["p"]);
+        assert_eq!(
+            Evaluator::new(&v).sigma(&cov()).unwrap(),
+            Ratio::new(5, 10)
+        );
+    }
+}

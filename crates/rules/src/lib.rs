@@ -1,0 +1,63 @@
+//! # strudel-rules
+//!
+//! The structuredness rule language of *"A Principled Approach to Bridging
+//! the Gap between Graph Data and their Schemas"* (Arenas et al., VLDB 2014),
+//! with two exact evaluation engines.
+//!
+//! A structuredness function maps an RDF graph to a rational value in
+//! `[0, 1]`. The paper's language defines such functions through *rules*
+//! `ϕ₁ ↦ ϕ₂` evaluated over the property–structure matrix of the graph:
+//! `σ_r(M) = |total(ϕ₁ ∧ ϕ₂, M)| / |total(ϕ₁, M)|`.
+//!
+//! * [`ast`] / [`parser`] — the abstract and concrete syntax of rules,
+//! * [`semantics`] — the reference (naive) evaluator over a full matrix,
+//! * [`eval`] — the production evaluator over signature views, which also
+//!   produces the `count(ϕ, τ, M)` constants the ILP encoding needs,
+//! * [`builtin`] — the paper's σ_Cov, σ_Sim, σ_Dep, σ_SymDep (plus variants)
+//!   as rules and as closed forms,
+//! * [`rational`] — exact rational arithmetic for σ values and thresholds.
+//!
+//! ## Example
+//!
+//! ```
+//! use strudel_rules::prelude::*;
+//! use strudel_rdf::signature::SignatureView;
+//!
+//! // Two kinds of people: 9 with only a name, 1 with a name and an email.
+//! let view = SignatureView::from_counts(
+//!     vec!["http://ex/name".into(), "http://ex/email".into()],
+//!     vec![(vec![0], 9), (vec![0, 1], 1)],
+//! ).unwrap();
+//!
+//! let cov = parse_rule("c = c -> val(c) = 1").unwrap();
+//! let sigma = Evaluator::new(&view).sigma(&cov).unwrap();
+//! assert_eq!(sigma, Ratio::new(11, 20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtin;
+pub mod error;
+pub mod eval;
+pub mod parser;
+pub mod rational;
+pub mod semantics;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::ast::{Atom, Formula, Rule, Var};
+    pub use crate::builtin::{
+        coverage, coverage_ignoring, dependency, dependency_disjunctive, similarity,
+        sym_dependency,
+    };
+    pub use crate::builtin::{
+        sigma_cov, sigma_cov_ignoring, sigma_dep, sigma_dep_disjunctive, sigma_sim, sigma_sym_dep,
+    };
+    pub use crate::error::{EvalError, RuleError};
+    pub use crate::eval::{EvalConfig, Evaluator, RoughCountTable, RoughEntry};
+    pub use crate::parser::{parse_formula, parse_rule};
+    pub use crate::rational::Ratio;
+    pub use crate::semantics::NaiveEvaluator;
+}

@@ -1,0 +1,274 @@
+//! The formal semantics of the rule language (Section 3.2), implemented
+//! naively over a full property–structure matrix.
+//!
+//! A *variable assignment* maps each variable of a formula to a cell
+//! `(s, p)` of the matrix. `total(ϕ, M)` is the set of assignments satisfying
+//! `ϕ`, and the structuredness of a rule `ϕ₁ ↦ ϕ₂` is
+//! `|total(ϕ₁ ∧ ϕ₂, M)| / |total(ϕ₁, M)|` (1 when the denominator is 0).
+//!
+//! The evaluator in this module enumerates assignments exhaustively — its
+//! cost is `(|S|·|P|)^n` for a rule with `n` variables — and exists as the
+//! *reference oracle*: the efficient signature-based evaluator in
+//! [`crate::eval`] is property-tested against it on small matrices.
+
+use std::collections::BTreeMap;
+
+use strudel_rdf::matrix::PropertyStructureView;
+
+use crate::ast::{Atom, Formula, Rule, Var};
+use crate::rational::Ratio;
+
+/// A variable assignment: variable → (row index, column index).
+pub type Assignment = BTreeMap<Var, (usize, usize)>;
+
+/// Exhaustive (reference) evaluator over a full matrix.
+pub struct NaiveEvaluator<'a> {
+    matrix: &'a PropertyStructureView,
+    /// Columns that correspond to properties of the dataset, i.e. columns
+    /// with at least one 1-cell. The paper's `M(D)` only has columns for
+    /// properties in `P(D)`; views of subsets may carry unused columns, which
+    /// must be ignored to stay faithful to the semantics.
+    active_columns: Vec<usize>,
+}
+
+impl<'a> NaiveEvaluator<'a> {
+    /// Creates an evaluator for a matrix.
+    pub fn new(matrix: &'a PropertyStructureView) -> Self {
+        let active_columns = (0..matrix.property_count())
+            .filter(|&col| matrix.column_count(col) > 0)
+            .collect();
+        NaiveEvaluator {
+            matrix,
+            active_columns,
+        }
+    }
+
+    /// The columns considered by the evaluator (properties of `P(D)`).
+    pub fn active_columns(&self) -> &[usize] {
+        &self.active_columns
+    }
+
+    /// Whether `(M, ρ)` satisfies `ϕ` (the paper's `(M, ρ) |= ϕ`).
+    ///
+    /// # Panics
+    /// Panics if the assignment does not cover all variables of `ϕ`.
+    pub fn satisfies(&self, assignment: &Assignment, formula: &Formula) -> bool {
+        match formula {
+            Formula::Atom(atom) => self.satisfies_atom(assignment, atom),
+            Formula::Not(inner) => !self.satisfies(assignment, inner),
+            Formula::And(a, b) => {
+                self.satisfies(assignment, a) && self.satisfies(assignment, b)
+            }
+            Formula::Or(a, b) => self.satisfies(assignment, a) || self.satisfies(assignment, b),
+        }
+    }
+
+    fn cell(&self, assignment: &Assignment, var: &Var) -> (usize, usize) {
+        *assignment
+            .get(var)
+            .unwrap_or_else(|| panic!("assignment is missing variable '{var}'"))
+    }
+
+    fn satisfies_atom(&self, assignment: &Assignment, atom: &Atom) -> bool {
+        match atom {
+            Atom::ValEqConst(v, expected) => {
+                let (row, col) = self.cell(assignment, v);
+                self.matrix.value(row, col) == *expected
+            }
+            Atom::PropEqConst(v, iri) => {
+                let (_, col) = self.cell(assignment, v);
+                self.matrix.properties()[col] == *iri
+            }
+            Atom::SubjEqConst(v, iri) => {
+                let (row, _) = self.cell(assignment, v);
+                self.matrix.subjects()[row] == *iri
+            }
+            Atom::VarEq(a, b) => self.cell(assignment, a) == self.cell(assignment, b),
+            Atom::ValEqVal(a, b) => {
+                let (ra, ca) = self.cell(assignment, a);
+                let (rb, cb) = self.cell(assignment, b);
+                self.matrix.value(ra, ca) == self.matrix.value(rb, cb)
+            }
+            Atom::PropEqProp(a, b) => {
+                let (_, ca) = self.cell(assignment, a);
+                let (_, cb) = self.cell(assignment, b);
+                ca == cb
+            }
+            Atom::SubjEqSubj(a, b) => {
+                let (ra, _) = self.cell(assignment, a);
+                let (rb, _) = self.cell(assignment, b);
+                ra == rb
+            }
+        }
+    }
+
+    /// Counts `|total(ϕ, M)|` by exhaustive enumeration of assignments of the
+    /// formula's variables to cells.
+    pub fn count(&self, formula: &Formula) -> u128 {
+        let vars: Vec<Var> = formula.variables().into_iter().collect();
+        if vars.is_empty() {
+            return 0;
+        }
+        let rows = self.matrix.subject_count();
+        let cols = &self.active_columns;
+        if rows == 0 || cols.is_empty() {
+            return 0;
+        }
+        let mut assignment = Assignment::new();
+        self.count_recursive(formula, &vars, 0, rows, cols, &mut assignment)
+    }
+
+    fn count_recursive(
+        &self,
+        formula: &Formula,
+        vars: &[Var],
+        depth: usize,
+        rows: usize,
+        cols: &[usize],
+        assignment: &mut Assignment,
+    ) -> u128 {
+        if depth == vars.len() {
+            return u128::from(self.satisfies(assignment, formula));
+        }
+        let mut total = 0u128;
+        for row in 0..rows {
+            for &col in cols {
+                assignment.insert(vars[depth].clone(), (row, col));
+                total += self.count_recursive(formula, vars, depth + 1, rows, cols, assignment);
+            }
+        }
+        assignment.remove(&vars[depth]);
+        total
+    }
+
+    /// Evaluates the structuredness function `σ_r(M)` of a rule.
+    pub fn sigma(&self, rule: &Rule) -> Ratio {
+        let total = self.count(rule.antecedent());
+        if total == 0 {
+            return Ratio::ONE;
+        }
+        let favorable = self.count(&rule.favorable_formula());
+        Ratio::from_counts(favorable, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use strudel_rdf::bitset::BitSet;
+
+    /// Builds the D1/D2/D3 example matrices of Figure 1 in the paper.
+    fn matrix_d1(n: usize) -> PropertyStructureView {
+        // N subjects, all with the single property p.
+        PropertyStructureView::from_rows(
+            vec!["http://ex/p".into()],
+            (0..n).map(|i| format!("http://ex/s{i}")).collect(),
+            (0..n).map(|_| BitSet::from_indexes(1, &[0])).collect(),
+        )
+        .unwrap()
+    }
+
+    fn matrix_d2(n: usize) -> PropertyStructureView {
+        // D1 plus one extra property q set only for the first subject.
+        PropertyStructureView::from_rows(
+            vec!["http://ex/p".into(), "http://ex/q".into()],
+            (0..n).map(|i| format!("http://ex/s{i}")).collect(),
+            (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        BitSet::from_indexes(2, &[0, 1])
+                    } else {
+                        BitSet::from_indexes(2, &[0])
+                    }
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn matrix_d3(n: usize) -> PropertyStructureView {
+        // Subject i has only property p_i (diagonal matrix).
+        PropertyStructureView::from_rows(
+            (0..n).map(|i| format!("http://ex/p{i}")).collect(),
+            (0..n).map(|i| format!("http://ex/s{i}")).collect(),
+            (0..n).map(|i| BitSet::from_indexes(n, &[i])).collect(),
+        )
+        .unwrap()
+    }
+
+    fn cov() -> Rule {
+        parse_rule("c = c -> val(c) = 1").unwrap()
+    }
+
+    fn sim() -> Rule {
+        parse_rule("not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1")
+            .unwrap()
+    }
+
+    #[test]
+    fn cov_matches_figure_1_examples() {
+        let eval = |m: &PropertyStructureView| NaiveEvaluator::new(m).sigma(&cov());
+        assert_eq!(eval(&matrix_d1(10)), Ratio::ONE);
+        // σCov(D2) = (N+1) / (2N): for N = 10 that is 11/20 = 0.55 ≈ 0.5.
+        assert_eq!(eval(&matrix_d2(10)), Ratio::new(11, 20));
+        // σCov(D3) = N / N² = 1/N.
+        assert_eq!(eval(&matrix_d3(6)), Ratio::new(1, 6));
+    }
+
+    #[test]
+    fn sim_matches_figure_1_examples() {
+        let eval = |m: &PropertyStructureView| NaiveEvaluator::new(m).sigma(&sim());
+        assert_eq!(eval(&matrix_d1(8)), Ratio::ONE);
+        // For D2, the exotic property q does not hurt similarity much:
+        // total = p-column: 10·9 pairs + q-column: 1·9 pairs = 99;
+        // favorable = p: 90, q: 0 → 90/99.
+        assert_eq!(eval(&matrix_d2(10)), Ratio::new(90, 99));
+        // D3 is maximally unstructured for Sim.
+        assert_eq!(eval(&matrix_d3(5)), Ratio::ZERO);
+    }
+
+    #[test]
+    fn sigma_is_one_when_no_total_cases() {
+        // A dependency on a property that does not exist in the matrix.
+        let rule = parse_rule(
+            "subj(c1) = subj(c2) and prop(c1) = <http://ex/missing> and \
+             prop(c2) = <http://ex/p> and val(c1) = 1 -> val(c2) = 1",
+        )
+        .unwrap();
+        let matrix = matrix_d1(4);
+        assert_eq!(NaiveEvaluator::new(&matrix).sigma(&rule), Ratio::ONE);
+    }
+
+    #[test]
+    fn subject_constants_are_supported_by_the_naive_evaluator() {
+        let rule = parse_rule("subj(c) = <http://ex/s0> -> val(c) = 1").unwrap();
+        let matrix = matrix_d2(4);
+        // Subject s0 has both properties set → 2 favorable out of 2 total.
+        assert_eq!(NaiveEvaluator::new(&matrix).sigma(&rule), Ratio::ONE);
+        let rule = parse_rule("subj(c) = <http://ex/s1> -> val(c) = 1").unwrap();
+        // Subject s1 has p but not q → 1/2.
+        assert_eq!(
+            NaiveEvaluator::new(&matrix).sigma(&rule),
+            Ratio::new(1, 2)
+        );
+    }
+
+    #[test]
+    fn unused_columns_are_ignored() {
+        // A view with an extra all-zero column must evaluate as if the column
+        // were absent (it is not part of P(D)).
+        let matrix = PropertyStructureView::from_rows(
+            vec!["http://ex/p".into(), "http://ex/unused".into()],
+            vec!["http://ex/s0".into(), "http://ex/s1".into()],
+            vec![
+                BitSet::from_indexes(2, &[0]),
+                BitSet::from_indexes(2, &[0]),
+            ],
+        )
+        .unwrap();
+        let evaluator = NaiveEvaluator::new(&matrix);
+        assert_eq!(evaluator.active_columns(), &[0]);
+        assert_eq!(evaluator.sigma(&cov()), Ratio::ONE);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the rule language and its evaluators.
+
+use proptest::prelude::*;
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::prelude::*;
+
+/// A strategy for small random signature views over at most 4 properties.
+fn view_strategy() -> impl Strategy<Value = SignatureView> {
+    proptest::collection::vec((proptest::collection::vec(0usize..4, 0..4), 1usize..5), 1..5)
+        .prop_map(|signatures| {
+            let properties = (0..4).map(|i| format!("http://ex/p{i}")).collect();
+            SignatureView::from_counts(properties, signatures)
+                .expect("indexes are within range by construction")
+        })
+}
+
+/// The paper's rules (and variants) parameterised over property indexes 0..4.
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (0usize..6, 0usize..4, 0usize..4).prop_map(|(kind, a, b)| {
+        let pa = format!("http://ex/p{a}");
+        let pb = format!("http://ex/p{b}");
+        match kind {
+            0 => coverage(),
+            1 => similarity(),
+            2 => dependency(&pa, &pb),
+            3 => sym_dependency(&pa, &pb),
+            4 => dependency_disjunctive(&pa, &pb),
+            _ => coverage_ignoring(&[&pa]),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The signature-based evaluator agrees exactly with the naive
+    /// cell-enumeration oracle on every rule/view pair.
+    #[test]
+    fn fast_evaluator_agrees_with_naive(view in view_strategy(), rule in rule_strategy()) {
+        let fast = Evaluator::new(&view).sigma(&rule).unwrap();
+        let naive = NaiveEvaluator::new(&view.to_matrix()).sigma(&rule);
+        prop_assert_eq!(fast, naive, "rule {} on {:?}", rule, view);
+    }
+
+    /// Structuredness values always lie in [0, 1].
+    #[test]
+    fn sigma_is_within_unit_interval(view in view_strategy(), rule in rule_strategy()) {
+        let sigma = Evaluator::new(&view).sigma(&rule).unwrap();
+        prop_assert!(sigma >= Ratio::ZERO);
+        prop_assert!(sigma <= Ratio::ONE);
+    }
+
+    /// Rough-count tables are consistent: per-τ favorable ≤ antecedent, and
+    /// the totals match the direct counts.
+    #[test]
+    fn rough_count_tables_are_consistent(view in view_strategy(), rule in rule_strategy()) {
+        let evaluator = Evaluator::new(&view);
+        let table = evaluator.rough_counts(&rule).unwrap();
+        for entry in &table.entries {
+            prop_assert!(entry.favorable_count <= entry.antecedent_count);
+            prop_assert!(entry.antecedent_count > 0);
+        }
+        prop_assert_eq!(
+            table.total_antecedent(),
+            evaluator.count(rule.antecedent()).unwrap()
+        );
+        prop_assert_eq!(
+            table.total_favorable(),
+            evaluator.count(&rule.favorable_formula()).unwrap()
+        );
+    }
+
+    /// Parsing the display form of a rule gives back the same AST.
+    #[test]
+    fn display_parse_round_trip(rule in rule_strategy()) {
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text).unwrap();
+        prop_assert_eq!(reparsed.antecedent(), rule.antecedent());
+        prop_assert_eq!(reparsed.consequent(), rule.consequent());
+    }
+
+    /// Duplicating every signature set scales counts but leaves Cov and the
+    /// dependency measures unchanged (they are ratios of subject counts).
+    #[test]
+    fn cov_and_dep_are_scale_invariant(view in view_strategy(), factor in 2usize..4) {
+        let scaled = SignatureView::from_counts(
+            view.properties().to_vec(),
+            view.entries()
+                .iter()
+                .map(|e| (e.signature.iter().collect(), e.count * factor))
+                .collect(),
+        )
+        .unwrap();
+        prop_assert_eq!(sigma_cov(&view), sigma_cov(&scaled));
+        for a in 0..view.property_count() {
+            for b in 0..view.property_count() {
+                prop_assert_eq!(sigma_dep(&view, a, b), sigma_dep(&scaled, a, b));
+                prop_assert_eq!(sigma_sym_dep(&view, a, b), sigma_sym_dep(&scaled, a, b));
+            }
+        }
+    }
+}
+
+// Rational arithmetic laws checked over a modest range of fractions.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ratio_ordering_matches_f64(a in 1i128..1000, b in 1i128..1000, c in 1i128..1000, d in 1i128..1000) {
+        let x = Ratio::new(a, b);
+        let y = Ratio::new(c, d);
+        let expected = (a as f64 / b as f64).partial_cmp(&(c as f64 / d as f64)).unwrap();
+        // f64 comparisons of small fractions are exact enough for this range
+        // unless the two values are equal as rationals.
+        if x != y {
+            prop_assert_eq!(x.cmp(&y), expected);
+        }
+    }
+
+    #[test]
+    fn ratio_field_laws(a in -50i128..50, b in 1i128..20, c in -50i128..50, d in 1i128..20) {
+        let x = Ratio::new(a, b);
+        let y = Ratio::new(c, d);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!((x + y) - y, x);
+        if !y.is_zero() {
+            prop_assert_eq!((x / y) * y, x);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The schema-guided layout advisor.
+//!
+//! This module closes the loop the paper's introduction opens: storage
+//! layouts "use schemas to guide the decision making", so an accurate account
+//! of structuredness should translate into better physical designs. The
+//! advisor:
+//!
+//! 1. measures the structuredness of the dataset under a chosen rule,
+//! 2. discovers a sort refinement (highest θ for a fixed k, or lowest k for a
+//!    fixed θ) with any [`RefinementEngine`],
+//! 3. builds the three layouts — triple store, horizontal, property tables
+//!    derived from the refinement — and runs the same workload over them,
+//! 4. reports footprints, per-query-class costs, and a recommendation.
+//!
+//! It also reports the structuredness of each implicit sort next to the fill
+//! factor of its table, making the σ ⇄ physical-design connection (the
+//! paper's Section 9 future work) measurable.
+
+use std::fmt;
+
+use strudel_core::engine::RefinementEngine;
+use strudel_core::refinement::SortRefinement;
+use strudel_core::search::{highest_theta, lowest_k, HighestThetaOptions, SweepDirection};
+use strudel_core::sigma::SigmaSpec;
+use strudel_rdf::graph::Graph;
+use strudel_rdf::matrix::PropertyStructureView;
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::prelude::Ratio;
+
+use crate::error::StorageError;
+use crate::layout::{
+    HorizontalLayout, Layout, LayoutConfig, PropertyTablesLayout, TripleStoreLayout,
+};
+use crate::workload::{generate_workload, run_workload, LayoutWorkloadSummary, WorkloadConfig};
+
+/// What the advisor should optimise the refinement for.
+#[derive(Clone, Debug)]
+pub enum AdvisorObjective {
+    /// Find the highest-θ refinement with at most `k` implicit sorts.
+    HighestTheta {
+        /// Maximum number of implicit sorts (property tables).
+        k: usize,
+    },
+    /// Find the smallest number of implicit sorts meeting the threshold.
+    LowestK {
+        /// The structuredness threshold each implicit sort must meet.
+        theta: Ratio,
+        /// Upper bound on the number of sorts to try (`None` = number of
+        /// signatures).
+        max_k: Option<usize>,
+    },
+}
+
+/// Advisor configuration.
+#[derive(Clone, Debug)]
+pub struct AdvisorConfig {
+    /// The structuredness function guiding the refinement.
+    pub spec: SigmaSpec,
+    /// The refinement objective.
+    pub objective: AdvisorObjective,
+    /// Layout construction options (cost model, rdf:type handling).
+    pub layout: LayoutConfig,
+    /// The workload used to compare layouts.
+    pub workload: WorkloadConfig,
+}
+
+impl AdvisorConfig {
+    /// A sensible default: σ_Cov, at most `k` property tables, rdf:type
+    /// excluded, the default workload mix.
+    pub fn coverage_with_k(k: usize) -> Self {
+        AdvisorConfig {
+            spec: SigmaSpec::Coverage,
+            objective: AdvisorObjective::HighestTheta { k },
+            layout: LayoutConfig::excluding_rdf_type(),
+            workload: WorkloadConfig::default(),
+        }
+    }
+}
+
+/// Structuredness and fill factor of one implicit sort's table.
+#[derive(Clone, Debug)]
+pub struct SortTableReport {
+    /// The table name.
+    pub table: String,
+    /// Number of subjects (rows).
+    pub subjects: usize,
+    /// Number of property columns.
+    pub columns: usize,
+    /// σ of the implicit sort under the advisor's rule.
+    pub sigma: Ratio,
+    /// Fill factor of the materialised table (`None` for an empty table).
+    pub fill_factor: Option<f64>,
+}
+
+/// The advisor's output.
+#[derive(Clone, Debug)]
+pub struct AdvisorReport {
+    /// The rule used.
+    pub spec: SigmaSpec,
+    /// σ of the whole dataset under the rule.
+    pub dataset_sigma: Ratio,
+    /// The refinement the property-table layout is derived from.
+    pub refinement: SortRefinement,
+    /// Whether the refinement search exhausted its budget before deciding.
+    pub hit_budget: bool,
+    /// Per-sort structuredness vs. table fill factor.
+    pub sort_tables: Vec<SortTableReport>,
+    /// Workload summaries, one per layout (triple store, horizontal,
+    /// property tables — in that order).
+    pub summaries: Vec<LayoutWorkloadSummary>,
+    /// Name of the layout with the fewest total pages read.
+    pub recommended: String,
+}
+
+impl AdvisorReport {
+    /// The workload summary of a layout, by name.
+    pub fn summary(&self, layout: &str) -> Option<&LayoutWorkloadSummary> {
+        self.summaries.iter().find(|s| s.layout == layout)
+    }
+}
+
+impl fmt::Display for AdvisorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "layout advisor — rule {}, dataset σ = {:.3}",
+            self.spec.name(),
+            self.dataset_sigma.to_f64()
+        )?;
+        writeln!(
+            f,
+            "refinement: {} implicit sort(s), min σ = {:.3}{}",
+            self.refinement.k(),
+            self.refinement.min_sigma().to_f64(),
+            if self.hit_budget { " (budget-limited)" } else { "" }
+        )?;
+        for sort in &self.sort_tables {
+            writeln!(
+                f,
+                "  {}: {} subjects, {} columns, σ = {:.3}, fill = {}",
+                sort.table,
+                sort.subjects,
+                sort.columns,
+                sort.sigma.to_f64(),
+                sort.fill_factor
+                    .map_or_else(|| "n/a".to_owned(), |fill| format!("{fill:.3}")),
+            )?;
+        }
+        writeln!(f, "workload of {} queries:", self.summaries.first().map_or(0, |s| s.queries))?;
+        for summary in &self.summaries {
+            writeln!(
+                f,
+                "  {:<16} storage: {:>10} bytes ({:>4} pages, fill {})  reads: {:>6} pages, {:>8} cells",
+                summary.layout,
+                summary.storage.bytes,
+                summary.storage.pages,
+                summary
+                    .storage
+                    .fill_factor()
+                    .map_or_else(|| "n/a".to_owned(), |fill| format!("{fill:.3}")),
+                summary.total.pages_read,
+                summary.total.cells_scanned,
+            )?;
+        }
+        write!(f, "recommended layout: {}", self.recommended)
+    }
+}
+
+/// Runs the advisor on a graph (optionally restricted to one explicit sort).
+pub fn advise(
+    graph: &Graph,
+    sort: Option<&str>,
+    config: &AdvisorConfig,
+    engine: &dyn RefinementEngine,
+) -> Result<AdvisorReport, StorageError> {
+    // When a sort is given, every step (refinement, layouts, workload) runs
+    // over its typed subgraph so the comparison stays apples-to-apples.
+    let typed;
+    let graph = match sort {
+        Some(sort_iri) => {
+            typed = graph.typed_subgraph(sort_iri);
+            &typed
+        }
+        None => graph,
+    };
+    let matrix = PropertyStructureView::from_graph(graph, config.layout.exclude_rdf_type);
+    if matrix.subject_count() == 0 {
+        return Err(StorageError::EmptyDataset);
+    }
+    let view = SignatureView::from_matrix(&matrix);
+    let dataset_sigma = config.spec.evaluate(&view)?;
+
+    let (refinement, hit_budget) = match &config.objective {
+        AdvisorObjective::HighestTheta { k } => {
+            let result = highest_theta(
+                &view,
+                &config.spec,
+                *k,
+                engine,
+                &HighestThetaOptions::default(),
+            )?;
+            let refinement = result.refinement.ok_or_else(|| {
+                StorageError::InconsistentRefinement(
+                    "the highest-θ search produced no refinement".to_owned(),
+                )
+            })?;
+            (refinement, result.hit_budget)
+        }
+        AdvisorObjective::LowestK { theta, max_k } => {
+            let result = lowest_k(
+                &view,
+                &config.spec,
+                *theta,
+                engine,
+                SweepDirection::Upward,
+                *max_k,
+            )?;
+            let refinement = result.refinement.ok_or_else(|| {
+                StorageError::InconsistentRefinement(format!(
+                    "no refinement meets θ = {theta} within the allowed number of sorts"
+                ))
+            })?;
+            (refinement, result.hit_budget)
+        }
+    };
+
+    let triple_store = TripleStoreLayout::build(graph, &config.layout);
+    let horizontal = HorizontalLayout::build(graph, &config.layout);
+    let property_tables =
+        PropertyTablesLayout::from_refinement(graph, &matrix, &view, &refinement, &config.layout)?;
+
+    let mut sort_tables = Vec::new();
+    for (sort, table) in refinement.sorts.iter().zip(property_tables.tables()) {
+        let stats = table.storage_stats(&config.layout.cost_model);
+        sort_tables.push(SortTableReport {
+            table: table.name().to_owned(),
+            subjects: table.row_count(),
+            columns: table.column_count(),
+            sigma: sort.sigma,
+            fill_factor: stats.fill_factor(),
+        });
+    }
+
+    let queries = generate_workload(graph, &config.workload);
+    let layouts: [&dyn Layout; 3] = [&triple_store, &horizontal, &property_tables];
+    let summaries = run_workload(&layouts, &queries)?;
+    let recommended = summaries
+        .iter()
+        .min_by_key(|summary| (summary.total.pages_read, summary.storage.pages))
+        .map(|summary| summary.layout.clone())
+        .unwrap_or_else(|| "triple store".to_owned());
+
+    Ok(AdvisorReport {
+        spec: config.spec.clone(),
+        dataset_sigma,
+        refinement,
+        hit_budget,
+        sort_tables,
+        summaries,
+        recommended,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_core::engine::HybridEngine;
+    use strudel_rdf::term::Literal;
+
+    fn persons_graph() -> Graph {
+        let mut graph = Graph::new();
+        // 12 "alive" persons with name + birthDate, 4 "dead" persons with all
+        // four properties: a miniature DBpedia Persons.
+        for idx in 0..12 {
+            let subject = format!("http://ex/alive{idx}");
+            graph.insert_type(&subject, "http://ex/Person");
+            graph.insert_literal_triple(&subject, "http://ex/name", Literal::simple("x"));
+            graph.insert_literal_triple(&subject, "http://ex/birthDate", Literal::simple("1990"));
+        }
+        for idx in 0..4 {
+            let subject = format!("http://ex/dead{idx}");
+            graph.insert_type(&subject, "http://ex/Person");
+            graph.insert_literal_triple(&subject, "http://ex/name", Literal::simple("y"));
+            graph.insert_literal_triple(&subject, "http://ex/birthDate", Literal::simple("1900"));
+            graph.insert_literal_triple(&subject, "http://ex/deathDate", Literal::simple("1980"));
+            graph.insert_literal_triple(&subject, "http://ex/deathPlace", Literal::simple("z"));
+        }
+        graph
+    }
+
+    #[test]
+    fn advisor_recommends_a_layout_and_reports_consistent_sorts() {
+        let graph = persons_graph();
+        let config = AdvisorConfig::coverage_with_k(2);
+        let engine = HybridEngine::new();
+        let report = advise(&graph, Some("http://ex/Person"), &config, &engine).unwrap();
+
+        assert_eq!(report.refinement.k(), 2);
+        assert_eq!(report.summaries.len(), 3);
+        assert!(!report.recommended.is_empty());
+        // The refinement splits alive/dead perfectly, so every per-sort table
+        // is fully dense and per-sort σ_Cov is 1.
+        for sort in &report.sort_tables {
+            assert_eq!(sort.fill_factor, Some(1.0));
+            assert_eq!(sort.sigma, Ratio::ONE);
+        }
+        // The display renders without panicking and mentions every layout.
+        let text = report.to_string();
+        assert!(text.contains("triple store"));
+        assert!(text.contains("horizontal"));
+        assert!(text.contains("property tables"));
+        assert!(report.summary("horizontal").is_some());
+        assert!(report.summary("does not exist").is_none());
+    }
+
+    #[test]
+    fn lowest_k_objective_is_supported() {
+        let graph = persons_graph();
+        let config = AdvisorConfig {
+            spec: SigmaSpec::Coverage,
+            objective: AdvisorObjective::LowestK {
+                theta: Ratio::new(9, 10),
+                max_k: Some(4),
+            },
+            layout: LayoutConfig::excluding_rdf_type(),
+            workload: WorkloadConfig {
+                subject_lookups: 4,
+                value_lookups: 4,
+                property_scans: 2,
+                star_joins: 2,
+                ..WorkloadConfig::default()
+            },
+        };
+        let engine = HybridEngine::new();
+        let report = advise(&graph, Some("http://ex/Person"), &config, &engine).unwrap();
+        assert!(report.refinement.min_sigma() >= Ratio::new(9, 10));
+        assert!(report.refinement.k() <= 4);
+    }
+
+    #[test]
+    fn empty_sorts_are_rejected() {
+        let graph = Graph::new();
+        let config = AdvisorConfig::coverage_with_k(2);
+        let engine = HybridEngine::new();
+        let err = advise(&graph, None, &config, &engine).unwrap_err();
+        assert!(matches!(err, StorageError::EmptyDataset));
+    }
+}

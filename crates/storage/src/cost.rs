@@ -1,0 +1,272 @@
+//! The storage and query cost model.
+//!
+//! The paper motivates structuredness by its impact on "storage layouts,
+//! indexing, and efficient query processing". This module quantifies that
+//! impact with a deliberately simple, deterministic cost model: every layout
+//! reports how many bytes it occupies and how many *null* cells it stores,
+//! and every query execution reports how many rows, cells and (derived)
+//! pages it had to touch. Absolute numbers are synthetic; the point is the
+//! *relative* comparison between layouts built with and without a sort
+//! refinement — exactly the decision the paper wants structuredness to
+//! inform.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Tunable constants of the cost model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Size of a disk page in bytes.
+    pub page_size: usize,
+    /// Fixed per-row overhead (row header, slot pointer) in bytes.
+    pub row_overhead: usize,
+    /// Fixed per-cell overhead for a *present* value (length word / pointer).
+    pub cell_overhead: usize,
+    /// Bytes charged for a null cell (a wide row still reserves a slot and a
+    /// null-bitmap bit; modelled as one byte to keep arithmetic integral).
+    pub null_cell_bytes: usize,
+    /// Fixed per-table overhead (catalog entry, header page).
+    pub table_overhead: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            page_size: 8192,
+            row_overhead: 16,
+            cell_overhead: 4,
+            null_cell_bytes: 1,
+            table_overhead: 256,
+        }
+    }
+}
+
+impl CostModel {
+    /// Number of pages needed to hold `bytes` bytes (at least one for any
+    /// non-empty byte count).
+    pub fn pages_for_bytes(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.page_size)
+        }
+    }
+}
+
+/// Static footprint of a layout (or of a single table).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Number of tables.
+    pub tables: usize,
+    /// Number of rows across all tables.
+    pub rows: usize,
+    /// Number of non-null cells (stored values).
+    pub occupied_cells: usize,
+    /// Number of null cells (reserved but empty slots).
+    pub null_cells: usize,
+    /// Total bytes under the cost model.
+    pub bytes: usize,
+    /// Total pages under the cost model.
+    pub pages: usize,
+}
+
+impl StorageStats {
+    /// Fraction of cells that hold a value; `None` when the layout has no
+    /// cells at all. For a single-table horizontal layout over a graph where
+    /// every subject sets each property at most once, this equals σ_Cov.
+    pub fn fill_factor(&self) -> Option<f64> {
+        let total = self.occupied_cells + self.null_cells;
+        if total == 0 {
+            None
+        } else {
+            Some(self.occupied_cells as f64 / total as f64)
+        }
+    }
+
+    /// Fraction of cells that are null (0 when there are no cells).
+    pub fn null_fraction(&self) -> f64 {
+        1.0 - self.fill_factor().unwrap_or(1.0)
+    }
+}
+
+impl Add for StorageStats {
+    type Output = StorageStats;
+
+    fn add(self, other: StorageStats) -> StorageStats {
+        StorageStats {
+            tables: self.tables + other.tables,
+            rows: self.rows + other.rows,
+            occupied_cells: self.occupied_cells + other.occupied_cells,
+            null_cells: self.null_cells + other.null_cells,
+            bytes: self.bytes + other.bytes,
+            pages: self.pages + other.pages,
+        }
+    }
+}
+
+impl AddAssign for StorageStats {
+    fn add_assign(&mut self, other: StorageStats) {
+        *self = *self + other;
+    }
+}
+
+impl fmt::Display for StorageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} table(s), {} rows, {} cells ({} null, fill {:.2}), {} bytes / {} pages",
+            self.tables,
+            self.rows,
+            self.occupied_cells + self.null_cells,
+            self.null_cells,
+            self.fill_factor().unwrap_or(1.0),
+            self.bytes,
+            self.pages
+        )
+    }
+}
+
+/// Work performed to answer one query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Rows visited across all tables.
+    pub rows_scanned: usize,
+    /// Cells inspected (null cells count: the executor still has to look).
+    pub cells_scanned: usize,
+    /// Bytes read under the cost model.
+    pub bytes_read: usize,
+    /// Pages read under the cost model (derived from `bytes_read` per table
+    /// scan, so scanning two half-pages in two tables costs two pages).
+    pub pages_read: usize,
+    /// Number of index lookups performed (hash/B-tree probes).
+    pub index_lookups: usize,
+    /// Number of tables touched.
+    pub tables_touched: usize,
+}
+
+impl Add for QueryCost {
+    type Output = QueryCost;
+
+    fn add(self, other: QueryCost) -> QueryCost {
+        QueryCost {
+            rows_scanned: self.rows_scanned + other.rows_scanned,
+            cells_scanned: self.cells_scanned + other.cells_scanned,
+            bytes_read: self.bytes_read + other.bytes_read,
+            pages_read: self.pages_read + other.pages_read,
+            index_lookups: self.index_lookups + other.index_lookups,
+            tables_touched: self.tables_touched + other.tables_touched,
+        }
+    }
+}
+
+impl AddAssign for QueryCost {
+    fn add_assign(&mut self, other: QueryCost) {
+        *self = *self + other;
+    }
+}
+
+impl fmt::Display for QueryCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rows, {} cells, {} pages, {} index lookup(s), {} table(s)",
+            self.rows_scanned,
+            self.cells_scanned,
+            self.pages_read,
+            self.index_lookups,
+            self.tables_touched
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_round_up_and_zero_is_zero() {
+        let model = CostModel::default();
+        assert_eq!(model.pages_for_bytes(0), 0);
+        assert_eq!(model.pages_for_bytes(1), 1);
+        assert_eq!(model.pages_for_bytes(8192), 1);
+        assert_eq!(model.pages_for_bytes(8193), 2);
+    }
+
+    #[test]
+    fn fill_factor_matches_cell_counts() {
+        let stats = StorageStats {
+            tables: 1,
+            rows: 4,
+            occupied_cells: 6,
+            null_cells: 2,
+            bytes: 100,
+            pages: 1,
+        };
+        assert_eq!(stats.fill_factor(), Some(0.75));
+        assert!((stats.null_fraction() - 0.25).abs() < 1e-12);
+
+        let empty = StorageStats::default();
+        assert_eq!(empty.fill_factor(), None);
+        assert_eq!(empty.null_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_and_costs_accumulate() {
+        let a = StorageStats {
+            tables: 1,
+            rows: 2,
+            occupied_cells: 3,
+            null_cells: 1,
+            bytes: 10,
+            pages: 1,
+        };
+        let total = a + a;
+        assert_eq!(total.rows, 4);
+        assert_eq!(total.bytes, 20);
+
+        let mut cost = QueryCost::default();
+        cost += QueryCost {
+            rows_scanned: 5,
+            cells_scanned: 10,
+            bytes_read: 80,
+            pages_read: 1,
+            index_lookups: 1,
+            tables_touched: 1,
+        };
+        cost += QueryCost {
+            rows_scanned: 1,
+            cells_scanned: 2,
+            bytes_read: 16,
+            pages_read: 1,
+            index_lookups: 0,
+            tables_touched: 1,
+        };
+        assert_eq!(cost.rows_scanned, 6);
+        assert_eq!(cost.pages_read, 2);
+        assert_eq!(cost.tables_touched, 2);
+    }
+
+    #[test]
+    fn displays_are_compact() {
+        let stats = StorageStats {
+            tables: 2,
+            rows: 3,
+            occupied_cells: 4,
+            null_cells: 2,
+            bytes: 123,
+            pages: 1,
+        };
+        let text = stats.to_string();
+        assert!(text.contains("2 table(s)"));
+        assert!(text.contains("123 bytes"));
+        let cost = QueryCost {
+            rows_scanned: 1,
+            cells_scanned: 2,
+            bytes_read: 3,
+            pages_read: 1,
+            index_lookups: 1,
+            tables_touched: 1,
+        };
+        assert!(cost.to_string().contains("1 rows"));
+    }
+}

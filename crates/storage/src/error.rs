@@ -1,0 +1,109 @@
+//! Error types of the storage layer.
+
+use std::fmt;
+
+use strudel_core::error::RefineError;
+use strudel_rules::error::EvalError;
+
+/// Errors raised while building layouts or advising on physical design.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The graph (or the requested sort) contains no subjects, so there is
+    /// nothing to lay out.
+    EmptyDataset,
+    /// A refinement references a signature the dataset does not contain, or
+    /// does not cover every signature (it would leave orphan subjects).
+    InconsistentRefinement(String),
+    /// A subject row of the property-structure view does not correspond to
+    /// any signature entry of the view the refinement was computed on.
+    UnknownSignatureRow(String),
+    /// The layout advisor needs either a target `k` or a threshold θ.
+    MissingObjective,
+    /// Two layouts returned different answers for the same query — a
+    /// correctness bug in a layout, surfaced instead of silently producing a
+    /// meaningless cost comparison.
+    AnswerMismatch {
+        /// The query label.
+        query: String,
+        /// The layout whose answer is taken as reference.
+        reference: String,
+        /// The disagreeing layout.
+        candidate: String,
+    },
+    /// The underlying refinement search failed.
+    Refine(RefineError),
+    /// Evaluating a structuredness function failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::EmptyDataset => {
+                write!(f, "the dataset contains no subjects to lay out")
+            }
+            StorageError::InconsistentRefinement(detail) => {
+                write!(f, "refinement is inconsistent with the dataset: {detail}")
+            }
+            StorageError::UnknownSignatureRow(subject) => write!(
+                f,
+                "subject '{subject}' has a signature the refinement does not know about"
+            ),
+            StorageError::MissingObjective => write!(
+                f,
+                "the layout advisor needs a target number of sorts (k) or a threshold (θ)"
+            ),
+            StorageError::AnswerMismatch {
+                query,
+                reference,
+                candidate,
+            } => write!(
+                f,
+                "layouts '{reference}' and '{candidate}' disagree on query {query}"
+            ),
+            StorageError::Refine(err) => write!(f, "refinement search failed: {err}"),
+            StorageError::Eval(err) => write!(f, "structuredness evaluation failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Refine(err) => Some(err),
+            StorageError::Eval(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<RefineError> for StorageError {
+    fn from(err: RefineError) -> Self {
+        StorageError::Refine(err)
+    }
+}
+
+impl From<EvalError> for StorageError {
+    fn from(err: EvalError) -> Self {
+        StorageError::Eval(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let messages = [
+            StorageError::EmptyDataset.to_string(),
+            StorageError::InconsistentRefinement("sig 3 unassigned".into()).to_string(),
+            StorageError::UnknownSignatureRow("http://ex/s".into()).to_string(),
+            StorageError::MissingObjective.to_string(),
+        ];
+        assert!(messages[0].contains("no subjects"));
+        assert!(messages[1].contains("sig 3 unassigned"));
+        assert!(messages[2].contains("http://ex/s"));
+        assert!(messages[3].contains("k"));
+    }
+}

@@ -1,0 +1,267 @@
+//! The horizontal layout: one wide table over every subject and property.
+
+use strudel_rdf::graph::Graph;
+use strudel_rdf::vocab::RDF_TYPE;
+
+use crate::cost::{CostModel, QueryCost, StorageStats};
+use crate::layout::{pages_for_read, Layout, LayoutConfig};
+use crate::query::{Query, QueryOutput};
+use crate::table::WideTable;
+use crate::value::Value;
+
+/// The horizontal database of Section 2.1: a single wide, NULL-heavy table.
+///
+/// The table is a row store: any query that is not a point lookup has to read
+/// every row in full, which is exactly why its fill factor (= σ_Cov of the
+/// dataset) matters.
+#[derive(Clone, Debug)]
+pub struct HorizontalLayout {
+    table: WideTable,
+    stats: StorageStats,
+    model: CostModel,
+}
+
+impl HorizontalLayout {
+    /// Lays the graph out as one wide table.
+    pub fn build(graph: &Graph, config: &LayoutConfig) -> Self {
+        let mut columns: Vec<String> = graph
+            .properties()
+            .into_iter()
+            .map(|p| graph.iri(p).to_owned())
+            .filter(|p| !(config.exclude_rdf_type && p == RDF_TYPE))
+            .collect();
+        columns.sort();
+        let mut table = WideTable::new("horizontal", columns);
+        for subject in graph.subjects() {
+            let subject_iri = graph.iri(subject).to_owned();
+            let row = table.upsert_row(&subject_iri);
+            for triple in graph.entity(subject) {
+                let property = graph.iri(triple.predicate);
+                let Some(column) = table.column_of(property) else {
+                    continue;
+                };
+                let value = Value::from_object(graph, triple.object);
+                table.push_value(row, column, value);
+            }
+        }
+        let model = config.cost_model.clone();
+        let stats = table.storage_stats(&model);
+        HorizontalLayout {
+            table,
+            stats,
+            model,
+        }
+    }
+
+    /// The underlying wide table.
+    pub fn table(&self) -> &WideTable {
+        &self.table
+    }
+
+    fn full_scan_cost(&self, cells_per_row: usize) -> QueryCost {
+        QueryCost {
+            rows_scanned: self.table.row_count(),
+            cells_scanned: self.table.row_count() * cells_per_row,
+            bytes_read: self.stats.bytes,
+            pages_read: self.stats.pages,
+            index_lookups: 0,
+            tables_touched: 1,
+        }
+    }
+
+    fn row_lookup_cost(&self, row: usize, cells: usize) -> QueryCost {
+        let bytes = self.table.row_bytes(row, &self.model);
+        QueryCost {
+            rows_scanned: 1,
+            cells_scanned: cells,
+            bytes_read: bytes,
+            pages_read: pages_for_read(&self.model, bytes),
+            index_lookups: 1,
+            tables_touched: 1,
+        }
+    }
+}
+
+impl Layout for HorizontalLayout {
+    fn name(&self) -> &str {
+        "horizontal"
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        self.stats
+    }
+
+    fn execute(&self, query: &Query) -> (QueryOutput, QueryCost) {
+        let mut output = QueryOutput::new();
+        match query {
+            Query::SubjectLookup { subject } => {
+                let Some(row) = self.table.row_of(subject) else {
+                    return (output, QueryCost { index_lookups: 1, ..QueryCost::default() });
+                };
+                let cost = self.row_lookup_cost(row, self.table.column_count());
+                for (column, label) in self.table.columns().iter().enumerate() {
+                    for value in self.table.cell(row, column) {
+                        output.push(vec![label.clone(), value.to_string()]);
+                    }
+                }
+                (output, cost)
+            }
+            Query::ValueLookup { subject, property } => {
+                let Some(row) = self.table.row_of(subject) else {
+                    return (output, QueryCost { index_lookups: 1, ..QueryCost::default() });
+                };
+                let Some(column) = self.table.column_of(property) else {
+                    return (output, QueryCost { index_lookups: 1, ..QueryCost::default() });
+                };
+                let cost = self.row_lookup_cost(row, 1);
+                for value in self.table.cell(row, column) {
+                    output.push(vec![value.to_string()]);
+                }
+                (output, cost)
+            }
+            Query::PropertyScan { property } => {
+                let Some(column) = self.table.column_of(property) else {
+                    return (output, QueryCost::default());
+                };
+                let cost = self.full_scan_cost(1);
+                for (row, subject) in self.table.rows() {
+                    for value in self.table.cell(row, column) {
+                        output.push(vec![subject.to_owned(), value.to_string()]);
+                    }
+                }
+                (output, cost)
+            }
+            Query::StarJoin { properties } => {
+                if properties.is_empty() {
+                    return (output, QueryCost::default());
+                }
+                let columns: Vec<Option<usize>> = properties
+                    .iter()
+                    .map(|property| self.table.column_of(property))
+                    .collect();
+                if columns.iter().any(Option::is_none) {
+                    // A property absent from the dataset: no subject can match,
+                    // and the executor knows it from the catalog alone.
+                    return (output, QueryCost::default());
+                }
+                let cost = self.full_scan_cost(columns.len());
+                for (row, subject) in self.table.rows() {
+                    let all_present = columns
+                        .iter()
+                        .all(|column| !self.table.cell(row, column.unwrap()).is_empty());
+                    if all_present {
+                        output.push(vec![subject.to_owned()]);
+                    }
+                }
+                (output, cost)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_rdf::term::Literal;
+
+    fn sample_graph() -> Graph {
+        let mut graph = Graph::new();
+        for (subject, properties) in [
+            ("http://ex/ada", vec![("name", "Ada"), ("deathDate", "1852")]),
+            ("http://ex/tim", vec![("name", "Tim")]),
+            ("http://ex/bob", vec![("name", "Bob")]),
+        ] {
+            graph.insert_type(subject, "http://ex/Person");
+            for (property, value) in properties {
+                graph.insert_literal_triple(
+                    subject,
+                    &format!("http://ex/{property}"),
+                    Literal::simple(value),
+                );
+            }
+        }
+        graph
+    }
+
+    #[test]
+    fn fill_factor_equals_coverage() {
+        let graph = sample_graph();
+        let layout = HorizontalLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        // 3 subjects × 2 properties, 4 occupied cells → σ_Cov = 4/6.
+        let stats = layout.storage_stats();
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.occupied_cells, 4);
+        assert_eq!(stats.null_cells, 2);
+        assert_eq!(stats.fill_factor(), Some(4.0 / 6.0));
+    }
+
+    #[test]
+    fn point_lookups_touch_one_row() {
+        let graph = sample_graph();
+        let layout = HorizontalLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        let (output, cost) = layout.execute(&Query::SubjectLookup {
+            subject: "http://ex/ada".into(),
+        });
+        assert_eq!(output.len(), 2);
+        assert_eq!(cost.rows_scanned, 1);
+        assert_eq!(cost.index_lookups, 1);
+
+        let (value, value_cost) = layout.execute(&Query::ValueLookup {
+            subject: "http://ex/ada".into(),
+            property: "http://ex/deathDate".into(),
+        });
+        assert_eq!(value.len(), 1);
+        assert_eq!(value_cost.cells_scanned, 1);
+    }
+
+    #[test]
+    fn scans_read_the_whole_table() {
+        let graph = sample_graph();
+        let layout = HorizontalLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        let (output, cost) = layout.execute(&Query::PropertyScan {
+            property: "http://ex/deathDate".into(),
+        });
+        assert_eq!(output.len(), 1);
+        assert_eq!(cost.rows_scanned, 3);
+        assert_eq!(cost.bytes_read, layout.storage_stats().bytes);
+    }
+
+    #[test]
+    fn star_join_requires_all_properties() {
+        let graph = sample_graph();
+        let layout = HorizontalLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        let (output, _) = layout.execute(&Query::StarJoin {
+            properties: vec!["http://ex/name".into(), "http://ex/deathDate".into()],
+        });
+        assert_eq!(output.len(), 1);
+        assert!(output.tuples.contains(&vec!["http://ex/ada".to_owned()]));
+
+        let (missing, cost) = layout.execute(&Query::StarJoin {
+            properties: vec!["http://ex/name".into(), "http://ex/nonexistent".into()],
+        });
+        assert!(missing.is_empty());
+        assert_eq!(cost.rows_scanned, 0);
+
+        let (empty, empty_cost) = layout.execute(&Query::StarJoin { properties: vec![] });
+        assert!(empty.is_empty());
+        assert_eq!(empty_cost, QueryCost::default());
+    }
+
+    #[test]
+    fn missing_subject_or_property_costs_only_the_probe() {
+        let graph = sample_graph();
+        let layout = HorizontalLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        let (output, cost) = layout.execute(&Query::SubjectLookup {
+            subject: "http://ex/nobody".into(),
+        });
+        assert!(output.is_empty());
+        assert_eq!(cost.rows_scanned, 0);
+        assert_eq!(cost.index_lookups, 1);
+
+        let (scan, scan_cost) = layout.execute(&Query::PropertyScan {
+            property: "http://ex/nonexistent".into(),
+        });
+        assert!(scan.is_empty());
+        assert_eq!(scan_cost, QueryCost::default());
+    }
+}

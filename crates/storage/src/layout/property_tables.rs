@@ -1,0 +1,449 @@
+//! The property-table layout: one wide table per implicit sort.
+//!
+//! This is the layout a sort refinement is *for*: each implicit sort groups
+//! subjects with similar signatures, so its table only needs the columns that
+//! sort actually uses and stays dense. Scans and star joins can skip whole
+//! tables whose column sets are irrelevant to the query.
+
+use std::collections::BTreeMap;
+
+use strudel_rdf::bitset::BitSet;
+use strudel_rdf::graph::Graph;
+use strudel_rdf::matrix::PropertyStructureView;
+use strudel_rdf::signature::SignatureView;
+use strudel_core::refinement::SortRefinement;
+
+use crate::cost::{CostModel, QueryCost, StorageStats};
+use crate::error::StorageError;
+use crate::layout::{pages_for_read, Layout, LayoutConfig};
+use crate::query::{Query, QueryOutput};
+use crate::table::WideTable;
+use crate::value::Value;
+
+/// One wide table per group of signatures (implicit sort).
+#[derive(Clone, Debug)]
+pub struct PropertyTablesLayout {
+    tables: Vec<WideTable>,
+    table_stats: Vec<StorageStats>,
+    subject_table: BTreeMap<String, usize>,
+    stats: StorageStats,
+    model: CostModel,
+}
+
+impl PropertyTablesLayout {
+    /// Builds the layout from a sort refinement computed on `view`.
+    ///
+    /// The matrix and signature view must describe the same dataset as
+    /// `graph` (same subjects, same property columns); the usual pipeline is
+    /// `graph → PropertyStructureView → SignatureView → refinement → layout`.
+    pub fn from_refinement(
+        graph: &Graph,
+        matrix: &PropertyStructureView,
+        view: &SignatureView,
+        refinement: &SortRefinement,
+        config: &LayoutConfig,
+    ) -> Result<Self, StorageError> {
+        let assignment = refinement.assignment(view);
+        if let Some(unassigned) = assignment.iter().position(|&sort| sort == usize::MAX) {
+            return Err(StorageError::InconsistentRefinement(format!(
+                "signature {unassigned} is not assigned to any implicit sort"
+            )));
+        }
+        Self::from_assignment(graph, matrix, view, &assignment, config)
+    }
+
+    /// Builds the degenerate layout with one table per signature set — the
+    /// finest possible decomposition, useful as an ablation point.
+    pub fn one_table_per_signature(
+        graph: &Graph,
+        matrix: &PropertyStructureView,
+        view: &SignatureView,
+        config: &LayoutConfig,
+    ) -> Result<Self, StorageError> {
+        let assignment: Vec<usize> = (0..view.signature_count()).collect();
+        Self::from_assignment(graph, matrix, view, &assignment, config)
+    }
+
+    /// Builds the layout from an explicit `signature index → group` map.
+    pub fn from_assignment(
+        graph: &Graph,
+        matrix: &PropertyStructureView,
+        view: &SignatureView,
+        assignment: &[usize],
+        config: &LayoutConfig,
+    ) -> Result<Self, StorageError> {
+        if matrix.subject_count() == 0 {
+            return Err(StorageError::EmptyDataset);
+        }
+        if assignment.len() != view.signature_count() {
+            return Err(StorageError::InconsistentRefinement(format!(
+                "assignment covers {} signatures, the view has {}",
+                assignment.len(),
+                view.signature_count()
+            )));
+        }
+        let group_count = assignment.iter().copied().max().map_or(0, |max| max + 1);
+
+        // Signature pattern → signature index, to classify each subject row.
+        let signature_of: BTreeMap<&BitSet, usize> = view
+            .entries()
+            .iter()
+            .enumerate()
+            .map(|(idx, entry)| (&entry.signature, idx))
+            .collect();
+
+        // One table per non-empty group, with only the columns its
+        // signatures use.
+        let mut group_tables: Vec<Option<usize>> = vec![None; group_count];
+        let mut tables: Vec<WideTable> = Vec::new();
+        for (group, slot) in group_tables.iter_mut().enumerate() {
+            let members: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, &g)| g == group)
+                .map(|(sig, _)| sig)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let used = view.used_properties(&members);
+            let columns: Vec<String> = used
+                .iter()
+                .map(|col| view.properties()[col].clone())
+                .collect();
+            *slot = Some(tables.len());
+            tables.push(WideTable::new(format!("sort{}", tables.len()), columns));
+        }
+
+        // Route every subject row to its group's table and fill in values.
+        let mut subject_table = BTreeMap::new();
+        for (row_idx, subject) in matrix.subjects().iter().enumerate() {
+            let pattern = matrix.row(row_idx);
+            let Some(&signature) = signature_of.get(pattern) else {
+                return Err(StorageError::UnknownSignatureRow(subject.clone()));
+            };
+            let table_idx = group_tables[assignment[signature]].ok_or_else(|| {
+                StorageError::InconsistentRefinement(format!(
+                    "signature {signature} maps to an empty group"
+                ))
+            })?;
+            subject_table.insert(subject.clone(), table_idx);
+            let table = &mut tables[table_idx];
+            let row = table.upsert_row(subject);
+            let Some(subject_id) = graph.dictionary().iri_id(subject) else {
+                continue;
+            };
+            for triple in graph.entity(subject_id) {
+                let property = graph.iri(triple.predicate);
+                let Some(column) = table.column_of(property) else {
+                    continue;
+                };
+                let value = Value::from_object(graph, triple.object);
+                table.push_value(row, column, value);
+            }
+        }
+
+        let model = config.cost_model.clone();
+        let table_stats: Vec<StorageStats> =
+            tables.iter().map(|table| table.storage_stats(&model)).collect();
+        let stats = table_stats
+            .iter()
+            .copied()
+            .fold(StorageStats::default(), |acc, stat| acc + stat);
+        Ok(PropertyTablesLayout {
+            tables,
+            table_stats,
+            subject_table,
+            stats,
+            model,
+        })
+    }
+
+    /// The per-sort tables.
+    pub fn tables(&self) -> &[WideTable] {
+        &self.tables
+    }
+
+    /// The table index a subject is stored in, if the subject exists.
+    pub fn table_of(&self, subject: &str) -> Option<usize> {
+        self.subject_table.get(subject).copied()
+    }
+
+    fn table_scan_cost(&self, table_idx: usize, cells_per_row: usize) -> QueryCost {
+        let table = &self.tables[table_idx];
+        let stats = &self.table_stats[table_idx];
+        QueryCost {
+            rows_scanned: table.row_count(),
+            cells_scanned: table.row_count() * cells_per_row,
+            bytes_read: stats.bytes,
+            pages_read: stats.pages,
+            index_lookups: 0,
+            tables_touched: 1,
+        }
+    }
+
+    fn row_lookup_cost(&self, table_idx: usize, row: usize, cells: usize) -> QueryCost {
+        let bytes = self.tables[table_idx].row_bytes(row, &self.model);
+        QueryCost {
+            rows_scanned: 1,
+            cells_scanned: cells,
+            bytes_read: bytes,
+            pages_read: pages_for_read(&self.model, bytes),
+            index_lookups: 2,
+            tables_touched: 1,
+        }
+    }
+}
+
+impl Layout for PropertyTablesLayout {
+    fn name(&self) -> &str {
+        "property tables"
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        self.stats
+    }
+
+    fn execute(&self, query: &Query) -> (QueryOutput, QueryCost) {
+        let mut output = QueryOutput::new();
+        let mut cost = QueryCost::default();
+        match query {
+            Query::SubjectLookup { subject } => {
+                cost.index_lookups = 1;
+                let Some(table_idx) = self.table_of(subject) else {
+                    return (output, cost);
+                };
+                let table = &self.tables[table_idx];
+                let Some(row) = table.row_of(subject) else {
+                    return (output, cost);
+                };
+                cost += self.row_lookup_cost(table_idx, row, table.column_count());
+                for (column, label) in table.columns().iter().enumerate() {
+                    for value in table.cell(row, column) {
+                        output.push(vec![label.clone(), value.to_string()]);
+                    }
+                }
+            }
+            Query::ValueLookup { subject, property } => {
+                cost.index_lookups = 1;
+                let Some(table_idx) = self.table_of(subject) else {
+                    return (output, cost);
+                };
+                let table = &self.tables[table_idx];
+                let (Some(row), Some(column)) = (table.row_of(subject), table.column_of(property))
+                else {
+                    // Either the subject vanished (impossible by construction)
+                    // or its sort never uses the property: answer is empty and
+                    // the catalog already knows it.
+                    return (output, cost);
+                };
+                cost += self.row_lookup_cost(table_idx, row, 1);
+                for value in table.cell(row, column) {
+                    output.push(vec![value.to_string()]);
+                }
+            }
+            Query::PropertyScan { property } => {
+                for (table_idx, table) in self.tables.iter().enumerate() {
+                    let Some(column) = table.column_of(property) else {
+                        continue;
+                    };
+                    cost += self.table_scan_cost(table_idx, 1);
+                    for (row, subject) in table.rows() {
+                        for value in table.cell(row, column) {
+                            output.push(vec![subject.to_owned(), value.to_string()]);
+                        }
+                    }
+                }
+            }
+            Query::StarJoin { properties } => {
+                if properties.is_empty() {
+                    return (output, cost);
+                }
+                for (table_idx, table) in self.tables.iter().enumerate() {
+                    let columns: Vec<Option<usize>> = properties
+                        .iter()
+                        .map(|property| table.column_of(property))
+                        .collect();
+                    if columns.iter().any(Option::is_none) {
+                        // This sort cannot contribute: at least one joined
+                        // property is outside its column set.
+                        continue;
+                    }
+                    cost += self.table_scan_cost(table_idx, columns.len());
+                    for (row, subject) in table.rows() {
+                        let all_present = columns
+                            .iter()
+                            .all(|column| !table.cell(row, column.unwrap()).is_empty());
+                        if all_present {
+                            output.push(vec![subject.to_owned()]);
+                        }
+                    }
+                }
+            }
+        }
+        (output, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_core::sigma::SigmaSpec;
+    use strudel_rdf::term::Literal;
+    use strudel_rules::prelude::Ratio;
+
+    fn sample_graph() -> Graph {
+        let mut graph = Graph::new();
+        for (subject, properties) in [
+            ("http://ex/ada", vec![("name", "Ada"), ("deathDate", "1852")]),
+            ("http://ex/grace", vec![("name", "Grace"), ("deathDate", "1992")]),
+            ("http://ex/tim", vec![("name", "Tim")]),
+            ("http://ex/bob", vec![("name", "Bob")]),
+            ("http://ex/eve", vec![("name", "Eve")]),
+        ] {
+            graph.insert_type(subject, "http://ex/Person");
+            for (property, value) in properties {
+                graph.insert_literal_triple(
+                    subject,
+                    &format!("http://ex/{property}"),
+                    Literal::simple(value),
+                );
+            }
+        }
+        graph
+    }
+
+    fn pipeline(graph: &Graph) -> (PropertyStructureView, SignatureView) {
+        let matrix = PropertyStructureView::from_graph(graph, true);
+        let view = SignatureView::from_matrix(&matrix);
+        (matrix, view)
+    }
+
+    #[test]
+    fn refinement_yields_dense_tables() {
+        let graph = sample_graph();
+        let (matrix, view) = pipeline(&graph);
+        // Two signatures: {name} (3 subjects) and {name, deathDate} (2).
+        assert_eq!(view.signature_count(), 2);
+        let refinement = SortRefinement::from_assignment(
+            &view,
+            &SigmaSpec::Coverage,
+            Ratio::ONE,
+            &[0, 1],
+            2,
+        )
+        .unwrap();
+        let layout = PropertyTablesLayout::from_refinement(
+            &graph,
+            &matrix,
+            &view,
+            &refinement,
+            &LayoutConfig::excluding_rdf_type(),
+        )
+        .unwrap();
+        assert_eq!(layout.tables().len(), 2);
+        let stats = layout.storage_stats();
+        // Every cell is occupied: both sorts are perfectly structured.
+        assert_eq!(stats.null_cells, 0);
+        assert_eq!(stats.fill_factor(), Some(1.0));
+        assert_eq!(stats.rows, 5);
+    }
+
+    #[test]
+    fn scans_skip_irrelevant_tables() {
+        let graph = sample_graph();
+        let (matrix, view) = pipeline(&graph);
+        let layout = PropertyTablesLayout::one_table_per_signature(
+            &graph,
+            &matrix,
+            &view,
+            &LayoutConfig::excluding_rdf_type(),
+        )
+        .unwrap();
+        let (output, cost) = layout.execute(&Query::PropertyScan {
+            property: "http://ex/deathDate".into(),
+        });
+        assert_eq!(output.len(), 2);
+        assert_eq!(cost.tables_touched, 1);
+        assert_eq!(cost.rows_scanned, 2);
+
+        let (star, star_cost) = layout.execute(&Query::StarJoin {
+            properties: vec!["http://ex/name".into(), "http://ex/deathDate".into()],
+        });
+        assert_eq!(star.len(), 2);
+        assert_eq!(star_cost.tables_touched, 1);
+    }
+
+    #[test]
+    fn subject_lookup_touches_only_its_sort() {
+        let graph = sample_graph();
+        let (matrix, view) = pipeline(&graph);
+        let layout = PropertyTablesLayout::one_table_per_signature(
+            &graph,
+            &matrix,
+            &view,
+            &LayoutConfig::excluding_rdf_type(),
+        )
+        .unwrap();
+        let (output, cost) = layout.execute(&Query::SubjectLookup {
+            subject: "http://ex/tim".into(),
+        });
+        assert_eq!(output.len(), 1);
+        assert_eq!(cost.rows_scanned, 1);
+        // Tim's sort only has the name column.
+        assert_eq!(cost.cells_scanned, 1);
+
+        let (missing, missing_cost) = layout.execute(&Query::SubjectLookup {
+            subject: "http://ex/nobody".into(),
+        });
+        assert!(missing.is_empty());
+        assert_eq!(missing_cost.rows_scanned, 0);
+    }
+
+    #[test]
+    fn value_lookup_outside_the_sorts_columns_is_free() {
+        let graph = sample_graph();
+        let (matrix, view) = pipeline(&graph);
+        let layout = PropertyTablesLayout::one_table_per_signature(
+            &graph,
+            &matrix,
+            &view,
+            &LayoutConfig::excluding_rdf_type(),
+        )
+        .unwrap();
+        let (output, cost) = layout.execute(&Query::ValueLookup {
+            subject: "http://ex/tim".into(),
+            property: "http://ex/deathDate".into(),
+        });
+        assert!(output.is_empty());
+        assert_eq!(cost.rows_scanned, 0);
+    }
+
+    #[test]
+    fn inconsistent_assignments_are_rejected() {
+        let graph = sample_graph();
+        let (matrix, view) = pipeline(&graph);
+        let err = PropertyTablesLayout::from_assignment(
+            &graph,
+            &matrix,
+            &view,
+            &[0],
+            &LayoutConfig::excluding_rdf_type(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::InconsistentRefinement(_)));
+
+        let empty = Graph::new();
+        let empty_matrix = PropertyStructureView::from_graph(&empty, true);
+        let empty_view = SignatureView::from_matrix(&empty_matrix);
+        let err = PropertyTablesLayout::from_assignment(
+            &empty,
+            &empty_matrix,
+            &empty_view,
+            &[],
+            &LayoutConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::EmptyDataset));
+    }
+}

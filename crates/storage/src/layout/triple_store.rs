@@ -1,0 +1,258 @@
+//! The vertical ("triple store") layout: one `(subject, property, value)` row
+//! per triple, with subject and property indexes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use strudel_rdf::graph::Graph;
+use strudel_rdf::vocab::RDF_TYPE;
+
+use crate::cost::{CostModel, QueryCost, StorageStats};
+use crate::layout::{pages_for_read, Layout, LayoutConfig};
+use crate::query::{Query, QueryOutput};
+use crate::value::Value;
+
+/// One row of the triple table.
+#[derive(Clone, Debug)]
+struct TripleRow {
+    subject: String,
+    property: String,
+    value: Value,
+}
+
+/// The vertical layout: a single triple table plus subject/property indexes.
+#[derive(Clone, Debug)]
+pub struct TripleStoreLayout {
+    rows: Vec<TripleRow>,
+    by_subject: BTreeMap<String, Vec<usize>>,
+    by_property: BTreeMap<String, Vec<usize>>,
+    stats: StorageStats,
+    model: CostModel,
+}
+
+impl TripleStoreLayout {
+    /// Lays the graph out as a triple table.
+    pub fn build(graph: &Graph, config: &LayoutConfig) -> Self {
+        let mut rows = Vec::new();
+        let mut by_subject: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_property: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for triple in graph.triples() {
+            let property = graph.iri(triple.predicate).to_owned();
+            if config.exclude_rdf_type && property == RDF_TYPE {
+                continue;
+            }
+            let subject = graph.iri(triple.subject).to_owned();
+            let value = Value::from_object(graph, triple.object);
+            let idx = rows.len();
+            by_subject.entry(subject.clone()).or_default().push(idx);
+            by_property.entry(property.clone()).or_default().push(idx);
+            rows.push(TripleRow {
+                subject,
+                property,
+                value,
+            });
+        }
+
+        let model = config.cost_model.clone();
+        let bytes = model.table_overhead
+            + rows
+                .iter()
+                .map(|row| Self::row_bytes(row, &model))
+                .sum::<usize>();
+        let stats = StorageStats {
+            tables: 1,
+            rows: rows.len(),
+            occupied_cells: rows.len(),
+            null_cells: 0,
+            bytes,
+            pages: model.pages_for_bytes(bytes),
+        };
+        TripleStoreLayout {
+            rows,
+            by_subject,
+            by_property,
+            stats,
+            model,
+        }
+    }
+
+    /// Number of triples stored.
+    pub fn triple_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The distinct properties stored (in lexicographic order).
+    pub fn properties(&self) -> Vec<&str> {
+        self.by_property.keys().map(String::as_str).collect()
+    }
+
+    fn row_bytes(row: &TripleRow, model: &CostModel) -> usize {
+        model.row_overhead
+            + 3 * model.cell_overhead
+            + row.subject.len()
+            + row.property.len()
+            + row.value.payload_bytes()
+    }
+
+    fn scan_rows(&self, indexes: &[usize]) -> QueryCost {
+        let bytes: usize = indexes
+            .iter()
+            .map(|&idx| Self::row_bytes(&self.rows[idx], &self.model))
+            .sum();
+        QueryCost {
+            rows_scanned: indexes.len(),
+            cells_scanned: indexes.len(),
+            bytes_read: bytes,
+            pages_read: pages_for_read(&self.model, bytes),
+            index_lookups: 0,
+            tables_touched: usize::from(!indexes.is_empty()),
+        }
+    }
+}
+
+impl Layout for TripleStoreLayout {
+    fn name(&self) -> &str {
+        "triple store"
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        self.stats
+    }
+
+    fn execute(&self, query: &Query) -> (QueryOutput, QueryCost) {
+        let mut output = QueryOutput::new();
+        let mut cost = QueryCost::default();
+        match query {
+            Query::SubjectLookup { subject } => {
+                cost.index_lookups = 1;
+                if let Some(indexes) = self.by_subject.get(subject) {
+                    cost += self.scan_rows(indexes);
+                    for &idx in indexes {
+                        let row = &self.rows[idx];
+                        output.push(vec![row.property.clone(), row.value.to_string()]);
+                    }
+                }
+            }
+            Query::ValueLookup { subject, property } => {
+                cost.index_lookups = 1;
+                if let Some(indexes) = self.by_subject.get(subject) {
+                    cost += self.scan_rows(indexes);
+                    for &idx in indexes {
+                        let row = &self.rows[idx];
+                        if &row.property == property {
+                            output.push(vec![row.value.to_string()]);
+                        }
+                    }
+                }
+            }
+            Query::PropertyScan { property } => {
+                cost.index_lookups = 1;
+                if let Some(indexes) = self.by_property.get(property) {
+                    cost += self.scan_rows(indexes);
+                    for &idx in indexes {
+                        let row = &self.rows[idx];
+                        output.push(vec![row.subject.clone(), row.value.to_string()]);
+                    }
+                }
+            }
+            Query::StarJoin { properties } => {
+                let mut candidates: Option<BTreeSet<&str>> = None;
+                for property in properties {
+                    cost.index_lookups += 1;
+                    let indexes = self.by_property.get(property).cloned().unwrap_or_default();
+                    cost += self.scan_rows(&indexes);
+                    let subjects: BTreeSet<&str> = indexes
+                        .iter()
+                        .map(|&idx| self.rows[idx].subject.as_str())
+                        .collect();
+                    candidates = Some(match candidates {
+                        None => subjects,
+                        Some(existing) => existing.intersection(&subjects).copied().collect(),
+                    });
+                    if candidates.as_ref().is_some_and(BTreeSet::is_empty) {
+                        break;
+                    }
+                }
+                for subject in candidates.unwrap_or_default() {
+                    output.push(vec![subject.to_owned()]);
+                }
+            }
+        }
+        (output, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_rdf::term::Literal;
+
+    fn sample_graph() -> Graph {
+        let mut graph = Graph::new();
+        graph.insert_type("http://ex/ada", "http://ex/Person");
+        graph.insert_literal_triple("http://ex/ada", "http://ex/name", Literal::simple("Ada"));
+        graph.insert_literal_triple("http://ex/ada", "http://ex/deathDate", Literal::simple("1852"));
+        graph.insert_type("http://ex/tim", "http://ex/Person");
+        graph.insert_literal_triple("http://ex/tim", "http://ex/name", Literal::simple("Tim"));
+        graph
+    }
+
+    #[test]
+    fn build_excludes_rdf_type_when_asked() {
+        let graph = sample_graph();
+        let with_type = TripleStoreLayout::build(&graph, &LayoutConfig::default());
+        let without_type = TripleStoreLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        assert_eq!(with_type.triple_count(), 5);
+        assert_eq!(without_type.triple_count(), 3);
+        assert_eq!(without_type.properties().len(), 2);
+        assert_eq!(without_type.storage_stats().null_cells, 0);
+    }
+
+    #[test]
+    fn subject_lookup_uses_the_index() {
+        let graph = sample_graph();
+        let layout = TripleStoreLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        let (output, cost) = layout.execute(&Query::SubjectLookup {
+            subject: "http://ex/ada".into(),
+        });
+        assert_eq!(output.len(), 2);
+        assert_eq!(cost.index_lookups, 1);
+        assert_eq!(cost.rows_scanned, 2);
+
+        let (missing, missing_cost) = layout.execute(&Query::SubjectLookup {
+            subject: "http://ex/nobody".into(),
+        });
+        assert!(missing.is_empty());
+        assert_eq!(missing_cost.rows_scanned, 0);
+    }
+
+    #[test]
+    fn property_scan_and_star_join() {
+        let graph = sample_graph();
+        let layout = TripleStoreLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        let (names, _) = layout.execute(&Query::PropertyScan {
+            property: "http://ex/name".into(),
+        });
+        assert_eq!(names.len(), 2);
+
+        let (star, cost) = layout.execute(&Query::StarJoin {
+            properties: vec!["http://ex/name".into(), "http://ex/deathDate".into()],
+        });
+        assert_eq!(star.len(), 1);
+        assert!(star.tuples.contains(&vec!["http://ex/ada".to_owned()]));
+        assert_eq!(cost.index_lookups, 2);
+    }
+
+    #[test]
+    fn value_lookup_filters_the_entity() {
+        let graph = sample_graph();
+        let layout = TripleStoreLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        let (values, cost) = layout.execute(&Query::ValueLookup {
+            subject: "http://ex/ada".into(),
+            property: "http://ex/deathDate".into(),
+        });
+        assert_eq!(values.len(), 1);
+        assert!(values.tuples.contains(&vec!["\"1852\"".to_owned()]));
+        // The triple store still scans the whole entity to find one cell.
+        assert_eq!(cost.rows_scanned, 2);
+    }
+}

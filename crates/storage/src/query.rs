@@ -1,0 +1,174 @@
+//! The query classes of the evaluation workload.
+//!
+//! Four query shapes cover the access patterns RDF stores are typically
+//! sized for, and they stress the layouts in different ways:
+//!
+//! * [`Query::SubjectLookup`] — "everything about one entity"; rewards
+//!   layouts that cluster an entity's properties in one row.
+//! * [`Query::ValueLookup`] — a single cell; rewards direct addressing.
+//! * [`Query::PropertyScan`] — "all values of one property"; punishes wide
+//!   rows full of NULLs that have to be skipped.
+//! * [`Query::StarJoin`] — "entities having *all* of these properties"; the
+//!   query class whose cost the paper's dependency functions predict.
+//!
+//! Every layout must return exactly the same [`QueryOutput`] for a query —
+//! the integration tests enforce this — so cost differences are attributable
+//! to physical design alone.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A query against an RDF dataset, phrased over subjects and properties.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// All `(property, value)` pairs of one subject.
+    SubjectLookup {
+        /// The subject IRI.
+        subject: String,
+    },
+    /// The values of one property of one subject.
+    ValueLookup {
+        /// The subject IRI.
+        subject: String,
+        /// The property IRI.
+        property: String,
+    },
+    /// All `(subject, value)` pairs of one property.
+    PropertyScan {
+        /// The property IRI.
+        property: String,
+    },
+    /// The subjects that have a value for *every* listed property.
+    StarJoin {
+        /// The property IRIs joined on the subject.
+        properties: Vec<String>,
+    },
+}
+
+impl Query {
+    /// A short label for reports and benchmark ids.
+    pub fn label(&self) -> String {
+        match self {
+            Query::SubjectLookup { subject } => format!("subject({})", short(subject)),
+            Query::ValueLookup { subject, property } => {
+                format!("cell({},{})", short(subject), short(property))
+            }
+            Query::PropertyScan { property } => format!("scan({})", short(property)),
+            Query::StarJoin { properties } => {
+                let names: Vec<&str> = properties.iter().map(|p| short(p)).collect();
+                format!("star({})", names.join(","))
+            }
+        }
+    }
+
+    /// The coarse query class, for aggregating workload reports.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::SubjectLookup { .. } => QueryKind::SubjectLookup,
+            Query::ValueLookup { .. } => QueryKind::ValueLookup,
+            Query::PropertyScan { .. } => QueryKind::PropertyScan,
+            Query::StarJoin { .. } => QueryKind::StarJoin,
+        }
+    }
+}
+
+/// The coarse class of a [`Query`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryKind {
+    /// Entity lookup.
+    SubjectLookup,
+    /// Single-cell lookup.
+    ValueLookup,
+    /// Full property scan.
+    PropertyScan,
+    /// Subject-subject star join.
+    StarJoin,
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            QueryKind::SubjectLookup => "subject lookup",
+            QueryKind::ValueLookup => "value lookup",
+            QueryKind::PropertyScan => "property scan",
+            QueryKind::StarJoin => "star join",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The answer to a query: an unordered, duplicate-free set of string tuples.
+///
+/// Tuples are rendered strings rather than typed rows so answers from
+/// different layouts compare with plain equality. The tuple shape depends on
+/// the query class (see the module documentation).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// The result tuples.
+    pub tuples: BTreeSet<Vec<String>>,
+}
+
+impl QueryOutput {
+    /// Creates an empty output.
+    pub fn new() -> Self {
+        QueryOutput::default()
+    }
+
+    /// Adds a tuple to the output.
+    pub fn push(&mut self, tuple: Vec<String>) {
+        self.tuples.insert(tuple);
+    }
+
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the output has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+fn short(iri: &str) -> &str {
+    iri.rsplit(['/', '#']).next().unwrap_or(iri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_shorten_iris() {
+        let query = Query::StarJoin {
+            properties: vec![
+                "http://dbpedia.org/ontology/birthDate".into(),
+                "http://dbpedia.org/ontology/deathDate".into(),
+            ],
+        };
+        assert_eq!(query.label(), "star(birthDate,deathDate)");
+        assert_eq!(query.kind(), QueryKind::StarJoin);
+
+        let lookup = Query::SubjectLookup {
+            subject: "http://ex/ada".into(),
+        };
+        assert_eq!(lookup.label(), "subject(ada)");
+        assert_eq!(lookup.kind().to_string(), "subject lookup");
+    }
+
+    #[test]
+    fn outputs_deduplicate_and_compare() {
+        let mut a = QueryOutput::new();
+        a.push(vec!["s".into(), "v".into()]);
+        a.push(vec!["s".into(), "v".into()]);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+
+        let mut b = QueryOutput::new();
+        b.push(vec!["s".into(), "v".into()]);
+        assert_eq!(a, b);
+
+        b.push(vec!["t".into(), "w".into()]);
+        assert_ne!(a, b);
+    }
+}

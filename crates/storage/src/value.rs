@@ -1,0 +1,101 @@
+//! Cell values of the relational layouts.
+//!
+//! The structuredness framework only looks at *which* properties a subject
+//! has, but a storage layout has to hold the actual objects. A [`Value`] is
+//! the resolved (string) form of a triple's object — an IRI or a literal —
+//! detached from any graph dictionary so that layouts can be compared and
+//! query answers checked for equality across layouts.
+
+use std::fmt;
+
+use strudel_rdf::graph::Graph;
+use strudel_rdf::term::Object;
+
+/// A resolved object value stored in a table cell.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An IRI object.
+    Iri(String),
+    /// A literal object, rendered in its N-Triples form (lexical form plus
+    /// optional datatype / language tag).
+    Literal(String),
+}
+
+impl Value {
+    /// Resolves a triple object against the graph's dictionary.
+    pub fn from_object(graph: &Graph, object: Object) -> Value {
+        match object {
+            Object::Iri(id) => Value::Iri(graph.iri(id).to_owned()),
+            Object::Literal(id) => {
+                Value::Literal(graph.dictionary().literal(id).to_string())
+            }
+        }
+    }
+
+    /// An approximate on-disk footprint of the value in bytes: the rendered
+    /// length, used by the [cost model](crate::cost::CostModel) for
+    /// variable-length payload accounting.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Value::Iri(iri) => iri.len() + 2,
+            Value::Literal(text) => text.len(),
+        }
+    }
+
+    /// Whether the value is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Value::Iri(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Iri(iri) => write!(f, "<{iri}>"),
+            Value::Literal(text) => write!(f, "{text}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_rdf::term::Literal;
+
+    #[test]
+    fn resolves_iri_and_literal_objects() {
+        let mut graph = Graph::new();
+        graph.insert_iri_triple("http://ex/s", "http://ex/p", "http://ex/o");
+        graph.insert_literal_triple("http://ex/s", "http://ex/q", Literal::lang("chat", "en"));
+        let triples: Vec<_> = graph.triples().copied().collect();
+
+        let iri_value = Value::from_object(&graph, triples[0].object);
+        assert_eq!(iri_value, Value::Iri("http://ex/o".into()));
+        assert_eq!(iri_value.to_string(), "<http://ex/o>");
+        assert!(iri_value.is_iri());
+
+        let literal_value = Value::from_object(&graph, triples[1].object);
+        assert_eq!(literal_value.to_string(), "\"chat\"@en");
+        assert!(!literal_value.is_iri());
+    }
+
+    #[test]
+    fn payload_accounts_for_rendered_length() {
+        let iri = Value::Iri("http://ex/o".into());
+        assert_eq!(iri.payload_bytes(), "http://ex/o".len() + 2);
+        let lit = Value::Literal("\"abc\"".into());
+        assert_eq!(lit.payload_bytes(), 5);
+    }
+
+    #[test]
+    fn ordering_is_stable_for_result_sets() {
+        let mut values = [
+            Value::Literal("\"b\"".into()),
+            Value::Iri("http://ex/a".into()),
+            Value::Iri("http://ex/b".into()),
+        ];
+        values.sort();
+        assert_eq!(values[0], Value::Iri("http://ex/a".into()));
+        assert_eq!(values[1], Value::Iri("http://ex/b".into()));
+    }
+}

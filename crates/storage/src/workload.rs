@@ -1,0 +1,262 @@
+//! Workload generation and execution across layouts.
+//!
+//! A workload is a mix of the four query classes drawn deterministically
+//! (seeded) from the dataset itself: lookups target real subjects, scans and
+//! star joins target real properties. Running the same workload over several
+//! layouts produces directly comparable [`QueryCost`] totals — and the runner
+//! cross-checks that every layout returned the same answers, so the numbers
+//! mean something.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use strudel_rdf::graph::Graph;
+use strudel_rdf::vocab::RDF_TYPE;
+
+use crate::cost::{QueryCost, StorageStats};
+use crate::error::StorageError;
+use crate::layout::Layout;
+use crate::query::{Query, QueryKind};
+
+/// How many queries of each class to generate.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of whole-entity lookups.
+    pub subject_lookups: usize,
+    /// Number of single-cell lookups.
+    pub value_lookups: usize,
+    /// Number of property scans.
+    pub property_scans: usize,
+    /// Number of star joins.
+    pub star_joins: usize,
+    /// Number of properties joined per star join (at least 2).
+    pub star_join_arity: usize,
+    /// Seed of the deterministic sampler.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            subject_lookups: 20,
+            value_lookups: 20,
+            property_scans: 10,
+            star_joins: 10,
+            star_join_arity: 2,
+            seed: 2014,
+        }
+    }
+}
+
+/// Generates a deterministic workload over the subjects and properties of the
+/// graph. Returns an empty workload for an empty graph.
+pub fn generate_workload(graph: &Graph, config: &WorkloadConfig) -> Vec<Query> {
+    let subjects: Vec<String> = graph
+        .subjects()
+        .into_iter()
+        .map(|s| graph.iri(s).to_owned())
+        .collect();
+    let properties: Vec<String> = graph
+        .properties()
+        .into_iter()
+        .map(|p| graph.iri(p).to_owned())
+        .filter(|p| p != RDF_TYPE)
+        .collect();
+    if subjects.is_empty() || properties.is_empty() {
+        return Vec::new();
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut queries = Vec::new();
+    for _ in 0..config.subject_lookups {
+        let subject = subjects[rng.gen_range(0..subjects.len())].clone();
+        queries.push(Query::SubjectLookup { subject });
+    }
+    for _ in 0..config.value_lookups {
+        let subject = subjects[rng.gen_range(0..subjects.len())].clone();
+        let property = properties[rng.gen_range(0..properties.len())].clone();
+        queries.push(Query::ValueLookup { subject, property });
+    }
+    for _ in 0..config.property_scans {
+        let property = properties[rng.gen_range(0..properties.len())].clone();
+        queries.push(Query::PropertyScan { property });
+    }
+    let arity = config.star_join_arity.max(2).min(properties.len());
+    for _ in 0..config.star_joins {
+        let mut chosen = properties.clone();
+        chosen.shuffle(&mut rng);
+        chosen.truncate(arity);
+        chosen.sort();
+        queries.push(Query::StarJoin { properties: chosen });
+    }
+    queries
+}
+
+/// The cost of one layout over a whole workload.
+#[derive(Clone, Debug)]
+pub struct LayoutWorkloadSummary {
+    /// The layout name.
+    pub layout: String,
+    /// The static footprint of the layout.
+    pub storage: StorageStats,
+    /// Total work across all queries.
+    pub total: QueryCost,
+    /// Work broken down per query class.
+    pub by_kind: BTreeMap<QueryKind, QueryCost>,
+    /// Number of queries executed.
+    pub queries: usize,
+}
+
+/// Runs the workload over every layout, cross-checking answers.
+///
+/// The first layout is the reference; any other layout disagreeing with it on
+/// any query aborts the run with [`StorageError::AnswerMismatch`].
+pub fn run_workload(
+    layouts: &[&dyn Layout],
+    queries: &[Query],
+) -> Result<Vec<LayoutWorkloadSummary>, StorageError> {
+    let mut summaries: Vec<LayoutWorkloadSummary> = layouts
+        .iter()
+        .map(|layout| LayoutWorkloadSummary {
+            layout: layout.name().to_owned(),
+            storage: layout.storage_stats(),
+            total: QueryCost::default(),
+            by_kind: BTreeMap::new(),
+            queries: queries.len(),
+        })
+        .collect();
+
+    for query in queries {
+        let mut reference = None;
+        for (idx, layout) in layouts.iter().enumerate() {
+            let (output, cost) = layout.execute(query);
+            summaries[idx].total += cost;
+            *summaries[idx].by_kind.entry(query.kind()).or_default() += cost;
+            match &reference {
+                None => reference = Some(output),
+                Some(expected) => {
+                    if expected != &output {
+                        return Err(StorageError::AnswerMismatch {
+                            query: query.label(),
+                            reference: layouts[0].name().to_owned(),
+                            candidate: layout.name().to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::QueryCost;
+    use crate::layout::{HorizontalLayout, LayoutConfig, TripleStoreLayout};
+    use crate::query::QueryOutput;
+    use strudel_rdf::term::Literal;
+
+    fn sample_graph() -> Graph {
+        let mut graph = Graph::new();
+        for (subject, properties) in [
+            ("http://ex/a", vec!["name", "birthDate", "deathDate"]),
+            ("http://ex/b", vec!["name", "birthDate"]),
+            ("http://ex/c", vec!["name"]),
+            ("http://ex/d", vec!["name", "deathDate"]),
+        ] {
+            graph.insert_type(subject, "http://ex/Person");
+            for property in properties {
+                graph.insert_literal_triple(
+                    subject,
+                    &format!("http://ex/{property}"),
+                    Literal::simple(format!("{property}-of-{subject}")),
+                );
+            }
+        }
+        graph
+    }
+
+    #[test]
+    fn workload_generation_is_deterministic_and_respects_counts() {
+        let graph = sample_graph();
+        let config = WorkloadConfig::default();
+        let a = generate_workload(&graph, &config);
+        let b = generate_workload(&graph, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20 + 20 + 10 + 10);
+        assert_eq!(
+            a.iter().filter(|q| q.kind() == QueryKind::StarJoin).count(),
+            10
+        );
+        // rdf:type is never a workload property.
+        for query in &a {
+            if let Query::PropertyScan { property } = query {
+                assert_ne!(property, RDF_TYPE);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graphs_produce_empty_workloads() {
+        let graph = Graph::new();
+        assert!(generate_workload(&graph, &WorkloadConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn run_workload_compares_layouts_and_totals_add_up() {
+        let graph = sample_graph();
+        let config = LayoutConfig::excluding_rdf_type();
+        let triple_store = TripleStoreLayout::build(&graph, &config);
+        let horizontal = HorizontalLayout::build(&graph, &config);
+        let queries = generate_workload(
+            &graph,
+            &WorkloadConfig {
+                subject_lookups: 5,
+                value_lookups: 5,
+                property_scans: 3,
+                star_joins: 3,
+                ..WorkloadConfig::default()
+            },
+        );
+        let summaries = run_workload(&[&triple_store, &horizontal], &queries).unwrap();
+        assert_eq!(summaries.len(), 2);
+        for summary in &summaries {
+            let per_kind_total = summary
+                .by_kind
+                .values()
+                .fold(QueryCost::default(), |acc, cost| acc + *cost);
+            assert_eq!(per_kind_total, summary.total);
+            assert_eq!(summary.queries, queries.len());
+        }
+    }
+
+    #[test]
+    fn answer_mismatches_are_reported() {
+        struct BrokenLayout;
+        impl Layout for BrokenLayout {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn storage_stats(&self) -> StorageStats {
+                StorageStats::default()
+            }
+            fn execute(&self, _query: &Query) -> (QueryOutput, QueryCost) {
+                (QueryOutput::new(), QueryCost::default())
+            }
+        }
+
+        let graph = sample_graph();
+        let config = LayoutConfig::excluding_rdf_type();
+        let triple_store = TripleStoreLayout::build(&graph, &config);
+        let broken = BrokenLayout;
+        let queries = vec![Query::PropertyScan {
+            property: "http://ex/name".into(),
+        }];
+        let err = run_workload(&[&triple_store, &broken], &queries).unwrap_err();
+        assert!(matches!(err, StorageError::AnswerMismatch { .. }));
+        assert!(err.to_string().contains("broken"));
+    }
+}

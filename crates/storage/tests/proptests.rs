@@ -1,0 +1,202 @@
+//! Property tests for the storage layer.
+//!
+//! The load-bearing invariants:
+//!
+//! * every layout returns the same answer for every query (cost may differ,
+//!   answers may not),
+//! * the fill factor of the horizontal layout equals σ_Cov of the dataset
+//!   when every subject sets a property at most once,
+//! * the one-table-per-signature property-table layout never stores a NULL,
+//!   and its occupied cell count equals the number of 1-cells of `M(D)`.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use strudel_core::sigma::SigmaSpec;
+use strudel_rdf::graph::Graph;
+use strudel_rdf::matrix::PropertyStructureView;
+use strudel_rdf::signature::SignatureView;
+use strudel_rdf::term::Literal;
+use strudel_storage::prelude::*;
+
+const PROPERTIES: [&str; 5] = [
+    "http://ex/name",
+    "http://ex/birthDate",
+    "http://ex/deathDate",
+    "http://ex/birthPlace",
+    "http://ex/deathPlace",
+];
+
+/// A dataset description: per subject, the subset of `PROPERTIES` it sets.
+fn dataset_strategy() -> impl Strategy<Value = Vec<Vec<bool>>> {
+    vec(vec(any::<bool>(), PROPERTIES.len()), 1..25)
+}
+
+fn build_graph(rows: &[Vec<bool>]) -> Graph {
+    let mut graph = Graph::new();
+    for (idx, row) in rows.iter().enumerate() {
+        let subject = format!("http://ex/entity{idx}");
+        graph.insert_type(&subject, "http://ex/Thing");
+        for (col, &present) in row.iter().enumerate() {
+            if present {
+                graph.insert_literal_triple(
+                    &subject,
+                    PROPERTIES[col],
+                    Literal::simple(format!("value-{idx}-{col}")),
+                );
+            }
+        }
+    }
+    graph
+}
+
+fn build_layouts(
+    graph: &Graph,
+) -> (
+    TripleStoreLayout,
+    HorizontalLayout,
+    Option<PropertyTablesLayout>,
+) {
+    let config = LayoutConfig::excluding_rdf_type();
+    let triple_store = TripleStoreLayout::build(graph, &config);
+    let horizontal = HorizontalLayout::build(graph, &config);
+    let matrix = PropertyStructureView::from_graph(graph, true);
+    let view = SignatureView::from_matrix(&matrix);
+    let property_tables = if matrix.subject_count() > 0 {
+        Some(
+            PropertyTablesLayout::one_table_per_signature(graph, &matrix, &view, &config)
+                .expect("a non-empty dataset always yields a per-signature layout"),
+        )
+    } else {
+        None
+    };
+    (triple_store, horizontal, property_tables)
+}
+
+fn workload_for(graph: &Graph) -> Vec<Query> {
+    let mut queries = generate_workload(
+        graph,
+        &WorkloadConfig {
+            subject_lookups: 4,
+            value_lookups: 4,
+            property_scans: 3,
+            star_joins: 3,
+            star_join_arity: 2,
+            seed: 7,
+        },
+    );
+    // Also probe things that are *not* there, which is where layouts tend to
+    // disagree if they are buggy.
+    queries.push(Query::SubjectLookup {
+        subject: "http://ex/absent".into(),
+    });
+    queries.push(Query::PropertyScan {
+        property: "http://ex/absentProperty".into(),
+    });
+    queries.push(Query::StarJoin {
+        properties: vec![PROPERTIES[0].into(), "http://ex/absentProperty".into()],
+    });
+    queries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn layouts_agree_on_every_query(rows in dataset_strategy()) {
+        let graph = build_graph(&rows);
+        let (triple_store, horizontal, property_tables) = build_layouts(&graph);
+        let queries = workload_for(&graph);
+        let mut layouts: Vec<&dyn Layout> = vec![&triple_store, &horizontal];
+        if let Some(tables) = &property_tables {
+            layouts.push(tables);
+        }
+        // run_workload returns an error (instead of summaries) on any answer
+        // mismatch, so a successful run is the assertion.
+        let summaries = run_workload(&layouts, &queries).expect("layouts must agree");
+        prop_assert_eq!(summaries.len(), layouts.len());
+    }
+
+    #[test]
+    fn horizontal_fill_factor_is_coverage(rows in dataset_strategy()) {
+        let graph = build_graph(&rows);
+        let matrix = PropertyStructureView::from_graph(&graph, true);
+        let view = SignatureView::from_matrix(&matrix);
+        let horizontal = HorizontalLayout::build(&graph, &LayoutConfig::excluding_rdf_type());
+        let sigma_cov = SigmaSpec::Coverage.evaluate(&view).unwrap().to_f64();
+        match horizontal.storage_stats().fill_factor() {
+            Some(fill) => prop_assert!((fill - sigma_cov).abs() < 1e-9),
+            // No cells at all: only possible when no subject sets any
+            // property, where σ_Cov is 1 by the empty-total-cases convention.
+            None => prop_assert!((sigma_cov - 1.0).abs() < 1e-9),
+        }
+    }
+
+    #[test]
+    fn per_signature_tables_store_no_nulls(rows in dataset_strategy()) {
+        let graph = build_graph(&rows);
+        let matrix = PropertyStructureView::from_graph(&graph, true);
+        let view = SignatureView::from_matrix(&matrix);
+        let config = LayoutConfig::excluding_rdf_type();
+        let layout = PropertyTablesLayout::one_table_per_signature(&graph, &matrix, &view, &config)
+            .expect("non-empty dataset");
+        let stats = layout.storage_stats();
+        prop_assert_eq!(stats.null_cells, 0);
+        prop_assert_eq!(stats.occupied_cells, view.ones());
+        prop_assert_eq!(stats.rows, view.subject_count());
+        prop_assert_eq!(layout.tables().len(), view.signature_count());
+    }
+
+    #[test]
+    fn property_tables_never_cost_more_cells_than_horizontal_on_scans(rows in dataset_strategy()) {
+        let graph = build_graph(&rows);
+        let (_, horizontal, property_tables) = build_layouts(&graph);
+        let Some(property_tables) = property_tables else {
+            return Ok(());
+        };
+        for property in PROPERTIES {
+            let query = Query::PropertyScan { property: property.into() };
+            let (h_out, h_cost) = horizontal.execute(&query);
+            let (p_out, p_cost) = property_tables.execute(&query);
+            prop_assert_eq!(&h_out, &p_out);
+            // The per-signature tables only scan rows that could match, so
+            // they never inspect more cells than the wide table does.
+            prop_assert!(p_cost.cells_scanned <= h_cost.cells_scanned);
+        }
+    }
+}
+
+#[test]
+fn multi_valued_properties_round_trip_through_all_layouts() {
+    let mut graph = Graph::new();
+    graph.insert_type("http://ex/poly", "http://ex/Thing");
+    graph.insert_literal_triple("http://ex/poly", PROPERTIES[0], Literal::simple("first"));
+    graph.insert_literal_triple("http://ex/poly", PROPERTIES[0], Literal::simple("second"));
+    graph.insert_iri_triple("http://ex/poly", PROPERTIES[1], "http://ex/other");
+    graph.insert_type("http://ex/mono", "http://ex/Thing");
+    graph.insert_literal_triple("http://ex/mono", PROPERTIES[0], Literal::simple("only"));
+
+    let (triple_store, horizontal, property_tables) = build_layouts(&graph);
+    let property_tables = property_tables.expect("dataset is non-empty");
+    let layouts: Vec<&dyn Layout> = vec![&triple_store, &horizontal, &property_tables];
+    let queries = vec![
+        Query::SubjectLookup {
+            subject: "http://ex/poly".into(),
+        },
+        Query::PropertyScan {
+            property: PROPERTIES[0].into(),
+        },
+        Query::ValueLookup {
+            subject: "http://ex/poly".into(),
+            property: PROPERTIES[0].into(),
+        },
+        Query::StarJoin {
+            properties: vec![PROPERTIES[0].into(), PROPERTIES[1].into()],
+        },
+    ];
+    let summaries = run_workload(&layouts, &queries).expect("layouts must agree");
+    assert_eq!(summaries.len(), 3);
+
+    let (values, _) = triple_store.execute(&queries[2]);
+    assert_eq!(values.len(), 2, "both values of the multi-valued cell survive");
+}

@@ -1,0 +1,70 @@
+//! A miniature version of the YAGO scalability study (Section 7.3 /
+//! Figure 8): solve a highest-θ, k = 2 refinement for a sample of synthetic
+//! explicit sorts and report how the runtime grows with the number of
+//! signatures and properties.
+//!
+//! Run with `cargo run --release --example scalability`.
+
+use std::time::{Duration, Instant};
+
+use strudel_core::prelude::*;
+use strudel_datagen::yago::{yago_sample, YagoSampleConfig};
+
+fn main() {
+    let config = YagoSampleConfig {
+        num_sorts: 24,
+        min_subjects: 100,
+        max_subjects: 20_000,
+        max_signatures: 48,
+        min_properties: 8,
+        max_properties: 24,
+    };
+    let sample = yago_sample(&config, 2014);
+    let engine = IlpEngine::with_time_limit(Duration::from_secs(5));
+    let options = HighestThetaOptions {
+        step: Ratio::new(1, 20),
+        start: None,
+    };
+
+    println!(
+        "{:>5} {:>9} {:>11} {:>11} {:>9} {:>10}",
+        "sort", "subjects", "signatures", "properties", "runtime", "best θ"
+    );
+    let mut rows: Vec<(usize, usize, Duration)> = Vec::new();
+    for (idx, sort) in sample.iter().enumerate() {
+        let begin = Instant::now();
+        let result = highest_theta(&sort.view, &SigmaSpec::Coverage, 2, &engine, &options)
+            .expect("search completes");
+        let elapsed = begin.elapsed();
+        println!(
+            "{:>5} {:>9} {:>11} {:>11} {:>8.2}s {:>10.3}",
+            idx,
+            sort.view.subject_count(),
+            sort.view.signature_count(),
+            sort.view.property_count(),
+            elapsed.as_secs_f64(),
+            result.theta.to_f64(),
+        );
+        rows.push((
+            sort.view.signature_count(),
+            sort.view.property_count(),
+            elapsed,
+        ));
+    }
+
+    // The paper's headline observation: runtime depends on the number of
+    // signatures and properties, not on the number of subjects.
+    let (small, large): (Vec<_>, Vec<_>) = rows.iter().partition(|(sigs, _, _)| *sigs <= 16);
+    let mean = |rows: &[&(usize, usize, Duration)]| -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|(_, _, d)| d.as_secs_f64()).sum::<f64>() / rows.len() as f64
+    };
+    println!(
+        "\nmean runtime, ≤16 signatures: {:.3}s   >16 signatures: {:.3}s",
+        mean(&small.iter().collect::<Vec<_>>()),
+        mean(&large.iter().collect::<Vec<_>>()),
+    );
+    println!("(the full sweep behind Figure 8 lives in `cargo run -p strudel-bench --bin experiments -- fig8`)");
+}

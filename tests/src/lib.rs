@@ -1,0 +1,37 @@
+//! Cross-crate integration tests for the strudel workspace.
+//!
+//! The actual tests live under `tests/tests/`; this library crate only exists
+//! so the test package is a workspace member with a conventional layout.
+//! Shared helpers for the integration tests are defined here.
+
+/// Builds a small signature view used by several integration tests: a
+/// "persons"-like sort where everyone has a name, most have birth data and a
+/// minority have death data.
+pub fn small_persons_view() -> strudel_rdf::signature::SignatureView {
+    strudel_rdf::signature::SignatureView::from_counts(
+        vec![
+            "http://example.org/name".into(),
+            "http://example.org/birthDate".into(),
+            "http://example.org/birthPlace".into(),
+            "http://example.org/deathDate".into(),
+        ],
+        vec![
+            (vec![0], 30),
+            (vec![0, 1], 25),
+            (vec![0, 1, 2], 20),
+            (vec![0, 1, 2, 3], 10),
+            (vec![0, 3], 3),
+        ],
+    )
+    .expect("valid signature view")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper_view_is_well_formed() {
+        let view = super::small_persons_view();
+        assert_eq!(view.signature_count(), 5);
+        assert_eq!(view.subject_count(), 88);
+    }
+}

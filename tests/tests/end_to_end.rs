@@ -1,0 +1,140 @@
+//! End-to-end pipeline tests: RDF text → graph → views → structuredness →
+//! refinement, across all the crates of the workspace.
+
+use strudel_core::prelude::*;
+use strudel_datagen::{materialize_graph, synthetic_sort, SyntheticSortConfig};
+use strudel_rdf::prelude::*;
+
+const SORT_IRI: &str = "http://example.org/Product";
+
+/// Materialize a synthetic dataset to triples, serialize it as N-Triples,
+/// parse it back, and verify that structuredness and refinement results are
+/// identical to those computed on the original signature view.
+#[test]
+fn materialized_graph_round_trips_through_ntriples() {
+    let original = synthetic_sort(
+        &SyntheticSortConfig {
+            subjects: 300,
+            properties: 6,
+            signatures: 10,
+            ..SyntheticSortConfig::default()
+        },
+        99,
+    );
+    let graph = materialize_graph(&original, SORT_IRI, "http://example.org/", 5);
+    let text = write_ntriples(&graph);
+    let parsed = parse_ntriples(&text).expect("serializer output parses");
+    let matrix = PropertyStructureView::from_sort(&parsed, SORT_IRI, true).unwrap();
+    let view = SignatureView::from_matrix(&matrix);
+
+    assert_eq!(view.subject_count(), original.subject_count());
+    assert_eq!(view.signature_count(), original.signature_count());
+    assert_eq!(
+        SigmaSpec::Coverage.evaluate(&view).unwrap(),
+        SigmaSpec::Coverage.evaluate(&original).unwrap()
+    );
+    assert_eq!(
+        SigmaSpec::Similarity.evaluate(&view).unwrap(),
+        SigmaSpec::Similarity.evaluate(&original).unwrap()
+    );
+
+    // The refinement decision is identical on both representations.
+    let engine = IlpEngine::new();
+    let theta = Ratio::new(4, 5);
+    let from_original =
+        exists_sort_refinement(&original, &SigmaSpec::Coverage, theta, 2, &engine).unwrap();
+    let from_parsed =
+        exists_sort_refinement(&view, &SigmaSpec::Coverage, theta, 2, &engine).unwrap();
+    assert_eq!(from_original, from_parsed);
+}
+
+/// A Turtle document flows through the whole API surface: typed subgraph
+/// extraction, views, rule parsing, evaluation, refinement and rendering.
+#[test]
+fn turtle_to_refinement_pipeline() {
+    let doc = r#"
+        @prefix ex: <http://example.org/> .
+        ex:p1 a ex:Product ; ex:title "a" ; ex:price 10 ; ex:brand ex:Acme .
+        ex:p2 a ex:Product ; ex:title "b" ; ex:price 12 ; ex:brand ex:Acme .
+        ex:p3 a ex:Product ; ex:title "c" ; ex:price 9 .
+        ex:p4 a ex:Product ; ex:title "d" ; ex:price 20 ; ex:brand ex:Bolt ; ex:warranty "2y" .
+        ex:p5 a ex:Product ; ex:title "e" .
+        ex:other a ex:Store ; ex:title "not a product" .
+    "#;
+    let graph = parse_turtle(doc).expect("valid turtle");
+    assert_eq!(graph.subjects_of_sort_named("http://example.org/Product").len(), 5);
+
+    let matrix =
+        PropertyStructureView::from_sort(&graph, "http://example.org/Product", true).unwrap();
+    assert_eq!(matrix.subject_count(), 5);
+    let view = SignatureView::from_matrix(&matrix);
+    assert_eq!(view.signature_count(), 4);
+
+    // A custom rule written in the textual syntax evaluates like σ_Cov.
+    let rule = strudel_rules::parser::parse_rule("c = c -> val(c) = 1").unwrap();
+    let custom = SigmaSpec::Custom(rule);
+    assert_eq!(
+        custom.evaluate(&view).unwrap(),
+        SigmaSpec::Coverage.evaluate(&view).unwrap()
+    );
+
+    // Split into two implicit sorts and render the result.
+    let engine = HybridEngine::new();
+    let result = highest_theta(
+        &view,
+        &SigmaSpec::Coverage,
+        2,
+        &engine,
+        &HighestThetaOptions::default(),
+    )
+    .unwrap();
+    let refinement = result.refinement.expect("feasible at the starting threshold");
+    refinement.validate(&view).unwrap();
+    let rendering = render_refinement(&view, &refinement, &RenderOptions::default());
+    assert!(rendering.contains("sort 0"));
+}
+
+/// The dependency analysis and the classification helper work directly on
+/// parsed data.
+#[test]
+fn dependency_and_classification_on_parsed_data() {
+    let mut graph = Graph::new();
+    for i in 0..20 {
+        let subject = format!("http://example.org/c{i}");
+        graph.insert_type(&subject, "http://example.org/Company");
+        graph.insert_literal_triple(&subject, "http://example.org/name", Literal::simple("x"));
+        graph.insert_literal_triple(&subject, "http://example.org/industry", Literal::simple("y"));
+    }
+    for i in 0..10 {
+        let subject = format!("http://example.org/p{i}");
+        graph.insert_type(&subject, "http://example.org/Company");
+        graph.insert_literal_triple(&subject, "http://example.org/name", Literal::simple("x"));
+    }
+    let matrix =
+        PropertyStructureView::from_sort(&graph, "http://example.org/Company", true).unwrap();
+    let view = SignatureView::from_matrix(&matrix);
+    let name = view.property_index("http://example.org/name").unwrap();
+    let industry = view.property_index("http://example.org/industry").unwrap();
+    let matrix = dependency_matrix(&view, &[name, industry]);
+    // Everyone with an industry has a name; 2/3 of named subjects have an industry.
+    assert_eq!(matrix[1][0], Ratio::ONE);
+    assert_eq!(matrix[0][1], Ratio::new(2, 3));
+
+    // Classify: signatures with `industry` are the positive class.
+    let positive: Vec<bool> = view
+        .entries()
+        .iter()
+        .map(|entry| entry.signature.contains(industry))
+        .collect();
+    let refinement = SortRefinement::from_assignment(
+        &view,
+        &SigmaSpec::Coverage,
+        Ratio::ZERO,
+        &(0..view.signature_count()).collect::<Vec<_>>(),
+        view.signature_count(),
+    )
+    .unwrap();
+    let outcome = evaluate_binary_split(&view, &refinement, &positive);
+    assert_eq!(outcome.recall(), 1.0);
+    assert_eq!(outcome.true_positives, 20);
+}

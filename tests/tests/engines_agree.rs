@@ -1,0 +1,123 @@
+//! Cross-engine agreement: the ILP engine (the paper's approach, via the
+//! Section 6 encoding and the pure-Rust solver) must agree with the
+//! exhaustive oracle on every random small instance, and the hybrid engine's
+//! positive answers must be genuine.
+
+use proptest::prelude::*;
+use strudel_core::prelude::*;
+use strudel_rdf::signature::SignatureView;
+
+fn view_strategy() -> impl Strategy<Value = SignatureView> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0usize..4, 1..4), 1usize..8),
+        2..6,
+    )
+    .prop_map(|signatures| {
+        SignatureView::from_counts(
+            (0..4).map(|i| format!("http://ex/p{i}")).collect(),
+            signatures,
+        )
+        .unwrap()
+    })
+    .prop_filter("at least two signatures", |view| view.signature_count() >= 2)
+}
+
+fn spec_strategy() -> impl Strategy<Value = SigmaSpec> {
+    (0usize..4, 0usize..4, 0usize..4).prop_map(|(kind, a, b)| match kind {
+        0 => SigmaSpec::Coverage,
+        1 => SigmaSpec::Similarity,
+        2 => SigmaSpec::Dependency {
+            p1: format!("http://ex/p{a}"),
+            p2: format!("http://ex/p{b}"),
+        },
+        _ => SigmaSpec::SymDependency {
+            p1: format!("http://ex/p{a}"),
+            p2: format!("http://ex/p{b}"),
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `ExistsSortRefinement` answered through the ILP encoding matches the
+    /// brute-force oracle, for every rule family, k and θ.
+    #[test]
+    fn ilp_matches_exhaustive(
+        view in view_strategy(),
+        spec in spec_strategy(),
+        k in 1usize..4,
+        theta_percent in 0u32..=100,
+    ) {
+        let theta = Ratio::new(i128::from(theta_percent), 100);
+        let ilp = exists_sort_refinement(&view, &spec, theta, k, &IlpEngine::new()).unwrap();
+        let oracle = exists_sort_refinement(&view, &spec, theta, k, &ExhaustiveEngine::new()).unwrap();
+        prop_assert_eq!(ilp, oracle, "spec {} k {} θ {}", spec.name(), k, theta);
+    }
+
+    /// Any refinement returned by any engine validates: partition correct,
+    /// signatures closed, threshold met.
+    #[test]
+    fn returned_refinements_validate(
+        view in view_strategy(),
+        spec in spec_strategy(),
+        k in 1usize..4,
+        theta_percent in 0u32..=100,
+    ) {
+        let theta = Ratio::new(i128::from(theta_percent), 100);
+        let engines: Vec<Box<dyn RefinementEngine>> = vec![
+            Box::new(IlpEngine::new()),
+            Box::new(GreedyEngine::new()),
+            Box::new(HybridEngine::new()),
+        ];
+        for engine in &engines {
+            if let RefineOutcome::Refinement(refinement) =
+                engine.refine(&view, &spec, k, theta).unwrap()
+            {
+                prop_assert!(refinement.validate(&view).is_ok(), "{} returned an invalid refinement", engine.name());
+                prop_assert!(refinement.min_sigma() >= theta);
+                prop_assert!(refinement.k() <= k);
+            }
+        }
+    }
+
+    /// The greedy engine never claims infeasibility, and the hybrid engine
+    /// gives exactly the ILP answer.
+    #[test]
+    fn hybrid_equals_ilp(
+        view in view_strategy(),
+        k in 1usize..3,
+        theta_percent in 50u32..=100,
+    ) {
+        let theta = Ratio::new(i128::from(theta_percent), 100);
+        let spec = SigmaSpec::Coverage;
+        let hybrid = exists_sort_refinement(&view, &spec, theta, k, &HybridEngine::new()).unwrap();
+        let ilp = exists_sort_refinement(&view, &spec, theta, k, &IlpEngine::new()).unwrap();
+        prop_assert_eq!(hybrid, ilp);
+        let greedy = exists_sort_refinement(&view, &spec, theta, k, &GreedyEngine::new()).unwrap();
+        prop_assert_ne!(greedy, Some(false));
+    }
+
+    /// Feasibility is monotone in k and antitone in θ (a structural sanity
+    /// property of the decision problem itself).
+    #[test]
+    fn feasibility_monotonicity(view in view_strategy(), theta_percent in 0u32..=100) {
+        let theta = Ratio::new(i128::from(theta_percent), 100);
+        let engine = IlpEngine::new();
+        let spec = SigmaSpec::Coverage;
+        let mut previous = None;
+        for k in 1..=3usize {
+            let answer = exists_sort_refinement(&view, &spec, theta, k, &engine).unwrap().unwrap();
+            if let Some(previous_answer) = previous {
+                // Once feasible, larger k stays feasible.
+                if previous_answer {
+                    prop_assert!(answer);
+                }
+            }
+            previous = Some(answer);
+        }
+        // θ = 0 is always feasible; θ above the singleton bound may not be.
+        let trivially = exists_sort_refinement(&view, &spec, Ratio::ZERO, 1, &engine).unwrap();
+        prop_assert_eq!(trivially, Some(true));
+    }
+}

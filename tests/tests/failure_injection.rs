@@ -1,0 +1,143 @@
+//! Failure-injection tests: malformed inputs and exhausted budgets must
+//! produce typed errors or honest "undecided" answers — never panics, wrong
+//! answers, or silent truncation.
+
+use std::time::Duration;
+
+use strudel_core::prelude::*;
+use strudel_integration_tests::small_persons_view;
+use strudel_rdf::prelude::*;
+use strudel_rules::error::{EvalError, RuleError};
+use strudel_rules::eval::{EvalConfig, Evaluator};
+use strudel_rules::parser::parse_rule;
+
+#[test]
+fn malformed_rdf_inputs_are_rejected_with_positions() {
+    let cases = [
+        "<http://s> <http://p> .\n",                       // missing object
+        "<http://s> <http://p> <http://o>\n",              // missing dot
+        "_:blank <http://p> <http://o> .\n",               // blank node subject
+        "<http://s> <http://p> \"unterminated .\n",        // unterminated literal
+        "<http://s> <http://p> \"x\"^^missing .\n",        // malformed datatype
+    ];
+    for case in cases {
+        let err = parse_ntriples(case).expect_err(case);
+        assert!(err.line >= 1);
+        assert!(!err.message.is_empty());
+    }
+    let turtle_cases = [
+        "ex:a ex:b ex:c .",                                // undeclared prefix
+        "@prefix ex: <http://e/> .\nex:a ex:p [ ] .",      // anonymous node
+        "@prefix ex: <http://e/> .\nex:a ex:p ex:b ,, .",  // stray comma
+    ];
+    for case in turtle_cases {
+        assert!(parse_turtle(case).is_err(), "accepted: {case}");
+    }
+}
+
+#[test]
+fn malformed_rules_are_rejected() {
+    assert!(matches!(
+        parse_rule("c = c -> val(d) = 1"),
+        Err(RuleError::UnboundConsequentVariable(_))
+    ));
+    assert!(matches!(
+        parse_rule("c = c"),
+        Err(RuleError::Parse { .. })
+    ));
+    assert!(matches!(
+        parse_rule("val(c) = 7 -> val(c) = 1"),
+        Err(RuleError::Parse { .. })
+    ));
+}
+
+#[test]
+fn subject_constant_rules_are_rejected_by_the_signature_evaluator() {
+    let view = small_persons_view();
+    let rule = parse_rule("subj(c) = <http://example.org/alice> -> val(c) = 1").unwrap();
+    assert!(matches!(
+        Evaluator::new(&view).sigma(&rule),
+        Err(EvalError::SubjectConstantUnsupported)
+    ));
+    // But the refinement layer surfaces it as a typed error, not a panic.
+    let err = IlpEngine::new()
+        .refine(&view, &SigmaSpec::Custom(rule), 2, Ratio::new(1, 2))
+        .unwrap_err();
+    assert!(matches!(err, RefineError::Eval(_)));
+}
+
+#[test]
+fn evaluation_budgets_abort_instead_of_hanging() {
+    let view = small_persons_view();
+    let rule = strudel_rules::builtin::similarity();
+    let evaluator = Evaluator::with_config(
+        &view,
+        EvalConfig {
+            max_rough_assignments: 2,
+        },
+    );
+    assert!(matches!(
+        evaluator.sigma(&rule),
+        Err(EvalError::TooManyRoughAssignments { .. })
+    ));
+}
+
+#[test]
+fn invalid_refinement_parameters_are_rejected() {
+    let view = small_persons_view();
+    let engine = IlpEngine::new();
+    assert!(matches!(
+        engine.refine(&view, &SigmaSpec::Coverage, 0, Ratio::new(1, 2)),
+        Err(RefineError::ZeroSorts)
+    ));
+    assert!(matches!(
+        engine.refine(&view, &SigmaSpec::Coverage, 2, Ratio::new(3, 2)),
+        Err(RefineError::ThresholdOutOfRange(_))
+    ));
+    let empty = SignatureView::from_counts(vec!["http://ex/p".into()], vec![]).unwrap();
+    assert!(matches!(
+        engine.refine(&empty, &SigmaSpec::Coverage, 2, Ratio::new(1, 2)),
+        Err(RefineError::EmptyDataset)
+    ));
+}
+
+#[test]
+fn exhausted_solver_budgets_return_unknown_not_wrong_answers() {
+    let view = small_persons_view();
+    // A zero-ish time limit: the solver cannot possibly decide anything hard.
+    let engine = IlpEngine::with_time_limit(Duration::from_nanos(1));
+    let outcome = engine
+        .refine(&view, &SigmaSpec::Coverage, 2, Ratio::new(95, 100))
+        .unwrap();
+    match outcome {
+        // Either it got lucky before the deadline check (then the answer must
+        // be genuine), or it reports Unknown. Never a wrong claim.
+        RefineOutcome::Refinement(refinement) => {
+            assert!(refinement.min_sigma() >= Ratio::new(95, 100));
+        }
+        RefineOutcome::Unknown | RefineOutcome::Infeasible => {}
+    }
+
+    // A search driven by an exhausted engine reports hit_budget instead of
+    // pretending the sweep completed.
+    let result = highest_theta(
+        &view,
+        &SigmaSpec::Coverage,
+        2,
+        &engine,
+        &HighestThetaOptions::default(),
+    )
+    .unwrap();
+    if result.steps.iter().any(|step| step.feasible.is_none()) {
+        assert!(result.hit_budget);
+    }
+}
+
+#[test]
+fn oversized_exhaustive_instances_are_refused_not_attempted() {
+    let view = strudel_datagen::dbpedia_persons();
+    let err = ExhaustiveEngine::new()
+        .refine(&view, &SigmaSpec::Coverage, 3, Ratio::new(1, 2))
+        .unwrap_err();
+    assert!(matches!(err, RefineError::InstanceTooLarge { .. }));
+}

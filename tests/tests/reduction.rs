@@ -1,0 +1,106 @@
+//! Integration tests of the NP-hardness reduction (Theorem 5.1 / Appendix A)
+//! on the graph families provided by `strudel-datagen`.
+
+use strudel_core::prelude::*;
+use strudel_datagen::UndirectedGraph;
+
+fn instance_of(graph: &UndirectedGraph) -> ReductionInstance {
+    reduction_instance(graph.node_count(), graph.edges())
+}
+
+#[test]
+fn proper_colorings_of_colorable_graphs_reach_threshold_one() {
+    for graph in [
+        UndirectedGraph::triangle(),
+        UndirectedGraph::path4(),
+        UndirectedGraph::c5(),
+    ] {
+        let coloring = graph
+            .find_3_coloring()
+            .expect("these graphs are 3-colorable");
+        assert!(graph.is_proper_coloring(&coloring));
+        let instance = instance_of(&graph);
+        assert!(
+            coloring_achieves_threshold_one(&instance, &coloring),
+            "proper coloring of {graph:?} must give σ_r0 = 1 on every part"
+        );
+    }
+}
+
+#[test]
+fn improper_colorings_fail_threshold_one() {
+    // For the triangle, any assignment using fewer than 3 colors places two
+    // adjacent nodes together and must fail.
+    let graph = UndirectedGraph::triangle();
+    let instance = instance_of(&graph);
+    for coloring in [[0usize, 0, 1], [0, 1, 1], [2, 2, 2]] {
+        assert!(
+            !coloring_achieves_threshold_one(&instance, &coloring),
+            "improper coloring {coloring:?} must not reach threshold 1"
+        );
+    }
+}
+
+#[test]
+fn non_three_colorable_graphs_fail_for_every_candidate_coloring() {
+    // K4 has chromatic number 4: every assignment of 3 colors to its nodes
+    // leaves two adjacent nodes sharing a color, so no candidate partition of
+    // the reduction instance reaches threshold 1. Node 0's color can be fixed
+    // to 0 by symmetry, leaving 3^3 = 27 candidates to check exhaustively.
+    let graph = UndirectedGraph::k4();
+    assert!(graph.find_3_coloring().is_none());
+    let instance = instance_of(&graph);
+    let n = graph.node_count();
+    for code in 0..3usize.pow((n - 1) as u32) {
+        let mut coloring = vec![0usize];
+        let mut rest = code;
+        for _ in 1..n {
+            coloring.push(rest % 3);
+            rest /= 3;
+        }
+        assert!(
+            !coloring_achieves_threshold_one(&instance, &coloring),
+            "K4 is not 3-colorable, but {coloring:?} reached threshold 1"
+        );
+    }
+}
+
+#[test]
+fn random_graphs_agree_with_the_search_based_decision() {
+    // For a few seeded random graphs, the reduction's verdict on the
+    // brute-force coloring (if any) matches colorability.
+    for seed in 0..4u64 {
+        let graph = UndirectedGraph::random(5, 0.5, seed);
+        let instance = instance_of(&graph);
+        match graph.find_3_coloring() {
+            Some(coloring) => {
+                assert!(coloring_achieves_threshold_one(&instance, &coloring));
+            }
+            None => {
+                // Not 3-colorable: spot-check a handful of candidate
+                // colorings; none may reach threshold 1.
+                for code in [0usize, 7, 13, 26, 80] {
+                    let mut coloring = Vec::with_capacity(5);
+                    let mut rest = code;
+                    for _ in 0..5 {
+                        coloring.push(rest % 3);
+                        rest /= 3;
+                    }
+                    assert!(!coloring_achieves_threshold_one(&instance, &coloring));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn the_rule_r0_is_expressible_and_purely_structural() {
+    let rule = rule_r0();
+    assert_eq!(rule.variables().len(), 11);
+    // The paper stresses that r0 avoids subj(c) = constant atoms: the
+    // structuredness of a graph should not depend on particular subjects.
+    assert!(!rule.mentions_subject_constant());
+    // Round-trips through the textual syntax.
+    let reparsed = strudel_rules::parser::parse_rule(&rule.to_string()).unwrap();
+    assert_eq!(reparsed.variables().len(), 11);
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration: Turtle → views → sort refinement → refinement
+//! materialisation (`strudel-core`) → storage layouts and workload costs
+//! (`strudel-storage`).
+//!
+//! The chain exercised here is the full "so what" of the paper: measure the
+//! structuredness of raw RDF, refine the sort, and verify that the refinement
+//! actually buys a better physical design (dense property tables, cheaper
+//! scans) while answering queries identically to layouts that ignore the
+//! schema.
+
+use strudel_core::prelude::*;
+use strudel_datagen::{dbpedia_persons_scaled, degrade_view, materialize_graph, NoiseConfig};
+use strudel_rdf::prelude::*;
+use strudel_storage::prelude::*;
+
+const PERSON: &str = "http://xmlns.com/foaf/0.1/Person";
+
+/// A hand-written Turtle document with an obvious alive/dead split.
+const PERSONS_TTL: &str = r#"
+    @prefix ex:   <http://example.org/> .
+    @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+
+    ex:ada    a foaf:Person ; foaf:name "Ada"    ; ex:birthDate "1815" ; ex:deathDate "1852" ; ex:deathPlace ex:London .
+    ex:grace  a foaf:Person ; foaf:name "Grace"  ; ex:birthDate "1906" ; ex:deathDate "1992" ; ex:deathPlace ex:Arlington .
+    ex:alan   a foaf:Person ; foaf:name "Alan"   ; ex:birthDate "1912" ; ex:deathDate "1954" ; ex:deathPlace ex:Wilmslow .
+    ex:barb   a foaf:Person ; foaf:name "Barbara"; ex:birthDate "1939" .
+    ex:don    a foaf:Person ; foaf:name "Donald" ; ex:birthDate "1938" .
+    ex:leslie a foaf:Person ; foaf:name "Leslie" ; ex:birthDate "1941" .
+    ex:margo  a foaf:Person ; foaf:name "Margaret" ; ex:birthDate "1936" .
+    ex:tim    a foaf:Person ; foaf:name "Tim"    ; ex:birthDate "1955" .
+"#;
+
+fn refine_k2(view: &SignatureView) -> SortRefinement {
+    let engine = HybridEngine::new();
+    highest_theta(
+        view,
+        &SigmaSpec::Coverage,
+        2,
+        &engine,
+        &HighestThetaOptions::default(),
+    )
+    .expect("search completes")
+    .refinement
+    .expect("a refinement exists at the starting threshold")
+}
+
+#[test]
+fn turtle_to_property_tables_round_trip() {
+    let graph = parse_turtle(PERSONS_TTL).expect("the document is valid Turtle");
+    let matrix = PropertyStructureView::from_sort(&graph, PERSON, true).unwrap();
+    let view = SignatureView::from_matrix(&matrix);
+    let refinement = refine_k2(&view);
+    assert_eq!(refinement.k(), 2);
+    refinement.validate(&view).expect("the refinement is valid");
+
+    // The refinement separates the death-record signature from the rest.
+    let death_col = view.property_index("http://example.org/deathDate").unwrap();
+    for sort in &refinement.sorts {
+        let sub = view.subset(&sort.signatures);
+        let with_death = sub.property_subject_count(death_col);
+        assert!(
+            with_death == 0 || with_death == sub.subject_count(),
+            "each implicit sort is homogeneous w.r.t. deathDate"
+        );
+    }
+
+    // Materialise it as property tables and compare against a triple store.
+    let config = LayoutConfig::excluding_rdf_type();
+    let typed = graph.typed_subgraph(PERSON);
+    let triple_store = TripleStoreLayout::build(&typed, &config);
+    let horizontal = HorizontalLayout::build(&typed, &config);
+    let tables =
+        PropertyTablesLayout::from_refinement(&typed, &matrix, &view, &refinement, &config)
+            .unwrap();
+
+    // Dense tables: the alive/dead split leaves no NULLs at all.
+    assert_eq!(tables.storage_stats().null_cells, 0);
+    assert!(horizontal.storage_stats().null_cells > 0);
+
+    // Same answers everywhere.
+    let layouts: [&dyn Layout; 3] = [&triple_store, &horizontal, &tables];
+    let queries = generate_workload(&typed, &WorkloadConfig::default());
+    let summaries = run_workload(&layouts, &queries).expect("layouts agree");
+    assert_eq!(summaries.len(), 3);
+
+    // The property tables never scan more cells than the horizontal table.
+    let horizontal_cells = summaries[1].total.cells_scanned;
+    let tables_cells = summaries[2].total.cells_scanned;
+    assert!(tables_cells <= horizontal_cells);
+}
+
+#[test]
+fn annotation_then_split_agree_on_membership() {
+    let graph = parse_turtle(PERSONS_TTL).unwrap();
+    let matrix = PropertyStructureView::from_sort(&graph, PERSON, true).unwrap();
+    let view = SignatureView::from_matrix(&matrix);
+    let refinement = refine_k2(&view);
+
+    let mut annotated = graph.clone();
+    let summary = annotate_refinement(
+        &mut annotated,
+        &matrix,
+        &view,
+        &refinement,
+        "http://example.org/Person/refined",
+    )
+    .unwrap();
+    let parts = split_by_refinement(&graph, &matrix, &view, &refinement).unwrap();
+    assert_eq!(parts.len(), summary.sort_iris.len());
+
+    // The subjects declared of each minted sort are exactly the subjects of
+    // the corresponding split graph.
+    for (iri, part) in summary.sort_iris.iter().zip(&parts) {
+        let mut declared: Vec<String> = annotated
+            .subjects_of_sort_named(iri)
+            .into_iter()
+            .map(|s| annotated.iri(s).to_owned())
+            .collect();
+        declared.sort();
+        let mut split: Vec<String> = part
+            .subjects()
+            .into_iter()
+            .map(|s| part.iri(s).to_owned())
+            .collect();
+        split.sort();
+        assert_eq!(declared, split);
+    }
+
+    // Split graphs cover every Person triple exactly once.
+    let typed = graph.typed_subgraph(PERSON);
+    let total: usize = parts.iter().map(Graph::len).sum();
+    assert_eq!(total, typed.len());
+}
+
+#[test]
+fn advisor_prefers_property_tables_on_structured_data_and_erosion_hurts_the_wide_table() {
+    // Calibrated DBpedia Persons, scaled down and materialised.
+    let view = dbpedia_persons_scaled(2_000);
+    let graph = materialize_graph(&view, PERSON, "http://example.org/p/", 99);
+    let report = advise(
+        &graph,
+        Some(PERSON),
+        &AdvisorConfig::coverage_with_k(2),
+        &HybridEngine::new(),
+    )
+    .unwrap();
+
+    // The identity the storage crate is built around: horizontal fill factor
+    // equals σ_Cov of the dataset.
+    let horizontal = report.summary("horizontal").unwrap();
+    let fill = horizontal.storage.fill_factor().unwrap();
+    assert!((fill - report.dataset_sigma.to_f64()).abs() < 1e-9);
+
+    // Property tables derived from the refinement waste fewer cells than the
+    // single wide table.
+    let tables = report.summary("property tables").unwrap();
+    assert!(tables.storage.null_cells < horizontal.storage.null_cells);
+    assert!(tables.total.cells_scanned <= horizontal.total.cells_scanned);
+
+    // Eroding structuredness increases the wide table's wasted cells.
+    let eroded = degrade_view(&view, &NoiseConfig::erosion(0.4, 3));
+    let eroded_graph = materialize_graph(&eroded, PERSON, "http://example.org/e/", 3);
+    let config = LayoutConfig::excluding_rdf_type();
+    let clean_nulls = HorizontalLayout::build(&graph.typed_subgraph(PERSON), &config)
+        .storage_stats()
+        .null_cells;
+    let eroded_nulls = HorizontalLayout::build(&eroded_graph.typed_subgraph(PERSON), &config)
+        .storage_stats()
+        .null_cells;
+    assert!(eroded_nulls > clean_nulls);
+}
