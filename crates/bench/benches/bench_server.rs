@@ -1,0 +1,137 @@
+//! Throughput benchmark of the refinement service: cold solves vs cache
+//! hits vs single-flight coalescing, over real TCP on localhost.
+//!
+//! Pure std (`harness = false`): the Criterion benchmarks of this crate need
+//! an external dependency unavailable in offline builds, so this harness
+//! times with `Instant` and prints a small table. Run with:
+//!
+//! ```text
+//! cargo bench -p strudel-bench --bench bench_server
+//! ```
+//!
+//! The numbers to look at: the cached requests/s should dwarf the cold
+//! rate by orders of magnitude (the point of the result cache), and the
+//! coalesced column shows `n` concurrent identical requests costing about
+//! one solve.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use strudel_core::sigma::SigmaSpec;
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::prelude::Ratio;
+use strudel_server::prelude::*;
+
+/// A solve-heavy instance: distinct per `variant` so cold runs never hit
+/// the cache.
+fn request(variant: usize) -> SolveRequest {
+    let properties: Vec<String> = (0..8).map(|i| format!("http://ex/p{i}")).collect();
+    let signatures: Vec<(Vec<usize>, usize)> = (0..16)
+        .map(|i| {
+            let width = 1 + (i % 4);
+            let start = i % 5;
+            (
+                (start..start + width).collect(),
+                5 + (i * 13 + variant * 7) % 80,
+            )
+        })
+        .collect();
+    SolveRequest {
+        op: SolveOp::Refine,
+        view: SignatureView::from_counts(properties, signatures).expect("valid view"),
+        spec: SigmaSpec::Coverage,
+        engine: EngineKind::Hybrid,
+        k: Some(3),
+        theta: Some(Ratio::new(1, 2)),
+        step: None,
+        max_k: None,
+        time_limit: None,
+    }
+}
+
+fn requests_per_second(count: usize, run: impl FnOnce()) -> f64 {
+    let begin = Instant::now();
+    run();
+    count as f64 / begin.elapsed().as_secs_f64()
+}
+
+fn main() {
+    const COLD: usize = 40;
+    const CACHED: usize = 2000;
+    const COALESCED_CLIENTS: usize = 8;
+    const COALESCED_ROUNDS: usize = 10;
+
+    let handle = server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        cache_capacity: 4096,
+    })
+    .expect("bind");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Cold: every request is a distinct instance — full solve each time.
+    let cold_rps = requests_per_second(COLD, || {
+        for variant in 0..COLD {
+            client.solve(&request(variant)).expect("cold solve");
+        }
+    });
+
+    // Cached: one instance, repeated — after the first, pure cache replay.
+    let cached_request = request(0); // solved above, already resident
+    let cached_rps = requests_per_second(CACHED, || {
+        for _ in 0..CACHED {
+            let response = client.solve(&cached_request).expect("cached solve");
+            assert_eq!(response.source(), Some(Source::Cache));
+        }
+    });
+
+    // Coalesced: bursts of concurrent identical *fresh* instances — one
+    // solve per burst, shared via single-flight.
+    let coalesced_total = COALESCED_CLIENTS * COALESCED_ROUNDS;
+    let coalesced_rps = requests_per_second(coalesced_total, || {
+        for round in 0..COALESCED_ROUNDS {
+            let burst = Arc::new(request(COLD + 1 + round));
+            let joins: Vec<_> = (0..COALESCED_CLIENTS)
+                .map(|_| {
+                    let burst = Arc::clone(&burst);
+                    thread::spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        client.solve(&burst).expect("coalesced solve");
+                    })
+                })
+                .collect();
+            for join in joins {
+                join.join().expect("burst client");
+            }
+        }
+    });
+
+    let status = client.status().expect("status");
+    let result = status.result().expect("status result").clone();
+    let cache = result.get("cache").expect("cache counters");
+    let flight = result.get("singleflight").expect("flight counters");
+
+    println!("server throughput (localhost TCP, 4 workers):");
+    println!("  cold solves:        {cold_rps:>10.0} req/s ({COLD} distinct instances)");
+    println!("  cache hits:         {cached_rps:>10.0} req/s ({CACHED} repeats of one instance)");
+    println!(
+        "  coalesced bursts:   {coalesced_rps:>10.0} req/s ({COALESCED_ROUNDS} bursts × {COALESCED_CLIENTS} concurrent identical)"
+    );
+    println!(
+        "  speedup cached/cold: {:>8.1}×",
+        cached_rps / cold_rps.max(f64::MIN_POSITIVE)
+    );
+    println!(
+        "  cache: {} hits / {} misses / {} insertions; single-flight: {} led / {} shared",
+        cache.get("hits").unwrap(),
+        cache.get("misses").unwrap(),
+        cache.get("insertions").unwrap(),
+        flight.get("leaders").unwrap(),
+        flight.get("shared").unwrap(),
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}

@@ -79,7 +79,10 @@ fn main() -> ExitCode {
         let begin = Instant::now();
         let report = run_experiment(name, &budget, seed);
         println!("{report}");
-        println!("[{name} completed in {:.1}s]\n", begin.elapsed().as_secs_f64());
+        println!(
+            "[{name} completed in {:.1}s]\n",
+            begin.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -30,12 +30,12 @@ pub struct DatasetOverview {
 impl fmt::Display for DatasetOverview {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== {} ({}) ==", self.name, self.figure)?;
+        writeln!(f, "  {:<12} {:>12} {:>12}", "quantity", "measured", "paper")?;
         writeln!(
             f,
             "  {:<12} {:>12} {:>12}",
-            "quantity", "measured", "paper"
+            "subjects", self.subjects.0, self.subjects.1
         )?;
-        writeln!(f, "  {:<12} {:>12} {:>12}", "subjects", self.subjects.0, self.subjects.1)?;
         writeln!(
             f,
             "  {:<12} {:>12} {:>12}",
@@ -46,8 +46,16 @@ impl fmt::Display for DatasetOverview {
             "  {:<12} {:>12} {:>12}",
             "signatures", self.signatures.0, self.signatures.1
         )?;
-        writeln!(f, "  {:<12} {:>12.3} {:>12.2}", "σCov", self.cov.0, self.cov.1)?;
-        writeln!(f, "  {:<12} {:>12.3} {:>12.2}", "σSim", self.sim.0, self.sim.1)?;
+        writeln!(
+            f,
+            "  {:<12} {:>12.3} {:>12.2}",
+            "σCov", self.cov.0, self.cov.1
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>12.3} {:>12.2}",
+            "σSim", self.sim.0, self.sim.1
+        )?;
         writeln!(f, "{}", self.rendering)
     }
 }

@@ -82,7 +82,11 @@ impl fmt::Display for Figure4Result {
             "  highest feasible θ = {:.3} ({} probes{})",
             self.theta,
             self.probes,
-            if self.hit_budget { ", stopped by budget" } else { "" }
+            if self.hit_budget {
+                ", stopped by budget"
+            } else {
+                ""
+            }
         )?;
         writeln!(
             f,
@@ -180,7 +184,11 @@ impl fmt::Display for Figure5Result {
             "  measured k = {:?}, paper k = {}{}",
             self.k,
             self.paper_k,
-            if self.hit_budget { " (budget-limited)" } else { "" }
+            if self.hit_budget {
+                " (budget-limited)"
+            } else {
+                ""
+            }
         )?;
         write!(f, "{}", format_sort_table(&self.sorts))
     }
@@ -205,15 +213,8 @@ pub fn figure5_on(
     };
     let theta = Ratio::new(9, 10);
     let engine = engine_for(budget);
-    let result = lowest_k(
-        view,
-        &spec,
-        theta,
-        &engine,
-        SweepDirection::Downward,
-        None,
-    )
-    .expect("the lowest-k sweep cannot fail on a valid dataset");
+    let result = lowest_k(view, &spec, theta, &engine, SweepDirection::Downward, None)
+        .expect("the lowest-k sweep cannot fail on a valid dataset");
     let sorts = result
         .refinement
         .as_ref()
@@ -266,7 +267,12 @@ impl fmt::Display for Table1Result {
 pub fn table1() -> Table1Result {
     let view = dbpedia_persons();
     let cols = person_columns(&view);
-    let order = [cols.death_place, cols.birth_place, cols.death_date, cols.birth_date];
+    let order = [
+        cols.death_place,
+        cols.birth_place,
+        cols.death_date,
+        cols.birth_date,
+    ];
     let matrix = dependency_matrix(&view, &order);
     let mut measured = [[0.0; 4]; 4];
     for i in 0..4 {
@@ -302,7 +308,11 @@ pub struct Table2Result {
 impl fmt::Display for Table2Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== Table 2 — σSymDep ranking ==")?;
-        writeln!(f, "  top pairs (paper: {} / {} = {:.2}):", self.paper_top.0, self.paper_top.1, self.paper_top.2)?;
+        writeln!(
+            f,
+            "  top pairs (paper: {} / {} = {:.2}):",
+            self.paper_top.0, self.paper_top.1, self.paper_top.2
+        )?;
         for (a, b, v) in &self.top {
             writeln!(f, "    {:<12} {:<12} {:.2}", shorten(a), shorten(b), v)?;
         }
@@ -408,7 +418,12 @@ mod tests {
         let result = table2();
         let (a, b, v) = &result.top[0];
         assert!(a.contains("ivenName") || b.contains("ivenName"));
-        assert!(a.contains("urname") || b.contains("urname") || a.contains("urName") || b.contains("urName"));
+        assert!(
+            a.contains("urname")
+                || b.contains("urname")
+                || a.contains("urName")
+                || b.contains("urName")
+        );
         assert!(*v > 0.99);
         // The bottom of the ranking involves deathPlace, as in the paper.
         assert!(result

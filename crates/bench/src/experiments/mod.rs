@@ -79,14 +79,9 @@ mod tests {
             vec![(vec![0], 6), (vec![0, 1], 4)],
         )
         .unwrap();
-        let refinement = SortRefinement::from_assignment(
-            &view,
-            &SigmaSpec::Coverage,
-            Ratio::ZERO,
-            &[0, 1],
-            2,
-        )
-        .unwrap();
+        let refinement =
+            SortRefinement::from_assignment(&view, &SigmaSpec::Coverage, Ratio::ZERO, &[0, 1], 2)
+                .unwrap();
         let summaries = summarize_sorts(&view, &refinement);
         assert_eq!(summaries.len(), 2);
         assert!(summaries.iter().all(|s| s.cov > 0.0 && s.sim >= 0.0));

@@ -11,9 +11,7 @@
 use std::fmt;
 
 use strudel_core::prelude::SigmaSpec;
-use strudel_datagen::{
-    benchmark_sorts, dbpedia_persons, wordnet_nouns, BenchmarkProfile,
-};
+use strudel_datagen::{benchmark_sorts, dbpedia_persons, wordnet_nouns, BenchmarkProfile};
 use strudel_rdf::signature::SignatureView;
 
 /// Number of subjects used for the Figure 1 matrices (any "large N" works).
@@ -45,7 +43,11 @@ pub struct Figure1Report {
 
 impl fmt::Display for Figure1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Figure 1: σ_Cov vs σ_Sim on the toy matrices (N = {}) ==", self.n)?;
+        writeln!(
+            f,
+            "== Figure 1: σ_Cov vs σ_Sim on the toy matrices (N = {}) ==",
+            self.n
+        )?;
         writeln!(
             f,
             "  {:<4} {:<38} {:>8} {:>8}  expectation",
@@ -154,7 +156,11 @@ impl fmt::Display for BenchmarkGapReport {
             f,
             "== Section 2.2.1: benchmark data vs real data (Duan et al. [5]) =="
         )?;
-        writeln!(f, "  {:<44} {:>10} {:>8} {:>8}", "sort", "kind", "σCov", "σSim")?;
+        writeln!(
+            f,
+            "  {:<44} {:>10} {:>8} {:>8}",
+            "sort", "kind", "σCov", "σSim"
+        )?;
         for entry in &self.entries {
             writeln!(
                 f,

@@ -57,7 +57,11 @@ pub struct Figure8Result {
 
 impl fmt::Display for Figure8Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Figure 8 — scalability over {} YAGO-like sorts ==", self.measurements.len())?;
+        writeln!(
+            f,
+            "== Figure 8 — scalability over {} YAGO-like sorts ==",
+            self.measurements.len()
+        )?;
         writeln!(
             f,
             "  {:>9} {:>11} {:>11} {:>11} {:>8}",
@@ -95,7 +99,10 @@ impl fmt::Display for Figure8Result {
                 "  runtime vs subjects: slope {slope:.2e} s/subject (R² = {r2:.2}) — runtime does not scale with subject count"
             )?;
         }
-        writeln!(f, "  (* = at least one probe hit the per-instance time budget)")
+        writeln!(
+            f,
+            "  (* = at least one probe hit the per-instance time budget)"
+        )
     }
 }
 

@@ -39,7 +39,10 @@ pub struct Section74Result {
 
 impl fmt::Display for Section74Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Section 7.4 — semantic correctness (drug companies vs sultans) ==")?;
+        writeln!(
+            f,
+            "== Section 7.4 — semantic correctness (drug companies vs sultans) =="
+        )?;
         for outcome in [&self.plain, &self.ignoring_generic] {
             let c = &outcome.classification;
             writeln!(f, "  rule: {}", outcome.rule)?;
@@ -85,7 +88,10 @@ pub fn section74(budget: &ExperimentBudget) -> Section74Result {
         classification: classify_with(&SigmaSpec::Coverage, budget),
         paper: (0.746, 0.614, 1.0),
     };
-    let ignoring: Vec<String> = GENERIC_PROPERTIES.iter().map(|p| (*p).to_string()).collect();
+    let ignoring: Vec<String> = GENERIC_PROPERTIES
+        .iter()
+        .map(|p| (*p).to_string())
+        .collect();
     let modified_spec = SigmaSpec::CoverageIgnoring(ignoring);
     let ignoring_generic = ClassificationOutcome {
         rule: "Cov ignoring {rdf:type, owl:sameAs, rdfs:subClassOf, rdfs:label}".to_owned(),

@@ -40,7 +40,11 @@ impl fmt::Display for Figure6Result {
             "  whole-dataset σ = {:.3}, highest feasible θ = {:.3}{}",
             self.whole_dataset_sigma,
             self.theta,
-            if self.hit_budget { " (budget-limited)" } else { "" }
+            if self.hit_budget {
+                " (budget-limited)"
+            } else {
+                ""
+            }
         )?;
         write!(f, "{}", format_sort_table(&self.sorts))
     }
@@ -70,7 +74,9 @@ pub fn figure6_on(
     };
     let result = highest_theta(view, &spec, 2, &engine, &options)
         .expect("the highest-θ search cannot fail on a valid dataset");
-    let refinement = result.refinement.expect("the starting threshold is feasible");
+    let refinement = result
+        .refinement
+        .expect("the starting threshold is feasible");
     Figure6Result {
         spec_name: spec.name(),
         theta: result.theta.to_f64(),
@@ -109,7 +115,11 @@ impl fmt::Display for Figure7Result {
             "  measured k = {:?}, paper k = {}{}",
             self.k,
             self.paper_k,
-            if self.hit_budget { " (budget-limited)" } else { "" }
+            if self.hit_budget {
+                " (budget-limited)"
+            } else {
+                ""
+            }
         )?;
         writeln!(f, "  largest sorts (subjects): {:?}", self.largest_sorts)
     }

@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn recovers_a_power_law() {
-        let points: Vec<(f64, f64)> = (1..50).map(|i| (i as f64, 2.0 * (i as f64).powf(2.5))).collect();
+        let points: Vec<(f64, f64)> = (1..50)
+            .map(|i| (i as f64, 2.0 * (i as f64).powf(2.5)))
+            .collect();
         let (exponent, r2) = power_law_exponent(&points).unwrap();
         assert!((exponent - 2.5).abs() < 1e-6, "exponent {exponent}");
         assert!(r2 > 0.999);
@@ -93,7 +95,9 @@ mod tests {
 
     #[test]
     fn recovers_an_exponential_rate() {
-        let points: Vec<(f64, f64)> = (1..40).map(|i| (i as f64, 0.5 * (0.28 * i as f64).exp())).collect();
+        let points: Vec<(f64, f64)> = (1..40)
+            .map(|i| (i as f64, 0.5 * (0.28 * i as f64).exp()))
+            .collect();
         let (rate, r2) = exponential_rate(&points).unwrap();
         assert!((rate - 0.28).abs() < 1e-6, "rate {rate}");
         assert!(r2 > 0.999);
@@ -109,13 +113,7 @@ mod tests {
 
     #[test]
     fn noisy_data_has_lower_r_squared() {
-        let points = vec![
-            (1.0, 1.0),
-            (2.0, 4.5),
-            (3.0, 2.5),
-            (4.0, 7.0),
-            (5.0, 3.5),
-        ];
+        let points = vec![(1.0, 1.0), (2.0, 4.5), (3.0, 2.5), (4.0, 7.0), (5.0, 3.5)];
         let fit = linear_fit(&points).unwrap();
         assert!(fit.r_squared < 0.9);
     }

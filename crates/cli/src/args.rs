@@ -101,7 +101,11 @@ pub fn parse_args(args: &[String], spec: &ArgSpec) -> Result<ParsedArgs, CliErro
                         .cloned()
                         .ok_or_else(|| CliError::Usage(format!("--{name} requires a value")))?,
                 };
-                parsed.options.entry(name.to_owned()).or_default().push(value);
+                parsed
+                    .options
+                    .entry(name.to_owned())
+                    .or_default()
+                    .push(value);
             } else {
                 return Err(CliError::Usage(format!("unknown option --{name}")));
             }
@@ -145,13 +149,24 @@ mod tests {
     #[test]
     fn parses_positionals_options_and_flags() {
         let parsed = parse_args(
-            &args(&["data.nt", "--rule", "cov", "--rule=sim", "--k", "3", "--render"]),
+            &args(&[
+                "data.nt",
+                "--rule",
+                "cov",
+                "--rule=sim",
+                "--k",
+                "3",
+                "--render",
+            ]),
             &SPEC,
         )
         .unwrap();
         assert_eq!(parsed.positional(0), Some("data.nt"));
         assert_eq!(parsed.positional(1), None);
-        assert_eq!(parsed.option_values("rule"), &["cov".to_owned(), "sim".to_owned()]);
+        assert_eq!(
+            parsed.option_values("rule"),
+            &["cov".to_owned(), "sim".to_owned()]
+        );
         assert_eq!(parsed.option("rule"), Some("sim"));
         assert_eq!(parsed.option_parsed::<usize>("k").unwrap(), Some(3));
         assert_eq!(parsed.option_parsed::<usize>("theta").unwrap(), None);

@@ -17,7 +17,8 @@ pub const SPEC: ArgSpec = ArgSpec {
 };
 
 /// Usage text of `analyze`.
-pub const USAGE: &str = "strudel analyze <FILE> [--sort IRI] [--rule SPEC]... [--render] [--max-rows N]
+pub const USAGE: &str =
+    "strudel analyze <FILE> [--sort IRI] [--rule SPEC]... [--render] [--max-rows N]
   Measures the structuredness of an RDF document (default rules: cov, sim).";
 
 /// Runs the command.

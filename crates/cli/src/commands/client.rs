@@ -1,0 +1,388 @@
+//! `strudel client` — query a running refinement service.
+
+use strudel_core::prelude::format_sigma;
+use strudel_core::sigma::SigmaSpec;
+use strudel_core::wire::WireRefinement;
+use strudel_rules::prelude::Ratio;
+use strudel_server::prelude::{
+    Client, ClientError, EngineKind, Json, Response, SolveOp, SolveRequest, Source,
+};
+use strudel_server::protocol::refinement_from_json;
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+use crate::io::{load_graph, views_of};
+use crate::spec::{parse_sigma_spec, parse_time_limit};
+
+/// Argument specification of `client`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &[
+        "addr",
+        "sort",
+        "rule",
+        "engine",
+        "k",
+        "theta",
+        "step",
+        "max-k",
+        "time-limit",
+    ],
+    flags: &["raw"],
+    min_positional: 1,
+    max_positional: 2,
+};
+
+/// Usage text of `client`.
+pub const USAGE: &str = "strudel client <refine|highest-theta|lowest-k|status|shutdown> [FILE]
+               [--addr HOST:PORT] [--sort IRI] [--rule SPEC] [--engine hybrid|ilp|greedy]
+               [--k N] [--theta X] [--step X] [--max-k N] [--time-limit SECS] [--raw]
+  Sends one request to a running 'strudel serve' (default --addr 127.0.0.1:7464).
+  Solve operations load FILE, build its signature view locally, and ship the view;
+  repeated identical requests are answered from the server's cache. --raw prints
+  the verbatim response line instead of a report.";
+
+/// Runs the command.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args, &SPEC)?;
+    let op_text = parsed.positional(0).expect("spec requires one positional");
+    let addr = parsed.option("addr").unwrap_or("127.0.0.1:7464");
+    let mut client = Client::connect(addr).map_err(client_error)?;
+
+    let response = match op_text {
+        "status" => client.status().map_err(client_error)?,
+        "shutdown" => client.shutdown().map_err(client_error)?,
+        "refine" | "highest-theta" | "lowest-k" => {
+            let op = match op_text {
+                "refine" => SolveOp::Refine,
+                "highest-theta" => SolveOp::HighestTheta,
+                _ => SolveOp::LowestK,
+            };
+            let request = build_solve_request(op, &parsed)?;
+            client.solve(&request).map_err(client_error)?
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown client operation '{other}'; expected refine, highest-theta, \
+                 lowest-k, status, or shutdown"
+            )))
+        }
+    };
+
+    if parsed.has_flag("raw") {
+        return Ok(response.raw.clone());
+    }
+    render_response(op_text, &response)
+}
+
+fn client_error(err: ClientError) -> CliError {
+    match err {
+        ClientError::Io(source) => CliError::Io {
+            path: "server connection".to_owned(),
+            source,
+        },
+        other => CliError::Usage(other.to_string()),
+    }
+}
+
+fn build_solve_request(
+    op: SolveOp,
+    parsed: &crate::args::ParsedArgs,
+) -> Result<SolveRequest, CliError> {
+    let Some(path) = parsed.positional(1) else {
+        return Err(CliError::Usage(format!(
+            "'client {}' needs a dataset FILE to build the view from",
+            op.name()
+        )));
+    };
+    let graph = load_graph(path)?;
+    let (_, view) = views_of(&graph, parsed.option("sort"))?;
+
+    let spec = match parsed.option("rule") {
+        Some(text) => parse_sigma_spec(text)?,
+        None => SigmaSpec::Coverage,
+    };
+    let engine = match parsed.option("engine") {
+        Some(name) => EngineKind::parse(name).map_err(|err| CliError::Usage(err.message))?,
+        None => EngineKind::Hybrid,
+    };
+    let theta = match parsed.option("theta") {
+        Some(text) => Some(parse_ratio(text, "theta")?),
+        None => None,
+    };
+    let step = match parsed.option("step") {
+        Some(text) => Some(parse_ratio(text, "step")?),
+        None => None,
+    };
+    let request = SolveRequest {
+        op,
+        view,
+        spec,
+        engine,
+        k: parsed.option_parsed::<usize>("k")?,
+        theta,
+        step,
+        max_k: parsed.option_parsed::<usize>("max-k")?,
+        time_limit: parse_time_limit(parsed)?,
+    };
+    // Mirror the server's validation client-side for friendlier messages.
+    match op {
+        SolveOp::Refine if request.k.is_none() || request.theta.is_none() => Err(CliError::Usage(
+            "'client refine' needs --k and --theta".to_owned(),
+        )),
+        SolveOp::HighestTheta if request.k.is_none() => Err(CliError::Usage(
+            "'client highest-theta' needs --k".to_owned(),
+        )),
+        SolveOp::LowestK if request.theta.is_none() => Err(CliError::Usage(
+            "'client lowest-k' needs --theta".to_owned(),
+        )),
+        _ => Ok(request),
+    }
+}
+
+fn parse_ratio(text: &str, name: &str) -> Result<Ratio, CliError> {
+    Ratio::parse(text)
+        .map_err(|err| CliError::Usage(format!("invalid value '{text}' for --{name}: {err}")))
+}
+
+fn render_response(op: &str, response: &Response) -> Result<String, CliError> {
+    let source = match response.source() {
+        Some(Source::Solved) => "solved",
+        Some(Source::Cache) => "cache",
+        Some(Source::Coalesced) => "coalesced",
+        None => "?",
+    };
+    let mut out = format!("op: {op}, source: {source}\n");
+    let Some(result) = response.result() else {
+        return Ok(out);
+    };
+    match op {
+        "status" => out.push_str(&render_status(result)),
+        "shutdown" => out.push_str("server is stopping\n"),
+        "refine" => match result.get("outcome").and_then(Json::as_str) {
+            Some("refinement") => {
+                out.push_str("outcome: refinement exists\n");
+                if let Some(refinement) = result.get("refinement") {
+                    out.push_str(&render_refinement(refinement)?);
+                }
+            }
+            Some(other) => out.push_str(&format!("outcome: {other}\n")),
+            None => out.push_str("outcome: missing\n"),
+        },
+        "highest-theta" => {
+            if let Some(theta) = result.get("theta").and_then(Json::as_str) {
+                let pretty = Ratio::parse(theta)
+                    .map(format_sigma)
+                    .unwrap_or_else(|_| theta.to_owned());
+                out.push_str(&format!("highest θ: {pretty}\n"));
+            }
+            out.push_str(&render_search_tail(result)?);
+        }
+        "lowest-k" => {
+            match result.get("k") {
+                Some(Json::Int(k)) => out.push_str(&format!("lowest k: {k}\n")),
+                _ => out.push_str("no k meets the threshold within the sweep bound\n"),
+            }
+            out.push_str(&render_search_tail(result)?);
+        }
+        _ => {}
+    }
+    Ok(out)
+}
+
+fn render_search_tail(result: &Json) -> Result<String, CliError> {
+    let mut out = String::new();
+    if let Some(probes) = result.get("probes").and_then(Json::as_int) {
+        out.push_str(&format!("probes: {probes}\n"));
+    }
+    if result.get("hit_budget").and_then(Json::as_bool) == Some(true) {
+        out.push_str("(budget-limited)\n");
+    }
+    match result.get("refinement") {
+        Some(Json::Null) | None => {}
+        Some(refinement) => out.push_str(&render_refinement(refinement)?),
+    }
+    Ok(out)
+}
+
+fn render_refinement(value: &Json) -> Result<String, CliError> {
+    let wire: WireRefinement = refinement_from_json(value)
+        .map_err(|err| CliError::Usage(format!("malformed server response: {err}")))?;
+    let mut out = format!("{} implicit sort(s):\n", wire.sorts.len());
+    for (idx, sort) in wire.sorts.iter().enumerate() {
+        let sigma = Ratio::parse(&sort.sigma)
+            .map(format_sigma)
+            .unwrap_or_else(|_| sort.sigma.clone());
+        out.push_str(&format!(
+            "  sort {idx}: {} subjects, {} signatures, σ = {sigma}\n",
+            sort.subjects,
+            sort.signatures.len(),
+        ));
+    }
+    Ok(out)
+}
+
+fn render_status(result: &Json) -> String {
+    let int = |path: &[&str]| -> i64 {
+        let mut value = result;
+        for key in path {
+            match value.get(key) {
+                Some(inner) => value = inner,
+                None => return 0,
+            }
+        }
+        value.as_int().unwrap_or(0)
+    };
+    format!(
+        "workers: {}, uptime: {} ms, connections: {}\n\
+         requests: {} refine / {} highest-theta / {} lowest-k / {} status, errors: {}\n\
+         cache: {} hits, {} misses, {} evictions, {} resident of {}\n\
+         single-flight: {} solves led, {} requests coalesced\n",
+        int(&["workers"]),
+        int(&["uptime_ms"]),
+        int(&["connections"]),
+        int(&["requests", "refine"]),
+        int(&["requests", "highest_theta"]),
+        int(&["requests", "lowest_k"]),
+        int(&["requests", "status"]),
+        int(&["requests", "errors"]),
+        int(&["cache", "hits"]),
+        int(&["cache", "misses"]),
+        int(&["cache", "evictions"]),
+        int(&["cache", "entries"]),
+        int(&["cache", "capacity"]),
+        int(&["singleflight", "leaders"]),
+        int(&["singleflight", "shared"]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::{args, write_persons_ntriples};
+    use strudel_server::prelude::{start_server, ServerConfig};
+
+    fn start_test_server() -> (strudel_server::prelude::ServerHandle, String) {
+        let handle = start_server(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_capacity: 16,
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        (handle, addr)
+    }
+
+    #[test]
+    fn refine_round_trips_and_second_call_hits_the_cache() {
+        let (handle, addr) = start_test_server();
+        let file = write_persons_ntriples("client-refine");
+        let file = file.to_str().unwrap();
+
+        let request = [
+            "refine",
+            file,
+            "--addr",
+            &addr,
+            "--sort",
+            "http://ex/Person",
+            "--k",
+            "2",
+            "--theta",
+            "0.8",
+        ];
+        let cold = run(&args(&request)).unwrap();
+        assert!(cold.contains("source: solved"), "cold: {cold}");
+        assert!(
+            cold.contains("outcome:"),
+            "cold response must state the outcome: {cold}"
+        );
+
+        let warm = run(&args(&request)).unwrap();
+        assert!(warm.contains("source: cache"), "warm: {warm}");
+        // Identical answers modulo the source line.
+        assert_eq!(
+            cold.replace("source: solved", "source: X"),
+            warm.replace("source: cache", "source: X"),
+        );
+
+        let status = run(&args(&["status", "--addr", &addr])).unwrap();
+        assert!(status.contains("cache: 1 hits"), "status: {status}");
+
+        run(&args(&["shutdown", "--addr", &addr])).unwrap();
+        handle.wait();
+        std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn search_operations_render_their_results() {
+        let (handle, addr) = start_test_server();
+        let file = write_persons_ntriples("client-search");
+        let file = file.to_str().unwrap();
+
+        let output = run(&args(&[
+            "highest-theta",
+            file,
+            "--addr",
+            &addr,
+            "--sort",
+            "http://ex/Person",
+            "--k",
+            "2",
+        ]))
+        .unwrap();
+        assert!(output.contains("highest θ"), "output: {output}");
+        assert!(output.contains("implicit sort(s)"), "output: {output}");
+
+        let output = run(&args(&[
+            "lowest-k",
+            file,
+            "--addr",
+            &addr,
+            "--sort",
+            "http://ex/Person",
+            "--theta",
+            "0.9",
+            "--max-k",
+            "6",
+        ]))
+        .unwrap();
+        assert!(output.contains("lowest k"), "output: {output}");
+
+        let raw = run(&args(&[
+            "refine",
+            file,
+            "--addr",
+            &addr,
+            "--sort",
+            "http://ex/Person",
+            "--k",
+            "2",
+            "--theta",
+            "1/2",
+            "--raw",
+        ]))
+        .unwrap();
+        assert!(raw.starts_with("{\"ok\":true,"), "raw: {raw}");
+
+        run(&args(&["shutdown", "--addr", &addr])).unwrap();
+        handle.wait();
+        std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn usage_errors_are_reported_before_connecting_where_possible() {
+        let (handle, addr) = start_test_server();
+        // Unknown op.
+        let err = run(&args(&["frobnicate", "--addr", &addr])).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+        // Missing FILE for a solve op.
+        let err = run(&args(&["refine", "--addr", &addr])).unwrap_err();
+        assert!(err.to_string().contains("FILE"));
+        run(&args(&["shutdown", "--addr", &addr])).unwrap();
+        handle.wait();
+
+        // No server listening at all: a connection error, not a panic.
+        let err = run(&args(&["status", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }));
+    }
+}

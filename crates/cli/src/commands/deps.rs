@@ -67,7 +67,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
     let mut out = format!("σ_Dep matrix (row: p1, column: p2) for {path}\n");
     let matrix = dependency_matrix(&view, &columns);
-    let labels: Vec<&str> = columns.iter().map(|&c| local(&view.properties()[c])).collect();
+    let labels: Vec<&str> = columns
+        .iter()
+        .map(|&c| local(&view.properties()[c]))
+        .collect();
     let width = labels.iter().map(|l| l.len()).max().unwrap_or(8).max(6);
     out.push_str(&format!("{:>width$} ", ""));
     for label in &labels {
@@ -115,7 +118,12 @@ mod tests {
     #[test]
     fn matrix_and_ranking_are_printed() {
         let file = write_persons_ntriples("deps-basic");
-        let output = run(&args(&[file.to_str().unwrap(), "--sort", "http://ex/Person"])).unwrap();
+        let output = run(&args(&[
+            file.to_str().unwrap(),
+            "--sort",
+            "http://ex/Person",
+        ]))
+        .unwrap();
         assert!(output.contains("σ_Dep matrix"));
         assert!(output.contains("most correlated"));
         assert!(output.contains("least correlated"));

@@ -21,7 +21,8 @@ pub const SPEC: ArgSpec = ArgSpec {
 };
 
 /// Usage text of `generate`.
-pub const USAGE: &str = "strudel generate <DATASET> [--out FILE.nt] [--seed N] [--scale N] [--subjects N]
+pub const USAGE: &str =
+    "strudel generate <DATASET> [--out FILE.nt] [--seed N] [--scale N] [--subjects N]
   DATASET ∈ { dbpedia, wordnet, mixed, lubm, sp2bench, bsbm }
   dbpedia / wordnet use the paper-calibrated views scaled down by --scale (default 1000);
   the benchmark profiles generate --subjects entities per sort (default 1000).
@@ -33,7 +34,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let dataset = parsed.positional(0).expect("spec requires one positional");
     let seed = parsed.option_parsed::<u64>("seed")?.unwrap_or(2014);
     let scale = parsed.option_parsed::<u64>("scale")?.unwrap_or(1000).max(1);
-    let subjects = parsed.option_parsed::<usize>("subjects")?.unwrap_or(1000).max(1);
+    let subjects = parsed
+        .option_parsed::<usize>("subjects")?
+        .unwrap_or(1000)
+        .max(1);
 
     // Each generated part is a (sort IRI, view) pair; parts are materialised
     // into one graph.
@@ -63,8 +67,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown dataset '{other}'; expected dbpedia, wordnet, mixed, lubm, sp2bench, or bsbm"
-            )))
+            "unknown dataset '{other}'; expected dbpedia, wordnet, mixed, lubm, sp2bench, or bsbm"
+        )))
         }
     };
 

@@ -1,7 +1,5 @@
 //! `strudel layout` — schema-guided storage layout advice.
 
-use std::time::Duration;
-
 use strudel_core::sigma::SigmaSpec;
 use strudel_rules::prelude::Ratio;
 use strudel_storage::prelude::{
@@ -11,7 +9,7 @@ use strudel_storage::prelude::{
 use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
 use crate::io::load_graph;
-use crate::spec::{build_engine, parse_sigma_spec};
+use crate::spec::{build_engine, parse_sigma_spec, parse_time_limit};
 
 /// Argument specification of `layout`.
 pub const SPEC: ArgSpec = ArgSpec {
@@ -61,12 +59,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         },
         (None, None) => AdvisorObjective::HighestTheta { k: 4 },
     };
-    let time_limit = parsed
-        .option_parsed::<f64>("time-limit")?
-        .map(Duration::from_secs_f64);
+    let time_limit = parse_time_limit(&parsed)?;
     let engine = build_engine(parsed.option("engine"), time_limit)?;
 
-    let queries = parsed.option_parsed::<usize>("queries")?.unwrap_or(10).max(1);
+    let queries = parsed
+        .option_parsed::<usize>("queries")?
+        .unwrap_or(10)
+        .max(1);
     let seed = parsed.option_parsed::<u64>("seed")?.unwrap_or(2014);
     let config = AdvisorConfig {
         spec,

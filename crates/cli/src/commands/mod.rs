@@ -1,10 +1,12 @@
 //! The CLI commands and their dispatcher.
 
 pub mod analyze;
+pub mod client;
 pub mod deps;
 pub mod generate;
 pub mod layout;
 pub mod refine;
+pub mod serve;
 pub mod survey;
 
 use crate::error::CliError;
@@ -15,7 +17,7 @@ pub fn usage() -> String {
         "strudel — RDF structuredness and sort refinement (Arenas et al., VLDB 2014)\n\n\
          usage: strudel <COMMAND> [ARGS]\n\n\
          commands:\n\
-         {}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n\
+         {}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n\
          Run 'strudel <COMMAND> --help' style questions by consulting the lines above;\n\
          rules (SPEC) are cov, sim, cov-ignoring:<props>, dep:<p1>,<p2>, symdep:<p1>,<p2>,\n\
          depdisj:<p1>,<p2>, or any rule of the language such as 'c = c -> val(c) = 1'.",
@@ -25,6 +27,8 @@ pub fn usage() -> String {
         deps::USAGE,
         layout::USAGE,
         generate::USAGE,
+        serve::USAGE,
+        client::USAGE,
     )
 }
 
@@ -44,6 +48,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "deps" => deps::run(rest),
         "layout" => layout::run(rest),
         "generate" => generate::run(rest),
+        "serve" => serve::run(rest),
+        "client" => client::run(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'; run 'strudel help' for usage"
@@ -144,6 +150,8 @@ mod tests {
         assert!(help.contains("strudel analyze"));
         assert!(help.contains("strudel refine"));
         assert!(help.contains("strudel layout"));
+        assert!(help.contains("strudel serve"));
+        assert!(help.contains("strudel client"));
 
         let err = run(&args(&["frobnicate"])).unwrap_err();
         assert!(err.to_string().contains("frobnicate"));

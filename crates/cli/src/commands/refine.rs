@@ -1,7 +1,5 @@
 //! `strudel refine` — discover a sort refinement of a dataset.
 
-use std::time::Duration;
-
 use strudel_core::prelude::{
     annotate_refinement, exists_sort_refinement, format_sigma, highest_theta, lowest_k,
     render_refinement, HighestThetaOptions, RenderOptions, SweepDirection,
@@ -14,7 +12,7 @@ use strudel_rules::prelude::Ratio;
 use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
 use crate::io::{load_graph, save_ntriples, views_of};
-use crate::spec::{build_engine, parse_sigma_spec};
+use crate::spec::{build_engine, parse_sigma_spec, parse_time_limit};
 
 /// Argument specification of `refine`.
 pub const SPEC: ArgSpec = ArgSpec {
@@ -36,7 +34,8 @@ pub const SPEC: ArgSpec = ArgSpec {
 };
 
 /// Usage text of `refine`.
-pub const USAGE: &str = "strudel refine <FILE> [--sort IRI] [--rule SPEC] (--k N | --theta X | both)
+pub const USAGE: &str =
+    "strudel refine <FILE> [--sort IRI] [--rule SPEC] (--k N | --theta X | both)
                [--engine hybrid|ilp|greedy] [--time-limit SECS] [--step X] [--max-k N]
                [--render] [--annotate OUT.nt --base IRI]
   --k only:      finds the highest threshold θ reachable with at most k implicit sorts.
@@ -56,9 +55,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some(text) => parse_sigma_spec(text)?,
         None => SigmaSpec::Coverage,
     };
-    let time_limit = parsed
-        .option_parsed::<f64>("time-limit")?
-        .map(Duration::from_secs_f64);
+    let time_limit = parse_time_limit(&parsed)?;
     let engine = build_engine(parsed.option("engine"), time_limit)?;
 
     let k = parsed.option_parsed::<usize>("k")?;
@@ -110,7 +107,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             out.push_str(&format!(
                 "highest θ with ≤ {k} sorts: {}{}\n",
                 format_sigma(result.theta),
-                if result.hit_budget { " (budget-limited)" } else { "" }
+                if result.hit_budget {
+                    " (budget-limited)"
+                } else {
+                    ""
+                }
             ));
             result.refinement
         }
@@ -127,7 +128,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             match result.k {
                 Some(k) => out.push_str(&format!(
                     "lowest k with θ = {theta}: {k}{}\n",
-                    if result.hit_budget { " (budget-limited)" } else { "" }
+                    if result.hit_budget {
+                        " (budget-limited)"
+                    } else {
+                        ""
+                    }
                 )),
                 None => out.push_str(&format!(
                     "no refinement meets θ = {theta} within the allowed number of sorts\n"
@@ -156,7 +161,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 
     if let Some(annotate_path) = parsed.option("annotate") {
-        let base = parsed.option("base").unwrap_or("http://strudel.example/refined");
+        let base = parsed
+            .option("base")
+            .unwrap_or("http://strudel.example/refined");
         let mut annotated = graph.clone();
         let summary = annotate_refinement(&mut annotated, &matrix, &view, &refinement, base)?;
         save_ntriples(annotate_path, &annotated)?;
@@ -229,14 +236,7 @@ mod tests {
         .unwrap();
         assert!(output.contains("lowest k"));
 
-        let output = run(&args(&[
-            file.to_str().unwrap(),
-            "--theta",
-            "1",
-            "--k",
-            "3",
-        ]))
-        .unwrap();
+        let output = run(&args(&[file.to_str().unwrap(), "--theta", "1", "--k", "3"])).unwrap();
         assert!(output.contains("exists") || output.contains("does not exist"));
         std::fs::remove_file(&file).ok();
     }

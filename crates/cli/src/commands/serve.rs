@@ -1,0 +1,129 @@
+//! `strudel serve` — run the refinement service.
+
+use strudel_server::prelude::ServerConfig;
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+
+/// Argument specification of `serve`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["addr", "workers", "cache"],
+    flags: &[],
+    min_positional: 0,
+    max_positional: 0,
+};
+
+/// Usage text of `serve`.
+pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache N]
+  Runs the refinement service: line-delimited JSON over TCP with a fixed-size
+  worker pool, a content-addressed result cache (LRU), and single-flight
+  deduplication of concurrent identical solves. Defaults: --addr 127.0.0.1:7464,
+  --workers 4, --cache 1024 entries. Blocks until a client sends
+  {\"op\":\"shutdown\"}; then reports the final counters.";
+
+/// Runs the command. Blocks until a `shutdown` request arrives.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args, &SPEC)?;
+    let mut config = ServerConfig::default();
+    if let Some(addr) = parsed.option("addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(workers) = parsed.option_parsed::<usize>("workers")? {
+        config.workers = workers;
+    }
+    if let Some(cache) = parsed.option_parsed::<usize>("cache")? {
+        config.cache_capacity = cache;
+    }
+
+    // Announce the bound address on stderr immediately (stdout carries the
+    // final report): with --addr …:0 the OS picks the port and callers need
+    // to learn it before the first client can connect.
+    let status = serve_announced(&config)?;
+    let mut out = String::new();
+    out.push_str("server stopped\n");
+    out.push_str(&format!(
+        "connections: {}, requests: {} refine / {} highest-theta / {} lowest-k / {} status, errors: {}\n",
+        status.connections,
+        status.refine,
+        status.highest_theta,
+        status.lowest_k,
+        status.status,
+        status.errors,
+    ));
+    out.push_str(&format!(
+        "cache: {} hits, {} misses, {} evictions, {} resident of {}\n",
+        status.cache.hits,
+        status.cache.misses,
+        status.cache.evictions,
+        status.cache.entries,
+        status.cache.capacity,
+    ));
+    out.push_str(&format!(
+        "single-flight: {} solves led, {} requests coalesced\n",
+        status.flight.leaders, status.flight.shared,
+    ));
+    Ok(out)
+}
+
+fn serve_announced(
+    config: &ServerConfig,
+) -> Result<strudel_server::prelude::StatusSnapshot, CliError> {
+    let handle = strudel_server::server::start(config).map_err(|source| CliError::Io {
+        path: config.addr.clone(),
+        source,
+    })?;
+    eprintln!(
+        "strudel-server listening on {} ({} workers, {}-entry cache)",
+        handle.addr(),
+        config.workers,
+        config.cache_capacity
+    );
+    Ok(handle.wait())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::args;
+    use strudel_server::prelude::Client;
+
+    /// Binds an OS-assigned port, releases it, and returns the address.
+    /// Racy in principle, but ephemeral ports are not reused immediately.
+    fn free_addr() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    }
+
+    #[test]
+    fn serve_blocks_until_shutdown_and_reports_counters() {
+        let addr = free_addr();
+        let serve_args = args(&["--addr", &addr, "--workers", "1", "--cache", "4"]);
+        let report_thread = std::thread::spawn(move || run(&serve_args));
+
+        // Wait for the listener to come up, then drive it over TCP.
+        let mut attempts = 0;
+        let mut client = loop {
+            match Client::connect(&addr) {
+                Ok(client) => break client,
+                Err(err) => {
+                    attempts += 1;
+                    assert!(attempts < 500, "server never came up: {err}");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        };
+        client.status().unwrap();
+        client.shutdown().unwrap();
+
+        let report = report_thread.join().unwrap().unwrap();
+        assert!(report.contains("server stopped"), "report: {report}");
+        assert!(report.contains("cache:"), "report: {report}");
+        assert!(report.contains("single-flight:"), "report: {report}");
+    }
+
+    #[test]
+    fn bad_arguments_are_usage_errors() {
+        assert!(run(&args(&["unexpected-positional"])).is_err());
+        assert!(run(&args(&["--workers", "not-a-number"])).is_err());
+    }
+}

@@ -5,8 +5,7 @@ use std::time::Duration;
 use strudel_core::engine::{
     GreedyEngine, HybridEngine, IlpEngine, IlpEngineConfig, RefinementEngine,
 };
-use strudel_core::sigma::SigmaSpec;
-use strudel_rules::parser::parse_rule;
+use strudel_core::sigma::{parse_spec, SigmaSpec, SpecParseError};
 
 use crate::error::CliError;
 
@@ -22,67 +21,25 @@ use crate::error::CliError;
 /// * `depdisj:<p1>,<p2>` — the disjunctive dependency variant,
 /// * anything containing `->` — a rule of the language, parsed verbatim.
 pub fn parse_sigma_spec(text: &str) -> Result<SigmaSpec, CliError> {
-    let trimmed = text.trim();
-    match trimmed.to_ascii_lowercase().as_str() {
-        "cov" | "coverage" => return Ok(SigmaSpec::Coverage),
-        "sim" | "similarity" => return Ok(SigmaSpec::Similarity),
-        _ => {}
-    }
-    if let Some(rest) = strip_prefix_ci(trimmed, "cov-ignoring:") {
-        let properties = split_properties(rest, "cov-ignoring", 1)?;
-        return Ok(SigmaSpec::CoverageIgnoring(properties));
-    }
-    if let Some(rest) = strip_prefix_ci(trimmed, "dep:") {
-        let properties = split_properties(rest, "dep", 2)?;
-        return Ok(SigmaSpec::Dependency {
-            p1: properties[0].clone(),
-            p2: properties[1].clone(),
-        });
-    }
-    if let Some(rest) = strip_prefix_ci(trimmed, "symdep:") {
-        let properties = split_properties(rest, "symdep", 2)?;
-        return Ok(SigmaSpec::SymDependency {
-            p1: properties[0].clone(),
-            p2: properties[1].clone(),
-        });
-    }
-    if let Some(rest) = strip_prefix_ci(trimmed, "depdisj:") {
-        let properties = split_properties(rest, "depdisj", 2)?;
-        return Ok(SigmaSpec::DependencyDisjunctive {
-            p1: properties[0].clone(),
-            p2: properties[1].clone(),
-        });
-    }
-    if trimmed.contains("->") || trimmed.contains('↦') {
-        return Ok(SigmaSpec::Custom(parse_rule(trimmed)?));
-    }
-    Err(CliError::Usage(format!(
-        "unknown rule '{trimmed}'; expected cov, sim, cov-ignoring:<props>, dep:<p1>,<p2>, \
-         symdep:<p1>,<p2>, depdisj:<p1>,<p2>, or a rule of the language (containing '->')"
-    )))
+    parse_spec(text).map_err(|err| match err {
+        SpecParseError::Rule(rule_err) => CliError::Rule(rule_err),
+        other => CliError::Usage(other.to_string()),
+    })
 }
 
-fn strip_prefix_ci<'a>(text: &'a str, prefix: &str) -> Option<&'a str> {
-    if text.len() >= prefix.len() && text[..prefix.len()].eq_ignore_ascii_case(prefix) {
-        Some(&text[prefix.len()..])
-    } else {
-        None
+/// Parses a `--time-limit` argument (seconds, fractional allowed) into a
+/// duration, rejecting negative, NaN, and infinite values with a usage
+/// error instead of letting `Duration::from_secs_f64` panic.
+pub fn parse_time_limit(parsed: &crate::args::ParsedArgs) -> Result<Option<Duration>, CliError> {
+    match parsed.option_parsed::<f64>("time-limit")? {
+        None => Ok(None),
+        Some(seconds) if seconds.is_finite() && seconds >= 0.0 => {
+            Ok(Some(Duration::from_secs_f64(seconds)))
+        }
+        Some(seconds) => Err(CliError::Usage(format!(
+            "invalid value '{seconds}' for --time-limit: must be a non-negative number of seconds"
+        ))),
     }
-}
-
-fn split_properties(rest: &str, form: &str, expected: usize) -> Result<Vec<String>, CliError> {
-    let properties: Vec<String> = rest
-        .split(',')
-        .map(str::trim)
-        .filter(|p| !p.is_empty())
-        .map(str::to_owned)
-        .collect();
-    if properties.len() < expected {
-        return Err(CliError::Usage(format!(
-            "'{form}:' needs at least {expected} comma-separated property IRI(s)"
-        )));
-    }
-    Ok(properties)
 }
 
 /// Builds a refinement engine from a `--engine` name and an optional

@@ -36,8 +36,15 @@ fn generate_analyze_refine_survey_layout_round_trip() {
     assert!(report.contains("wrote"));
 
     // 2. Analyze: benchmark-shaped data is highly structured.
-    let report = run(&["analyze", data.to_str().unwrap(), "--rule", "cov", "--rule", "sim"])
-        .expect("analyze succeeds");
+    let report = run(&[
+        "analyze",
+        data.to_str().unwrap(),
+        "--rule",
+        "cov",
+        "--rule",
+        "sim",
+    ])
+    .expect("analyze succeeds");
     assert!(report.contains("σ_Cov"));
     assert!(report.contains("σ_Sim"));
 

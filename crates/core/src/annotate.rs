@@ -33,7 +33,9 @@ pub struct AnnotationSummary {
 /// `<base>/sort0`, `<base>/sort1`, … in [`SortRefinement::sorts`] order.
 pub fn refinement_sort_iris(base_iri: &str, refinement: &SortRefinement) -> Vec<String> {
     let base = base_iri.trim_end_matches('/');
-    (0..refinement.k()).map(|idx| format!("{base}/sort{idx}")).collect()
+    (0..refinement.k())
+        .map(|idx| format!("{base}/sort{idx}"))
+        .collect()
 }
 
 /// Maps every subject of the matrix to the position (in `refinement.sorts`)
@@ -167,14 +169,9 @@ mod tests {
         let matrix = PropertyStructureView::from_sort(graph, "http://ex/Person", true).unwrap();
         let view = SignatureView::from_matrix(&matrix);
         // Signature 0 = {name} (6 subjects), signature 1 = {name, deathDate}.
-        let refinement = SortRefinement::from_assignment(
-            &view,
-            &SigmaSpec::Coverage,
-            Ratio::ONE,
-            &[0, 1],
-            2,
-        )
-        .unwrap();
+        let refinement =
+            SortRefinement::from_assignment(&view, &SigmaSpec::Coverage, Ratio::ONE, &[0, 1], 2)
+                .unwrap();
         (matrix, view, refinement)
     }
 
@@ -259,7 +256,8 @@ mod tests {
             "http://ex/nickname",
             Literal::simple("Zed"),
         );
-        let other_matrix = PropertyStructureView::from_sort(&other, "http://ex/Person", true).unwrap();
+        let other_matrix =
+            PropertyStructureView::from_sort(&other, "http://ex/Person", true).unwrap();
         let err = split_by_refinement(&other, &other_matrix, &view, &refinement).unwrap_err();
         assert!(matches!(err, AnnotateError::SignatureNotInView { .. }));
 

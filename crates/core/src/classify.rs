@@ -116,7 +116,11 @@ mod tests {
 
     fn labelled_view() -> (SignatureView, Vec<bool>) {
         let view = SignatureView::from_counts(
-            vec!["http://ex/company".into(), "http://ex/ruler".into(), "http://ex/shared".into()],
+            vec![
+                "http://ex/company".into(),
+                "http://ex/ruler".into(),
+                "http://ex/shared".into(),
+            ],
             vec![
                 (vec![0, 2], 20), // companies
                 (vec![1, 2], 25), // sultans

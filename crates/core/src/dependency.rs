@@ -47,9 +47,12 @@ pub fn sym_dependency_ranking(view: &SignatureView) -> Vec<SymDepEntry> {
             });
         }
     }
-    entries.sort_by(|x, y| y.value.cmp(&x.value).then_with(|| {
-        (x.property_a.clone(), x.property_b.clone()).cmp(&(y.property_a.clone(), y.property_b.clone()))
-    }));
+    entries.sort_by(|x, y| {
+        y.value.cmp(&x.value).then_with(|| {
+            (x.property_a.clone(), x.property_b.clone())
+                .cmp(&(y.property_a.clone(), y.property_b.clone()))
+        })
+    });
     entries
 }
 
@@ -65,11 +68,7 @@ mod tests {
                 "http://ex/deathPlace".into(),
                 "http://ex/unused".into(),
             ],
-            vec![
-                (vec![0, 1], 70),
-                (vec![0], 25),
-                (vec![0, 1, 2], 5),
-            ],
+            vec![(vec![0, 1], 70), (vec![0], 25), (vec![0, 1, 2], 5)],
         )
         .unwrap()
     }
@@ -102,12 +101,14 @@ mod tests {
         assert!(ranking[0].property_a.contains("name") || ranking[0].property_b.contains("name"));
         assert!(ranking
             .iter()
-            .all(|entry| !entry.property_a.contains("unused") && !entry.property_b.contains("unused")));
+            .all(|entry| !entry.property_a.contains("unused")
+                && !entry.property_b.contains("unused")));
     }
 
     #[test]
     fn ranking_of_single_property_dataset_is_empty() {
-        let view = SignatureView::from_counts(vec!["http://ex/p".into()], vec![(vec![0], 5)]).unwrap();
+        let view =
+            SignatureView::from_counts(vec!["http://ex/p".into()], vec![(vec![0], 5)]).unwrap();
         assert!(sym_dependency_ranking(&view).is_empty());
     }
 }

@@ -120,6 +120,11 @@ pub fn encode(
 
 /// Encodes using a precomputed rough-count table (the table only depends on
 /// the rule and the dataset, so callers running a θ-sweep reuse it).
+// The encoder loops over index ranges (`for i in 0..k`, `for p in 0..`)
+// because the generated constraints mirror the paper's subscripted variables
+// (X_{i,µ}, U_{i,p}, T_{i,τ}); iterator/enumerate rewrites obscure that
+// correspondence for no behavioural gain.
+#[allow(clippy::needless_range_loop)]
 pub fn encode_with_table(
     view: &SignatureView,
     table: RoughCountTable,
@@ -295,7 +300,14 @@ mod tests {
         let view = view();
         let rule = SigmaSpec::Coverage.rule();
         let k = 2;
-        let encoding = encode(&view, &rule, k, Ratio::new(3, 4), &EncodingConfig::default()).unwrap();
+        let encoding = encode(
+            &view,
+            &rule,
+            k,
+            Ratio::new(3, 4),
+            &EncodingConfig::default(),
+        )
+        .unwrap();
         // X: k·|Λ| = 8, U: k·|P| = 6, T: k·|τ| where |τ| = |Λ|·|P| (Cov has one
         // variable ranging over every cell with count > 0 → all 12 pairs).
         assert_eq!(encoding.x.iter().map(Vec::len).sum::<usize>(), 8);
@@ -312,7 +324,14 @@ mod tests {
         let rule = SigmaSpec::Coverage.rule();
         // The dataset's own coverage is well above 1/2, so k = 1 at θ = 1/2
         // must be feasible.
-        let encoding = encode(&view, &rule, 1, Ratio::new(1, 2), &EncodingConfig::default()).unwrap();
+        let encoding = encode(
+            &view,
+            &rule,
+            1,
+            Ratio::new(1, 2),
+            &EncodingConfig::default(),
+        )
+        .unwrap();
         let result = Solver::new().solve(&encoding.model).unwrap();
         assert_eq!(result.status, SolveStatus::Optimal);
         let assignment = encoding.extract_assignment(&result.solution.unwrap());
@@ -351,16 +370,34 @@ mod tests {
         let view = view();
         let rule = SigmaSpec::Coverage.rule();
         assert!(matches!(
-            encode(&view, &rule, 0, Ratio::new(1, 2), &EncodingConfig::default()),
+            encode(
+                &view,
+                &rule,
+                0,
+                Ratio::new(1, 2),
+                &EncodingConfig::default()
+            ),
             Err(RefineError::ZeroSorts)
         ));
         assert!(matches!(
-            encode(&view, &rule, 2, Ratio::new(3, 2), &EncodingConfig::default()),
+            encode(
+                &view,
+                &rule,
+                2,
+                Ratio::new(3, 2),
+                &EncodingConfig::default()
+            ),
             Err(RefineError::ThresholdOutOfRange(_))
         ));
         let empty = SignatureView::from_counts(vec!["http://ex/p".into()], vec![]).unwrap();
         assert!(matches!(
-            encode(&empty, &rule, 2, Ratio::new(1, 2), &EncodingConfig::default()),
+            encode(
+                &empty,
+                &rule,
+                2,
+                Ratio::new(1, 2),
+                &EncodingConfig::default()
+            ),
             Err(RefineError::EmptyDataset)
         ));
     }

@@ -78,9 +78,7 @@ impl ExhaustiveEngine {
         for sort in 0..next_options {
             assignment.push(sort);
             let newly_used = used.max(sort + 1);
-            if let Some(found) =
-                self.search(view, spec, k, theta, assignment, newly_used)?
-            {
+            if let Some(found) = self.search(view, spec, k, theta, assignment, newly_used)? {
                 return Ok(Some(found));
             }
             assignment.pop();
@@ -164,11 +162,9 @@ mod tests {
         // 40 distinct singleton-property signatures: 3^39 assignments is far
         // beyond the configured limit.
         let many: Vec<(Vec<usize>, usize)> = (0..40).map(|i| (vec![i], i + 1)).collect();
-        let view = SignatureView::from_counts(
-            (0..40).map(|i| format!("http://ex/p{i}")).collect(),
-            many,
-        )
-        .unwrap();
+        let view =
+            SignatureView::from_counts((0..40).map(|i| format!("http://ex/p{i}")).collect(), many)
+                .unwrap();
         let engine = ExhaustiveEngine::new();
         let err = engine
             .refine(&view, &SigmaSpec::Coverage, 3, Ratio::new(1, 2))

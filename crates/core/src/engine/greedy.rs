@@ -82,7 +82,12 @@ impl<'a> Partition<'a> {
 
     /// The minimum σ over non-empty sorts (1 when everything is empty).
     fn quality(&self) -> Ratio {
-        self.sigmas.iter().flatten().copied().min().unwrap_or(Ratio::ONE)
+        self.sigmas
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+            .unwrap_or(Ratio::ONE)
     }
 
     /// σ the sort would have with one extra signature.
@@ -237,9 +242,7 @@ impl RefinementEngine for GreedyEngine {
                         let mut merged = partition.members[a].clone();
                         merged.extend_from_slice(&partition.members[b]);
                         let sigma = partition.sigma_of(&merged)?;
-                        if sigma >= theta
-                            && best_merge.map(|(q, _, _)| sigma > q).unwrap_or(true)
-                        {
+                        if sigma >= theta && best_merge.map(|(q, _, _)| sigma > q).unwrap_or(true) {
                             best_merge = Some((sigma, a, b));
                         }
                     }

@@ -86,9 +86,18 @@ mod tests {
         let hybrid = HybridEngine::new();
         let oracle = ExhaustiveEngine::new();
         for k in 1..=3 {
-            for theta in [Ratio::new(1, 2), Ratio::new(4, 5), Ratio::new(19, 20), Ratio::ONE] {
-                let ours = hybrid.refine(&view, &SigmaSpec::Coverage, k, theta).unwrap();
-                let truth = oracle.refine(&view, &SigmaSpec::Coverage, k, theta).unwrap();
+            for theta in [
+                Ratio::new(1, 2),
+                Ratio::new(4, 5),
+                Ratio::new(19, 20),
+                Ratio::ONE,
+            ] {
+                let ours = hybrid
+                    .refine(&view, &SigmaSpec::Coverage, k, theta)
+                    .unwrap();
+                let truth = oracle
+                    .refine(&view, &SigmaSpec::Coverage, k, theta)
+                    .unwrap();
                 match (&ours, &truth) {
                     (RefineOutcome::Refinement(r), RefineOutcome::Refinement(_)) => {
                         assert!(r.min_sigma() >= theta);

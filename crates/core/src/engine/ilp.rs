@@ -88,7 +88,9 @@ impl IlpEngine {
             first_solution_only: true,
             ..SolverConfig::default()
         });
-        let result = solver.solve(&model).map_err(|e| RefineError::Ilp(e.to_string()))?;
+        let result = solver
+            .solve(&model)
+            .map_err(|e| RefineError::Ilp(e.to_string()))?;
         match result.status {
             SolveStatus::Optimal | SolveStatus::Feasible => {
                 let solution = result.solution.expect("status guarantees a solution");
@@ -158,7 +160,9 @@ mod tests {
         let outcome = engine
             .refine(&view, &SigmaSpec::Coverage, 2, theta)
             .unwrap();
-        let refinement = outcome.refinement().expect("θ = 0.65 with k = 2 is feasible");
+        let refinement = outcome
+            .refinement()
+            .expect("θ = 0.65 with k = 2 is feasible");
         refinement.validate(&view).unwrap();
         assert!(refinement.min_sigma() >= theta);
         assert!(refinement.k() <= 2);
@@ -185,7 +189,12 @@ mod tests {
         let view = view();
         let engine = IlpEngine::new();
         let outcome = engine
-            .refine(&view, &SigmaSpec::Coverage, view.signature_count(), Ratio::ONE)
+            .refine(
+                &view,
+                &SigmaSpec::Coverage,
+                view.signature_count(),
+                Ratio::ONE,
+            )
             .unwrap();
         let refinement = outcome.refinement().expect("singleton sorts have σCov = 1");
         assert_eq!(refinement.k(), view.signature_count());

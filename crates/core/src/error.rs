@@ -11,6 +11,9 @@ pub enum RefineError {
     ZeroSorts,
     /// The threshold is outside `[0, 1]`.
     ThresholdOutOfRange(String),
+    /// The highest-θ search was given a step that is not strictly positive
+    /// (the sweep would never advance).
+    NonPositiveStep(String),
     /// The dataset has no signatures at all.
     EmptyDataset,
     /// Evaluating the structuredness rule failed.
@@ -41,6 +44,9 @@ impl fmt::Display for RefineError {
             RefineError::ZeroSorts => write!(f, "a sort refinement needs at least one implicit sort (k ≥ 1)"),
             RefineError::ThresholdOutOfRange(theta) => {
                 write!(f, "threshold {theta} is outside the unit interval [0, 1]")
+            }
+            RefineError::NonPositiveStep(step) => {
+                write!(f, "the threshold step must be strictly positive, got {step}")
             }
             RefineError::EmptyDataset => write!(f, "the dataset has no signatures"),
             RefineError::Eval(err) => write!(f, "structuredness evaluation failed: {err}"),
@@ -99,7 +105,11 @@ impl fmt::Display for ValidationError {
                 write!(f, "signature #{sig} does not exist in the dataset")
             }
             ValidationError::EmptySort(sort) => write!(f, "implicit sort #{sort} is empty"),
-            ValidationError::BelowThreshold { sort, sigma, threshold } => write!(
+            ValidationError::BelowThreshold {
+                sort,
+                sigma,
+                threshold,
+            } => write!(
                 f,
                 "implicit sort #{sort} has structuredness {sigma}, below the threshold {threshold}"
             ),

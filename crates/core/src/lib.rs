@@ -63,6 +63,7 @@ pub mod report;
 pub mod search;
 pub mod sigma;
 pub mod survey;
+pub mod wire;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -77,11 +78,10 @@ pub mod prelude {
         RefinementEngine,
     };
     pub use crate::error::{AnnotateError, RefineError, ValidationError};
-    pub use crate::survey::{render_survey, survey_sorts, SortReport, SurveyOptions};
     pub use crate::problem::exists_sort_refinement;
     pub use crate::reduction::{
-        coloring_achieves_threshold_one, coloring_partition, reduction_instance, rule_r0,
-        sigma_r0, ReductionInstance,
+        coloring_achieves_threshold_one, coloring_partition, reduction_instance, rule_r0, sigma_r0,
+        ReductionInstance,
     };
     pub use crate::refinement::{ImplicitSort, SortRefinement};
     pub use crate::report::{format_sigma, render_refinement, render_view, RenderOptions};
@@ -89,6 +89,8 @@ pub mod prelude {
         highest_theta, lowest_k, HighestThetaOptions, HighestThetaResult, LowestKResult,
         SearchStep, SweepDirection,
     };
-    pub use crate::sigma::SigmaSpec;
+    pub use crate::sigma::{parse_spec, SigmaSpec, SpecParseError};
+    pub use crate::survey::{render_survey, survey_sorts, SortReport, SurveyOptions};
+    pub use crate::wire::{WireHighestTheta, WireLowestK, WireOutcome, WireRefinement, WireSort};
     pub use strudel_rules::prelude::Ratio;
 }

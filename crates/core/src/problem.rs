@@ -50,11 +50,22 @@ mod tests {
     #[test]
     fn decisions_match_between_exact_engines() {
         let view = view();
-        let thetas = [Ratio::new(1, 2), Ratio::new(3, 4), Ratio::new(9, 10), Ratio::ONE];
+        let thetas = [
+            Ratio::new(1, 2),
+            Ratio::new(3, 4),
+            Ratio::new(9, 10),
+            Ratio::ONE,
+        ];
         for &theta in &thetas {
             for k in 1..=3 {
-                let ilp = exists_sort_refinement(&view, &SigmaSpec::Coverage, theta, k, &IlpEngine::new())
-                    .unwrap();
+                let ilp = exists_sort_refinement(
+                    &view,
+                    &SigmaSpec::Coverage,
+                    theta,
+                    k,
+                    &IlpEngine::new(),
+                )
+                .unwrap();
                 let exhaustive = exists_sort_refinement(
                     &view,
                     &SigmaSpec::Coverage,
@@ -86,9 +97,17 @@ mod tests {
                     &ExhaustiveEngine::new(),
                 )
                 .unwrap();
-                assert_eq!(exact, Some(true), "greedy found a refinement the oracle denies");
+                assert_eq!(
+                    exact,
+                    Some(true),
+                    "greedy found a refinement the oracle denies"
+                );
             }
-            assert_ne!(greedy, Some(false), "the greedy engine cannot prove infeasibility");
+            assert_ne!(
+                greedy,
+                Some(false),
+                "the greedy engine cannot prove infeasibility"
+            );
         }
     }
 

@@ -196,7 +196,11 @@ pub fn rule_r0() -> Rule {
 /// consists of auxiliary block `c` plus the lower rows of the nodes colored
 /// `c` (exactly the construction of the Appendix A proof).
 pub fn coloring_partition(instance: &ReductionInstance, coloring: &[usize]) -> Vec<Vec<usize>> {
-    assert_eq!(coloring.len(), instance.nodes, "one color per node required");
+    assert_eq!(
+        coloring.len(),
+        instance.nodes,
+        "one color per node required"
+    );
     let mut parts: Vec<Vec<usize>> = (0..3)
         .map(|block| instance.auxiliary[block].clone())
         .collect();
@@ -221,10 +225,7 @@ pub fn sigma_r0(instance: &ReductionInstance, part: &[usize]) -> Ratio {
 /// Checks whether the partition induced by `coloring` is a σ_{r₀}-sort
 /// refinement with threshold 1 (true exactly when the coloring is proper,
 /// by the correctness of the reduction).
-pub fn coloring_achieves_threshold_one(
-    instance: &ReductionInstance,
-    coloring: &[usize],
-) -> bool {
+pub fn coloring_achieves_threshold_one(instance: &ReductionInstance, coloring: &[usize]) -> bool {
     coloring_partition(instance, coloring)
         .iter()
         .all(|part| sigma_r0(instance, part) == Ratio::ONE)

@@ -66,7 +66,7 @@ impl SortRefinement {
                 sigma,
             });
         }
-        sorts.sort_by(|a, b| b.subjects.cmp(&a.subjects));
+        sorts.sort_by_key(|sort| std::cmp::Reverse(sort.subjects));
         Ok(SortRefinement {
             sorts,
             spec: spec.clone(),

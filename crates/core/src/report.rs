@@ -111,7 +111,10 @@ pub fn render_refinement(
             sort.sigma.to_f64(),
         ));
         let sub = view.subset(&sort.signatures);
-        for line in render_view(&sub, options).lines().skip(1 + view.property_count()) {
+        for line in render_view(&sub, options)
+            .lines()
+            .skip(1 + view.property_count())
+        {
             out.push_str("  ");
             out.push_str(line);
             out.push('\n');

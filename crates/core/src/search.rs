@@ -96,6 +96,9 @@ pub fn highest_theta(
     options: &HighestThetaOptions,
 ) -> Result<HighestThetaResult, RefineError> {
     crate::encode::validate_inputs(view, Ratio::ZERO, k)?;
+    if options.step <= Ratio::ZERO {
+        return Err(RefineError::NonPositiveStep(options.step.to_string()));
+    }
     let start = match options.start {
         Some(theta) => theta,
         // Start from σ(D), rounded *down* to the step grid. σ(D) itself is
@@ -106,7 +109,11 @@ pub fn highest_theta(
         // encoded coefficients).
         None => round_down_to_grid(spec.evaluate(view)?, options.step),
     };
-    let mut theta = if start > Ratio::ONE { Ratio::ONE } else { start };
+    let mut theta = if start > Ratio::ONE {
+        Ratio::ONE
+    } else {
+        start
+    };
     let mut best: Option<(Ratio, SortRefinement)> = None;
     let mut steps = Vec::new();
     let mut hit_budget = false;
@@ -193,8 +200,8 @@ pub fn lowest_k(
     let mut best: Option<(usize, SortRefinement)> = None;
 
     let probe = |k: usize,
-                     steps: &mut Vec<SearchStep>,
-                     hit_budget: &mut bool|
+                 steps: &mut Vec<SearchStep>,
+                 hit_budget: &mut bool|
      -> Result<Option<SortRefinement>, RefineError> {
         let begin = Instant::now();
         let outcome = engine.refine(view, spec, k, theta)?;
@@ -234,20 +241,15 @@ pub fn lowest_k(
         }
         SweepDirection::Downward => {
             let mut k = limit;
-            loop {
-                match probe(k, &mut steps, &mut hit_budget)? {
-                    Some(refinement) => {
-                        // A refinement may use fewer than k non-empty sorts;
-                        // jump directly below what it actually used.
-                        let used = refinement.k().max(1);
-                        best = Some((used, refinement));
-                        if used == 1 {
-                            break;
-                        }
-                        k = used - 1;
-                    }
-                    None => break,
+            while let Some(refinement) = probe(k, &mut steps, &mut hit_budget)? {
+                // A refinement may use fewer than k non-empty sorts; jump
+                // directly below what it actually used.
+                let used = refinement.k().max(1);
+                best = Some((used, refinement));
+                if used == 1 {
+                    break;
                 }
+                k = used - 1;
             }
         }
     }
@@ -300,7 +302,10 @@ mod tests {
             round_down_to_grid(Ratio::new(1, 3), Ratio::new(1, 20)),
             Ratio::new(6, 20)
         );
-        assert_eq!(round_down_to_grid(Ratio::ONE, Ratio::new(1, 100)), Ratio::ONE);
+        assert_eq!(
+            round_down_to_grid(Ratio::ONE, Ratio::new(1, 100)),
+            Ratio::ONE
+        );
         assert_eq!(
             round_down_to_grid(Ratio::new(1, 200), Ratio::new(1, 100)),
             Ratio::ZERO
@@ -337,7 +342,8 @@ mod tests {
             step: Ratio::new(1, 20),
             start: None,
         };
-        let ilp = highest_theta(&view, &SigmaSpec::Coverage, 2, &IlpEngine::new(), &coarse).unwrap();
+        let ilp =
+            highest_theta(&view, &SigmaSpec::Coverage, 2, &IlpEngine::new(), &coarse).unwrap();
         let exhaustive = highest_theta(
             &view,
             &SigmaSpec::Coverage,

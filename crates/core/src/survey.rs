@@ -93,7 +93,11 @@ pub fn survey_sorts(graph: &Graph, options: &SurveyOptions) -> Result<Vec<SortRe
             view,
         });
     }
-    reports.sort_by(|a, b| b.subjects.cmp(&a.subjects).then_with(|| a.sort.cmp(&b.sort)));
+    reports.sort_by(|a, b| {
+        b.subjects
+            .cmp(&a.subjects)
+            .then_with(|| a.sort.cmp(&b.sort))
+    });
     Ok(reports)
 }
 

@@ -1,0 +1,305 @@
+//! Flat wire representations of refinement answers.
+//!
+//! The in-memory types ([`RefineOutcome`], [`SortRefinement`],
+//! [`HighestThetaResult`], [`LowestKResult`]) carry live values — a
+//! [`SigmaSpec`] with a parsed rule AST, exact [`Ratio`]s, per-probe
+//! [`Duration`](std::time::Duration)s — that a network protocol or an
+//! on-disk cache cannot ship as-is. This module defines their *wire forms*:
+//! plain data structs whose every field is a string, integer, or vector
+//! thereof, with lossless conversions in both directions. `strudel-server`
+//! maps these to line-delimited JSON; any future persistent cache can reuse
+//! them unchanged.
+//!
+//! Ratios travel as their canonical text (`"3/4"`, parsed back with
+//! [`Ratio::parse`]); the structuredness function travels as its canonical
+//! spec string ([`SigmaSpec::spec_string`] / [`sigma::parse_spec`]).
+
+use strudel_rules::prelude::Ratio;
+
+use crate::engine::RefineOutcome;
+use crate::refinement::{ImplicitSort, SortRefinement};
+use crate::search::{HighestThetaResult, LowestKResult};
+use crate::sigma::{self, SigmaSpec, SpecParseError};
+
+/// One implicit sort, flattened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSort {
+    /// Indexes of the dataset's signature entries assigned to this sort.
+    pub signatures: Vec<usize>,
+    /// Number of subjects in the sort.
+    pub subjects: usize,
+    /// The sort's structuredness, as canonical ratio text.
+    pub sigma: String,
+}
+
+/// A sort refinement, flattened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireRefinement {
+    /// The structuredness function, as its canonical spec string.
+    pub spec: String,
+    /// The threshold the refinement meets, as canonical ratio text.
+    pub threshold: String,
+    /// The implicit sorts, largest first (the order the in-memory type keeps).
+    pub sorts: Vec<WireSort>,
+}
+
+/// A refinement engine's answer, flattened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// A refinement meeting the threshold was found.
+    Refinement(WireRefinement),
+    /// No refinement with at most `k` sorts meets the threshold.
+    Infeasible,
+    /// The engine could not decide within its budget.
+    Unknown,
+}
+
+/// A highest-θ search result, flattened (probes are summarised by count
+/// rather than shipped individually).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireHighestTheta {
+    /// The highest feasible threshold found, as canonical ratio text.
+    pub theta: String,
+    /// Whether the search stopped on an undecided probe.
+    pub hit_budget: bool,
+    /// Number of decision-procedure probes performed.
+    pub probes: usize,
+    /// The refinement at the best threshold, if any.
+    pub refinement: Option<WireRefinement>,
+}
+
+/// A lowest-k search result, flattened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireLowestK {
+    /// The smallest feasible number of sorts, if one was found.
+    pub k: Option<usize>,
+    /// Whether an undecided probe cut the sweep short.
+    pub hit_budget: bool,
+    /// Number of decision-procedure probes performed.
+    pub probes: usize,
+    /// The refinement at the smallest feasible k, if any.
+    pub refinement: Option<WireRefinement>,
+}
+
+/// Why a wire value could not be converted back to its live form.
+#[derive(Debug)]
+pub enum WireError {
+    /// A ratio field held unparseable text.
+    BadRatio {
+        /// Which field.
+        field: &'static str,
+        /// The parse failure.
+        message: String,
+    },
+    /// The spec string did not parse.
+    BadSpec(SpecParseError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadRatio { field, message } => {
+                write!(f, "invalid ratio in field '{field}': {message}")
+            }
+            WireError::BadSpec(err) => write!(f, "invalid spec string: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::BadSpec(err) => Some(err),
+            WireError::BadRatio { .. } => None,
+        }
+    }
+}
+
+fn parse_ratio(text: &str, field: &'static str) -> Result<Ratio, WireError> {
+    Ratio::parse(text).map_err(|message| WireError::BadRatio { field, message })
+}
+
+impl WireSort {
+    /// Flattens an implicit sort.
+    pub fn from_sort(sort: &ImplicitSort) -> Self {
+        WireSort {
+            signatures: sort.signatures.clone(),
+            subjects: sort.subjects,
+            sigma: sort.sigma.to_string(),
+        }
+    }
+
+    /// Rebuilds the live sort.
+    pub fn to_sort(&self) -> Result<ImplicitSort, WireError> {
+        Ok(ImplicitSort {
+            signatures: self.signatures.clone(),
+            subjects: self.subjects,
+            sigma: parse_ratio(&self.sigma, "sigma")?,
+        })
+    }
+}
+
+impl WireRefinement {
+    /// Flattens a refinement.
+    pub fn from_refinement(refinement: &SortRefinement) -> Self {
+        WireRefinement {
+            spec: refinement.spec.spec_string(),
+            threshold: refinement.threshold.to_string(),
+            sorts: refinement.sorts.iter().map(WireSort::from_sort).collect(),
+        }
+    }
+
+    /// Rebuilds the live refinement, reparsing the spec string and ratios.
+    pub fn to_refinement(&self) -> Result<SortRefinement, WireError> {
+        let spec: SigmaSpec = sigma::parse_spec(&self.spec).map_err(WireError::BadSpec)?;
+        let sorts = self
+            .sorts
+            .iter()
+            .map(WireSort::to_sort)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SortRefinement {
+            sorts,
+            spec,
+            threshold: parse_ratio(&self.threshold, "threshold")?,
+        })
+    }
+}
+
+impl WireOutcome {
+    /// Flattens an engine answer.
+    pub fn from_outcome(outcome: &RefineOutcome) -> Self {
+        match outcome {
+            RefineOutcome::Refinement(refinement) => {
+                WireOutcome::Refinement(WireRefinement::from_refinement(refinement))
+            }
+            RefineOutcome::Infeasible => WireOutcome::Infeasible,
+            RefineOutcome::Unknown => WireOutcome::Unknown,
+        }
+    }
+
+    /// Rebuilds the live answer.
+    pub fn to_outcome(&self) -> Result<RefineOutcome, WireError> {
+        Ok(match self {
+            WireOutcome::Refinement(refinement) => {
+                RefineOutcome::Refinement(refinement.to_refinement()?)
+            }
+            WireOutcome::Infeasible => RefineOutcome::Infeasible,
+            WireOutcome::Unknown => RefineOutcome::Unknown,
+        })
+    }
+}
+
+impl WireHighestTheta {
+    /// Flattens a highest-θ search result.
+    pub fn from_result(result: &HighestThetaResult) -> Self {
+        WireHighestTheta {
+            theta: result.theta.to_string(),
+            hit_budget: result.hit_budget,
+            probes: result.steps.len(),
+            refinement: result
+                .refinement
+                .as_ref()
+                .map(WireRefinement::from_refinement),
+        }
+    }
+}
+
+impl WireLowestK {
+    /// Flattens a lowest-k search result.
+    pub fn from_result(result: &LowestKResult) -> Self {
+        WireLowestK {
+            k: result.k,
+            hit_budget: result.hit_budget,
+            probes: result.steps.len(),
+            refinement: result
+                .refinement
+                .as_ref()
+                .map(WireRefinement::from_refinement),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_rdf::signature::SignatureView;
+
+    fn sample_refinement() -> (SignatureView, SortRefinement) {
+        let view = SignatureView::from_counts(
+            vec![
+                "http://ex/name".into(),
+                "http://ex/birthDate".into(),
+                "http://ex/deathDate".into(),
+            ],
+            vec![
+                (vec![0], 10),
+                (vec![0, 1], 6),
+                (vec![0, 1, 2], 4),
+                (vec![0, 2], 2),
+            ],
+        )
+        .unwrap();
+        let refinement = SortRefinement::from_assignment(
+            &view,
+            &SigmaSpec::Coverage,
+            Ratio::new(1, 2),
+            &[0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        (view, refinement)
+    }
+
+    #[test]
+    fn refinement_round_trips_losslessly() {
+        let (view, refinement) = sample_refinement();
+        let wire = WireRefinement::from_refinement(&refinement);
+        let back = wire.to_refinement().unwrap();
+        assert_eq!(back.spec, refinement.spec);
+        assert_eq!(back.threshold, refinement.threshold);
+        assert_eq!(back.sorts.len(), refinement.sorts.len());
+        for (a, b) in back.sorts.iter().zip(&refinement.sorts) {
+            assert_eq!(a.signatures, b.signatures);
+            assert_eq!(a.subjects, b.subjects);
+            assert_eq!(a.sigma, b.sigma);
+        }
+        // The rebuilt refinement still validates against the original view.
+        back.validate(&view).unwrap();
+        // And flattening again is idempotent.
+        assert_eq!(WireRefinement::from_refinement(&back), wire);
+    }
+
+    #[test]
+    fn outcomes_round_trip() {
+        let (_, refinement) = sample_refinement();
+        for outcome in [
+            RefineOutcome::Refinement(refinement),
+            RefineOutcome::Infeasible,
+            RefineOutcome::Unknown,
+        ] {
+            let wire = WireOutcome::from_outcome(&outcome);
+            let back = wire.to_outcome().unwrap();
+            assert_eq!(WireOutcome::from_outcome(&back), wire);
+        }
+    }
+
+    #[test]
+    fn bad_wire_data_is_rejected() {
+        let bad = WireSort {
+            signatures: vec![0],
+            subjects: 1,
+            sigma: "not-a-ratio".into(),
+        };
+        assert!(matches!(
+            bad.to_sort(),
+            Err(WireError::BadRatio { field: "sigma", .. })
+        ));
+
+        let bad = WireRefinement {
+            spec: "covfefe".into(),
+            threshold: "1/2".into(),
+            sorts: Vec::new(),
+        };
+        assert!(matches!(bad.to_refinement(), Err(WireError::BadSpec(_))));
+    }
+}

@@ -14,8 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use strudel_rdf::rng::StdRng;
 use strudel_rdf::signature::SignatureView;
 
 /// Which benchmark's schema shape to imitate.
@@ -66,12 +65,24 @@ impl BenchmarkProfile {
             BenchmarkProfile::Lubm => vec![
                 blueprint(
                     "GraduateStudent",
-                    &["name", "emailAddress", "telephone", "memberOf", "undergraduateDegreeFrom"],
+                    &[
+                        "name",
+                        "emailAddress",
+                        "telephone",
+                        "memberOf",
+                        "undergraduateDegreeFrom",
+                    ],
                     &[("advisor", 0.95), ("takesCourse", 0.98)],
                 ),
                 blueprint(
                     "FullProfessor",
-                    &["name", "emailAddress", "telephone", "worksFor", "researchInterest"],
+                    &[
+                        "name",
+                        "emailAddress",
+                        "telephone",
+                        "worksFor",
+                        "researchInterest",
+                    ],
                     &[("doctoralDegreeFrom", 0.97), ("headOf", 0.9)],
                 ),
                 blueprint(
@@ -95,12 +106,25 @@ impl BenchmarkProfile {
             BenchmarkProfile::Bsbm => vec![
                 blueprint(
                     "Product",
-                    &["label", "comment", "producer", "productFeature", "propertyNumeric1"],
+                    &[
+                        "label",
+                        "comment",
+                        "producer",
+                        "productFeature",
+                        "propertyNumeric1",
+                    ],
                     &[("propertyTextual4", 0.94), ("propertyNumeric4", 0.94)],
                 ),
                 blueprint(
                     "Offer",
-                    &["product", "vendor", "price", "validFrom", "validTo", "deliveryDays"],
+                    &[
+                        "product",
+                        "vendor",
+                        "price",
+                        "validFrom",
+                        "validTo",
+                        "deliveryDays",
+                    ],
                     &[],
                 ),
                 blueprint(

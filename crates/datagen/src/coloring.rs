@@ -9,8 +9,7 @@
 //! matrix construction itself lives in `strudel-core::reduction` next to the
 //! rule `r₀`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use strudel_rdf::rng::StdRng;
 
 /// A simple undirected graph without self-loops.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,7 +26,10 @@ impl UndirectedGraph {
     pub fn new(nodes: usize, edges: &[(usize, usize)]) -> Self {
         let mut normalized = Vec::with_capacity(edges.len());
         for &(u, v) in edges {
-            assert!(u != v, "self-loops are not allowed (the reduction assumes none)");
+            assert!(
+                u != v,
+                "self-loops are not allowed (the reduction assumes none)"
+            );
             assert!(u < nodes && v < nodes, "edge endpoint out of range");
             let edge = (u.min(v), u.max(v));
             if !normalized.contains(&edge) {
@@ -58,8 +60,7 @@ impl UndirectedGraph {
 
     /// Checks whether `coloring` (one color per node) is a proper coloring.
     pub fn is_proper_coloring(&self, coloring: &[usize]) -> bool {
-        coloring.len() == self.nodes
-            && self.edges.iter().all(|&(u, v)| coloring[u] != coloring[v])
+        coloring.len() == self.nodes && self.edges.iter().all(|&(u, v)| coloring[u] != coloring[v])
     }
 
     /// Exhaustively searches for a proper 3-coloring (exponential; intended
@@ -79,9 +80,8 @@ impl UndirectedGraph {
         }
         for color in 0..3 {
             coloring[node] = color;
-            let consistent = (0..node).all(|prev| {
-                !self.adjacent(prev, node) || coloring[prev] != coloring[node]
-            });
+            let consistent = (0..node)
+                .all(|prev| !self.adjacent(prev, node) || coloring[prev] != coloring[node]);
             if consistent && self.try_color(node + 1, coloring) {
                 return true;
             }

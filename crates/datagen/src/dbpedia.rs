@@ -220,11 +220,8 @@ fn build(scale: u64) -> SignatureView {
             base.push(birth_place);
         }
 
-        let with_names_props: Vec<usize> = base
-            .iter()
-            .copied()
-            .chain([given_name, sur_name])
-            .collect();
+        let with_names_props: Vec<usize> =
+            base.iter().copied().chain([given_name, sur_name]).collect();
 
         // Four cells: (GS, desc), (GS, no desc), (no GS, desc), (no GS, no desc).
         let mut push = |props: Vec<usize>, count: u64| {

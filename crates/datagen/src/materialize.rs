@@ -7,9 +7,8 @@
 //! declarations, so that `Graph → PropertyStructureView → SignatureView`
 //! round-trips to the original view.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use strudel_rdf::graph::Graph;
+use strudel_rdf::rng::StdRng;
 use strudel_rdf::signature::SignatureView;
 use strudel_rdf::term::Literal;
 
@@ -19,12 +18,7 @@ use strudel_rdf::term::Literal;
 /// * every subject is declared of sort `sort_iri` via `rdf:type`,
 /// * every property a subject's signature contains is asserted once with a
 ///   short pseudo-random literal object (seeded, so output is reproducible).
-pub fn materialize_graph(
-    view: &SignatureView,
-    sort_iri: &str,
-    base_iri: &str,
-    seed: u64,
-) -> Graph {
+pub fn materialize_graph(view: &SignatureView, sort_iri: &str, base_iri: &str, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut graph = Graph::new();
     let mut subject_counter = 0usize;
@@ -35,7 +29,7 @@ pub fn materialize_graph(
             graph.insert_type(&subject, sort_iri);
             for col in entry.signature.iter() {
                 let property = &view.properties()[col];
-                let value: u32 = rng.gen_range(0..1_000_000);
+                let value: u32 = rng.gen_range(0u32..1_000_000);
                 graph.insert_literal_triple(
                     &subject,
                     property,
@@ -72,8 +66,7 @@ mod tests {
         assert_eq!(graph.subject_count(), 10);
         assert_eq!(graph.len(), 10 + view.ones());
 
-        let matrix =
-            PropertyStructureView::from_sort(&graph, "http://ex/Person", true).unwrap();
+        let matrix = PropertyStructureView::from_sort(&graph, "http://ex/Person", true).unwrap();
         let back = SignatureView::from_matrix(&matrix);
         assert_eq!(back.signature_count(), view.signature_count());
         assert_eq!(back.subject_count(), view.subject_count());

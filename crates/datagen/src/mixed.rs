@@ -77,9 +77,11 @@ pub fn mixed_drug_companies_and_sultans() -> MixedDataset {
 
     let mut signatures: Vec<(Vec<usize>, usize)> = Vec::new();
     let mut labels: Vec<TrueSort> = Vec::new();
-    let push = |props: Vec<usize>, count: usize, label: TrueSort,
-                    signatures: &mut Vec<(Vec<usize>, usize)>,
-                    labels: &mut Vec<TrueSort>| {
+    let push = |props: Vec<usize>,
+                count: usize,
+                label: TrueSort,
+                signatures: &mut Vec<(Vec<usize>, usize)>,
+                labels: &mut Vec<TrueSort>| {
         signatures.push((props, count));
         labels.push(label);
     };
@@ -87,23 +89,41 @@ pub fn mixed_drug_companies_and_sultans() -> MixedDataset {
     // Drug companies (27 subjects): well-documented, most domain properties
     // present plus all generic ones.
     let full_company: Vec<usize> = generic.iter().chain(company.iter()).copied().collect();
-    push(full_company.clone(), 12, TrueSort::DrugCompany, &mut signatures, &mut labels);
     push(
-        full_company.iter().copied().filter(|&p| p != company[4]).collect(),
+        full_company.clone(),
+        12,
+        TrueSort::DrugCompany,
+        &mut signatures,
+        &mut labels,
+    );
+    push(
+        full_company
+            .iter()
+            .copied()
+            .filter(|&p| p != company[4])
+            .collect(),
         8,
         TrueSort::DrugCompany,
         &mut signatures,
         &mut labels,
     );
     push(
-        full_company.iter().copied().filter(|&p| p != company[1] && p != company[2]).collect(),
+        full_company
+            .iter()
+            .copied()
+            .filter(|&p| p != company[1] && p != company[2])
+            .collect(),
         5,
         TrueSort::DrugCompany,
         &mut signatures,
         &mut labels,
     );
     push(
-        generic.iter().copied().chain([company[0], company[3]]).collect(),
+        generic
+            .iter()
+            .copied()
+            .chain([company[0], company[3]])
+            .collect(),
         2,
         TrueSort::DrugCompany,
         &mut signatures,
@@ -114,23 +134,43 @@ pub fn mixed_drug_companies_and_sultans() -> MixedDataset {
     // only carry generic properties plus perhaps a date — the ones the plain
     // Cov rule groups with the companies.
     let full_sultan: Vec<usize> = generic.iter().chain(sultan.iter()).copied().collect();
-    push(full_sultan.clone(), 10, TrueSort::Sultan, &mut signatures, &mut labels);
     push(
-        full_sultan.iter().copied().filter(|&p| p != sultan[4]).collect(),
+        full_sultan.clone(),
+        10,
+        TrueSort::Sultan,
+        &mut signatures,
+        &mut labels,
+    );
+    push(
+        full_sultan
+            .iter()
+            .copied()
+            .filter(|&p| p != sultan[4])
+            .collect(),
         8,
         TrueSort::Sultan,
         &mut signatures,
         &mut labels,
     );
     push(
-        full_sultan.iter().copied().filter(|&p| p != sultan[2] && p != sultan[3]).collect(),
+        full_sultan
+            .iter()
+            .copied()
+            .filter(|&p| p != sultan[2] && p != sultan[3])
+            .collect(),
         5,
         TrueSort::Sultan,
         &mut signatures,
         &mut labels,
     );
     // Sparse sultans: generic properties only, or generic + birth date.
-    push(generic.clone(), 9, TrueSort::Sultan, &mut signatures, &mut labels);
+    push(
+        generic.clone(),
+        9,
+        TrueSort::Sultan,
+        &mut signatures,
+        &mut labels,
+    );
     push(
         generic.iter().copied().chain([sultan[0]]).collect(),
         8,

@@ -10,9 +10,8 @@
 //! property set fixed.
 
 use std::collections::BTreeMap;
+use strudel_rdf::rng::StdRng;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use strudel_rdf::signature::SignatureView;
 
 /// How to perturb a signature view.

@@ -26,8 +26,7 @@ pub mod properties {
     pub const CONTAINS_WORD_SENSE: &str =
         "http://www.w3.org/2006/03/wn/wn20/schema/containsWordSense";
     /// `wn:memberMeronymOf`
-    pub const MEMBER_MERONYM_OF: &str =
-        "http://www.w3.org/2006/03/wn/wn20/schema/memberMeronymOf";
+    pub const MEMBER_MERONYM_OF: &str = "http://www.w3.org/2006/03/wn/wn20/schema/memberMeronymOf";
     /// `wn:partMeronymOf`
     pub const PART_MERONYM_OF: &str = "http://www.w3.org/2006/03/wn/wn20/schema/partMeronymOf";
     /// `wn:substanceMeronymOf`
@@ -186,7 +185,9 @@ fn build(scale: u64) -> SignatureView {
     // reached. The subjects are carved out of existing signature sets so the
     // total stays exact; duplicate patterns are skipped so the signature
     // count is exact as well.
-    let defect_sizes = [40u64, 30, 25, 20, 18, 15, 12, 10, 9, 8, 7, 6, 6, 5, 5, 4, 4, 3, 3, 2, 2];
+    let defect_sizes = [
+        40u64, 30, 25, 20, 18, 15, 12, 10, 9, 8, 7, 6, 6, 5, 5, 4, 4, 3, 3, 2, 2,
+    ];
     let mut existing: std::collections::HashSet<Vec<usize>> = signatures
         .iter()
         .map(|(props, _)| {
@@ -206,8 +207,11 @@ fn build(scale: u64) -> SignatureView {
             if count <= carve * 2 {
                 continue;
             }
-            let defect_props: Vec<usize> =
-                props.iter().copied().filter(|&p| p != missing_base).collect();
+            let defect_props: Vec<usize> = props
+                .iter()
+                .copied()
+                .filter(|&p| p != missing_base)
+                .collect();
             let mut key = defect_props.clone();
             key.sort_unstable();
             if !existing.insert(key) {

@@ -7,8 +7,7 @@
 //! property popularities that decay geometrically — the shape observed in
 //! real explicit sorts.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use strudel_rdf::rng::StdRng;
 use strudel_rdf::signature::SignatureView;
 
 /// Configuration of a synthetic sort.
@@ -58,9 +57,7 @@ pub fn synthetic_sort(config: &SyntheticSortConfig, seed: u64) -> SignatureView 
     // Property inclusion probabilities with geometric decay and a floor that
     // keeps even the rarest property reachable.
     let inclusion: Vec<f64> = (0..config.properties)
-        .map(|i| {
-            (config.base_density * config.property_decay.powi(i as i32)).clamp(0.01, 1.0)
-        })
+        .map(|i| (config.base_density * config.property_decay.powi(i as i32)).clamp(0.01, 1.0))
         .collect();
 
     // Draw distinct signatures. The first signature is the "full head"
@@ -136,7 +133,11 @@ mod tests {
         assert_eq!(view.subject_count(), 5_000);
         assert_eq!(view.property_count(), 20);
         assert!(view.signature_count() <= 60);
-        assert!(view.signature_count() >= 40, "got {}", view.signature_count());
+        assert!(
+            view.signature_count() >= 40,
+            "got {}",
+            view.signature_count()
+        );
     }
 
     #[test]

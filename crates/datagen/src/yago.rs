@@ -7,8 +7,7 @@
 //! properties. This module draws a reproducible sample from those ranges with
 //! the same strong skew towards small sorts.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use strudel_rdf::rng::StdRng;
 use strudel_rdf::signature::SignatureView;
 
 use crate::workload::{synthetic_sort, SyntheticSortConfig};
@@ -66,7 +65,8 @@ pub fn yago_sample(config: &YagoSampleConfig, seed: u64) -> Vec<YagoSort> {
         // Signature counts: quadratically skewed towards the low end, capped
         // both by the configured maximum and by the subject count.
         let skew: f64 = rng.gen_range(0.0f64..1.0);
-        let signatures = (1.0 + skew * skew * (config.max_signatures as f64 - 1.0)).round() as usize;
+        let signatures =
+            (1.0 + skew * skew * (config.max_signatures as f64 - 1.0)).round() as usize;
         let signatures = signatures.min(subjects).max(1);
 
         // Property counts: triangular-ish, most sorts in the 10–25 range.

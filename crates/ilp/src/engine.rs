@@ -337,15 +337,13 @@ impl Engine {
             if coeff > 0 {
                 let bound = floor_div(slack, coeff_i);
                 if bound < i128::from(self.upper[var]) {
-                    let bound = i64::try_from(bound.max(i128::from(i64::MIN)))
-                        .unwrap_or(i64::MIN);
+                    let bound = i64::try_from(bound.max(i128::from(i64::MIN))).unwrap_or(i64::MIN);
                     self.set_upper(var, bound)?;
                 }
             } else {
                 let bound = ceil_div(slack, coeff_i);
                 if bound > i128::from(self.lower[var]) {
-                    let bound = i64::try_from(bound.min(i128::from(i64::MAX)))
-                        .unwrap_or(i64::MAX);
+                    let bound = i64::try_from(bound.min(i128::from(i64::MAX))).unwrap_or(i64::MAX);
                     self.set_lower(var, bound)?;
                 }
             }
@@ -365,12 +363,7 @@ mod tests {
         let y = model.add_binary("y");
         let z = model.add_integer("z", 0, 10);
         model.add_constraint("sum", LinExpr::new().plus(1, x).plus(1, y), Cmp::Eq, 1);
-        model.add_constraint(
-            "link",
-            LinExpr::new().plus(5, x).plus(-1, z),
-            Cmp::Le,
-            0,
-        );
+        model.add_constraint("link", LinExpr::new().plus(5, x).plus(-1, z), Cmp::Le, 0);
         model.add_constraint("cap", LinExpr::var(z), Cmp::Le, 7);
         (model, vec![x, y, z])
     }
@@ -453,7 +446,12 @@ mod tests {
         let mut model_b = Model::new();
         let b_var = model_b.add_binary("b");
         let extra = model_b.add_binary("extra");
-        model_b.add_constraint("c", LinExpr::new().plus(1, b_var).plus(1, extra), Cmp::Le, 1);
+        model_b.add_constraint(
+            "c",
+            LinExpr::new().plus(1, b_var).plus(1, extra),
+            Cmp::Le,
+            1,
+        );
         // Constraint from model_b mentions a variable index out of range for model_a.
         let constraint = model_b.constraints()[0].clone();
         let mut broken = Model::new();

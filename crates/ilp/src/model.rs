@@ -323,7 +323,10 @@ mod tests {
 
         assert!(model.check_assignment(&[1, 2]).is_ok());
         assert_eq!(model.check_assignment(&[1, 3]).unwrap_err(), "cap");
-        assert!(model.check_assignment(&[0, 9]).unwrap_err().contains("bounds"));
+        assert!(model
+            .check_assignment(&[0, 9])
+            .unwrap_err()
+            .contains("bounds"));
         assert!(model.check_assignment(&[0]).is_err());
     }
 

@@ -46,13 +46,14 @@ fn activity_range(model: &Model, constraint: &Constraint) -> (i128, i128) {
 /// The transformation is solution-preserving: only constraints that cannot be
 /// violated by any assignment within the variable bounds are dropped.
 pub fn presolve(model: &mut Model) -> PresolveReport {
-    let mut report = PresolveReport::default();
-
-    report.fixed_variables = model
-        .vars()
-        .iter()
-        .filter(|def| def.lower == def.upper)
-        .count();
+    let mut report = PresolveReport {
+        fixed_variables: model
+            .vars()
+            .iter()
+            .filter(|def| def.lower == def.upper)
+            .count(),
+        ..PresolveReport::default()
+    };
 
     let mut kept = Vec::with_capacity(model.constraints.len());
     for constraint in model.constraints.drain(..) {
@@ -149,10 +150,23 @@ mod tests {
         let x = model.add_binary("x");
         let y = model.add_binary("y");
         let z = model.add_binary("z");
-        model.add_constraint("pick_two", LinExpr::new().plus(1, x).plus(1, y).plus(1, z), Cmp::Eq, 2);
+        model.add_constraint(
+            "pick_two",
+            LinExpr::new().plus(1, x).plus(1, y).plus(1, z),
+            Cmp::Eq,
+            2,
+        );
         model.add_constraint("xy", LinExpr::new().plus(1, x).plus(1, y), Cmp::Le, 2);
-        model.add_constraint("never", LinExpr::new().plus(1, x).plus(1, y).plus(1, z), Cmp::Le, 10);
-        model.set_objective(crate::model::Sense::Maximize, LinExpr::new().plus(2, x).plus(1, y).plus(1, z));
+        model.add_constraint(
+            "never",
+            LinExpr::new().plus(1, x).plus(1, y).plus(1, z),
+            Cmp::Le,
+            10,
+        );
+        model.set_objective(
+            crate::model::Sense::Maximize,
+            LinExpr::new().plus(2, x).plus(1, y).plus(1, z),
+        );
 
         let before = Solver::new().solve(&model).unwrap();
         let report = presolve(&mut model);

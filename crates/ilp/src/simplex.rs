@@ -138,10 +138,9 @@ impl Tableau {
             // Phase 1: minimize the sum of artificial variables, i.e.
             // maximize the negated sum.
             let mut phase1 = vec![0.0; self.width() - 1];
-            for col in
-                self.num_structural + self.num_slack..self.num_structural + self.num_slack + self.num_artificial
-            {
-                phase1[col] = -1.0;
+            let artificial_start = self.num_structural + self.num_slack;
+            for cost in &mut phase1[artificial_start..artificial_start + self.num_artificial] {
+                *cost = -1.0;
             }
             match self.run_simplex(&phase1) {
                 SimplexRun::Unbounded => return LpOutcome::Infeasible,

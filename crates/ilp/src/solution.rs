@@ -43,9 +43,7 @@ impl SolveResult {
     /// # Panics
     /// Panics if no solution is available.
     pub fn value(&self, var: crate::model::VarId) -> i64 {
-        self.solution
-            .as_ref()
-            .expect("no solution available")[var.index()]
+        self.solution.as_ref().expect("no solution available")[var.index()]
     }
 }
 

@@ -199,9 +199,7 @@ impl<'a> SearchState<'a> {
         }
 
         // Prune by objective bound.
-        if let (Some(objective), Some(best)) =
-            (self.model.objective(), self.incumbent_objective)
-        {
+        if let (Some(objective), Some(best)) = (self.model.objective(), self.incumbent_objective) {
             let oriented_best = Self::oriented(objective, best);
             if self.objective_upper_bound(objective) <= oriented_best {
                 return false;
@@ -241,8 +239,8 @@ impl<'a> SearchState<'a> {
 
         for value_choice in self.branch_choices() {
             self.engine.push_level();
-            let feasible = self.apply_choice(&value_choice).is_ok()
-                && self.engine.propagate().is_ok();
+            let feasible =
+                self.apply_choice(&value_choice).is_ok() && self.engine.propagate().is_ok();
             let stop = if feasible {
                 self.search()
             } else {
@@ -311,7 +309,10 @@ impl<'a> SearchState<'a> {
                 let mid = lower + (upper - lower) / 2;
                 return vec![
                     BranchChoice::UpperAtMost { var, value: mid },
-                    BranchChoice::LowerAtLeast { var, value: mid + 1 },
+                    BranchChoice::LowerAtLeast {
+                        var,
+                        value: mid + 1,
+                    },
                 ];
             }
         }
@@ -352,7 +353,11 @@ mod tests {
         for (bin, pick) in [(0usize, 0usize), (1, 1)] {
             let mut expr = LinExpr::new();
             for (item, &size) in sizes.iter().enumerate() {
-                let var = if pick == 0 { assign[item].0 } else { assign[item].1 };
+                let var = if pick == 0 {
+                    assign[item].0
+                } else {
+                    assign[item].1
+                };
                 expr.add_term(size, var);
             }
             model.add_constraint(format!("cap_bin{bin}"), expr, Cmp::Le, 4);

@@ -2,6 +2,10 @@
 //! compared against brute-force enumeration on randomly generated small
 //! models.
 
+// Needs the external `proptest` crate: compiled only with `--features proptest`
+// (unavailable in offline builds; see the manifest note).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use strudel_ilp::prelude::*;
 

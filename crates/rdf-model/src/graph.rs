@@ -207,12 +207,16 @@ impl Graph {
         };
         for &subject in members {
             for triple in self.entity(subject) {
-                let s = result.dictionary.intern_iri(self.dictionary.iri(triple.subject));
+                let s = result
+                    .dictionary
+                    .intern_iri(self.dictionary.iri(triple.subject));
                 let p = result
                     .dictionary
                     .intern_iri(self.dictionary.iri(triple.predicate));
                 let o = match triple.object {
-                    Object::Iri(id) => Object::Iri(result.dictionary.intern_iri(self.dictionary.iri(id))),
+                    Object::Iri(id) => {
+                        Object::Iri(result.dictionary.intern_iri(self.dictionary.iri(id)))
+                    }
                     Object::Literal(id) => Object::Literal(
                         result
                             .dictionary
@@ -230,8 +234,10 @@ impl Graph {
     pub fn property_subject_counts(&self) -> BTreeMap<IriId, usize> {
         let mut counts = BTreeMap::new();
         for (&p, positions) in &self.by_predicate {
-            let distinct: BTreeSet<IriId> =
-                positions.iter().map(|&pos| self.triples[pos].subject).collect();
+            let distinct: BTreeSet<IriId> = positions
+                .iter()
+                .map(|&pos| self.triples[pos].subject)
+                .collect();
             counts.insert(p, distinct.len());
         }
         counts
@@ -245,7 +251,11 @@ mod tests {
     fn person_graph() -> Graph {
         let mut g = Graph::new();
         g.insert_type("http://ex/alice", "http://ex/Person");
-        g.insert_literal_triple("http://ex/alice", "http://ex/name", Literal::simple("Alice"));
+        g.insert_literal_triple(
+            "http://ex/alice",
+            "http://ex/name",
+            Literal::simple("Alice"),
+        );
         g.insert_literal_triple(
             "http://ex/alice",
             "http://ex/birthDate",

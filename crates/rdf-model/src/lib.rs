@@ -42,6 +42,7 @@ pub mod error;
 pub mod graph;
 pub mod matrix;
 pub mod ntriples;
+pub mod rng;
 pub mod signature;
 pub mod term;
 pub mod turtle;

@@ -71,7 +71,11 @@ impl PropertyStructureView {
     }
 
     /// Builds the view of the typed subgraph `D_t` for the given sort IRI.
-    pub fn from_sort(graph: &Graph, sort: &str, exclude_rdf_type: bool) -> Result<Self, ModelError> {
+    pub fn from_sort(
+        graph: &Graph,
+        sort: &str,
+        exclude_rdf_type: bool,
+    ) -> Result<Self, ModelError> {
         let subgraph = graph.typed_subgraph(sort);
         if subgraph.is_empty() {
             return Err(ModelError::EmptySort(sort.to_owned()));

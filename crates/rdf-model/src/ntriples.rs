@@ -158,11 +158,9 @@ impl<'a> LineParser<'a> {
     fn parse_iri_ref(&mut self) -> Result<String, ParseError> {
         match self.peek() {
             Some(b'<') => {}
-            Some(b'_') => {
-                return Err(self.error(
-                    "blank nodes are not supported: the structuredness framework assumes URI subjects",
-                ))
-            }
+            Some(b'_') => return Err(self.error(
+                "blank nodes are not supported: the structuredness framework assumes URI subjects",
+            )),
             _ => return Err(self.error("expected IRI starting with '<'")),
         }
         self.pos += 1;
@@ -312,8 +310,8 @@ impl<'a> LineParser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
             .map_err(|_| self.error("invalid unicode escape"))?;
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid hex in unicode escape"))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| self.error("invalid hex in unicode escape"))?;
         self.pos += len;
         char::from_u32(code).ok_or_else(|| self.error("invalid unicode code point"))
     }
@@ -361,10 +359,8 @@ mod tests {
             .filter(|l| !l.trim().is_empty())
             .map(|l| l.trim().to_owned())
             .collect();
-        let round: std::collections::BTreeSet<String> = serialized
-            .lines()
-            .map(|l| l.trim().to_owned())
-            .collect();
+        let round: std::collections::BTreeSet<String> =
+            serialized.lines().map(|l| l.trim().to_owned()).collect();
         assert_eq!(original, round);
     }
 

@@ -70,7 +70,11 @@ impl SignatureView {
                 examples,
             })
             .collect();
-        entries.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.signature.cmp(&b.signature)));
+        entries.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.signature.cmp(&b.signature))
+        });
         SignatureView {
             properties: view.properties().to_vec(),
             entries,
@@ -110,7 +114,11 @@ impl SignatureView {
                 examples: Vec::new(),
             })
             .collect();
-        entries.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.signature.cmp(&b.signature)));
+        entries.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.signature.cmp(&b.signature))
+        });
         Ok(SignatureView {
             properties,
             entries,
@@ -207,6 +215,49 @@ impl SignatureView {
             properties: self.properties.clone(),
             entries,
         }
+    }
+
+    /// A stable 128-bit content hash of the view (FNV-1a over the property
+    /// labels and the `(signature, count)` entries).
+    ///
+    /// Two views with the same properties in the same column order and the
+    /// same signature entries hash identically whether they were built with
+    /// `from_matrix` or `from_counts`, because both keep entries in a
+    /// canonical order (example subject labels are deliberately excluded:
+    /// they carry no refinement-relevant content). The hash is independent of the
+    /// process, platform, and release, so it can key persistent or remote
+    /// caches of solved refinement instances (the `strudel-server` result
+    /// cache keys on it).
+    ///
+    /// FNV-1a is not collision-resistant against an adversary; the 128-bit
+    /// width makes *accidental* collisions negligible (birthday bound
+    /// ≈ 2⁶⁴ distinct views), which is the right trade for a result cache
+    /// whose clients are trusted to send their own views. Do not use it to
+    /// authenticate untrusted content.
+    pub fn cache_key(&self) -> u128 {
+        const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u128::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.properties.len() as u64).to_le_bytes());
+        for property in &self.properties {
+            eat(&(property.len() as u64).to_le_bytes());
+            eat(property.as_bytes());
+        }
+        eat(&(self.entries.len() as u64).to_le_bytes());
+        for entry in &self.entries {
+            eat(&(entry.count as u64).to_le_bytes());
+            eat(&(entry.signature.len() as u64).to_le_bytes());
+            for col in entry.signature.iter() {
+                eat(&(col as u64).to_le_bytes());
+            }
+        }
+        hash
     }
 
     /// Expands the signature view back into a full property-structure view
@@ -306,6 +357,31 @@ mod tests {
         let sub = view.subset(&with_death);
         assert_eq!(sub.subject_count(), 1);
         assert_eq!(sub.property_count(), view.property_count());
+    }
+
+    #[test]
+    fn cache_key_is_content_addressed() {
+        let view = view_from_graph();
+        // Independent construction paths with identical content agree.
+        let rebuilt = SignatureView::from_matrix(&view.to_matrix());
+        assert_eq!(view.cache_key(), rebuilt.cache_key());
+        // Any content difference changes the key.
+        let other = SignatureView::from_counts(
+            view.properties().to_vec(),
+            vec![(vec![0], 2), (vec![0, 1], 2)],
+        )
+        .unwrap();
+        assert_ne!(view.cache_key(), other.cache_key());
+        // Property labels participate, not just the bit patterns.
+        let relabeled = SignatureView::from_counts(
+            view.properties().iter().map(|p| format!("{p}X")).collect(),
+            view.entries()
+                .iter()
+                .map(|e| (e.support(), e.count))
+                .collect(),
+        )
+        .unwrap();
+        assert_ne!(view.cache_key(), relabeled.cache_key());
     }
 
     #[test]

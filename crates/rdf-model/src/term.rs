@@ -214,7 +214,10 @@ mod tests {
     fn literal_interning_distinguishes_forms() {
         let mut dict = Dictionary::new();
         let plain = dict.intern_literal(Literal::simple("5"));
-        let typed = dict.intern_literal(Literal::typed("5", "http://www.w3.org/2001/XMLSchema#integer"));
+        let typed = dict.intern_literal(Literal::typed(
+            "5",
+            "http://www.w3.org/2001/XMLSchema#integer",
+        ));
         let lang = dict.intern_literal(Literal::lang("five", "en"));
         assert_ne!(plain, typed);
         assert_ne!(plain, lang);

@@ -116,7 +116,10 @@ impl<'a> TurtleParser<'a> {
             if self.pos >= self.bytes.len() {
                 return Ok(());
             }
-            if self.peek() == Some(b'@') || self.starts_with_keyword("PREFIX") || self.starts_with_keyword("BASE") {
+            if self.peek() == Some(b'@')
+                || self.starts_with_keyword("PREFIX")
+                || self.starts_with_keyword("BASE")
+            {
                 self.parse_directive()?;
             } else {
                 self.parse_triples_block(graph)?;
@@ -451,7 +454,10 @@ impl<'a> TurtleParser<'a> {
                 if start == self.pos {
                     return Err(self.error("empty language tag"));
                 }
-                Ok(Literal::lang(lexical, self.text[start..self.pos].to_owned()))
+                Ok(Literal::lang(
+                    lexical,
+                    self.text[start..self.pos].to_owned(),
+                ))
             }
             Some(b'^') => {
                 self.pos += 1;

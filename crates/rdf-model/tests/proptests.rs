@@ -1,5 +1,9 @@
 //! Property-based tests for the RDF model crate.
 
+// Needs the external `proptest` crate: compiled only with `--features proptest`
+// (unavailable in offline builds; see the manifest note).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use strudel_rdf::prelude::*;
 

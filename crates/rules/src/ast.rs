@@ -205,7 +205,9 @@ impl Rule {
         let antecedent_vars = antecedent.variables();
         let consequent_vars = consequent.variables();
         if let Some(unbound) = consequent_vars.difference(&antecedent_vars).next() {
-            return Err(RuleError::UnboundConsequentVariable(unbound.name().to_owned()));
+            return Err(RuleError::UnboundConsequentVariable(
+                unbound.name().to_owned(),
+            ));
         }
         if antecedent_vars.is_empty() {
             return Err(RuleError::NoVariables);

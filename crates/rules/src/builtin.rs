@@ -342,7 +342,11 @@ mod tests {
     fn rule_names_are_set() {
         assert_eq!(coverage().name.as_deref(), Some("Cov"));
         assert_eq!(similarity().name.as_deref(), Some("Sim"));
-        assert!(dependency("a", "b").name.as_deref().unwrap().starts_with("Dep["));
+        assert!(dependency("a", "b")
+            .name
+            .as_deref()
+            .unwrap()
+            .starts_with("Dep["));
         assert!(sym_dependency("a", "b")
             .name
             .as_deref()

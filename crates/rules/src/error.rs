@@ -88,6 +88,8 @@ mod tests {
             limit: 10,
         };
         assert!(err.to_string().contains("1000"));
-        assert!(EvalError::SubjectConstantUnsupported.to_string().contains("subj"));
+        assert!(EvalError::SubjectConstantUnsupported
+            .to_string()
+            .contains("subj"));
     }
 }

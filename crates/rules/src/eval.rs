@@ -76,6 +76,10 @@ impl RoughCountTable {
     }
 }
 
+/// The visitor invoked by the rough-assignment enumeration for every
+/// surviving complete assignment.
+type RoughCallback<'e, 'v> = dyn FnMut(&Evaluator<'v>, &[(usize, usize)]) + 'e;
+
 /// Exact signature-based evaluator of structuredness functions.
 pub struct Evaluator<'a> {
     view: &'a SignatureView,
@@ -174,7 +178,7 @@ impl<'a> Evaluator<'a> {
                         .iter()
                         .filter(|atom| {
                             let vars = atom.variables();
-                            vars.iter().any(|v| *v == *candidate)
+                            vars.contains(candidate)
                                 && vars.iter().all(|v| *v == *candidate || ordered.contains(v))
                         })
                         .count();
@@ -230,7 +234,12 @@ impl<'a> Evaluator<'a> {
     ///
     /// `tau[i]` is the (signature index, property column) assigned to
     /// `variables[i]`. The formula must not mention subject constants.
-    pub fn count_rough(&self, formula: &Formula, variables: &[Var], tau: &[(usize, usize)]) -> u128 {
+    pub fn count_rough(
+        &self,
+        formula: &Formula,
+        variables: &[Var],
+        tau: &[(usize, usize)],
+    ) -> u128 {
         debug_assert_eq!(variables.len(), tau.len());
         let n = variables.len();
         let mut blocks = vec![0usize; n];
@@ -423,10 +432,15 @@ impl<'a> Evaluator<'a> {
         let mut total = 0u128;
         let mut visited = 0u128;
         let mut tau = Vec::with_capacity(variables.len());
-        self.enumerate_rough(formula, variables, &mut tau, &mut visited, &mut |evaluator,
-                                                                               tau| {
-            total += evaluator.count_rough(formula, variables, tau);
-        })?;
+        self.enumerate_rough(
+            formula,
+            variables,
+            &mut tau,
+            &mut visited,
+            &mut |evaluator, tau| {
+                total += evaluator.count_rough(formula, variables, tau);
+            },
+        )?;
         Ok(total)
     }
 
@@ -440,7 +454,7 @@ impl<'a> Evaluator<'a> {
         variables: &[Var],
         tau: &mut Vec<(usize, usize)>,
         visited: &mut u128,
-        callback: &mut dyn FnMut(&Self, &[(usize, usize)]),
+        callback: &mut RoughCallback<'_, 'a>,
     ) -> Result<(), EvalError> {
         // Pruning only ever uses top-level conjuncts that are (possibly
         // negated) atoms; non-atomic conjuncts (e.g. a disjunctive
@@ -457,6 +471,9 @@ impl<'a> Evaluator<'a> {
         self.enumerate_rough_rec(formula, &conjuncts, variables, tau, visited, callback)
     }
 
+    // `formula` rides along untouched purely to be handed to the recursive
+    // call; threading it keeps the signature parallel to `enumerate_rough`.
+    #[allow(clippy::only_used_in_recursion)]
     fn enumerate_rough_rec(
         &self,
         formula: &Formula,
@@ -464,7 +481,7 @@ impl<'a> Evaluator<'a> {
         variables: &[Var],
         tau: &mut Vec<(usize, usize)>,
         visited: &mut u128,
-        callback: &mut dyn FnMut(&Self, &[(usize, usize)]),
+        callback: &mut RoughCallback<'_, 'a>,
     ) -> Result<(), EvalError> {
         let depth = tau.len();
         if depth == variables.len() {
@@ -482,7 +499,9 @@ impl<'a> Evaluator<'a> {
             for &col in &self.active_columns {
                 tau.push((sig, col));
                 if self.prefix_viable(conjuncts, variables, tau) {
-                    self.enumerate_rough_rec(formula, conjuncts, variables, tau, visited, callback)?;
+                    self.enumerate_rough_rec(
+                        formula, conjuncts, variables, tau, visited, callback,
+                    )?;
                 }
                 tau.pop();
             }
@@ -516,11 +535,10 @@ impl<'a> Evaluator<'a> {
                 continue;
             }
             let truth = self.rough_truth(atom, variables, tau);
-            let determined_false = match (truth, negated) {
-                (RoughTruth::False, false) => true,
-                (RoughTruth::True, true) => true,
-                _ => false,
-            };
+            let determined_false = matches!(
+                (truth, negated),
+                (RoughTruth::False, false) | (RoughTruth::True, true)
+            );
             if determined_false {
                 return false;
             }
@@ -619,8 +637,7 @@ mod tests {
     }
 
     fn sim() -> Rule {
-        parse_rule("not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1")
-            .unwrap()
+        parse_rule("not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1").unwrap()
     }
 
     #[test]
@@ -673,7 +690,10 @@ mod tests {
             .unwrap(),
         ];
         let views = vec![
-            view(vec![(vec![0, 1], 2), (vec![0], 3), (vec![2], 1)], &["p", "q", "r"]),
+            view(
+                vec![(vec![0, 1], 2), (vec![0], 3), (vec![2], 1)],
+                &["p", "q", "r"],
+            ),
             view(vec![(vec![0], 4), (vec![1], 2)], &["p", "q"]),
             view(vec![(vec![0, 1, 2], 3)], &["p", "q", "r"]),
         ];
@@ -746,9 +766,6 @@ mod tests {
         // One signature with no properties at all plus one with {p}: the
         // all-zero rows still contribute to |S(D)| for Cov.
         let v = view(vec![(vec![], 5), (vec![0], 5)], &["p"]);
-        assert_eq!(
-            Evaluator::new(&v).sigma(&cov()).unwrap(),
-            Ratio::new(5, 10)
-        );
+        assert_eq!(Evaluator::new(&v).sigma(&cov()).unwrap(), Ratio::new(5, 10));
     }
 }

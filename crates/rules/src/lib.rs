@@ -49,8 +49,7 @@ pub mod semantics;
 pub mod prelude {
     pub use crate::ast::{Atom, Formula, Rule, Var};
     pub use crate::builtin::{
-        coverage, coverage_ignoring, dependency, dependency_disjunctive, similarity,
-        sym_dependency,
+        coverage, coverage_ignoring, dependency, dependency_disjunctive, similarity, sym_dependency,
     };
     pub use crate::builtin::{
         sigma_cov, sigma_cov_ignoring, sigma_dep, sigma_dep_disjunctive, sigma_sim, sigma_sym_dep,

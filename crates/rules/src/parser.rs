@@ -363,9 +363,7 @@ impl Parser {
                     self.expect(TokenKind::RParen)?;
                     Atom::PropEqProp(var, other)
                 }
-                _ => {
-                    return Err(self.error_here("expected <iri> or prop(...) after 'prop(..) ='"))
-                }
+                _ => return Err(self.error_here("expected <iri> or prop(...) after 'prop(..) ='")),
             },
             Lhs::Subj(var) => match self.peek().cloned() {
                 Some(TokenKind::Iri(iri)) => {
@@ -379,9 +377,7 @@ impl Parser {
                     self.expect(TokenKind::RParen)?;
                     Atom::SubjEqSubj(var, other)
                 }
-                _ => {
-                    return Err(self.error_here("expected <iri> or subj(...) after 'subj(..) ='"))
-                }
+                _ => return Err(self.error_here("expected <iri> or subj(...) after 'subj(..) ='")),
             },
             Lhs::Variable(var) => {
                 let other = self.parse_var()?;
@@ -410,10 +406,9 @@ mod tests {
 
     #[test]
     fn parses_the_sim_rule() {
-        let rule = parse_rule(
-            "not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1")
+                .unwrap();
         assert_eq!(rule.variables().len(), 2);
         assert!(rule.antecedent().is_conjunctive());
     }
@@ -432,10 +427,13 @@ mod tests {
     #[test]
     fn neq_sugar_expands_to_negation() {
         let formula = parse_formula("prop(c) != <http://ex/p>").unwrap();
-        assert_eq!(formula, Formula::not(Formula::atom(Atom::PropEqConst(
-            Var::new("c"),
-            "http://ex/p".into(),
-        ))));
+        assert_eq!(
+            formula,
+            Formula::not(Formula::atom(Atom::PropEqConst(
+                Var::new("c"),
+                "http://ex/p".into(),
+            )))
+        );
     }
 
     #[test]
@@ -458,19 +456,14 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace_are_ignored() {
-        let rule = parse_rule(
-            "# the coverage rule\n  c = c  # all cells\n -> val(c) = 1\n",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("# the coverage rule\n  c = c  # all cells\n -> val(c) = 1\n").unwrap();
         assert_eq!(rule.to_string(), "c = c -> val(c) = 1");
     }
 
     #[test]
     fn error_cases_report_positions() {
-        assert!(matches!(
-            parse_rule("c = c"),
-            Err(RuleError::Parse { .. })
-        ));
+        assert!(matches!(parse_rule("c = c"), Err(RuleError::Parse { .. })));
         assert!(matches!(
             parse_rule("val(c) = 2 -> val(c) = 1"),
             Err(RuleError::Parse { .. })
@@ -495,8 +488,7 @@ mod tests {
 
     #[test]
     fn display_of_parsed_rule_reparses_to_same_ast() {
-        let text =
-            "not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1";
+        let text = "not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1";
         let rule = parse_rule(text).unwrap();
         let reparsed = parse_rule(&rule.to_string()).unwrap();
         assert_eq!(rule, reparsed);

@@ -192,7 +192,11 @@ impl Add for Ratio {
         let numer = self
             .numer
             .checked_mul(rhs.denom)
-            .and_then(|a| rhs.numer.checked_mul(self.denom).and_then(|b| a.checked_add(b)))
+            .and_then(|a| {
+                rhs.numer
+                    .checked_mul(self.denom)
+                    .and_then(|b| a.checked_add(b))
+            })
             .expect(OVERFLOW_MSG);
         let denom = self.denom.checked_mul(rhs.denom).expect(OVERFLOW_MSG);
         Ratio::new(numer, denom)
@@ -205,7 +209,11 @@ impl Sub for Ratio {
         let numer = self
             .numer
             .checked_mul(rhs.denom)
-            .and_then(|a| rhs.numer.checked_mul(self.denom).and_then(|b| a.checked_sub(b)))
+            .and_then(|a| {
+                rhs.numer
+                    .checked_mul(self.denom)
+                    .and_then(|b| a.checked_sub(b))
+            })
             .expect(OVERFLOW_MSG);
         let denom = self.denom.checked_mul(rhs.denom).expect(OVERFLOW_MSG);
         Ratio::new(numer, denom)

@@ -56,9 +56,7 @@ impl<'a> NaiveEvaluator<'a> {
         match formula {
             Formula::Atom(atom) => self.satisfies_atom(assignment, atom),
             Formula::Not(inner) => !self.satisfies(assignment, inner),
-            Formula::And(a, b) => {
-                self.satisfies(assignment, a) && self.satisfies(assignment, b)
-            }
+            Formula::And(a, b) => self.satisfies(assignment, a) && self.satisfies(assignment, b),
             Formula::Or(a, b) => self.satisfies(assignment, a) || self.satisfies(assignment, b),
         }
     }
@@ -202,8 +200,7 @@ mod tests {
     }
 
     fn sim() -> Rule {
-        parse_rule("not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1")
-            .unwrap()
+        parse_rule("not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1").unwrap()
     }
 
     #[test]
@@ -248,10 +245,7 @@ mod tests {
         assert_eq!(NaiveEvaluator::new(&matrix).sigma(&rule), Ratio::ONE);
         let rule = parse_rule("subj(c) = <http://ex/s1> -> val(c) = 1").unwrap();
         // Subject s1 has p but not q → 1/2.
-        assert_eq!(
-            NaiveEvaluator::new(&matrix).sigma(&rule),
-            Ratio::new(1, 2)
-        );
+        assert_eq!(NaiveEvaluator::new(&matrix).sigma(&rule), Ratio::new(1, 2));
     }
 
     #[test]
@@ -261,10 +255,7 @@ mod tests {
         let matrix = PropertyStructureView::from_rows(
             vec!["http://ex/p".into(), "http://ex/unused".into()],
             vec!["http://ex/s0".into(), "http://ex/s1".into()],
-            vec![
-                BitSet::from_indexes(2, &[0]),
-                BitSet::from_indexes(2, &[0]),
-            ],
+            vec![BitSet::from_indexes(2, &[0]), BitSet::from_indexes(2, &[0])],
         )
         .unwrap();
         let evaluator = NaiveEvaluator::new(&matrix);

@@ -1,17 +1,24 @@
 //! Property-based tests for the rule language and its evaluators.
 
+// Needs the external `proptest` crate: compiled only with `--features proptest`
+// (unavailable in offline builds; see the manifest note).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::*;
 
 /// A strategy for small random signature views over at most 4 properties.
 fn view_strategy() -> impl Strategy<Value = SignatureView> {
-    proptest::collection::vec((proptest::collection::vec(0usize..4, 0..4), 1usize..5), 1..5)
-        .prop_map(|signatures| {
-            let properties = (0..4).map(|i| format!("http://ex/p{i}")).collect();
-            SignatureView::from_counts(properties, signatures)
-                .expect("indexes are within range by construction")
-        })
+    proptest::collection::vec(
+        (proptest::collection::vec(0usize..4, 0..4), 1usize..5),
+        1..5,
+    )
+    .prop_map(|signatures| {
+        let properties = (0..4).map(|i| format!("http://ex/p{i}")).collect();
+        SignatureView::from_counts(properties, signatures)
+            .expect("indexes are within range by construction")
+    })
 }
 
 /// The paper's rules (and variants) parameterised over property indexes 0..4.

@@ -1,0 +1,225 @@
+//! The content-addressed result cache: exact LRU with hit/miss/eviction
+//! counters.
+//!
+//! The server keys this cache by [`CacheKey`](crate::protocol::CacheKey) —
+//! the view's content hash plus the canonical parameter string — and stores
+//! the *serialized* result text (an `Arc<String>`), so a cache hit replays
+//! the original response bytes without re-encoding, let alone re-solving,
+//! anything.
+//!
+//! The implementation is a plain recency-stamped map: `O(log n)` per
+//! operation via a `BTreeMap` recency index, exact LRU order (not an
+//! approximation), no external dependencies, and single-threaded by design —
+//! the server wraps it in a `Mutex`, which is never held across a solve.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Counter snapshot of a cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries pushed out by capacity pressure.
+    pub evictions: u64,
+    /// Entries ever inserted (including replacements).
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+/// An exact least-recently-used cache.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of 0
+    /// disables caching (every insert is immediately evicted).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            insertions: 0,
+        }
+    }
+
+    fn stamp(&mut self) -> u64 {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        stamp
+    }
+
+    /// Looks up a key, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let stamp = self.stamp();
+        match self.map.get_mut(key) {
+            Some((value, old_stamp)) => {
+                self.recency.remove(old_stamp);
+                self.recency.insert(stamp, key.clone());
+                *old_stamp = stamp;
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`Self::get`], but a miss is not counted. For double-checked
+    /// lookups (a single-flight leader re-probing right after winning
+    /// leadership): the caller's original `get` already counted the miss,
+    /// so counting the recheck too would double-book every cold solve. A
+    /// recheck *hit* is a genuine cache-served answer and still counts.
+    pub fn recheck(&mut self, key: &K) -> Option<V> {
+        if self.map.contains_key(key) {
+            self.get(key)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry when full.
+    /// Inserting an existing key replaces its value and freshens it.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.insertions += 1;
+        let stamp = self.stamp();
+        if let Some((_, old_stamp)) = self.map.remove(&key) {
+            self.recency.remove(&old_stamp);
+        } else if self.map.len() >= self.capacity {
+            // Evict the oldest stamp (smallest key of the recency index).
+            if let Some((&oldest, _)) = self.recency.iter().next() {
+                let victim = self.recency.remove(&oldest).expect("stamp just seen");
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+            if self.capacity == 0 {
+                // Nothing can be resident; count the insert as an
+                // instant eviction so the arithmetic stays honest.
+                self.evictions += 1;
+                return;
+            }
+        }
+        self.map.insert(key.clone(), (value, stamp));
+        self.recency.insert(stamp, key);
+    }
+
+    /// Whether a key is resident, without touching recency or counters.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// The current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            insertions: self.insertions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut cache: LruCache<&str, i32> = LruCache::new(4);
+        assert_eq!(cache.get(&"a"), None);
+        cache.insert("a", 1);
+        assert_eq!(cache.get(&"a"), Some(1));
+        assert_eq!(cache.get(&"a"), Some(1));
+        assert_eq!(cache.get(&"b"), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn eviction_follows_exact_lru_order() {
+        let mut cache: LruCache<&str, i32> = LruCache::new(3);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("c", 3);
+        // Touch "a" so "b" is now the least recently used.
+        assert_eq!(cache.get(&"a"), Some(1));
+        cache.insert("d", 4);
+        assert!(!cache.contains(&"b"), "b was LRU and must be evicted");
+        assert!(cache.contains(&"a"));
+        assert!(cache.contains(&"c"));
+        assert!(cache.contains(&"d"));
+        assert_eq!(cache.stats().evictions, 1);
+
+        // Next eviction takes "c" (oldest untouched), not "a".
+        cache.insert("e", 5);
+        assert!(!cache.contains(&"c"));
+        assert!(cache.contains(&"a"));
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn reinserting_replaces_and_freshens() {
+        let mut cache: LruCache<&str, i32> = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("a", 10); // replace, no eviction
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&"a"), Some(10));
+        // "b" is LRU now ("a" was freshened twice).
+        cache.insert("c", 3);
+        assert!(!cache.contains(&"b"));
+        assert!(cache.contains(&"a"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_residency() {
+        let mut cache: LruCache<&str, i32> = LruCache::new(0);
+        cache.insert("a", 1);
+        assert_eq!(cache.get(&"a"), None);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn heavy_traffic_keeps_entries_at_capacity() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(8);
+        for i in 0..1000u32 {
+            cache.insert(i, i);
+            // The most recent 8 inserts are always resident.
+            assert!(cache.contains(&i));
+            assert!(cache.stats().entries <= 8);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 8);
+        assert_eq!(stats.evictions, 1000 - 8);
+        for survivor in 992..1000 {
+            assert!(cache.contains(&survivor));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! A blocking client for the refinement service.
+//!
+//! One TCP connection, one JSON line per request, one per response. The
+//! client keeps the raw response line around so callers can check the
+//! byte-identity guarantees of the cache (see the integration tests), and
+//! offers typed accessors over the parsed value for everyone else.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::json::{self, Json};
+use crate::protocol::{SolveRequest, Source};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or dropped.
+    Io(std::io::Error),
+    /// The server's response was not valid protocol JSON.
+    BadResponse(String),
+    /// The server answered with an error response.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "connection failed: {err}"),
+            ClientError::BadResponse(what) => write!(f, "malformed response: {what}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+/// A successful response, with both the raw line and the parsed value.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The exact line the server sent (no trailing newline).
+    pub raw: String,
+    /// The parsed response object.
+    pub value: Json,
+}
+
+impl Response {
+    /// Where the result came from (`solved`, `cache`, or `coalesced`).
+    pub fn source(&self) -> Option<Source> {
+        match self.value.get("source").and_then(Json::as_str) {
+            Some("solved") => Some(Source::Solved),
+            Some("cache") => Some(Source::Cache),
+            Some("coalesced") => Some(Source::Coalesced),
+            _ => None,
+        }
+    }
+
+    /// The result object.
+    pub fn result(&self) -> Option<&Json> {
+        self.value.get("result")
+    }
+
+    /// The exact bytes of the `result` field as the server sent them.
+    ///
+    /// The success envelope is `{"ok":true,"op":…,"source":…,"result":…}`
+    /// with the result spliced in last, so everything after the first
+    /// `"result":` marker (minus the closing `}`) is the result text
+    /// verbatim. This is what the byte-identical cache-replay guarantee is
+    /// checked against.
+    pub fn result_text(&self) -> Option<&str> {
+        let start = self.raw.find("\"result\":")? + "\"result\":".len();
+        let end = self.raw.len().checked_sub(1)?; // trailing '}'
+        self.raw.get(start..end)
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server address (`host:port`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // See the server side: request/response lines are tiny, and Nagle +
+        // delayed ACK would throttle the round trip to ~25/s.
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line.
+    pub fn call_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(ClientError::BadResponse(
+                "server closed the connection".to_owned(),
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends a request value and decodes the response envelope, turning
+    /// server-side errors into [`ClientError::Server`].
+    pub fn call(&mut self, request: &Json) -> Result<Response, ClientError> {
+        let raw = self.call_raw(&request.to_text())?;
+        let value = json::parse(&raw)
+            .map_err(|err| ClientError::BadResponse(format!("{err} in '{raw}'")))?;
+        match value.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(Response { raw, value }),
+            Some(false) => Err(ClientError::Server(
+                value
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_owned(),
+            )),
+            None => Err(ClientError::BadResponse(format!(
+                "response lacks an 'ok' field: {raw}"
+            ))),
+        }
+    }
+
+    /// Runs a solve request.
+    pub fn solve(&mut self, request: &SolveRequest) -> Result<Response, ClientError> {
+        self.call(&request.to_json())
+    }
+
+    /// Fetches the server's counter snapshot.
+    pub fn status(&mut self) -> Result<Response, ClientError> {
+        self.call(&Json::obj(vec![("op", Json::str("status"))]))
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.call(&Json::obj(vec![("op", Json::str("shutdown"))]))
+    }
+}

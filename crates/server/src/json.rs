@@ -1,0 +1,487 @@
+//! A minimal JSON value, parser, and deterministic serializer.
+//!
+//! The server protocol is line-delimited JSON over TCP, and the workspace
+//! carries no external dependencies, so this module implements the subset of
+//! JSON the protocol needs:
+//!
+//! * every JSON construct parses — objects, arrays, strings (with all
+//!   standard escapes including surrogate pairs), booleans, `null` — except
+//!   that numbers must be integers fitting `i64`. Every quantity the
+//!   protocol ships is a count or an index; exact rationals such as σ values
+//!   and thresholds travel as canonical strings (`"3/4"`), never as lossy
+//!   floats.
+//! * serialization is *deterministic*: objects preserve insertion order and
+//!   every value has exactly one encoding (no whitespace, fixed escape
+//!   forms). This is what makes the result cache's byte-identical replay
+//!   guarantee checkable: equal values ⇒ equal bytes.
+
+use std::fmt;
+
+/// A JSON value with integer-only numbers and insertion-ordered objects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer number (the protocol ships no floats).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion-ordered; duplicate keys are rejected at parse
+    /// time and must not be constructed.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(text: impl Into<String>) -> Json {
+        Json::Str(text.into())
+    }
+
+    /// The value of an object member, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is a number.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to the canonical compact encoding.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (idx, item) in items.iter().enumerate() {
+                    if idx > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (idx, (key, value)) in members.iter().enumerate() {
+                    if idx > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse failure, with the byte offset of the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum container nesting the parser accepts. The protocol's own values
+/// are at most ~4 levels deep; the limit exists so a hostile line of a
+/// million `[`s cannot recurse the connection thread's stack into an abort
+/// (stack overflow does not unwind — it would take the whole process down).
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON value, requiring it to span the whole input (apart from
+/// surrounding whitespace).
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(err(*pos, format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&other) => Err(err(
+            *pos,
+            format!("unexpected character '{}'", other as char),
+        )),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, format!("expected '{keyword}'")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if matches!(bytes.get(*pos), Some(b'.' | b'e' | b'E')) {
+        return Err(err(
+            start,
+            "non-integer numbers are not part of the protocol; send exact \
+             rationals as strings like \"3/4\"",
+        ));
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    text.parse::<i64>()
+        .map(Json::Int)
+        .map_err(|_| err(start, format!("integer '{text}' out of i64 range")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let high = parse_hex4(bytes, pos)?;
+                        let ch = if (0xd800..0xdc00).contains(&high) {
+                            // A high surrogate must be followed by \uXXXX low.
+                            if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u')
+                            {
+                                return Err(err(*pos, "unpaired high surrogate"));
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err(err(*pos, "invalid low surrogate"));
+                            }
+                            let code = 0x10000 + ((high - 0xd800) << 10) + (low - 0xdc00);
+                            char::from_u32(code)
+                                .ok_or_else(|| err(*pos, "invalid surrogate pair"))?
+                        } else {
+                            char::from_u32(high)
+                                .ok_or_else(|| err(*pos, "unpaired low surrogate"))?
+                        };
+                        out.push(ch);
+                        // parse_hex4 advanced past the digits; undo the
+                        // unconditional advance below.
+                        *pos -= 1;
+                    }
+                    _ => return Err(err(*pos, "invalid escape sequence")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => return Err(err(*pos, "raw control character in string")),
+            Some(_) => {
+                // Advance over one UTF-8 encoded character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "invalid UTF-8 in string"))?;
+                let ch = rest.chars().next().expect("non-empty remainder");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    if *pos + 4 > bytes.len() {
+        return Err(err(*pos, "truncated \\u escape"));
+    }
+    let text =
+        std::str::from_utf8(&bytes[*pos..*pos + 4]).map_err(|_| err(*pos, "invalid \\u escape"))?;
+    let value = u32::from_str_radix(text, 16).map_err(|_| err(*pos, "invalid \\u escape"))?;
+    *pos += 4;
+    Ok(value)
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut members: Vec<(String, Json)> = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected string key in object"));
+        }
+        let key_offset = *pos;
+        let key = parse_string(bytes, pos)?;
+        if members.iter().any(|(k, _)| *k == key) {
+            return Err(err(key_offset, format!("duplicate object key '{key}'")));
+        }
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':' after object key"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos, depth + 1)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let value = Json::obj(vec![
+            ("op", Json::str("refine")),
+            ("k", Json::Int(2)),
+            ("neg", Json::Int(-7)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            (
+                "arr",
+                Json::Arr(vec![Json::Int(1), Json::str("two"), Json::Bool(false)]),
+            ),
+        ]);
+        let text = value.to_text();
+        assert_eq!(parse(&text).unwrap(), value);
+        // Deterministic: serializing the reparse gives identical bytes.
+        assert_eq!(parse(&text).unwrap().to_text(), text);
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "newline\nand\ttab",
+            "controls \u{01}\u{1f}",
+            "unicode: müsli π 🦀",
+            "",
+        ] {
+            let text = Json::str(s).to_text();
+            assert_eq!(parse(&text).unwrap(), Json::str(s), "through {text}");
+        }
+    }
+
+    #[test]
+    fn standard_escape_forms_parse() {
+        assert_eq!(parse(r#""Aé🦀\/""#).unwrap(), Json::str("Aé🦀/"));
+        assert!(parse(r#""\ud83e""#).is_err(), "unpaired surrogate");
+        assert!(parse(r#""\q""#).is_err(), "unknown escape");
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_on_input() {
+        let parsed = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(parsed.get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn floats_and_malformed_input_are_rejected() {
+        assert!(parse("1.5").unwrap_err().message.contains("rationals"));
+        assert!(parse("1e3").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1,\"a\":2}")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        assert!(parse("null garbage").is_err());
+        assert!(parse("99999999999999999999").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn nesting_bombs_are_rejected_not_recursed() {
+        // 100k open brackets must produce an error, not a stack overflow
+        // (which would abort the whole process, not unwind).
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Sane nesting well beyond protocol needs still parses.
+        let deep = format!("{}1{}", "[".repeat(30), "]".repeat(30));
+        assert!(parse(&deep).is_ok());
+    }
+
+    #[test]
+    fn accessors_are_type_safe() {
+        let value = parse("{\"n\":3,\"s\":\"x\"}").unwrap();
+        assert_eq!(value.get("n").unwrap().as_int(), Some(3));
+        assert_eq!(value.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(value.get("n").unwrap().as_str(), None);
+        assert_eq!(value.get("missing"), None);
+        assert_eq!(Json::Int(1).get("x"), None);
+    }
+}

@@ -1,0 +1,86 @@
+//! # strudel-server
+//!
+//! The always-on refinement service of the **strudel** toolkit: a
+//! long-running daemon wrapping the `strudel-core` refinement engines behind
+//! a line-delimited JSON protocol over TCP, with the three ingredients that
+//! turn a one-shot analysis kernel into serving infrastructure:
+//!
+//! * a **fixed-size worker pool** ([`pool`]) bounding how many CPU-heavy
+//!   ILP/greedy solves run concurrently, regardless of client count,
+//! * a **content-addressed result cache** ([`cache`]) keyed by the hash of
+//!   `(signature view, σ spec, k, θ, engine, …)` with exact-LRU eviction and
+//!   hit/miss/eviction counters — a repeated instance is answered from
+//!   memory with the *same bytes* as the original response,
+//! * **single-flight memoization** ([`flight`]) so `n` concurrent identical
+//!   requests cost one solve: the first becomes the leader, the rest share
+//!   its result.
+//!
+//! The protocol ([`protocol`]) speaks five operations — `refine`,
+//! `highest-theta`, `lowest-k`, `status`, `shutdown` — carrying signature
+//! views and exact rationals as canonical strings over a deliberately tiny
+//! integer-only JSON ([`json`]). [`server`] is the daemon, [`client`] the
+//! blocking client the CLI (`strudel serve` / `strudel client`) wraps.
+//!
+//! ## In-process quick start
+//!
+//! ```
+//! use strudel_server::prelude::*;
+//! use strudel_core::sigma::SigmaSpec;
+//! use strudel_rdf::signature::SignatureView;
+//! use strudel_rules::prelude::Ratio;
+//!
+//! let handle = server::start(&ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // OS-assigned port
+//!     workers: 2,
+//!     cache_capacity: 64,
+//! })
+//! .unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let request = SolveRequest {
+//!     op: SolveOp::Refine,
+//!     view: SignatureView::from_counts(
+//!         vec!["http://ex/name".into(), "http://ex/email".into()],
+//!         vec![(vec![0], 9), (vec![0, 1], 1)],
+//!     )
+//!     .unwrap(),
+//!     spec: SigmaSpec::Coverage,
+//!     engine: EngineKind::Hybrid,
+//!     k: Some(2),
+//!     theta: Some(Ratio::new(1, 1)),
+//!     step: None,
+//!     max_k: None,
+//!     time_limit: None,
+//! };
+//! let cold = client.solve(&request).unwrap();
+//! assert_eq!(cold.source(), Some(Source::Solved));
+//! let warm = client.solve(&request).unwrap();
+//! assert_eq!(warm.source(), Some(Source::Cache));
+//! assert_eq!(warm.result_text(), cold.result_text()); // byte-identical
+//!
+//! client.shutdown().unwrap();
+//! handle.wait();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod flight;
+pub mod json;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::cache::{CacheStats, LruCache};
+    pub use crate::client::{Client, ClientError, Response};
+    pub use crate::flight::{FlightStats, SingleFlight};
+    pub use crate::json::Json;
+    pub use crate::pool::WorkerPool;
+    pub use crate::protocol::{CacheKey, EngineKind, Request, SolveOp, SolveRequest, Source};
+    pub use crate::server::start as start_server;
+    pub use crate::server::{self, serve, ServerConfig, ServerHandle, StatusSnapshot};
+}

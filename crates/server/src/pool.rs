@@ -1,0 +1,160 @@
+//! A fixed-size worker thread pool.
+//!
+//! Connection threads are cheap and unbounded (they mostly block on socket
+//! reads); solving is CPU-bound and must not be. Every solve is dispatched
+//! through this pool, so at most `workers` ILP/greedy searches run
+//! concurrently no matter how many clients are connected — the pool is the
+//! server's admission control.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing submitted closures.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|idx| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("strudel-worker-{idx}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver.lock().expect("worker queue lock");
+                            guard.recv()
+                        };
+                        match job {
+                            // A panicking job must not take the worker
+                            // thread with it: swallow the unwind (the job's
+                            // result channel is dropped, which the submitter
+                            // observes as a failure) and keep serving.
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
+                            Err(_) => break, // all senders dropped: shut down
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+            workers,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queues a fire-and-forget job.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is alive until dropped")
+            .send(Box::new(job))
+            .expect("workers outlive the pool handle");
+    }
+
+    /// Runs a job on a worker and blocks until its result is back.
+    ///
+    /// Returns `None` if the job panicked: the worker swallows the unwind
+    /// and keeps serving, and the dropped result channel signals the
+    /// failure here.
+    pub fn run<R: Send + 'static>(&self, job: impl FnOnce() -> R + Send + 'static) -> Option<R> {
+        let (tx, rx): (Sender<R>, Receiver<R>) = channel();
+        self.submit(move || {
+            // If `job` panics, `tx` is dropped without a send and the
+            // receiver below returns Err.
+            let result = job();
+            let _ = tx.send(result);
+        });
+        rx.recv().ok()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker's recv() fail and exit.
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            // A worker that panicked is already gone; joining its handle
+            // yields Err, which is fine during teardown.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_return_results() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        assert_eq!(pool.run(|| 2 + 2), Some(4));
+        assert_eq!(pool.run(|| "hello".to_owned()), Some("hello".to_owned()));
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run(|| 1), Some(1));
+    }
+
+    #[test]
+    fn concurrency_is_bounded_by_the_pool_size() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let in_flight = Arc::clone(&in_flight);
+            let peak = Arc::clone(&peak);
+            let pool = Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                pool.run(move || {
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(20));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                })
+            }));
+        }
+        for join in joins {
+            join.join().unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "at most 2 jobs may run concurrently, saw {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn a_panicking_job_reports_none_and_spares_the_worker() {
+        // Even with a single worker, a panicking job is contained: the
+        // submitter sees None and the worker thread keeps serving.
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.run(|| -> i32 { panic!("job explodes") }), None);
+        assert_eq!(pool.run(|| 7), Some(7));
+    }
+}

@@ -1,0 +1,790 @@
+//! The line-delimited JSON protocol of the refinement service.
+//!
+//! Every request and every response is one JSON object on one line. Five
+//! operations exist:
+//!
+//! * `refine` — decide one `(view, σ, k, θ)` instance and return the witness
+//!   refinement if one exists,
+//! * `highest-theta` — the highest threshold reachable with at most `k`
+//!   implicit sorts (Section 7's first search strategy),
+//! * `lowest-k` — the smallest `k` meeting a threshold (the second),
+//! * `status` — server counters: per-op request totals, cache
+//!   hit/miss/eviction counts, single-flight shares, worker count,
+//! * `shutdown` — stop accepting connections and exit.
+//!
+//! A solve request looks like:
+//!
+//! ```json
+//! {"op":"refine","view":{"properties":["http://ex/name","http://ex/email"],
+//!  "signatures":[[[0],9],[[0,1],1]]},"rule":"cov","engine":"hybrid",
+//!  "k":2,"theta":"1/2"}
+//! ```
+//!
+//! and every response is `{"ok":true,"op":…,"source":…,"result":…}` or
+//! `{"ok":false,"error":…}`. `source` is `"solved"` (computed by a worker),
+//! `"cache"` (replayed from the result cache), or `"coalesced"` (shared a
+//! concurrent identical solve via single-flight). The `result` bytes of a
+//! cache or coalesced response are byte-identical to the cold response's,
+//! because the server caches the serialized text, not the value.
+//!
+//! Numbers are integers only; exact rationals (σ values, thresholds) travel
+//! as canonical strings like `"3/4"`. Requests normalise before keying the
+//! cache — `"0.5"` and `"1/2"`, or a rule spelled `COV`, all map to the same
+//! entry.
+
+use std::fmt;
+use std::time::Duration;
+
+use strudel_core::engine::{
+    GreedyEngine, HybridEngine, IlpEngine, IlpEngineConfig, RefinementEngine,
+};
+use strudel_core::sigma::{parse_spec, SigmaSpec};
+use strudel_core::wire::{WireHighestTheta, WireLowestK, WireOutcome, WireRefinement, WireSort};
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::prelude::Ratio;
+
+use crate::json::{self, Json};
+
+/// The three operations that run a solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveOp {
+    /// Decide one `(view, σ, k, θ)` instance.
+    Refine,
+    /// Highest θ with at most `k` sorts.
+    HighestTheta,
+    /// Lowest `k` meeting θ.
+    LowestK,
+}
+
+impl SolveOp {
+    /// The wire name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveOp::Refine => "refine",
+            SolveOp::HighestTheta => "highest-theta",
+            SolveOp::LowestK => "lowest-k",
+        }
+    }
+}
+
+/// Which engine family solves the instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Greedy first, ILP to confirm infeasibility (the default).
+    Hybrid,
+    /// The paper's ILP encoding and branch & bound, exact.
+    Ilp,
+    /// The greedy baseline only; cannot prove infeasibility.
+    Greedy,
+}
+
+impl EngineKind {
+    /// The wire name of the engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Hybrid => "hybrid",
+            EngineKind::Ilp => "ilp",
+            EngineKind::Greedy => "greedy",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(text: &str) -> Result<Self, ProtocolError> {
+        match text.to_ascii_lowercase().as_str() {
+            "hybrid" => Ok(EngineKind::Hybrid),
+            "ilp" => Ok(EngineKind::Ilp),
+            "greedy" => Ok(EngineKind::Greedy),
+            other => Err(ProtocolError::new(format!(
+                "unknown engine '{other}'; expected hybrid, ilp, or greedy"
+            ))),
+        }
+    }
+
+    /// Builds a fresh engine instance. Engines are cheap stateless structs;
+    /// the server constructs one per job inside the worker thread.
+    pub fn build(self, time_limit: Option<Duration>) -> Box<dyn RefinementEngine> {
+        let ilp_config = IlpEngineConfig {
+            time_limit,
+            ..IlpEngineConfig::default()
+        };
+        match self {
+            EngineKind::Hybrid => Box::new(HybridEngine::with_engines(
+                GreedyEngine::new(),
+                IlpEngine::with_config(ilp_config),
+            )),
+            EngineKind::Ilp => Box::new(IlpEngine::with_config(ilp_config)),
+            EngineKind::Greedy => Box::new(GreedyEngine::new()),
+        }
+    }
+}
+
+/// A fully decoded, validated solve request.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// Which search to run.
+    pub op: SolveOp,
+    /// The signature view of the dataset.
+    pub view: SignatureView,
+    /// The structuredness function.
+    pub spec: SigmaSpec,
+    /// The engine family.
+    pub engine: EngineKind,
+    /// `k` — required for `refine` and `highest-theta`.
+    pub k: Option<usize>,
+    /// θ — required for `refine` and `lowest-k`.
+    pub theta: Option<Ratio>,
+    /// Threshold increment for `highest-theta` (defaults to 1/100).
+    pub step: Option<Ratio>,
+    /// Sweep bound for `lowest-k` (defaults to the signature count).
+    pub max_k: Option<usize>,
+    /// Per-instance engine time limit.
+    pub time_limit: Option<Duration>,
+}
+
+/// The key of a solve request in the result cache: the content hash of the
+/// view plus the canonical text of every solver-relevant parameter. The
+/// params string is kept verbatim, so two requests collide only when their
+/// parameters are genuinely equal *and* their views share the 128-bit
+/// content hash — exact except for an accidental hash collision, which the
+/// 128-bit width makes negligible (see [`SignatureView::cache_key`] for the
+/// trust caveat).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`SignatureView::cache_key`] of the request's view.
+    pub view: u128,
+    /// Canonical `op|engine|rule|k|theta|step|max_k|time_limit` text.
+    pub params: String,
+}
+
+impl SolveRequest {
+    /// The request's cache key, built from canonical forms so spelling
+    /// variants (`"0.5"` vs `"1/2"`, `COV` vs `cov`) share one entry.
+    pub fn cache_key(&self) -> CacheKey {
+        let fmt_ratio = |r: &Option<Ratio>| r.map(|r| r.to_string()).unwrap_or_default();
+        let fmt_usize = |n: &Option<usize>| n.map(|n| n.to_string()).unwrap_or_default();
+        CacheKey {
+            view: self.view.cache_key(),
+            params: format!(
+                "{}|{}|{}|{}|{}|{}|{}|{}",
+                self.op.name(),
+                self.engine.name(),
+                self.spec.spec_string(),
+                fmt_usize(&self.k),
+                fmt_ratio(&self.theta),
+                fmt_ratio(&self.step),
+                fmt_usize(&self.max_k),
+                self.time_limit
+                    .map(|d| d.as_millis().to_string())
+                    .unwrap_or_default(),
+            ),
+        }
+    }
+
+    /// Encodes the request as its wire object.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("op".to_owned(), Json::str(self.op.name())),
+            ("view".to_owned(), view_to_json(&self.view)),
+            ("rule".to_owned(), Json::str(self.spec.spec_string())),
+            ("engine".to_owned(), Json::str(self.engine.name())),
+        ];
+        if let Some(k) = self.k {
+            members.push(("k".to_owned(), Json::Int(k as i64)));
+        }
+        if let Some(theta) = self.theta {
+            members.push(("theta".to_owned(), Json::str(theta.to_string())));
+        }
+        if let Some(step) = self.step {
+            members.push(("step".to_owned(), Json::str(step.to_string())));
+        }
+        if let Some(max_k) = self.max_k {
+            members.push(("max_k".to_owned(), Json::Int(max_k as i64)));
+        }
+        if let Some(limit) = self.time_limit {
+            members.push((
+                "time_limit_ms".to_owned(),
+                Json::Int(limit.as_millis() as i64),
+            ));
+        }
+        Json::Obj(members)
+    }
+}
+
+/// Any decoded request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// One of the three solver operations (boxed: a solve request carries a
+    /// whole signature view, the control variants carry nothing).
+    Solve(Box<SolveRequest>),
+    /// Counter snapshot.
+    Status,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// A malformed or invalid request.
+#[derive(Debug, Clone)]
+pub struct ProtocolError {
+    /// Human-readable description, sent back verbatim in the error response.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        ProtocolError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<json::JsonError> for ProtocolError {
+    fn from(err: json::JsonError) -> Self {
+        ProtocolError::new(format!("invalid JSON: {err}"))
+    }
+}
+
+/// Decodes one request line.
+pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
+    let value = json::parse(line)?;
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new("request needs a string 'op' field"))?;
+    match op {
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        "refine" => decode_solve(&value, SolveOp::Refine),
+        "highest-theta" => decode_solve(&value, SolveOp::HighestTheta),
+        "lowest-k" => decode_solve(&value, SolveOp::LowestK),
+        other => Err(ProtocolError::new(format!(
+            "unknown op '{other}'; expected refine, highest-theta, lowest-k, status, or shutdown"
+        ))),
+    }
+}
+
+fn decode_solve(value: &Json, op: SolveOp) -> Result<Request, ProtocolError> {
+    let view = view_from_json(
+        value
+            .get("view")
+            .ok_or_else(|| ProtocolError::new("solve request needs a 'view' field"))?,
+    )?;
+    let spec = match value.get("rule") {
+        None => SigmaSpec::Coverage,
+        Some(rule) => {
+            let text = rule
+                .as_str()
+                .ok_or_else(|| ProtocolError::new("'rule' must be a string"))?;
+            parse_spec(text).map_err(|err| ProtocolError::new(err.to_string()))?
+        }
+    };
+    let engine = match value.get("engine") {
+        None => EngineKind::Hybrid,
+        Some(engine) => EngineKind::parse(
+            engine
+                .as_str()
+                .ok_or_else(|| ProtocolError::new("'engine' must be a string"))?,
+        )?,
+    };
+    let k = get_usize(value, "k")?;
+    let theta = get_ratio(value, "theta")?;
+    let step = get_ratio(value, "step")?;
+    if let Some(step) = step {
+        // A non-positive step would keep the highest-theta sweep at the
+        // same threshold forever; refuse before a worker is committed.
+        if step <= strudel_rules::prelude::Ratio::ZERO {
+            return Err(ProtocolError::new(
+                "'step' must be strictly positive (e.g. \"1/100\")",
+            ));
+        }
+    }
+    let max_k = get_usize(value, "max_k")?;
+    let time_limit = get_usize(value, "time_limit_ms")?.map(|ms| Duration::from_millis(ms as u64));
+
+    // Op-specific required parameters.
+    match op {
+        SolveOp::Refine => {
+            if k.is_none() || theta.is_none() {
+                return Err(ProtocolError::new("'refine' needs both 'k' and 'theta'"));
+            }
+        }
+        SolveOp::HighestTheta => {
+            if k.is_none() {
+                return Err(ProtocolError::new("'highest-theta' needs 'k'"));
+            }
+        }
+        SolveOp::LowestK => {
+            if theta.is_none() {
+                return Err(ProtocolError::new("'lowest-k' needs 'theta'"));
+            }
+        }
+    }
+
+    Ok(Request::Solve(Box::new(SolveRequest {
+        op,
+        view,
+        spec,
+        engine,
+        k,
+        theta,
+        step,
+        max_k,
+        time_limit,
+    })))
+}
+
+fn get_usize(value: &Json, field: &str) -> Result<Option<usize>, ProtocolError> {
+    match value.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Int(n)) if *n >= 0 => Ok(Some(*n as usize)),
+        Some(_) => Err(ProtocolError::new(format!(
+            "'{field}' must be a non-negative integer"
+        ))),
+    }
+}
+
+fn get_ratio(value: &Json, field: &str) -> Result<Option<Ratio>, ProtocolError> {
+    match value.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(text)) => Ratio::parse(text)
+            .map(Some)
+            .map_err(|err| ProtocolError::new(format!("invalid '{field}': {err}"))),
+        Some(Json::Int(n)) => Ok(Some(Ratio::from_integer(i128::from(*n)))),
+        Some(_) => Err(ProtocolError::new(format!(
+            "'{field}' must be a ratio string like \"1/2\" (or an integer)"
+        ))),
+    }
+}
+
+/// Encodes a signature view as its wire object.
+pub fn view_to_json(view: &SignatureView) -> Json {
+    Json::obj(vec![
+        (
+            "properties",
+            Json::Arr(
+                view.properties()
+                    .iter()
+                    .map(|p| Json::str(p.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "signatures",
+            Json::Arr(
+                view.entries()
+                    .iter()
+                    .map(|entry| {
+                        Json::Arr(vec![
+                            Json::Arr(
+                                entry
+                                    .support()
+                                    .into_iter()
+                                    .map(|col| Json::Int(col as i64))
+                                    .collect(),
+                            ),
+                            Json::Int(entry.count as i64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a signature view from its wire object, validating dimensions.
+pub fn view_from_json(value: &Json) -> Result<SignatureView, ProtocolError> {
+    let properties: Vec<String> = value
+        .get("properties")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtocolError::new("'view.properties' must be an array of strings"))?
+        .iter()
+        .map(|p| {
+            p.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| ProtocolError::new("'view.properties' must be an array of strings"))
+        })
+        .collect::<Result<_, _>>()?;
+    let signatures_json = value
+        .get("signatures")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| {
+            ProtocolError::new("'view.signatures' must be an array of [[indexes],count] pairs")
+        })?;
+    let mut signatures = Vec::with_capacity(signatures_json.len());
+    for pair in signatures_json {
+        let invalid =
+            || ProtocolError::new("'view.signatures' entries must be [[indexes],count] pairs");
+        let items = pair.as_arr().ok_or_else(invalid)?;
+        if items.len() != 2 {
+            return Err(invalid());
+        }
+        let indexes: Vec<usize> = items[0]
+            .as_arr()
+            .ok_or_else(invalid)?
+            .iter()
+            .map(|idx| match idx {
+                Json::Int(n) if *n >= 0 => Ok(*n as usize),
+                _ => Err(invalid()),
+            })
+            .collect::<Result<_, _>>()?;
+        let count = match items[1] {
+            Json::Int(n) if n >= 0 => n as usize,
+            _ => return Err(invalid()),
+        };
+        signatures.push((indexes, count));
+    }
+    SignatureView::from_counts(properties, signatures)
+        .map_err(|err| ProtocolError::new(format!("invalid view: {err}")))
+}
+
+/// Encodes a wire refinement as its JSON object.
+pub fn refinement_to_json(refinement: &WireRefinement) -> Json {
+    Json::obj(vec![
+        ("spec", Json::str(refinement.spec.clone())),
+        ("threshold", Json::str(refinement.threshold.clone())),
+        (
+            "sorts",
+            Json::Arr(
+                refinement
+                    .sorts
+                    .iter()
+                    .map(|sort| {
+                        Json::obj(vec![
+                            (
+                                "signatures",
+                                Json::Arr(
+                                    sort.signatures
+                                        .iter()
+                                        .map(|&sig| Json::Int(sig as i64))
+                                        .collect(),
+                                ),
+                            ),
+                            ("subjects", Json::Int(sort.subjects as i64)),
+                            ("sigma", Json::str(sort.sigma.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a wire refinement from its JSON object.
+pub fn refinement_from_json(value: &Json) -> Result<WireRefinement, ProtocolError> {
+    let invalid = |what: &str| ProtocolError::new(format!("invalid refinement: {what}"));
+    let spec = value
+        .get("spec")
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid("missing 'spec'"))?
+        .to_owned();
+    let threshold = value
+        .get("threshold")
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid("missing 'threshold'"))?
+        .to_owned();
+    let mut sorts = Vec::new();
+    for sort in value
+        .get("sorts")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| invalid("missing 'sorts'"))?
+    {
+        let signatures = sort
+            .get("signatures")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| invalid("missing 'signatures'"))?
+            .iter()
+            .map(|sig| match sig {
+                Json::Int(n) if *n >= 0 => Ok(*n as usize),
+                _ => Err(invalid("signature indexes must be non-negative integers")),
+            })
+            .collect::<Result<_, _>>()?;
+        let subjects = sort
+            .get("subjects")
+            .and_then(Json::as_int)
+            .filter(|&n| n >= 0)
+            .ok_or_else(|| invalid("missing 'subjects'"))? as usize;
+        let sigma = sort
+            .get("sigma")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid("missing 'sigma'"))?
+            .to_owned();
+        sorts.push(WireSort {
+            signatures,
+            subjects,
+            sigma,
+        });
+    }
+    Ok(WireRefinement {
+        spec,
+        threshold,
+        sorts,
+    })
+}
+
+/// Encodes a `refine` answer as the response `result` object.
+pub fn outcome_to_json(outcome: &WireOutcome) -> Json {
+    match outcome {
+        WireOutcome::Refinement(refinement) => Json::obj(vec![
+            ("outcome", Json::str("refinement")),
+            ("refinement", refinement_to_json(refinement)),
+        ]),
+        WireOutcome::Infeasible => Json::obj(vec![("outcome", Json::str("infeasible"))]),
+        WireOutcome::Unknown => Json::obj(vec![("outcome", Json::str("unknown"))]),
+    }
+}
+
+/// Encodes a `highest-theta` answer as the response `result` object.
+pub fn highest_theta_to_json(result: &WireHighestTheta) -> Json {
+    Json::obj(vec![
+        ("theta", Json::str(result.theta.clone())),
+        ("hit_budget", Json::Bool(result.hit_budget)),
+        ("probes", Json::Int(result.probes as i64)),
+        (
+            "refinement",
+            result
+                .refinement
+                .as_ref()
+                .map(refinement_to_json)
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+/// Encodes a `lowest-k` answer as the response `result` object.
+pub fn lowest_k_to_json(result: &WireLowestK) -> Json {
+    Json::obj(vec![
+        (
+            "k",
+            result.k.map(|k| Json::Int(k as i64)).unwrap_or(Json::Null),
+        ),
+        ("hit_budget", Json::Bool(result.hit_budget)),
+        ("probes", Json::Int(result.probes as i64)),
+        (
+            "refinement",
+            result
+                .refinement
+                .as_ref()
+                .map(refinement_to_json)
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+/// Where a successful response's result came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// Computed by a worker for this request.
+    Solved,
+    /// Replayed from the result cache.
+    Cache,
+    /// Shared a concurrent identical solve (single-flight).
+    Coalesced,
+}
+
+impl Source {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Solved => "solved",
+            Source::Cache => "cache",
+            Source::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Builds a success response line. `result_text` must be the canonical
+/// serialization of the result object; it is spliced in verbatim, which is
+/// what makes cache replays byte-identical to the original response body.
+pub fn encode_success(op: &str, source: Source, result_text: &str) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"{op}\",\"source\":\"{}\",\"result\":{result_text}}}",
+        source.name()
+    )
+}
+
+/// Builds an error response line.
+pub fn encode_error(message: &str) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message)),
+    ])
+    .to_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_view() -> SignatureView {
+        SignatureView::from_counts(
+            vec!["http://ex/name".into(), "http://ex/email".into()],
+            vec![(vec![0], 9), (vec![0, 1], 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn views_round_trip() {
+        let view = sample_view();
+        let back = view_from_json(&view_to_json(&view)).unwrap();
+        assert_eq!(back.cache_key(), view.cache_key());
+        assert_eq!(back.properties(), view.properties());
+        assert_eq!(back.subject_count(), view.subject_count());
+    }
+
+    #[test]
+    fn solve_requests_round_trip() {
+        let request = SolveRequest {
+            op: SolveOp::Refine,
+            view: sample_view(),
+            spec: SigmaSpec::Similarity,
+            engine: EngineKind::Ilp,
+            k: Some(2),
+            theta: Some(Ratio::new(1, 2)),
+            step: None,
+            max_k: None,
+            time_limit: Some(Duration::from_millis(1500)),
+        };
+        let line = request.to_json().to_text();
+        let Request::Solve(back) = decode_request(&line).unwrap() else {
+            panic!("expected a solve request");
+        };
+        assert_eq!(back.op, SolveOp::Refine);
+        assert_eq!(back.engine, EngineKind::Ilp);
+        assert_eq!(back.spec, SigmaSpec::Similarity);
+        assert_eq!(back.k, Some(2));
+        assert_eq!(back.theta, Some(Ratio::new(1, 2)));
+        assert_eq!(back.time_limit, Some(Duration::from_millis(1500)));
+        assert_eq!(back.cache_key(), request.cache_key());
+    }
+
+    #[test]
+    fn cache_keys_normalise_spelling_variants() {
+        let mut request = SolveRequest {
+            op: SolveOp::Refine,
+            view: sample_view(),
+            spec: SigmaSpec::Coverage,
+            engine: EngineKind::Hybrid,
+            k: Some(2),
+            theta: Some(Ratio::parse("0.5").unwrap()),
+            step: None,
+            max_k: None,
+            time_limit: None,
+        };
+        let decimal = request.cache_key();
+        request.theta = Some(Ratio::parse("1/2").unwrap());
+        assert_eq!(request.cache_key(), decimal);
+        request.theta = Some(Ratio::parse("2/3").unwrap());
+        assert_ne!(request.cache_key(), decimal);
+        // And the view content participates.
+        request.theta = Some(Ratio::parse("1/2").unwrap());
+        request.view = SignatureView::from_counts(
+            vec!["http://ex/name".into(), "http://ex/email".into()],
+            vec![(vec![0], 8), (vec![0, 1], 2)],
+        )
+        .unwrap();
+        assert_ne!(request.cache_key(), decimal);
+    }
+
+    #[test]
+    fn op_specific_requirements_are_enforced() {
+        let view_json = view_to_json(&sample_view()).to_text();
+        let must_fail = [
+            format!("{{\"op\":\"refine\",\"view\":{view_json},\"k\":2}}"),
+            format!("{{\"op\":\"refine\",\"view\":{view_json},\"theta\":\"1/2\"}}"),
+            format!("{{\"op\":\"highest-theta\",\"view\":{view_json}}}"),
+            format!("{{\"op\":\"lowest-k\",\"view\":{view_json}}}"),
+            "{\"op\":\"refine\"}".to_owned(),
+            "{\"op\":\"frobnicate\"}".to_owned(),
+            "{\"no\":\"op\"}".to_owned(),
+            "not json at all".to_owned(),
+        ];
+        for line in &must_fail {
+            assert!(decode_request(line).is_err(), "should reject: {line}");
+        }
+        let ok =
+            format!("{{\"op\":\"highest-theta\",\"view\":{view_json},\"k\":2,\"step\":\"1/10\"}}");
+        match decode_request(&ok) {
+            Ok(Request::Solve(solve)) => assert_eq!(solve.op, SolveOp::HighestTheta),
+            other => panic!("expected a solve request, got {other:?}"),
+        }
+        assert!(matches!(
+            decode_request("{\"op\":\"status\"}"),
+            Ok(Request::Status)
+        ));
+        assert!(matches!(
+            decode_request("{\"op\":\"shutdown\"}"),
+            Ok(Request::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn non_positive_steps_are_rejected_at_decode() {
+        let view_json = view_to_json(&sample_view()).to_text();
+        for step in ["0", "-1/100", "0.0"] {
+            let line = format!(
+                "{{\"op\":\"highest-theta\",\"view\":{view_json},\"k\":2,\"step\":\"{step}\"}}"
+            );
+            let err = decode_request(&line).unwrap_err();
+            assert!(
+                err.message.contains("strictly positive"),
+                "step {step}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn refinements_round_trip_through_json() {
+        let refinement = WireRefinement {
+            spec: "cov".into(),
+            threshold: "1/2".into(),
+            sorts: vec![
+                WireSort {
+                    signatures: vec![0, 2],
+                    subjects: 40,
+                    sigma: "3/4".into(),
+                },
+                WireSort {
+                    signatures: vec![1],
+                    subjects: 2,
+                    sigma: "1".into(),
+                },
+            ],
+        };
+        let back = refinement_from_json(&refinement_to_json(&refinement)).unwrap();
+        assert_eq!(back, refinement);
+    }
+
+    #[test]
+    fn response_envelopes_are_well_formed() {
+        let line = encode_success("refine", Source::Cache, "{\"outcome\":\"infeasible\"}");
+        let value = json::parse(&line).unwrap();
+        assert_eq!(value.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(value.get("source").unwrap().as_str(), Some("cache"));
+        assert_eq!(
+            value
+                .get("result")
+                .unwrap()
+                .get("outcome")
+                .unwrap()
+                .as_str(),
+            Some("infeasible")
+        );
+
+        let line = encode_error("boom \"quoted\"");
+        let value = json::parse(&line).unwrap();
+        assert_eq!(value.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            value.get("error").unwrap().as_str(),
+            Some("boom \"quoted\"")
+        );
+    }
+}

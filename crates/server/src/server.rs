@@ -1,0 +1,494 @@
+//! The refinement daemon: TCP accept loop, request dispatch, and metrics.
+//!
+//! Architecture (one box per module):
+//!
+//! ```text
+//!  TCP clients ──► accept loop ──► connection threads (1/client, I/O-bound)
+//!                                        │ one JSON line per request
+//!                                        ▼
+//!                     dispatch: cache ──hit──► replay cached bytes
+//!                        │ miss
+//!                        ▼
+//!                  single-flight: follower ──► wait, share leader's bytes
+//!                        │ leader
+//!                        ▼
+//!                  worker pool (fixed size, CPU-bound) ──► engine solve
+//!                        │ serialize once
+//!                        ▼
+//!              cache.insert + flight.complete + respond
+//! ```
+//!
+//! The solve path serializes a result exactly once; every later identical
+//! request — concurrent (single-flight) or subsequent (cache) — receives
+//! those same bytes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use strudel_core::prelude::{highest_theta, lowest_k, HighestThetaOptions, SweepDirection};
+use strudel_core::wire::{WireHighestTheta, WireLowestK, WireOutcome};
+
+use crate::cache::{CacheStats, LruCache};
+use crate::flight::{FlightStats, Join, SingleFlight};
+use crate::json::Json;
+use crate::pool::WorkerPool;
+use crate::protocol::{
+    self, decode_request, encode_error, encode_success, CacheKey, Request, SolveOp, SolveRequest,
+    Source,
+};
+
+/// Configuration of a server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick one (tests do).
+    pub addr: String,
+    /// Worker threads solving instances (the CPU concurrency bound).
+    pub workers: usize,
+    /// Result cache capacity, in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7464".to_owned(),
+            workers: 4,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Everything the connection threads share.
+struct Shared {
+    cache: Mutex<LruCache<CacheKey, Arc<String>>>,
+    flight: SingleFlight<CacheKey, Result<Arc<String>, String>>,
+    pool: WorkerPool,
+    metrics: Metrics,
+    stop: AtomicBool,
+    started: Instant,
+    /// The bound listener address, kept so a `shutdown` request can poke
+    /// the accept loop out of its blocking `accept()`.
+    addr: SocketAddr,
+}
+
+/// Per-operation request counters.
+#[derive(Default)]
+struct Metrics {
+    refine: AtomicU64,
+    highest_theta: AtomicU64,
+    lowest_k: AtomicU64,
+    status: AtomicU64,
+    shutdown: AtomicU64,
+    errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Metrics {
+    fn count_solve(&self, op: SolveOp) {
+        match op {
+            SolveOp::Refine => &self.refine,
+            SolveOp::HighestTheta => &self.highest_theta,
+            SolveOp::LowestK => &self.lowest_k,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of the server's counters (the `status` payload).
+#[derive(Clone, Debug)]
+pub struct StatusSnapshot {
+    /// Worker threads.
+    pub workers: usize,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// `refine` requests served.
+    pub refine: u64,
+    /// `highest-theta` requests served.
+    pub highest_theta: u64,
+    /// `lowest-k` requests served.
+    pub lowest_k: u64,
+    /// `status` requests served.
+    pub status: u64,
+    /// `shutdown` requests acknowledged.
+    pub shutdowns: u64,
+    /// Error responses sent.
+    pub errors: u64,
+    /// Result cache counters.
+    pub cache: CacheStats,
+    /// Single-flight counters.
+    pub flight: FlightStats,
+}
+
+impl StatusSnapshot {
+    /// Encodes the snapshot as the `status` response's result object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workers", Json::Int(self.workers as i64)),
+            ("uptime_ms", Json::Int(self.uptime_ms as i64)),
+            ("connections", Json::Int(self.connections as i64)),
+            (
+                "requests",
+                Json::obj(vec![
+                    ("refine", Json::Int(self.refine as i64)),
+                    ("highest_theta", Json::Int(self.highest_theta as i64)),
+                    ("lowest_k", Json::Int(self.lowest_k as i64)),
+                    ("status", Json::Int(self.status as i64)),
+                    ("shutdown", Json::Int(self.shutdowns as i64)),
+                    ("errors", Json::Int(self.errors as i64)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Int(self.cache.hits as i64)),
+                    ("misses", Json::Int(self.cache.misses as i64)),
+                    ("evictions", Json::Int(self.cache.evictions as i64)),
+                    ("insertions", Json::Int(self.cache.insertions as i64)),
+                    ("entries", Json::Int(self.cache.entries as i64)),
+                    ("capacity", Json::Int(self.cache.capacity as i64)),
+                ]),
+            ),
+            (
+                "singleflight",
+                Json::obj(vec![
+                    ("leaders", Json::Int(self.flight.leaders as i64)),
+                    ("shared", Json::Int(self.flight.shared as i64)),
+                    ("aborted", Json::Int(self.flight.aborted as i64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A running server. Dropping the handle does not stop the server; call
+/// [`ServerHandle::shutdown`] or send a `shutdown` request, then
+/// [`ServerHandle::wait`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Starts a server from a configuration. Returns once the listener is bound
+/// (so `handle.addr()` is immediately connectable).
+pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        flight: SingleFlight::new(),
+        pool: WorkerPool::new(config.workers),
+        metrics: Metrics::default(),
+        stop: AtomicBool::new(false),
+        started: Instant::now(),
+        addr: local_addr,
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = thread::Builder::new()
+        .name("strudel-accept".to_owned())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(_) => {
+                        // Persistent accept failures (EMFILE under fd
+                        // exhaustion being the classic) return instantly;
+                        // without a pause this loop would pin a core and
+                        // starve the connections whose closure frees fds.
+                        thread::sleep(std::time::Duration::from_millis(20));
+                        continue;
+                    }
+                };
+                accept_shared
+                    .metrics
+                    .connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let connection_shared = Arc::clone(&accept_shared);
+                let _ = thread::Builder::new()
+                    .name("strudel-conn".to_owned())
+                    .spawn(move || serve_connection(stream, &connection_shared));
+            }
+        })?;
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The current counter snapshot.
+    pub fn status(&self) -> StatusSnapshot {
+        snapshot(&self.shared)
+    }
+
+    /// Asks the server to stop accepting connections (idempotent).
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Blocks until the accept loop has exited (after [`Self::shutdown`] or
+    /// a client's `shutdown` request) and returns the final counters.
+    /// In-flight connections finish independently; the worker pool drains
+    /// when the last handle and connection are gone.
+    pub fn wait(mut self) -> StatusSnapshot {
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        snapshot(&self.shared)
+    }
+}
+
+fn snapshot(shared: &Shared) -> StatusSnapshot {
+    StatusSnapshot {
+        workers: shared.pool.workers(),
+        uptime_ms: shared.started.elapsed().as_millis() as u64,
+        connections: shared.metrics.connections.load(Ordering::Relaxed),
+        refine: shared.metrics.refine.load(Ordering::Relaxed),
+        highest_theta: shared.metrics.highest_theta.load(Ordering::Relaxed),
+        lowest_k: shared.metrics.lowest_k.load(Ordering::Relaxed),
+        status: shared.metrics.status.load(Ordering::Relaxed),
+        shutdowns: shared.metrics.shutdown.load(Ordering::Relaxed),
+        errors: shared.metrics.errors.load(Ordering::Relaxed),
+        cache: shared.cache.lock().expect("cache lock").stats(),
+        flight: shared.flight.stats(),
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if shared.stop.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    // The accept loop blocks in accept(); poke it with a throwaway
+    // connection so it observes the stop flag and exits. A listener bound
+    // to an unspecified address (0.0.0.0 / ::) is not connectable as such
+    // on every platform — aim the poke at loopback on the same port.
+    let mut poke_addr = shared.addr;
+    if poke_addr.ip().is_unspecified() {
+        let loopback: std::net::IpAddr = if poke_addr.is_ipv4() {
+            std::net::Ipv4Addr::LOCALHOST.into()
+        } else {
+            std::net::Ipv6Addr::LOCALHOST.into()
+        };
+        poke_addr.set_ip(loopback);
+    }
+    let _ = TcpStream::connect(poke_addr);
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // One small request line, one small response line per round trip:
+    // Nagle's algorithm interacts with delayed ACKs to put a ~40 ms floor
+    // under exactly this traffic pattern, so switch it off.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_request_line(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => break, // clean EOF
+            Err(oversized) => {
+                let _ = writer
+                    .write_all(encode_error(&oversized).as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"));
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop_after) = dispatch(&line, shared);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if stop_after {
+            break;
+        }
+    }
+}
+
+/// Upper bound on one request line. Signature views are compact (DBpedia
+/// Persons is 64 signatures over 8 properties); 32 MiB leaves orders of
+/// magnitude of headroom while keeping one hostile connection from growing
+/// an unbounded buffer.
+const MAX_REQUEST_LINE: u64 = 32 * 1024 * 1024;
+
+/// Reads one `\n`-terminated request line, enforcing [`MAX_REQUEST_LINE`].
+/// `Ok(None)` is clean EOF; `Err` carries the message for the oversized-line
+/// error response (the connection is then closed: framing is lost).
+fn read_request_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, String> {
+    let mut bytes = Vec::new();
+    let read = std::io::Read::take(reader, MAX_REQUEST_LINE + 1)
+        .read_until(b'\n', &mut bytes)
+        .map_err(|err| format!("read failed: {err}"))?;
+    if read == 0 {
+        return Ok(None);
+    }
+    if bytes.last() != Some(&b'\n') && read as u64 > MAX_REQUEST_LINE {
+        return Err(format!(
+            "request line exceeds {MAX_REQUEST_LINE} bytes; closing the connection"
+        ));
+    }
+    String::from_utf8(bytes)
+        .map(Some)
+        .map_err(|_| "request line is not UTF-8".to_owned())
+}
+
+/// Handles one request line. Returns the response line and whether the
+/// connection should close (after a `shutdown` acknowledgement).
+fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+    match decode_request(line) {
+        Err(err) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            (encode_error(&err.message), false)
+        }
+        Ok(Request::Status) => {
+            shared.metrics.status.fetch_add(1, Ordering::Relaxed);
+            let body = snapshot(shared).to_json().to_text();
+            (encode_success("status", Source::Solved, &body), false)
+        }
+        Ok(Request::Shutdown) => {
+            shared.metrics.shutdown.fetch_add(1, Ordering::Relaxed);
+            trigger_shutdown(shared);
+            (
+                encode_success("shutdown", Source::Solved, "{\"stopping\":true}"),
+                true,
+            )
+        }
+        Ok(Request::Solve(request)) => {
+            shared.metrics.count_solve(request.op);
+            solve_via_cache(*request, shared)
+        }
+    }
+}
+
+fn solve_via_cache(request: SolveRequest, shared: &Arc<Shared>) -> (String, bool) {
+    let op_name = request.op.name();
+    let key = request.cache_key();
+
+    if let Some(result) = shared.cache.lock().expect("cache lock").get(&key) {
+        return (encode_success(op_name, Source::Cache, &result), false);
+    }
+
+    match shared.flight.join(key.clone()) {
+        Join::Follow(Ok(Ok(result))) => {
+            (encode_success(op_name, Source::Coalesced, &result), false)
+        }
+        Join::Follow(Ok(Err(message))) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            (encode_error(&message), false)
+        }
+        Join::Follow(Err(_aborted)) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            (
+                encode_error("the solve this request was coalesced with failed; retry"),
+                false,
+            )
+        }
+        Join::Lead(leader) => {
+            // Double-check the cache: between this thread's miss and winning
+            // leadership, a previous leader may have completed — and it
+            // inserts into the cache *before* retiring its flight, so a
+            // recheck hit here is decisive and the solve is skipped.
+            // (`recheck` keeps the expected miss uncounted: the lookup
+            // above already booked it.)
+            if let Some(result) = shared.cache.lock().expect("cache lock").recheck(&key) {
+                leader.complete(Ok(Arc::clone(&result)));
+                return (encode_success(op_name, Source::Cache, &result), false);
+            }
+            let outcome = shared
+                .pool
+                .run(move || solve_job(&request))
+                .unwrap_or_else(|| Err("solve panicked in the worker".to_owned()));
+            match outcome {
+                Ok(result_text) => {
+                    let result = Arc::new(result_text);
+                    shared
+                        .cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, Arc::clone(&result));
+                    leader.complete(Ok(Arc::clone(&result)));
+                    (encode_success(op_name, Source::Solved, &result), false)
+                }
+                Err(message) => {
+                    // Errors are shared with concurrent followers (they
+                    // asked the same question) but never cached: a later
+                    // retry re-solves.
+                    leader.complete(Err(message.clone()));
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    (encode_error(&message), false)
+                }
+            }
+        }
+    }
+}
+
+/// Runs one solve on the worker thread. Returns the canonical serialization
+/// of the result object, or an error message.
+fn solve_job(request: &SolveRequest) -> Result<String, String> {
+    let engine = request.engine.build(request.time_limit);
+    let result = match request.op {
+        SolveOp::Refine => {
+            let k = request.k.expect("validated at decode");
+            let theta = request.theta.expect("validated at decode");
+            let outcome = engine
+                .refine(&request.view, &request.spec, k, theta)
+                .map_err(|err| err.to_string())?;
+            protocol::outcome_to_json(&WireOutcome::from_outcome(&outcome))
+        }
+        SolveOp::HighestTheta => {
+            let k = request.k.expect("validated at decode");
+            let mut options = HighestThetaOptions::default();
+            if let Some(step) = request.step {
+                options.step = step;
+            }
+            let result = highest_theta(&request.view, &request.spec, k, engine.as_ref(), &options)
+                .map_err(|err| err.to_string())?;
+            protocol::highest_theta_to_json(&WireHighestTheta::from_result(&result))
+        }
+        SolveOp::LowestK => {
+            let theta = request.theta.expect("validated at decode");
+            let result = lowest_k(
+                &request.view,
+                &request.spec,
+                theta,
+                engine.as_ref(),
+                SweepDirection::Upward,
+                request.max_k,
+            )
+            .map_err(|err| err.to_string())?;
+            protocol::lowest_k_to_json(&WireLowestK::from_result(&result))
+        }
+    };
+    Ok(result.to_text())
+}
+
+/// Serves until a `shutdown` request arrives (the `strudel serve` entry
+/// point) and returns the final counters.
+pub fn serve(config: &ServerConfig) -> std::io::Result<StatusSnapshot> {
+    Ok(start(config)?.wait())
+}

@@ -1,0 +1,213 @@
+//! Property test for the wire protocol: randomly generated solve requests
+//! survive encode → text → parse → decode with every field and the cache
+//! key intact, and random JSON values round-trip byte-for-byte.
+//!
+//! Uses the workspace's seeded xoshiro generator (`strudel_rdf::rng`)
+//! rather than the external `proptest` crate, so it runs in offline builds;
+//! failures print the seed, and re-running with that seed reproduces them.
+
+use strudel_core::sigma::SigmaSpec;
+use strudel_rdf::rng::StdRng;
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::prelude::Ratio;
+use strudel_server::json::{self, Json};
+use strudel_server::prelude::{EngineKind, Request, SolveOp, SolveRequest};
+use strudel_server::protocol::{decode_request, view_from_json, view_to_json};
+
+const CASES: u64 = 300;
+
+fn random_view(rng: &mut StdRng) -> SignatureView {
+    let n_props = rng.gen_range(1usize..8);
+    let properties: Vec<String> = (0..n_props)
+        .map(|i| format!("http://example.org/p{i}"))
+        .collect();
+    let n_sigs = rng.gen_range(1usize..10);
+    let signatures: Vec<(Vec<usize>, usize)> = (0..n_sigs)
+        .map(|_| {
+            let width = rng.gen_range(1usize..n_props + 1);
+            let mut columns: Vec<usize> = (0..n_props).collect();
+            rng.shuffle(&mut columns);
+            columns.truncate(width);
+            (columns, rng.gen_range(1usize..100))
+        })
+        .collect();
+    SignatureView::from_counts(properties, signatures).expect("indexes are in range")
+}
+
+fn random_spec(rng: &mut StdRng, view: &SignatureView) -> SigmaSpec {
+    let pick =
+        |rng: &mut StdRng| view.properties()[rng.gen_range(0usize..view.property_count())].clone();
+    match rng.gen_range(0usize..6) {
+        0 => SigmaSpec::Coverage,
+        1 => SigmaSpec::Similarity,
+        2 => SigmaSpec::CoverageIgnoring(vec![pick(rng)]),
+        3 => SigmaSpec::Dependency {
+            p1: pick(rng),
+            p2: pick(rng),
+        },
+        4 => SigmaSpec::SymDependency {
+            p1: pick(rng),
+            p2: pick(rng),
+        },
+        _ => SigmaSpec::DependencyDisjunctive {
+            p1: pick(rng),
+            p2: pick(rng),
+        },
+    }
+}
+
+fn random_ratio(rng: &mut StdRng) -> Ratio {
+    Ratio::new(
+        rng.gen_range(0u64..100) as i128,
+        rng.gen_range(1u64..100) as i128,
+    )
+}
+
+fn random_request(rng: &mut StdRng) -> SolveRequest {
+    let op = match rng.gen_range(0usize..3) {
+        0 => SolveOp::Refine,
+        1 => SolveOp::HighestTheta,
+        _ => SolveOp::LowestK,
+    };
+    let view = random_view(rng);
+    let spec = random_spec(rng, &view);
+    let engine = match rng.gen_range(0usize..3) {
+        0 => EngineKind::Hybrid,
+        1 => EngineKind::Ilp,
+        _ => EngineKind::Greedy,
+    };
+    SolveRequest {
+        k: match op {
+            SolveOp::LowestK => None,
+            _ => Some(rng.gen_range(1usize..6)),
+        },
+        theta: match op {
+            SolveOp::HighestTheta => None,
+            _ => Some(random_ratio(rng)),
+        },
+        step: (op == SolveOp::HighestTheta && rng.gen_bool(0.5))
+            .then(|| Ratio::new(1, rng.gen_range(2u64..200) as i128)),
+        max_k: (op == SolveOp::LowestK && rng.gen_bool(0.5)).then(|| rng.gen_range(1usize..10)),
+        time_limit: rng
+            .gen_bool(0.3)
+            .then(|| std::time::Duration::from_millis(rng.gen_range(1u64..5000))),
+        op,
+        view,
+        spec,
+        engine,
+    }
+}
+
+#[test]
+fn random_solve_requests_round_trip_with_cache_key_intact() {
+    let seed = 20140731;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let request = random_request(&mut rng);
+        let line = request.to_json().to_text();
+        let decoded = decode_request(&line)
+            .unwrap_or_else(|err| panic!("seed {seed} case {case}: '{line}' rejected: {err}"));
+        let Request::Solve(back) = decoded else {
+            panic!("seed {seed} case {case}: decoded to a non-solve request");
+        };
+        assert_eq!(back.op, request.op, "seed {seed} case {case}");
+        assert_eq!(back.spec, request.spec, "seed {seed} case {case}");
+        assert_eq!(back.engine, request.engine, "seed {seed} case {case}");
+        assert_eq!(back.k, request.k, "seed {seed} case {case}");
+        assert_eq!(back.theta, request.theta, "seed {seed} case {case}");
+        assert_eq!(back.step, request.step, "seed {seed} case {case}");
+        assert_eq!(back.max_k, request.max_k, "seed {seed} case {case}");
+        assert_eq!(
+            back.time_limit, request.time_limit,
+            "seed {seed} case {case}"
+        );
+        assert_eq!(
+            back.cache_key(),
+            request.cache_key(),
+            "seed {seed} case {case}: cache keys must survive the wire"
+        );
+        // Encoding the decoded request reproduces the exact line
+        // (the protocol encoder is canonical).
+        assert_eq!(
+            back.to_json().to_text(),
+            line,
+            "seed {seed} case {case}: re-encoding must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn random_views_round_trip_through_their_wire_form() {
+    let seed = 424242;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let view = random_view(&mut rng);
+        let encoded = view_to_json(&view);
+        let back =
+            view_from_json(&encoded).unwrap_or_else(|err| panic!("seed {seed} case {case}: {err}"));
+        assert_eq!(
+            back.cache_key(),
+            view.cache_key(),
+            "seed {seed} case {case}"
+        );
+        assert_eq!(back.subject_count(), view.subject_count());
+        assert_eq!(back.signature_count(), view.signature_count());
+        assert_eq!(view_to_json(&back).to_text(), encoded.to_text());
+    }
+}
+
+fn random_json(rng: &mut StdRng, depth: usize) -> Json {
+    let pick = if depth == 0 {
+        rng.gen_range(0usize..4) // leaves only
+    } else {
+        rng.gen_range(0usize..6)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => Json::Int(rng.gen_range(0u64..u64::MAX / 4) as i64 - (i64::MAX / 4)),
+        3 => {
+            let len = rng.gen_range(0usize..12);
+            let text: String = (0..len)
+                .map(|_| {
+                    // Bias towards characters that exercise escaping.
+                    match rng.gen_range(0usize..8) {
+                        0 => '"',
+                        1 => '\\',
+                        2 => '\n',
+                        3 => '\u{9}',
+                        4 => '\u{1}',
+                        5 => 'π',
+                        6 => '🦀',
+                        _ => char::from_u32(rng.gen_range(32u32..127)).expect("printable ASCII"),
+                    }
+                })
+                .collect();
+            Json::Str(text)
+        }
+        4 => Json::Arr(
+            (0..rng.gen_range(0usize..5))
+                .map(|_| random_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.gen_range(0usize..5))
+                .map(|i| (format!("key{i}"), random_json(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+#[test]
+fn random_json_values_reparse_byte_identically() {
+    let seed = 7;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let value = random_json(&mut rng, 3);
+        let text = value.to_text();
+        let back = json::parse(&text)
+            .unwrap_or_else(|err| panic!("seed {seed} case {case}: '{text}': {err}"));
+        assert_eq!(back, value, "seed {seed} case {case}");
+        assert_eq!(back.to_text(), text, "seed {seed} case {case}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Service-level tests over real TCP: concurrency, single-flight
+//! accounting, cache behaviour, and protocol robustness.
+
+use std::sync::Arc;
+use std::thread;
+
+use strudel_core::sigma::SigmaSpec;
+use strudel_rdf::signature::SignatureView;
+use strudel_rules::prelude::Ratio;
+use strudel_server::prelude::*;
+
+fn start_test_server(workers: usize, cache_capacity: usize) -> ServerHandle {
+    server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        cache_capacity,
+    })
+    .expect("binding an ephemeral port")
+}
+
+/// A view large enough that a hybrid highest-theta search takes visible
+/// time, widening the single-flight window.
+fn chunky_view() -> SignatureView {
+    let properties: Vec<String> = (0..10).map(|i| format!("http://ex/p{i}")).collect();
+    let signatures: Vec<(Vec<usize>, usize)> = (0..24)
+        .map(|i| {
+            let width = 1 + (i % 5);
+            let start = i % 6;
+            ((start..start + width).collect(), 10 + (i * 7) % 90)
+        })
+        .collect();
+    SignatureView::from_counts(properties, signatures).expect("valid synthetic view")
+}
+
+fn refine_request(theta: Ratio) -> SolveRequest {
+    SolveRequest {
+        op: SolveOp::Refine,
+        view: chunky_view(),
+        spec: SigmaSpec::Coverage,
+        engine: EngineKind::Greedy,
+        k: Some(3),
+        theta: Some(theta),
+        step: None,
+        max_k: None,
+        time_limit: None,
+    }
+}
+
+#[test]
+fn concurrent_identical_requests_solve_exactly_once() {
+    let handle = start_test_server(2, 64);
+    let addr = handle.addr();
+    let request = Arc::new(SolveRequest {
+        op: SolveOp::HighestTheta,
+        view: chunky_view(),
+        spec: SigmaSpec::Coverage,
+        engine: EngineKind::Greedy,
+        k: Some(3),
+        theta: None,
+        step: Some(Ratio::new(1, 100)),
+        max_k: None,
+        time_limit: None,
+    });
+
+    const CLIENTS: usize = 8;
+    let mut joins = Vec::new();
+    for _ in 0..CLIENTS {
+        let request = Arc::clone(&request);
+        joins.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let response = client.solve(&request).expect("solve succeeds");
+            (
+                response.source().expect("success has a source"),
+                response
+                    .result_text()
+                    .expect("success has a result")
+                    .to_owned(),
+            )
+        }));
+    }
+    let outcomes: Vec<(Source, String)> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+
+    // Everyone got the same bytes, whatever path served them.
+    let reference = &outcomes[0].1;
+    for (_, text) in &outcomes {
+        assert_eq!(text, reference, "all clients share one answer");
+    }
+
+    let mut status_client = Client::connect(addr).expect("connect for status");
+    let status = status_client.status().expect("status");
+    let result = status.result().expect("status result");
+    let cache = result.get("cache").expect("cache block");
+    let flight = result.get("singleflight").expect("singleflight block");
+    let insertions = cache.get("insertions").unwrap().as_int().unwrap();
+    let hits = cache.get("hits").unwrap().as_int().unwrap();
+    let leaders = flight.get("leaders").unwrap().as_int().unwrap();
+    let shared = flight.get("shared").unwrap().as_int().unwrap();
+
+    // The load-bearing invariant: CLIENTS identical requests caused exactly
+    // one solve — one cache insertion, one client observing source=solved.
+    // The others coalesced onto the leader or hit the cache afterwards.
+    assert_eq!(insertions, 1, "identical requests must solve once");
+    assert!(
+        leaders >= 1 && leaders + shared + hits >= CLIENTS as i64,
+        "every request is accounted for: leaders={leaders} shared={shared} hits={hits}"
+    );
+    let sources: Vec<Source> = outcomes.iter().map(|(source, _)| *source).collect();
+    assert_eq!(
+        sources.iter().filter(|s| **s == Source::Solved).count(),
+        1,
+        "exactly one client observed the solve: {sources:?}"
+    );
+
+    status_client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn distinct_requests_do_not_share_cache_entries() {
+    let handle = start_test_server(2, 64);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let half = client.solve(&refine_request(Ratio::new(1, 2))).unwrap();
+    let third = client.solve(&refine_request(Ratio::new(1, 3))).unwrap();
+    assert_eq!(half.source(), Some(Source::Solved));
+    assert_eq!(third.source(), Some(Source::Solved));
+
+    // Re-asking either comes from the cache, with its own entry.
+    let half_again = client.solve(&refine_request(Ratio::new(1, 2))).unwrap();
+    assert_eq!(half_again.source(), Some(Source::Cache));
+    assert_eq!(half_again.result_text(), half.result_text());
+
+    let status = client.status().unwrap();
+    let entries = status
+        .result()
+        .unwrap()
+        .get("cache")
+        .unwrap()
+        .get("entries")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert_eq!(entries, 2, "two distinct instances, two cache entries");
+
+    client.shutdown().unwrap();
+    handle.wait();
+}
+
+#[test]
+fn lru_eviction_is_observable_through_status() {
+    // Capacity 2: the third distinct instance evicts the least recent.
+    let handle = start_test_server(1, 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    client.solve(&refine_request(Ratio::new(1, 2))).unwrap();
+    client.solve(&refine_request(Ratio::new(1, 3))).unwrap();
+    // Touch 1/2 so 1/3 is the LRU victim.
+    assert_eq!(
+        client
+            .solve(&refine_request(Ratio::new(1, 2)))
+            .unwrap()
+            .source(),
+        Some(Source::Cache)
+    );
+    client.solve(&refine_request(Ratio::new(1, 4))).unwrap();
+
+    // 1/3 was evicted: asking again re-solves; 1/2 survived: cache.
+    assert_eq!(
+        client
+            .solve(&refine_request(Ratio::new(1, 3)))
+            .unwrap()
+            .source(),
+        Some(Source::Solved),
+        "the LRU entry must have been evicted"
+    );
+    assert_eq!(
+        client
+            .solve(&refine_request(Ratio::new(1, 4)))
+            .unwrap()
+            .source(),
+        Some(Source::Cache)
+    );
+
+    let status = client.status().unwrap();
+    let evictions = status
+        .result()
+        .unwrap()
+        .get("cache")
+        .unwrap()
+        .get("evictions")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert!(evictions >= 2, "evictions must be counted, saw {evictions}");
+
+    client.shutdown().unwrap();
+    handle.wait();
+}
+
+#[test]
+fn malformed_lines_get_error_responses_and_the_connection_survives() {
+    let handle = start_test_server(1, 8);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for bad in [
+        "this is not json",
+        "{\"op\":\"frobnicate\"}",
+        "{\"no\":\"op\"}",
+        "{\"op\":\"refine\"}",
+        "{\"op\":\"refine\",\"view\":{\"properties\":[\"p\"],\"signatures\":[[[7],1]]},\"k\":1,\"theta\":\"1/2\"}",
+        "{\"op\":\"refine\",\"view\":{\"properties\":[\"p\"],\"signatures\":[[[0],1]]},\"k\":1,\"theta\":\"0.5.5\"}",
+    ] {
+        let raw = client.call_raw(bad).expect("connection stays up");
+        assert!(raw.starts_with("{\"ok\":false,"), "for {bad}: {raw}");
+    }
+
+    // The same connection still serves good requests afterwards.
+    let response = client.solve(&refine_request(Ratio::new(1, 2))).unwrap();
+    assert_eq!(response.source(), Some(Source::Solved));
+
+    client.shutdown().unwrap();
+    handle.wait();
+}
+
+#[test]
+fn shutdown_stops_accepting_new_connections() {
+    let handle = start_test_server(1, 8);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown acknowledged");
+    let status = handle.wait();
+    assert!(status.connections >= 1);
+
+    // The listener is gone; connecting now fails (possibly after the OS
+    // drains its backlog, so allow a few attempts).
+    let mut refused = false;
+    for _ in 0..50 {
+        match Client::connect(addr) {
+            Err(_) => {
+                refused = true;
+                break;
+            }
+            Ok(mut leftover) => {
+                // A backlog connection may be accepted by nobody: any call
+                // on it must fail.
+                if leftover.status().is_err() {
+                    refused = true;
+                    break;
+                }
+            }
+        }
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(refused, "the server must stop serving after shutdown");
+}

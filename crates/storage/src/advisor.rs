@@ -132,7 +132,11 @@ impl fmt::Display for AdvisorReport {
             "refinement: {} implicit sort(s), min σ = {:.3}{}",
             self.refinement.k(),
             self.refinement.min_sigma().to_f64(),
-            if self.hit_budget { " (budget-limited)" } else { "" }
+            if self.hit_budget {
+                " (budget-limited)"
+            } else {
+                ""
+            }
         )?;
         for sort in &self.sort_tables {
             writeln!(
@@ -146,7 +150,11 @@ impl fmt::Display for AdvisorReport {
                     .map_or_else(|| "n/a".to_owned(), |fill| format!("{fill:.3}")),
             )?;
         }
-        writeln!(f, "workload of {} queries:", self.summaries.first().map_or(0, |s| s.queries))?;
+        writeln!(
+            f,
+            "workload of {} queries:",
+            self.summaries.first().map_or(0, |s| s.queries)
+        )?;
         for summary in &self.summaries {
             writeln!(
                 f,

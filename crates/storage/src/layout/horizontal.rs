@@ -96,7 +96,13 @@ impl Layout for HorizontalLayout {
         match query {
             Query::SubjectLookup { subject } => {
                 let Some(row) = self.table.row_of(subject) else {
-                    return (output, QueryCost { index_lookups: 1, ..QueryCost::default() });
+                    return (
+                        output,
+                        QueryCost {
+                            index_lookups: 1,
+                            ..QueryCost::default()
+                        },
+                    );
                 };
                 let cost = self.row_lookup_cost(row, self.table.column_count());
                 for (column, label) in self.table.columns().iter().enumerate() {
@@ -108,10 +114,22 @@ impl Layout for HorizontalLayout {
             }
             Query::ValueLookup { subject, property } => {
                 let Some(row) = self.table.row_of(subject) else {
-                    return (output, QueryCost { index_lookups: 1, ..QueryCost::default() });
+                    return (
+                        output,
+                        QueryCost {
+                            index_lookups: 1,
+                            ..QueryCost::default()
+                        },
+                    );
                 };
                 let Some(column) = self.table.column_of(property) else {
-                    return (output, QueryCost { index_lookups: 1, ..QueryCost::default() });
+                    return (
+                        output,
+                        QueryCost {
+                            index_lookups: 1,
+                            ..QueryCost::default()
+                        },
+                    );
                 };
                 let cost = self.row_lookup_cost(row, 1);
                 for value in self.table.cell(row, column) {
@@ -167,7 +185,10 @@ mod tests {
     fn sample_graph() -> Graph {
         let mut graph = Graph::new();
         for (subject, properties) in [
-            ("http://ex/ada", vec![("name", "Ada"), ("deathDate", "1852")]),
+            (
+                "http://ex/ada",
+                vec![("name", "Ada"), ("deathDate", "1852")],
+            ),
             ("http://ex/tim", vec![("name", "Tim")]),
             ("http://ex/bob", vec![("name", "Bob")]),
         ] {

@@ -7,11 +7,11 @@
 
 use std::collections::BTreeMap;
 
+use strudel_core::refinement::SortRefinement;
 use strudel_rdf::bitset::BitSet;
 use strudel_rdf::graph::Graph;
 use strudel_rdf::matrix::PropertyStructureView;
 use strudel_rdf::signature::SignatureView;
-use strudel_core::refinement::SortRefinement;
 
 use crate::cost::{CostModel, QueryCost, StorageStats};
 use crate::error::StorageError;
@@ -144,8 +144,10 @@ impl PropertyTablesLayout {
         }
 
         let model = config.cost_model.clone();
-        let table_stats: Vec<StorageStats> =
-            tables.iter().map(|table| table.storage_stats(&model)).collect();
+        let table_stats: Vec<StorageStats> = tables
+            .iter()
+            .map(|table| table.storage_stats(&model))
+            .collect();
         let stats = table_stats
             .iter()
             .copied()
@@ -295,8 +297,14 @@ mod tests {
     fn sample_graph() -> Graph {
         let mut graph = Graph::new();
         for (subject, properties) in [
-            ("http://ex/ada", vec![("name", "Ada"), ("deathDate", "1852")]),
-            ("http://ex/grace", vec![("name", "Grace"), ("deathDate", "1992")]),
+            (
+                "http://ex/ada",
+                vec![("name", "Ada"), ("deathDate", "1852")],
+            ),
+            (
+                "http://ex/grace",
+                vec![("name", "Grace"), ("deathDate", "1992")],
+            ),
             ("http://ex/tim", vec![("name", "Tim")]),
             ("http://ex/bob", vec![("name", "Bob")]),
             ("http://ex/eve", vec![("name", "Eve")]),
@@ -325,14 +333,9 @@ mod tests {
         let (matrix, view) = pipeline(&graph);
         // Two signatures: {name} (3 subjects) and {name, deathDate} (2).
         assert_eq!(view.signature_count(), 2);
-        let refinement = SortRefinement::from_assignment(
-            &view,
-            &SigmaSpec::Coverage,
-            Ratio::ONE,
-            &[0, 1],
-            2,
-        )
-        .unwrap();
+        let refinement =
+            SortRefinement::from_assignment(&view, &SigmaSpec::Coverage, Ratio::ONE, &[0, 1], 2)
+                .unwrap();
         let layout = PropertyTablesLayout::from_refinement(
             &graph,
             &matrix,

@@ -190,7 +190,11 @@ mod tests {
         let mut graph = Graph::new();
         graph.insert_type("http://ex/ada", "http://ex/Person");
         graph.insert_literal_triple("http://ex/ada", "http://ex/name", Literal::simple("Ada"));
-        graph.insert_literal_triple("http://ex/ada", "http://ex/deathDate", Literal::simple("1852"));
+        graph.insert_literal_triple(
+            "http://ex/ada",
+            "http://ex/deathDate",
+            Literal::simple("1852"),
+        );
         graph.insert_type("http://ex/tim", "http://ex/Person");
         graph.insert_literal_triple("http://ex/tim", "http://ex/name", Literal::simple("Tim"));
         graph

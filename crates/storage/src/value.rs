@@ -26,9 +26,7 @@ impl Value {
     pub fn from_object(graph: &Graph, object: Object) -> Value {
         match object {
             Object::Iri(id) => Value::Iri(graph.iri(id).to_owned()),
-            Object::Literal(id) => {
-                Value::Literal(graph.dictionary().literal(id).to_string())
-            }
+            Object::Literal(id) => Value::Literal(graph.dictionary().literal(id).to_string()),
         }
     }
 

@@ -8,10 +8,8 @@
 //! mean something.
 
 use std::collections::BTreeMap;
+use strudel_rdf::rng::StdRng;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use strudel_rdf::graph::Graph;
 use strudel_rdf::vocab::RDF_TYPE;
 
@@ -86,7 +84,7 @@ pub fn generate_workload(graph: &Graph, config: &WorkloadConfig) -> Vec<Query> {
     let arity = config.star_join_arity.max(2).min(properties.len());
     for _ in 0..config.star_joins {
         let mut chosen = properties.clone();
-        chosen.shuffle(&mut rng);
+        rng.shuffle(&mut chosen);
         chosen.truncate(arity);
         chosen.sort();
         queries.push(Query::StarJoin { properties: chosen });

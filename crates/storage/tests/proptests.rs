@@ -9,6 +9,10 @@
 //! * the one-table-per-signature property-table layout never stores a NULL,
 //!   and its occupied cell count equals the number of 1-cells of `M(D)`.
 
+// Needs the external `proptest` crate: compiled only with `--features proptest`
+// (unavailable in offline builds; see the manifest note).
+#![cfg(feature = "proptest")]
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -198,5 +202,9 @@ fn multi_valued_properties_round_trip_through_all_layouts() {
     assert_eq!(summaries.len(), 3);
 
     let (values, _) = triple_store.execute(&queries[2]);
-    assert_eq!(values.len(), 2, "both values of the multi-valued cell survive");
+    assert_eq!(
+        values.len(),
+        2,
+        "both values of the multi-valued cell survive"
+    );
 }

@@ -47,7 +47,10 @@ fn main() {
     let custom_value = custom.evaluate(&view).unwrap();
     println!("σ_Cov          = {}", format_sigma(cov));
     println!("σ_custom       = {}", format_sigma(custom_value));
-    assert!(custom_value > cov, "ignoring the sparse column raises the score");
+    assert!(
+        custom_value > cov,
+        "ignoring the sparse column raises the score"
+    );
 
     // A dependency question phrased as a rule: "if a product lists a
     // warranty, does it also list a brand?"
@@ -64,7 +67,9 @@ fn main() {
     let engine = IlpEngine::new();
     let result = highest_theta(&view, &custom, 2, &engine, &HighestThetaOptions::default())
         .expect("search completes");
-    let refinement = result.refinement.expect("always feasible at the starting threshold");
+    let refinement = result
+        .refinement
+        .expect("always feasible at the starting threshold");
     println!("\n== best 2-sort refinement under the custom rule ==");
     println!("highest feasible threshold: {}", format_sigma(result.theta));
     println!(

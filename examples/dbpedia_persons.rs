@@ -45,7 +45,12 @@ fn main() {
 
     // Table 1: the σ_Dep matrix over the four birth/death properties.
     println!("\n== Table 1: σ_Dep matrix ==");
-    let table_columns = [cols.death_place, cols.birth_place, cols.death_date, cols.birth_date];
+    let table_columns = [
+        cols.death_place,
+        cols.birth_place,
+        cols.death_date,
+        cols.birth_date,
+    ];
     let names = ["deathPlace", "birthPlace", "deathDate", "birthDate"];
     let matrix = dependency_matrix(&view, &table_columns);
     println!("{:>12} {:>6} {:>6} {:>6} {:>6}", "", "dP", "bP", "dD", "bD");
@@ -57,7 +62,11 @@ fn main() {
     // Table 2: the σ_SymDep ranking (top and bottom entries).
     println!("\n== Table 2: σ_SymDep ranking (top 3 / bottom 3) ==");
     let ranking = sym_dependency_ranking(&view);
-    for entry in ranking.iter().take(3).chain(ranking.iter().rev().take(3).rev()) {
+    for entry in ranking
+        .iter()
+        .take(3)
+        .chain(ranking.iter().rev().take(3).rev())
+    {
         println!(
             "  {:<12} {:<12} {:.2}",
             shorten(&entry.property_a),
@@ -76,13 +85,18 @@ fn main() {
         IlpEngine::with_time_limit(Duration::from_secs(20)),
     );
     for spec in [SigmaSpec::Coverage, SigmaSpec::Similarity] {
-        println!("\n== Figure 4: highest-θ refinement, k = 2, {} ==", spec.name());
+        println!(
+            "\n== Figure 4: highest-θ refinement, k = 2, {} ==",
+            spec.name()
+        );
         let result = highest_theta(&view, &spec, 2, &engine, &HighestThetaOptions::default())
             .expect("search completes");
         if result.hit_budget {
             println!("(time limit reached; reporting the best refinement found so far)");
         }
-        let refinement = result.refinement.expect("the starting threshold is always feasible");
+        let refinement = result
+            .refinement
+            .expect("the starting threshold is always feasible");
         println!("highest feasible threshold: {}", format_sigma(result.theta));
         for (idx, sort) in refinement.sorts.iter().enumerate() {
             let sub = view.subset(&sort.signatures);
@@ -93,7 +107,11 @@ fn main() {
                 sort.subjects,
                 sort.signatures.len(),
                 sort.sigma.to_f64(),
-                if death_free { "  (no death data: the 'alive' sort)" } else { "" }
+                if death_free {
+                    "  (no death data: the 'alive' sort)"
+                } else {
+                    ""
+                }
             );
         }
     }

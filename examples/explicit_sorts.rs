@@ -8,7 +8,9 @@
 //! Run with `cargo run --example explicit_sorts`.
 
 use strudel_core::prelude::*;
-use strudel_datagen::{benchmark_sorts, dbpedia_persons_scaled, materialize_graph, BenchmarkProfile};
+use strudel_datagen::{
+    benchmark_sorts, dbpedia_persons_scaled, materialize_graph, BenchmarkProfile,
+};
 use strudel_rdf::prelude::*;
 
 fn main() {
@@ -45,11 +47,7 @@ fn main() {
     //    fits its schema — and refine it into two implicit sorts.
     let worst = survey
         .iter()
-        .min_by(|a, b| {
-            a.sigma("Cov")
-                .unwrap()
-                .cmp(&b.sigma("Cov").unwrap())
-        })
+        .min_by(|a, b| a.sigma("Cov").unwrap().cmp(&b.sigma("Cov").unwrap()))
         .expect("the survey is non-empty");
     println!(
         "refining <{}> (σ_Cov = {})\n",

@@ -70,7 +70,11 @@ fn main() {
         println!(
             "sort {idx}: {} subjects — {}",
             sort.subjects,
-            if has_death { "people with death records" } else { "people without death records" }
+            if has_death {
+                "people with death records"
+            } else {
+                "people without death records"
+            }
         );
     }
 }

@@ -62,7 +62,12 @@ fn turtle_to_refinement_pipeline() {
         ex:other a ex:Store ; ex:title "not a product" .
     "#;
     let graph = parse_turtle(doc).expect("valid turtle");
-    assert_eq!(graph.subjects_of_sort_named("http://example.org/Product").len(), 5);
+    assert_eq!(
+        graph
+            .subjects_of_sort_named("http://example.org/Product")
+            .len(),
+        5
+    );
 
     let matrix =
         PropertyStructureView::from_sort(&graph, "http://example.org/Product", true).unwrap();
@@ -88,7 +93,9 @@ fn turtle_to_refinement_pipeline() {
         &HighestThetaOptions::default(),
     )
     .unwrap();
-    let refinement = result.refinement.expect("feasible at the starting threshold");
+    let refinement = result
+        .refinement
+        .expect("feasible at the starting threshold");
     refinement.validate(&view).unwrap();
     let rendering = render_refinement(&view, &refinement, &RenderOptions::default());
     assert!(rendering.contains("sort 0"));
@@ -103,7 +110,11 @@ fn dependency_and_classification_on_parsed_data() {
         let subject = format!("http://example.org/c{i}");
         graph.insert_type(&subject, "http://example.org/Company");
         graph.insert_literal_triple(&subject, "http://example.org/name", Literal::simple("x"));
-        graph.insert_literal_triple(&subject, "http://example.org/industry", Literal::simple("y"));
+        graph.insert_literal_triple(
+            &subject,
+            "http://example.org/industry",
+            Literal::simple("y"),
+        );
     }
     for i in 0..10 {
         let subject = format!("http://example.org/p{i}");

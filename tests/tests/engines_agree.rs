@@ -3,6 +3,10 @@
 //! exhaustive oracle on every random small instance, and the hybrid engine's
 //! positive answers must be genuine.
 
+// Needs the external `proptest` crate: compiled only with `--features proptest`
+// (unavailable in offline builds; see the manifest note).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use strudel_core::prelude::*;
 use strudel_rdf::signature::SignatureView;
@@ -19,7 +23,9 @@ fn view_strategy() -> impl Strategy<Value = SignatureView> {
         )
         .unwrap()
     })
-    .prop_filter("at least two signatures", |view| view.signature_count() >= 2)
+    .prop_filter("at least two signatures", |view| {
+        view.signature_count() >= 2
+    })
 }
 
 fn spec_strategy() -> impl Strategy<Value = SigmaSpec> {

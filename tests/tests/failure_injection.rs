@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use strudel_core::prelude::*;
-use strudel_integration_tests::small_persons_view;
+use strudel_integration::small_persons_view;
 use strudel_rdf::prelude::*;
 use strudel_rules::error::{EvalError, RuleError};
 use strudel_rules::eval::{EvalConfig, Evaluator};
@@ -14,11 +14,11 @@ use strudel_rules::parser::parse_rule;
 #[test]
 fn malformed_rdf_inputs_are_rejected_with_positions() {
     let cases = [
-        "<http://s> <http://p> .\n",                       // missing object
-        "<http://s> <http://p> <http://o>\n",              // missing dot
-        "_:blank <http://p> <http://o> .\n",               // blank node subject
-        "<http://s> <http://p> \"unterminated .\n",        // unterminated literal
-        "<http://s> <http://p> \"x\"^^missing .\n",        // malformed datatype
+        "<http://s> <http://p> .\n",                // missing object
+        "<http://s> <http://p> <http://o>\n",       // missing dot
+        "_:blank <http://p> <http://o> .\n",        // blank node subject
+        "<http://s> <http://p> \"unterminated .\n", // unterminated literal
+        "<http://s> <http://p> \"x\"^^missing .\n", // malformed datatype
     ];
     for case in cases {
         let err = parse_ntriples(case).expect_err(case);
@@ -26,9 +26,9 @@ fn malformed_rdf_inputs_are_rejected_with_positions() {
         assert!(!err.message.is_empty());
     }
     let turtle_cases = [
-        "ex:a ex:b ex:c .",                                // undeclared prefix
-        "@prefix ex: <http://e/> .\nex:a ex:p [ ] .",      // anonymous node
-        "@prefix ex: <http://e/> .\nex:a ex:p ex:b ,, .",  // stray comma
+        "ex:a ex:b ex:c .",                               // undeclared prefix
+        "@prefix ex: <http://e/> .\nex:a ex:p [ ] .",     // anonymous node
+        "@prefix ex: <http://e/> .\nex:a ex:p ex:b ,, .", // stray comma
     ];
     for case in turtle_cases {
         assert!(parse_turtle(case).is_err(), "accepted: {case}");
@@ -41,10 +41,7 @@ fn malformed_rules_are_rejected() {
         parse_rule("c = c -> val(d) = 1"),
         Err(RuleError::UnboundConsequentVariable(_))
     ));
-    assert!(matches!(
-        parse_rule("c = c"),
-        Err(RuleError::Parse { .. })
-    ));
+    assert!(matches!(parse_rule("c = c"), Err(RuleError::Parse { .. })));
     assert!(matches!(
         parse_rule("val(c) = 7 -> val(c) = 1"),
         Err(RuleError::Parse { .. })

@@ -57,7 +57,9 @@ fn dbpedia_cov_split_discovers_the_alive_sort() {
         &coarse_options(),
     )
     .unwrap();
-    let refinement = result.refinement.expect("feasible at the starting threshold");
+    let refinement = result
+        .refinement
+        .expect("feasible at the starting threshold");
     assert_eq!(refinement.k(), 2);
     assert!(result.theta.to_f64() > SigmaSpec::Coverage.evaluate(&view).unwrap().to_f64());
     let death_free = refinement.sorts.iter().any(|sort| {
@@ -65,7 +67,10 @@ fn dbpedia_cov_split_discovers_the_alive_sort() {
         sub.property_subject_count(cols.death_date) == 0
             && sub.property_subject_count(cols.death_place) == 0
     });
-    assert!(death_free, "one implicit sort should contain only death-free signatures");
+    assert!(
+        death_free,
+        "one implicit sort should contain only death-free signatures"
+    );
 }
 
 /// Table 1 shape: knowing the deathPlace implies knowing nearly everything
@@ -74,13 +79,24 @@ fn dbpedia_cov_split_discovers_the_alive_sort() {
 fn dependency_table_shape() {
     let view = dbpedia_persons();
     let cols = person_columns(&view);
-    let order = [cols.death_place, cols.birth_place, cols.death_date, cols.birth_date];
+    let order = [
+        cols.death_place,
+        cols.birth_place,
+        cols.death_date,
+        cols.birth_date,
+    ];
     let matrix = dependency_matrix(&view, &order);
-    for j in 1..4 {
-        assert!(matrix[0][j].to_f64() > 0.7, "deathPlace row must be high");
+    for cell in &matrix[0][1..4] {
+        assert!(cell.to_f64() > 0.7, "deathPlace row must be high");
     }
-    assert!(matrix[1][2].to_f64() < 0.5, "birthPlace → deathDate must be low");
-    assert!(matrix[3][0].to_f64() < 0.5, "birthDate → deathPlace must be low");
+    assert!(
+        matrix[1][2].to_f64() < 0.5,
+        "birthPlace → deathDate must be low"
+    );
+    assert!(
+        matrix[3][0].to_f64() < 0.5,
+        "birthDate → deathPlace must be low"
+    );
 }
 
 /// Table 2 shape: givenName/surName is the most correlated pair; pairs with
@@ -140,8 +156,8 @@ fn semantic_correctness_shape() {
                 .collect(),
         ),
     ] {
-        let result = highest_theta(&dataset.view, &spec, 2, &quick_engine(), &coarse_options())
-            .unwrap();
+        let result =
+            highest_theta(&dataset.view, &spec, 2, &quick_engine(), &coarse_options()).unwrap();
         let refinement = result.refinement.expect("always feasible");
         let outcome = evaluate_binary_split(&dataset.view, &refinement, &labels);
         assert_eq!(
@@ -151,7 +167,11 @@ fn semantic_correctness_shape() {
                 + outcome.true_negatives,
             67
         );
-        assert!(outcome.accuracy() > 0.6, "accuracy {:.2}", outcome.accuracy());
+        assert!(
+            outcome.accuracy() > 0.6,
+            "accuracy {:.2}",
+            outcome.accuracy()
+        );
         accuracies.push(outcome.accuracy());
     }
     assert!(accuracies[1] >= accuracies[0] - 1e-9);
