@@ -1,5 +1,6 @@
 //! Throughput benchmark of the refinement service: cold solves vs cache
-//! hits vs single-flight coalescing, over real TCP on localhost.
+//! hits, single requests vs batch envelopes, coalesced bursts, and warm
+//! starts from the persistent segment — over real TCP on localhost.
 //!
 //! Pure std (`harness = false`): the Criterion benchmarks of this crate need
 //! an external dependency unavailable in offline builds, so this harness
@@ -9,10 +10,13 @@
 //! cargo bench -p strudel-bench --bench bench_server
 //! ```
 //!
-//! The numbers to look at: the cached requests/s should dwarf the cold
-//! rate by orders of magnitude (the point of the result cache), and the
-//! coalesced column shows `n` concurrent identical requests costing about
-//! one solve.
+//! The numbers to look at: cached requests/s should dwarf the cold rate by
+//! orders of magnitude (the point of the result cache); batched cached
+//! requests/s should beat single-request by ≥ 2× (framing and syscalls
+//! amortized across the envelope — asserted, so CI catches regressions);
+//! and the warm-start section shows a restarted server answering every
+//! previously-cached request from the replayed segment, byte-identically,
+//! without recomputing (also asserted).
 
 use std::sync::Arc;
 use std::thread;
@@ -21,6 +25,7 @@ use std::time::Instant;
 use strudel_core::sigma::SigmaSpec;
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
+use strudel_server::json::Json;
 use strudel_server::prelude::*;
 
 /// A solve-heavy instance: distinct per `variant` so cold runs never hit
@@ -59,13 +64,16 @@ fn requests_per_second(count: usize, run: impl FnOnce()) -> f64 {
 fn main() {
     const COLD: usize = 40;
     const CACHED: usize = 2000;
+    const BATCH_SIZE: usize = 50;
     const COALESCED_CLIENTS: usize = 8;
     const COALESCED_ROUNDS: usize = 10;
+    const WARM: usize = 24;
 
     let handle = server::start(&ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 4,
         cache_capacity: 4096,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = handle.addr();
@@ -78,12 +86,27 @@ fn main() {
         }
     });
 
-    // Cached: one instance, repeated — after the first, pure cache replay.
+    // Cached, one request per line: one instance, repeated — after the
+    // first, pure cache replay, but every repeat still pays a full
+    // write/read round trip.
     let cached_request = request(0); // solved above, already resident
     let cached_rps = requests_per_second(CACHED, || {
         for _ in 0..CACHED {
             let response = client.solve(&cached_request).expect("cached solve");
             assert_eq!(response.source(), Some(Source::Cache));
+        }
+    });
+
+    // Cached, batched: the same volume of repeats shipped BATCH_SIZE per
+    // envelope — one line each way per batch amortizes framing & syscalls.
+    let batch: Vec<Json> = (0..BATCH_SIZE).map(|_| cached_request.to_json()).collect();
+    let batched_rps = requests_per_second(CACHED, || {
+        for _ in 0..CACHED / BATCH_SIZE {
+            let outcomes = client.call_batch(&batch).expect("cached batch");
+            for outcome in outcomes {
+                let response = outcome.expect("batched element succeeds");
+                assert_eq!(response.source(), Some(Source::Cache));
+            }
         }
     });
 
@@ -112,17 +135,22 @@ fn main() {
     let result = status.result().expect("status result").clone();
     let cache = result.get("cache").expect("cache counters");
     let flight = result.get("singleflight").expect("flight counters");
+    let batch_speedup = batched_rps / cached_rps.max(f64::MIN_POSITIVE);
 
-    println!("server throughput (localhost TCP, 4 workers):");
+    println!("server throughput (localhost TCP, 4 workers, event loop):");
     println!("  cold solves:        {cold_rps:>10.0} req/s ({COLD} distinct instances)");
-    println!("  cache hits:         {cached_rps:>10.0} req/s ({CACHED} repeats of one instance)");
+    println!("  cache hits:         {cached_rps:>10.0} req/s ({CACHED} repeats, 1 request/line)");
+    println!(
+        "  cache hits batched: {batched_rps:>10.0} req/s ({CACHED} repeats, {BATCH_SIZE} requests/envelope)"
+    );
     println!(
         "  coalesced bursts:   {coalesced_rps:>10.0} req/s ({COALESCED_ROUNDS} bursts × {COALESCED_CLIENTS} concurrent identical)"
     );
     println!(
-        "  speedup cached/cold: {:>8.1}×",
+        "  speedup cached/cold:     {:>8.1}×",
         cached_rps / cold_rps.max(f64::MIN_POSITIVE)
     );
+    println!("  speedup batched/single:  {batch_speedup:>8.1}× (cached path)");
     println!(
         "  cache: {} hits / {} misses / {} insertions; single-flight: {} led / {} shared",
         cache.get("hits").unwrap(),
@@ -131,7 +159,89 @@ fn main() {
         flight.get("leaders").unwrap(),
         flight.get("shared").unwrap(),
     );
+    assert!(
+        batch_speedup >= 2.0,
+        "batching must amortize the cached path by at least 2×, measured {batch_speedup:.1}×"
+    );
 
     client.shutdown().expect("shutdown");
     handle.wait();
+
+    // ── Warm start ──────────────────────────────────────────────────────
+    // Solve WARM distinct instances into a persistent segment, shut down,
+    // restart on the same segment, and re-ask: every answer must come from
+    // the replayed cache, byte-identical, with zero recomputation.
+    let segment =
+        std::env::temp_dir().join(format!("strudel-bench-warm-{}.segment", std::process::id()));
+    std::fs::remove_file(&segment).ok();
+    let persist_config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        cache_capacity: 4096,
+        persist_path: Some(segment.clone()),
+        ..ServerConfig::default()
+    };
+
+    let first = server::start(&persist_config).expect("bind first life");
+    let mut client = Client::connect(first.addr()).expect("connect");
+    let mut cold_payloads = Vec::new();
+    let cold_start = Instant::now();
+    for variant in 0..WARM {
+        let response = client.solve(&request(variant)).expect("cold solve");
+        cold_payloads.push(response.result_text().expect("payload").to_owned());
+    }
+    let cold_fill = cold_start.elapsed();
+    client.shutdown().expect("shutdown");
+    first.wait();
+
+    let second = server::start(&persist_config).expect("bind second life");
+    let mut client = Client::connect(second.addr()).expect("connect");
+    let warm_start = Instant::now();
+    for (variant, cold) in cold_payloads.iter().enumerate() {
+        let response = client.solve(&request(variant)).expect("warm solve");
+        assert_eq!(
+            response.source(),
+            Some(Source::Cache),
+            "instance {variant} was recomputed after restart"
+        );
+        assert_eq!(
+            response.result_text().expect("payload"),
+            cold,
+            "instance {variant} not byte-identical after restart"
+        );
+    }
+    let warm_serve = warm_start.elapsed();
+
+    let status = client.status().expect("status");
+    let result = status.result().expect("status result").clone();
+    let hits = result
+        .get("cache")
+        .and_then(|cache| cache.get("hits"))
+        .and_then(Json::as_int)
+        .expect("hit counter");
+    let replayed = result
+        .get("persist")
+        .and_then(|persist| persist.get("replayed"))
+        .and_then(Json::as_int)
+        .expect("replay counter");
+    assert_eq!(hits, WARM as i64, "every warm request must be a cache hit");
+    assert_eq!(replayed, WARM as i64, "the segment must replay every entry");
+
+    println!("warm start (persistent segment, {WARM} instances):");
+    println!(
+        "  cold fill (first life):  {:>8.1} ms",
+        cold_fill.as_secs_f64() * 1e3
+    );
+    println!(
+        "  warm serve (restarted):  {:>8.1} ms",
+        warm_serve.as_secs_f64() * 1e3
+    );
+    println!(
+        "  speedup warm/cold:       {:>8.1}×  ({hits} hits, {replayed} replayed, 0 recomputed)",
+        cold_fill.as_secs_f64() / warm_serve.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+
+    client.shutdown().expect("shutdown");
+    second.wait();
+    std::fs::remove_file(&segment).ok();
 }

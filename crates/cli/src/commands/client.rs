@@ -33,13 +33,16 @@ pub const SPEC: ArgSpec = ArgSpec {
 };
 
 /// Usage text of `client`.
-pub const USAGE: &str = "strudel client <refine|highest-theta|lowest-k|status|shutdown> [FILE]
+pub const USAGE: &str =
+    "strudel client <refine|highest-theta|lowest-k|batch|status|shutdown> [FILE]
                [--addr HOST:PORT] [--sort IRI] [--rule SPEC] [--engine hybrid|ilp|greedy]
                [--k N] [--theta X] [--step X] [--max-k N] [--time-limit SECS] [--raw]
   Sends one request to a running 'strudel serve' (default --addr 127.0.0.1:7464).
   Solve operations load FILE, build its signature view locally, and ship the view;
-  repeated identical requests are answered from the server's cache. --raw prints
-  the verbatim response line instead of a report.";
+  repeated identical requests are answered from the server's cache. 'batch' reads
+  FILE as one JSON request object per line and ships them all in a single batch
+  envelope (one line each way; responses in request order, elements fail
+  independently). --raw prints the verbatim response line(s) instead of a report.";
 
 /// Runs the command.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -51,6 +54,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let response = match op_text {
         "status" => client.status().map_err(client_error)?,
         "shutdown" => client.shutdown().map_err(client_error)?,
+        "batch" => return run_batch(&mut client, &parsed),
         "refine" | "highest-theta" | "lowest-k" => {
             let op = match op_text {
                 "refine" => SolveOp::Refine,
@@ -63,7 +67,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         other => {
             return Err(CliError::Usage(format!(
                 "unknown client operation '{other}'; expected refine, highest-theta, \
-                 lowest-k, status, or shutdown"
+                 lowest-k, batch, status, or shutdown"
             )))
         }
     };
@@ -72,6 +76,60 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return Ok(response.raw.clone());
     }
     render_response(op_text, &response)
+}
+
+/// `client batch FILE`: one JSON request object per line of FILE, shipped
+/// as a single batch envelope.
+fn run_batch(client: &mut Client, parsed: &crate::args::ParsedArgs) -> Result<String, CliError> {
+    let Some(path) = parsed.positional(1) else {
+        return Err(CliError::Usage(
+            "'client batch' needs a FILE with one JSON request per line".to_owned(),
+        ));
+    };
+    let text = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_owned(),
+        source,
+    })?;
+    let requests: Vec<Json> = text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            strudel_server::json::parse(line)
+                .map_err(|err| CliError::Usage(format!("invalid request line in {path}: {err}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if requests.is_empty() {
+        return Err(CliError::Usage(format!("{path} contains no requests")));
+    }
+
+    let outcomes = client.call_batch(&requests).map_err(client_error)?;
+    let mut out = String::new();
+    if parsed.has_flag("raw") {
+        for outcome in &outcomes {
+            match outcome {
+                Ok(response) => out.push_str(&response.raw),
+                Err(message) => out.push_str(&strudel_server::protocol::encode_error(message)),
+            }
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    out.push_str(&format!("batch of {} request(s):\n", outcomes.len()));
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(response) => {
+                let op = response
+                    .value
+                    .get("op")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?");
+                let source = response.source().map(Source::name).unwrap_or("?");
+                out.push_str(&format!("  [{idx}] ok: {op}, source: {source}\n"));
+            }
+            Err(message) => out.push_str(&format!("  [{idx}] error: {message}\n")),
+        }
+    }
+    Ok(out)
 }
 
 fn client_error(err: ClientError) -> CliError {
@@ -232,19 +290,23 @@ fn render_status(result: &Json) -> String {
         }
         value.as_int().unwrap_or(0)
     };
-    format!(
-        "workers: {}, uptime: {} ms, connections: {}\n\
+    let mut out = format!(
+        "workers: {}, uptime: {} ms, connections: {} ({} open)\n\
          requests: {} refine / {} highest-theta / {} lowest-k / {} status, errors: {}\n\
+         batches: {} envelopes carrying {} requests\n\
          cache: {} hits, {} misses, {} evictions, {} resident of {}\n\
          single-flight: {} solves led, {} requests coalesced\n",
         int(&["workers"]),
         int(&["uptime_ms"]),
         int(&["connections"]),
+        int(&["open_connections"]),
         int(&["requests", "refine"]),
         int(&["requests", "highest_theta"]),
         int(&["requests", "lowest_k"]),
         int(&["requests", "status"]),
         int(&["requests", "errors"]),
+        int(&["requests", "batch"]),
+        int(&["requests", "batched"]),
         int(&["cache", "hits"]),
         int(&["cache", "misses"]),
         int(&["cache", "evictions"]),
@@ -252,7 +314,19 @@ fn render_status(result: &Json) -> String {
         int(&["cache", "capacity"]),
         int(&["singleflight", "leaders"]),
         int(&["singleflight", "shared"]),
-    )
+    );
+    if result.get("persist").map(|p| p != &Json::Null) == Some(true) {
+        out.push_str(&format!(
+            "persist: {} replayed, {} puts, {} tombstones, {} dead of {} live, {} compactions\n",
+            int(&["persist", "replayed"]),
+            int(&["persist", "puts"]),
+            int(&["persist", "tombstones"]),
+            int(&["persist", "dead"]),
+            int(&["persist", "live"]),
+            int(&["persist", "compactions"]),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -266,6 +340,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             cache_capacity: 16,
+            ..ServerConfig::default()
         })
         .unwrap();
         let addr = handle.addr().to_string();
@@ -367,6 +442,39 @@ mod tests {
         run(&args(&["shutdown", "--addr", &addr])).unwrap();
         handle.wait();
         std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn batch_files_ship_one_envelope_and_render_per_element() {
+        let (handle, addr) = start_test_server();
+        let path =
+            std::env::temp_dir().join(format!("strudel-cli-batch-{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"op\":\"status\"}\n\
+             {\"op\":\"refine\",\"view\":{\"properties\":[\"p\"],\"signatures\":[[[0],3]]},\"k\":1,\"theta\":\"1/2\"}\n\
+             {\"op\":\"frobnicate\"}\n",
+        )
+        .unwrap();
+        let file = path.to_str().unwrap();
+
+        let report = run(&args(&["batch", file, "--addr", &addr])).unwrap();
+        assert!(report.contains("batch of 3 request(s)"), "report: {report}");
+        assert!(report.contains("[0] ok: status"), "report: {report}");
+        assert!(report.contains("[1] ok: refine"), "report: {report}");
+        assert!(report.contains("[2] error:"), "report: {report}");
+
+        let raw = run(&args(&["batch", file, "--addr", &addr, "--raw"])).unwrap();
+        let lines: Vec<&str> = raw.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[1].contains("\"source\":\"cache\"") || lines[1].contains("\"source\":\"solved\"")
+        );
+        assert!(lines[2].starts_with("{\"ok\":false"), "raw: {raw}");
+
+        run(&args(&["shutdown", "--addr", &addr])).unwrap();
+        handle.wait();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::error::CliError;
 
 /// Argument specification of `serve`.
 pub const SPEC: ArgSpec = ArgSpec {
-    options: &["addr", "workers", "cache"],
+    options: &["addr", "workers", "cache", "persist", "compact-dead"],
     flags: &[],
     min_positional: 0,
     max_positional: 0,
@@ -15,11 +15,17 @@ pub const SPEC: ArgSpec = ArgSpec {
 
 /// Usage text of `serve`.
 pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache N]
-  Runs the refinement service: line-delimited JSON over TCP with a fixed-size
-  worker pool, a content-addressed result cache (LRU), and single-flight
-  deduplication of concurrent identical solves. Defaults: --addr 127.0.0.1:7464,
-  --workers 4, --cache 1024 entries. Blocks until a client sends
-  {\"op\":\"shutdown\"}; then reports the final counters.";
+             [--persist FILE] [--compact-dead N]
+  Runs the refinement service: line-delimited JSON over TCP driven by a
+  readiness-based event loop, with a fixed-size compute pool, a
+  content-addressed result cache (LRU), single-flight deduplication of
+  concurrent identical solves, and a batch envelope amortizing framing.
+  --persist FILE write-through caches results to an append-only segment file
+  replayed on the next start (warm start, byte-identical answers);
+  --compact-dead N compacts the segment once N dead records accumulate
+  (default 1024). Defaults: --addr 127.0.0.1:7464, --workers 4, --cache 1024
+  entries. Blocks until a client sends {\"op\":\"shutdown\"}; shutdown drains
+  in-flight solves and flushes the segment, then reports the final counters.";
 
 /// Runs the command. Blocks until a `shutdown` request arrives.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -34,6 +40,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if let Some(cache) = parsed.option_parsed::<usize>("cache")? {
         config.cache_capacity = cache;
     }
+    if let Some(path) = parsed.option("persist") {
+        config.persist_path = Some(path.into());
+    }
+    if let Some(threshold) = parsed.option_parsed::<u64>("compact-dead")? {
+        config.compact_dead_threshold = threshold;
+    }
 
     // Announce the bound address on stderr immediately (stdout carries the
     // final report): with --addr …:0 the OS picks the port and callers need
@@ -42,13 +54,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     out.push_str("server stopped\n");
     out.push_str(&format!(
-        "connections: {}, requests: {} refine / {} highest-theta / {} lowest-k / {} status, errors: {}\n",
+        "connections: {} ({} still open), requests: {} refine / {} highest-theta / {} lowest-k / {} status, errors: {}\n",
         status.connections,
+        status.open_connections,
         status.refine,
         status.highest_theta,
         status.lowest_k,
         status.status,
         status.errors,
+    ));
+    out.push_str(&format!(
+        "batches: {} envelopes carrying {} requests\n",
+        status.batches, status.batched_requests,
     ));
     out.push_str(&format!(
         "cache: {} hits, {} misses, {} evictions, {} resident of {}\n",
@@ -62,6 +79,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "single-flight: {} solves led, {} requests coalesced\n",
         status.flight.leaders, status.flight.shared,
     ));
+    if let Some(persist) = &status.persist {
+        out.push_str(&format!(
+            "persist: {} replayed at start, {} puts, {} tombstones, {} compactions, {} bytes on disk\n",
+            persist.replayed,
+            persist.puts,
+            persist.tombstones,
+            persist.compactions,
+            persist.file_bytes,
+        ));
+    }
     Ok(out)
 }
 
@@ -73,10 +100,14 @@ fn serve_announced(
         source,
     })?;
     eprintln!(
-        "strudel-server listening on {} ({} workers, {}-entry cache)",
+        "strudel-server listening on {} ({} workers, {}-entry cache{})",
         handle.addr(),
         config.workers,
-        config.cache_capacity
+        config.cache_capacity,
+        match &config.persist_path {
+            Some(path) => format!(", persisting to {}", path.display()),
+            None => String::new(),
+        }
     );
     Ok(handle.wait())
 }
@@ -94,6 +125,20 @@ mod tests {
         listener.local_addr().unwrap().to_string()
     }
 
+    fn connect_eventually(addr: &str) -> Client {
+        let mut attempts = 0;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return client,
+                Err(err) => {
+                    attempts += 1;
+                    assert!(attempts < 500, "server never came up: {err}");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
     #[test]
     fn serve_blocks_until_shutdown_and_reports_counters() {
         let addr = free_addr();
@@ -101,29 +146,52 @@ mod tests {
         let report_thread = std::thread::spawn(move || run(&serve_args));
 
         // Wait for the listener to come up, then drive it over TCP.
-        let mut attempts = 0;
-        let mut client = loop {
-            match Client::connect(&addr) {
-                Ok(client) => break client,
-                Err(err) => {
-                    attempts += 1;
-                    assert!(attempts < 500, "server never came up: {err}");
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                }
-            }
-        };
+        let mut client = connect_eventually(&addr);
         client.status().unwrap();
         client.shutdown().unwrap();
 
         let report = report_thread.join().unwrap().unwrap();
         assert!(report.contains("server stopped"), "report: {report}");
         assert!(report.contains("cache:"), "report: {report}");
+        assert!(report.contains("batches:"), "report: {report}");
         assert!(report.contains("single-flight:"), "report: {report}");
+        assert!(
+            !report.contains("persist:"),
+            "no persistence configured: {report}"
+        );
+    }
+
+    #[test]
+    fn serve_with_persistence_reports_the_segment() {
+        let addr = free_addr();
+        let segment =
+            std::env::temp_dir().join(format!("strudel-serve-persist-{}.log", std::process::id()));
+        std::fs::remove_file(&segment).ok();
+        let serve_args = args(&[
+            "--addr",
+            &addr,
+            "--workers",
+            "1",
+            "--persist",
+            segment.to_str().unwrap(),
+            "--compact-dead",
+            "16",
+        ]);
+        let report_thread = std::thread::spawn(move || run(&serve_args));
+
+        let mut client = connect_eventually(&addr);
+        client.shutdown().unwrap();
+
+        let report = report_thread.join().unwrap().unwrap();
+        assert!(report.contains("persist:"), "report: {report}");
+        assert!(segment.exists(), "segment file must be created");
+        std::fs::remove_file(&segment).ok();
     }
 
     #[test]
     fn bad_arguments_are_usage_errors() {
         assert!(run(&args(&["unexpected-positional"])).is_err());
         assert!(run(&args(&["--workers", "not-a-number"])).is_err());
+        assert!(run(&args(&["--compact-dead", "many"])).is_err());
     }
 }

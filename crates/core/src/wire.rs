@@ -81,6 +81,79 @@ pub struct WireLowestK {
     pub refinement: Option<WireRefinement>,
 }
 
+/// Where a successful response's result came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// Computed by a worker for this request.
+    Solved,
+    /// Replayed from the result cache (in-memory or warm-started from the
+    /// persistent segment).
+    Cache,
+    /// Shared a concurrent identical solve (single-flight).
+    Coalesced,
+}
+
+impl Source {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Solved => "solved",
+            Source::Cache => "cache",
+            Source::Coalesced => "coalesced",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "solved" => Some(Source::Solved),
+            "cache" => Some(Source::Cache),
+            "coalesced" => Some(Source::Coalesced),
+            _ => None,
+        }
+    }
+}
+
+/// One response envelope in wire form — the shape every server reply takes,
+/// whether it travels alone on a line or as an element of a batch.
+///
+/// `result_text` is kept as the *serialized* result, never reparsed into a
+/// value: splicing it verbatim is what makes cache replays byte-identical
+/// to the original response. A batch envelope carries its elements in
+/// request order; by protocol rule batches do not nest, so `Batch` items
+/// are always `Success` or `Error`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireEnvelope {
+    /// `{"ok":true,"op":…,"source":…,"result":…}`.
+    Success {
+        /// The operation name (`refine`, `status`, …).
+        op: String,
+        /// Where the result came from.
+        source: Source,
+        /// The canonical serialization of the result object, verbatim.
+        result_text: String,
+    },
+    /// `{"ok":false,"error":…}`.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// `{"ok":true,"op":"batch","results":[…]}` — one envelope per request
+    /// element, responses in request order.
+    Batch {
+        /// The per-element envelopes.
+        items: Vec<WireEnvelope>,
+    },
+}
+
+impl WireEnvelope {
+    /// Whether the envelope reports success (a batch envelope is itself
+    /// successful even when elements inside it failed).
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, WireEnvelope::Error { .. })
+    }
+}
+
 /// Why a wire value could not be converted back to its live form.
 #[derive(Debug)]
 pub enum WireError {
@@ -281,6 +354,32 @@ mod tests {
             let back = wire.to_outcome().unwrap();
             assert_eq!(WireOutcome::from_outcome(&back), wire);
         }
+    }
+
+    #[test]
+    fn sources_round_trip_their_wire_names() {
+        for source in [Source::Solved, Source::Cache, Source::Coalesced] {
+            assert_eq!(Source::parse(source.name()), Some(source));
+        }
+        assert_eq!(Source::parse("telepathy"), None);
+    }
+
+    #[test]
+    fn envelopes_report_ok_correctly() {
+        let success = WireEnvelope::Success {
+            op: "refine".into(),
+            source: Source::Cache,
+            result_text: "{\"outcome\":\"infeasible\"}".into(),
+        };
+        let error = WireEnvelope::Error {
+            message: "boom".into(),
+        };
+        let batch = WireEnvelope::Batch {
+            items: vec![success.clone(), error.clone()],
+        };
+        assert!(success.is_ok());
+        assert!(!error.is_ok());
+        assert!(batch.is_ok(), "a batch is ok even with failed elements");
     }
 
     #[test]

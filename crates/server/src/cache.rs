@@ -1,5 +1,6 @@
 //! The content-addressed result cache: exact LRU with hit/miss/eviction
-//! counters.
+//! counters, plus the persistent segment store that makes it survive
+//! restarts.
 //!
 //! The server keys this cache by [`CacheKey`](crate::protocol::CacheKey) —
 //! the view's content hash plus the canonical parameter string — and stores
@@ -7,13 +8,32 @@
 //! the original response bytes without re-encoding, let alone re-solving,
 //! anything.
 //!
-//! The implementation is a plain recency-stamped map: `O(log n)` per
-//! operation via a `BTreeMap` recency index, exact LRU order (not an
-//! approximation), no external dependencies, and single-threaded by design —
-//! the server wraps it in a `Mutex`, which is never held across a solve.
+//! The in-memory half ([`LruCache`]) is a plain recency-stamped map:
+//! `O(log n)` per operation via a `BTreeMap` recency index, exact LRU order
+//! (not an approximation), no external dependencies, and single-threaded by
+//! design — the server wraps it in a `Mutex`, which is never held across a
+//! solve.
+//!
+//! The on-disk half ([`SegmentStore`]) is a write-through append-only
+//! segment file. Both halves of a cache entry are already stable text —
+//! the key is `SignatureView::cache_key` (a content hash) plus the
+//! canonical parameter string, the value is the canonical serialized
+//! result — so a record is just those three fields, length-prefixed. Every
+//! insert appends a `P` (put) record, every eviction a `D` (tombstone);
+//! on startup the file is replayed in append order into the LRU, giving a
+//! restarted server warm, byte-identical answers. When dead records
+//! (superseded puts, evicted puts, tombstones) exceed a threshold, the
+//! segment is compacted: rewritten with only the live entries, oldest
+//! first, then atomically renamed over the old file. A truncated tail
+//! (crash mid-append) is detected during replay and cut off.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fs::{File, OpenOptions};
 use std::hash::Hash;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use crate::protocol::CacheKey;
 
 /// Counter snapshot of a cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -85,47 +105,54 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         }
     }
 
-    /// Like [`Self::get`], but a miss is not counted. For double-checked
-    /// lookups (a single-flight leader re-probing right after winning
-    /// leadership): the caller's original `get` already counted the miss,
-    /// so counting the recheck too would double-book every cold solve. A
-    /// recheck *hit* is a genuine cache-served answer and still counts.
-    pub fn recheck(&mut self, key: &K) -> Option<V> {
-        if self.map.contains_key(key) {
-            self.get(key)
-        } else {
-            None
-        }
-    }
-
     /// Inserts a value, evicting the least-recently-used entry when full.
     /// Inserting an existing key replaces its value and freshens it.
-    pub fn insert(&mut self, key: K, value: V) {
+    ///
+    /// Returns the evicted entry, if capacity pressure pushed one out — the
+    /// persistent layer tombstones it so disk stays in sync with memory.
+    /// (With capacity 0 the inserted entry itself comes straight back.)
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         self.insertions += 1;
         let stamp = self.stamp();
+        let mut evicted = None;
         if let Some((_, old_stamp)) = self.map.remove(&key) {
             self.recency.remove(&old_stamp);
         } else if self.map.len() >= self.capacity {
             // Evict the oldest stamp (smallest key of the recency index).
             if let Some((&oldest, _)) = self.recency.iter().next() {
                 let victim = self.recency.remove(&oldest).expect("stamp just seen");
-                self.map.remove(&victim);
+                let (value, _) = self.map.remove(&victim).expect("victim is resident");
                 self.evictions += 1;
+                evicted = Some((victim, value));
             }
             if self.capacity == 0 {
                 // Nothing can be resident; count the insert as an
                 // instant eviction so the arithmetic stays honest.
                 self.evictions += 1;
-                return;
+                return Some((key, value));
             }
         }
         self.map.insert(key.clone(), (value, stamp));
         self.recency.insert(stamp, key);
+        evicted
     }
 
     /// Whether a key is resident, without touching recency or counters.
     pub fn contains(&self, key: &K) -> bool {
         self.map.contains_key(key)
+    }
+
+    /// Every resident entry in LRU order (least recently used first),
+    /// without touching recency or counters. Compaction writes the segment
+    /// in this order so a replay reconstructs the same recency ranking.
+    pub fn snapshot_lru_order(&self) -> Vec<(K, V)> {
+        self.recency
+            .values()
+            .map(|key| {
+                let (value, _) = &self.map[key];
+                (key.clone(), value.clone())
+            })
+            .collect()
     }
 
     /// The current counter snapshot.
@@ -138,6 +165,288 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             entries: self.map.len(),
             capacity: self.capacity,
         }
+    }
+}
+
+/// Counter snapshot of a [`SegmentStore`] (part of the `status` payload).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Entries replayed into the cache at startup.
+    pub replayed: u64,
+    /// Put records appended since startup.
+    pub puts: u64,
+    /// Tombstone records appended since startup.
+    pub tombstones: u64,
+    /// Dead records currently in the file (superseded/evicted puts and
+    /// every tombstone) — the compaction pressure gauge.
+    pub dead: u64,
+    /// Keys the segment currently considers live.
+    pub live: u64,
+    /// Compactions performed since startup.
+    pub compactions: u64,
+    /// Current size of the segment file, in bytes.
+    pub file_bytes: u64,
+}
+
+/// The write-through persistent half of the result cache: an append-only
+/// segment file of `P`ut and `D`elete records.
+///
+/// Record framing is a header line with length prefixes, then the exact
+/// payload bytes (which may themselves contain anything):
+///
+/// ```text
+/// P <view-hash-hex> <params-bytes> <result-bytes>\n<params>\n<result>\n
+/// D <view-hash-hex> <params-bytes>\n<params>\n
+/// ```
+///
+/// The store tracks which keys are live so it can count dead records; the
+/// in-memory [`LruCache`] stays the authority on residency, and the server
+/// keeps the two in lockstep (insert → put, evict → tombstone).
+#[derive(Debug)]
+pub struct SegmentStore {
+    path: PathBuf,
+    file: File,
+    live: HashSet<CacheKey>,
+    dead_threshold: u64,
+    replayed: u64,
+    puts: u64,
+    tombstones: u64,
+    dead: u64,
+    compactions: u64,
+    file_bytes: u64,
+}
+
+impl SegmentStore {
+    /// Opens (creating if absent) the segment at `path` and replays it,
+    /// returning the store plus the surviving entries in append order —
+    /// the caller inserts them into its [`LruCache`] in that order, which
+    /// reconstructs the pre-restart recency ranking. A torn tail record
+    /// (crash mid-append) is truncated away.
+    ///
+    /// `dead_threshold` is the number of dead records that triggers
+    /// compaction (see [`Self::should_compact`]).
+    pub fn open(
+        path: impl Into<PathBuf>,
+        dead_threshold: u64,
+    ) -> std::io::Result<(Self, Vec<(CacheKey, String)>)> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        // Replay: keep the *last* put per key (tagged with its record
+        // index, so append order — and with it the recency ranking — can
+        // be reconstructed by one sort at the end; maintaining an ordered
+        // list during the scan would be O(dead × live)), and drop
+        // tombstoned keys.
+        let mut latest: HashMap<CacheKey, (u64, String)> = HashMap::new();
+        let mut records: u64 = 0;
+        let mut good = 0usize; // offset after the last whole record
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            match parse_record(&bytes, pos) {
+                Some((record, next)) => {
+                    records += 1;
+                    match record {
+                        Record::Put(key, text) => {
+                            latest.insert(key, (records, text));
+                        }
+                        Record::Delete(key) => {
+                            latest.remove(&key);
+                        }
+                    }
+                    pos = next;
+                    good = next;
+                }
+                None => break, // torn tail
+            }
+        }
+        if good < bytes.len() {
+            // Cut the torn record off so the next append starts clean.
+            file.set_len(good as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        let mut ordered: Vec<(u64, CacheKey, String)> = latest
+            .into_iter()
+            .map(|(key, (seq, text))| (seq, key, text))
+            .collect();
+        ordered.sort_unstable_by_key(|(seq, _, _)| *seq);
+        let entries: Vec<(CacheKey, String)> = ordered
+            .into_iter()
+            .map(|(_, key, text)| (key, text))
+            .collect();
+        let live: HashSet<CacheKey> = entries.iter().map(|(k, _)| k.clone()).collect();
+        let store = SegmentStore {
+            path,
+            file,
+            dead_threshold,
+            replayed: entries.len() as u64,
+            puts: 0,
+            tombstones: 0,
+            dead: records - entries.len() as u64,
+            live,
+            compactions: 0,
+            file_bytes: good as u64,
+        };
+        Ok((store, entries))
+    }
+
+    /// Appends a put record (write-through on cache insert). Re-putting a
+    /// live key supersedes its previous record, which becomes dead weight.
+    pub fn record_put(&mut self, key: &CacheKey, result_text: &str) -> std::io::Result<()> {
+        if !self.live.insert(key.clone()) {
+            self.dead += 1; // the superseded put
+        }
+        let record = encode_put(key, result_text);
+        self.file.write_all(&record)?;
+        self.puts += 1;
+        self.file_bytes += record.len() as u64;
+        Ok(())
+    }
+
+    /// Appends a tombstone (write-through on cache eviction). Both the
+    /// tombstone and the put it kills are dead weight until compaction.
+    pub fn record_evict(&mut self, key: &CacheKey) -> std::io::Result<()> {
+        if self.live.remove(key) {
+            self.dead += 1; // the evicted put
+        }
+        let record = encode_delete(key);
+        self.file.write_all(&record)?;
+        self.tombstones += 1;
+        self.dead += 1; // the tombstone itself
+        self.file_bytes += record.len() as u64;
+        Ok(())
+    }
+
+    /// Whether dead records have crossed the threshold (and outnumber the
+    /// live entries, so compaction actually shrinks the file).
+    pub fn should_compact(&self) -> bool {
+        self.dead >= self.dead_threshold && self.dead > self.live.len() as u64
+    }
+
+    /// Rewrites the segment with only `entries` (the caller's live set, in
+    /// the order replay should re-insert them — LRU first), atomically
+    /// replacing the old file via a sibling temp file and rename.
+    pub fn compact<'a>(
+        &mut self,
+        entries: impl IntoIterator<Item = (&'a CacheKey, &'a str)>,
+    ) -> std::io::Result<()> {
+        let tmp_path = self.path.with_extension("compact");
+        let mut tmp = File::create(&tmp_path)?;
+        let mut live = HashSet::new();
+        let mut written = 0u64;
+        for (key, text) in entries {
+            let record = encode_put(key, text);
+            tmp.write_all(&record)?;
+            written += record.len() as u64;
+            live.insert(key.clone());
+        }
+        tmp.sync_all()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen the handle on the new file; the old one points at the
+        // unlinked inode.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.live = live;
+        self.dead = 0;
+        self.compactions += 1;
+        self.file_bytes = written;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the segment (the graceful-shutdown barrier).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_all()
+    }
+
+    /// The current counter snapshot.
+    pub fn stats(&self) -> PersistStats {
+        PersistStats {
+            replayed: self.replayed,
+            puts: self.puts,
+            tombstones: self.tombstones,
+            dead: self.dead,
+            live: self.live.len() as u64,
+            compactions: self.compactions,
+            file_bytes: self.file_bytes,
+        }
+    }
+}
+
+enum Record {
+    Put(CacheKey, String),
+    Delete(CacheKey),
+}
+
+fn encode_put(key: &CacheKey, result_text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.params.len() + result_text.len() + 64);
+    out.extend_from_slice(
+        format!(
+            "P {:032x} {} {}\n",
+            key.view,
+            key.params.len(),
+            result_text.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(key.params.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(result_text.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+fn encode_delete(key: &CacheKey) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.params.len() + 48);
+    out.extend_from_slice(format!("D {:032x} {}\n", key.view, key.params.len()).as_bytes());
+    out.extend_from_slice(key.params.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// Parses one record starting at `pos`. Returns the record and the offset
+/// just past it, or `None` for a torn/corrupt record (replay stops there).
+fn parse_record(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
+    let header_end = bytes[pos..].iter().position(|&b| b == b'\n')? + pos;
+    let header = std::str::from_utf8(&bytes[pos..header_end]).ok()?;
+    let mut fields = header.split(' ');
+    let kind = fields.next()?;
+    let view = u128::from_str_radix(fields.next()?, 16).ok()?;
+    let params_len: usize = fields.next()?.parse().ok()?;
+    let take = |start: usize, len: usize| -> Option<(String, usize)> {
+        let end = start.checked_add(len)?;
+        if end >= bytes.len() || bytes[end] != b'\n' {
+            return None;
+        }
+        let text = String::from_utf8(bytes[start..end].to_vec()).ok()?;
+        Some((text, end + 1))
+    };
+    match kind {
+        "P" => {
+            let result_len: usize = fields.next()?.parse().ok()?;
+            if fields.next().is_some() {
+                return None;
+            }
+            let (params, after_params) = take(header_end + 1, params_len)?;
+            let (result, next) = take(after_params, result_len)?;
+            Some((Record::Put(CacheKey { view, params }, result), next))
+        }
+        "D" => {
+            if fields.next().is_some() {
+                return None;
+            }
+            let (params, next) = take(header_end + 1, params_len)?;
+            Some((Record::Delete(CacheKey { view, params }), next))
+        }
+        _ => None,
     }
 }
 
@@ -221,5 +530,137 @@ mod tests {
         for survivor in 992..1000 {
             assert!(cache.contains(&survivor));
         }
+    }
+
+    #[test]
+    fn insert_reports_the_evicted_entry() {
+        let mut cache: LruCache<&str, i32> = LruCache::new(2);
+        assert_eq!(cache.insert("a", 1), None);
+        assert_eq!(cache.insert("b", 2), None);
+        assert_eq!(cache.insert("a", 10), None, "replacement evicts nothing");
+        assert_eq!(cache.insert("c", 3), Some(("b", 2)), "b was LRU");
+    }
+
+    #[test]
+    fn snapshot_is_in_lru_order() {
+        let mut cache: LruCache<&str, i32> = LruCache::new(4);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("c", 3);
+        cache.get(&"a"); // freshen: order is now b, c, a
+        let order: Vec<&str> = cache
+            .snapshot_lru_order()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(order, vec!["b", "c", "a"]);
+    }
+
+    fn key(n: u32) -> CacheKey {
+        CacheKey {
+            view: 0xfeed_0000 + u128::from(n),
+            params: format!("refine|hybrid|cov|{n}|1/2|||"),
+        }
+    }
+
+    fn temp_segment(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("strudel-segment-{tag}-{}.log", std::process::id()))
+    }
+
+    #[test]
+    fn segment_replays_puts_in_order_and_drops_tombstoned_keys() {
+        let path = temp_segment("replay");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut store, entries) = SegmentStore::open(&path, 1024).unwrap();
+            assert!(entries.is_empty());
+            store.record_put(&key(1), "{\"outcome\":\"one\"}").unwrap();
+            store.record_put(&key(2), "{\"outcome\":\"two\"}").unwrap();
+            store
+                .record_put(&key(3), "{\"outcome\":\"three\"}")
+                .unwrap();
+            store.record_evict(&key(2)).unwrap();
+            // Supersede key 1: the replayed value must be the newest.
+            store
+                .record_put(&key(1), "{\"outcome\":\"one-v2\"}")
+                .unwrap();
+            store.flush().unwrap();
+            assert_eq!(store.stats().live, 2);
+            assert_eq!(store.stats().tombstones, 1);
+            // Dead: superseded put of 1, evicted put of 2, the tombstone.
+            assert_eq!(store.stats().dead, 3);
+        }
+        let (store, entries) = SegmentStore::open(&path, 1024).unwrap();
+        assert_eq!(store.stats().replayed, 2);
+        assert_eq!(store.stats().dead, 3, "replay recounts dead records");
+        // Key 3 was last untouched, key 1 was re-put after it.
+        assert_eq!(entries[0].0, key(3));
+        assert_eq!(entries[1].0, key(1));
+        assert_eq!(entries[1].1, "{\"outcome\":\"one-v2\"}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_records_are_truncated_on_replay() {
+        let path = temp_segment("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut store, _) = SegmentStore::open(&path, 1024).unwrap();
+            store.record_put(&key(1), "{\"ok\":1}").unwrap();
+            store.record_put(&key(2), "{\"ok\":2}").unwrap();
+            store.flush().unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the last record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (store, entries) = SegmentStore::open(&path, 1024).unwrap();
+        assert_eq!(entries.len(), 1, "the torn record is dropped");
+        assert_eq!(entries[0].0, key(1));
+        // The file was truncated back to the last whole record, so a fresh
+        // append + replay works.
+        drop(store);
+        let (mut store, _) = SegmentStore::open(&path, 1024).unwrap();
+        store.record_put(&key(3), "{\"ok\":3}").unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let (_, entries) = SegmentStore::open(&path, 1024).unwrap();
+        assert_eq!(entries.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_drops_dead_weight_and_preserves_live_entries() {
+        let path = temp_segment("compact");
+        std::fs::remove_file(&path).ok();
+        let (mut store, _) = SegmentStore::open(&path, 4).unwrap();
+        // Churn one key while keeping another live.
+        store.record_put(&key(1), "{\"keep\":true}").unwrap();
+        for round in 0..5 {
+            store
+                .record_put(&key(2), &format!("{{\"round\":{round}}}"))
+                .unwrap();
+            store.record_evict(&key(2)).unwrap();
+        }
+        assert!(store.should_compact(), "{:?}", store.stats());
+        let before = store.stats().file_bytes;
+
+        let live = [(key(1), "{\"keep\":true}"), (key(2), "{\"round\":4}")];
+        store.compact(live.iter().map(|(k, v)| (k, *v))).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.dead, 0);
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.live, 2);
+        assert!(stats.file_bytes < before, "compaction must shrink the file");
+        assert!(!store.should_compact());
+
+        // Appends after compaction land in the renamed file and replay.
+        store.record_put(&key(7), "{\"late\":true}").unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let (_, entries) = SegmentStore::open(&path, 4).unwrap();
+        let keys: Vec<&CacheKey> = entries.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&key(1), &key(2), &key(7)]);
+        std::fs::remove_file(&path).ok();
     }
 }

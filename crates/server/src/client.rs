@@ -1,7 +1,9 @@
 //! A blocking client for the refinement service.
 //!
-//! One TCP connection, one JSON line per request, one per response. The
-//! client keeps the raw response line around so callers can check the
+//! One TCP connection, one JSON line per request, one per response — or
+//! many requests per line via [`Client::call_batch`], which ships a batch
+//! envelope and returns per-element outcomes in request order. The client
+//! keeps the raw response line around so callers can check the
 //! byte-identity guarantees of the cache (see the integration tests), and
 //! offers typed accessors over the parsed value for everyone else.
 
@@ -9,8 +11,10 @@ use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use strudel_core::wire::WireEnvelope;
+
 use crate::json::{self, Json};
-use crate::protocol::{SolveRequest, Source};
+use crate::protocol::{self, SolveRequest, Source};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -60,12 +64,10 @@ pub struct Response {
 impl Response {
     /// Where the result came from (`solved`, `cache`, or `coalesced`).
     pub fn source(&self) -> Option<Source> {
-        match self.value.get("source").and_then(Json::as_str) {
-            Some("solved") => Some(Source::Solved),
-            Some("cache") => Some(Source::Cache),
-            Some("coalesced") => Some(Source::Coalesced),
-            _ => None,
-        }
+        self.value
+            .get("source")
+            .and_then(Json::as_str)
+            .and_then(Source::parse)
     }
 
     /// The result object.
@@ -150,6 +152,66 @@ impl Client {
     /// Runs a solve request.
     pub fn solve(&mut self, request: &SolveRequest) -> Result<Response, ClientError> {
         self.call(&request.to_json())
+    }
+
+    /// Sends many requests as one batch envelope and returns the
+    /// per-element outcomes in request order: `Ok` with the element's
+    /// response, or `Err` with the server's per-element error message.
+    ///
+    /// The whole batch costs one request line and one response line; each
+    /// element's `raw` is recovered by canonical re-serialization, which is
+    /// byte-faithful because the protocol serializer is deterministic.
+    pub fn call_batch(
+        &mut self,
+        requests: &[Json],
+    ) -> Result<Vec<Result<Response, String>>, ClientError> {
+        let raw = self.call_raw(&protocol::encode_batch_request(requests))?;
+        let value = json::parse(&raw)
+            .map_err(|err| ClientError::BadResponse(format!("{err} in '{raw}'")))?;
+        let envelope = protocol::envelope_from_json(&value)
+            .map_err(|err| ClientError::BadResponse(err.message))?;
+        match envelope {
+            WireEnvelope::Error { message } => Err(ClientError::Server(message)),
+            WireEnvelope::Success { .. } => Err(ClientError::BadResponse(
+                "expected a batch response envelope".to_owned(),
+            )),
+            WireEnvelope::Batch { .. } => {
+                let results = value
+                    .get("results")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ClientError::BadResponse("batch lacks 'results'".to_owned()))?;
+                if results.len() != requests.len() {
+                    return Err(ClientError::BadResponse(format!(
+                        "batch of {} requests got {} results",
+                        requests.len(),
+                        results.len()
+                    )));
+                }
+                Ok(results
+                    .iter()
+                    .map(|element| match element.get("ok").and_then(Json::as_bool) {
+                        Some(true) => Ok(Response {
+                            raw: element.to_text(),
+                            value: element.clone(),
+                        }),
+                        _ => Err(element
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unspecified server error")
+                            .to_owned()),
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Sends many solve requests as one batch envelope.
+    pub fn solve_batch(
+        &mut self,
+        requests: &[SolveRequest],
+    ) -> Result<Vec<Result<Response, String>>, ClientError> {
+        let values: Vec<Json> = requests.iter().map(SolveRequest::to_json).collect();
+        self.call_batch(&values)
     }
 
     /// Fetches the server's counter snapshot.

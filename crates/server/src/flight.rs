@@ -1,253 +1,150 @@
-//! Single-flight deduplication of identical in-progress solves.
+//! Single-flight deduplication of identical in-progress solves, event-loop
+//! style.
 //!
 //! When several clients ask for the same `(view, σ, k, θ)` instance at the
 //! same time, the result cache cannot help — nothing is cached until the
 //! first solve finishes, so all of them would miss and all of them would
 //! burn a worker on the same ILP. Single-flight closes that gap: the first
-//! requester for a key becomes the *leader* and runs the solve; everyone
-//! else arriving before completion becomes a *follower* and blocks on the
-//! leader's flight, receiving a clone of the leader's result. One solve,
-//! `n` answers.
+//! requester for a key becomes the *leader* and its solve is submitted to
+//! the compute pool; everyone else arriving before completion becomes a
+//! *follower* and is parked on the leader's flight, receiving the leader's
+//! result when it lands.
 //!
-//! The pattern is the `singleflight` package of the Go standard library
-//! ecosystem, rebuilt on `Mutex` + `Condvar`. Leader crashes are handled:
-//! dropping a [`Leader`] without completing (e.g. a panicking solve)
-//! publishes an abort, so followers return [`Aborted`] instead of hanging.
+//! The original implementation (PR 1) blocked follower *threads* on a
+//! `Condvar`, which matched the thread-per-connection server. The event
+//! loop has no thread to block — a follower is now just a token (which
+//! connection, which response slot, which batch element) parked in the
+//! [`FlightBoard`], and the loop fans the completed result out to every
+//! token when the worker's completion message arrives. The board is plain
+//! single-owner data: it lives inside the event loop and needs no locks.
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 
-/// The state one in-progress key's followers wait on.
-struct FlightState<V> {
-    outcome: Mutex<Option<Option<V>>>, // None = pending, Some(None) = aborted
-    done: Condvar,
-}
-
-/// Counter snapshot of a single-flight group.
+/// Counter snapshot of the single-flight layer (part of the `status`
+/// payload).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FlightStats {
-    /// Solves led (each is one actual execution).
+    /// Solves led (each is one actual execution on the compute pool).
     pub leaders: u64,
     /// Requests that shared a leader's execution instead of running their own.
     pub shared: u64,
-    /// Followers that observed an aborted leader.
+    /// Parked requesters whose connection was gone by completion time.
     pub aborted: u64,
 }
 
-/// A group of keyed flights.
-pub struct SingleFlight<K, V> {
-    flights: Mutex<HashMap<K, Arc<FlightState<V>>>>,
-    leaders: AtomicU64,
-    shared: AtomicU64,
-    aborted: AtomicU64,
-}
-
-/// What [`SingleFlight::join`] decided for this caller.
-pub enum Join<'a, K: Hash + Eq + Clone, V: Clone> {
-    /// This caller must execute the work and publish via [`Leader::complete`].
-    Lead(Leader<'a, K, V>),
-    /// Another caller executed the work; here is its result.
-    Follow(Result<V, Aborted>),
-}
-
-/// The leader's obligation to publish. Dropping it without calling
-/// [`Leader::complete`] aborts the flight (followers get [`Aborted`]).
-pub struct Leader<'a, K: Hash + Eq + Clone, V: Clone> {
-    group: &'a SingleFlight<K, V>,
-    key: K,
-    state: Arc<FlightState<V>>,
-    published: bool,
-}
-
-/// The leader dropped without publishing (its solve panicked or was
-/// otherwise lost). Followers should report an error for this request;
-/// retrying is safe and will elect a fresh leader.
+/// What [`FlightBoard::join`] decided for the caller's token.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Aborted;
+pub enum BoardJoin {
+    /// First requester for the key: the caller must start the solve and
+    /// later call [`FlightBoard::complete`]. The token is parked as the
+    /// flight's leader (returned first by `complete`).
+    Lead,
+    /// A solve for the key is already in progress; the token is parked
+    /// behind the leader and will receive the shared result.
+    Wait,
+}
 
-impl<K: Hash + Eq + Clone, V: Clone> SingleFlight<K, V> {
-    /// Creates an empty group.
+/// The non-blocking single-flight registry of the event loop.
+///
+/// Tokens are whatever the owner needs to route a result back — the server
+/// parks `(connection, slot, element)` triples. The board itself never
+/// executes anything; it only answers "is this key in flight?" and hands
+/// every parked token back on completion, leader first.
+#[derive(Debug)]
+pub struct FlightBoard<K, T> {
+    pending: HashMap<K, Vec<T>>,
+}
+
+impl<K: Hash + Eq + Clone, T> FlightBoard<K, T> {
+    /// Creates an empty board.
     pub fn new() -> Self {
-        SingleFlight {
-            flights: Mutex::new(HashMap::new()),
-            leaders: AtomicU64::new(0),
-            shared: AtomicU64::new(0),
-            aborted: AtomicU64::new(0),
+        FlightBoard {
+            pending: HashMap::new(),
         }
     }
 
-    /// Joins the flight for `key`: the first caller leads, later callers
-    /// (until the leader publishes) block and then receive the result.
-    pub fn join(&self, key: K) -> Join<'_, K, V> {
-        let state = {
-            let mut flights = self.flights.lock().expect("flight map lock");
-            match flights.get(&key) {
-                Some(state) => Arc::clone(state),
-                None => {
-                    let state = Arc::new(FlightState {
-                        outcome: Mutex::new(None),
-                        done: Condvar::new(),
-                    });
-                    flights.insert(key.clone(), Arc::clone(&state));
-                    self.leaders.fetch_add(1, Ordering::Relaxed);
-                    return Join::Lead(Leader {
-                        group: self,
-                        key,
-                        state,
-                        published: false,
-                    });
-                }
-            }
-        };
-        // Follower: wait for the leader to publish or abort.
-        let mut outcome = state.outcome.lock().expect("flight outcome lock");
-        while outcome.is_none() {
-            outcome = state.done.wait(outcome).expect("flight outcome lock");
-        }
-        match outcome.as_ref().expect("loop exits only when set") {
-            Some(value) => {
-                self.shared.fetch_add(1, Ordering::Relaxed);
-                Join::Follow(Ok(value.clone()))
+    /// Parks `token` under `key`. The first token for a key leads (its
+    /// owner must start the solve); later tokens wait for it.
+    pub fn join(&mut self, key: K, token: T) -> BoardJoin {
+        match self.pending.get_mut(&key) {
+            Some(tokens) => {
+                tokens.push(token);
+                BoardJoin::Wait
             }
             None => {
-                self.aborted.fetch_add(1, Ordering::Relaxed);
-                Join::Follow(Err(Aborted))
+                self.pending.insert(key, vec![token]);
+                BoardJoin::Lead
             }
         }
     }
 
-    /// The current counter snapshot.
-    pub fn stats(&self) -> FlightStats {
-        FlightStats {
-            leaders: self.leaders.load(Ordering::Relaxed),
-            shared: self.shared.load(Ordering::Relaxed),
-            aborted: self.aborted.load(Ordering::Relaxed),
-        }
+    /// Retires the flight for `key`, returning every parked token — the
+    /// leader's first, then followers in arrival order. A key with no
+    /// flight returns an empty vector (its requesters are all gone).
+    pub fn complete(&mut self, key: &K) -> Vec<T> {
+        self.pending.remove(key).unwrap_or_default()
     }
 
-    fn publish(&self, key: &K, state: &Arc<FlightState<V>>, value: Option<V>) {
-        // Remove the flight first so a caller arriving after publication
-        // starts a fresh flight (the cache, not single-flight, serves
-        // completed results).
-        self.flights.lock().expect("flight map lock").remove(key);
-        *state.outcome.lock().expect("flight outcome lock") = Some(value);
-        state.done.notify_all();
+    /// Number of keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no solve is in flight (the graceful-shutdown drain
+    /// condition).
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
     }
 }
 
-impl<K: Hash + Eq + Clone, V: Clone> Default for SingleFlight<K, V> {
+impl<K: Hash + Eq + Clone, T> Default for FlightBoard<K, T> {
     fn default() -> Self {
-        SingleFlight::new()
-    }
-}
-
-impl<K: Hash + Eq + Clone, V: Clone> Leader<'_, K, V> {
-    /// Publishes the result to every follower and retires the flight.
-    pub fn complete(mut self, value: V) {
-        self.group.publish(&self.key, &self.state, Some(value));
-        self.published = true;
-    }
-}
-
-impl<K: Hash + Eq + Clone, V: Clone> Drop for Leader<'_, K, V> {
-    fn drop(&mut self) {
-        if !self.published {
-            self.group.publish(&self.key, &self.state, None);
-        }
+        FlightBoard::new()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
-    use std::thread;
-    use std::time::Duration;
 
     #[test]
-    fn first_caller_leads_followers_share() {
-        let group: Arc<SingleFlight<u32, String>> = Arc::new(SingleFlight::new());
-        let executions = Arc::new(AtomicUsize::new(0));
+    fn first_token_leads_followers_wait_and_complete_returns_in_order() {
+        let mut board: FlightBoard<u32, &str> = FlightBoard::new();
+        assert_eq!(board.join(7, "leader"), BoardJoin::Lead);
+        assert_eq!(board.join(7, "f1"), BoardJoin::Wait);
+        assert_eq!(board.join(7, "f2"), BoardJoin::Wait);
+        assert_eq!(board.in_flight(), 1);
 
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            let group = Arc::clone(&group);
-            let executions = Arc::clone(&executions);
-            handles.push(thread::spawn(move || match group.join(7) {
-                Join::Lead(leader) => {
-                    // Hold the flight open long enough that the other
-                    // threads arrive while it is in progress.
-                    thread::sleep(Duration::from_millis(50));
-                    executions.fetch_add(1, Ordering::SeqCst);
-                    leader.complete("answer".to_owned());
-                    "answer".to_owned()
-                }
-                Join::Follow(result) => result.expect("leader completes"),
-            }));
-        }
-        let answers: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        assert!(answers.iter().all(|a| a == "answer"));
-        assert_eq!(
-            executions.load(Ordering::SeqCst),
-            1,
-            "exactly one thread must execute the solve"
-        );
-        let stats = group.stats();
-        assert_eq!(stats.leaders, 1);
-        assert_eq!(stats.shared, 7);
-        assert_eq!(stats.aborted, 0);
+        let tokens = board.complete(&7);
+        assert_eq!(tokens, vec!["leader", "f1", "f2"]);
+        assert!(board.is_empty());
     }
 
     #[test]
-    fn distinct_keys_do_not_share() {
-        let group: SingleFlight<u32, u32> = SingleFlight::new();
-        match group.join(1) {
-            Join::Lead(leader) => leader.complete(1),
-            Join::Follow(_) => panic!("fresh key must lead"),
-        }
-        match group.join(2) {
-            Join::Lead(leader) => leader.complete(2),
-            Join::Follow(_) => panic!("distinct key must lead"),
-        }
-        assert_eq!(group.stats().leaders, 2);
-        assert_eq!(group.stats().shared, 0);
+    fn distinct_keys_do_not_share_a_flight() {
+        let mut board: FlightBoard<u32, u32> = FlightBoard::new();
+        assert_eq!(board.join(1, 10), BoardJoin::Lead);
+        assert_eq!(board.join(2, 20), BoardJoin::Lead);
+        assert_eq!(board.in_flight(), 2);
+        assert_eq!(board.complete(&1), vec![10]);
+        assert_eq!(board.complete(&2), vec![20]);
     }
 
     #[test]
     fn completed_flights_are_retired_not_replayed() {
-        let group: SingleFlight<u32, u32> = SingleFlight::new();
-        match group.join(5) {
-            Join::Lead(leader) => leader.complete(10),
-            Join::Follow(_) => panic!("fresh key must lead"),
-        }
-        // A later caller for the same key leads again: single-flight only
-        // spans the in-progress window (the cache handles afterwards).
-        assert!(matches!(group.join(5), Join::Lead(_)));
+        let mut board: FlightBoard<u32, u32> = FlightBoard::new();
+        assert_eq!(board.join(5, 1), BoardJoin::Lead);
+        board.complete(&5);
+        // A later requester for the same key leads a fresh flight:
+        // single-flight only spans the in-progress window (the cache
+        // serves completed results).
+        assert_eq!(board.join(5, 2), BoardJoin::Lead);
     }
 
     #[test]
-    fn dropped_leaders_abort_their_followers() {
-        let group: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
-        let follower = {
-            let group = Arc::clone(&group);
-            thread::spawn(move || {
-                // Give the main thread time to become leader.
-                thread::sleep(Duration::from_millis(30));
-                match group.join(9) {
-                    Join::Lead(_) => panic!("main thread already leads"),
-                    Join::Follow(result) => result,
-                }
-            })
-        };
-        let leader = match group.join(9) {
-            Join::Lead(leader) => leader,
-            Join::Follow(_) => panic!("fresh key must lead"),
-        };
-        thread::sleep(Duration::from_millis(60));
-        drop(leader); // abandon without completing
-        assert_eq!(follower.join().unwrap(), Err(Aborted));
-        assert_eq!(group.stats().aborted, 1);
+    fn completing_an_unknown_key_returns_no_tokens() {
+        let mut board: FlightBoard<u32, u32> = FlightBoard::new();
+        assert!(board.complete(&9).is_empty());
     }
 }

@@ -89,11 +89,15 @@ impl Json {
     /// Serializes to the canonical compact encoding.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out);
+        self.write_into(&mut out);
         out
     }
 
-    fn write(&self, out: &mut String) {
+    /// Appends the canonical compact encoding to an existing buffer — the
+    /// allocation-free form `to_text` wraps. Batch framing uses this to
+    /// assemble one envelope line from many elements without a `String`
+    /// per element.
+    pub fn write_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(true) => out.push_str("true"),
@@ -106,7 +110,7 @@ impl Json {
                     if idx > 0 {
                         out.push(',');
                     }
-                    item.write(out);
+                    item.write_into(out);
                 }
                 out.push(']');
             }
@@ -118,7 +122,7 @@ impl Json {
                     }
                     write_string(key, out);
                     out.push(':');
-                    value.write(out);
+                    value.write_into(out);
                 }
                 out.push('}');
             }
@@ -262,6 +266,23 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     *pos += 1;
     let mut out = String::new();
     loop {
+        // Bulk-copy the run of plain content bytes up to the next quote,
+        // backslash, or raw control. None of those delimiters can occur
+        // inside a UTF-8 continuation (continuations are 0x80–0xBF), so the
+        // run boundary is always a character boundary and one validation
+        // covers the whole run. This keeps parsing linear in the input
+        // length — batch envelopes are single lines tens of KiB long, and a
+        // per-character validation of the remaining input (the previous
+        // implementation) made them quadratic.
+        let start = *pos;
+        while matches!(bytes.get(*pos), Some(&b) if b != b'"' && b != b'\\' && b >= 0x20) {
+            *pos += 1;
+        }
+        if *pos > start {
+            let run = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| err(start, "invalid UTF-8 in string"))?;
+            out.push_str(run);
+        }
         match bytes.get(*pos) {
             None => return Err(err(*pos, "unterminated string")),
             Some(b'"') => {
@@ -309,15 +330,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 }
                 *pos += 1;
             }
-            Some(&b) if b < 0x20 => return Err(err(*pos, "raw control character in string")),
-            Some(_) => {
-                // Advance over one UTF-8 encoded character.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| err(*pos, "invalid UTF-8 in string"))?;
-                let ch = rest.chars().next().expect("non-empty remainder");
-                out.push(ch);
-                *pos += ch.len_utf8();
-            }
+            // The content run above consumed everything else; only raw
+            // controls (< 0x20) can reach this arm.
+            Some(_) => return Err(err(*pos, "raw control character in string")),
         }
     }
 }

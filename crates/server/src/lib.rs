@@ -2,22 +2,31 @@
 //!
 //! The always-on refinement service of the **strudel** toolkit: a
 //! long-running daemon wrapping the `strudel-core` refinement engines behind
-//! a line-delimited JSON protocol over TCP, with the three ingredients that
+//! a line-delimited JSON protocol over TCP, built from the ingredients that
 //! turn a one-shot analysis kernel into serving infrastructure:
 //!
-//! * a **fixed-size worker pool** ([`pool`]) bounding how many CPU-heavy
-//!   ILP/greedy solves run concurrently, regardless of client count,
+//! * an **event loop** ([`server`]) — one thread owns every connection as a
+//!   non-blocking socket with read/write buffers and ordered response
+//!   slots, so thousands of idle clients cost no threads; a fixed-size
+//!   **compute pool** ([`pool`]) bounds how many CPU-heavy ILP/greedy
+//!   solves run concurrently and wakes the loop per completion,
+//! * a **batched wire protocol** ([`protocol`]) — one line can carry an
+//!   array of requests; responses preserve order, elements fail
+//!   independently, and cache lookups run per-element so mixed hit/miss
+//!   batches amortize framing and syscalls,
 //! * a **content-addressed result cache** ([`cache`]) keyed by the hash of
-//!   `(signature view, σ spec, k, θ, engine, …)` with exact-LRU eviction and
-//!   hit/miss/eviction counters — a repeated instance is answered from
-//!   memory with the *same bytes* as the original response,
+//!   `(signature view, σ spec, k, θ, engine, …)` with exact-LRU eviction —
+//!   a repeated instance is answered from memory with the *same bytes* as
+//!   the original response — plus a **write-through persistent segment**
+//!   ([`cache::SegmentStore`]) replayed on startup, so a restarted server
+//!   keeps answering warm without recomputing,
 //! * **single-flight memoization** ([`flight`]) so `n` concurrent identical
-//!   requests cost one solve: the first becomes the leader, the rest share
-//!   its result.
+//!   requests cost one solve: the first becomes the leader, the rest park
+//!   tokens on its flight and share the result.
 //!
-//! The protocol ([`protocol`]) speaks five operations — `refine`,
-//! `highest-theta`, `lowest-k`, `status`, `shutdown` — carrying signature
-//! views and exact rationals as canonical strings over a deliberately tiny
+//! The protocol speaks six operations — `refine`, `highest-theta`,
+//! `lowest-k`, `batch`, `status`, `shutdown` — carrying signature views and
+//! exact rationals as canonical strings over a deliberately tiny
 //! integer-only JSON ([`json`]). [`server`] is the daemon, [`client`] the
 //! blocking client the CLI (`strudel serve` / `strudel client`) wraps.
 //!
@@ -33,6 +42,7 @@
 //!     addr: "127.0.0.1:0".into(), // OS-assigned port
 //!     workers: 2,
 //!     cache_capacity: 64,
+//!     ..ServerConfig::default()   // no persistence
 //! })
 //! .unwrap();
 //!
@@ -58,6 +68,11 @@
 //! assert_eq!(warm.source(), Some(Source::Cache));
 //! assert_eq!(warm.result_text(), cold.result_text()); // byte-identical
 //!
+//! // Batch: two requests, one line each way, order preserved.
+//! let outcomes = client.solve_batch(&[request.clone(), request]).unwrap();
+//! assert_eq!(outcomes.len(), 2);
+//! assert!(outcomes.iter().all(|outcome| outcome.is_ok()));
+//!
 //! client.shutdown().unwrap();
 //! handle.wait();
 //! ```
@@ -75,9 +90,9 @@ pub mod server;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, LruCache};
+    pub use crate::cache::{CacheStats, LruCache, PersistStats, SegmentStore};
     pub use crate::client::{Client, ClientError, Response};
-    pub use crate::flight::{FlightStats, SingleFlight};
+    pub use crate::flight::{BoardJoin, FlightBoard, FlightStats};
     pub use crate::json::Json;
     pub use crate::pool::WorkerPool;
     pub use crate::protocol::{CacheKey, EngineKind, Request, SolveOp, SolveRequest, Source};

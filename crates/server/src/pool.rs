@@ -1,12 +1,13 @@
-//! A fixed-size worker thread pool.
+//! A fixed-size compute pool.
 //!
-//! Connection threads are cheap and unbounded (they mostly block on socket
-//! reads); solving is CPU-bound and must not be. Every solve is dispatched
-//! through this pool, so at most `workers` ILP/greedy searches run
+//! The event loop handles all I/O on one thread; solving is CPU-bound and
+//! must not run there. Every solve is submitted through this pool as a
+//! fire-and-forget job that reports back through the server's completion
+//! queue (plus an unpark), so at most `workers` ILP/greedy searches run
 //! concurrently no matter how many clients are connected — the pool is the
 //! server's admission control.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
@@ -69,22 +70,6 @@ impl WorkerPool {
             .send(Box::new(job))
             .expect("workers outlive the pool handle");
     }
-
-    /// Runs a job on a worker and blocks until its result is back.
-    ///
-    /// Returns `None` if the job panicked: the worker swallows the unwind
-    /// and keeps serving, and the dropped result channel signals the
-    /// failure here.
-    pub fn run<R: Send + 'static>(&self, job: impl FnOnce() -> R + Send + 'static) -> Option<R> {
-        let (tx, rx): (Sender<R>, Receiver<R>) = channel();
-        self.submit(move || {
-            // If `job` panics, `tx` is dropped without a send and the
-            // receiver below returns Err.
-            let result = job();
-            let _ = tx.send(result);
-        });
-        rx.recv().ok()
-    }
 }
 
 impl Drop for WorkerPool {
@@ -103,21 +88,37 @@ impl Drop for WorkerPool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::Receiver;
     use std::time::Duration;
+
+    /// Submit-and-wait, the way the server composes `submit` with its
+    /// completion channel. `None` means the job panicked (the sender is
+    /// dropped without a send).
+    fn run<R: Send + 'static>(
+        pool: &WorkerPool,
+        job: impl FnOnce() -> R + Send + 'static,
+    ) -> Option<R> {
+        let (tx, rx): (Sender<R>, Receiver<R>) = channel();
+        pool.submit(move || {
+            let result = job();
+            let _ = tx.send(result);
+        });
+        rx.recv().ok()
+    }
 
     #[test]
     fn jobs_run_and_return_results() {
         let pool = WorkerPool::new(4);
         assert_eq!(pool.workers(), 4);
-        assert_eq!(pool.run(|| 2 + 2), Some(4));
-        assert_eq!(pool.run(|| "hello".to_owned()), Some("hello".to_owned()));
+        assert_eq!(run(&pool, || 2 + 2), Some(4));
+        assert_eq!(run(&pool, || "hello".to_owned()), Some("hello".to_owned()));
     }
 
     #[test]
     fn zero_workers_is_clamped_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.workers(), 1);
-        assert_eq!(pool.run(|| 1), Some(1));
+        assert_eq!(run(&pool, || 1), Some(1));
     }
 
     #[test]
@@ -131,7 +132,7 @@ mod tests {
             let peak = Arc::clone(&peak);
             let pool = Arc::clone(&pool);
             joins.push(std::thread::spawn(move || {
-                pool.run(move || {
+                run(&pool, move || {
                     let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                     peak.fetch_max(now, Ordering::SeqCst);
                     std::thread::sleep(Duration::from_millis(20));
@@ -154,7 +155,7 @@ mod tests {
         // Even with a single worker, a panicking job is contained: the
         // submitter sees None and the worker thread keeps serving.
         let pool = WorkerPool::new(1);
-        assert_eq!(pool.run(|| -> i32 { panic!("job explodes") }), None);
-        assert_eq!(pool.run(|| 7), Some(7));
+        assert_eq!(run(&pool, || -> i32 { panic!("job explodes") }), None);
+        assert_eq!(run(&pool, || 7), Some(7));
     }
 }

@@ -27,6 +27,25 @@
 //! cache or coalesced response are byte-identical to the cold response's,
 //! because the server caches the serialized text, not the value.
 //!
+//! ## The batch envelope
+//!
+//! One line may carry many requests, amortizing framing and syscalls:
+//!
+//! ```json
+//! {"op":"batch","requests":[{"op":"refine",…},{"op":"status"}]}
+//! ```
+//!
+//! The response is `{"ok":true,"op":"batch","results":[…]}` with one
+//! element per request **in request order**, each element being exactly
+//! the envelope the request would have received on its own line. Elements
+//! are decoded, cache-looked-up, and single-flighted independently, so a
+//! malformed or failing element yields an `{"ok":false,…}` element without
+//! poisoning its siblings, and a mixed hit/miss batch serves the hits
+//! immediately while the misses solve. Batches do not nest, `shutdown` is
+//! not allowed inside one (its connection-and-server-wide effect has no
+//! per-element meaning), and at most [`MAX_BATCH_REQUESTS`] elements are
+//! accepted per envelope.
+//!
 //! Numbers are integers only; exact rationals (σ values, thresholds) travel
 //! as canonical strings like `"3/4"`. Requests normalise before keying the
 //! cache — `"0.5"` and `"1/2"`, or a rule spelled `COV`, all map to the same
@@ -39,7 +58,11 @@ use strudel_core::engine::{
     GreedyEngine, HybridEngine, IlpEngine, IlpEngineConfig, RefinementEngine,
 };
 use strudel_core::sigma::{parse_spec, SigmaSpec};
-use strudel_core::wire::{WireHighestTheta, WireLowestK, WireOutcome, WireRefinement, WireSort};
+use strudel_core::wire::{
+    WireEnvelope, WireHighestTheta, WireLowestK, WireOutcome, WireRefinement, WireSort,
+};
+
+pub use strudel_core::wire::Source;
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
 
@@ -252,9 +275,64 @@ impl From<json::JsonError> for ProtocolError {
     }
 }
 
-/// Decodes one request line.
+/// Upper bound on elements per batch envelope: enough to amortize framing
+/// thousands of times over, small enough that one hostile line cannot queue
+/// unbounded work.
+pub const MAX_BATCH_REQUESTS: usize = 1024;
+
+/// A decoded request line: either one request or a batch of independently
+/// decoded elements (a bad element is an `Err` in place, never a reason to
+/// reject its siblings).
+#[derive(Debug)]
+pub enum Decoded {
+    /// The line carried a single request (or failed outright).
+    Single(Result<Request, ProtocolError>),
+    /// The line was a batch envelope; one result per element, in order.
+    Batch(Vec<Result<Request, ProtocolError>>),
+}
+
+/// Decodes one request line, recognising the batch envelope. Malformed
+/// JSON, a bad batch container, or an oversized batch yield
+/// `Single(Err(…))` — one error response for the whole line.
+pub fn decode_line(line: &str) -> Decoded {
+    let value = match json::parse(line) {
+        Ok(value) => value,
+        Err(err) => return Decoded::Single(Err(err.into())),
+    };
+    if value.get("op").and_then(Json::as_str) != Some("batch") {
+        return Decoded::Single(decode_request_value(&value));
+    }
+    let Some(requests) = value.get("requests").and_then(Json::as_arr) else {
+        return Decoded::Single(Err(ProtocolError::new(
+            "a batch request needs a 'requests' array",
+        )));
+    };
+    if requests.len() > MAX_BATCH_REQUESTS {
+        return Decoded::Single(Err(ProtocolError::new(format!(
+            "batch of {} requests exceeds the limit of {MAX_BATCH_REQUESTS}",
+            requests.len()
+        ))));
+    }
+    Decoded::Batch(requests.iter().map(decode_batch_element).collect())
+}
+
+fn decode_batch_element(value: &Json) -> Result<Request, ProtocolError> {
+    match value.get("op").and_then(Json::as_str) {
+        Some("batch") => Err(ProtocolError::new("batch envelopes cannot nest")),
+        Some("shutdown") => Err(ProtocolError::new(
+            "'shutdown' is not allowed inside a batch; send it on its own line",
+        )),
+        _ => decode_request_value(value),
+    }
+}
+
+/// Decodes one request line (no batch envelope).
 pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
-    let value = json::parse(line)?;
+    decode_request_value(&json::parse(line)?)
+}
+
+/// Decodes one parsed request object.
+pub fn decode_request_value(value: &Json) -> Result<Request, ProtocolError> {
     let op = value
         .get("op")
         .and_then(Json::as_str)
@@ -262,13 +340,28 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
     match op {
         "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
-        "refine" => decode_solve(&value, SolveOp::Refine),
-        "highest-theta" => decode_solve(&value, SolveOp::HighestTheta),
-        "lowest-k" => decode_solve(&value, SolveOp::LowestK),
+        "refine" => decode_solve(value, SolveOp::Refine),
+        "highest-theta" => decode_solve(value, SolveOp::HighestTheta),
+        "lowest-k" => decode_solve(value, SolveOp::LowestK),
         other => Err(ProtocolError::new(format!(
-            "unknown op '{other}'; expected refine, highest-theta, lowest-k, status, or shutdown"
+            "unknown op '{other}'; expected refine, highest-theta, lowest-k, batch, \
+             status, or shutdown"
         ))),
     }
+}
+
+/// Encodes a batch request line from request objects (the client side of
+/// the batch envelope).
+pub fn encode_batch_request(requests: &[Json]) -> String {
+    let mut out = String::from("{\"op\":\"batch\",\"requests\":[");
+    for (idx, request) in requests.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        request.write_into(&mut out);
+    }
+    out.push_str("]}");
+    out
 }
 
 fn decode_solve(value: &Json, op: SolveOp) -> Result<Request, ProtocolError> {
@@ -578,28 +671,6 @@ pub fn lowest_k_to_json(result: &WireLowestK) -> Json {
     ])
 }
 
-/// Where a successful response's result came from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Source {
-    /// Computed by a worker for this request.
-    Solved,
-    /// Replayed from the result cache.
-    Cache,
-    /// Shared a concurrent identical solve (single-flight).
-    Coalesced,
-}
-
-impl Source {
-    /// The wire name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Source::Solved => "solved",
-            Source::Cache => "cache",
-            Source::Coalesced => "coalesced",
-        }
-    }
-}
-
 /// Builds a success response line. `result_text` must be the canonical
 /// serialization of the result object; it is spliced in verbatim, which is
 /// what makes cache replays byte-identical to the original response body.
@@ -612,11 +683,94 @@ pub fn encode_success(op: &str, source: Source, result_text: &str) -> String {
 
 /// Builds an error response line.
 pub fn encode_error(message: &str) -> String {
-    Json::obj(vec![
-        ("ok", Json::Bool(false)),
-        ("error", Json::str(message)),
-    ])
-    .to_text()
+    let mut out = String::with_capacity(message.len() + 24);
+    out.push_str("{\"ok\":false,\"error\":");
+    Json::str(message).write_into(&mut out);
+    out.push('}');
+    out
+}
+
+/// Builds a batch response line from already-encoded element envelopes
+/// (each exactly what the element would have been as a standalone response
+/// line). Splicing the pre-encoded elements is the batch-level analogue of
+/// [`encode_success`]'s verbatim `result_text`: cached elements keep their
+/// byte-identity guarantee inside a batch.
+pub fn encode_batch(items: &[String]) -> String {
+    let total: usize = items.iter().map(|item| item.len() + 1).sum();
+    let mut out = String::with_capacity(total + 40);
+    out.push_str("{\"ok\":true,\"op\":\"batch\",\"results\":[");
+    for (idx, item) in items.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        out.push_str(item);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Encodes any wire envelope to its response line.
+pub fn encode_envelope(envelope: &WireEnvelope) -> String {
+    match envelope {
+        WireEnvelope::Success {
+            op,
+            source,
+            result_text,
+        } => encode_success(op, *source, result_text),
+        WireEnvelope::Error { message } => encode_error(message),
+        WireEnvelope::Batch { items } => {
+            let encoded: Vec<String> = items.iter().map(encode_envelope).collect();
+            encode_batch(&encoded)
+        }
+    }
+}
+
+/// Decodes a parsed response value back into its wire envelope (the
+/// client-side inverse of [`encode_envelope`]). The `result_text` of a
+/// success element is recovered by canonical re-serialization, which is
+/// byte-faithful because the protocol serializer is deterministic.
+pub fn envelope_from_json(value: &Json) -> Result<WireEnvelope, ProtocolError> {
+    match value.get("ok").and_then(Json::as_bool) {
+        Some(false) => Ok(WireEnvelope::Error {
+            message: value
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified server error")
+                .to_owned(),
+        }),
+        Some(true) => {
+            let op = value
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtocolError::new("response lacks an 'op' field"))?
+                .to_owned();
+            if op == "batch" {
+                let items = value
+                    .get("results")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtocolError::new("batch response lacks 'results'"))?
+                    .iter()
+                    .map(envelope_from_json)
+                    .collect::<Result<_, _>>()?;
+                return Ok(WireEnvelope::Batch { items });
+            }
+            let source = value
+                .get("source")
+                .and_then(Json::as_str)
+                .and_then(Source::parse)
+                .ok_or_else(|| ProtocolError::new("response lacks a valid 'source' field"))?;
+            let result_text = value
+                .get("result")
+                .ok_or_else(|| ProtocolError::new("response lacks a 'result' field"))?
+                .to_text();
+            Ok(WireEnvelope::Success {
+                op,
+                source,
+                result_text,
+            })
+        }
+        None => Err(ProtocolError::new("response lacks an 'ok' field")),
+    }
 }
 
 #[cfg(test)]
@@ -761,6 +915,106 @@ mod tests {
         };
         let back = refinement_from_json(&refinement_to_json(&refinement)).unwrap();
         assert_eq!(back, refinement);
+    }
+
+    #[test]
+    fn batch_lines_decode_element_wise_in_order() {
+        let view_json = view_to_json(&sample_view()).to_text();
+        let line = format!(
+            "{{\"op\":\"batch\",\"requests\":[\
+             {{\"op\":\"refine\",\"view\":{view_json},\"k\":2,\"theta\":\"1/2\"}},\
+             {{\"op\":\"frobnicate\"}},\
+             {{\"op\":\"status\"}},\
+             {{\"op\":\"shutdown\"}},\
+             {{\"op\":\"batch\",\"requests\":[]}},\
+             {{\"op\":\"lowest-k\",\"view\":{view_json},\"theta\":\"2/3\"}}]}}"
+        );
+        let Decoded::Batch(elements) = decode_line(&line) else {
+            panic!("expected a batch");
+        };
+        assert_eq!(elements.len(), 6);
+        assert!(matches!(&elements[0], Ok(Request::Solve(s)) if s.op == SolveOp::Refine));
+        assert!(elements[1].is_err(), "unknown op fails alone");
+        assert!(matches!(elements[2], Ok(Request::Status)));
+        assert!(
+            elements[3].is_err(),
+            "shutdown is rejected inside a batch: {:?}",
+            elements[3]
+        );
+        assert!(elements[4].is_err(), "batches cannot nest");
+        assert!(
+            matches!(&elements[5], Ok(Request::Solve(s)) if s.op == SolveOp::LowestK),
+            "an error element must not poison later elements"
+        );
+    }
+
+    #[test]
+    fn bad_batch_containers_fail_as_one_line() {
+        for line in [
+            "{\"op\":\"batch\"}".to_owned(),
+            "{\"op\":\"batch\",\"requests\":7}".to_owned(),
+            format!(
+                "{{\"op\":\"batch\",\"requests\":[{}]}}",
+                vec!["{\"op\":\"status\"}"; MAX_BATCH_REQUESTS + 1].join(",")
+            ),
+        ] {
+            assert!(
+                matches!(decode_line(&line), Decoded::Single(Err(_))),
+                "must reject outright: {}",
+                &line[..line.len().min(80)]
+            );
+        }
+        // A plain request still decodes as Single(Ok).
+        assert!(matches!(
+            decode_line("{\"op\":\"status\"}"),
+            Decoded::Single(Ok(Request::Status))
+        ));
+        // An empty batch is a valid envelope with zero elements.
+        assert!(
+            matches!(decode_line("{\"op\":\"batch\",\"requests\":[]}"), Decoded::Batch(v) if v.is_empty())
+        );
+    }
+
+    #[test]
+    fn batch_responses_splice_elements_verbatim() {
+        let items = vec![
+            encode_success("refine", Source::Cache, "{\"outcome\":\"infeasible\"}"),
+            encode_error("bad element"),
+            encode_success("status", Source::Solved, "{\"workers\":4}"),
+        ];
+        let line = encode_batch(&items);
+        let value = json::parse(&line).unwrap();
+        assert_eq!(value.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(value.get("op").unwrap().as_str(), Some("batch"));
+        let results = value.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 3);
+        // Canonical serialization means each parsed element re-encodes to
+        // the exact bytes that were spliced in.
+        for (element, original) in results.iter().zip(&items) {
+            assert_eq!(&element.to_text(), original);
+        }
+        // And the whole line round-trips through the envelope type.
+        let envelope = envelope_from_json(&value).unwrap();
+        assert_eq!(encode_envelope(&envelope), line);
+    }
+
+    #[test]
+    fn envelopes_round_trip_from_wire_form() {
+        let envelope = WireEnvelope::Batch {
+            items: vec![
+                WireEnvelope::Success {
+                    op: "refine".into(),
+                    source: Source::Coalesced,
+                    result_text: "{\"outcome\":\"unknown\"}".into(),
+                },
+                WireEnvelope::Error {
+                    message: "nope \"quoted\"".into(),
+                },
+            ],
+        };
+        let line = encode_envelope(&envelope);
+        let back = envelope_from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, envelope);
     }
 
     #[test]

@@ -1,44 +1,73 @@
-//! The refinement daemon: TCP accept loop, request dispatch, and metrics.
+//! The refinement daemon: a readiness-based event loop, a compute pool, and
+//! a write-through persistent result cache.
 //!
 //! Architecture (one box per module):
 //!
 //! ```text
-//!  TCP clients ──► accept loop ──► connection threads (1/client, I/O-bound)
-//!                                        │ one JSON line per request
-//!                                        ▼
-//!                     dispatch: cache ──hit──► replay cached bytes
-//!                        │ miss
-//!                        ▼
-//!                  single-flight: follower ──► wait, share leader's bytes
-//!                        │ leader
-//!                        ▼
-//!                  worker pool (fixed size, CPU-bound) ──► engine solve
-//!                        │ serialize once
-//!                        ▼
-//!              cache.insert + flight.complete + respond
+//!  TCP clients ──► event loop (1 thread, non-blocking sockets)
+//!                    │  per-connection read/write buffers + response slots
+//!                    │  lines framed, batch envelopes opened per element
+//!                    ▼
+//!        dispatch: cache ──hit──► replay cached bytes into the slot
+//!           │ miss
+//!           ▼
+//!        flight board: follower ──► park a token on the leader's flight
+//!           │ leader
+//!           ▼
+//!        compute pool (fixed size, CPU-bound) ──► engine solve
+//!           │ completion message + unpark
+//!           ▼
+//!  event loop: cache.insert ──► segment store (append P/D records)
+//!              fan result out to every parked token, flush in order
 //! ```
 //!
+//! **Event loop.** Connections cost a buffer, not a thread: the loop owns
+//! every socket in non-blocking mode and pumps reads, dispatch, solve
+//! completions, and writes in rounds. When a round makes no progress it
+//! parks with an escalating timeout (50 µs → 2 ms), and workers unpark it
+//! the moment a solve completes, so the loop is hot under load and cheap
+//! when idle — thousands of idle clients cost no threads, only their
+//! buffers and a bounded background poll (at most ~500 sweeps/s once the
+//! park timeout is saturated; a kernel readiness API could eliminate even
+//! that, but the workspace is pure std — see ROADMAP).
+//! Responses are assembled in per-connection *slots* so they leave in
+//! request order even when solves complete out of order.
+//!
+//! **Batching.** One line may carry a batch envelope (see
+//! [`protocol`](crate::protocol)); elements share the line's framing and a
+//! single write-out, and each element runs the cache/single-flight path
+//! independently, so a mixed batch serves its hits immediately while its
+//! misses solve.
+//!
+//! **Persistence.** With a segment path configured, every cache insert is
+//! written through to an append-only file and every eviction tombstoned;
+//! startup replays the file so a restarted server answers previously-cached
+//! requests byte-identically without recomputing (see
+//! [`SegmentStore`](crate::cache::SegmentStore)).
+//!
 //! The solve path serializes a result exactly once; every later identical
-//! request — concurrent (single-flight) or subsequent (cache) — receives
-//! those same bytes.
+//! request — concurrent (single-flight), subsequent (cache), or in a later
+//! process (segment replay) — receives those same bytes.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use strudel_core::prelude::{highest_theta, lowest_k, HighestThetaOptions, SweepDirection};
 use strudel_core::wire::{WireHighestTheta, WireLowestK, WireOutcome};
 
-use crate::cache::{CacheStats, LruCache};
-use crate::flight::{FlightStats, Join, SingleFlight};
+use crate::cache::{CacheStats, LruCache, PersistStats, SegmentStore};
+use crate::flight::{BoardJoin, FlightBoard, FlightStats};
 use crate::json::Json;
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    self, decode_request, encode_error, encode_success, CacheKey, Request, SolveOp, SolveRequest,
-    Source,
+    self, encode_batch, encode_error, encode_success, CacheKey, Decoded, Request, SolveOp,
+    SolveRequest, Source,
 };
 
 /// Configuration of a server instance.
@@ -50,6 +79,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Result cache capacity, in entries.
     pub cache_capacity: usize,
+    /// Segment file for the write-through persistent cache; `None` keeps
+    /// the cache memory-only (it dies with the process).
+    pub persist_path: Option<PathBuf>,
+    /// Dead records in the segment that trigger compaction.
+    pub compact_dead_threshold: u64,
 }
 
 impl Default for ServerConfig {
@@ -58,24 +92,40 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7464".to_owned(),
             workers: 4,
             cache_capacity: 1024,
+            persist_path: None,
+            compact_dead_threshold: 1024,
         }
     }
 }
 
-/// Everything the connection threads share.
+/// Everything the event loop, the workers, and the handle share.
 struct Shared {
     cache: Mutex<LruCache<CacheKey, Arc<String>>>,
-    flight: SingleFlight<CacheKey, Result<Arc<String>, String>>,
+    persist: Mutex<Option<SegmentStore>>,
     pool: WorkerPool,
     metrics: Metrics,
     stop: AtomicBool,
     started: Instant,
-    /// The bound listener address, kept so a `shutdown` request can poke
-    /// the accept loop out of its blocking `accept()`.
-    addr: SocketAddr,
+    /// The event loop's thread handle, so workers and `shutdown()` can
+    /// unpark it the moment there is something to do.
+    loop_thread: Mutex<Option<thread::Thread>>,
+    /// Finished solves travelling from the workers back to the event loop.
+    /// Behind its own `Arc` so a worker's job closure captures *only* this
+    /// queue, never `Shared` itself — if a job held the last `Shared`
+    /// reference, dropping it on a worker thread would run
+    /// `WorkerPool::drop`, which joins that very thread (a self-join that
+    /// never returns).
+    completions: Arc<Mutex<Vec<Completion>>>,
 }
 
-/// Per-operation request counters.
+/// One finished solve: the flight key and the serialized result (or the
+/// error message shared by everyone parked on the flight).
+struct Completion {
+    key: CacheKey,
+    outcome: Result<String, String>,
+}
+
+/// Per-operation request counters and gauges.
 #[derive(Default)]
 struct Metrics {
     refine: AtomicU64,
@@ -85,6 +135,13 @@ struct Metrics {
     shutdown: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    open_connections: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    flight_leaders: AtomicU64,
+    flight_shared: AtomicU64,
+    flight_aborted: AtomicU64,
+    persist_errors: AtomicU64,
 }
 
 impl Metrics {
@@ -107,6 +164,8 @@ pub struct StatusSnapshot {
     pub uptime_ms: u64,
     /// Connections accepted so far.
     pub connections: u64,
+    /// Connections currently open (the event loop's gauge).
+    pub open_connections: u64,
     /// `refine` requests served.
     pub refine: u64,
     /// `highest-theta` requests served.
@@ -117,21 +176,43 @@ pub struct StatusSnapshot {
     pub status: u64,
     /// `shutdown` requests acknowledged.
     pub shutdowns: u64,
-    /// Error responses sent.
+    /// Error responses sent (including per-element batch errors).
     pub errors: u64,
+    /// Batch envelopes received.
+    pub batches: u64,
+    /// Requests that arrived inside a batch envelope.
+    pub batched_requests: u64,
     /// Result cache counters.
     pub cache: CacheStats,
     /// Single-flight counters.
     pub flight: FlightStats,
+    /// Persistent segment counters; `None` when persistence is off.
+    pub persist: Option<PersistStats>,
+    /// Persistent segment write failures (0 in healthy operation).
+    pub persist_errors: u64,
 }
 
 impl StatusSnapshot {
     /// Encodes the snapshot as the `status` response's result object.
     pub fn to_json(&self) -> Json {
+        let persist = match &self.persist {
+            None => Json::Null,
+            Some(stats) => Json::obj(vec![
+                ("replayed", Json::Int(stats.replayed as i64)),
+                ("puts", Json::Int(stats.puts as i64)),
+                ("tombstones", Json::Int(stats.tombstones as i64)),
+                ("dead", Json::Int(stats.dead as i64)),
+                ("live", Json::Int(stats.live as i64)),
+                ("compactions", Json::Int(stats.compactions as i64)),
+                ("file_bytes", Json::Int(stats.file_bytes as i64)),
+                ("errors", Json::Int(self.persist_errors as i64)),
+            ]),
+        };
         Json::obj(vec![
             ("workers", Json::Int(self.workers as i64)),
             ("uptime_ms", Json::Int(self.uptime_ms as i64)),
             ("connections", Json::Int(self.connections as i64)),
+            ("open_connections", Json::Int(self.open_connections as i64)),
             (
                 "requests",
                 Json::obj(vec![
@@ -141,6 +222,8 @@ impl StatusSnapshot {
                     ("status", Json::Int(self.status as i64)),
                     ("shutdown", Json::Int(self.shutdowns as i64)),
                     ("errors", Json::Int(self.errors as i64)),
+                    ("batch", Json::Int(self.batches as i64)),
+                    ("batched", Json::Int(self.batched_requests as i64)),
                 ]),
             ),
             (
@@ -162,6 +245,7 @@ impl StatusSnapshot {
                     ("aborted", Json::Int(self.flight.aborted as i64)),
                 ]),
             ),
+            ("persist", persist),
         ])
     }
 }
@@ -172,58 +256,64 @@ impl StatusSnapshot {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    loop_thread: Option<JoinHandle<()>>,
 }
 
 /// Starts a server from a configuration. Returns once the listener is bound
-/// (so `handle.addr()` is immediately connectable).
+/// (so `handle.addr()` is immediately connectable) and, when persistence is
+/// configured, once the segment file has been replayed into the cache.
 pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    // std's TcpListener::bind sets SO_REUSEADDR on Unix before binding, so
+    // a server restarted immediately after shutdown rebinds its port even
+    // while the previous instance's connections sit in TIME_WAIT (rapid
+    // test restarts depend on this; see the service tests).
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    // Warm start: replay the persistent segment into the cache in append
+    // order, which reconstructs the pre-restart recency ranking.
+    let metrics = Metrics::default();
+    let mut cache = LruCache::new(config.cache_capacity);
+    let persist = match &config.persist_path {
+        None => None,
+        Some(path) => {
+            let (mut store, entries) = SegmentStore::open(path, config.compact_dead_threshold)?;
+            for (key, text) in entries {
+                if let Some((victim, _)) = cache.insert(key, Arc::new(text)) {
+                    // The segment outgrew this instance's capacity: keep
+                    // disk consistent with what is actually resident.
+                    if let Err(err) = store.record_evict(&victim) {
+                        metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("strudel-server: replay-overflow tombstone failed: {err}");
+                    }
+                }
+            }
+            Some(store)
+        }
+    };
+
     let shared = Arc::new(Shared {
-        cache: Mutex::new(LruCache::new(config.cache_capacity)),
-        flight: SingleFlight::new(),
+        cache: Mutex::new(cache),
+        persist: Mutex::new(persist),
         pool: WorkerPool::new(config.workers),
-        metrics: Metrics::default(),
+        metrics,
         stop: AtomicBool::new(false),
         started: Instant::now(),
-        addr: local_addr,
+        loop_thread: Mutex::new(None),
+        completions: Arc::new(Mutex::new(Vec::new())),
     });
 
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = thread::Builder::new()
-        .name("strudel-accept".to_owned())
-        .spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match stream {
-                    Ok(stream) => stream,
-                    Err(_) => {
-                        // Persistent accept failures (EMFILE under fd
-                        // exhaustion being the classic) return instantly;
-                        // without a pause this loop would pin a core and
-                        // starve the connections whose closure frees fds.
-                        thread::sleep(std::time::Duration::from_millis(20));
-                        continue;
-                    }
-                };
-                accept_shared
-                    .metrics
-                    .connections
-                    .fetch_add(1, Ordering::Relaxed);
-                let connection_shared = Arc::clone(&accept_shared);
-                let _ = thread::Builder::new()
-                    .name("strudel-conn".to_owned())
-                    .spawn(move || serve_connection(stream, &connection_shared));
-            }
-        })?;
+    let loop_shared = Arc::clone(&shared);
+    let handle = thread::Builder::new()
+        .name("strudel-eventloop".to_owned())
+        .spawn(move || EventLoop::new(listener, loop_shared).run())?;
+    *shared.loop_thread.lock().expect("loop thread lock") = Some(handle.thread().clone());
 
     Ok(ServerHandle {
         local_addr,
         shared,
-        accept_thread: Some(accept_thread),
+        loop_thread: Some(handle),
     })
 }
 
@@ -238,95 +328,68 @@ impl ServerHandle {
         snapshot(&self.shared)
     }
 
-    /// Asks the server to stop accepting connections (idempotent).
+    /// Asks the server to stop: the event loop closes the listener, drains
+    /// in-flight solves, flushes the persistent segment, and exits
+    /// (idempotent).
     pub fn shutdown(&self) {
-        trigger_shutdown(&self.shared);
+        self.shared.stop.store(true, Ordering::SeqCst);
+        wake(&self.shared);
     }
 
-    /// Blocks until the accept loop has exited (after [`Self::shutdown`] or
+    /// Blocks until the event loop has exited (after [`Self::shutdown`] or
     /// a client's `shutdown` request) and returns the final counters.
-    /// In-flight connections finish independently; the worker pool drains
-    /// when the last handle and connection are gone.
     pub fn wait(mut self) -> StatusSnapshot {
-        if let Some(thread) = self.accept_thread.take() {
+        if let Some(thread) = self.loop_thread.take() {
             let _ = thread.join();
         }
         snapshot(&self.shared)
     }
 }
 
+fn wake(shared: &Shared) {
+    if let Some(thread) = shared
+        .loop_thread
+        .lock()
+        .expect("loop thread lock")
+        .as_ref()
+    {
+        thread.unpark();
+    }
+}
+
 fn snapshot(shared: &Shared) -> StatusSnapshot {
+    // The locks are taken strictly one at a time (each guard is a
+    // temporary), so this never nests against the event loop's
+    // cache-then-persist ordering.
+    let cache = shared.cache.lock().expect("cache lock").stats();
+    let persist = shared
+        .persist
+        .lock()
+        .expect("persist lock")
+        .as_ref()
+        .map(SegmentStore::stats);
+    let metrics = &shared.metrics;
     StatusSnapshot {
         workers: shared.pool.workers(),
         uptime_ms: shared.started.elapsed().as_millis() as u64,
-        connections: shared.metrics.connections.load(Ordering::Relaxed),
-        refine: shared.metrics.refine.load(Ordering::Relaxed),
-        highest_theta: shared.metrics.highest_theta.load(Ordering::Relaxed),
-        lowest_k: shared.metrics.lowest_k.load(Ordering::Relaxed),
-        status: shared.metrics.status.load(Ordering::Relaxed),
-        shutdowns: shared.metrics.shutdown.load(Ordering::Relaxed),
-        errors: shared.metrics.errors.load(Ordering::Relaxed),
-        cache: shared.cache.lock().expect("cache lock").stats(),
-        flight: shared.flight.stats(),
-    }
-}
-
-fn trigger_shutdown(shared: &Shared) {
-    if shared.stop.swap(true, Ordering::SeqCst) {
-        return; // already shutting down
-    }
-    // The accept loop blocks in accept(); poke it with a throwaway
-    // connection so it observes the stop flag and exits. A listener bound
-    // to an unspecified address (0.0.0.0 / ::) is not connectable as such
-    // on every platform — aim the poke at loopback on the same port.
-    let mut poke_addr = shared.addr;
-    if poke_addr.ip().is_unspecified() {
-        let loopback: std::net::IpAddr = if poke_addr.is_ipv4() {
-            std::net::Ipv4Addr::LOCALHOST.into()
-        } else {
-            std::net::Ipv6Addr::LOCALHOST.into()
-        };
-        poke_addr.set_ip(loopback);
-    }
-    let _ = TcpStream::connect(poke_addr);
-}
-
-fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    // One small request line, one small response line per round trip:
-    // Nagle's algorithm interacts with delayed ACKs to put a ~40 ms floor
-    // under exactly this traffic pattern, so switch it off.
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let line = match read_request_line(&mut reader) {
-            Ok(Some(line)) => line,
-            Ok(None) => break, // clean EOF
-            Err(oversized) => {
-                let _ = writer
-                    .write_all(encode_error(&oversized).as_bytes())
-                    .and_then(|()| writer.write_all(b"\n"));
-                break;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, stop_after) = dispatch(&line, shared);
-        if writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            break;
-        }
-        if stop_after {
-            break;
-        }
+        connections: metrics.connections.load(Ordering::Relaxed),
+        open_connections: metrics.open_connections.load(Ordering::Relaxed),
+        refine: metrics.refine.load(Ordering::Relaxed),
+        highest_theta: metrics.highest_theta.load(Ordering::Relaxed),
+        lowest_k: metrics.lowest_k.load(Ordering::Relaxed),
+        status: metrics.status.load(Ordering::Relaxed),
+        shutdowns: metrics.shutdown.load(Ordering::Relaxed),
+        errors: metrics.errors.load(Ordering::Relaxed),
+        batches: metrics.batches.load(Ordering::Relaxed),
+        batched_requests: metrics.batched_requests.load(Ordering::Relaxed),
+        cache,
+        flight: FlightStats {
+            leaders: metrics.flight_leaders.load(Ordering::Relaxed),
+            shared: metrics.flight_shared.load(Ordering::Relaxed),
+            aborted: metrics.flight_aborted.load(Ordering::Relaxed),
+        },
+        persist,
+        persist_errors: metrics.persist_errors.load(Ordering::Relaxed),
     }
 }
 
@@ -334,117 +397,676 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
 /// Persons is 64 signatures over 8 properties); 32 MiB leaves orders of
 /// magnitude of headroom while keeping one hostile connection from growing
 /// an unbounded buffer.
-const MAX_REQUEST_LINE: u64 = 32 * 1024 * 1024;
+const MAX_REQUEST_LINE: usize = 32 * 1024 * 1024;
 
-/// Reads one `\n`-terminated request line, enforcing [`MAX_REQUEST_LINE`].
-/// `Ok(None)` is clean EOF; `Err` carries the message for the oversized-line
-/// error response (the connection is then closed: framing is lost).
-fn read_request_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, String> {
-    let mut bytes = Vec::new();
-    let read = std::io::Read::take(reader, MAX_REQUEST_LINE + 1)
-        .read_until(b'\n', &mut bytes)
-        .map_err(|err| format!("read failed: {err}"))?;
-    if read == 0 {
-        return Ok(None);
-    }
-    if bytes.last() != Some(&b'\n') && read as u64 > MAX_REQUEST_LINE {
-        return Err(format!(
-            "request line exceeds {MAX_REQUEST_LINE} bytes; closing the connection"
-        ));
-    }
-    String::from_utf8(bytes)
-        .map(Some)
-        .map_err(|_| "request line is not UTF-8".to_owned())
+/// Upper bound on un-flushed response bytes per connection; a client that
+/// requests heavily but never reads is disconnected at this point.
+const MAX_OUT_BUFFER: usize = 64 * 1024 * 1024;
+
+/// Idle park bounds: the loop parks when a round makes no progress,
+/// escalating from `MIN_PARK` to `MAX_PARK`; any progress (or a worker's
+/// unpark) snaps it back. Active connections therefore see ~50 µs loop
+/// latency, while an idle server polls at only ~500 Hz.
+const MIN_PARK: Duration = Duration::from_micros(50);
+const MAX_PARK: Duration = Duration::from_millis(2);
+
+/// How long a graceful shutdown waits for in-flight work and un-flushed
+/// responses before giving up on slow clients.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Bytes read per `read()` call on a readable socket.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// One response being assembled. Slots leave the connection in FIFO order,
+/// so responses are written in request order even when solves complete out
+/// of order.
+struct Slot {
+    id: u64,
+    body: SlotBody,
 }
 
-/// Handles one request line. Returns the response line and whether the
-/// connection should close (after a `shutdown` acknowledgement).
-fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
-    match decode_request(line) {
-        Err(err) => {
-            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            (encode_error(&err.message), false)
+enum SlotBody {
+    /// The response line is complete (not yet moved to the write buffer).
+    Ready(String),
+    /// A single request waiting on a solve completion.
+    PendingSingle,
+    /// A batch waiting on `remaining` of its elements.
+    Batch {
+        items: Vec<Option<String>>,
+        remaining: usize,
+    },
+}
+
+/// A parked requester on the flight board: enough to route a completed
+/// solve back into the right slot. The board returns the leader's token
+/// first; followers receive `Source::Coalesced`.
+struct Waiter {
+    conn: u64,
+    slot: u64,
+    elem: Option<usize>,
+    op: SolveOp,
+}
+
+/// One client connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    out: Vec<u8>,
+    out_pos: usize,
+    slots: VecDeque<Slot>,
+    next_slot: u64,
+    /// False once the peer half-closed (EOF); pending responses still
+    /// flush before the connection is reaped.
+    peer_open: bool,
+    /// Set on fatal protocol violations (oversized line, bad UTF-8): stop
+    /// reading, flush what is queued (ending with the error), then close.
+    close_after_flush: bool,
+    /// Set on socket errors: drop the connection without further I/O.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        // One small request line, one response line per round trip:
+        // Nagle's algorithm interacts with delayed ACKs to put a ~40 ms
+        // floor under exactly this traffic pattern, so switch it off.
+        let _ = stream.set_nodelay(true);
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            slots: VecDeque::new(),
+            next_slot: 0,
+            peer_open: true,
+            close_after_flush: false,
+            dead: false,
         }
-        Ok(Request::Status) => {
-            shared.metrics.status.fetch_add(1, Ordering::Relaxed);
-            let body = snapshot(shared).to_json().to_text();
-            (encode_success("status", Source::Solved, &body), false)
+    }
+
+    /// Moves every leading completed slot into the write buffer, in order.
+    fn stage_ready(&mut self) {
+        while matches!(self.slots.front(), Some(slot) if matches!(slot.body, SlotBody::Ready(_))) {
+            let slot = self.slots.pop_front().expect("front just matched");
+            let SlotBody::Ready(line) = slot.body else {
+                unreachable!("front just matched Ready");
+            };
+            self.out.reserve(line.len() + 1);
+            self.out.extend_from_slice(line.as_bytes());
+            self.out.push(b'\n');
         }
-        Ok(Request::Shutdown) => {
-            shared.metrics.shutdown.fetch_add(1, Ordering::Relaxed);
-            trigger_shutdown(shared);
-            (
-                encode_success("shutdown", Source::Solved, "{\"stopping\":true}"),
-                true,
-            )
-        }
-        Ok(Request::Solve(request)) => {
-            shared.metrics.count_solve(request.op);
-            solve_via_cache(*request, shared)
-        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.out_pos == self.out.len()
+    }
+
+    /// Queues an error response as the final slot and begins teardown.
+    fn fatal(&mut self, message: &str) {
+        let id = self.next_slot;
+        self.next_slot += 1;
+        self.slots.push_back(Slot {
+            id,
+            body: SlotBody::Ready(encode_error(message)),
+        });
+        self.peer_open = false;
+        self.close_after_flush = true;
     }
 }
 
-fn solve_via_cache(request: SolveRequest, shared: &Arc<Shared>) -> (String, bool) {
-    let op_name = request.op.name();
-    let key = request.cache_key();
+/// The event loop: owns the listener, every connection, the flight board,
+/// and the scratch read buffer. Runs on one thread; workers communicate
+/// back through `Shared::completions` + unpark.
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    board: FlightBoard<CacheKey, Waiter>,
+    pending_jobs: usize,
+    stopping: bool,
+    drain_deadline: Option<Instant>,
+    scratch: Vec<u8>,
+}
 
-    if let Some(result) = shared.cache.lock().expect("cache lock").get(&key) {
-        return (encode_success(op_name, Source::Cache, &result), false);
+impl EventLoop {
+    fn new(listener: TcpListener, shared: Arc<Shared>) -> Self {
+        EventLoop {
+            shared,
+            listener: Some(listener),
+            conns: HashMap::new(),
+            next_conn: 0,
+            board: FlightBoard::new(),
+            pending_jobs: 0,
+            stopping: false,
+            drain_deadline: None,
+            scratch: vec![0; READ_CHUNK],
+        }
     }
 
-    match shared.flight.join(key.clone()) {
-        Join::Follow(Ok(Ok(result))) => {
-            (encode_success(op_name, Source::Coalesced, &result), false)
-        }
-        Join::Follow(Ok(Err(message))) => {
-            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            (encode_error(&message), false)
-        }
-        Join::Follow(Err(_aborted)) => {
-            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            (
-                encode_error("the solve this request was coalesced with failed; retry"),
-                false,
-            )
-        }
-        Join::Lead(leader) => {
-            // Double-check the cache: between this thread's miss and winning
-            // leadership, a previous leader may have completed — and it
-            // inserts into the cache *before* retiring its flight, so a
-            // recheck hit here is decisive and the solve is skipped.
-            // (`recheck` keeps the expected miss uncounted: the lookup
-            // above already booked it.)
-            if let Some(result) = shared.cache.lock().expect("cache lock").recheck(&key) {
-                leader.complete(Ok(Arc::clone(&result)));
-                return (encode_success(op_name, Source::Cache, &result), false);
+    fn run(mut self) {
+        let mut park = MIN_PARK;
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                self.begin_stop();
             }
-            let outcome = shared
-                .pool
-                .run(move || solve_job(&request))
-                .unwrap_or_else(|| Err("solve panicked in the worker".to_owned()));
-            match outcome {
-                Ok(result_text) => {
-                    let result = Arc::new(result_text);
-                    shared
+            let mut progress = self.accept_new();
+            progress |= self.pump_reads();
+            progress |= self.apply_completions();
+            progress |= self.pump_writes();
+            self.reap();
+            if self.stopping && self.drained() {
+                break;
+            }
+            if progress {
+                park = MIN_PARK;
+            } else {
+                thread::park_timeout(park);
+                park = (park * 2).min(MAX_PARK);
+            }
+        }
+        self.finish();
+    }
+
+    /// Enters graceful shutdown: close the listener (refusing new clients
+    /// and freeing the port), stop reading new requests, and start the
+    /// drain clock. In-flight solves and queued responses still complete.
+    fn begin_stop(&mut self) {
+        if self.stopping {
+            return;
+        }
+        self.stopping = true;
+        self.listener = None;
+        self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+    }
+
+    /// Whether shutdown may complete: no solve in flight, no completion
+    /// unapplied, every response flushed — or the grace period is over.
+    fn drained(&self) -> bool {
+        if self
+            .drain_deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            return true;
+        }
+        self.board.is_empty()
+            && self.pending_jobs == 0
+            && self
+                .shared
+                .completions
+                .lock()
+                .expect("completions lock")
+                .is_empty()
+            && self
+                .conns
+                .values()
+                .all(|conn| conn.dead || (conn.slots.is_empty() && conn.flushed()))
+    }
+
+    /// Final barrier: flush and fsync the persistent segment so a restart
+    /// replays everything acknowledged before exit.
+    fn finish(&mut self) {
+        let mut persist = self.shared.persist.lock().expect("persist lock");
+        if let Some(store) = persist.as_mut() {
+            if let Err(err) = store.flush() {
+                self.shared
+                    .metrics
+                    .persist_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!("strudel-server: flushing the persistent cache failed: {err}");
+            }
+        }
+    }
+
+    fn accept_new(&mut self) -> bool {
+        let Some(listener) = &self.listener else {
+            return false;
+        };
+        let mut any = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    self.shared
+                        .metrics
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .metrics
+                        .open_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(self.next_conn, Conn::new(stream));
+                    self.next_conn += 1;
+                    any = true;
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                // Persistent accept failures (EMFILE under fd exhaustion
+                // being the classic) are retried next round; the idle park
+                // bounds the retry rate instead of pinning a core.
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    fn pump_reads(&mut self) -> bool {
+        if self.stopping {
+            return false;
+        }
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        let mut any = false;
+        for id in ids {
+            let mut conn = self.conns.remove(&id).expect("id just listed");
+            any |= self.pump_read_conn(id, &mut conn);
+            self.conns.insert(id, conn);
+        }
+        any
+    }
+
+    fn pump_read_conn(&mut self, id: u64, conn: &mut Conn) -> bool {
+        if conn.dead || conn.close_after_flush || !conn.peer_open {
+            return false;
+        }
+        let mut any = false;
+        loop {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.peer_open = false;
+                    any = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&self.scratch[..n]);
+                    any = true;
+                    if conn.read_buf.len() > MAX_REQUEST_LINE + READ_CHUNK {
+                        break; // enough to detect the violation below
+                    }
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+
+        // Frame and dispatch every complete line.
+        let buf = std::mem::take(&mut conn.read_buf);
+        let mut consumed = 0usize;
+        while let Some(nl) = buf[consumed..].iter().position(|&b| b == b'\n') {
+            let line_bytes = &buf[consumed..consumed + nl];
+            consumed += nl + 1;
+            any |= self.handle_line_bytes(id, conn, line_bytes);
+            if conn.close_after_flush || self.stopping {
+                break; // a fatal line, or a shutdown request, stops intake
+            }
+        }
+        // A final request may arrive without its trailing newline right
+        // before EOF (`printf '…' | nc` clients): dispatch the buffered
+        // remainder as a line instead of silently dropping it.
+        if !conn.peer_open && !conn.close_after_flush && !self.stopping && consumed < buf.len() {
+            any |= self.handle_line_bytes(id, conn, &buf[consumed..]);
+            consumed = buf.len();
+        }
+        conn.read_buf = buf;
+        conn.read_buf.drain(..consumed);
+        if conn.read_buf.len() > MAX_REQUEST_LINE && !conn.close_after_flush {
+            conn.fatal(&oversized_line_message());
+            any = true;
+        }
+        conn.stage_ready();
+        any
+    }
+
+    /// Validates and dispatches one framed line — the single code path for
+    /// newline-terminated lines and the EOF-terminated remainder. Returns
+    /// whether it did any work (a blank line is none); protocol violations
+    /// mark the connection fatal via [`Conn::fatal`].
+    fn handle_line_bytes(&mut self, id: u64, conn: &mut Conn, line_bytes: &[u8]) -> bool {
+        if line_bytes.len() > MAX_REQUEST_LINE {
+            conn.fatal(&oversized_line_message());
+            return true;
+        }
+        match std::str::from_utf8(line_bytes) {
+            Ok(line) if line.trim().is_empty() => false,
+            Ok(line) => {
+                self.dispatch_line(id, conn, line);
+                true
+            }
+            Err(_) => {
+                conn.fatal("request line is not UTF-8");
+                true
+            }
+        }
+    }
+
+    /// Handles one request line: opens batch envelopes, runs each element
+    /// through cache and flight board, and queues the response slot.
+    fn dispatch_line(&mut self, id: u64, conn: &mut Conn, line: &str) {
+        let slot_id = conn.next_slot;
+        conn.next_slot += 1;
+        let metrics = &self.shared.metrics;
+        let body = match protocol::decode_line(line) {
+            Decoded::Single(Err(err)) => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                SlotBody::Ready(encode_error(&err.message))
+            }
+            Decoded::Single(Ok(request)) => match self.handle_request(request, id, slot_id, None) {
+                Some(response) => SlotBody::Ready(response),
+                None => SlotBody::PendingSingle,
+            },
+            Decoded::Batch(elements) => {
+                metrics.batches.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .batched_requests
+                    .fetch_add(elements.len() as u64, Ordering::Relaxed);
+                let mut items: Vec<Option<String>> = Vec::with_capacity(elements.len());
+                let mut remaining = 0usize;
+                for (elem, element) in elements.into_iter().enumerate() {
+                    match element {
+                        Err(err) => {
+                            self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                            items.push(Some(encode_error(&err.message)));
+                        }
+                        Ok(request) => {
+                            match self.handle_request(request, id, slot_id, Some(elem)) {
+                                Some(response) => items.push(Some(response)),
+                                None => {
+                                    items.push(None);
+                                    remaining += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                if remaining == 0 {
+                    SlotBody::Ready(assemble_batch(items))
+                } else {
+                    SlotBody::Batch { items, remaining }
+                }
+            }
+        };
+        conn.slots.push_back(Slot { id: slot_id, body });
+    }
+
+    /// Runs one request (standalone or batch element). Returns the response
+    /// line if it completed synchronously (control ops, cache hits); a
+    /// `None` means a token is parked on the flight board and the response
+    /// arrives as a completion.
+    fn handle_request(
+        &mut self,
+        request: Request,
+        conn: u64,
+        slot: u64,
+        elem: Option<usize>,
+    ) -> Option<String> {
+        let metrics = &self.shared.metrics;
+        match request {
+            Request::Status => {
+                metrics.status.fetch_add(1, Ordering::Relaxed);
+                let body = snapshot(&self.shared).to_json().to_text();
+                Some(encode_success("status", Source::Solved, &body))
+            }
+            Request::Shutdown => {
+                metrics.shutdown.fetch_add(1, Ordering::Relaxed);
+                self.shared.stop.store(true, Ordering::SeqCst);
+                self.begin_stop();
+                Some(encode_success(
+                    "shutdown",
+                    Source::Solved,
+                    "{\"stopping\":true}",
+                ))
+            }
+            Request::Solve(solve) => {
+                metrics.count_solve(solve.op);
+                let key = solve.cache_key();
+                if let Some(result) = self.shared.cache.lock().expect("cache lock").get(&key) {
+                    return Some(encode_success(solve.op.name(), Source::Cache, &result));
+                }
+                let waiter = Waiter {
+                    conn,
+                    slot,
+                    elem,
+                    op: solve.op,
+                };
+                match self.board.join(key.clone(), waiter) {
+                    BoardJoin::Lead => {
+                        metrics.flight_leaders.fetch_add(1, Ordering::Relaxed);
+                        self.pending_jobs += 1;
+                        // Capture only the completion queue (see the field
+                        // doc on `Shared::completions`), never `Shared`.
+                        let completions = Arc::clone(&self.shared.completions);
+                        let me = thread::current();
+                        self.shared.pool.submit(move || {
+                            // A panicking solve must complete its flight
+                            // regardless — followers are parked on it.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    solve_job(&solve)
+                                }))
+                                .unwrap_or_else(|_| Err("solve panicked in the worker".to_owned()));
+                            completions
+                                .lock()
+                                .expect("completions lock")
+                                .push(Completion { key, outcome });
+                            me.unpark();
+                        });
+                    }
+                    BoardJoin::Wait => {
+                        metrics.flight_shared.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Applies finished solves: insert into the cache, write through to the
+    /// segment, and fan the result out to every parked token (leader first,
+    /// as `solved`; followers as `coalesced`).
+    fn apply_completions(&mut self) -> bool {
+        let completed: Vec<Completion> =
+            std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
+        if completed.is_empty() {
+            return false;
+        }
+        for completion in completed {
+            self.pending_jobs -= 1;
+            let tokens = self.board.complete(&completion.key);
+            match completion.outcome {
+                Ok(text) => {
+                    let text = Arc::new(text);
+                    let evicted = self
+                        .shared
                         .cache
                         .lock()
                         .expect("cache lock")
-                        .insert(key, Arc::clone(&result));
-                    leader.complete(Ok(Arc::clone(&result)));
-                    (encode_success(op_name, Source::Solved, &result), false)
+                        .insert(completion.key.clone(), Arc::clone(&text))
+                        .map(|(victim, _)| victim);
+                    self.persist_insert(&completion.key, &text, evicted);
+                    for (rank, waiter) in tokens.into_iter().enumerate() {
+                        let source = if rank == 0 {
+                            Source::Solved
+                        } else {
+                            Source::Coalesced
+                        };
+                        let line = encode_success(waiter.op.name(), source, &text);
+                        self.fill(waiter, line);
+                    }
                 }
                 Err(message) => {
-                    // Errors are shared with concurrent followers (they
-                    // asked the same question) but never cached: a later
-                    // retry re-solves.
-                    leader.complete(Err(message.clone()));
-                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    (encode_error(&message), false)
+                    // Errors are shared with everyone parked on the flight
+                    // (they asked the same question) but never cached or
+                    // persisted: a later retry re-solves.
+                    for waiter in tokens {
+                        self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        let line = encode_error(&message);
+                        self.fill(waiter, line);
+                    }
                 }
             }
         }
+        true
     }
+
+    /// Write-through: append the put (plus any eviction tombstone) to the
+    /// segment, compacting when dead records cross the threshold.
+    fn persist_insert(&mut self, key: &CacheKey, text: &str, evicted: Option<CacheKey>) {
+        // This is the one place a lock is acquired while another is held
+        // (cache inside persist, for the compaction snapshot). It cannot
+        // deadlock because no other path holds the cache lock across a
+        // persist acquisition — `snapshot()` takes them strictly one at a
+        // time; keep it that way.
+        let snapshot = {
+            let mut persist = self.shared.persist.lock().expect("persist lock");
+            let Some(store) = persist.as_mut() else {
+                return;
+            };
+            let mut result = store.record_put(key, text);
+            if let Some(victim) = evicted {
+                result = result.and_then(|()| store.record_evict(&victim));
+            }
+            match result {
+                Err(err) => {
+                    self.shared
+                        .metrics
+                        .persist_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    eprintln!("strudel-server: persistent cache write failed: {err}");
+                    return;
+                }
+                Ok(()) => {
+                    if !store.should_compact() {
+                        return;
+                    }
+                }
+            }
+            self.shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .snapshot_lru_order()
+        };
+        let mut persist = self.shared.persist.lock().expect("persist lock");
+        let Some(store) = persist.as_mut() else {
+            return;
+        };
+        if let Err(err) = store.compact(snapshot.iter().map(|(k, v)| (k, v.as_str()))) {
+            self.shared
+                .metrics
+                .persist_errors
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!("strudel-server: segment compaction failed: {err}");
+        }
+    }
+
+    /// Routes a completed response into its slot; tokens whose connection
+    /// is already gone are counted as aborted.
+    fn fill(&mut self, waiter: Waiter, line: String) {
+        let aborted = &self.shared.metrics.flight_aborted;
+        let Some(conn) = self.conns.get_mut(&waiter.conn) else {
+            aborted.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let Some(slot) = conn.slots.iter_mut().find(|slot| slot.id == waiter.slot) else {
+            aborted.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match (&mut slot.body, waiter.elem) {
+            (SlotBody::PendingSingle, None) => slot.body = SlotBody::Ready(line),
+            (SlotBody::Batch { items, remaining }, Some(elem)) => {
+                if items[elem].is_none() {
+                    items[elem] = Some(line);
+                    *remaining -= 1;
+                }
+                if *remaining == 0 {
+                    let items = std::mem::take(items);
+                    slot.body = SlotBody::Ready(assemble_batch(items));
+                }
+            }
+            _ => {}
+        }
+        conn.stage_ready();
+    }
+
+    fn pump_writes(&mut self) -> bool {
+        let mut any = false;
+        for conn in self.conns.values_mut() {
+            if conn.dead {
+                continue;
+            }
+            while conn.out_pos < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        any = true;
+                    }
+                    Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            // Reclaim the flushed prefix. On a fully drained buffer this is
+            // a free clear; under sustained backpressure (a pipelining
+            // client that keeps the socket's send buffer saturated, so
+            // rounds always end in WouldBlock) the prefix would otherwise
+            // accumulate every byte ever sent on the connection.
+            if conn.flushed() {
+                conn.out.clear();
+                conn.out_pos = 0;
+            } else if conn.out_pos > READ_CHUNK {
+                conn.out.drain(..conn.out_pos);
+                conn.out_pos = 0;
+            }
+            if conn.out.len() - conn.out_pos > MAX_OUT_BUFFER {
+                conn.dead = true; // requests heavily, never reads
+            }
+        }
+        any
+    }
+
+    fn reap(&mut self) {
+        let gone: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                conn.dead
+                    || ((!conn.peer_open || conn.close_after_flush)
+                        && conn.slots.is_empty()
+                        && conn.flushed())
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in gone {
+            self.conns.remove(&id);
+            self.shared
+                .metrics
+                .open_connections
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn oversized_line_message() -> String {
+    format!("request line exceeds {MAX_REQUEST_LINE} bytes; closing the connection")
+}
+
+/// Joins completed batch elements into the envelope line. All items are
+/// `Some` by construction (`remaining` reached 0).
+fn assemble_batch(items: Vec<Option<String>>) -> String {
+    let items: Vec<String> = items
+        .into_iter()
+        .map(|item| item.expect("all elements complete"))
+        .collect();
+    encode_batch(&items)
 }
 
 /// Runs one solve on the worker thread. Returns the canonical serialization

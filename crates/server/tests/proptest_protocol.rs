@@ -1,6 +1,8 @@
 //! Property test for the wire protocol: randomly generated solve requests
 //! survive encode → text → parse → decode with every field and the cache
-//! key intact, and random JSON values round-trip byte-for-byte.
+//! key intact, random JSON values round-trip byte-for-byte, and random
+//! batch envelopes decode element-wise with order preserved and per-element
+//! errors isolated.
 //!
 //! Uses the workspace's seeded xoshiro generator (`strudel_rdf::rng`)
 //! rather than the external `proptest` crate, so it runs in offline builds;
@@ -11,8 +13,11 @@ use strudel_rdf::rng::StdRng;
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
 use strudel_server::json::{self, Json};
-use strudel_server::prelude::{EngineKind, Request, SolveOp, SolveRequest};
-use strudel_server::protocol::{decode_request, view_from_json, view_to_json};
+use strudel_server::prelude::{EngineKind, Request, SolveOp, SolveRequest, Source};
+use strudel_server::protocol::{
+    decode_line, decode_request, encode_batch, encode_batch_request, encode_error, encode_success,
+    view_from_json, view_to_json, Decoded,
+};
 
 const CASES: u64 = 300;
 
@@ -153,6 +158,117 @@ fn random_views_round_trip_through_their_wire_form() {
         assert_eq!(back.subject_count(), view.subject_count());
         assert_eq!(back.signature_count(), view.signature_count());
         assert_eq!(view_to_json(&back).to_text(), encoded.to_text());
+    }
+}
+
+/// A request object that must fail element decoding, picked from the
+/// protocol's distinct failure classes.
+fn random_bad_request(rng: &mut StdRng) -> Json {
+    match rng.gen_range(0usize..5) {
+        0 => Json::obj(vec![("op", Json::str("frobnicate"))]),
+        1 => Json::obj(vec![("not-op", Json::Int(1))]),
+        2 => Json::obj(vec![("op", Json::str("refine"))]), // missing view
+        3 => Json::obj(vec![("op", Json::str("shutdown"))]), // forbidden in batches
+        _ => Json::obj(vec![
+            ("op", Json::str("batch")),
+            ("requests", Json::Arr(vec![])),
+        ]), // batches cannot nest
+    }
+}
+
+#[test]
+fn random_batches_decode_element_wise_with_order_preserved() {
+    let seed = 20260731;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..12);
+        // Each element is a valid solve request, a valid control op, or a
+        // deliberately broken object; remember which, in order.
+        let mut elements: Vec<(Json, bool)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            match rng.gen_range(0usize..4) {
+                0 => elements.push((random_bad_request(&mut rng), false)),
+                1 => elements.push((Json::obj(vec![("op", Json::str("status"))]), true)),
+                _ => elements.push((random_request(&mut rng).to_json(), true)),
+            }
+        }
+        let values: Vec<Json> = elements.iter().map(|(value, _)| value.clone()).collect();
+        let line = encode_batch_request(&values);
+
+        let Decoded::Batch(decoded) = decode_line(&line) else {
+            panic!("seed {seed} case {case}: batch line decoded as single");
+        };
+        assert_eq!(decoded.len(), n, "seed {seed} case {case}");
+        for (idx, ((original, valid), result)) in elements.iter().zip(&decoded).enumerate() {
+            assert_eq!(
+                result.is_ok(),
+                *valid,
+                "seed {seed} case {case} element {idx}: {original}"
+            );
+            // Order preservation: a decoded solve element re-encodes to its
+            // original object, and control ops match their op name.
+            match result {
+                Ok(Request::Solve(solve)) => {
+                    assert_eq!(
+                        solve.to_json().to_text(),
+                        original.to_text(),
+                        "seed {seed} case {case} element {idx} out of order"
+                    );
+                }
+                Ok(Request::Status) => {
+                    assert_eq!(original.get("op").and_then(Json::as_str), Some("status"));
+                }
+                Ok(Request::Shutdown) => {
+                    panic!("seed {seed} case {case}: shutdown must not decode in a batch")
+                }
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn random_batch_responses_frame_elements_byte_identically() {
+    let seed = 99173;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..10);
+        let items: Vec<String> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    let message: String = (0..rng.gen_range(0usize..12))
+                        .map(|_| {
+                            char::from_u32(rng.gen_range(32u32..127)).expect("printable ASCII")
+                        })
+                        .collect();
+                    encode_error(&message)
+                } else {
+                    let source = match rng.gen_range(0usize..3) {
+                        0 => Source::Solved,
+                        1 => Source::Cache,
+                        _ => Source::Coalesced,
+                    };
+                    let result = random_json(&mut rng, 2).to_text();
+                    encode_success("refine", source, &result)
+                }
+            })
+            .collect();
+        let line = encode_batch(&items);
+        let value = json::parse(&line)
+            .unwrap_or_else(|err| panic!("seed {seed} case {case}: '{line}': {err}"));
+        assert_eq!(value.get("ok").and_then(Json::as_bool), Some(true));
+        let results = value.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), n, "seed {seed} case {case}");
+        // Canonical serialization: every parsed element re-encodes to the
+        // exact bytes spliced into the envelope, in order — the batch-level
+        // byte-identity guarantee.
+        for (idx, (element, original)) in results.iter().zip(&items).enumerate() {
+            assert_eq!(
+                &element.to_text(),
+                original,
+                "seed {seed} case {case} element {idx}"
+            );
+        }
     }
 }
 

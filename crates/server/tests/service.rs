@@ -1,6 +1,8 @@
 //! Service-level tests over real TCP: concurrency, single-flight
-//! accounting, cache behaviour, and protocol robustness.
+//! accounting, cache behaviour, batch envelopes, persistence/warm starts,
+//! graceful shutdown, and protocol robustness.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
 
@@ -14,8 +16,19 @@ fn start_test_server(workers: usize, cache_capacity: usize) -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         workers,
         cache_capacity,
+        ..ServerConfig::default()
     })
     .expect("binding an ephemeral port")
+}
+
+/// A scratch path for persistent-cache tests. CI points
+/// `STRUDEL_TEST_PERSIST_DIR` at a tmpfs mount; everywhere else the system
+/// temp dir is used.
+fn persist_path(tag: &str) -> PathBuf {
+    let dir = std::env::var_os("STRUDEL_TEST_PERSIST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    dir.join(format!("strudel-test-{tag}-{}.segment", std::process::id()))
 }
 
 /// A view large enough that a hybrid highest-theta search takes visible
@@ -220,6 +233,267 @@ fn malformed_lines_get_error_responses_and_the_connection_survives() {
 
     client.shutdown().unwrap();
     handle.wait();
+}
+
+#[test]
+fn batches_preserve_order_isolate_errors_and_coalesce_duplicates() {
+    let handle = start_test_server(2, 64);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Warm one entry so the batch mixes a cache hit with cold solves.
+    let warm = refine_request(Ratio::new(1, 2));
+    client.solve(&warm).expect("warm the cache");
+
+    let requests = vec![
+        warm.to_json(),                                                  // [0] cache hit
+        Json::obj(vec![("op", Json::str("status"))]),                    // [1] control op
+        strudel_server::json::parse("{\"op\":\"frobnicate\"}").unwrap(), // [2] bad element
+        refine_request(Ratio::new(1, 5)).to_json(),                      // [3] cold solve
+        refine_request(Ratio::new(1, 5)).to_json(),                      // [4] duplicate of [3]
+        strudel_server::json::parse("{\"op\":\"shutdown\"}").unwrap(),   // [5] forbidden in batch
+    ];
+    let outcomes = client.call_batch(&requests).expect("batch call");
+    assert_eq!(outcomes.len(), 6, "one result per request, in order");
+
+    let ok = |idx: usize| outcomes[idx].as_ref().expect("element succeeds");
+    assert_eq!(ok(0).source(), Some(Source::Cache));
+    assert_eq!(
+        ok(0).result_text(),
+        client.solve(&warm).unwrap().result_text(),
+        "cached element keeps byte-identity inside a batch"
+    );
+    assert_eq!(ok(1).value.get("op").and_then(Json::as_str), Some("status"));
+    assert!(outcomes[2].is_err(), "bad element fails alone");
+    assert_eq!(ok(3).source(), Some(Source::Solved));
+    assert_eq!(
+        ok(4).source(),
+        Some(Source::Coalesced),
+        "identical element in the same batch shares the leader's solve"
+    );
+    assert_eq!(ok(4).result_text(), ok(3).result_text());
+    assert!(
+        outcomes[5].is_err(),
+        "shutdown is rejected inside a batch: {:?}",
+        outcomes[5]
+    );
+
+    // The server is still up (the embedded shutdown was rejected).
+    let status = client.status().expect("still serving");
+    let requests_block = status.result().unwrap().get("requests").unwrap().clone();
+    assert_eq!(requests_block.get("batch").and_then(Json::as_int), Some(1));
+    assert_eq!(
+        requests_block.get("batched").and_then(Json::as_int),
+        Some(6)
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn status_exposes_evictions_capacity_batch_counters_and_open_connections() {
+    // Capacity 2 forces evictions; a parked second client raises the gauge.
+    let handle = start_test_server(1, 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let _parked = Client::connect(handle.addr()).expect("second connection");
+
+    for denominator in 2..6 {
+        client
+            .solve(&refine_request(Ratio::new(1, denominator)))
+            .expect("solve");
+    }
+    // One batch envelope with two elements, for the batch counters.
+    let outcomes = client
+        .call_batch(&[
+            refine_request(Ratio::new(1, 2)).to_json(),
+            refine_request(Ratio::new(1, 3)).to_json(),
+        ])
+        .expect("batch");
+    assert_eq!(outcomes.len(), 2);
+
+    let status = client.status().expect("status");
+    let result = status.result().expect("status result").clone();
+    let int = |block: &str, field: &str| {
+        result
+            .get(block)
+            .and_then(|b| b.get(field))
+            .and_then(Json::as_int)
+            .unwrap_or_else(|| panic!("status lacks {block}.{field}: {result:?}"))
+    };
+    assert!(int("cache", "evictions") >= 2, "4 inserts into capacity 2");
+    assert_eq!(int("cache", "capacity"), 2);
+    assert_eq!(int("requests", "batch"), 1);
+    assert_eq!(int("requests", "batched"), 2);
+    assert!(
+        result
+            .get("open_connections")
+            .and_then(Json::as_int)
+            .expect("open-connection gauge")
+            >= 2,
+        "both live connections are gauged: {result:?}"
+    );
+    // No persistence configured: the block is explicitly null.
+    assert_eq!(result.get("persist"), Some(&Json::Null));
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn warm_start_replays_the_segment_and_serves_byte_identical_answers() {
+    let path = persist_path("warm-start");
+    std::fs::remove_file(&path).ok();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_capacity: 64,
+        persist_path: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+
+    // First life: solve a few instances cold, remember the exact bytes.
+    let thetas = [Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(2, 3)];
+    let mut cold_bytes = Vec::new();
+    {
+        let handle = server::start(&config).expect("first life");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for theta in thetas {
+            let response = client.solve(&refine_request(theta)).expect("cold solve");
+            assert_eq!(response.source(), Some(Source::Solved));
+            cold_bytes.push(response.result_text().expect("result bytes").to_owned());
+        }
+        client.shutdown().expect("shutdown");
+        handle.wait(); // drains and flushes the segment
+    }
+
+    // Second life: same segment, fresh process state. Every previously
+    // cached request must be answered from the cache — no recomputation —
+    // with byte-identical result payloads.
+    let handle = server::start(&config).expect("second life");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for (theta, cold) in thetas.into_iter().zip(&cold_bytes) {
+        let response = client.solve(&refine_request(theta)).expect("warm solve");
+        assert_eq!(
+            response.source(),
+            Some(Source::Cache),
+            "a restarted server must not recompute cached instances"
+        );
+        assert_eq!(
+            response.result_text().expect("result bytes"),
+            cold,
+            "warm answers must be byte-identical to the first life's"
+        );
+    }
+
+    let status = client.status().expect("status");
+    let result = status.result().expect("status result").clone();
+    let cache = result.get("cache").expect("cache block");
+    assert_eq!(
+        cache.get("hits").and_then(Json::as_int),
+        Some(thetas.len() as i64),
+        "every warm request is a cache hit: {cache:?}"
+    );
+    let persist = result.get("persist").expect("persist block");
+    assert_eq!(
+        persist.get("replayed").and_then(Json::as_int),
+        Some(thetas.len() as i64),
+        "the segment replayed every entry: {persist:?}"
+    );
+    assert_eq!(persist.get("errors").and_then(Json::as_int), Some(0));
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work_before_exit() {
+    // One worker and a deep backlog: the shutdown request arrives while
+    // most of the batch is still queued or solving.
+    let handle = start_test_server(1, 256);
+    let addr = handle.addr();
+
+    let worker = thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        let requests: Vec<Json> = (2..34)
+            .map(|denominator| refine_request(Ratio::new(1, denominator)).to_json())
+            .collect();
+        client.call_batch(&requests).expect("batch completes")
+    });
+
+    // Give the batch a moment to get in flight, then ask for shutdown.
+    thread::sleep(std::time::Duration::from_millis(30));
+    let mut control = Client::connect(addr).expect("control connection");
+    control.shutdown().expect("shutdown acknowledged");
+    let status = handle.wait();
+
+    let outcomes = worker.join().expect("batch client");
+    assert_eq!(outcomes.len(), 32);
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        let response = outcome
+            .as_ref()
+            .unwrap_or_else(|err| panic!("element {idx} was dropped during shutdown: {err}"));
+        assert!(response.source().is_some());
+    }
+    assert_eq!(
+        status.refine, 32,
+        "every queued element was solved, none abandoned"
+    );
+}
+
+#[test]
+fn a_final_line_without_trailing_newline_is_served_at_eof() {
+    // `printf '{"op":"status"}' | nc host port` clients half-close without
+    // a trailing newline; the buffered remainder must be dispatched, not
+    // dropped.
+    use std::io::{Read, Write};
+    let handle = start_test_server(1, 8);
+    let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .write_all(b"{\"op\":\"status\"}")
+        .expect("write without newline");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(
+        response.starts_with("{\"ok\":true,\"op\":\"status\""),
+        "the un-terminated line must still be answered: {response:?}"
+    );
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn the_port_rebinds_immediately_after_shutdown() {
+    // SO_REUSEADDR (which std's TcpListener::bind sets on Unix before
+    // binding) is what lets a restarted server reclaim its port while the
+    // previous instance's connections are still in TIME_WAIT. Exercise
+    // real traffic, stop, and rebind the exact address without a grace
+    // period — without the option this fails with AddrInUse.
+    let handle = start_test_server(1, 8);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .solve(&refine_request(Ratio::new(1, 2)))
+        .expect("traffic creates connections that will sit in TIME_WAIT");
+    client.shutdown().expect("shutdown");
+    handle.wait();
+
+    let rebound = server::start(&ServerConfig {
+        addr: addr.to_string(),
+        workers: 1,
+        cache_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .expect("rebinding the same port immediately after shutdown");
+    let mut client = Client::connect(addr).expect("connect to the rebound server");
+    client.status().expect("the rebound server serves");
+    client.shutdown().expect("shutdown");
+    rebound.wait();
 }
 
 #[test]

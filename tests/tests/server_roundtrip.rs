@@ -20,6 +20,7 @@ fn start_test_server() -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         cache_capacity: 32,
+        ..ServerConfig::default()
     })
     .expect("bind an ephemeral port")
 }
