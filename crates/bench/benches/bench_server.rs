@@ -16,7 +16,10 @@
 //! amortized across the envelope — asserted, so CI catches regressions);
 //! and the warm-start section shows a restarted server answering every
 //! previously-cached request from the replayed segment, byte-identically,
-//! without recomputing (also asserted).
+//! without recomputing (also asserted). The cluster section compares a
+//! key-diverse cold workload on one process vs 3 shards behind the
+//! `Router` (≥ 2× is asserted on machines with at least 4 cores — the
+//! speedup is real parallelism, so it needs real cores).
 
 use std::sync::Arc;
 use std::thread;
@@ -52,6 +55,7 @@ fn request(variant: usize) -> SolveRequest {
         step: None,
         max_k: None,
         time_limit: None,
+        routing: None,
     }
 }
 
@@ -244,4 +248,99 @@ fn main() {
     client.shutdown().expect("shutdown");
     second.wait();
     std::fs::remove_file(&segment).ok();
+
+    // ── Cluster ─────────────────────────────────────────────────────────
+    // Cold solves are CPU-bound, so a single process is capped by its own
+    // compute pool. Sharding the key space across 3 processes (1 worker
+    // each, so the per-process ceiling is explicit) and routing a
+    // key-diverse batch through the Router must beat the single process by
+    // the parallelism the cluster adds.
+    // A balanced key-diverse workload: distinct instances, an equal number
+    // owned by each shard, so the measured speedup is the architecture's
+    // scaling headroom rather than the residual imbalance of 30 specific
+    // hashes (the balance *bound* is property-tested in strudel-core).
+    const CLUSTER_COLD: usize = 30;
+    let ring = ShardRing::new(3);
+    let mut diverse: Vec<SolveRequest> = Vec::new();
+    let mut split = [0usize; 3];
+    let mut variant = 0;
+    while diverse.len() < CLUSTER_COLD {
+        let candidate = request(variant);
+        variant += 1;
+        let shard = ring.route(candidate.cache_key().view) as usize;
+        if split[shard] < CLUSTER_COLD / 3 {
+            split[shard] += 1;
+            diverse.push(candidate);
+        }
+    }
+    let batch: Vec<Json> = diverse.iter().map(SolveRequest::to_json).collect();
+
+    let single = server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        cache_capacity: 4096,
+        ..ServerConfig::default()
+    })
+    .expect("bind single");
+    let mut client = Client::connect(single.addr()).expect("connect");
+    let single_rps = requests_per_second(CLUSTER_COLD, || {
+        for outcome in client.call_batch(&batch).expect("single cold batch") {
+            outcome.expect("element solves");
+        }
+    });
+    client.shutdown().expect("shutdown");
+    single.wait();
+
+    let shards: Vec<_> = (0..3u32)
+        .map(|index| {
+            server::start(&ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 1,
+                cache_capacity: 4096,
+                shard: Some(ShardSpec { index, count: 3 }),
+                ..ServerConfig::default()
+            })
+            .expect("bind shard")
+        })
+        .collect();
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+    let mut router = Router::connect(&addrs).expect("connect router");
+    for request in &diverse {
+        assert_eq!(
+            router.shard_of(request),
+            ring.route(request.cache_key().view),
+            "router and standalone ring must agree"
+        );
+    }
+    let cluster_rps = requests_per_second(CLUSTER_COLD, || {
+        for outcome in router.solve_batch(&diverse).expect("cluster cold batch") {
+            let response = outcome.expect("element solves");
+            assert_eq!(response.source(), Some(Source::Solved));
+        }
+    });
+    router.shutdown_all().expect("shutdown cluster");
+    for shard in shards {
+        shard.wait();
+    }
+
+    let cluster_speedup = cluster_rps / single_rps.max(f64::MIN_POSITIVE);
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    println!("cluster cold solves ({CLUSTER_COLD} key-diverse instances, 1 worker/process):");
+    println!("  1 process:          {single_rps:>10.0} req/s");
+    println!(
+        "  3 shards (router):  {cluster_rps:>10.0} req/s (split {}/{}/{} across shards)",
+        split[0], split[1], split[2]
+    );
+    println!("  speedup 3-shard/1:       {cluster_speedup:>8.1}×  ({cores} cores available)");
+    // The parallel win needs cores to park the extra shards on: assert on
+    // CI-sized machines (the workflow runs this), report everywhere else.
+    if cores >= 4 {
+        assert!(
+            cluster_speedup >= 2.0,
+            "3 shards must serve a key-diverse cold workload at least 2× faster \
+             than one process, measured {cluster_speedup:.1}×"
+        );
+    } else {
+        println!("  (speedup assertion skipped: needs >= 4 cores, found {cores})");
+    }
 }

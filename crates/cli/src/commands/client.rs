@@ -5,7 +5,7 @@ use strudel_core::sigma::SigmaSpec;
 use strudel_core::wire::WireRefinement;
 use strudel_rules::prelude::Ratio;
 use strudel_server::prelude::{
-    Client, ClientError, EngineKind, Json, Response, SolveOp, SolveRequest, Source,
+    Client, ClientError, EngineKind, Json, Response, Router, SolveOp, SolveRequest, Source,
 };
 use strudel_server::protocol::refinement_from_json;
 
@@ -18,6 +18,7 @@ use crate::spec::{parse_sigma_spec, parse_time_limit};
 pub const SPEC: ArgSpec = ArgSpec {
     options: &[
         "addr",
+        "cluster",
         "sort",
         "rule",
         "engine",
@@ -35,19 +36,32 @@ pub const SPEC: ArgSpec = ArgSpec {
 /// Usage text of `client`.
 pub const USAGE: &str =
     "strudel client <refine|highest-theta|lowest-k|batch|status|shutdown> [FILE]
-               [--addr HOST:PORT] [--sort IRI] [--rule SPEC] [--engine hybrid|ilp|greedy]
-               [--k N] [--theta X] [--step X] [--max-k N] [--time-limit SECS] [--raw]
+               [--addr HOST:PORT | --cluster HOST:PORT,HOST:PORT,…] [--sort IRI]
+               [--rule SPEC] [--engine hybrid|ilp|greedy] [--k N] [--theta X]
+               [--step X] [--max-k N] [--time-limit SECS] [--raw]
   Sends one request to a running 'strudel serve' (default --addr 127.0.0.1:7464).
   Solve operations load FILE, build its signature view locally, and ship the view;
   repeated identical requests are answered from the server's cache. 'batch' reads
   FILE as one JSON request object per line and ships them all in a single batch
   envelope (one line each way; responses in request order, elements fail
-  independently). --raw prints the verbatim response line(s) instead of a report.";
+  independently). --raw prints the verbatim response line(s) instead of a report.
+  --cluster lists every shard of a 'serve --shard i/n' cluster in shard order:
+  solve requests are routed to the shard owning their key, batches are split
+  into concurrent per-shard sub-batches, 'status' prints a per-shard table with
+  aggregate totals, and 'shutdown' stops every shard.";
 
 /// Runs the command.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args, &SPEC)?;
     let op_text = parsed.positional(0).expect("spec requires one positional");
+    if let Some(cluster) = parsed.option("cluster") {
+        if parsed.option("addr").is_some() {
+            return Err(CliError::Usage(
+                "--addr and --cluster are mutually exclusive".to_owned(),
+            ));
+        }
+        return run_cluster(op_text, cluster, &parsed);
+    }
     let addr = parsed.option("addr").unwrap_or("127.0.0.1:7464");
     let mut client = Client::connect(addr).map_err(client_error)?;
 
@@ -78,9 +92,133 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     render_response(op_text, &response)
 }
 
-/// `client batch FILE`: one JSON request object per line of FILE, shipped
-/// as a single batch envelope.
-fn run_batch(client: &mut Client, parsed: &crate::args::ParsedArgs) -> Result<String, CliError> {
+/// Dispatches a `--cluster` invocation through the shard [`Router`].
+fn run_cluster(
+    op_text: &str,
+    cluster: &str,
+    parsed: &crate::args::ParsedArgs,
+) -> Result<String, CliError> {
+    let addrs: Vec<&str> = cluster
+        .split(',')
+        .map(str::trim)
+        .filter(|addr| !addr.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err(CliError::Usage(
+            "--cluster needs a comma-separated list of shard addresses".to_owned(),
+        ));
+    }
+    let mut router = Router::connect(&addrs).map_err(client_error)?;
+    match op_text {
+        "status" => render_cluster_status(&mut router, parsed.has_flag("raw")),
+        "shutdown" => {
+            router.shutdown_all().map_err(client_error)?;
+            Ok(format!("{} shard(s) are stopping\n", router.shard_count()))
+        }
+        "batch" => {
+            let requests = read_batch_file(parsed)?;
+            let outcomes = router.call_batch(&requests).map_err(client_error)?;
+            render_batch_outcomes(&outcomes, parsed.has_flag("raw"))
+        }
+        "refine" | "highest-theta" | "lowest-k" => {
+            let op = match op_text {
+                "refine" => SolveOp::Refine,
+                "highest-theta" => SolveOp::HighestTheta,
+                _ => SolveOp::LowestK,
+            };
+            let request = build_solve_request(op, parsed)?;
+            let shard = router.shard_of(&request);
+            let response = router.solve(&request).map_err(client_error)?;
+            if parsed.has_flag("raw") {
+                return Ok(response.raw.clone());
+            }
+            let mut out = format!("routed to shard {shard}/{}\n", router.shard_count());
+            out.push_str(&render_response(op_text, &response)?);
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown client operation '{other}'; expected refine, highest-theta, \
+             lowest-k, batch, status, or shutdown"
+        ))),
+    }
+}
+
+/// `client status --cluster …`: one row per shard plus aggregate totals.
+fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliError> {
+    let statuses = router.status_all();
+    let addrs: Vec<String> = router.addrs().iter().map(|a| (*a).to_owned()).collect();
+    if raw {
+        let mut out = String::new();
+        for status in &statuses {
+            match status {
+                Ok(response) => out.push_str(&response.raw),
+                Err(err) => out.push_str(&strudel_server::protocol::encode_error(&err.to_string())),
+            }
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    let int = |result: &Json, path: &[&str]| -> i64 {
+        let mut value = result;
+        for key in path {
+            match value.get(key) {
+                Some(inner) => value = inner,
+                None => return 0,
+            }
+        }
+        value.as_int().unwrap_or(0)
+    };
+    let mut out = format!(
+        "{:<5} {:<21} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11}\n",
+        "shard", "addr", "solves", "hits", "misses", "hit_rate", "entries", "wrong_shard"
+    );
+    let (mut solves, mut hits, mut misses, mut entries, mut wrong) = (0i64, 0i64, 0i64, 0i64, 0i64);
+    for (idx, status) in statuses.iter().enumerate() {
+        let addr = addrs.get(idx).map(String::as_str).unwrap_or("?");
+        match status {
+            Err(err) => out.push_str(&format!("{idx:<5} {addr:<21} unreachable: {err}\n")),
+            Ok(response) => {
+                let Some(result) = response.result() else {
+                    out.push_str(&format!("{idx:<5} {addr:<21} malformed status\n"));
+                    continue;
+                };
+                let row_solves = int(result, &["requests", "refine"])
+                    + int(result, &["requests", "highest_theta"])
+                    + int(result, &["requests", "lowest_k"]);
+                let row_hits = int(result, &["cache", "hits"]);
+                let row_misses = int(result, &["cache", "misses"]);
+                let hit_rate = result
+                    .get("cache")
+                    .and_then(|cache| cache.get("hit_rate"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("0.0000");
+                out.push_str(&format!(
+                    "{idx:<5} {addr:<21} {row_solves:>8} {row_hits:>8} {row_misses:>8} {hit_rate:>8} {:>8} {:>11}\n",
+                    int(result, &["cache", "entries"]),
+                    int(result, &["shard", "wrong_shard"]),
+                ));
+                solves += row_solves;
+                hits += row_hits;
+                misses += row_misses;
+                entries += int(result, &["cache", "entries"]);
+                wrong += int(result, &["shard", "wrong_shard"]);
+            }
+        }
+    }
+    let total_rate = if hits + misses == 0 {
+        "0.0000".to_owned()
+    } else {
+        format!("{:.4}", hits as f64 / (hits + misses) as f64)
+    };
+    out.push_str(&format!(
+        "{:<5} {:<21} {solves:>8} {hits:>8} {misses:>8} {total_rate:>8} {entries:>8} {wrong:>11}\n",
+        "total", "",
+    ));
+    Ok(out)
+}
+
+/// Reads the `client batch` FILE: one JSON request object per line.
+fn read_batch_file(parsed: &crate::args::ParsedArgs) -> Result<Vec<Json>, CliError> {
     let Some(path) = parsed.positional(1) else {
         return Err(CliError::Usage(
             "'client batch' needs a FILE with one JSON request per line".to_owned(),
@@ -101,11 +239,26 @@ fn run_batch(client: &mut Client, parsed: &crate::args::ParsedArgs) -> Result<St
     if requests.is_empty() {
         return Err(CliError::Usage(format!("{path} contains no requests")));
     }
+    Ok(requests)
+}
 
+/// `client batch FILE`: one JSON request object per line of FILE, shipped
+/// as a single batch envelope.
+fn run_batch(client: &mut Client, parsed: &crate::args::ParsedArgs) -> Result<String, CliError> {
+    let requests = read_batch_file(parsed)?;
     let outcomes = client.call_batch(&requests).map_err(client_error)?;
+    render_batch_outcomes(&outcomes, parsed.has_flag("raw"))
+}
+
+/// Renders per-element batch outcomes (shared by the single-server and
+/// cluster paths).
+fn render_batch_outcomes(
+    outcomes: &[Result<Response, String>],
+    raw: bool,
+) -> Result<String, CliError> {
     let mut out = String::new();
-    if parsed.has_flag("raw") {
-        for outcome in &outcomes {
+    if raw {
+        for outcome in outcomes {
             match outcome {
                 Ok(response) => out.push_str(&response.raw),
                 Err(message) => out.push_str(&strudel_server::protocol::encode_error(message)),
@@ -181,6 +334,7 @@ fn build_solve_request(
         step,
         max_k: parsed.option_parsed::<usize>("max-k")?,
         time_limit: parse_time_limit(parsed)?,
+        routing: None, // the Router stamps this when --cluster is given
     };
     // Mirror the server's validation client-side for friendlier messages.
     match op {
@@ -475,6 +629,115 @@ mod tests {
         run(&args(&["shutdown", "--addr", &addr])).unwrap();
         handle.wait();
         std::fs::remove_file(&path).ok();
+    }
+
+    fn start_test_cluster() -> (Vec<strudel_server::prelude::ServerHandle>, String) {
+        use strudel_server::prelude::ShardSpec;
+        let handles: Vec<_> = (0..3)
+            .map(|index| {
+                start_server(&ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    workers: 1,
+                    cache_capacity: 16,
+                    shard: Some(ShardSpec { index, count: 3 }),
+                    ..ServerConfig::default()
+                })
+                .unwrap()
+            })
+            .collect();
+        let cluster = handles
+            .iter()
+            .map(|handle| handle.addr().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        (handles, cluster)
+    }
+
+    #[test]
+    fn cluster_solves_route_and_status_aggregates_across_shards() {
+        let (handles, cluster) = start_test_cluster();
+        let file = write_persons_ntriples("client-cluster");
+        let file = file.to_str().unwrap();
+
+        let request = [
+            "refine",
+            file,
+            "--cluster",
+            &cluster,
+            "--sort",
+            "http://ex/Person",
+            "--k",
+            "2",
+            "--theta",
+            "0.8",
+        ];
+        let cold = run(&args(&request)).unwrap();
+        assert!(cold.contains("routed to shard"), "cold: {cold}");
+        assert!(cold.contains("source: solved"), "cold: {cold}");
+        let warm = run(&args(&request)).unwrap();
+        assert!(
+            warm.contains("source: cache"),
+            "the same key must route to the same shard: {warm}"
+        );
+
+        let status = run(&args(&["status", "--cluster", &cluster])).unwrap();
+        assert!(status.contains("shard"), "status: {status}");
+        assert!(status.contains("hit_rate"), "status: {status}");
+        assert!(status.contains("total"), "status: {status}");
+        // Three shard rows plus the header and the totals row.
+        assert_eq!(status.lines().count(), 5, "status: {status}");
+        // One hit somewhere, aggregated into the totals row.
+        let totals = status.lines().last().unwrap();
+        assert!(totals.starts_with("total"), "status: {status}");
+
+        let report = run(&args(&["shutdown", "--cluster", &cluster])).unwrap();
+        assert!(report.contains("3 shard(s)"), "report: {report}");
+        for handle in handles {
+            handle.wait();
+        }
+        std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn cluster_batches_split_and_merge_in_request_order() {
+        let (handles, cluster) = start_test_cluster();
+        let path = std::env::temp_dir().join(format!(
+            "strudel-cli-cluster-batch-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "{\"op\":\"refine\",\"view\":{\"properties\":[\"p\"],\"signatures\":[[[0],3]]},\"k\":1,\"theta\":\"1/2\"}\n\
+             {\"op\":\"frobnicate\"}\n\
+             {\"op\":\"refine\",\"view\":{\"properties\":[\"q\",\"r\"],\"signatures\":[[[0],2],[[0,1],5]]},\"k\":1,\"theta\":\"1/3\"}\n",
+        )
+        .unwrap();
+        let file = path.to_str().unwrap();
+
+        let report = run(&args(&["batch", file, "--cluster", &cluster])).unwrap();
+        assert!(report.contains("batch of 3 request(s)"), "report: {report}");
+        assert!(report.contains("[0] ok: refine"), "report: {report}");
+        assert!(report.contains("[1] error:"), "report: {report}");
+        assert!(report.contains("[2] ok: refine"), "report: {report}");
+
+        run(&args(&["shutdown", "--cluster", &cluster])).unwrap();
+        for handle in handles {
+            handle.wait();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn addr_and_cluster_are_mutually_exclusive() {
+        let err = run(&args(&[
+            "status",
+            "--addr",
+            "127.0.0.1:1",
+            "--cluster",
+            "127.0.0.1:1",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
     }
 
     #[test]

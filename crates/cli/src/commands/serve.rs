@@ -1,13 +1,20 @@
 //! `strudel serve` — run the refinement service.
 
-use strudel_server::prelude::ServerConfig;
+use strudel_server::prelude::{ServerConfig, ShardSpec};
 
 use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
 
 /// Argument specification of `serve`.
 pub const SPEC: ArgSpec = ArgSpec {
-    options: &["addr", "workers", "cache", "persist", "compact-dead"],
+    options: &[
+        "addr",
+        "workers",
+        "cache",
+        "persist",
+        "compact-dead",
+        "shard",
+    ],
     flags: &[],
     min_positional: 0,
     max_positional: 0,
@@ -15,7 +22,7 @@ pub const SPEC: ArgSpec = ArgSpec {
 
 /// Usage text of `serve`.
 pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache N]
-             [--persist FILE] [--compact-dead N]
+             [--persist FILE] [--compact-dead N] [--shard I/N]
   Runs the refinement service: line-delimited JSON over TCP driven by a
   readiness-based event loop, with a fixed-size compute pool, a
   content-addressed result cache (LRU), single-flight deduplication of
@@ -23,7 +30,12 @@ pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache
   --persist FILE write-through caches results to an append-only segment file
   replayed on the next start (warm start, byte-identical answers);
   --compact-dead N compacts the segment once N dead records accumulate
-  (default 1024). Defaults: --addr 127.0.0.1:7464, --workers 4, --cache 1024
+  (default 1024). --shard I/N runs this process as shard I of an N-shard
+  cluster: it serves only the keys its consistent-hash ring arc covers
+  (misrouted requests get a structured wrong_shard error), and namespaces
+  its --persist segment per shard (FILE.shardIofN), so every shard can use
+  the same base path. Route clients with 'strudel client --cluster'.
+  Defaults: --addr 127.0.0.1:7464, --workers 4, --cache 1024
   entries. Blocks until a client sends {\"op\":\"shutdown\"}; shutdown drains
   in-flight solves and flushes the segment, then reports the final counters.";
 
@@ -45,6 +57,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     if let Some(threshold) = parsed.option_parsed::<u64>("compact-dead")? {
         config.compact_dead_threshold = threshold;
+    }
+    if let Some(shard) = parsed.option("shard") {
+        config.shard = Some(ShardSpec::parse(shard).map_err(|err| {
+            CliError::Usage(format!("invalid value '{shard}' for --shard: {err}"))
+        })?);
     }
 
     // Announce the bound address on stderr immediately (stdout carries the
@@ -100,13 +117,21 @@ fn serve_announced(
         source,
     })?;
     eprintln!(
-        "strudel-server listening on {} ({} workers, {}-entry cache{})",
+        "strudel-server listening on {} ({} workers, {}-entry cache{}{})",
         handle.addr(),
         config.workers,
         config.cache_capacity,
-        match &config.persist_path {
-            Some(path) => format!(", persisting to {}", path.display()),
+        match &config.shard {
+            Some(spec) => format!(", shard {spec}"),
             None => String::new(),
+        },
+        match (&config.persist_path, &config.shard) {
+            (Some(path), Some(spec)) => format!(
+                ", persisting to {}",
+                strudel_server::prelude::shard_segment_path(path, spec).display()
+            ),
+            (Some(path), None) => format!(", persisting to {}", path.display()),
+            (None, _) => String::new(),
         }
     );
     Ok(handle.wait())
@@ -193,5 +218,70 @@ mod tests {
         assert!(run(&args(&["unexpected-positional"])).is_err());
         assert!(run(&args(&["--workers", "not-a-number"])).is_err());
         assert!(run(&args(&["--compact-dead", "many"])).is_err());
+        assert!(run(&args(&["--shard", "3"])).is_err());
+        assert!(run(&args(&["--shard", "3/3"])).is_err());
+        assert!(run(&args(&["--shard", "0of3"])).is_err());
+    }
+
+    #[test]
+    fn serve_with_a_shard_spec_owns_only_its_arc() {
+        use strudel_server::prelude::{ClientError, ShardRing};
+        let addr = free_addr();
+        let serve_args = args(&["--addr", &addr, "--workers", "1", "--shard", "1/3"]);
+        let report_thread = std::thread::spawn(move || run(&serve_args));
+
+        let mut client = connect_eventually(&addr);
+        // The shard identity is in the status payload.
+        let status = client.status().unwrap();
+        let shard = status
+            .result()
+            .and_then(|result| result.get("shard"))
+            .expect("shard block")
+            .clone();
+        assert_eq!(
+            shard
+                .get("index")
+                .and_then(strudel_server::json::Json::as_int),
+            Some(1)
+        );
+        assert_eq!(
+            shard
+                .get("count")
+                .and_then(strudel_server::json::Json::as_int),
+            Some(3)
+        );
+        // Any solve for a key shard 1 does not own is refused structurally.
+        let ring = ShardRing::new(3);
+        let view = strudel_rdf::signature::SignatureView::from_counts(
+            vec!["http://ex/p".into()],
+            vec![(vec![0], 5)],
+        )
+        .unwrap();
+        let request = strudel_server::prelude::SolveRequest {
+            op: strudel_server::prelude::SolveOp::Refine,
+            view,
+            spec: strudel_core::sigma::SigmaSpec::Coverage,
+            engine: strudel_server::prelude::EngineKind::Greedy,
+            k: Some(1),
+            theta: Some(strudel_rules::prelude::Ratio::new(1, 2)),
+            step: None,
+            max_k: None,
+            time_limit: None,
+            routing: None,
+        };
+        let owner = ring.route(request.view.cache_key());
+        let outcome = client.solve(&request);
+        if owner == 1 {
+            assert!(outcome.is_ok(), "the owner must solve: {outcome:?}");
+        } else {
+            assert!(
+                matches!(outcome, Err(ClientError::WrongShard { .. })),
+                "a non-owner must refuse: {outcome:?}"
+            );
+        }
+
+        client.shutdown().unwrap();
+        let report = report_thread.join().unwrap().unwrap();
+        assert!(report.contains("server stopped"), "report: {report}");
     }
 }

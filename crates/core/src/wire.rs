@@ -14,12 +14,171 @@
 //! [`Ratio::parse`]); the structuredness function travels as its canonical
 //! spec string ([`SigmaSpec::spec_string`] / [`sigma::parse_spec`]).
 
+use std::fmt;
+
 use strudel_rules::prelude::Ratio;
 
 use crate::engine::RefineOutcome;
 use crate::refinement::{ImplicitSort, SortRefinement};
 use crate::search::{HighestThetaResult, LowestKResult};
 use crate::sigma::{self, SigmaSpec, SpecParseError};
+
+/// Virtual nodes per shard on the [`ShardRing`]. More points smooth the
+/// key distribution; 64 keeps the worst shard within a few tens of percent
+/// of the ideal share while the whole ring for even hundreds of shards
+/// stays a few kilobytes.
+pub const RING_VNODES: u32 = 64;
+
+/// Version tag folded into [`ShardRing::epoch`]. Bump it whenever the hash
+/// or the point layout changes, so old clients and new servers can never
+/// silently agree on different rings.
+const RING_VERSION: u64 = 1;
+
+/// SplitMix64 finalizer — the stable, dependency-free hash every ring
+/// computation goes through. Being hand-written (rather than
+/// `DefaultHasher`, whose output std does not promise to keep stable) is
+/// what makes routing deterministic *across processes and builds*: a client
+/// and every server derive the identical ring from the shard count alone.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Folds a 128-bit cache key onto the 64-bit ring circle.
+fn fold_key(key: u128) -> u64 {
+    mix64((key >> 64) as u64 ^ mix64(key as u64))
+}
+
+/// Identity of one shard in a cluster: `index` of `count`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's id, in `0..count`.
+    pub index: u32,
+    /// Total number of shards in the cluster.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Parses the `i/n` notation (`strudel serve --shard 0/3`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("expected INDEX/COUNT (like 0/3), got '{text}'"))?;
+        let index: u32 = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid shard index in '{text}'"))?;
+        let count: u32 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid shard count in '{text}'"))?;
+        if count == 0 {
+            return Err("shard count must be at least 1".to_owned());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} is out of range for a {count}-shard cluster (0..{count})"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The consistent-hash ring that partitions the cache-key space
+/// (`CacheKey.view`, a 128-bit content hash) across `count` shards.
+///
+/// Every shard contributes [`RING_VNODES`] points on a 64-bit circle; a key
+/// belongs to the shard owning the first point at or clockwise-after the
+/// key's own position. Two properties carry the whole cluster design:
+///
+/// * **Determinism** — the ring is a pure function of the shard count, so a
+///   client-side router and every server process independently derive the
+///   same key→shard map; no coordination service is needed, and
+///   single-flight stays per-process because duplicate keys converge on
+///   one shard.
+/// * **Stability under growth** — growing from `n` to `n+1` shards only
+///   inserts the new shard's points, so the only keys that move are the
+///   ones the new shard takes over: ~`1/(n+1)` of the space, instead of
+///   the ~all-keys reshuffle of modular hashing.
+#[derive(Clone, Debug)]
+pub struct ShardRing {
+    /// `(position, shard)` pairs sorted by position (ties broken by shard,
+    /// deterministically).
+    points: Vec<(u64, u32)>,
+    count: u32,
+}
+
+impl ShardRing {
+    /// Builds the ring for a `count`-shard cluster.
+    ///
+    /// # Panics
+    /// When `count` is 0 — a cluster has at least one shard.
+    pub fn new(count: u32) -> Self {
+        assert!(count > 0, "a cluster has at least one shard");
+        let mut points = Vec::with_capacity(count as usize * RING_VNODES as usize);
+        for shard in 0..count {
+            for replica in 0..RING_VNODES {
+                let position = mix64((u64::from(shard) << 32) | u64::from(replica));
+                points.push((position, shard));
+            }
+        }
+        points.sort_unstable();
+        ShardRing { points, count }
+    }
+
+    /// Number of shards on the ring.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The shard owning `key` (a `CacheKey.view` content hash).
+    pub fn route(&self, key: u128) -> u32 {
+        let position = fold_key(key);
+        let idx = self.points.partition_point(|&(p, _)| p < position);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard
+    }
+
+    /// A fingerprint of the ring configuration. Routers stamp it on
+    /// requests and servers compare: a mismatch means the two sides were
+    /// built for different clusters (or ring versions), and the server
+    /// refuses with a `wrong_shard` error instead of silently fragmenting
+    /// the cache.
+    pub fn epoch(&self) -> u64 {
+        mix64(RING_VERSION ^ mix64(u64::from(self.count)) ^ mix64(u64::from(RING_VNODES)))
+    }
+}
+
+/// Routing metadata a shard-aware client stamps on a solve request: which
+/// shard it routed to and under which ring epoch. Servers validate both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStamp {
+    /// The shard the client routed this request to.
+    pub shard: u32,
+    /// The client ring's [`ShardRing::epoch`].
+    pub epoch: u64,
+}
+
+/// Structured detail of a `wrong_shard` error response: enough for a
+/// client to re-route (the owner) and to detect ring disagreement (the
+/// epoch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WrongShard {
+    /// The shard that received (and refused) the request.
+    pub shard: u32,
+    /// The shard that owns the key on the server's ring.
+    pub owner: u32,
+    /// The server's ring epoch.
+    pub epoch: u64,
+}
 
 /// One implicit sort, flattened.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -133,10 +292,14 @@ pub enum WireEnvelope {
         /// The canonical serialization of the result object, verbatim.
         result_text: String,
     },
-    /// `{"ok":false,"error":…}`.
+    /// `{"ok":false,"error":…}`, optionally carrying the structured
+    /// `wrong_shard` detail (`"code":"wrong_shard"` plus shard/owner/epoch
+    /// fields) a shard refusing a misrouted request attaches.
     Error {
         /// Human-readable description.
         message: String,
+        /// Structured detail when the error is a shard-routing refusal.
+        wrong_shard: Option<WrongShard>,
     },
     /// `{"ok":true,"op":"batch","results":[…]}` — one envelope per request
     /// element, responses in request order.
@@ -373,6 +536,7 @@ mod tests {
         };
         let error = WireEnvelope::Error {
             message: "boom".into(),
+            wrong_shard: None,
         };
         let batch = WireEnvelope::Batch {
             items: vec![success.clone(), error.clone()],
@@ -380,6 +544,44 @@ mod tests {
         assert!(success.is_ok());
         assert!(!error.is_ok());
         assert!(batch.is_ok(), "a batch is ok even with failed elements");
+    }
+
+    #[test]
+    fn shard_specs_parse_the_slash_notation() {
+        assert_eq!(
+            ShardSpec::parse("0/3"),
+            Ok(ShardSpec { index: 0, count: 3 })
+        );
+        assert_eq!(
+            ShardSpec::parse("2/3"),
+            Ok(ShardSpec { index: 2, count: 3 })
+        );
+        assert_eq!(ShardSpec::parse("2/3").unwrap().to_string(), "2/3");
+        for bad in ["3/3", "4/3", "0/0", "one/3", "0of3", "", "/"] {
+            assert!(ShardSpec::parse(bad).is_err(), "must reject '{bad}'");
+        }
+    }
+
+    #[test]
+    fn rings_route_deterministically_and_within_range() {
+        let ring = ShardRing::new(3);
+        let again = ShardRing::new(3);
+        for key in 0..500u128 {
+            let key = key.wrapping_mul(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+            let shard = ring.route(key);
+            assert!(shard < 3);
+            assert_eq!(shard, again.route(key), "independent rings must agree");
+        }
+        assert_eq!(ring.epoch(), again.epoch());
+        assert_ne!(
+            ring.epoch(),
+            ShardRing::new(4).epoch(),
+            "different cluster sizes must have different epochs"
+        );
+        // A single-shard ring owns everything.
+        let solo = ShardRing::new(1);
+        assert_eq!(solo.route(0), 0);
+        assert_eq!(solo.route(u128::MAX), 0);
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! offers typed accessors over the parsed value for everyone else.
 
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use strudel_core::wire::WireEnvelope;
+use strudel_core::wire::{WireEnvelope, WrongShard};
 
 use crate::json::{self, Json};
 use crate::protocol::{self, SolveRequest, Source};
@@ -21,18 +22,43 @@ use crate::protocol::{self, SolveRequest, Source};
 pub enum ClientError {
     /// The connection failed or dropped.
     Io(std::io::Error),
+    /// A deadline expired: the peer did not accept, answer, or drain in
+    /// time. Distinct from [`ClientError::Io`] so a router can fail fast
+    /// over a wedged shard without mistaking it for a dead connection.
+    Timeout {
+        /// Which operation timed out (`connect`, `read`, `write`).
+        what: &'static str,
+        /// The deadline that expired.
+        after: Duration,
+    },
     /// The server's response was not valid protocol JSON.
     BadResponse(String),
     /// The server answered with an error response.
     Server(String),
+    /// The server refused the request because it does not own the key —
+    /// the structured `wrong_shard` error, with enough detail to re-route.
+    WrongShard {
+        /// The server's human-readable message.
+        message: String,
+        /// The shard/owner/epoch triple from the response.
+        detail: WrongShard,
+    },
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(err) => write!(f, "connection failed: {err}"),
+            ClientError::Timeout { what, after } => {
+                write!(f, "{what} timed out after {after:?}")
+            }
             ClientError::BadResponse(what) => write!(f, "malformed response: {what}"),
             ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::WrongShard { message, detail } => write!(
+                f,
+                "wrong shard: {message} (sent to shard {}, owner is shard {}, server epoch {})",
+                detail.shard, detail.owner, detail.epoch
+            ),
         }
     }
 }
@@ -50,6 +76,55 @@ impl From<std::io::Error> for ClientError {
     fn from(err: std::io::Error) -> Self {
         ClientError::Io(err)
     }
+}
+
+/// Connection deadlines of a [`Client`].
+///
+/// Every socket operation carries a timeout by default: a dead or wedged
+/// peer turns into a [`ClientError::Timeout`] within seconds instead of
+/// hanging the caller forever — the property the cluster
+/// [`Router`](crate::router::Router) builds its fail-fast behaviour on.
+/// `None` disables the respective deadline (block indefinitely).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Deadline for establishing the TCP connection (default 3 s).
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for each response read (default 30 s — a cold ILP solve on
+    /// a large view legitimately takes a while; lower it for control-plane
+    /// traffic, and use [`ClientOptions::no_deadlines`] — or an explicit
+    /// `None` — for solves that may legitimately run longer than this).
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each request write (default 10 s).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: Some(Duration::from_secs(3)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl ClientOptions {
+    /// No deadlines at all — the pre-cluster blocking behaviour, for
+    /// callers whose solves may legitimately outlast any fixed timeout
+    /// (e.g. un-capped ILP searches on large views).
+    pub fn no_deadlines() -> Self {
+        ClientOptions {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
+
+/// Whether an I/O error is a timeout expiring. Unix surfaces an expired
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO` as `WouldBlock`, Windows as `TimedOut`.
+fn is_timeout(err: &std::io::Error) -> bool {
+    matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
 /// A successful response, with both the raw line and the parsed value.
@@ -93,34 +168,135 @@ impl Response {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    options: ClientOptions,
+    /// Set once a deadline expires mid-conversation: the wire is desynced
+    /// (the late response is still in flight), so every later call must
+    /// fail until the caller reconnects — silently reading the previous
+    /// request's answer would be far worse than an error.
+    poisoned: bool,
 }
 
 impl Client {
-    /// Connects to a server address (`host:port`).
+    /// Connects to a server address (`host:port`) with the default
+    /// deadlines (see [`ClientOptions`]).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connects with explicit deadlines.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        options: ClientOptions,
+    ) -> Result<Self, ClientError> {
+        let stream = match options.connect_timeout {
+            None => TcpStream::connect(&addr)?,
+            Some(deadline) => {
+                // `connect_timeout` wants resolved addresses; try each in
+                // turn and keep the most recent failure.
+                let mut last: Option<std::io::Error> = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, deadline) {
+                        Ok(connected) => {
+                            stream = Some(connected);
+                            break;
+                        }
+                        Err(err) => last = Some(err),
+                    }
+                }
+                match stream {
+                    Some(stream) => stream,
+                    None => {
+                        let err = last.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                ErrorKind::InvalidInput,
+                                "address resolved to nothing",
+                            )
+                        });
+                        return Err(if is_timeout(&err) {
+                            ClientError::Timeout {
+                                what: "connect",
+                                after: deadline,
+                            }
+                        } else {
+                            ClientError::Io(err)
+                        });
+                    }
+                }
+            }
+        };
         // See the server side: request/response lines are tiny, and Nagle +
         // delayed ACK would throttle the round trip to ~25/s.
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(options.read_timeout)?;
+        stream.set_write_timeout(options.write_timeout)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            options,
+            poisoned: false,
         })
+    }
+
+    /// The deadlines this client was connected with.
+    pub fn options(&self) -> ClientOptions {
+        self.options
+    }
+
+    fn write_deadline_error(&mut self, err: std::io::Error) -> ClientError {
+        if is_timeout(&err) {
+            self.poisoned = true; // a partial write may be on the wire
+            ClientError::Timeout {
+                what: "write",
+                after: self.options.write_timeout.unwrap_or_default(),
+            }
+        } else {
+            ClientError::Io(err)
+        }
+    }
+
+    fn read_deadline_error(&mut self, err: std::io::Error) -> ClientError {
+        if is_timeout(&err) {
+            self.poisoned = true; // the late response is still in flight
+            ClientError::Timeout {
+                what: "read",
+                after: self.options.read_timeout.unwrap_or_default(),
+            }
+        } else {
+            ClientError::Io(err)
+        }
     }
 
     /// Sends one raw request line and returns the raw response line.
     pub fn call_raw(&mut self, line: &str) -> Result<String, ClientError> {
         debug_assert!(!line.contains('\n'), "requests are single lines");
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        if self.poisoned {
+            return Err(ClientError::Io(std::io::Error::new(
+                ErrorKind::BrokenPipe,
+                "connection is desynced after an earlier timeout; reconnect",
+            )));
+        }
+        let written = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush());
+        if let Err(err) = written {
+            return Err(self.write_deadline_error(err));
+        }
         let mut response = String::new();
-        let read = self.reader.read_line(&mut response)?;
+        let read = match self.reader.read_line(&mut response) {
+            Ok(read) => read,
+            Err(err) => return Err(self.read_deadline_error(err)),
+        };
         if read == 0 {
-            return Err(ClientError::BadResponse(
-                "server closed the connection".to_owned(),
-            ));
+            // An EOF mid-conversation is a connection-level failure (the
+            // peer restarted or died); routers reconnect on it.
+            return Err(ClientError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
         }
         while response.ends_with('\n') || response.ends_with('\r') {
             response.pop();
@@ -129,20 +305,26 @@ impl Client {
     }
 
     /// Sends a request value and decodes the response envelope, turning
-    /// server-side errors into [`ClientError::Server`].
+    /// server-side errors into [`ClientError::Server`] (or
+    /// [`ClientError::WrongShard`] when the error carries the structured
+    /// shard-routing detail).
     pub fn call(&mut self, request: &Json) -> Result<Response, ClientError> {
         let raw = self.call_raw(&request.to_text())?;
         let value = json::parse(&raw)
             .map_err(|err| ClientError::BadResponse(format!("{err} in '{raw}'")))?;
         match value.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(Response { raw, value }),
-            Some(false) => Err(ClientError::Server(
-                value
+            Some(false) => {
+                let message = value
                     .get("error")
                     .and_then(Json::as_str)
                     .unwrap_or("unspecified server error")
-                    .to_owned(),
-            )),
+                    .to_owned();
+                Err(match protocol::wrong_shard_from_json(&value) {
+                    Some(detail) => ClientError::WrongShard { message, detail },
+                    None => ClientError::Server(message),
+                })
+            }
             None => Err(ClientError::BadResponse(format!(
                 "response lacks an 'ok' field: {raw}"
             ))),
@@ -171,7 +353,7 @@ impl Client {
         let envelope = protocol::envelope_from_json(&value)
             .map_err(|err| ClientError::BadResponse(err.message))?;
         match envelope {
-            WireEnvelope::Error { message } => Err(ClientError::Server(message)),
+            WireEnvelope::Error { message, .. } => Err(ClientError::Server(message)),
             WireEnvelope::Success { .. } => Err(ClientError::BadResponse(
                 "expected a batch response envelope".to_owned(),
             )),

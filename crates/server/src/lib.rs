@@ -22,7 +22,16 @@
 //!   keeps answering warm without recomputing,
 //! * **single-flight memoization** ([`flight`]) so `n` concurrent identical
 //!   requests cost one solve: the first becomes the leader, the rest park
-//!   tokens on its flight and share the result.
+//!   tokens on its flight and share the result,
+//! * a **shard-aware cluster layer** — each `serve --shard i/n` process
+//!   owns one arc of a consistent-hash ring over the cache-key space
+//!   (`ShardRing` in `strudel_core::wire`), refuses misrouted keys with a
+//!   structured `wrong_shard` error, and namespaces its persistent segment;
+//!   the client side splits into the single-socket transport ([`client`])
+//!   and the [`router`], which holds one connection per shard, routes by
+//!   key hash, and splits batches into concurrently-driven per-shard
+//!   sub-batches. Duplicate keys converge on one shard, so caching and
+//!   single-flight stay per-process — no cross-process coordination.
 //!
 //! The protocol speaks six operations — `refine`, `highest-theta`,
 //! `lowest-k`, `batch`, `status`, `shutdown` — carrying signature views and
@@ -61,6 +70,7 @@
 //!     step: None,
 //!     max_k: None,
 //!     time_limit: None,
+//!     routing: None,
 //! };
 //! let cold = client.solve(&request).unwrap();
 //! assert_eq!(cold.source(), Some(Source::Solved));
@@ -86,16 +96,23 @@ pub mod flight;
 pub mod json;
 pub mod pool;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::cache::{CacheStats, LruCache, PersistStats, SegmentStore};
-    pub use crate::client::{Client, ClientError, Response};
+    pub use crate::client::{Client, ClientError, ClientOptions, Response};
     pub use crate::flight::{BoardJoin, FlightBoard, FlightStats};
     pub use crate::json::Json;
     pub use crate::pool::WorkerPool;
-    pub use crate::protocol::{CacheKey, EngineKind, Request, SolveOp, SolveRequest, Source};
+    pub use crate::protocol::{
+        CacheKey, EngineKind, Request, ShardRing, ShardSpec, ShardStamp, SolveOp, SolveRequest,
+        Source, WrongShard,
+    };
+    pub use crate::router::Router;
     pub use crate::server::start as start_server;
-    pub use crate::server::{self, serve, ServerConfig, ServerHandle, StatusSnapshot};
+    pub use crate::server::{
+        self, serve, shard_segment_path, ServerConfig, ServerHandle, ShardStatus, StatusSnapshot,
+    };
 }

@@ -62,7 +62,7 @@ use strudel_core::wire::{
     WireEnvelope, WireHighestTheta, WireLowestK, WireOutcome, WireRefinement, WireSort,
 };
 
-pub use strudel_core::wire::Source;
+pub use strudel_core::wire::{ShardRing, ShardSpec, ShardStamp, Source, WrongShard};
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
 
@@ -162,6 +162,11 @@ pub struct SolveRequest {
     pub max_k: Option<usize>,
     /// Per-instance engine time limit.
     pub time_limit: Option<Duration>,
+    /// Shard-routing metadata a cluster router stamps on the request
+    /// (`"shard"`/`"epoch"` wire fields). Not part of the cache key — it
+    /// describes where the request travels, not what it asks — and ignored
+    /// by unsharded servers; a sharded server validates it on dispatch.
+    pub routing: Option<ShardStamp>,
 }
 
 /// The key of a solve request in the result cache: the content hash of the
@@ -228,6 +233,10 @@ impl SolveRequest {
                 "time_limit_ms".to_owned(),
                 Json::Int(limit.as_millis() as i64),
             ));
+        }
+        if let Some(stamp) = self.routing {
+            members.push(("shard".to_owned(), Json::Int(i64::from(stamp.shard))));
+            members.push(("epoch".to_owned(), Json::Int(stamp.epoch as i64)));
         }
         Json::Obj(members)
     }
@@ -401,6 +410,26 @@ fn decode_solve(value: &Json, op: SolveOp) -> Result<Request, ProtocolError> {
     }
     let max_k = get_usize(value, "max_k")?;
     let time_limit = get_usize(value, "time_limit_ms")?.map(|ms| Duration::from_millis(ms as u64));
+    // The routing stamp travels as a pair: a shard without an epoch (or
+    // vice versa) is a malformed router, not a tolerable omission. The
+    // epoch is a u64 fingerprint carried through the integer-only JSON as
+    // its two's-complement i64.
+    let routing = match (get_usize(value, "shard")?, value.get("epoch")) {
+        (None, None) => None,
+        (Some(shard), Some(Json::Int(epoch))) => Some(ShardStamp {
+            shard: u32::try_from(shard)
+                .map_err(|_| ProtocolError::new("'shard' is out of range"))?,
+            epoch: *epoch as u64,
+        }),
+        (_, Some(other)) if !matches!(other, Json::Int(_)) => {
+            return Err(ProtocolError::new("'epoch' must be an integer"))
+        }
+        _ => {
+            return Err(ProtocolError::new(
+                "'shard' and 'epoch' must be given together (a routing stamp)",
+            ))
+        }
+    };
 
     // Op-specific required parameters.
     match op {
@@ -431,6 +460,7 @@ fn decode_solve(value: &Json, op: SolveOp) -> Result<Request, ProtocolError> {
         step,
         max_k,
         time_limit,
+        routing,
     })))
 }
 
@@ -690,6 +720,35 @@ pub fn encode_error(message: &str) -> String {
     out
 }
 
+/// Builds the structured `wrong_shard` error line a shard sends when it
+/// receives a request it does not own (or a request stamped with a
+/// different ring epoch): the plain error fields plus a machine-readable
+/// `code` and the shard/owner/epoch triple a router needs to re-route.
+pub fn encode_wrong_shard(message: &str, detail: &WrongShard) -> String {
+    let mut out = String::with_capacity(message.len() + 96);
+    out.push_str("{\"ok\":false,\"error\":");
+    Json::str(message).write_into(&mut out);
+    out.push_str(&format!(
+        ",\"code\":\"wrong_shard\",\"shard\":{},\"owner\":{},\"epoch\":{}}}",
+        detail.shard, detail.owner, detail.epoch as i64
+    ));
+    out
+}
+
+/// Reads the structured `wrong_shard` detail out of a parsed error
+/// response, if the `code` marks one.
+pub fn wrong_shard_from_json(value: &Json) -> Option<WrongShard> {
+    if value.get("code").and_then(Json::as_str) != Some("wrong_shard") {
+        return None;
+    }
+    let int = |field: &str| value.get(field).and_then(Json::as_int);
+    Some(WrongShard {
+        shard: u32::try_from(int("shard")?).ok()?,
+        owner: u32::try_from(int("owner")?).ok()?,
+        epoch: int("epoch")? as u64,
+    })
+}
+
 /// Builds a batch response line from already-encoded element envelopes
 /// (each exactly what the element would have been as a standalone response
 /// line). Splicing the pre-encoded elements is the batch-level analogue of
@@ -717,7 +776,14 @@ pub fn encode_envelope(envelope: &WireEnvelope) -> String {
             source,
             result_text,
         } => encode_success(op, *source, result_text),
-        WireEnvelope::Error { message } => encode_error(message),
+        WireEnvelope::Error {
+            message,
+            wrong_shard: None,
+        } => encode_error(message),
+        WireEnvelope::Error {
+            message,
+            wrong_shard: Some(detail),
+        } => encode_wrong_shard(message, detail),
         WireEnvelope::Batch { items } => {
             let encoded: Vec<String> = items.iter().map(encode_envelope).collect();
             encode_batch(&encoded)
@@ -737,6 +803,7 @@ pub fn envelope_from_json(value: &Json) -> Result<WireEnvelope, ProtocolError> {
                 .and_then(Json::as_str)
                 .unwrap_or("unspecified server error")
                 .to_owned(),
+            wrong_shard: wrong_shard_from_json(value),
         }),
         Some(true) => {
             let op = value
@@ -806,6 +873,10 @@ mod tests {
             step: None,
             max_k: None,
             time_limit: Some(Duration::from_millis(1500)),
+            routing: Some(ShardStamp {
+                shard: 2,
+                epoch: u64::MAX - 17, // exercises the i64 wire crossing
+            }),
         };
         let line = request.to_json().to_text();
         let Request::Solve(back) = decode_request(&line).unwrap() else {
@@ -817,7 +888,81 @@ mod tests {
         assert_eq!(back.k, Some(2));
         assert_eq!(back.theta, Some(Ratio::new(1, 2)));
         assert_eq!(back.time_limit, Some(Duration::from_millis(1500)));
+        assert_eq!(back.routing, request.routing);
         assert_eq!(back.cache_key(), request.cache_key());
+    }
+
+    #[test]
+    fn routing_stamps_do_not_perturb_the_cache_key() {
+        let mut request = SolveRequest {
+            op: SolveOp::Refine,
+            view: sample_view(),
+            spec: SigmaSpec::Coverage,
+            engine: EngineKind::Hybrid,
+            k: Some(2),
+            theta: Some(Ratio::new(1, 2)),
+            step: None,
+            max_k: None,
+            time_limit: None,
+            routing: None,
+        };
+        let bare = request.cache_key();
+        request.routing = Some(ShardStamp {
+            shard: 1,
+            epoch: 42,
+        });
+        assert_eq!(
+            request.cache_key(),
+            bare,
+            "routing metadata describes the journey, not the question"
+        );
+    }
+
+    #[test]
+    fn partial_routing_stamps_are_rejected() {
+        let view_json = view_to_json(&sample_view()).to_text();
+        for fragment in ["\"shard\":1", "\"epoch\":7", "\"shard\":1,\"epoch\":\"x\""] {
+            let line = format!(
+                "{{\"op\":\"refine\",\"view\":{view_json},\"k\":1,\"theta\":\"1/2\",{fragment}}}"
+            );
+            assert!(decode_request(&line).is_err(), "must reject: {fragment}");
+        }
+    }
+
+    #[test]
+    fn wrong_shard_errors_round_trip_their_structure() {
+        let detail = WrongShard {
+            shard: 1,
+            owner: 2,
+            epoch: u64::MAX - 3,
+        };
+        let line = encode_wrong_shard("key belongs to shard 2", &detail);
+        let value = json::parse(&line).unwrap();
+        assert_eq!(value.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            value.get("code").and_then(Json::as_str),
+            Some("wrong_shard")
+        );
+        assert_eq!(wrong_shard_from_json(&value), Some(detail));
+        // And through the envelope type, byte-identically.
+        let envelope = envelope_from_json(&value).unwrap();
+        assert_eq!(
+            envelope,
+            WireEnvelope::Error {
+                message: "key belongs to shard 2".into(),
+                wrong_shard: Some(detail),
+            }
+        );
+        assert_eq!(encode_envelope(&envelope), line);
+        // A plain error carries no detail.
+        let plain = envelope_from_json(&json::parse(&encode_error("boom")).unwrap()).unwrap();
+        assert_eq!(
+            plain,
+            WireEnvelope::Error {
+                message: "boom".into(),
+                wrong_shard: None,
+            }
+        );
     }
 
     #[test]
@@ -832,6 +977,7 @@ mod tests {
             step: None,
             max_k: None,
             time_limit: None,
+            routing: None,
         };
         let decimal = request.cache_key();
         request.theta = Some(Ratio::parse("1/2").unwrap());
@@ -1009,6 +1155,15 @@ mod tests {
                 },
                 WireEnvelope::Error {
                     message: "nope \"quoted\"".into(),
+                    wrong_shard: None,
+                },
+                WireEnvelope::Error {
+                    message: "not yours".into(),
+                    wrong_shard: Some(WrongShard {
+                        shard: 0,
+                        owner: 2,
+                        epoch: 99,
+                    }),
                 },
             ],
         };

@@ -1,0 +1,300 @@
+//! Shard-aware client routing: one connection per shard, requests routed
+//! by consistent hash of their cache key.
+//!
+//! The client stack is two layers. [`Client`](crate::client::Client) is the
+//! transport: one socket, one line each way, deadlines on every operation.
+//! [`Router`] sits above it and owns one transport per shard of a cluster,
+//! derives the same [`ShardRing`] every server derives (the ring is a pure
+//! function of the shard count — no coordination service), and:
+//!
+//! * routes [`Router::solve`] to the shard owning the request's
+//!   `CacheKey.view`, stamping the request with the shard id and ring
+//!   epoch so the server can verify both sides agree,
+//! * splits [`Router::call_batch`] into per-shard sub-batches, drives them
+//!   **concurrently** (one thread per shard with traffic), and merges the
+//!   responses back into request order — a failed element, or a whole
+//!   unreachable shard, yields `Err` elements without poisoning the rest,
+//! * reconnects once, transparently, when a cached connection turns out
+//!   dead (the shard restarted between calls); timeouts are *not* retried
+//!   — a wedged shard fails fast (see
+//!   [`ClientError::Timeout`](crate::client::ClientError)).
+//!
+//! Because duplicate keys converge on one shard, the server's per-process
+//! single-flight and result cache keep working unchanged: the cluster
+//! needs no cross-process coordination at all.
+
+use std::thread;
+
+use strudel_core::wire::{ShardRing, ShardStamp};
+
+use crate::client::{Client, ClientError, ClientOptions, Response};
+use crate::json::Json;
+use crate::protocol::{self, Request, SolveRequest};
+
+/// One shard's endpoint: its address, the deadlines to dial it with, and
+/// the cached connection (re-established on demand).
+struct RouterShard {
+    addr: String,
+    options: ClientOptions,
+    client: Option<Client>,
+}
+
+impl RouterShard {
+    fn ensure(&mut self) -> Result<&mut Client, ClientError> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect_with(self.addr.as_str(), self.options)?);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    /// Runs `call` over this shard's connection. A connection-level failure
+    /// on a *reused* connection triggers one reconnect-and-retry (the shard
+    /// may simply have restarted since the last call); a failure on a fresh
+    /// connection, or a timeout, is returned as-is — the shard is down or
+    /// wedged, and the caller should know promptly. Either way a failed
+    /// connection is dropped, never reused.
+    fn call<R>(
+        &mut self,
+        mut call: impl FnMut(&mut Client) -> Result<R, ClientError>,
+    ) -> Result<R, ClientError> {
+        let reused = self.client.is_some();
+        let mut result = self.ensure().and_then(&mut call);
+        if reused && matches!(result, Err(ClientError::Io(_))) {
+            self.client = None;
+            result = self.ensure().and_then(&mut call);
+        }
+        if matches!(
+            result,
+            Err(ClientError::Io(_) | ClientError::Timeout { .. })
+        ) {
+            self.client = None;
+        }
+        result
+    }
+}
+
+/// One shard's contribution to a split batch: the original request indices
+/// of its sub-batch, and the per-element outcomes (or the shard-wide
+/// failure that befell all of them).
+type ShardBatchOutcome = (
+    Vec<usize>,
+    Result<Vec<Result<Response, String>>, ClientError>,
+);
+
+/// A connection-per-shard client routing requests across a cluster by
+/// consistent hash. See the module documentation.
+pub struct Router {
+    shards: Vec<RouterShard>,
+    ring: ShardRing,
+}
+
+impl Router {
+    /// Connects to every shard of a cluster with default deadlines. The
+    /// address *order defines the shard ids*: `addrs[i]` must be the server
+    /// started with `--shard i/n`.
+    pub fn connect<A: AsRef<str>>(addrs: &[A]) -> Result<Self, ClientError> {
+        Self::connect_with(addrs, ClientOptions::default())
+    }
+
+    /// Connects with explicit deadlines. Fails fast: every shard must be
+    /// reachable at construction time.
+    pub fn connect_with<A: AsRef<str>>(
+        addrs: &[A],
+        options: ClientOptions,
+    ) -> Result<Self, ClientError> {
+        if addrs.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a cluster needs at least one shard address",
+            )));
+        }
+        let mut shards = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let mut shard = RouterShard {
+                addr: addr.as_ref().to_owned(),
+                options,
+                client: None,
+            };
+            shard.ensure()?;
+            shards.push(shard);
+        }
+        let ring = ShardRing::new(shards.len() as u32);
+        Ok(Router { shards, ring })
+    }
+
+    /// Number of shards in the cluster.
+    pub fn shard_count(&self) -> u32 {
+        self.ring.count()
+    }
+
+    /// The shard addresses, in shard-id order.
+    pub fn addrs(&self) -> Vec<&str> {
+        self.shards
+            .iter()
+            .map(|shard| shard.addr.as_str())
+            .collect()
+    }
+
+    /// The ring this router routes by.
+    pub fn ring(&self) -> &ShardRing {
+        &self.ring
+    }
+
+    /// The shard owning a solve request's cache key.
+    pub fn shard_of(&self, request: &SolveRequest) -> u32 {
+        self.ring.route(request.cache_key().view)
+    }
+
+    fn stamp(&self, shard: u32) -> ShardStamp {
+        ShardStamp {
+            shard,
+            epoch: self.ring.epoch(),
+        }
+    }
+
+    /// Routes one solve request to the shard owning its key.
+    pub fn solve(&mut self, request: &SolveRequest) -> Result<Response, ClientError> {
+        let shard = self.shard_of(request);
+        let mut stamped = request.clone();
+        stamped.routing = Some(self.stamp(shard));
+        let value = stamped.to_json();
+        self.shards[shard as usize].call(|client| client.call(&value))
+    }
+
+    /// Which shard a raw request object routes to: solve requests go to
+    /// their key's owner; control ops and undecodable elements go to shard
+    /// 0 (any shard can answer or refuse them). Returns the stamped value
+    /// alongside.
+    fn route_value(&self, value: &Json) -> (u32, Json) {
+        if let Ok(Request::Solve(solve)) = protocol::decode_request_value(value) {
+            let shard = self.ring.route(solve.cache_key().view);
+            let mut stamped = value.clone();
+            if let Json::Obj(members) = &mut stamped {
+                let stamp = self.stamp(shard);
+                members.retain(|(name, _)| name != "shard" && name != "epoch");
+                members.push(("shard".to_owned(), Json::Int(i64::from(stamp.shard))));
+                members.push(("epoch".to_owned(), Json::Int(stamp.epoch as i64)));
+            }
+            (shard, stamped)
+        } else {
+            (0, value.clone())
+        }
+    }
+
+    /// Splits a batch of raw request objects into per-shard sub-batches and
+    /// drives them (see [`Router::solve_batch`] for the typed, cheaper
+    /// path: raw objects must be decoded here just to find their key).
+    pub fn call_batch(
+        &mut self,
+        requests: &[Json],
+    ) -> Result<Vec<Result<Response, String>>, ClientError> {
+        let mut groups: Vec<Vec<(usize, Json)>> = vec![Vec::new(); self.shards.len()];
+        for (idx, value) in requests.iter().enumerate() {
+            let (shard, stamped) = self.route_value(value);
+            groups[shard as usize].push((idx, stamped));
+        }
+        Ok(self.dispatch_groups(requests.len(), groups))
+    }
+
+    /// Routes many solve requests as per-shard batch envelopes. Typed
+    /// requests route without re-decoding: the key comes from
+    /// [`SolveRequest::cache_key`] and the stamp is appended to the
+    /// serialized object directly (the same wire position
+    /// [`SolveRequest::to_json`] puts it).
+    pub fn solve_batch(
+        &mut self,
+        requests: &[SolveRequest],
+    ) -> Result<Vec<Result<Response, String>>, ClientError> {
+        let mut groups: Vec<Vec<(usize, Json)>> = vec![Vec::new(); self.shards.len()];
+        for (idx, request) in requests.iter().enumerate() {
+            let shard = self.shard_of(request);
+            let mut value = request.to_json();
+            if let Json::Obj(members) = &mut value {
+                let stamp = self.stamp(shard);
+                members.retain(|(name, _)| name != "shard" && name != "epoch");
+                members.push(("shard".to_owned(), Json::Int(i64::from(stamp.shard))));
+                members.push(("epoch".to_owned(), Json::Int(stamp.epoch as i64)));
+            }
+            groups[shard as usize].push((idx, value));
+        }
+        Ok(self.dispatch_groups(requests.len(), groups))
+    }
+
+    /// Drives per-shard sub-batches concurrently (one thread per shard
+    /// with traffic) and merges the per-element outcomes back into request
+    /// order. An unreachable shard turns *its* elements into `Err`s; the
+    /// other shards' elements are unaffected.
+    fn dispatch_groups(
+        &mut self,
+        total: usize,
+        groups: Vec<Vec<(usize, Json)>>,
+    ) -> Vec<Result<Response, String>> {
+        let mut slots: Vec<Option<Result<Response, String>>> = (0..total).map(|_| None).collect();
+        let outcomes: Vec<ShardBatchOutcome> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(groups)
+                .filter(|(_, group)| !group.is_empty())
+                .map(|(shard, group)| {
+                    scope.spawn(move || {
+                        let (indices, values): (Vec<usize>, Vec<Json>) = group.into_iter().unzip();
+                        let outcome = shard.call(|client| client.call_batch(&values));
+                        (indices, outcome)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("router shard thread"))
+                .collect()
+        });
+
+        for (indices, outcome) in outcomes {
+            match outcome {
+                Ok(elements) => {
+                    for (idx, element) in indices.into_iter().zip(elements) {
+                        slots[idx] = Some(element);
+                    }
+                }
+                Err(err) => {
+                    let message = err.to_string();
+                    for idx in indices {
+                        slots[idx] = Some(Err(message.clone()));
+                    }
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every element was routed"))
+            .collect()
+    }
+
+    /// Fetches every shard's counter snapshot, in shard-id order. Per-shard
+    /// failures are reported in place — a down shard must not hide the
+    /// others' counters.
+    pub fn status_all(&mut self) -> Vec<Result<Response, ClientError>> {
+        let status = Json::obj(vec![("op", Json::str("status"))]);
+        self.shards
+            .iter_mut()
+            .map(|shard| shard.call(|client| client.call(&status)))
+            .collect()
+    }
+
+    /// Asks every shard to shut down, returning the first failure (after
+    /// attempting all of them).
+    pub fn shutdown_all(&mut self) -> Result<(), ClientError> {
+        let shutdown = Json::obj(vec![("op", Json::str("shutdown"))]);
+        let mut first_failure = None;
+        for shard in &mut self.shards {
+            if let Err(err) = shard.call(|client| client.call(&shutdown)) {
+                first_failure.get_or_insert(err);
+            }
+        }
+        match first_failure {
+            None => Ok(()),
+            Some(err) => Err(err),
+        }
+    }
+}

@@ -66,8 +66,8 @@ use crate::flight::{BoardJoin, FlightBoard, FlightStats};
 use crate::json::Json;
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    self, encode_batch, encode_error, encode_success, CacheKey, Decoded, Request, SolveOp,
-    SolveRequest, Source,
+    self, encode_batch, encode_error, encode_success, encode_wrong_shard, CacheKey, Decoded,
+    Request, ShardRing, ShardSpec, SolveOp, SolveRequest, Source, WrongShard,
 };
 
 /// Configuration of a server instance.
@@ -84,6 +84,13 @@ pub struct ServerConfig {
     pub persist_path: Option<PathBuf>,
     /// Dead records in the segment that trigger compaction.
     pub compact_dead_threshold: u64,
+    /// This process's shard identity in a cluster (`serve --shard i/n`).
+    /// When set, the server derives the cluster's [`ShardRing`], refuses
+    /// solve requests it does not own with a structured `wrong_shard`
+    /// error, and namespaces its persistent segment per shard (see
+    /// [`shard_segment_path`]). `None` runs the classic single-process
+    /// server.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for ServerConfig {
@@ -94,12 +101,33 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             persist_path: None,
             compact_dead_threshold: 1024,
+            shard: None,
         }
     }
 }
 
+/// The per-shard namespace of a persistent segment: every shard of a
+/// cluster can be pointed at the *same* `--persist` base path and still
+/// own a private file (`cache.segment` → `cache.segment.shard1of3`), so
+/// shards never interleave writes or replay one another's keys.
+pub fn shard_segment_path(base: &std::path::Path, spec: &ShardSpec) -> PathBuf {
+    let name = base
+        .file_name()
+        .map(|name| name.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    base.with_file_name(format!("{name}.shard{}of{}", spec.index, spec.count))
+}
+
+/// Everything a sharded server knows about its place in the cluster.
+struct ShardState {
+    spec: ShardSpec,
+    ring: ShardRing,
+    epoch: u64,
+}
+
 /// Everything the event loop, the workers, and the handle share.
 struct Shared {
+    shard: Option<ShardState>,
     cache: Mutex<LruCache<CacheKey, Arc<String>>>,
     persist: Mutex<Option<SegmentStore>>,
     pool: WorkerPool,
@@ -142,6 +170,7 @@ struct Metrics {
     flight_shared: AtomicU64,
     flight_aborted: AtomicU64,
     persist_errors: AtomicU64,
+    wrong_shard: AtomicU64,
 }
 
 impl Metrics {
@@ -155,9 +184,25 @@ impl Metrics {
     }
 }
 
+/// Shard identity block of the `status` payload (sharded servers only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// This process's shard id.
+    pub index: u32,
+    /// Total shards in the cluster.
+    pub count: u32,
+    /// The ring epoch this server validates request stamps against.
+    pub epoch: u64,
+    /// Solve requests refused because this shard does not own their key
+    /// (or their stamp carried a different ring epoch).
+    pub wrong_shard: u64,
+}
+
 /// A point-in-time view of the server's counters (the `status` payload).
 #[derive(Clone, Debug)]
 pub struct StatusSnapshot {
+    /// Shard identity; `None` for an unsharded server.
+    pub shard: Option<ShardStatus>,
     /// Worker threads.
     pub workers: usize,
     /// Milliseconds since the server started.
@@ -208,8 +253,26 @@ impl StatusSnapshot {
                 ("errors", Json::Int(self.persist_errors as i64)),
             ]),
         };
+        let shard = match &self.shard {
+            None => Json::Null,
+            Some(shard) => Json::obj(vec![
+                ("index", Json::Int(i64::from(shard.index))),
+                ("count", Json::Int(i64::from(shard.count))),
+                ("epoch", Json::Int(shard.epoch as i64)),
+                ("wrong_shard", Json::Int(shard.wrong_shard as i64)),
+            ]),
+        };
+        // The wire JSON is integer-only, so the derived rate travels as a
+        // canonical fixed-point string next to the raw counters.
+        let lookups = self.cache.hits + self.cache.misses;
+        let hit_rate = if lookups == 0 {
+            "0.0000".to_owned()
+        } else {
+            format!("{:.4}", self.cache.hits as f64 / lookups as f64)
+        };
         Json::obj(vec![
             ("workers", Json::Int(self.workers as i64)),
+            ("shard", shard),
             ("uptime_ms", Json::Int(self.uptime_ms as i64)),
             ("connections", Json::Int(self.connections as i64)),
             ("open_connections", Json::Int(self.open_connections as i64)),
@@ -231,6 +294,7 @@ impl StatusSnapshot {
                 Json::obj(vec![
                     ("hits", Json::Int(self.cache.hits as i64)),
                     ("misses", Json::Int(self.cache.misses as i64)),
+                    ("hit_rate", Json::str(hit_rate)),
                     ("evictions", Json::Int(self.cache.evictions as i64)),
                     ("insertions", Json::Int(self.cache.insertions as i64)),
                     ("entries", Json::Int(self.cache.entries as i64)),
@@ -271,13 +335,36 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    // A sharded server derives the cluster's ring from the shard count
+    // alone — the same pure function every router and sibling shard
+    // evaluates, so ownership needs no coordination.
+    let shard = match config.shard {
+        None => None,
+        Some(spec) => {
+            if spec.index >= spec.count || spec.count == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("invalid shard spec {}/{}", spec.index, spec.count),
+                ));
+            }
+            let ring = ShardRing::new(spec.count);
+            let epoch = ring.epoch();
+            Some(ShardState { spec, ring, epoch })
+        }
+    };
+
     // Warm start: replay the persistent segment into the cache in append
-    // order, which reconstructs the pre-restart recency ranking.
+    // order, which reconstructs the pre-restart recency ranking. A shard
+    // replays (and writes) only its own namespaced file.
     let metrics = Metrics::default();
     let mut cache = LruCache::new(config.cache_capacity);
     let persist = match &config.persist_path {
         None => None,
         Some(path) => {
+            let path = match &shard {
+                Some(state) => shard_segment_path(path, &state.spec),
+                None => path.clone(),
+            };
             let (mut store, entries) = SegmentStore::open(path, config.compact_dead_threshold)?;
             for (key, text) in entries {
                 if let Some((victim, _)) = cache.insert(key, Arc::new(text)) {
@@ -294,6 +381,7 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     };
 
     let shared = Arc::new(Shared {
+        shard,
         cache: Mutex::new(cache),
         persist: Mutex::new(persist),
         pool: WorkerPool::new(config.workers),
@@ -370,6 +458,12 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
         .map(SegmentStore::stats);
     let metrics = &shared.metrics;
     StatusSnapshot {
+        shard: shared.shard.as_ref().map(|state| ShardStatus {
+            index: state.spec.index,
+            count: state.spec.count,
+            epoch: state.epoch,
+            wrong_shard: metrics.wrong_shard.load(Ordering::Relaxed),
+        }),
         workers: shared.pool.workers(),
         uptime_ms: shared.started.elapsed().as_millis() as u64,
         connections: metrics.connections.load(Ordering::Relaxed),
@@ -819,8 +913,41 @@ impl EventLoop {
                 ))
             }
             Request::Solve(solve) => {
-                metrics.count_solve(solve.op);
                 let key = solve.cache_key();
+                // Ownership gate: a sharded server answers only keys its
+                // ring arc covers. Misrouted or stale-ring requests get the
+                // structured refusal *before* touching cache or workers, so
+                // a confused client cannot fragment the keyspace across
+                // shards (which would defeat single-flight and duplicate
+                // cache entries cluster-wide).
+                if let Some(state) = &self.shared.shard {
+                    let owner = state.ring.route(key.view);
+                    let refusal = match solve.routing {
+                        Some(stamp) if stamp.epoch != state.epoch => Some(format!(
+                            "ring epoch mismatch: request stamped {}, this cluster's ring \
+                             epoch is {} ({} shards)",
+                            stamp.epoch, state.epoch, state.spec.count
+                        )),
+                        _ if owner != state.spec.index => Some(format!(
+                            "key {:032x} belongs to shard {owner}, this is shard {}",
+                            key.view, state.spec.index
+                        )),
+                        _ => None,
+                    };
+                    if let Some(message) = refusal {
+                        metrics.wrong_shard.fetch_add(1, Ordering::Relaxed);
+                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        return Some(encode_wrong_shard(
+                            &message,
+                            &WrongShard {
+                                shard: state.spec.index,
+                                owner,
+                                epoch: state.epoch,
+                            },
+                        ));
+                    }
+                }
+                metrics.count_solve(solve.op);
                 if let Some(result) = self.shared.cache.lock().expect("cache lock").get(&key) {
                     return Some(encode_success(solve.op.name(), Source::Cache, &result));
                 }

@@ -13,7 +13,7 @@ use strudel_rdf::rng::StdRng;
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
 use strudel_server::json::{self, Json};
-use strudel_server::prelude::{EngineKind, Request, SolveOp, SolveRequest, Source};
+use strudel_server::prelude::{EngineKind, Request, ShardStamp, SolveOp, SolveRequest, Source};
 use strudel_server::protocol::{
     decode_line, decode_request, encode_batch, encode_batch_request, encode_error, encode_success,
     view_from_json, view_to_json, Decoded,
@@ -96,6 +96,10 @@ fn random_request(rng: &mut StdRng) -> SolveRequest {
         time_limit: rng
             .gen_bool(0.3)
             .then(|| std::time::Duration::from_millis(rng.gen_range(1u64..5000))),
+        routing: rng.gen_bool(0.3).then(|| ShardStamp {
+            shard: rng.gen_range(0u64..8) as u32,
+            epoch: rng.gen_range(0u64..u64::MAX),
+        }),
         op,
         view,
         spec,
@@ -126,6 +130,7 @@ fn random_solve_requests_round_trip_with_cache_key_intact() {
             back.time_limit, request.time_limit,
             "seed {seed} case {case}"
         );
+        assert_eq!(back.routing, request.routing, "seed {seed} case {case}");
         assert_eq!(
             back.cache_key(),
             request.cache_key(),

@@ -56,6 +56,7 @@ fn refine_request(theta: Ratio) -> SolveRequest {
         step: None,
         max_k: None,
         time_limit: None,
+        routing: None,
     }
 }
 
@@ -73,6 +74,7 @@ fn concurrent_identical_requests_solve_exactly_once() {
         step: Some(Ratio::new(1, 100)),
         max_k: None,
         time_limit: None,
+        routing: None,
     });
 
     const CLIENTS: usize = 8;
@@ -439,6 +441,44 @@ fn graceful_shutdown_drains_in_flight_work_before_exit() {
         status.refine, 32,
         "every queued element was solved, none abandoned"
     );
+}
+
+#[test]
+fn a_wedged_peer_times_out_instead_of_hanging_the_client() {
+    // A listener that accepts (via the OS backlog) but never answers is
+    // the wedged-shard scenario the Router fails fast on: the read
+    // deadline must expire as ClientError::Timeout, not block forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let mut client = Client::connect_with(
+        &addr,
+        ClientOptions {
+            read_timeout: Some(std::time::Duration::from_millis(200)),
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect (the backlog accepts)");
+    let began = std::time::Instant::now();
+    let err = client.status().expect_err("no response is coming");
+    assert!(
+        matches!(err, ClientError::Timeout { what: "read", .. }),
+        "expected a read timeout, got: {err}"
+    );
+    assert!(
+        began.elapsed() < std::time::Duration::from_secs(5),
+        "the deadline must fire promptly, took {:?}",
+        began.elapsed()
+    );
+    // The wire is desynced (the late response may still arrive), so the
+    // connection is poisoned: further calls fail instead of silently
+    // reading the previous request's answer.
+    let err = client.status().expect_err("poisoned after timeout");
+    assert!(
+        matches!(err, ClientError::Io(_)) && err.to_string().contains("desynced"),
+        "expected the poisoned-connection error, got: {err}"
+    );
+    drop(listener);
 }
 
 #[test]

@@ -36,6 +36,7 @@ fn persons_refine_request() -> SolveRequest {
         step: None,
         max_k: None,
         time_limit: None,
+        routing: None,
     }
 }
 
