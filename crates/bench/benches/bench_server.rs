@@ -343,4 +343,100 @@ fn main() {
     } else {
         println!("  (speedup assertion skipped: needs >= 4 cores, found {cores})");
     }
+
+    // ── Replication ─────────────────────────────────────────────────────
+    // A leader solves REPL distinct instances while a follower replays the
+    // stream; the section reports how fast the standby catches up and how
+    // a promoted standby serves the dead leader's answers. The assertions
+    // are correctness, not speed: zero recomputation and byte-identity
+    // across the failure boundary.
+    const REPL: usize = 24;
+    let leader = server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        cache_capacity: 4096,
+        ..ServerConfig::default()
+    })
+    .expect("bind leader");
+    let follower = server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        cache_capacity: 4096,
+        follow: Some(leader.addr().to_string()),
+        ..ServerConfig::default()
+    })
+    .expect("bind follower");
+
+    let mut at_leader = Client::connect(leader.addr()).expect("connect leader");
+    let mut at_follower = Client::connect(follower.addr()).expect("connect follower");
+    let mut leader_payloads = Vec::new();
+    let fill_start = Instant::now();
+    for variant in 0..REPL {
+        let response = at_leader.solve(&request(variant)).expect("leader solve");
+        leader_payloads.push(response.result_text().expect("payload").to_owned());
+    }
+    let fill = fill_start.elapsed();
+
+    // Wait until the standby has replayed everything, timing the lag.
+    let entries = |client: &mut Client| -> i64 {
+        client
+            .status()
+            .expect("status")
+            .result()
+            .and_then(|result| result.get("cache"))
+            .and_then(|cache| cache.get("entries"))
+            .and_then(Json::as_int)
+            .unwrap_or(0)
+    };
+    let catchup_start = Instant::now();
+    while entries(&mut at_follower) < REPL as i64 {
+        assert!(
+            catchup_start.elapsed() < std::time::Duration::from_secs(10),
+            "follower never caught up"
+        );
+        thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let catchup = catchup_start.elapsed();
+
+    // The leader dies; the standby is promoted and serves every answer
+    // from its replicated cache, byte-identically, plus new writes.
+    at_leader.shutdown().expect("shutdown leader");
+    leader.wait();
+    at_follower.promote().expect("promote standby");
+    let serve_start = Instant::now();
+    for (variant, expected) in leader_payloads.iter().enumerate() {
+        let response = at_follower.solve(&request(variant)).expect("standby serve");
+        assert_eq!(
+            response.source(),
+            Some(Source::Cache),
+            "instance {variant} was recomputed by the promoted standby"
+        );
+        assert_eq!(
+            response.result_text().expect("payload"),
+            expected,
+            "instance {variant} not byte-identical across replication + promotion"
+        );
+    }
+    let served = serve_start.elapsed();
+    let fresh = at_follower
+        .solve(&request(REPL + 1))
+        .expect("promoted standby accepts writes");
+    assert_eq!(fresh.source(), Some(Source::Solved));
+
+    println!("replication ({REPL} instances, leader + 1 warm standby):");
+    println!(
+        "  leader cold fill:        {:>8.1} ms",
+        fill.as_secs_f64() * 1e3
+    );
+    println!(
+        "  standby catch-up lag:    {:>8.1} ms (after the last solve)",
+        catchup.as_secs_f64() * 1e3
+    );
+    println!(
+        "  promoted standby serves: {:>8.1} ms ({REPL} byte-identical cache hits, 0 recomputed)",
+        served.as_secs_f64() * 1e3
+    );
+
+    at_follower.shutdown().expect("shutdown standby");
+    follower.wait();
 }

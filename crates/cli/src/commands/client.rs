@@ -48,7 +48,11 @@ pub const USAGE: &str =
   --cluster lists every shard of a 'serve --shard i/n' cluster in shard order:
   solve requests are routed to the shard owning their key, batches are split
   into concurrent per-shard sub-batches, 'status' prints a per-shard table with
-  aggregate totals, and 'shutdown' stops every shard.";
+  aggregate totals, and 'shutdown' stops every shard. A shard entry may name
+  replication standbys after '+' (--cluster a:1+a2:1,b:1+b2:1): when a shard's
+  primary is unreachable the router retries with jittered backoff, then fails
+  over to its standbys in order, adopting a promoted follower's replication
+  epoch so a resurrected old leader is refused instead of serving stale.";
 
 /// Runs the command.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -169,8 +173,17 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         value.as_int().unwrap_or(0)
     };
     let mut out = format!(
-        "{:<5} {:<21} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11}\n",
-        "shard", "addr", "solves", "hits", "misses", "hit_rate", "entries", "wrong_shard"
+        "{:<5} {:<21} {:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11} {:>6}\n",
+        "shard",
+        "addr",
+        "role",
+        "solves",
+        "hits",
+        "misses",
+        "hit_rate",
+        "entries",
+        "wrong_shard",
+        "lag"
     );
     let (mut solves, mut hits, mut misses, mut entries, mut wrong) = (0i64, 0i64, 0i64, 0i64, 0i64);
     for (idx, status) in statuses.iter().enumerate() {
@@ -192,10 +205,16 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
                     .and_then(|cache| cache.get("hit_rate"))
                     .and_then(Json::as_str)
                     .unwrap_or("0.0000");
+                let role = result
+                    .get("replication")
+                    .and_then(|repl| repl.get("role"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?");
                 out.push_str(&format!(
-                    "{idx:<5} {addr:<21} {row_solves:>8} {row_hits:>8} {row_misses:>8} {hit_rate:>8} {:>8} {:>11}\n",
+                    "{idx:<5} {addr:<21} {role:<8} {row_solves:>8} {row_hits:>8} {row_misses:>8} {hit_rate:>8} {:>8} {:>11} {:>6}\n",
                     int(result, &["cache", "entries"]),
                     int(result, &["shard", "wrong_shard"]),
+                    int(result, &["replication", "lag"]),
                 ));
                 solves += row_solves;
                 hits += row_hits;
@@ -211,8 +230,8 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         format!("{:.4}", hits as f64 / (hits + misses) as f64)
     };
     out.push_str(&format!(
-        "{:<5} {:<21} {solves:>8} {hits:>8} {misses:>8} {total_rate:>8} {entries:>8} {wrong:>11}\n",
-        "total", "",
+        "{:<5} {:<21} {:<8} {solves:>8} {hits:>8} {misses:>8} {total_rate:>8} {entries:>8} {wrong:>11}\n",
+        "total", "", "",
     ));
     Ok(out)
 }
@@ -471,13 +490,32 @@ fn render_status(result: &Json) -> String {
     );
     if result.get("persist").map(|p| p != &Json::Null) == Some(true) {
         out.push_str(&format!(
-            "persist: {} replayed, {} puts, {} tombstones, {} dead of {} live, {} compactions\n",
+            "persist: {} replayed, {} puts, {} tombstones, {} dead of {} live, {} compactions, {} fsyncs\n",
             int(&["persist", "replayed"]),
             int(&["persist", "puts"]),
             int(&["persist", "tombstones"]),
             int(&["persist", "dead"]),
             int(&["persist", "live"]),
             int(&["persist", "compactions"]),
+            int(&["persist", "fsyncs"]),
+        ));
+    }
+    if let Some(repl) = result.get("replication") {
+        let role = repl.get("role").and_then(Json::as_str).unwrap_or("?");
+        let leader = repl
+            .get("leader")
+            .and_then(Json::as_str)
+            .map(|addr| format!(" of {addr}"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "replication: {role}{leader}, epoch {}, seq {} (lag {}), {} subscriber(s), \
+             {} sent / {} applied\n",
+            int(&["replication", "epoch"]),
+            int(&["replication", "last_seq"]),
+            int(&["replication", "lag"]),
+            int(&["replication", "subscribers"]),
+            int(&["replication", "records_sent"]),
+            int(&["replication", "records_applied"]),
         ));
     }
     out

@@ -5,6 +5,7 @@ pub mod client;
 pub mod deps;
 pub mod generate;
 pub mod layout;
+pub mod promote;
 pub mod refine;
 pub mod serve;
 pub mod survey;
@@ -17,7 +18,7 @@ pub fn usage() -> String {
         "strudel — RDF structuredness and sort refinement (Arenas et al., VLDB 2014)\n\n\
          usage: strudel <COMMAND> [ARGS]\n\n\
          commands:\n\
-         {}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n\
+         {}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n{}\n\n\
          Run 'strudel <COMMAND> --help' style questions by consulting the lines above;\n\
          rules (SPEC) are cov, sim, cov-ignoring:<props>, dep:<p1>,<p2>, symdep:<p1>,<p2>,\n\
          depdisj:<p1>,<p2>, or any rule of the language such as 'c = c -> val(c) = 1'.",
@@ -29,6 +30,7 @@ pub fn usage() -> String {
         generate::USAGE,
         serve::USAGE,
         client::USAGE,
+        promote::USAGE,
     )
 }
 
@@ -50,6 +52,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "generate" => generate::run(rest),
         "serve" => serve::run(rest),
         "client" => client::run(rest),
+        "promote" => promote::run(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'; run 'strudel help' for usage"
@@ -152,6 +155,7 @@ mod tests {
         assert!(help.contains("strudel layout"));
         assert!(help.contains("strudel serve"));
         assert!(help.contains("strudel client"));
+        assert!(help.contains("strudel promote"));
 
         let err = run(&args(&["frobnicate"])).unwrap_err();
         assert!(err.to_string().contains("frobnicate"));

@@ -1,0 +1,91 @@
+//! `strudel promote` — promote a replication follower to leader.
+
+use strudel_server::prelude::{Client, ClientError, Json};
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+
+/// Argument specification of `promote`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &[],
+    flags: &["raw"],
+    min_positional: 1,
+    max_positional: 1,
+};
+
+/// Usage text of `promote`.
+pub const USAGE: &str = "strudel promote HOST:PORT [--raw]
+  Promotes the replication follower at HOST:PORT to leader: it bumps its
+  replication epoch and starts accepting writes. Run this after its leader
+  dies (or let the follower do it itself with 'serve --auto-promote MS').
+  Routers fail over on the next request and adopt the bumped epoch, which
+  is also what makes a later-resurrected old leader's answers refused
+  instead of silently served stale. Fails on a server that is already the
+  leader. --raw prints the verbatim response line.";
+
+/// Runs the command.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args, &SPEC)?;
+    let addr = parsed.positional(0).expect("spec requires one positional");
+    let mut client = Client::connect(addr).map_err(|err| match err {
+        ClientError::Io(source) => CliError::Io {
+            path: addr.to_owned(),
+            source,
+        },
+        other => CliError::Usage(other.to_string()),
+    })?;
+    let response = client
+        .promote()
+        .map_err(|err| CliError::Usage(err.to_string()))?;
+    if parsed.has_flag("raw") {
+        return Ok(response.raw.clone());
+    }
+    // The epoch is a u64 fingerprint carried through the integer-only
+    // JSON as its two's-complement i64; undo that for display.
+    let epoch = response
+        .result()
+        .and_then(|result| result.get("epoch"))
+        .and_then(Json::as_int)
+        .unwrap_or(0) as u64;
+    Ok(format!(
+        "{addr} promoted to leader (replication epoch {epoch})\n"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::args;
+    use strudel_server::prelude::{start_server, ServerConfig};
+
+    #[test]
+    fn promote_needs_exactly_one_address() {
+        assert!(run(&args(&[])).is_err());
+        assert!(run(&args(&["a:1", "b:2"])).is_err());
+    }
+
+    #[test]
+    fn promoting_a_leader_is_refused() {
+        let handle = start_server(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let err = run(&args(&[&addr])).unwrap_err();
+        assert!(err.to_string().contains("already the leader"), "got: {err}");
+        run(&args(&[&addr])).unwrap_err(); // still refused, still alive
+        strudel_server::prelude::Client::connect(&addr)
+            .unwrap()
+            .shutdown()
+            .unwrap();
+        handle.wait();
+    }
+
+    #[test]
+    fn unreachable_servers_are_io_errors() {
+        let err = run(&args(&["127.0.0.1:1"])).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }));
+    }
+}

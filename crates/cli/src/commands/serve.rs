@@ -1,6 +1,6 @@
 //! `strudel serve` — run the refinement service.
 
-use strudel_server::prelude::{ServerConfig, ShardSpec};
+use strudel_server::prelude::{FsyncPolicy, ServerConfig, ShardSpec};
 
 use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
@@ -14,6 +14,9 @@ pub const SPEC: ArgSpec = ArgSpec {
         "persist",
         "compact-dead",
         "shard",
+        "fsync",
+        "follow",
+        "auto-promote",
     ],
     flags: &[],
     min_positional: 0,
@@ -22,7 +25,8 @@ pub const SPEC: ArgSpec = ArgSpec {
 
 /// Usage text of `serve`.
 pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache N]
-             [--persist FILE] [--compact-dead N] [--shard I/N]
+             [--persist FILE] [--compact-dead N] [--fsync POLICY] [--shard I/N]
+             [--follow LEADER:PORT] [--auto-promote MS]
   Runs the refinement service: line-delimited JSON over TCP driven by a
   readiness-based event loop, with a fixed-size compute pool, a
   content-addressed result cache (LRU), single-flight deduplication of
@@ -30,11 +34,19 @@ pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache
   --persist FILE write-through caches results to an append-only segment file
   replayed on the next start (warm start, byte-identical answers);
   --compact-dead N compacts the segment once N dead records accumulate
-  (default 1024). --shard I/N runs this process as shard I of an N-shard
+  (default 1024); --fsync always|interval:<ms>|off picks the segment's
+  durability barrier (default interval:100 — group fsync every 100 ms).
+  --shard I/N runs this process as shard I of an N-shard
   cluster: it serves only the keys its consistent-hash ring arc covers
   (misrouted requests get a structured wrong_shard error), and namespaces
   its --persist segment per shard (FILE.shardIofN), so every shard can use
   the same base path. Route clients with 'strudel client --cluster'.
+  --follow LEADER:PORT runs this process as a replication follower: it
+  subscribes to the leader's record stream, replays it into its own cache
+  and segment (a warm standby with byte-identical answers), serves cache
+  hits read-only, and refuses writes with a structured not_leader error
+  until promoted ('strudel promote', or --auto-promote MS to take over
+  automatically once the leader has been silent MS milliseconds).
   Defaults: --addr 127.0.0.1:7464, --workers 4, --cache 1024
   entries. Blocks until a client sends {\"op\":\"shutdown\"}; shutdown drains
   in-flight solves and flushes the segment, then reports the final counters.";
@@ -62,6 +74,28 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         config.shard = Some(ShardSpec::parse(shard).map_err(|err| {
             CliError::Usage(format!("invalid value '{shard}' for --shard: {err}"))
         })?);
+    }
+    if let Some(policy) = parsed.option("fsync") {
+        config.fsync = FsyncPolicy::parse(policy).map_err(|err| {
+            CliError::Usage(format!("invalid value '{policy}' for --fsync: {err}"))
+        })?;
+    }
+    if let Some(leader) = parsed.option("follow") {
+        config.follow = Some(leader.to_owned());
+    }
+    if let Some(window) = parsed.option_parsed::<u64>("auto-promote")? {
+        if config.follow.is_none() {
+            return Err(CliError::Usage(
+                "--auto-promote only makes sense with --follow".to_owned(),
+            ));
+        }
+        if window < 500 {
+            return Err(CliError::Usage(format!(
+                "--auto-promote {window} is below the 500 ms floor (the leader \
+                 heartbeats every 100 ms; a tighter window would depose healthy leaders)"
+            )));
+        }
+        config.auto_promote = Some(std::time::Duration::from_millis(window));
     }
 
     // Announce the bound address on stderr immediately (stdout carries the
@@ -98,14 +132,24 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     ));
     if let Some(persist) = &status.persist {
         out.push_str(&format!(
-            "persist: {} replayed at start, {} puts, {} tombstones, {} compactions, {} bytes on disk\n",
+            "persist: {} replayed at start, {} puts, {} tombstones, {} compactions, {} fsyncs, {} bytes on disk\n",
             persist.replayed,
             persist.puts,
             persist.tombstones,
             persist.compactions,
+            persist.fsyncs,
             persist.file_bytes,
         ));
     }
+    let repl = &status.replication;
+    out.push_str(&format!(
+        "replication: {} (epoch {}), {} records sent / {} applied, {} promotion(s)\n",
+        repl.role.name(),
+        repl.epoch,
+        repl.records_sent,
+        repl.records_applied,
+        repl.promotions,
+    ));
     Ok(out)
 }
 
@@ -117,12 +161,16 @@ fn serve_announced(
         source,
     })?;
     eprintln!(
-        "strudel-server listening on {} ({} workers, {}-entry cache{}{})",
+        "strudel-server listening on {} ({} workers, {}-entry cache{}{}{})",
         handle.addr(),
         config.workers,
         config.cache_capacity,
         match &config.shard {
             Some(spec) => format!(", shard {spec}"),
+            None => String::new(),
+        },
+        match &config.follow {
+            Some(leader) => format!(", following {leader}"),
             None => String::new(),
         },
         match (&config.persist_path, &config.shard) {
@@ -221,6 +269,11 @@ mod tests {
         assert!(run(&args(&["--shard", "3"])).is_err());
         assert!(run(&args(&["--shard", "3/3"])).is_err());
         assert!(run(&args(&["--shard", "0of3"])).is_err());
+        assert!(run(&args(&["--fsync", "sometimes"])).is_err());
+        assert!(run(&args(&["--fsync", "interval:0"])).is_err());
+        // --auto-promote needs --follow, and has a sanity floor.
+        assert!(run(&args(&["--auto-promote", "1000"])).is_err());
+        assert!(run(&args(&["--follow", "127.0.0.1:1", "--auto-promote", "100"])).is_err());
     }
 
     #[test]

@@ -157,6 +157,106 @@ impl ShardRing {
     }
 }
 
+/// One record of the leader→follower replication stream, mirroring the
+/// persistent segment's record kinds: a `Put` replicates a cache insert, an
+/// `Evict` a tombstone, and a `Checkpoint` marks a compaction (or serves as
+/// a heartbeat when the stream is otherwise idle).
+///
+/// Every record carries the leader's replication `epoch` (derived from
+/// [`ShardRing::epoch`], bumped once per promotion — see
+/// [`bump_repl_epoch`]) and a per-record `seq`: a monotonically increasing
+/// publication counter a follower uses to report lag. Keys travel as the
+/// `CacheKey` pair (the 128-bit view hash plus the canonical params text);
+/// values are the canonical serialized result, verbatim — which is what
+/// keeps a promoted follower's answers byte-identical to the dead leader's.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplRecord {
+    /// A cache insert: replay `result` under `(view, params)`.
+    Put {
+        /// Publication sequence number.
+        seq: u64,
+        /// The leader's replication epoch.
+        epoch: u64,
+        /// The view's 128-bit content hash.
+        view: u128,
+        /// Canonical parameter text of the cache key.
+        params: String,
+        /// The canonical serialized result, verbatim.
+        result: String,
+    },
+    /// A cache eviction: drop `(view, params)`.
+    Evict {
+        /// Publication sequence number.
+        seq: u64,
+        /// The leader's replication epoch.
+        epoch: u64,
+        /// The view's 128-bit content hash.
+        view: u128,
+        /// Canonical parameter text of the cache key.
+        params: String,
+    },
+    /// A compaction checkpoint / heartbeat: announces the leader's current
+    /// sequence number and live-entry count without shipping data.
+    Checkpoint {
+        /// The leader's last published sequence number.
+        seq: u64,
+        /// The leader's replication epoch.
+        epoch: u64,
+        /// Keys the leader currently considers live.
+        live: u64,
+    },
+}
+
+impl ReplRecord {
+    /// The record's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            ReplRecord::Put { seq, .. }
+            | ReplRecord::Evict { seq, .. }
+            | ReplRecord::Checkpoint { seq, .. } => *seq,
+        }
+    }
+
+    /// The record's replication epoch.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            ReplRecord::Put { epoch, .. }
+            | ReplRecord::Evict { epoch, .. }
+            | ReplRecord::Checkpoint { epoch, .. } => *epoch,
+        }
+    }
+
+    /// The wire name of the record kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReplRecord::Put { .. } => "put",
+            ReplRecord::Evict { .. } => "evict",
+            ReplRecord::Checkpoint { .. } => "checkpoint",
+        }
+    }
+}
+
+/// Structured detail of a `not_leader` error: a follower refusing a write
+/// (any solve it cannot answer from its replicated cache) names the leader
+/// so clients can redirect instead of guessing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotLeader {
+    /// The leader's address as the follower knows it (`--follow ADDR`).
+    pub leader: String,
+}
+
+/// The next replication epoch after a promotion.
+///
+/// A shard's replication epoch starts at its ring epoch (a
+/// [`ShardRing::epoch`] fingerprint) and each promotion adds one, so
+/// "newer" compares as plain `>` within a deployment: routers adopt only
+/// *higher* epochs, which is what lets a promoted follower's stamp refuse a
+/// resurrected old leader while never letting the old leader talk a router
+/// back down to the stale epoch.
+pub fn bump_repl_epoch(epoch: u64) -> u64 {
+    epoch.wrapping_add(1)
+}
+
 /// Routing metadata a shard-aware client stamps on a solve request: which
 /// shard it routed to and under which ring epoch. Servers validate both.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -582,6 +682,49 @@ mod tests {
         let solo = ShardRing::new(1);
         assert_eq!(solo.route(0), 0);
         assert_eq!(solo.route(u128::MAX), 0);
+    }
+
+    #[test]
+    fn repl_records_expose_seq_epoch_and_kind() {
+        let put = ReplRecord::Put {
+            seq: 7,
+            epoch: 99,
+            view: 0xfeed,
+            params: "refine|hybrid|cov|2|1/2|||".into(),
+            result: "{\"outcome\":\"infeasible\"}".into(),
+        };
+        let evict = ReplRecord::Evict {
+            seq: 8,
+            epoch: 99,
+            view: 0xfeed,
+            params: "p".into(),
+        };
+        let checkpoint = ReplRecord::Checkpoint {
+            seq: 8,
+            epoch: 99,
+            live: 1,
+        };
+        assert_eq!(put.seq(), 7);
+        assert_eq!(evict.seq(), 8);
+        assert_eq!(checkpoint.epoch(), 99);
+        assert_eq!(put.kind(), "put");
+        assert_eq!(evict.kind(), "evict");
+        assert_eq!(checkpoint.kind(), "checkpoint");
+    }
+
+    #[test]
+    fn promotion_epochs_rise_monotonically_from_the_ring_epoch() {
+        let base = ShardRing::new(3).epoch();
+        let once = bump_repl_epoch(base);
+        let twice = bump_repl_epoch(once);
+        assert_ne!(once, base);
+        assert_ne!(twice, once);
+        assert_eq!(once, base.wrapping_add(1));
+        // Outside the (negligible) wraparound window, newer epochs compare
+        // greater — the property routers rely on to refuse downgrades.
+        if base < u64::MAX - 2 {
+            assert!(once > base && twice > once);
+        }
     }
 
     #[test]

@@ -32,8 +32,74 @@ use std::fs::{File, OpenOptions};
 use std::hash::Hash;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use crate::protocol::CacheKey;
+
+/// When the segment store fsyncs its appends (`serve --fsync …`).
+///
+/// Write-through alone only hands records to the OS; until an fsync they
+/// live in the page cache, and a machine crash (not just a process crash)
+/// can lose every record since the last sync. The policy trades that window
+/// against write latency:
+///
+/// | policy          | durability window       | cost                       |
+/// |-----------------|-------------------------|----------------------------|
+/// | `always`        | none (sync per record)  | one fsync per insert/evict |
+/// | `interval:<ms>` | at most `<ms>` of work  | ≤ 1000/`<ms>` fsyncs/s     |
+/// | `off`           | until shutdown/flush    | none in steady state       |
+///
+/// The default is `interval:100` — a group fsync batching all appends of
+/// the last 100 ms into one disk barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every appended record.
+    Always,
+    /// Group fsync: sync dirty appends once the interval has elapsed.
+    Interval(Duration),
+    /// Never fsync during operation (shutdown still flushes).
+    Off,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::Interval(Duration::from_millis(100))
+    }
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI notation: `always`, `off`, or `interval:<ms>`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "always" => Ok(FsyncPolicy::Always),
+            "off" => Ok(FsyncPolicy::Off),
+            _ => match text.strip_prefix("interval:") {
+                Some(ms) => {
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("invalid interval in '{text}'"))?;
+                    if ms == 0 {
+                        return Err("interval must be at least 1 ms (use 'always')".to_owned());
+                    }
+                    Ok(FsyncPolicy::Interval(Duration::from_millis(ms)))
+                }
+                None => Err(format!(
+                    "expected 'always', 'off', or 'interval:<ms>', got '{text}'"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => f.write_str("always"),
+            FsyncPolicy::Interval(d) => write!(f, "interval:{}", d.as_millis()),
+            FsyncPolicy::Off => f.write_str("off"),
+        }
+    }
+}
 
 /// Counter snapshot of a cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -142,6 +208,17 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         self.map.contains_key(key)
     }
 
+    /// Removes a key outright, returning its value if it was resident.
+    ///
+    /// This is an externally-driven removal (a follower applying the
+    /// leader's replicated tombstone), not capacity pressure, so it does
+    /// not count as an eviction.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (value, stamp) = self.map.remove(key)?;
+        self.recency.remove(&stamp);
+        Some(value)
+    }
+
     /// Every resident entry in LRU order (least recently used first),
     /// without touching recency or counters. Compaction writes the segment
     /// in this order so a replay reconstructs the same recency ranking.
@@ -186,6 +263,12 @@ pub struct PersistStats {
     pub compactions: u64,
     /// Current size of the segment file, in bytes.
     pub file_bytes: u64,
+    /// Fsync barriers issued since startup (per the [`FsyncPolicy`]).
+    pub fsyncs: u64,
+    /// The replication sequence number recorded by the newest compaction
+    /// checkpoint in the file, if any (0 when none) — lets a restarted
+    /// leader resume its publication counter past everything compacted.
+    pub checkpoint_seq: u64,
 }
 
 /// The write-through persistent half of the result cache: an append-only
@@ -197,7 +280,14 @@ pub struct PersistStats {
 /// ```text
 /// P <view-hash-hex> <params-bytes> <result-bytes>\n<params>\n<result>\n
 /// D <view-hash-hex> <params-bytes>\n<params>\n
+/// C <seq>\n
 /// ```
+///
+/// `C` is a compaction checkpoint: appended right after a compaction (and
+/// streamed to replication followers), it carries the replication sequence
+/// number at that point so a restarted leader resumes its counter instead
+/// of reissuing sequence numbers followers have already seen. Replay treats
+/// it as metadata — it neither adds an entry nor counts as dead weight.
 ///
 /// The store tracks which keys are live so it can count dead records; the
 /// in-memory [`LruCache`] stays the authority on residency, and the server
@@ -214,6 +304,12 @@ pub struct SegmentStore {
     dead: u64,
     compactions: u64,
     file_bytes: u64,
+    policy: FsyncPolicy,
+    /// Whether bytes have been appended since the last sync barrier.
+    dirty: bool,
+    last_sync: Instant,
+    fsyncs: u64,
+    checkpoint_seq: u64,
 }
 
 impl SegmentStore {
@@ -224,10 +320,12 @@ impl SegmentStore {
     /// (crash mid-append) is truncated away.
     ///
     /// `dead_threshold` is the number of dead records that triggers
-    /// compaction (see [`Self::should_compact`]).
+    /// compaction (see [`Self::should_compact`]); `policy` decides when
+    /// appends are fsynced (see [`FsyncPolicy`]).
     pub fn open(
         path: impl Into<PathBuf>,
         dead_threshold: u64,
+        policy: FsyncPolicy,
     ) -> std::io::Result<(Self, Vec<(CacheKey, String)>)> {
         let path = path.into();
         let mut file = OpenOptions::new()
@@ -246,19 +344,24 @@ impl SegmentStore {
         // tombstoned keys.
         let mut latest: HashMap<CacheKey, (u64, String)> = HashMap::new();
         let mut records: u64 = 0;
+        let mut checkpoint_seq = 0u64;
         let mut good = 0usize; // offset after the last whole record
         let mut pos = 0usize;
         while pos < bytes.len() {
             match parse_record(&bytes, pos) {
                 Some((record, next)) => {
-                    records += 1;
                     match record {
                         Record::Put(key, text) => {
+                            records += 1;
                             latest.insert(key, (records, text));
                         }
                         Record::Delete(key) => {
+                            records += 1;
                             latest.remove(&key);
                         }
+                        // Metadata, not data: remember the newest one, and
+                        // keep it out of the dead-record arithmetic.
+                        Record::Checkpoint(seq) => checkpoint_seq = checkpoint_seq.max(seq),
                     }
                     pos = next;
                     good = next;
@@ -293,8 +396,48 @@ impl SegmentStore {
             live,
             compactions: 0,
             file_bytes: good as u64,
+            policy,
+            dirty: false,
+            last_sync: Instant::now(),
+            fsyncs: 0,
+            checkpoint_seq,
         };
         Ok((store, entries))
+    }
+
+    /// Issues one fsync barrier (`fdatasync`-grade) and resets the dirty
+    /// window. Not a full `sync_all`: the file's length only grows, and
+    /// metadata is settled by the shutdown [`Self::flush`].
+    fn sync_now(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.fsyncs += 1;
+        self.dirty = false;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Applies the fsync policy after an append: `always` syncs here;
+    /// `interval` syncs once the window has elapsed (the event loop's
+    /// [`Self::tick_sync`] covers the case where writes stop arriving).
+    fn after_append(&mut self) -> std::io::Result<()> {
+        self.dirty = true;
+        match self.policy {
+            FsyncPolicy::Always => self.sync_now(),
+            FsyncPolicy::Interval(window) if self.last_sync.elapsed() >= window => self.sync_now(),
+            FsyncPolicy::Interval(_) | FsyncPolicy::Off => Ok(()),
+        }
+    }
+
+    /// Interval-policy maintenance: syncs dirty appends whose window has
+    /// elapsed. The server's event loop calls this between rounds so the
+    /// last write of a burst is not left waiting for the next request.
+    pub fn tick_sync(&mut self) -> std::io::Result<()> {
+        if let FsyncPolicy::Interval(window) = self.policy {
+            if self.dirty && self.last_sync.elapsed() >= window {
+                return self.sync_now();
+            }
+        }
+        Ok(())
     }
 
     /// Appends a put record (write-through on cache insert). Re-putting a
@@ -307,7 +450,7 @@ impl SegmentStore {
         self.file.write_all(&record)?;
         self.puts += 1;
         self.file_bytes += record.len() as u64;
-        Ok(())
+        self.after_append()
     }
 
     /// Appends a tombstone (write-through on cache eviction). Both the
@@ -321,7 +464,7 @@ impl SegmentStore {
         self.tombstones += 1;
         self.dead += 1; // the tombstone itself
         self.file_bytes += record.len() as u64;
-        Ok(())
+        self.after_append()
     }
 
     /// Whether dead records have crossed the threshold (and outnumber the
@@ -332,10 +475,13 @@ impl SegmentStore {
 
     /// Rewrites the segment with only `entries` (the caller's live set, in
     /// the order replay should re-insert them — LRU first), atomically
-    /// replacing the old file via a sibling temp file and rename.
+    /// replacing the old file via a sibling temp file and rename, then
+    /// appends a `C` checkpoint carrying `checkpoint_seq` (the replication
+    /// publication counter at this point; pass 0 when replication is off).
     pub fn compact<'a>(
         &mut self,
         entries: impl IntoIterator<Item = (&'a CacheKey, &'a str)>,
+        checkpoint_seq: u64,
     ) -> std::io::Result<()> {
         let tmp_path = self.path.with_extension("compact");
         let mut tmp = File::create(&tmp_path)?;
@@ -347,6 +493,9 @@ impl SegmentStore {
             written += record.len() as u64;
             live.insert(key.clone());
         }
+        let checkpoint = encode_checkpoint(checkpoint_seq);
+        tmp.write_all(&checkpoint)?;
+        written += checkpoint.len() as u64;
         tmp.sync_all()?;
         std::fs::rename(&tmp_path, &self.path)?;
         // Reopen the handle on the new file; the old one points at the
@@ -358,13 +507,20 @@ impl SegmentStore {
         self.dead = 0;
         self.compactions += 1;
         self.file_bytes = written;
+        self.dirty = false;
+        self.last_sync = Instant::now();
+        self.checkpoint_seq = self.checkpoint_seq.max(checkpoint_seq);
         Ok(())
     }
 
     /// Flushes and fsyncs the segment (the graceful-shutdown barrier).
     pub fn flush(&mut self) -> std::io::Result<()> {
         self.file.flush()?;
-        self.file.sync_all()
+        self.file.sync_all()?;
+        self.fsyncs += 1;
+        self.dirty = false;
+        self.last_sync = Instant::now();
+        Ok(())
     }
 
     /// The current counter snapshot.
@@ -377,6 +533,8 @@ impl SegmentStore {
             live: self.live.len() as u64,
             compactions: self.compactions,
             file_bytes: self.file_bytes,
+            fsyncs: self.fsyncs,
+            checkpoint_seq: self.checkpoint_seq,
         }
     }
 }
@@ -384,6 +542,7 @@ impl SegmentStore {
 enum Record {
     Put(CacheKey, String),
     Delete(CacheKey),
+    Checkpoint(u64),
 }
 
 fn encode_put(key: &CacheKey, result_text: &str) -> Vec<u8> {
@@ -412,6 +571,10 @@ fn encode_delete(key: &CacheKey) -> Vec<u8> {
     out
 }
 
+fn encode_checkpoint(seq: u64) -> Vec<u8> {
+    format!("C {seq}\n").into_bytes()
+}
+
 /// Parses one record starting at `pos`. Returns the record and the offset
 /// just past it, or `None` for a torn/corrupt record (replay stops there).
 fn parse_record(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
@@ -419,6 +582,13 @@ fn parse_record(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
     let header = std::str::from_utf8(&bytes[pos..header_end]).ok()?;
     let mut fields = header.split(' ');
     let kind = fields.next()?;
+    if kind == "C" {
+        let seq: u64 = fields.next()?.parse().ok()?;
+        if fields.next().is_some() {
+            return None;
+        }
+        return Some((Record::Checkpoint(seq), header_end + 1));
+    }
     let view = u128::from_str_radix(fields.next()?, 16).ok()?;
     let params_len: usize = fields.next()?.parse().ok()?;
     let take = |start: usize, len: usize| -> Option<(String, usize)> {
@@ -572,7 +742,7 @@ mod tests {
         let path = temp_segment("replay");
         std::fs::remove_file(&path).ok();
         {
-            let (mut store, entries) = SegmentStore::open(&path, 1024).unwrap();
+            let (mut store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
             assert!(entries.is_empty());
             store.record_put(&key(1), "{\"outcome\":\"one\"}").unwrap();
             store.record_put(&key(2), "{\"outcome\":\"two\"}").unwrap();
@@ -590,7 +760,7 @@ mod tests {
             // Dead: superseded put of 1, evicted put of 2, the tombstone.
             assert_eq!(store.stats().dead, 3);
         }
-        let (store, entries) = SegmentStore::open(&path, 1024).unwrap();
+        let (store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
         assert_eq!(store.stats().replayed, 2);
         assert_eq!(store.stats().dead, 3, "replay recounts dead records");
         // Key 3 was last untouched, key 1 was re-put after it.
@@ -605,7 +775,7 @@ mod tests {
         let path = temp_segment("torn");
         std::fs::remove_file(&path).ok();
         {
-            let (mut store, _) = SegmentStore::open(&path, 1024).unwrap();
+            let (mut store, _) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
             store.record_put(&key(1), "{\"ok\":1}").unwrap();
             store.record_put(&key(2), "{\"ok\":2}").unwrap();
             store.flush().unwrap();
@@ -614,17 +784,17 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
 
-        let (store, entries) = SegmentStore::open(&path, 1024).unwrap();
+        let (store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
         assert_eq!(entries.len(), 1, "the torn record is dropped");
         assert_eq!(entries[0].0, key(1));
         // The file was truncated back to the last whole record, so a fresh
         // append + replay works.
         drop(store);
-        let (mut store, _) = SegmentStore::open(&path, 1024).unwrap();
+        let (mut store, _) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
         store.record_put(&key(3), "{\"ok\":3}").unwrap();
         store.flush().unwrap();
         drop(store);
-        let (_, entries) = SegmentStore::open(&path, 1024).unwrap();
+        let (_, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
         assert_eq!(entries.len(), 2);
         std::fs::remove_file(&path).ok();
     }
@@ -633,7 +803,7 @@ mod tests {
     fn compaction_drops_dead_weight_and_preserves_live_entries() {
         let path = temp_segment("compact");
         std::fs::remove_file(&path).ok();
-        let (mut store, _) = SegmentStore::open(&path, 4).unwrap();
+        let (mut store, _) = SegmentStore::open(&path, 4, FsyncPolicy::Off).unwrap();
         // Churn one key while keeping another live.
         store.record_put(&key(1), "{\"keep\":true}").unwrap();
         for round in 0..5 {
@@ -646,7 +816,9 @@ mod tests {
         let before = store.stats().file_bytes;
 
         let live = [(key(1), "{\"keep\":true}"), (key(2), "{\"round\":4}")];
-        store.compact(live.iter().map(|(k, v)| (k, *v))).unwrap();
+        store
+            .compact(live.iter().map(|(k, v)| (k, *v)), 41)
+            .unwrap();
         let stats = store.stats();
         assert_eq!(stats.dead, 0);
         assert_eq!(stats.compactions, 1);
@@ -658,9 +830,207 @@ mod tests {
         store.record_put(&key(7), "{\"late\":true}").unwrap();
         store.flush().unwrap();
         drop(store);
-        let (_, entries) = SegmentStore::open(&path, 4).unwrap();
+        let (store, entries) = SegmentStore::open(&path, 4, FsyncPolicy::Off).unwrap();
         let keys: Vec<&CacheKey> = entries.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec![&key(1), &key(2), &key(7)]);
+        // The checkpoint written by the compaction above replays too.
+        assert_eq!(store.stats().checkpoint_seq, 41);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compacting_an_empty_segment_is_a_noop_with_a_checkpoint() {
+        let path = temp_segment("compact-empty");
+        std::fs::remove_file(&path).ok();
+        let (mut store, entries) = SegmentStore::open(&path, 4, FsyncPolicy::Off).unwrap();
+        assert!(entries.is_empty());
+        store.compact(std::iter::empty(), 5).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.live, 0);
+        assert_eq!(stats.dead, 0);
+        assert_eq!(stats.compactions, 1);
+        drop(store);
+        // The file holds only the checkpoint; replay yields no entries and
+        // the checkpoint's sequence number.
+        let (store, entries) = SegmentStore::open(&path, 4, FsyncPolicy::Off).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(store.stats().checkpoint_seq, 5);
+        assert_eq!(store.stats().dead, 0, "a checkpoint is not dead weight");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_tombstone_segments_compact_to_nothing() {
+        let path = temp_segment("compact-tombstones");
+        std::fs::remove_file(&path).ok();
+        let (mut store, _) = SegmentStore::open(&path, 2, FsyncPolicy::Off).unwrap();
+        for n in 0..4 {
+            store.record_put(&key(n), "{\"gone\":true}").unwrap();
+            store.record_evict(&key(n)).unwrap();
+        }
+        assert_eq!(store.stats().live, 0);
+        assert!(store.should_compact(), "{:?}", store.stats());
+        store.compact(std::iter::empty(), 8).unwrap();
+        let after = store.stats().file_bytes;
+        drop(store);
+        let (store, entries) = SegmentStore::open(&path, 2, FsyncPolicy::Off).unwrap();
+        assert!(entries.is_empty(), "nothing was live");
+        assert_eq!(store.stats().file_bytes, after);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_mid_eviction_burst_keeps_disk_and_memory_in_lockstep() {
+        // Drive the store exactly the way the server does — every cache
+        // insert is a put, every eviction a tombstone — with a compaction
+        // landing in the middle of the burst, and check that a replay
+        // reconstructs precisely the cache's resident set in LRU order.
+        let path = temp_segment("compact-burst");
+        std::fs::remove_file(&path).ok();
+        let (mut store, _) = SegmentStore::open(&path, 4, FsyncPolicy::Off).unwrap();
+        let mut cache: LruCache<CacheKey, String> = LruCache::new(3);
+        let drive = |store: &mut SegmentStore, cache: &mut LruCache<CacheKey, String>, n| {
+            let text = format!("{{\"n\":{n}}}");
+            let evicted = cache.insert(key(n), text.clone());
+            store.record_put(&key(n), &text).unwrap();
+            if let Some((victim, _)) = evicted {
+                store.record_evict(&victim).unwrap();
+            }
+        };
+        for n in 0..8 {
+            drive(&mut store, &mut cache, n);
+        }
+        assert!(store.should_compact(), "{:?}", store.stats());
+        let snapshot = cache.snapshot_lru_order();
+        store
+            .compact(snapshot.iter().map(|(k, v)| (k, v.as_str())), 8)
+            .unwrap();
+        // The burst keeps going after the compaction.
+        for n in 8..14 {
+            drive(&mut store, &mut cache, n);
+        }
+        store.flush().unwrap();
+        assert_eq!(store.stats().live, 3);
+        drop(store);
+        let (_, entries) = SegmentStore::open(&path, 4, FsyncPolicy::Off).unwrap();
+        let replayed: Vec<&CacheKey> = entries.iter().map(|(k, _)| k).collect();
+        let resident: Vec<CacheKey> = cache
+            .snapshot_lru_order()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(replayed, resident.iter().collect::<Vec<_>>());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_handles_a_segment_whose_final_record_is_a_checkpoint() {
+        let path = temp_segment("final-checkpoint");
+        std::fs::remove_file(&path).ok();
+        let (mut store, _) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+        store.record_put(&key(1), "{\"ok\":1}").unwrap();
+        store.record_put(&key(2), "{\"ok\":2}").unwrap();
+        let live = [(key(1), "{\"ok\":1}"), (key(2), "{\"ok\":2}")];
+        // compact() appends the checkpoint last, so the file now *ends* in
+        // a C record.
+        store
+            .compact(live.iter().map(|(k, v)| (k, *v)), 77)
+            .unwrap();
+        drop(store);
+        let (store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(store.stats().checkpoint_seq, 77);
+        assert_eq!(store.stats().replayed, 2);
+        // A torn checkpoint (crash mid-append) truncates cleanly too.
+        drop(store);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let (store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+        assert_eq!(entries.len(), 2, "the torn checkpoint drops, data stays");
+        assert_eq!(store.stats().checkpoint_seq, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_policies_count_their_barriers() {
+        let path = temp_segment("fsync-always");
+        std::fs::remove_file(&path).ok();
+        let (mut store, _) = SegmentStore::open(&path, 1024, FsyncPolicy::Always).unwrap();
+        store.record_put(&key(1), "{\"a\":1}").unwrap();
+        store.record_put(&key(2), "{\"b\":2}").unwrap();
+        store.record_evict(&key(1)).unwrap();
+        assert_eq!(store.stats().fsyncs, 3, "always syncs every append");
+        drop(store);
+        std::fs::remove_file(&path).ok();
+
+        let path = temp_segment("fsync-interval");
+        std::fs::remove_file(&path).ok();
+        let (mut store, _) =
+            SegmentStore::open(&path, 1024, FsyncPolicy::Interval(Duration::from_millis(5)))
+                .unwrap();
+        store.record_put(&key(1), "{\"a\":1}").unwrap();
+        assert_eq!(store.stats().fsyncs, 0, "inside the window: no barrier");
+        std::thread::sleep(Duration::from_millis(10));
+        store.tick_sync().unwrap();
+        assert_eq!(store.stats().fsyncs, 1, "the tick flushes the dirty window");
+        store.tick_sync().unwrap();
+        assert_eq!(store.stats().fsyncs, 1, "a clean store does not re-sync");
+        std::thread::sleep(Duration::from_millis(10));
+        store.record_put(&key(2), "{\"b\":2}").unwrap();
+        assert_eq!(store.stats().fsyncs, 2, "an elapsed window syncs on write");
+        drop(store);
+        std::fs::remove_file(&path).ok();
+
+        let path = temp_segment("fsync-off");
+        std::fs::remove_file(&path).ok();
+        let (mut store, _) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+        store.record_put(&key(1), "{\"a\":1}").unwrap();
+        store.tick_sync().unwrap();
+        assert_eq!(store.stats().fsyncs, 0, "off never syncs in steady state");
+        store.flush().unwrap();
+        assert_eq!(store.stats().fsyncs, 1, "the shutdown barrier still runs");
+        drop(store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_policies_parse_and_render_the_cli_notation() {
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("off"), Ok(FsyncPolicy::Off));
+        assert_eq!(
+            FsyncPolicy::parse("interval:250"),
+            Ok(FsyncPolicy::Interval(Duration::from_millis(250)))
+        );
+        assert_eq!(
+            FsyncPolicy::default(),
+            FsyncPolicy::Interval(Duration::from_millis(100))
+        );
+        for bad in ["", "sometimes", "interval:", "interval:x", "interval:0"] {
+            assert!(FsyncPolicy::parse(bad).is_err(), "must reject '{bad}'");
+        }
+        assert_eq!(FsyncPolicy::Always.to_string(), "always");
+        assert_eq!(
+            FsyncPolicy::Interval(Duration::from_millis(100)).to_string(),
+            "interval:100"
+        );
+        assert_eq!(FsyncPolicy::Off.to_string(), "off");
+    }
+
+    #[test]
+    fn remove_drops_residency_without_counting_an_eviction() {
+        let mut cache: LruCache<&str, i32> = LruCache::new(4);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.remove(&"a"), Some(1));
+        assert_eq!(cache.remove(&"a"), None);
+        assert!(!cache.contains(&"a"));
+        assert!(cache.contains(&"b"));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().entries, 1);
+        // The recency index shrank with the map: a full refill works.
+        cache.insert("c", 3);
+        cache.insert("d", 4);
+        cache.insert("e", 5);
+        assert_eq!(cache.stats().entries, 4);
     }
 }

@@ -12,7 +12,7 @@ use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use strudel_core::wire::{WireEnvelope, WrongShard};
+use strudel_core::wire::{NotLeader, WireEnvelope, WrongShard};
 
 use crate::json::{self, Json};
 use crate::protocol::{self, SolveRequest, Source};
@@ -43,6 +43,14 @@ pub enum ClientError {
         /// The shard/owner/epoch triple from the response.
         detail: WrongShard,
     },
+    /// The server is an unpromoted replication follower and refused a
+    /// write — the structured `not_leader` error, naming the leader.
+    NotLeader {
+        /// The server's human-readable message.
+        message: String,
+        /// The leader's address, for redirecting.
+        detail: NotLeader,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -59,6 +67,9 @@ impl fmt::Display for ClientError {
                 "wrong shard: {message} (sent to shard {}, owner is shard {}, server epoch {})",
                 detail.shard, detail.owner, detail.epoch
             ),
+            ClientError::NotLeader { message, detail } => {
+                write!(f, "not the leader: {message} (leader is {})", detail.leader)
+            }
         }
     }
 }
@@ -322,7 +333,10 @@ impl Client {
                     .to_owned();
                 Err(match protocol::wrong_shard_from_json(&value) {
                     Some(detail) => ClientError::WrongShard { message, detail },
-                    None => ClientError::Server(message),
+                    None => match protocol::not_leader_from_json(&value) {
+                        Some(detail) => ClientError::NotLeader { message, detail },
+                        None => ClientError::Server(message),
+                    },
                 })
             }
             None => Err(ClientError::BadResponse(format!(
@@ -404,5 +418,12 @@ impl Client {
     /// Asks the server to shut down.
     pub fn shutdown(&mut self) -> Result<Response, ClientError> {
         self.call(&Json::obj(vec![("op", Json::str("shutdown"))]))
+    }
+
+    /// Asks a replication follower to promote itself to leader (the
+    /// `strudel promote` entry point). Fails with
+    /// [`ClientError::Server`] on a server that is already the leader.
+    pub fn promote(&mut self) -> Result<Response, ClientError> {
+        self.call(&Json::obj(vec![("op", Json::str("promote"))]))
     }
 }

@@ -31,7 +31,15 @@
 //!   and the [`router`], which holds one connection per shard, routes by
 //!   key hash, and splits batches into concurrently-driven per-shard
 //!   sub-batches. Duplicate keys converge on one shard, so caching and
-//!   single-flight stay per-process — no cross-process coordination.
+//!   single-flight stay per-process — no cross-process coordination,
+//! * a **replication layer** ([`replica`]) — a leader streams its segment
+//!   records (puts, tombstones, compaction checkpoints) to warm standbys
+//!   (`serve --follow`), which replay them into their own cache and
+//!   segment, serve hits read-only, and refuse writes with a structured
+//!   `not_leader` error; promotion (`strudel promote` or
+//!   `--auto-promote`) bumps a replication epoch, and the router fails
+//!   over to `+`-listed standbys, refusing resurrected stale leaders via
+//!   the same epoch machinery.
 //!
 //! The protocol speaks six operations — `refine`, `highest-theta`,
 //! `lowest-k`, `batch`, `status`, `shutdown` — carrying signature views and
@@ -96,21 +104,23 @@ pub mod flight;
 pub mod json;
 pub mod pool;
 pub mod protocol;
+pub mod replica;
 pub mod router;
 pub mod server;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, LruCache, PersistStats, SegmentStore};
+    pub use crate::cache::{CacheStats, FsyncPolicy, LruCache, PersistStats, SegmentStore};
     pub use crate::client::{Client, ClientError, ClientOptions, Response};
     pub use crate::flight::{BoardJoin, FlightBoard, FlightStats};
     pub use crate::json::Json;
     pub use crate::pool::WorkerPool;
     pub use crate::protocol::{
-        CacheKey, EngineKind, Request, ShardRing, ShardSpec, ShardStamp, SolveOp, SolveRequest,
-        Source, WrongShard,
+        CacheKey, EngineKind, NotLeader, ReplRecord, Request, ShardRing, ShardSpec, ShardStamp,
+        SolveOp, SolveRequest, Source, WrongShard,
     };
-    pub use crate::router::Router;
+    pub use crate::replica::{ReplRole, ReplStatus, HEARTBEAT_INTERVAL};
+    pub use crate::router::{Router, RouterOptions};
     pub use crate::server::start as start_server;
     pub use crate::server::{
         self, serve, shard_segment_path, ServerConfig, ServerHandle, ShardStatus, StatusSnapshot,

@@ -62,7 +62,9 @@ use strudel_core::wire::{
     WireEnvelope, WireHighestTheta, WireLowestK, WireOutcome, WireRefinement, WireSort,
 };
 
-pub use strudel_core::wire::{ShardRing, ShardSpec, ShardStamp, Source, WrongShard};
+pub use strudel_core::wire::{
+    NotLeader, ReplRecord, ShardRing, ShardSpec, ShardStamp, Source, WrongShard,
+};
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
 
@@ -252,6 +254,17 @@ pub enum Request {
     Status,
     /// Stop the server.
     Shutdown,
+    /// A follower's replication handshake: turn this connection into a
+    /// record feed (snapshot first, then live records). The optional shard
+    /// spec must match the leader's — a follower built for a different
+    /// topology would replay the wrong arc of the key space.
+    ReplSubscribe {
+        /// The follower's shard identity, if it runs sharded.
+        shard: Option<ShardSpec>,
+    },
+    /// Promote this server (a follower) to leader: bump the replication
+    /// epoch and start accepting writes.
+    Promote,
 }
 
 /// A malformed or invalid request.
@@ -331,6 +344,14 @@ fn decode_batch_element(value: &Json) -> Result<Request, ProtocolError> {
         Some("shutdown") => Err(ProtocolError::new(
             "'shutdown' is not allowed inside a batch; send it on its own line",
         )),
+        // Both rebind connection- or server-wide state, which has no
+        // per-element meaning inside an envelope.
+        Some("repl_subscribe") => Err(ProtocolError::new(
+            "'repl_subscribe' is not allowed inside a batch; send it on its own line",
+        )),
+        Some("promote") => Err(ProtocolError::new(
+            "'promote' is not allowed inside a batch; send it on its own line",
+        )),
         _ => decode_request_value(value),
     }
 }
@@ -349,12 +370,27 @@ pub fn decode_request_value(value: &Json) -> Result<Request, ProtocolError> {
     match op {
         "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
+        "promote" => Ok(Request::Promote),
+        "repl_subscribe" => {
+            let shard = match value.get("shard") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(text)) => Some(ShardSpec::parse(text).map_err(|err| {
+                    ProtocolError::new(format!("invalid 'shard' in repl_subscribe: {err}"))
+                })?),
+                Some(_) => {
+                    return Err(ProtocolError::new(
+                        "'shard' in repl_subscribe must be an \"i/n\" string",
+                    ))
+                }
+            };
+            Ok(Request::ReplSubscribe { shard })
+        }
         "refine" => decode_solve(value, SolveOp::Refine),
         "highest-theta" => decode_solve(value, SolveOp::HighestTheta),
         "lowest-k" => decode_solve(value, SolveOp::LowestK),
         other => Err(ProtocolError::new(format!(
             "unknown op '{other}'; expected refine, highest-theta, lowest-k, batch, \
-             status, or shutdown"
+             status, shutdown, promote, or repl_subscribe"
         ))),
     }
 }
@@ -747,6 +783,134 @@ pub fn wrong_shard_from_json(value: &Json) -> Option<WrongShard> {
         owner: u32::try_from(int("owner")?).ok()?,
         epoch: int("epoch")? as u64,
     })
+}
+
+/// Builds the structured `not_leader` error line a replication follower
+/// sends when asked to do anything it cannot serve from its replicated
+/// cache: the plain error fields plus a machine-readable `code` and the
+/// leader's address, so clients redirect instead of guessing.
+pub fn encode_not_leader(message: &str, detail: &NotLeader) -> String {
+    let mut out = String::with_capacity(message.len() + detail.leader.len() + 64);
+    out.push_str("{\"ok\":false,\"error\":");
+    Json::str(message).write_into(&mut out);
+    out.push_str(",\"code\":\"not_leader\",\"leader\":");
+    Json::str(detail.leader.clone()).write_into(&mut out);
+    out.push('}');
+    out
+}
+
+/// Reads the structured `not_leader` detail out of a parsed error response,
+/// if the `code` marks one.
+pub fn not_leader_from_json(value: &Json) -> Option<NotLeader> {
+    if value.get("code").and_then(Json::as_str) != Some("not_leader") {
+        return None;
+    }
+    Some(NotLeader {
+        leader: value.get("leader").and_then(Json::as_str)?.to_owned(),
+    })
+}
+
+/// Encodes the replication subscribe handshake line a follower opens its
+/// feed connection with.
+pub fn encode_repl_subscribe(shard: Option<&ShardSpec>) -> String {
+    match shard {
+        None => "{\"op\":\"repl_subscribe\"}".to_owned(),
+        Some(spec) => format!("{{\"op\":\"repl_subscribe\",\"shard\":\"{spec}\"}}"),
+    }
+}
+
+/// Encodes one replication stream record as its wire line.
+///
+/// The 128-bit view hash travels as 32 hex digits (it does not fit the
+/// integer-only JSON); the epoch and sequence numbers as two's-complement
+/// i64, like the routing stamp. The result text is carried as a JSON
+/// *string* (escaped), and decoding restores the exact original bytes —
+/// the follower's cache entry is byte-identical to the leader's.
+pub fn encode_repl_record(record: &ReplRecord) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"op\":\"repl_record\",\"kind\":\"");
+    out.push_str(record.kind());
+    out.push_str(&format!(
+        "\",\"seq\":{},\"epoch\":{}",
+        record.seq() as i64,
+        record.epoch() as i64
+    ));
+    match record {
+        ReplRecord::Put {
+            view,
+            params,
+            result,
+            ..
+        } => {
+            out.push_str(&format!(",\"view\":\"{view:032x}\",\"params\":"));
+            Json::str(params.clone()).write_into(&mut out);
+            out.push_str(",\"result\":");
+            Json::str(result.clone()).write_into(&mut out);
+        }
+        ReplRecord::Evict { view, params, .. } => {
+            out.push_str(&format!(",\"view\":\"{view:032x}\",\"params\":"));
+            Json::str(params.clone()).write_into(&mut out);
+        }
+        ReplRecord::Checkpoint { live, .. } => {
+            out.push_str(&format!(",\"live\":{}", *live as i64));
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Decodes one replication stream line back into its record.
+pub fn repl_record_from_json(value: &Json) -> Result<ReplRecord, ProtocolError> {
+    if value.get("op").and_then(Json::as_str) != Some("repl_record") {
+        return Err(ProtocolError::new("not a repl_record line"));
+    }
+    let int = |field: &'static str| -> Result<u64, ProtocolError> {
+        value
+            .get(field)
+            .and_then(Json::as_int)
+            .map(|n| n as u64)
+            .ok_or_else(|| ProtocolError::new(format!("repl_record lacks '{field}'")))
+    };
+    let seq = int("seq")?;
+    let epoch = int("epoch")?;
+    let view = || -> Result<u128, ProtocolError> {
+        let text = value
+            .get("view")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtocolError::new("repl_record lacks 'view'"))?;
+        u128::from_str_radix(text, 16)
+            .map_err(|_| ProtocolError::new("repl_record 'view' is not a hex hash"))
+    };
+    let text = |field: &'static str| -> Result<String, ProtocolError> {
+        value
+            .get(field)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ProtocolError::new(format!("repl_record lacks '{field}'")))
+    };
+    match value.get("kind").and_then(Json::as_str) {
+        Some("put") => Ok(ReplRecord::Put {
+            seq,
+            epoch,
+            view: view()?,
+            params: text("params")?,
+            result: text("result")?,
+        }),
+        Some("evict") => Ok(ReplRecord::Evict {
+            seq,
+            epoch,
+            view: view()?,
+            params: text("params")?,
+        }),
+        Some("checkpoint") => Ok(ReplRecord::Checkpoint {
+            seq,
+            epoch,
+            live: int("live")?,
+        }),
+        other => Err(ProtocolError::new(format!(
+            "unknown repl_record kind {other:?}"
+        ))),
+    }
 }
 
 /// Builds a batch response line from already-encoded element envelopes
@@ -1170,6 +1334,100 @@ mod tests {
         let line = encode_envelope(&envelope);
         let back = envelope_from_json(&json::parse(&line).unwrap()).unwrap();
         assert_eq!(back, envelope);
+    }
+
+    #[test]
+    fn repl_records_round_trip_byte_identically() {
+        let records = [
+            ReplRecord::Put {
+                seq: 3,
+                epoch: u64::MAX - 5, // exercises the i64 wire crossing
+                view: 0xdead_beef_dead_beef_dead_beef_dead_beef,
+                params: "refine|hybrid|cov|2|1/2|||".into(),
+                result: "{\"outcome\":\"infeasible\",\"note\":\"quoted \\\"x\\\"\"}".into(),
+            },
+            ReplRecord::Evict {
+                seq: 4,
+                epoch: 9,
+                view: 1,
+                params: "p|q".into(),
+            },
+            ReplRecord::Checkpoint {
+                seq: 4,
+                epoch: 9,
+                live: 17,
+            },
+        ];
+        for record in &records {
+            let line = encode_repl_record(record);
+            let value = json::parse(&line).unwrap();
+            let back = repl_record_from_json(&value).unwrap();
+            assert_eq!(&back, record, "line: {line}");
+        }
+        // The result payload survives escaping verbatim — the byte-identity
+        // guarantee crosses the replication stream.
+        let ReplRecord::Put { result, .. } = &records[0] else {
+            unreachable!()
+        };
+        let line = encode_repl_record(&records[0]);
+        let ReplRecord::Put { result: back, .. } =
+            repl_record_from_json(&json::parse(&line).unwrap()).unwrap()
+        else {
+            panic!("expected a put")
+        };
+        assert_eq!(&back, result);
+    }
+
+    #[test]
+    fn repl_subscribe_lines_decode_with_and_without_a_shard() {
+        let line = encode_repl_subscribe(None);
+        assert!(matches!(
+            decode_request(&line),
+            Ok(Request::ReplSubscribe { shard: None })
+        ));
+        let spec = ShardSpec { index: 1, count: 3 };
+        let line = encode_repl_subscribe(Some(&spec));
+        assert!(matches!(
+            decode_request(&line),
+            Ok(Request::ReplSubscribe { shard: Some(s) }) if s == spec
+        ));
+        assert!(decode_request("{\"op\":\"repl_subscribe\",\"shard\":\"9/3\"}").is_err());
+        assert!(decode_request("{\"op\":\"repl_subscribe\",\"shard\":7}").is_err());
+        assert!(matches!(
+            decode_request("{\"op\":\"promote\"}"),
+            Ok(Request::Promote)
+        ));
+    }
+
+    #[test]
+    fn replication_control_ops_are_rejected_inside_batches() {
+        for op in ["repl_subscribe", "promote"] {
+            let line = format!("{{\"op\":\"batch\",\"requests\":[{{\"op\":\"{op}\"}}]}}");
+            let Decoded::Batch(elements) = decode_line(&line) else {
+                panic!("expected a batch");
+            };
+            assert!(
+                elements[0].is_err(),
+                "'{op}' must be refused inside a batch"
+            );
+        }
+    }
+
+    #[test]
+    fn not_leader_errors_round_trip_their_structure() {
+        let detail = NotLeader {
+            leader: "127.0.0.1:7464".into(),
+        };
+        let line = encode_not_leader("this shard is a follower", &detail);
+        let value = json::parse(&line).unwrap();
+        assert_eq!(value.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(value.get("code").and_then(Json::as_str), Some("not_leader"));
+        assert_eq!(not_leader_from_json(&value), Some(detail));
+        // A plain error (and a wrong_shard error) carry no leader.
+        assert_eq!(
+            not_leader_from_json(&json::parse(&encode_error("boom")).unwrap()),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,926 @@
+//! Segment-shipping replication: leaders stream their cache records to
+//! warm standbys; promotion bumps an epoch instead of consulting anyone.
+//!
+//! The shard layer (see [`router`](crate::router)) removed the throughput
+//! ceiling but left each shard's state a single point of loss: kill a
+//! shard's disk and its warm cache — the thing the whole serving stack
+//! exists to protect — is gone. This module turns the persistent segment's
+//! record stream into a replication feed:
+//!
+//! ```text
+//!   leader (serve --shard 1/3 --persist …)
+//!     │ cache insert ──► segment P record ──► repl_record{put}   ─┐
+//!     │ cache evict  ──► segment D record ──► repl_record{evict}  ├─► every
+//!     │ compaction   ──► segment C record ──► repl_checkpoint    ─┘  subscriber
+//!     ▼
+//!   follower (serve --shard 1/3 --follow leader:port)
+//!     replays records into its own LruCache + SegmentStore
+//!     → serves cache hits read-only, refuses writes with `not_leader`
+//!     → on leader death: `strudel promote` (or --auto-promote) bumps the
+//!       replication epoch and the follower starts accepting writes
+//! ```
+//!
+//! **Transport.** Followers are ordinary clients of the leader's TCP port:
+//! a follower connects, sends one `repl_subscribe` line, and the leader
+//! converts the connection into a feed — first a snapshot (every resident
+//! entry as a `put` record with `seq` 0, closed by a checkpoint), then
+//! every live record as it happens, plus heartbeat checkpoints
+//! ([`HEARTBEAT_INTERVAL`]) when the stream is idle. Reusing the line-JSON
+//! wire protocol means replication traverses exactly the connections,
+//! buffers, and framing the event loop already owns — a subscriber is just
+//! a connection whose response slots are fed by the server instead of by
+//! its own requests.
+//!
+//! **Byte identity.** Records carry the *serialized* result text verbatim
+//! (see [`ReplRecord`]), so a follower's cache entry — and therefore every
+//! answer the promoted follower ever gives for it — is byte-identical to
+//! the leader's, extending the guarantee that already spans cache replay,
+//! single-flight, and warm restart across the failure boundary.
+//!
+//! **Promotion without coordination.** There is no consensus service. A
+//! shard's replication epoch starts at its ring epoch (the same
+//! [`ShardRing::epoch`](strudel_core::wire::ShardRing) fingerprint the
+//! `wrong_shard` machinery already validates) and each promotion adds one
+//! ([`bump_repl_epoch`]). Routers stamp the highest epoch they have seen;
+//! a resurrected old leader still runs the previous epoch and refuses the
+//! new stamps with the existing structured `wrong_shard` error — stale
+//! topology and stale leadership are rejected by one mechanism. The cost
+//! of this simplicity is honest: a network partition can yield two
+//! writable leaders briefly, and the epoch decides only who is *refused*,
+//! not who is *right* — acceptable for a cache, where the worst case is
+//! recomputing an answer, never serving a wrong one.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use strudel_core::wire::{bump_repl_epoch, ReplRecord, ShardSpec};
+
+use crate::json::{self, Json};
+use crate::protocol::{self, CacheKey};
+
+/// How often an idle leader sends a heartbeat checkpoint to each
+/// subscriber. Auto-promotion windows must comfortably exceed this, or a
+/// healthy-but-quiet leader gets deposed.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(100);
+
+/// The follower's socket read timeout: short enough to notice shutdown and
+/// manual promotion promptly, long enough that the feed loop is not a busy
+/// poll. Two heartbeat intervals means a single on-time heartbeat always
+/// lands inside one read.
+const FEED_READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Reconnect backoff bounds for a follower that lost its feed.
+const RECONNECT_MIN: Duration = Duration::from_millis(50);
+const RECONNECT_MAX: Duration = Duration::from_millis(500);
+
+/// Which side of the replication pair this server is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Accepts writes; streams records to subscribers.
+    Leader,
+    /// Replays a leader's stream; read-only until promoted.
+    Follower,
+}
+
+impl ReplRole {
+    /// The wire/status name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplRole::Leader => "leader",
+            ReplRole::Follower => "follower",
+        }
+    }
+}
+
+/// A point-in-time view of the replication side of a server (the
+/// `replication` block of the `status` payload).
+#[derive(Clone, Debug)]
+pub struct ReplStatus {
+    /// This server's current role.
+    pub role: ReplRole,
+    /// The leader's address, as a follower knows it (`--follow`).
+    pub leader: Option<String>,
+    /// The current replication epoch (ring epoch + promotions).
+    pub epoch: u64,
+    /// Leader: last published sequence number. Follower: last applied.
+    pub last_seq: u64,
+    /// Follower: records the leader has announced but this side has not
+    /// applied (0 on leaders and healthy followers).
+    pub lag: u64,
+    /// Leader: currently connected feed subscribers.
+    pub subscribers: u64,
+    /// Leader: record lines handed to subscriber connections.
+    pub records_sent: u64,
+    /// Follower: records applied into the local cache.
+    pub records_applied: u64,
+    /// Promotions this process has performed (0 or 1 in normal operation).
+    pub promotions: u64,
+}
+
+/// The shared replication state of one server process: the epoch, the
+/// writable flag every solve consults, and the stream counters. Lives in
+/// an `Arc` shared by the event loop, the status path, and (on followers)
+/// the feed thread.
+#[derive(Debug)]
+pub struct ReplState {
+    epoch: AtomicU64,
+    /// 0 = read-only follower, 1 = writable leader. An `AtomicU64` keeps
+    /// the struct homogeneous; only 0/1 are stored.
+    writable: AtomicU64,
+    leader: Mutex<Option<String>>,
+    last_seq: AtomicU64,
+    leader_seq: AtomicU64,
+    records_sent: AtomicU64,
+    records_applied: AtomicU64,
+    subscribers: AtomicU64,
+    promotions: AtomicU64,
+}
+
+impl ReplState {
+    fn new(base_epoch: u64, writable: bool, leader: Option<String>) -> Self {
+        ReplState {
+            epoch: AtomicU64::new(base_epoch),
+            writable: AtomicU64::new(u64::from(writable)),
+            leader: Mutex::new(leader),
+            last_seq: AtomicU64::new(0),
+            leader_seq: AtomicU64::new(0),
+            records_sent: AtomicU64::new(0),
+            records_applied: AtomicU64::new(0),
+            subscribers: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+        }
+    }
+
+    /// A writable leader starting at its ring epoch (0 when unsharded).
+    pub fn leader(base_epoch: u64) -> Self {
+        ReplState::new(base_epoch, true, None)
+    }
+
+    /// A read-only follower of `leader`, starting at the same base epoch
+    /// (it adopts the leader's actual epoch during the handshake).
+    pub fn follower(base_epoch: u64, leader: String) -> Self {
+        ReplState::new(base_epoch, false, Some(leader))
+    }
+
+    /// Whether solves may mutate state here (leaders and promoted
+    /// followers).
+    pub fn is_writable(&self) -> bool {
+        self.writable.load(Ordering::SeqCst) == 1
+    }
+
+    /// The current replication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The last published (leader) or applied (follower) sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::Relaxed)
+    }
+
+    /// The leader address a follower redirects writes to.
+    pub fn leader_addr(&self) -> Option<String> {
+        self.leader.lock().expect("leader lock").clone()
+    }
+
+    /// Resumes the publication counter after a restart (from the newest
+    /// compaction checkpoint in the replayed segment), so a leader never
+    /// reissues sequence numbers its followers have already seen.
+    pub fn resume_seq(&self, seq: u64) {
+        self.last_seq.fetch_max(seq, Ordering::SeqCst);
+    }
+
+    /// Follower handshake: adopt the leader's epoch and announced sequence
+    /// number. A no-op once this server is writable — the `leader` mutex
+    /// serializes this against [`Self::promote`], so a promotion landing
+    /// between the handshake and the adopt can never be overwritten with
+    /// the old leader's (now stale) epoch.
+    pub fn adopt(&self, epoch: u64, leader_seq: u64) {
+        let _guard = self.leader.lock().expect("leader lock");
+        if self.writable.load(Ordering::SeqCst) == 1 {
+            return;
+        }
+        self.epoch.store(epoch, Ordering::SeqCst);
+        self.leader_seq.fetch_max(leader_seq, Ordering::SeqCst);
+    }
+
+    /// Promotes this server to leader: bump the epoch, accept writes,
+    /// forget the upstream. Returns the new epoch. Idempotent only in the
+    /// sense that the caller should refuse it on an existing leader —
+    /// every call bumps. Holds the `leader` mutex so no concurrent
+    /// [`Self::adopt`] can interleave with the epoch transition.
+    pub fn promote(&self) -> u64 {
+        let mut leader = self.leader.lock().expect("leader lock");
+        let epoch = bump_repl_epoch(self.epoch.load(Ordering::SeqCst));
+        self.epoch.store(epoch, Ordering::SeqCst);
+        self.writable.store(1, Ordering::SeqCst);
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        *leader = None;
+        epoch
+    }
+
+    /// Allocates the next publication sequence number (leader side).
+    pub fn next_seq(&self) -> u64 {
+        self.last_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Counts `n` record lines handed to a subscriber outside the hub's
+    /// fan-out path (the subscription snapshot).
+    pub fn note_sent(&self, n: u64) {
+        self.records_sent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn observe(&self, record: &ReplRecord) {
+        // Snapshot records travel with seq 0; only live records advance
+        // the applied counter used for lag.
+        self.last_seq.fetch_max(record.seq(), Ordering::SeqCst);
+        if let ReplRecord::Checkpoint { seq, .. } = record {
+            self.leader_seq.fetch_max(*seq, Ordering::SeqCst);
+        }
+        self.records_applied.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current snapshot for the `status` payload.
+    pub fn status(&self) -> ReplStatus {
+        let role = if self.is_writable() {
+            ReplRole::Leader
+        } else {
+            ReplRole::Follower
+        };
+        let last_seq = self.last_seq.load(Ordering::SeqCst);
+        let leader_seq = self.leader_seq.load(Ordering::SeqCst);
+        ReplStatus {
+            role,
+            leader: self.leader_addr(),
+            epoch: self.epoch(),
+            last_seq,
+            lag: leader_seq.saturating_sub(last_seq),
+            subscribers: self.subscribers.load(Ordering::Relaxed),
+            records_sent: self.records_sent.load(Ordering::Relaxed),
+            records_applied: self.records_applied.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The leader-side subscriber registry, owned by the event loop (like the
+/// flight board, it is single-owner data and needs no locks). It tracks
+/// which connections are feeds and builds the record lines to fan out;
+/// the loop owns the connections and does the actual buffering.
+#[derive(Debug)]
+pub struct ReplicaHub {
+    subscribers: Vec<u64>,
+    last_heartbeat: Instant,
+}
+
+impl ReplicaHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        ReplicaHub {
+            subscribers: Vec::new(),
+            last_heartbeat: Instant::now(),
+        }
+    }
+
+    /// Whether no feed is connected (publishing is free to skip encoding).
+    pub fn is_empty(&self) -> bool {
+        self.subscribers.is_empty()
+    }
+
+    /// Registers a connection as a feed subscriber.
+    pub fn add(&mut self, conn: u64, state: &ReplState) {
+        if !self.subscribers.contains(&conn) {
+            self.subscribers.push(conn);
+            state
+                .subscribers
+                .store(self.subscribers.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes a reaped connection; returns whether it was a subscriber.
+    pub fn remove(&mut self, conn: u64, state: &ReplState) -> bool {
+        let before = self.subscribers.len();
+        self.subscribers.retain(|&id| id != conn);
+        let removed = self.subscribers.len() != before;
+        if removed {
+            state
+                .subscribers
+                .store(self.subscribers.len() as u64, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// The current subscriber connection ids (cloned: the caller will
+    /// mutate the connection map while delivering).
+    pub fn ids(&self) -> Vec<u64> {
+        self.subscribers.clone()
+    }
+
+    fn fan_out(&mut self, state: &ReplState, record: &ReplRecord) -> Option<(String, Vec<u64>)> {
+        if self.subscribers.is_empty() {
+            return None;
+        }
+        state
+            .records_sent
+            .fetch_add(self.subscribers.len() as u64, Ordering::Relaxed);
+        self.last_heartbeat = Instant::now();
+        Some((protocol::encode_repl_record(record), self.ids()))
+    }
+
+    /// Publishes a cache insert. The sequence number advances whether or
+    /// not anyone is listening — it is the leader's publication clock, and
+    /// late subscribers pick it up from their snapshot checkpoint.
+    pub fn publish_put(
+        &mut self,
+        state: &ReplState,
+        key: &CacheKey,
+        result: &str,
+    ) -> Option<(String, Vec<u64>)> {
+        let record = ReplRecord::Put {
+            seq: state.next_seq(),
+            epoch: state.epoch(),
+            view: key.view,
+            params: key.params.clone(),
+            result: result.to_owned(),
+        };
+        self.fan_out(state, &record)
+    }
+
+    /// Publishes a cache eviction.
+    pub fn publish_evict(
+        &mut self,
+        state: &ReplState,
+        key: &CacheKey,
+    ) -> Option<(String, Vec<u64>)> {
+        let record = ReplRecord::Evict {
+            seq: state.next_seq(),
+            epoch: state.epoch(),
+            view: key.view,
+            params: key.params.clone(),
+        };
+        self.fan_out(state, &record)
+    }
+
+    /// Publishes a checkpoint (after a compaction, or as a heartbeat).
+    /// Checkpoints announce the current sequence number without consuming
+    /// one.
+    pub fn publish_checkpoint(
+        &mut self,
+        state: &ReplState,
+        live: u64,
+    ) -> Option<(String, Vec<u64>)> {
+        let record = ReplRecord::Checkpoint {
+            seq: state.last_seq(),
+            epoch: state.epoch(),
+            live,
+        };
+        self.fan_out(state, &record)
+    }
+
+    /// Whether the idle-stream heartbeat is due.
+    pub fn heartbeat_due(&self) -> bool {
+        !self.subscribers.is_empty() && self.last_heartbeat.elapsed() >= HEARTBEAT_INTERVAL
+    }
+}
+
+impl Default for ReplicaHub {
+    fn default() -> Self {
+        ReplicaHub::new()
+    }
+}
+
+/// Encodes one snapshot entry for a freshly subscribed follower. Snapshot
+/// records carry `seq` 0 — they are a point-in-time copy, not publications;
+/// the checkpoint closing the snapshot tells the follower where the live
+/// stream stands.
+pub fn snapshot_record(epoch: u64, key: &CacheKey, result: &str) -> String {
+    protocol::encode_repl_record(&ReplRecord::Put {
+        seq: 0,
+        epoch,
+        view: key.view,
+        params: key.params.clone(),
+        result: result.to_owned(),
+    })
+}
+
+/// What the follower feed thread needs from the server it lives in. The
+/// server's shared state implements this; the indirection keeps the feed
+/// loop testable and free of the server's internals.
+pub trait FollowerHost: Send + Sync + 'static {
+    /// Replays a put record into the local cache (and segment, if any).
+    fn apply_put(&self, key: &CacheKey, result: &str);
+    /// Replays an eviction record.
+    fn apply_evict(&self, key: &CacheKey);
+    /// Whether the server is shutting down (the thread exits promptly).
+    fn stopping(&self) -> bool;
+}
+
+/// Configuration of a follower's feed thread.
+#[derive(Clone, Debug)]
+pub struct FollowerConfig {
+    /// The leader's address (`serve --follow ADDR`).
+    pub leader: String,
+    /// This server's shard identity; sent in the handshake so a leader can
+    /// refuse a follower built for a different topology.
+    pub shard: Option<ShardSpec>,
+    /// Auto-promotion window: promote after the leader has been silent
+    /// this long (`None` = only `strudel promote` promotes).
+    pub auto_promote: Option<Duration>,
+}
+
+/// Why one feed connection ended.
+enum FeedEnd {
+    /// Shutdown or promotion: the thread's work is done.
+    Done,
+    /// Connection failed or stream went stale: reconnect (or promote).
+    Lost,
+}
+
+/// Spawns the follower's feed thread: subscribe to the leader, apply the
+/// stream, reconnect with bounded backoff on loss, and — with an
+/// auto-promotion window — promote once the leader has been silent too
+/// long. The thread exits when the host is stopping or this server has
+/// become a leader (by auto- or manual promotion).
+pub fn spawn_follower<H: FollowerHost>(
+    host: Arc<H>,
+    state: Arc<ReplState>,
+    config: FollowerConfig,
+) -> std::io::Result<JoinHandle<()>> {
+    thread::Builder::new()
+        .name("strudel-follower".to_owned())
+        .spawn(move || follower_loop(&*host, &state, &config))
+}
+
+fn follower_loop<H: FollowerHost>(host: &H, state: &ReplState, config: &FollowerConfig) {
+    // "Silent since": promotion is judged from the last record (or
+    // heartbeat) actually received, so a leader that died before we ever
+    // connected still ages toward the window.
+    let mut last_record = Instant::now();
+    let mut backoff = RECONNECT_MIN;
+    loop {
+        if host.stopping() || state.is_writable() {
+            return;
+        }
+        match run_feed(host, state, config, &mut last_record) {
+            FeedEnd::Done => return,
+            FeedEnd::Lost => {
+                if let Some(window) = config.auto_promote {
+                    if last_record.elapsed() >= window {
+                        let epoch = state.promote();
+                        eprintln!(
+                            "strudel-server: leader {} silent for {:?}; auto-promoting \
+                             (replication epoch {epoch})",
+                            config.leader, window
+                        );
+                        return;
+                    }
+                }
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(RECONNECT_MAX);
+            }
+        }
+    }
+}
+
+/// Runs one feed connection to completion: connect, subscribe, apply
+/// records until the stream ends or goes stale.
+fn run_feed<H: FollowerHost>(
+    host: &H,
+    state: &ReplState,
+    config: &FollowerConfig,
+    last_record: &mut Instant,
+) -> FeedEnd {
+    let Ok(stream) = TcpStream::connect(&config.leader) else {
+        return FeedEnd::Lost;
+    };
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(FEED_READ_TIMEOUT)).is_err() {
+        return FeedEnd::Lost;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return FeedEnd::Lost;
+    };
+    let mut reader = BufReader::new(stream);
+
+    // Handshake: one subscribe line out, one response line in.
+    let line = protocol::encode_repl_subscribe(config.shard.as_ref());
+    if writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return FeedEnd::Lost;
+    }
+    let response = match read_feed_line(&mut reader, host, state, last_record, config) {
+        Ok(Some(line)) => line,
+        Ok(None) | Err(()) => return feed_end(host, state),
+    };
+    let Some((epoch, leader_seq)) = parse_subscribe_response(&response) else {
+        // The peer is not a willing leader (a follower, a shard mismatch,
+        // an older server): log once per connection and retry with backoff
+        // — the operator may be mid-rollout.
+        eprintln!(
+            "strudel-server: {} refused the replication subscription: {}",
+            config.leader,
+            response.chars().take(200).collect::<String>()
+        );
+        return FeedEnd::Lost;
+    };
+    state.adopt(epoch, leader_seq);
+    *last_record = Instant::now();
+
+    // The stream proper: every line is a record; apply and account.
+    loop {
+        match read_feed_line(&mut reader, host, state, last_record, config) {
+            Ok(Some(line)) => {
+                let Ok(value) = json::parse(&line) else {
+                    return FeedEnd::Lost;
+                };
+                let Ok(record) = protocol::repl_record_from_json(&value) else {
+                    return FeedEnd::Lost;
+                };
+                if record.epoch() != state.epoch() {
+                    // The leader changed epochs under us (it was itself
+                    // promoted, or restarted differently); resubscribe to
+                    // adopt the new stream cleanly.
+                    return FeedEnd::Lost;
+                }
+                *last_record = Instant::now();
+                match &record {
+                    ReplRecord::Put {
+                        view,
+                        params,
+                        result,
+                        ..
+                    } => host.apply_put(
+                        &CacheKey {
+                            view: *view,
+                            params: params.clone(),
+                        },
+                        result,
+                    ),
+                    ReplRecord::Evict { view, params, .. } => host.apply_evict(&CacheKey {
+                        view: *view,
+                        params: params.clone(),
+                    }),
+                    ReplRecord::Checkpoint { .. } => {}
+                }
+                state.observe(&record);
+            }
+            Ok(None) => return feed_end(host, state),
+            Err(()) => return FeedEnd::Lost,
+        }
+    }
+}
+
+fn feed_end<H: FollowerHost>(host: &H, state: &ReplState) -> FeedEnd {
+    if host.stopping() || state.is_writable() {
+        FeedEnd::Done
+    } else {
+        FeedEnd::Lost
+    }
+}
+
+/// Reads one line from the feed, riding out read timeouts while the
+/// stream is healthy. Returns `Ok(None)` when the thread should stop
+/// (shutdown/promotion), `Err(())` when the connection is lost or the
+/// stream has gone stale past the auto-promotion window.
+fn read_feed_line<H: FollowerHost>(
+    reader: &mut BufReader<TcpStream>,
+    host: &H,
+    state: &ReplState,
+    last_record: &Instant,
+    config: &FollowerConfig,
+) -> Result<Option<String>, ()> {
+    let mut line = String::new();
+    loop {
+        if host.stopping() || state.is_writable() {
+            return Ok(None);
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err(()), // leader closed the stream
+            Ok(_) => {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                if line.is_empty() {
+                    continue;
+                }
+                return Ok(Some(line));
+            }
+            Err(err) if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // No data inside the read timeout. A healthy leader
+                // heartbeats much faster than any sane promotion window,
+                // so silence past the window means the stream is dead even
+                // if the TCP connection pretends otherwise.
+                if let Some(window) = config.auto_promote {
+                    if last_record.elapsed() >= window {
+                        return Err(());
+                    }
+                }
+            }
+            Err(err) if err.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Parses the subscribe response, returning `(epoch, leader_seq)` on a
+/// successful handshake.
+fn parse_subscribe_response(line: &str) -> Option<(u64, u64)> {
+    let value = json::parse(line).ok()?;
+    if value.get("ok").and_then(Json::as_bool) != Some(true) {
+        return None;
+    }
+    let result = value.get("result")?;
+    let epoch = result.get("epoch").and_then(Json::as_int)? as u64;
+    let leader_seq = result.get("leader_seq").and_then(Json::as_int)? as u64;
+    Some((epoch, leader_seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn key(n: u32) -> CacheKey {
+        CacheKey {
+            view: 0xabcd_0000 + u128::from(n),
+            params: format!("refine|greedy|cov|{n}|1/2|||"),
+        }
+    }
+
+    #[test]
+    fn leaders_are_writable_followers_are_not_until_promoted() {
+        let leader = ReplState::leader(100);
+        assert!(leader.is_writable());
+        assert_eq!(leader.epoch(), 100);
+        assert_eq!(leader.status().role, ReplRole::Leader);
+
+        let follower = ReplState::follower(100, "10.0.0.1:7464".into());
+        assert!(!follower.is_writable());
+        assert_eq!(follower.leader_addr().as_deref(), Some("10.0.0.1:7464"));
+        assert_eq!(follower.status().role, ReplRole::Follower);
+
+        let epoch = follower.promote();
+        assert_eq!(epoch, 101, "promotion bumps the epoch by one");
+        assert!(follower.is_writable());
+        assert_eq!(follower.leader_addr(), None);
+        assert_eq!(follower.status().promotions, 1);
+        assert_eq!(follower.status().role, ReplRole::Leader);
+    }
+
+    #[test]
+    fn followers_adopt_the_leaders_epoch_and_report_lag() {
+        let state = ReplState::follower(7, "x:1".into());
+        state.adopt(42, 10);
+        assert_eq!(state.epoch(), 42);
+        assert_eq!(state.status().lag, 10, "nothing applied yet");
+        state.observe(&ReplRecord::Put {
+            seq: 9,
+            epoch: 42,
+            view: 1,
+            params: "p".into(),
+            result: "{}".into(),
+        });
+        assert_eq!(state.status().lag, 1);
+        assert_eq!(state.status().records_applied, 1);
+        state.observe(&ReplRecord::Checkpoint {
+            seq: 12,
+            epoch: 42,
+            live: 3,
+        });
+        // The checkpoint both announces 12 and (as the newest thing seen)
+        // advances the applied high-water mark.
+        assert_eq!(state.status().lag, 0);
+        assert_eq!(state.last_seq(), 12);
+    }
+
+    #[test]
+    fn adopt_is_a_noop_once_promoted() {
+        // The feed thread may complete a handshake at the very moment an
+        // operator promotes this server; the stale leader's epoch must
+        // never overwrite the bumped one.
+        let state = ReplState::follower(10, "x:1".into());
+        let epoch = state.promote();
+        state.adopt(10, 5);
+        assert_eq!(state.epoch(), epoch, "adopt must not roll the epoch back");
+        assert!(state.is_writable());
+    }
+
+    #[test]
+    fn resume_seq_never_moves_backwards() {
+        let state = ReplState::leader(0);
+        state.resume_seq(50);
+        assert_eq!(state.last_seq(), 50);
+        state.resume_seq(20);
+        assert_eq!(state.last_seq(), 50);
+        assert_eq!(
+            state.next_seq(),
+            51,
+            "publication resumes past the checkpoint"
+        );
+    }
+
+    #[test]
+    fn the_hub_assigns_seqs_even_with_no_subscribers() {
+        let state = ReplState::leader(5);
+        let mut hub = ReplicaHub::new();
+        assert!(hub.publish_put(&state, &key(1), "{}").is_none());
+        assert!(hub.publish_evict(&state, &key(1)).is_none());
+        assert_eq!(
+            state.last_seq(),
+            2,
+            "the publication clock ticks regardless of listeners"
+        );
+        assert_eq!(state.status().records_sent, 0);
+    }
+
+    #[test]
+    fn the_hub_fans_records_out_to_every_subscriber() {
+        let state = ReplState::leader(5);
+        let mut hub = ReplicaHub::new();
+        hub.add(3, &state);
+        hub.add(9, &state);
+        hub.add(3, &state); // duplicate adds are idempotent
+        assert_eq!(state.status().subscribers, 2);
+
+        let (line, ids) = hub.publish_put(&state, &key(2), "{\"x\":1}").expect("line");
+        assert_eq!(ids, vec![3, 9]);
+        let record = protocol::repl_record_from_json(&json::parse(&line).unwrap()).expect("record");
+        assert_eq!(record.seq(), 1);
+        assert_eq!(record.epoch(), 5);
+        assert_eq!(record.kind(), "put");
+        assert_eq!(state.status().records_sent, 2, "one per subscriber");
+
+        assert!(hub.remove(3, &state));
+        assert!(!hub.remove(3, &state), "double-remove reports absence");
+        assert_eq!(state.status().subscribers, 1);
+        let (_, ids) = hub.publish_checkpoint(&state, 7).expect("checkpoint");
+        assert_eq!(ids, vec![9]);
+    }
+
+    #[test]
+    fn checkpoints_announce_without_consuming_a_seq() {
+        let state = ReplState::leader(1);
+        let mut hub = ReplicaHub::new();
+        hub.add(1, &state);
+        hub.publish_put(&state, &key(1), "{}");
+        let (line, _) = hub.publish_checkpoint(&state, 1).expect("checkpoint");
+        let record = protocol::repl_record_from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(record.seq(), 1, "checkpoint repeats the current seq");
+        assert_eq!(state.last_seq(), 1);
+    }
+
+    #[test]
+    fn snapshot_records_carry_seq_zero_and_the_payload_verbatim() {
+        let line = snapshot_record(9, &key(4), "{\"outcome\":\"unknown\"}");
+        let record = protocol::repl_record_from_json(&json::parse(&line).unwrap()).unwrap();
+        let ReplRecord::Put {
+            seq, epoch, result, ..
+        } = record
+        else {
+            panic!("snapshot records are puts");
+        };
+        assert_eq!(seq, 0);
+        assert_eq!(epoch, 9);
+        assert_eq!(result, "{\"outcome\":\"unknown\"}");
+    }
+
+    #[test]
+    fn subscribe_responses_parse_their_epoch_and_seq() {
+        assert_eq!(
+            parse_subscribe_response(
+                "{\"ok\":true,\"op\":\"repl_subscribe\",\"source\":\"solved\",\
+                 \"result\":{\"epoch\":33,\"leader_seq\":12,\"snapshot\":4}}"
+            ),
+            Some((33, 12))
+        );
+        assert_eq!(
+            parse_subscribe_response("{\"ok\":false,\"error\":\"not a leader\"}"),
+            None
+        );
+        assert_eq!(parse_subscribe_response("not json"), None);
+    }
+
+    /// A host that records applications and never stops.
+    struct RecordingHost {
+        puts: Mutex<Vec<(CacheKey, String)>>,
+        evicts: Mutex<Vec<CacheKey>>,
+        stop: AtomicBool,
+    }
+
+    impl RecordingHost {
+        fn new() -> Self {
+            RecordingHost {
+                puts: Mutex::new(Vec::new()),
+                evicts: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl FollowerHost for RecordingHost {
+        fn apply_put(&self, key: &CacheKey, result: &str) {
+            self.puts
+                .lock()
+                .unwrap()
+                .push((key.clone(), result.to_owned()));
+        }
+        fn apply_evict(&self, key: &CacheKey) {
+            self.evicts.lock().unwrap().push(key.clone());
+        }
+        fn stopping(&self) -> bool {
+            self.stop.load(Ordering::SeqCst)
+        }
+    }
+
+    /// Drives a real feed connection against a scripted in-test "leader":
+    /// accept, answer the handshake, stream records, drop the socket.
+    #[test]
+    fn the_feed_thread_applies_a_scripted_stream_and_promotes_on_silence() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+
+        let leader = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("repl_subscribe"), "handshake first: {line}");
+            let mut writer = stream;
+            writer
+                .write_all(
+                    b"{\"ok\":true,\"op\":\"repl_subscribe\",\"source\":\"solved\",\
+                      \"result\":{\"epoch\":77,\"leader_seq\":0,\"snapshot\":0}}\n",
+                )
+                .unwrap();
+            let records = [
+                ReplRecord::Put {
+                    seq: 1,
+                    epoch: 77,
+                    view: key(1).view,
+                    params: key(1).params,
+                    result: "{\"a\":1}".into(),
+                },
+                ReplRecord::Put {
+                    seq: 2,
+                    epoch: 77,
+                    view: key(2).view,
+                    params: key(2).params,
+                    result: "{\"b\":2}".into(),
+                },
+                ReplRecord::Evict {
+                    seq: 3,
+                    epoch: 77,
+                    view: key(1).view,
+                    params: key(1).params,
+                },
+                ReplRecord::Checkpoint {
+                    seq: 3,
+                    epoch: 77,
+                    live: 1,
+                },
+            ];
+            for record in &records {
+                writer
+                    .write_all((protocol::encode_repl_record(record) + "\n").as_bytes())
+                    .unwrap();
+            }
+            // Die silently: the follower must auto-promote after the
+            // window instead of waiting forever.
+            drop(writer);
+        });
+
+        let host = Arc::new(RecordingHost::new());
+        let state = Arc::new(ReplState::follower(7, addr.clone()));
+        let handle = spawn_follower(
+            Arc::clone(&host),
+            Arc::clone(&state),
+            FollowerConfig {
+                leader: addr,
+                shard: None,
+                auto_promote: Some(Duration::from_millis(300)),
+            },
+        )
+        .unwrap();
+        handle.join().unwrap();
+        leader.join().unwrap();
+
+        assert!(state.is_writable(), "silence must have promoted");
+        assert_eq!(state.epoch(), 78, "promotion bumps the adopted epoch 77");
+        let puts = host.puts.lock().unwrap();
+        assert_eq!(puts.len(), 2);
+        assert_eq!(puts[0].1, "{\"a\":1}");
+        assert_eq!(host.evicts.lock().unwrap().as_slice(), &[key(1)]);
+        assert_eq!(state.status().records_applied, 4);
+        assert_eq!(state.status().lag, 0);
+    }
+}

@@ -61,14 +61,16 @@ use std::time::{Duration, Instant};
 use strudel_core::prelude::{highest_theta, lowest_k, HighestThetaOptions, SweepDirection};
 use strudel_core::wire::{WireHighestTheta, WireLowestK, WireOutcome};
 
-use crate::cache::{CacheStats, LruCache, PersistStats, SegmentStore};
+use crate::cache::{CacheStats, FsyncPolicy, LruCache, PersistStats, SegmentStore};
 use crate::flight::{BoardJoin, FlightBoard, FlightStats};
 use crate::json::Json;
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    self, encode_batch, encode_error, encode_success, encode_wrong_shard, CacheKey, Decoded,
-    Request, ShardRing, ShardSpec, SolveOp, SolveRequest, Source, WrongShard,
+    self, encode_batch, encode_error, encode_not_leader, encode_success, encode_wrong_shard,
+    CacheKey, Decoded, NotLeader, Request, ShardRing, ShardSpec, SolveOp, SolveRequest, Source,
+    WrongShard,
 };
+use crate::replica::{self, FollowerConfig, FollowerHost, ReplState, ReplStatus, ReplicaHub};
 
 /// Configuration of a server instance.
 #[derive(Clone, Debug)]
@@ -91,6 +93,19 @@ pub struct ServerConfig {
     /// [`shard_segment_path`]). `None` runs the classic single-process
     /// server.
     pub shard: Option<ShardSpec>,
+    /// When the persistent segment fsyncs its appends
+    /// (`serve --fsync always|interval:<ms>|off`; see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Run as a replication follower of this leader (`serve --follow`):
+    /// subscribe to its record stream, replay it into the local cache and
+    /// segment, serve cache hits read-only, and refuse writes with a
+    /// structured `not_leader` error until promoted.
+    pub follow: Option<String>,
+    /// Follower auto-promotion window: take over as leader once the
+    /// leader's stream has been silent this long. `None` promotes only on
+    /// an explicit `promote` request (`strudel promote`). Must comfortably
+    /// exceed [`replica::HEARTBEAT_INTERVAL`].
+    pub auto_promote: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +117,9 @@ impl Default for ServerConfig {
             persist_path: None,
             compact_dead_threshold: 1024,
             shard: None,
+            fsync: FsyncPolicy::default(),
+            follow: None,
+            auto_promote: None,
         }
     }
 }
@@ -122,12 +140,15 @@ pub fn shard_segment_path(base: &std::path::Path, spec: &ShardSpec) -> PathBuf {
 struct ShardState {
     spec: ShardSpec,
     ring: ShardRing,
-    epoch: u64,
 }
 
 /// Everything the event loop, the workers, and the handle share.
 struct Shared {
     shard: Option<ShardState>,
+    /// Replication state: the epoch stamps are validated against, the
+    /// writable flag followers enforce, and the stream counters. Shared
+    /// with the follower feed thread, hence the `Arc`.
+    repl: Arc<ReplState>,
     cache: Mutex<LruCache<CacheKey, Arc<String>>>,
     persist: Mutex<Option<SegmentStore>>,
     pool: WorkerPool,
@@ -171,6 +192,7 @@ struct Metrics {
     flight_aborted: AtomicU64,
     persist_errors: AtomicU64,
     wrong_shard: AtomicU64,
+    not_leader: AtomicU64,
 }
 
 impl Metrics {
@@ -235,6 +257,10 @@ pub struct StatusSnapshot {
     pub persist: Option<PersistStats>,
     /// Persistent segment write failures (0 in healthy operation).
     pub persist_errors: u64,
+    /// Replication counters: role, epoch, stream position, lag.
+    pub replication: ReplStatus,
+    /// Writes refused because this server is an unpromoted follower.
+    pub not_leader: u64,
 }
 
 impl StatusSnapshot {
@@ -250,8 +276,30 @@ impl StatusSnapshot {
                 ("live", Json::Int(stats.live as i64)),
                 ("compactions", Json::Int(stats.compactions as i64)),
                 ("file_bytes", Json::Int(stats.file_bytes as i64)),
+                ("fsyncs", Json::Int(stats.fsyncs as i64)),
                 ("errors", Json::Int(self.persist_errors as i64)),
             ]),
+        };
+        let replication = {
+            let repl = &self.replication;
+            Json::obj(vec![
+                ("role", Json::str(repl.role.name())),
+                (
+                    "leader",
+                    match &repl.leader {
+                        Some(addr) => Json::str(addr.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                ("epoch", Json::Int(repl.epoch as i64)),
+                ("last_seq", Json::Int(repl.last_seq as i64)),
+                ("lag", Json::Int(repl.lag as i64)),
+                ("subscribers", Json::Int(repl.subscribers as i64)),
+                ("records_sent", Json::Int(repl.records_sent as i64)),
+                ("records_applied", Json::Int(repl.records_applied as i64)),
+                ("promotions", Json::Int(repl.promotions as i64)),
+                ("refused_writes", Json::Int(self.not_leader as i64)),
+            ])
         };
         let shard = match &self.shard {
             None => Json::Null,
@@ -273,6 +321,7 @@ impl StatusSnapshot {
         Json::obj(vec![
             ("workers", Json::Int(self.workers as i64)),
             ("shard", shard),
+            ("replication", replication),
             ("uptime_ms", Json::Int(self.uptime_ms as i64)),
             ("connections", Json::Int(self.connections as i64)),
             ("open_connections", Json::Int(self.open_connections as i64)),
@@ -321,6 +370,7 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     loop_thread: Option<JoinHandle<()>>,
+    follower_thread: Option<JoinHandle<()>>,
 }
 
 /// Starts a server from a configuration. Returns once the listener is bound
@@ -348,10 +398,22 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
                 ));
             }
             let ring = ShardRing::new(spec.count);
-            let epoch = ring.epoch();
-            Some(ShardState { spec, ring, epoch })
+            Some(ShardState { spec, ring })
         }
     };
+
+    // The replication epoch starts at the ring epoch (the same fingerprint
+    // the wrong_shard machinery validates). An unsharded server is epoch-
+    // wise a one-shard cluster — routers for a single `a+a2` entry derive
+    // exactly this ring — so stamped requests validate (and a resurrected
+    // unsharded old leader is refused) without requiring `--shard 0/1`.
+    let base_epoch = shard
+        .as_ref()
+        .map_or_else(|| ShardRing::new(1).epoch(), |state| state.ring.epoch());
+    let repl = Arc::new(match &config.follow {
+        None => ReplState::leader(base_epoch),
+        Some(leader) => ReplState::follower(base_epoch, leader.clone()),
+    });
 
     // Warm start: replay the persistent segment into the cache in append
     // order, which reconstructs the pre-restart recency ranking. A shard
@@ -365,7 +427,8 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
                 Some(state) => shard_segment_path(path, &state.spec),
                 None => path.clone(),
             };
-            let (mut store, entries) = SegmentStore::open(path, config.compact_dead_threshold)?;
+            let (mut store, entries) =
+                SegmentStore::open(path, config.compact_dead_threshold, config.fsync)?;
             for (key, text) in entries {
                 if let Some((victim, _)) = cache.insert(key, Arc::new(text)) {
                     // The segment outgrew this instance's capacity: keep
@@ -376,12 +439,16 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
                     }
                 }
             }
+            // Resume the publication counter past everything compacted, so
+            // a restarted leader never reissues a sequence number.
+            repl.resume_seq(store.stats().checkpoint_seq);
             Some(store)
         }
     };
 
     let shared = Arc::new(Shared {
         shard,
+        repl,
         cache: Mutex::new(cache),
         persist: Mutex::new(persist),
         pool: WorkerPool::new(config.workers),
@@ -398,11 +465,85 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         .spawn(move || EventLoop::new(listener, loop_shared).run())?;
     *shared.loop_thread.lock().expect("loop thread lock") = Some(handle.thread().clone());
 
+    // A follower subscribes to its leader from a dedicated feed thread,
+    // replaying the stream into the same cache and segment the event loop
+    // serves from.
+    let follower_thread = match &config.follow {
+        None => None,
+        Some(leader) => Some(replica::spawn_follower(
+            Arc::clone(&shared),
+            Arc::clone(&shared.repl),
+            FollowerConfig {
+                leader: leader.clone(),
+                shard: config.shard,
+                auto_promote: config.auto_promote,
+            },
+        )?),
+    };
+
     Ok(ServerHandle {
         local_addr,
         shared,
         loop_thread: Some(handle),
+        follower_thread,
     })
+}
+
+/// The follower feed thread replays the leader's records through exactly
+/// the write-through path the event loop uses: cache insert (plus overflow
+/// tombstone) and segment append, compacting when the threshold trips.
+/// Locks are taken one at a time except for the documented persist→cache
+/// nesting during compaction (see [`EventLoop::persist_insert`]).
+impl FollowerHost for Shared {
+    fn apply_put(&self, key: &CacheKey, result: &str) {
+        let evicted = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(key.clone(), Arc::new(result.to_owned()))
+            .map(|(victim, _)| victim);
+        let mut persist = self.persist.lock().expect("persist lock");
+        let Some(store) = persist.as_mut() else {
+            return;
+        };
+        let mut outcome = store.record_put(key, result);
+        if let Some(victim) = &evicted {
+            outcome = outcome.and_then(|()| store.record_evict(victim));
+        }
+        if let Err(err) = outcome {
+            self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("strudel-server: follower segment write failed: {err}");
+            return;
+        }
+        if store.should_compact() {
+            let snapshot = self.cache.lock().expect("cache lock").snapshot_lru_order();
+            if let Err(err) = store.compact(
+                snapshot.iter().map(|(k, v)| (k, v.as_str())),
+                self.repl.last_seq(),
+            ) {
+                self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("strudel-server: follower segment compaction failed: {err}");
+            }
+        }
+    }
+
+    fn apply_evict(&self, key: &CacheKey) {
+        let removed = self.cache.lock().expect("cache lock").remove(key).is_some();
+        if !removed {
+            return; // never resident here (capacity differences)
+        }
+        let mut persist = self.persist.lock().expect("persist lock");
+        if let Some(store) = persist.as_mut() {
+            if let Err(err) = store.record_evict(key) {
+                self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("strudel-server: follower segment tombstone failed: {err}");
+            }
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
 }
 
 impl ServerHandle {
@@ -428,6 +569,10 @@ impl ServerHandle {
     /// a client's `shutdown` request) and returns the final counters.
     pub fn wait(mut self) -> StatusSnapshot {
         if let Some(thread) = self.loop_thread.take() {
+            let _ = thread.join();
+        }
+        // The feed thread notices the stop flag within its read timeout.
+        if let Some(thread) = self.follower_thread.take() {
             let _ = thread.join();
         }
         snapshot(&self.shared)
@@ -461,7 +606,7 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
         shard: shared.shard.as_ref().map(|state| ShardStatus {
             index: state.spec.index,
             count: state.spec.count,
-            epoch: state.epoch,
+            epoch: shared.repl.epoch(),
             wrong_shard: metrics.wrong_shard.load(Ordering::Relaxed),
         }),
         workers: shared.pool.workers(),
@@ -484,6 +629,8 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
         },
         persist,
         persist_errors: metrics.persist_errors.load(Ordering::Relaxed),
+        replication: shared.repl.status(),
+        not_leader: metrics.not_leader.load(Ordering::Relaxed),
     }
 }
 
@@ -617,6 +764,8 @@ struct EventLoop {
     conns: HashMap<u64, Conn>,
     next_conn: u64,
     board: FlightBoard<CacheKey, Waiter>,
+    /// Leader-side replication: which connections are subscriber feeds.
+    hub: ReplicaHub,
     pending_jobs: usize,
     stopping: bool,
     drain_deadline: Option<Instant>,
@@ -631,6 +780,7 @@ impl EventLoop {
             conns: HashMap::new(),
             next_conn: 0,
             board: FlightBoard::new(),
+            hub: ReplicaHub::new(),
             pending_jobs: 0,
             stopping: false,
             drain_deadline: None,
@@ -647,7 +797,9 @@ impl EventLoop {
             let mut progress = self.accept_new();
             progress |= self.pump_reads();
             progress |= self.apply_completions();
+            progress |= self.tick_replication();
             progress |= self.pump_writes();
+            self.tick_persist_sync();
             self.reap();
             if self.stopping && self.drained() {
                 break;
@@ -660,6 +812,60 @@ impl EventLoop {
             }
         }
         self.finish();
+    }
+
+    /// Keeps idle replication feeds alive: publishes a heartbeat
+    /// checkpoint once [`replica::HEARTBEAT_INTERVAL`] has passed without
+    /// traffic, so followers can tell a quiet leader from a dead one.
+    fn tick_replication(&mut self) -> bool {
+        if !self.hub.heartbeat_due() {
+            return false;
+        }
+        let live = self
+            .shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .stats()
+            .entries as u64;
+        if let Some((line, ids)) = self.hub.publish_checkpoint(&self.shared.repl, live) {
+            self.deliver_to_subscribers(line, ids);
+            return true;
+        }
+        false
+    }
+
+    /// Interval-fsync maintenance: syncs a dirty segment whose window has
+    /// elapsed, so the last write of a burst is durable without waiting
+    /// for the next request.
+    fn tick_persist_sync(&mut self) {
+        let mut persist = self.shared.persist.lock().expect("persist lock");
+        if let Some(store) = persist.as_mut() {
+            if let Err(err) = store.tick_sync() {
+                self.shared
+                    .metrics
+                    .persist_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!("strudel-server: segment fsync failed: {err}");
+            }
+        }
+    }
+
+    /// Appends one record line to every subscriber feed, in slot order
+    /// with whatever the connection already owes.
+    fn deliver_to_subscribers(&mut self, line: String, ids: Vec<u64>) {
+        for id in ids {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue; // reap will unsubscribe it
+            };
+            let slot_id = conn.next_slot;
+            conn.next_slot += 1;
+            conn.slots.push_back(Slot {
+                id: slot_id,
+                body: SlotBody::Ready(line.clone()),
+            });
+            conn.stage_ready();
+        }
     }
 
     /// Enters graceful shutdown: close the listener (refusing new clients
@@ -846,6 +1052,13 @@ impl EventLoop {
                 metrics.errors.fetch_add(1, Ordering::Relaxed);
                 SlotBody::Ready(encode_error(&err.message))
             }
+            // The replication handshake rebinds the connection (it becomes
+            // a feed), so it is handled here where the connection is in
+            // hand; it queues its own slots (response, snapshot, live).
+            Decoded::Single(Ok(Request::ReplSubscribe { shard })) => {
+                self.handle_subscribe(id, conn, slot_id, shard);
+                return;
+            }
             Decoded::Single(Ok(request)) => match self.handle_request(request, id, slot_id, None) {
                 Some(response) => SlotBody::Ready(response),
                 None => SlotBody::PendingSingle,
@@ -884,6 +1097,87 @@ impl EventLoop {
         conn.slots.push_back(Slot { id: slot_id, body });
     }
 
+    /// Turns a connection into a replication feed: validate the handshake,
+    /// queue the response, then the snapshot (every resident entry, closed
+    /// by a checkpoint), and register the connection for live records.
+    fn handle_subscribe(
+        &mut self,
+        id: u64,
+        conn: &mut Conn,
+        slot_id: u64,
+        shard: Option<ShardSpec>,
+    ) {
+        let refusal = if !self.shared.repl.is_writable() {
+            Some("this server is a follower; subscribe to its leader".to_owned())
+        } else {
+            match (&self.shared.shard, &shard) {
+                (None, None) => None,
+                (Some(state), Some(spec)) if state.spec == *spec => None,
+                (mine, theirs) => Some(format!(
+                    "shard mismatch: this server is {}, the subscriber claims {}",
+                    mine.as_ref()
+                        .map_or("unsharded".to_owned(), |s| s.spec.to_string()),
+                    theirs.map_or("unsharded".to_owned(), |s| s.to_string()),
+                )),
+            }
+        };
+        if let Some(message) = refusal {
+            self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            conn.slots.push_back(Slot {
+                id: slot_id,
+                body: SlotBody::Ready(encode_error(&message)),
+            });
+            return;
+        }
+
+        let repl = &self.shared.repl;
+        let snapshot = self
+            .shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .snapshot_lru_order();
+        let response = encode_success(
+            "repl_subscribe",
+            Source::Solved,
+            &Json::obj(vec![
+                ("epoch", Json::Int(repl.epoch() as i64)),
+                ("leader_seq", Json::Int(repl.last_seq() as i64)),
+                ("snapshot", Json::Int(snapshot.len() as i64)),
+            ])
+            .to_text(),
+        );
+        conn.slots.push_back(Slot {
+            id: slot_id,
+            body: SlotBody::Ready(response),
+        });
+        // The snapshot travels as ordinary put records (seq 0) in LRU
+        // order — replaying it reconstructs the leader's recency ranking —
+        // closed by a checkpoint announcing where the live stream stands.
+        let mut lines: Vec<String> = snapshot
+            .iter()
+            .map(|(key, text)| replica::snapshot_record(repl.epoch(), key, text))
+            .collect();
+        lines.push(protocol::encode_repl_record(
+            &strudel_core::wire::ReplRecord::Checkpoint {
+                seq: repl.last_seq(),
+                epoch: repl.epoch(),
+                live: snapshot.len() as u64,
+            },
+        ));
+        repl.note_sent(lines.len() as u64);
+        for line in lines {
+            let slot_id = conn.next_slot;
+            conn.next_slot += 1;
+            conn.slots.push_back(Slot {
+                id: slot_id,
+                body: SlotBody::Ready(line),
+            });
+        }
+        conn.stage_ready();
+        self.hub.add(id, repl);
+    }
+
     /// Runs one request (standalone or batch element). Returns the response
     /// line if it completed synchronously (control ops, cache hits); a
     /// `None` means a token is parked on the flight board and the response
@@ -912,6 +1206,31 @@ impl EventLoop {
                     "{\"stopping\":true}",
                 ))
             }
+            // Handled in dispatch_line (it rebinds the connection); an
+            // element reaching here slipped past decode validation.
+            Request::ReplSubscribe { .. } => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Some(encode_error("repl_subscribe must arrive on its own line"))
+            }
+            Request::Promote => {
+                if self.shared.repl.is_writable() {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    return Some(encode_error(
+                        "already the leader; promote targets a follower",
+                    ));
+                }
+                let epoch = self.shared.repl.promote();
+                eprintln!("strudel-server: promoted to leader (replication epoch {epoch})");
+                Some(encode_success(
+                    "promote",
+                    Source::Solved,
+                    &Json::obj(vec![
+                        ("role", Json::str("leader")),
+                        ("epoch", Json::Int(epoch as i64)),
+                    ])
+                    .to_text(),
+                ))
+            }
             Request::Solve(solve) => {
                 let key = solve.cache_key();
                 // Ownership gate: a sharded server answers only keys its
@@ -919,18 +1238,34 @@ impl EventLoop {
                 // structured refusal *before* touching cache or workers, so
                 // a confused client cannot fragment the keyspace across
                 // shards (which would defeat single-flight and duplicate
-                // cache entries cluster-wide).
-                if let Some(state) = &self.shared.shard {
-                    let owner = state.ring.route(key.view);
+                // cache entries cluster-wide). The epoch compared is the
+                // *replication* epoch (ring epoch + promotions), which is
+                // what refuses a resurrected old leader's stale stamps —
+                // and, symmetrically, a failed-over router's new stamps on
+                // the old leader. An unsharded server is epoch-wise shard
+                // 0 of 1 (its base epoch is the one-shard ring's), so
+                // stamped requests validate there too and replication
+                // fail-over does not require `--shard`; unstamped
+                // requests always pass its ownership check.
+                {
+                    let epoch = self.shared.repl.epoch();
+                    let (index, owner, count) = match &self.shared.shard {
+                        Some(state) => (
+                            state.spec.index,
+                            state.ring.route(key.view),
+                            state.spec.count,
+                        ),
+                        None => (0, 0, 1),
+                    };
                     let refusal = match solve.routing {
-                        Some(stamp) if stamp.epoch != state.epoch => Some(format!(
-                            "ring epoch mismatch: request stamped {}, this cluster's ring \
-                             epoch is {} ({} shards)",
-                            stamp.epoch, state.epoch, state.spec.count
+                        Some(stamp) if stamp.epoch != epoch => Some(format!(
+                            "replication epoch mismatch: request stamped {}, this shard's \
+                             epoch is {epoch} ({count} shards)",
+                            stamp.epoch
                         )),
-                        _ if owner != state.spec.index => Some(format!(
-                            "key {:032x} belongs to shard {owner}, this is shard {}",
-                            key.view, state.spec.index
+                        _ if owner != index => Some(format!(
+                            "key {:032x} belongs to shard {owner}, this is shard {index}",
+                            key.view
                         )),
                         _ => None,
                     };
@@ -940,9 +1275,9 @@ impl EventLoop {
                         return Some(encode_wrong_shard(
                             &message,
                             &WrongShard {
-                                shard: state.spec.index,
+                                shard: index,
                                 owner,
-                                epoch: state.epoch,
+                                epoch,
                             },
                         ));
                     }
@@ -950,6 +1285,19 @@ impl EventLoop {
                 metrics.count_solve(solve.op);
                 if let Some(result) = self.shared.cache.lock().expect("cache lock").get(&key) {
                     return Some(encode_success(solve.op.name(), Source::Cache, &result));
+                }
+                // Follower gate: a standby answers what its replicated
+                // cache already holds (the hit path above); anything that
+                // would *compute and insert* is a write, refused toward
+                // the leader until promotion flips this shard writable.
+                if !self.shared.repl.is_writable() {
+                    metrics.not_leader.fetch_add(1, Ordering::Relaxed);
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let leader = self.shared.repl.leader_addr().unwrap_or_default();
+                    return Some(encode_not_leader(
+                        &format!("this shard is a follower; send writes to its leader at {leader}"),
+                        &NotLeader { leader },
+                    ));
                 }
                 let waiter = Waiter {
                     conn,
@@ -1011,7 +1359,22 @@ impl EventLoop {
                         .expect("cache lock")
                         .insert(completion.key.clone(), Arc::clone(&text))
                         .map(|(victim, _)| victim);
-                    self.persist_insert(&completion.key, &text, evicted);
+                    let compacted = self.persist_insert(&completion.key, &text, evicted.as_ref());
+                    self.replicate_insert(&completion.key, &text, evicted.as_ref());
+                    if compacted {
+                        let live = self
+                            .shared
+                            .cache
+                            .lock()
+                            .expect("cache lock")
+                            .stats()
+                            .entries as u64;
+                        if let Some((line, ids)) =
+                            self.hub.publish_checkpoint(&self.shared.repl, live)
+                        {
+                            self.deliver_to_subscribers(line, ids);
+                        }
+                    }
                     for (rank, waiter) in tokens.into_iter().enumerate() {
                         let source = if rank == 0 {
                             Source::Solved
@@ -1038,8 +1401,10 @@ impl EventLoop {
     }
 
     /// Write-through: append the put (plus any eviction tombstone) to the
-    /// segment, compacting when dead records cross the threshold.
-    fn persist_insert(&mut self, key: &CacheKey, text: &str, evicted: Option<CacheKey>) {
+    /// segment, compacting when dead records cross the threshold. Returns
+    /// whether a compaction ran (the caller announces it to replication
+    /// subscribers as a checkpoint).
+    fn persist_insert(&mut self, key: &CacheKey, text: &str, evicted: Option<&CacheKey>) -> bool {
         // This is the one place a lock is acquired while another is held
         // (cache inside persist, for the compaction snapshot). It cannot
         // deadlock because no other path holds the cache lock across a
@@ -1048,11 +1413,11 @@ impl EventLoop {
         let snapshot = {
             let mut persist = self.shared.persist.lock().expect("persist lock");
             let Some(store) = persist.as_mut() else {
-                return;
+                return false;
             };
             let mut result = store.record_put(key, text);
             if let Some(victim) = evicted {
-                result = result.and_then(|()| store.record_evict(&victim));
+                result = result.and_then(|()| store.record_evict(victim));
             }
             match result {
                 Err(err) => {
@@ -1061,11 +1426,11 @@ impl EventLoop {
                         .persist_errors
                         .fetch_add(1, Ordering::Relaxed);
                     eprintln!("strudel-server: persistent cache write failed: {err}");
-                    return;
+                    return false;
                 }
                 Ok(()) => {
                     if !store.should_compact() {
-                        return;
+                        return false;
                     }
                 }
             }
@@ -1077,14 +1442,34 @@ impl EventLoop {
         };
         let mut persist = self.shared.persist.lock().expect("persist lock");
         let Some(store) = persist.as_mut() else {
-            return;
+            return false;
         };
-        if let Err(err) = store.compact(snapshot.iter().map(|(k, v)| (k, v.as_str()))) {
+        if let Err(err) = store.compact(
+            snapshot.iter().map(|(k, v)| (k, v.as_str())),
+            self.shared.repl.last_seq(),
+        ) {
             self.shared
                 .metrics
                 .persist_errors
                 .fetch_add(1, Ordering::Relaxed);
             eprintln!("strudel-server: segment compaction failed: {err}");
+            return false;
+        }
+        true
+    }
+
+    /// Replication fan-out of one completed insert: a put record (and, if
+    /// capacity pushed something out, the matching evict record) to every
+    /// subscriber feed. The publication clock ticks even with no
+    /// subscribers — late joiners pick it up from their snapshot.
+    fn replicate_insert(&mut self, key: &CacheKey, text: &str, evicted: Option<&CacheKey>) {
+        if let Some((line, ids)) = self.hub.publish_put(&self.shared.repl, key, text) {
+            self.deliver_to_subscribers(line, ids);
+        }
+        if let Some(victim) = evicted {
+            if let Some((line, ids)) = self.hub.publish_evict(&self.shared.repl, victim) {
+                self.deliver_to_subscribers(line, ids);
+            }
         }
     }
 
@@ -1174,6 +1559,7 @@ impl EventLoop {
             .collect();
         for id in gone {
             self.conns.remove(&id);
+            self.hub.remove(id, &self.shared.repl);
             self.shared
                 .metrics
                 .open_connections

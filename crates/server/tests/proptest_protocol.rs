@@ -223,8 +223,11 @@ fn random_batches_decode_element_wise_with_order_preserved() {
                 Ok(Request::Status) => {
                     assert_eq!(original.get("op").and_then(Json::as_str), Some("status"));
                 }
-                Ok(Request::Shutdown) => {
-                    panic!("seed {seed} case {case}: shutdown must not decode in a batch")
+                Ok(Request::Shutdown | Request::Promote | Request::ReplSubscribe { .. }) => {
+                    panic!(
+                        "seed {seed} case {case}: connection/server-wide ops must not \
+                         decode in a batch"
+                    )
                 }
                 Err(_) => {}
             }
