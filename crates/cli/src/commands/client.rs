@@ -173,10 +173,11 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         value.as_int().unwrap_or(0)
     };
     let mut out = format!(
-        "{:<5} {:<21} {:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11} {:>6}\n",
+        "{:<5} {:<21} {:<8} {:<7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11} {:>6}\n",
         "shard",
         "addr",
         "role",
+        "poller",
         "solves",
         "hits",
         "misses",
@@ -210,8 +211,13 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
                     .and_then(|repl| repl.get("role"))
                     .and_then(Json::as_str)
                     .unwrap_or("?");
+                let backend = result
+                    .get("poller")
+                    .and_then(|poller| poller.get("backend"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?");
                 out.push_str(&format!(
-                    "{idx:<5} {addr:<21} {role:<8} {row_solves:>8} {row_hits:>8} {row_misses:>8} {hit_rate:>8} {:>8} {:>11} {:>6}\n",
+                    "{idx:<5} {addr:<21} {role:<8} {backend:<7} {row_solves:>8} {row_hits:>8} {row_misses:>8} {hit_rate:>8} {:>8} {:>11} {:>6}\n",
                     int(result, &["cache", "entries"]),
                     int(result, &["shard", "wrong_shard"]),
                     int(result, &["replication", "lag"]),
@@ -230,8 +236,8 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         format!("{:.4}", hits as f64 / (hits + misses) as f64)
     };
     out.push_str(&format!(
-        "{:<5} {:<21} {:<8} {solves:>8} {hits:>8} {misses:>8} {total_rate:>8} {entries:>8} {wrong:>11}\n",
-        "total", "", "",
+        "{:<5} {:<21} {:<8} {:<7} {solves:>8} {hits:>8} {misses:>8} {total_rate:>8} {entries:>8} {wrong:>11}\n",
+        "total", "", "", "",
     ));
     Ok(out)
 }
@@ -488,6 +494,16 @@ fn render_status(result: &Json) -> String {
         int(&["singleflight", "leaders"]),
         int(&["singleflight", "shared"]),
     );
+    if let Some(poller) = result.get("poller") {
+        let backend = poller.get("backend").and_then(Json::as_str).unwrap_or("?");
+        out.push_str(&format!(
+            "poller: {backend} backend, {} waits, {} wakeups, {} spurious, {} fds registered\n",
+            int(&["poller", "waits"]),
+            int(&["poller", "wakeups"]),
+            int(&["poller", "spurious"]),
+            int(&["poller", "registered"]),
+        ));
+    }
     if result.get("persist").map(|p| p != &Json::Null) == Some(true) {
         out.push_str(&format!(
             "persist: {} replayed, {} puts, {} tombstones, {} dead of {} live, {} compactions, {} fsyncs\n",

@@ -1,6 +1,6 @@
 //! `strudel serve` — run the refinement service.
 
-use strudel_server::prelude::{FsyncPolicy, ServerConfig, ShardSpec};
+use strudel_server::prelude::{FsyncPolicy, PollerKind, ServerConfig, ShardSpec};
 
 use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
@@ -17,6 +17,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "fsync",
         "follow",
         "auto-promote",
+        "poller",
     ],
     flags: &[],
     min_positional: 0,
@@ -26,11 +27,16 @@ pub const SPEC: ArgSpec = ArgSpec {
 /// Usage text of `serve`.
 pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache N]
              [--persist FILE] [--compact-dead N] [--fsync POLICY] [--shard I/N]
-             [--follow LEADER:PORT] [--auto-promote MS]
+             [--follow LEADER:PORT] [--auto-promote MS] [--poller BACKEND]
   Runs the refinement service: line-delimited JSON over TCP driven by a
   readiness-based event loop, with a fixed-size compute pool, a
   content-addressed result cache (LRU), single-flight deduplication of
   concurrent identical solves, and a batch envelope amortizing framing.
+  --poller epoll|scan|auto picks the event loop's readiness backend:
+  epoll (Linux kernel readiness; idle costs zero wake-ups), scan (the
+  portable full-scan/park fallback), or auto (the default: epoll on
+  Linux, scan elsewhere; the STRUDEL_POLLER environment variable
+  overrides auto).
   --persist FILE write-through caches results to an append-only segment file
   replayed on the next start (warm start, byte-identical answers);
   --compact-dead N compacts the segment once N dead records accumulate
@@ -83,6 +89,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if let Some(leader) = parsed.option("follow") {
         config.follow = Some(leader.to_owned());
     }
+    if let Some(backend) = parsed.option("poller") {
+        let kind: PollerKind = backend.parse().map_err(|err| {
+            CliError::Usage(format!("invalid value '{backend}' for --poller: {err}"))
+        })?;
+        config.poller = Some(kind);
+    }
     if let Some(window) = parsed.option_parsed::<u64>("auto-promote")? {
         if config.follow.is_none() {
             return Err(CliError::Usage(
@@ -104,6 +116,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let status = serve_announced(&config)?;
     let mut out = String::new();
     out.push_str("server stopped\n");
+    out.push_str(&format!(
+        "poller: {} backend, {} waits, {} wakeups, {} spurious\n",
+        status.poller.backend, status.poller.waits, status.poller.wakeups, status.poller.spurious,
+    ));
     out.push_str(&format!(
         "connections: {} ({} still open), requests: {} refine / {} highest-theta / {} lowest-k / {} status, errors: {}\n",
         status.connections,
@@ -161,10 +177,11 @@ fn serve_announced(
         source,
     })?;
     eprintln!(
-        "strudel-server listening on {} ({} workers, {}-entry cache{}{}{})",
+        "strudel-server listening on {} ({} workers, {}-entry cache, {} poller{}{}{})",
         handle.addr(),
         config.workers,
         config.cache_capacity,
+        handle.status().poller.backend,
         match &config.shard {
             Some(spec) => format!(", shard {spec}"),
             None => String::new(),
@@ -225,6 +242,7 @@ mod tests {
 
         let report = report_thread.join().unwrap().unwrap();
         assert!(report.contains("server stopped"), "report: {report}");
+        assert!(report.contains("poller:"), "report: {report}");
         assert!(report.contains("cache:"), "report: {report}");
         assert!(report.contains("batches:"), "report: {report}");
         assert!(report.contains("single-flight:"), "report: {report}");
@@ -232,6 +250,27 @@ mod tests {
             !report.contains("persist:"),
             "no persistence configured: {report}"
         );
+    }
+
+    #[test]
+    fn serve_with_an_explicit_poller_backend_reports_it() {
+        let addr = free_addr();
+        let serve_args = args(&["--addr", &addr, "--workers", "1", "--poller", "scan"]);
+        let report_thread = std::thread::spawn(move || run(&serve_args));
+
+        let mut client = connect_eventually(&addr);
+        let status = client.status().unwrap();
+        let backend = status
+            .result()
+            .and_then(|result| result.get("poller"))
+            .and_then(|poller| poller.get("backend"))
+            .and_then(strudel_server::json::Json::as_str)
+            .map(str::to_owned);
+        assert_eq!(backend.as_deref(), Some("scan"));
+        client.shutdown().unwrap();
+
+        let report = report_thread.join().unwrap().unwrap();
+        assert!(report.contains("poller: scan backend"), "report: {report}");
     }
 
     #[test]
@@ -271,6 +310,7 @@ mod tests {
         assert!(run(&args(&["--shard", "0of3"])).is_err());
         assert!(run(&args(&["--fsync", "sometimes"])).is_err());
         assert!(run(&args(&["--fsync", "interval:0"])).is_err());
+        assert!(run(&args(&["--poller", "kqueue"])).is_err());
         // --auto-promote needs --follow, and has a sanity floor.
         assert!(run(&args(&["--auto-promote", "1000"])).is_err());
         assert!(run(&args(&["--follow", "127.0.0.1:1", "--auto-promote", "100"])).is_err());

@@ -409,10 +409,16 @@ impl SegmentStore {
     /// window. Not a full `sync_all`: the file's length only grows, and
     /// metadata is settled by the shutdown [`Self::flush`].
     fn sync_now(&mut self) -> std::io::Result<()> {
+        // Re-arm the window before attempting: a persistently failing
+        // fsync (classic post-EIO disk behavior) keeps `dirty` set, and
+        // if `last_sync` stayed stale too, [`Self::sync_due_in`] would
+        // report permanently-due and the event loop — whose wait timeout
+        // it bounds — would spin retrying at full speed. This way a
+        // failing barrier is retried once per interval, not per round.
+        self.last_sync = Instant::now();
         self.file.sync_data()?;
         self.fsyncs += 1;
         self.dirty = false;
-        self.last_sync = Instant::now();
         Ok(())
     }
 
@@ -425,6 +431,18 @@ impl SegmentStore {
             FsyncPolicy::Always => self.sync_now(),
             FsyncPolicy::Interval(window) if self.last_sync.elapsed() >= window => self.sync_now(),
             FsyncPolicy::Interval(_) | FsyncPolicy::Off => Ok(()),
+        }
+    }
+
+    /// How long until [`Self::tick_sync`] has work to do; `None` when
+    /// nothing is dirty (or the policy never defers). The event loop uses
+    /// this to bound its poller wait instead of sweeping on a clock.
+    pub fn sync_due_in(&self) -> Option<Duration> {
+        match self.policy {
+            FsyncPolicy::Interval(window) if self.dirty => {
+                Some(window.saturating_sub(self.last_sync.elapsed()))
+            }
+            _ => None,
         }
     }
 

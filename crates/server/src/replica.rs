@@ -385,6 +385,16 @@ impl ReplicaHub {
     pub fn heartbeat_due(&self) -> bool {
         !self.subscribers.is_empty() && self.last_heartbeat.elapsed() >= HEARTBEAT_INTERVAL
     }
+
+    /// How long until the next heartbeat is due; `None` with no
+    /// subscribers (the event loop uses this to bound its poller wait —
+    /// an idle leader with no feeds never needs a timer wake-up).
+    pub fn heartbeat_due_in(&self) -> Option<Duration> {
+        if self.subscribers.is_empty() {
+            return None;
+        }
+        Some(HEARTBEAT_INTERVAL.saturating_sub(self.last_heartbeat.elapsed()))
+    }
 }
 
 impl Default for ReplicaHub {

@@ -23,15 +23,18 @@
 //!
 //! **Event loop.** Connections cost a buffer, not a thread: the loop owns
 //! every socket in non-blocking mode and pumps reads, dispatch, solve
-//! completions, and writes in rounds. When a round makes no progress it
-//! parks with an escalating timeout (50 µs → 2 ms), and workers unpark it
-//! the moment a solve completes, so the loop is hot under load and cheap
-//! when idle — thousands of idle clients cost no threads, only their
-//! buffers and a bounded background poll (at most ~500 sweeps/s once the
-//! park timeout is saturated; a kernel readiness API could eliminate even
-//! that, but the workspace is pure std — see ROADMAP).
-//! Responses are assembled in per-connection *slots* so they leave in
-//! request order even when solves complete out of order.
+//! completions, and writes per readiness event. Readiness comes from a
+//! pluggable [`Poller`](crate::poller) backend — kernel epoll on Linux
+//! (direct syscall bindings, no external crates) or the portable
+//! full-scan/park fallback — selected at runtime (`serve --poller`).
+//! Only fds the poller reports ready are pumped; write interest is
+//! enabled exactly while a connection holds un-flushed bytes; dead fds
+//! are deregistered instead of re-scanned; and compute-pool completions
+//! wake the loop through the poller's [`Waker`](crate::poller::Waker),
+//! so an idle epoll server makes *zero* sweeps (the scan backend keeps
+//! the old ~500 Hz floor). Responses are assembled in per-connection
+//! *slots* so they leave in request order even when solves complete out
+//! of order.
 //!
 //! **Batching.** One line may carry a batch envelope (see
 //! [`protocol`](crate::protocol)); elements share the line's framing and a
@@ -64,6 +67,9 @@ use strudel_core::wire::{WireHighestTheta, WireLowestK, WireOutcome};
 use crate::cache::{CacheStats, FsyncPolicy, LruCache, PersistStats, SegmentStore};
 use crate::flight::{BoardJoin, FlightBoard, FlightStats};
 use crate::json::Json;
+use crate::poller::{
+    self, Event, Fd, Interest, Poller, PollerCounters, PollerKind, PollerStats, Waker as PollWaker,
+};
 use crate::pool::WorkerPool;
 use crate::protocol::{
     self, encode_batch, encode_error, encode_not_leader, encode_success, encode_wrong_shard,
@@ -106,6 +112,11 @@ pub struct ServerConfig {
     /// an explicit `promote` request (`strudel promote`). Must comfortably
     /// exceed [`replica::HEARTBEAT_INTERVAL`].
     pub auto_promote: Option<Duration>,
+    /// Readiness backend of the event loop (`serve --poller epoll|scan`).
+    /// `None` auto-detects: the `STRUDEL_POLLER` environment override (the
+    /// conformance matrix uses it) first, then epoll on Linux, scan
+    /// elsewhere — see [`PollerKind::resolve`].
+    pub poller: Option<PollerKind>,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +131,7 @@ impl Default for ServerConfig {
             fsync: FsyncPolicy::default(),
             follow: None,
             auto_promote: None,
+            poller: None,
         }
     }
 }
@@ -155,9 +167,15 @@ struct Shared {
     metrics: Metrics,
     stop: AtomicBool,
     started: Instant,
-    /// The event loop's thread handle, so workers and `shutdown()` can
-    /// unpark it the moment there is something to do.
-    loop_thread: Mutex<Option<thread::Thread>>,
+    /// The poller's cross-thread wake handle: workers and `shutdown()`
+    /// pull the event loop out of its readiness wait the moment there is
+    /// something to do (this replaced the park/unpark channel).
+    waker: Arc<dyn PollWaker>,
+    /// Poller counters, shared so `status` can snapshot them from any
+    /// thread while the poller itself lives on the loop thread.
+    poller_counters: Arc<PollerCounters>,
+    /// The readiness backend actually running (`"epoll"` / `"scan"`).
+    poller_backend: &'static str,
     /// Finished solves travelling from the workers back to the event loop.
     /// Behind its own `Arc` so a worker's job closure captures *only* this
     /// queue, never `Shared` itself — if a job held the last `Shared`
@@ -227,6 +245,9 @@ pub struct StatusSnapshot {
     pub shard: Option<ShardStatus>,
     /// Worker threads.
     pub workers: usize,
+    /// Readiness-backend counters (backend name, waits, wakeups,
+    /// spurious wakes, registered fds).
+    pub poller: PollerStats,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
     /// Connections accepted so far.
@@ -318,8 +339,16 @@ impl StatusSnapshot {
         } else {
             format!("{:.4}", self.cache.hits as f64 / lookups as f64)
         };
+        let poller = Json::obj(vec![
+            ("backend", Json::str(self.poller.backend)),
+            ("waits", Json::Int(self.poller.waits as i64)),
+            ("wakeups", Json::Int(self.poller.wakeups as i64)),
+            ("spurious", Json::Int(self.poller.spurious as i64)),
+            ("registered", Json::Int(self.poller.registered as i64)),
+        ]);
         Json::obj(vec![
             ("workers", Json::Int(self.workers as i64)),
+            ("poller", poller),
             ("shard", shard),
             ("replication", replication),
             ("uptime_ms", Json::Int(self.uptime_ms as i64)),
@@ -384,6 +413,15 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+
+    // The readiness backend is opened here, not on the loop thread, so a
+    // misconfiguration (epoll requested off-Linux, a bad STRUDEL_POLLER
+    // value, fd exhaustion) fails the bind call instead of killing the
+    // loop thread after `start` already returned success.
+    let poller_kind = PollerKind::resolve(config.poller)?;
+    let poller_counters = Arc::new(PollerCounters::default());
+    let poll = poller::open(poller_kind, Arc::clone(&poller_counters))?;
+    let waker = poll.waker();
 
     // A sharded server derives the cluster's ring from the shard count
     // alone — the same pure function every router and sibling shard
@@ -455,15 +493,16 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         metrics,
         stop: AtomicBool::new(false),
         started: Instant::now(),
-        loop_thread: Mutex::new(None),
+        waker,
+        poller_counters,
+        poller_backend: poller_kind.name(),
         completions: Arc::new(Mutex::new(Vec::new())),
     });
 
     let loop_shared = Arc::clone(&shared);
     let handle = thread::Builder::new()
         .name("strudel-eventloop".to_owned())
-        .spawn(move || EventLoop::new(listener, loop_shared).run())?;
-    *shared.loop_thread.lock().expect("loop thread lock") = Some(handle.thread().clone());
+        .spawn(move || EventLoop::new(listener, loop_shared, poll).run())?;
 
     // A follower subscribes to its leader from a dedicated feed thread,
     // replaying the stream into the same cache and segment the event loop
@@ -525,6 +564,15 @@ impl FollowerHost for Shared {
                 eprintln!("strudel-server: follower segment compaction failed: {err}");
             }
         }
+        // The event loop schedules the group fsync (`tick_persist_sync` /
+        // `next_timeout`), but this append happened on the feed thread:
+        // without a wake, an otherwise-idle follower under the epoll
+        // backend would sit in an unbounded wait with a dirty segment and
+        // the `--fsync interval` promise would silently become
+        // sync-at-next-client-request. (The scan backend's sweep masks
+        // this; the epoll backend exposes it.)
+        drop(persist);
+        self.waker.wake();
     }
 
     fn apply_evict(&self, key: &CacheKey) {
@@ -538,6 +586,9 @@ impl FollowerHost for Shared {
                 self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
                 eprintln!("strudel-server: follower segment tombstone failed: {err}");
             }
+            // Same as apply_put: the fsync clock lives on the event loop.
+            drop(persist);
+            self.waker.wake();
         }
     }
 
@@ -580,14 +631,7 @@ impl ServerHandle {
 }
 
 fn wake(shared: &Shared) {
-    if let Some(thread) = shared
-        .loop_thread
-        .lock()
-        .expect("loop thread lock")
-        .as_ref()
-    {
-        thread.unpark();
-    }
+    shared.waker.wake();
 }
 
 fn snapshot(shared: &Shared) -> StatusSnapshot {
@@ -603,6 +647,7 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
         .map(SegmentStore::stats);
     let metrics = &shared.metrics;
     StatusSnapshot {
+        poller: shared.poller_counters.stats(shared.poller_backend),
         shard: shared.shard.as_ref().map(|state| ShardStatus {
             index: state.spec.index,
             count: state.spec.count,
@@ -644,19 +689,18 @@ const MAX_REQUEST_LINE: usize = 32 * 1024 * 1024;
 /// requests heavily but never reads is disconnected at this point.
 const MAX_OUT_BUFFER: usize = 64 * 1024 * 1024;
 
-/// Idle park bounds: the loop parks when a round makes no progress,
-/// escalating from `MIN_PARK` to `MAX_PARK`; any progress (or a worker's
-/// unpark) snaps it back. Active connections therefore see ~50 µs loop
-/// latency, while an idle server polls at only ~500 Hz.
-const MIN_PARK: Duration = Duration::from_micros(50);
-const MAX_PARK: Duration = Duration::from_millis(2);
-
 /// How long a graceful shutdown waits for in-flight work and un-flushed
 /// responses before giving up on slow clients.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
 /// Bytes read per `read()` call on a readable socket.
 const READ_CHUNK: usize = 64 * 1024;
+
+/// How long the listener stays muted after a persistent `accept` failure
+/// (EMFILE under fd exhaustion being the classic) before the loop re-arms
+/// it and retries. Level-triggered backends would otherwise re-report the
+/// un-drained backlog every `wait` and spin the retry at full speed.
+const ACCEPT_RETRY: Duration = Duration::from_millis(50);
 
 /// One response being assembled. Slots leave the connection in FIFO order,
 /// so responses are written in request order even when solves complete out
@@ -691,6 +735,13 @@ struct Waiter {
 /// One client connection owned by the event loop.
 struct Conn {
     stream: TcpStream,
+    /// The socket's fd as registered with the poller (the registration
+    /// token is the connection id).
+    fd: Fd,
+    /// The interest set currently registered; compared against the
+    /// desired set after every pump so `modify` is only called on edges
+    /// (write interest on when bytes queue, off when they drain).
+    interest: Interest,
     read_buf: Vec<u8>,
     out: Vec<u8>,
     out_pos: usize,
@@ -712,8 +763,11 @@ impl Conn {
         // Nagle's algorithm interacts with delayed ACKs to put a ~40 ms
         // floor under exactly this traffic pattern, so switch it off.
         let _ = stream.set_nodelay(true);
+        let fd = raw_fd(&stream);
         Conn {
             stream,
+            fd,
+            interest: Interest::READ,
             read_buf: Vec::new(),
             out: Vec::new(),
             out_pos: 0,
@@ -755,12 +809,30 @@ impl Conn {
     }
 }
 
+/// The poller token of the listening socket. Connection tokens are the
+/// connection ids (monotonic from 0, never reused, so a stale kernel
+/// event can never alias a newer connection); `u64::MAX` is the poller's
+/// internal waker.
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// The registered fd of a socket. The scan backend never dereferences
+/// fds, so non-Unix builds (which lack `AsRawFd`) pass a placeholder.
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(io: &T) -> Fd {
+    io.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_io: &T) -> Fd {
+    0
+}
+
 /// The event loop: owns the listener, every connection, the flight board,
-/// and the scratch read buffer. Runs on one thread; workers communicate
-/// back through `Shared::completions` + unpark.
+/// the poller, and the scratch read buffer. Runs on one thread; workers
+/// communicate back through `Shared::completions` + the poller's waker.
 struct EventLoop {
     shared: Arc<Shared>,
     listener: Option<TcpListener>,
+    listener_fd: Fd,
     conns: HashMap<u64, Conn>,
     next_conn: u64,
     board: FlightBoard<CacheKey, Waiter>,
@@ -769,14 +841,27 @@ struct EventLoop {
     pending_jobs: usize,
     stopping: bool,
     drain_deadline: Option<Instant>,
+    /// While set, the listener's interest is muted after a persistent
+    /// accept failure; accepting resumes once the instant passes.
+    accept_muted_until: Option<Instant>,
     scratch: Vec<u8>,
+    poller: Box<dyn Poller>,
+    /// Readiness reports of the current round (reused allocation).
+    events: Vec<Event>,
+    /// Connections that queued or flushed bytes this round (reused
+    /// allocation): only these get a write pump and an interest
+    /// re-evaluation, so a round's cost tracks the work it did, not the
+    /// number of open connections.
+    touched: Vec<u64>,
 }
 
 impl EventLoop {
-    fn new(listener: TcpListener, shared: Arc<Shared>) -> Self {
+    fn new(listener: TcpListener, shared: Arc<Shared>, poller: Box<dyn Poller>) -> Self {
+        let listener_fd = raw_fd(&listener);
         EventLoop {
             shared,
             listener: Some(listener),
+            listener_fd,
             conns: HashMap::new(),
             next_conn: 0,
             board: FlightBoard::new(),
@@ -784,34 +869,136 @@ impl EventLoop {
             pending_jobs: 0,
             stopping: false,
             drain_deadline: None,
+            accept_muted_until: None,
             scratch: vec![0; READ_CHUNK],
+            poller,
+            events: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
     fn run(mut self) {
-        let mut park = MIN_PARK;
+        if let Err(err) = self
+            .poller
+            .register(self.listener_fd, LISTENER_TOKEN, Interest::READ)
+        {
+            // Accepting is impossible; serve nothing but exit cleanly.
+            eprintln!("strudel-server: registering the listener failed: {err}");
+            return;
+        }
+        // The first round sweeps unconditionally: a connection may already
+        // be sitting in the accept backlog.
+        let mut progress = true;
         loop {
             if self.shared.stop.load(Ordering::SeqCst) {
                 self.begin_stop();
             }
-            let mut progress = self.accept_new();
-            progress |= self.pump_reads();
+            self.maybe_rearm_listener();
+            // After a round that did work, poll without blocking (there
+            // may be more ready already); otherwise sleep until an event,
+            // a waker fire, or the next maintenance deadline (heartbeat,
+            // group fsync, drain grace), whichever is soonest. With
+            // nothing to wait for, the epoll backend blocks indefinitely
+            // — a fully idle server costs zero wake-ups.
+            let timeout = if progress {
+                Some(Duration::ZERO)
+            } else {
+                self.next_timeout()
+            };
+            let mut events = std::mem::take(&mut self.events);
+            if let Err(err) = self.poller.wait(&mut events, timeout) {
+                eprintln!("strudel-server: poller wait failed: {err}");
+                thread::sleep(poller::MAX_PARK); // do not spin on a broken poller
+            }
+            progress = false;
+            for event in &events {
+                match event.token {
+                    LISTENER_TOKEN => progress |= self.accept_new(),
+                    token => {
+                        let Some(mut conn) = self.conns.remove(&token) else {
+                            continue; // reaped earlier this round
+                        };
+                        if event.hangup {
+                            // The peer is gone in both directions: nobody
+                            // is left to read a flush, so drop without
+                            // further I/O (level-triggered HUP would
+                            // otherwise re-report forever).
+                            conn.dead = true;
+                            progress = true;
+                        } else if event.readable && !self.stopping {
+                            progress |= self.pump_read_conn(token, &mut conn);
+                        }
+                        self.conns.insert(token, conn);
+                        self.touched.push(token);
+                    }
+                }
+            }
+            self.events = events;
             progress |= self.apply_completions();
             progress |= self.tick_replication();
-            progress |= self.pump_writes();
+            // Everything below works off this round's touched set, so a
+            // round's cost tracks the work it did, not the number of open
+            // connections: a connection can only need a flush, an
+            // interest edge, or reaping through a path that pushed its id
+            // here (reads, completion fills, replication delivery,
+            // writable/hangup events, write errors).
+            let mut touched = std::mem::take(&mut self.touched);
+            touched.sort_unstable();
+            touched.dedup();
+            progress |= self.flush_touched(&touched);
             self.tick_persist_sync();
-            self.reap();
+            self.reap(&touched);
+            touched.clear();
+            self.touched = touched; // hand the allocation back
             if self.stopping && self.drained() {
                 break;
             }
-            if progress {
-                park = MIN_PARK;
-            } else {
-                thread::park_timeout(park);
-                park = (park * 2).min(MAX_PARK);
-            }
         }
         self.finish();
+    }
+
+    /// The soonest maintenance deadline, as a poller-wait bound: the
+    /// replication heartbeat (subscribers only), the group-fsync window
+    /// (dirty segment only), and the drain grace (shutdown only). `None`
+    /// means nothing is scheduled — wait for I/O alone.
+    fn next_timeout(&self) -> Option<Duration> {
+        let mut timeout: Option<Duration> = None;
+        let mut consider = |due: Duration| {
+            timeout = Some(timeout.map_or(due, |current: Duration| current.min(due)));
+        };
+        if let Some(due) = self.hub.heartbeat_due_in() {
+            consider(due);
+        }
+        if let Some(store) = self.shared.persist.lock().expect("persist lock").as_ref() {
+            if let Some(due) = store.sync_due_in() {
+                consider(due);
+            }
+        }
+        if let Some(deadline) = self.drain_deadline {
+            consider(deadline.saturating_duration_since(Instant::now()));
+        }
+        if let Some(until) = self.accept_muted_until {
+            consider(until.saturating_duration_since(Instant::now()));
+        }
+        timeout
+    }
+
+    /// Restores the muted listener's read interest once its backoff has
+    /// passed (see [`ACCEPT_RETRY`]) and retries the accept immediately.
+    fn maybe_rearm_listener(&mut self) {
+        let Some(until) = self.accept_muted_until else {
+            return;
+        };
+        if Instant::now() < until {
+            return;
+        }
+        self.accept_muted_until = None;
+        if self.listener.is_some() {
+            let _ = self
+                .poller
+                .modify(self.listener_fd, LISTENER_TOKEN, Interest::READ);
+            self.accept_new();
+        }
     }
 
     /// Keeps idle replication feeds alive: publishes a heartbeat
@@ -858,6 +1045,7 @@ impl EventLoop {
             let Some(conn) = self.conns.get_mut(&id) else {
                 continue; // reap will unsubscribe it
             };
+            self.touched.push(id);
             let slot_id = conn.next_slot;
             conn.next_slot += 1;
             conn.slots.push_back(Slot {
@@ -876,8 +1064,29 @@ impl EventLoop {
             return;
         }
         self.stopping = true;
-        self.listener = None;
+        if self.listener.take().is_some() {
+            let _ = self.poller.deregister(self.listener_fd, LISTENER_TOKEN);
+        }
         self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+        // Drop read interest everywhere: intake is over, and a readable
+        // socket that will never be read must not re-report every round
+        // (level-triggered backends would spin through the whole drain).
+        for (&id, conn) in &mut self.conns {
+            if conn.dead {
+                continue;
+            }
+            let desired = Interest {
+                read: false,
+                write: !conn.flushed(),
+            };
+            if desired != conn.interest {
+                conn.interest = desired;
+                if self.poller.modify(conn.fd, id, desired).is_err() {
+                    conn.dead = true;
+                    self.touched.push(id); // reap works off the touched set
+                }
+            }
+        }
     }
 
     /// Whether shutdown may complete: no solve in flight, no completion
@@ -931,34 +1140,51 @@ impl EventLoop {
                         .metrics
                         .connections
                         .fetch_add(1, Ordering::Relaxed);
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    let conn = Conn::new(stream);
+                    if let Err(err) = self.poller.register(conn.fd, id, Interest::READ) {
+                        // The socket closes on drop; the client sees a
+                        // reset instead of a silent connection.
+                        eprintln!("strudel-server: registering a connection failed: {err}");
+                        continue;
+                    }
                     self.shared
                         .metrics
                         .open_connections
                         .fetch_add(1, Ordering::Relaxed);
-                    self.conns.insert(self.next_conn, Conn::new(stream));
-                    self.next_conn += 1;
+                    self.conns.insert(id, conn);
                     any = true;
                 }
                 Err(err) if err.kind() == ErrorKind::WouldBlock => break,
-                // Persistent accept failures (EMFILE under fd exhaustion
-                // being the classic) are retried next round; the idle park
-                // bounds the retry rate instead of pinning a core.
-                Err(_) => break,
+                // A connection that died while queued in the backlog
+                // (aborted/reset before accept reached it), or a signal:
+                // a per-connection casualty, not a listener problem —
+                // accept(2) says to treat these like EAGAIN and retry.
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        ErrorKind::ConnectionAborted
+                            | ErrorKind::ConnectionReset
+                            | ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(_) => {
+                    // Persistent accept failure (EMFILE/ENFILE-class
+                    // resource exhaustion): mute the listener and retry
+                    // after a backoff. A level-triggered backend keeps
+                    // reporting the un-drained backlog as readable, so
+                    // leaving the interest armed would spin the loop at
+                    // full speed until an fd frees up.
+                    self.accept_muted_until = Some(Instant::now() + ACCEPT_RETRY);
+                    let _ = self
+                        .poller
+                        .modify(self.listener_fd, LISTENER_TOKEN, Interest::NONE);
+                    break;
+                }
             }
-        }
-        any
-    }
-
-    fn pump_reads(&mut self) -> bool {
-        if self.stopping {
-            return false;
-        }
-        let ids: Vec<u64> = self.conns.keys().copied().collect();
-        let mut any = false;
-        for id in ids {
-            let mut conn = self.conns.remove(&id).expect("id just listed");
-            any |= self.pump_read_conn(id, &mut conn);
-            self.conns.insert(id, conn);
         }
         any
     }
@@ -1309,10 +1535,11 @@ impl EventLoop {
                     BoardJoin::Lead => {
                         metrics.flight_leaders.fetch_add(1, Ordering::Relaxed);
                         self.pending_jobs += 1;
-                        // Capture only the completion queue (see the field
-                        // doc on `Shared::completions`), never `Shared`.
+                        // Capture only the completion queue and the
+                        // poller's waker (see the field doc on
+                        // `Shared::completions`), never `Shared`.
                         let completions = Arc::clone(&self.shared.completions);
-                        let me = thread::current();
+                        let waker = Arc::clone(&self.shared.waker);
                         self.shared.pool.submit(move || {
                             // A panicking solve must complete its flight
                             // regardless — followers are parked on it.
@@ -1325,7 +1552,7 @@ impl EventLoop {
                                 .lock()
                                 .expect("completions lock")
                                 .push(Completion { key, outcome });
-                            me.unpark();
+                            waker.wake();
                         });
                     }
                     BoardJoin::Wait => {
@@ -1476,6 +1703,7 @@ impl EventLoop {
     /// Routes a completed response into its slot; tokens whose connection
     /// is already gone are counted as aborted.
     fn fill(&mut self, waiter: Waiter, line: String) {
+        self.touched.push(waiter.conn);
         let aborted = &self.shared.metrics.flight_aborted;
         let Some(conn) = self.conns.get_mut(&waiter.conn) else {
             aborted.fetch_add(1, Ordering::Relaxed);
@@ -1502,63 +1730,103 @@ impl EventLoop {
         conn.stage_ready();
     }
 
-    fn pump_writes(&mut self) -> bool {
+    /// Pumps writes and re-evaluates poller interest for every connection
+    /// touched this round — one that read, queued a response (dispatch,
+    /// completion fan-out, replication delivery), or was reported
+    /// writable. Write interest is an *edge*: enabled exactly when a
+    /// flush leaves bytes behind (the socket pushed back), disabled the
+    /// moment the buffer drains, so level-triggered backends never spin
+    /// on an idle writable socket. This is also what fixes the old scan
+    /// loop's flush-starvation edge — a connection with a full write
+    /// buffer and no new reads now has explicit WRITE interest and is
+    /// flushed the moment the peer drains, instead of waiting out a park
+    /// cycle.
+    fn flush_touched(&mut self, ids: &[u64]) -> bool {
         let mut any = false;
-        for conn in self.conns.values_mut() {
+        for &id in ids {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
             if conn.dead {
                 continue;
             }
-            while conn.out_pos < conn.out.len() {
-                match conn.stream.write(&conn.out[conn.out_pos..]) {
-                    Ok(0) => {
-                        conn.dead = true;
-                        break;
-                    }
-                    Ok(n) => {
-                        conn.out_pos += n;
-                        any = true;
-                    }
-                    Err(err) if err.kind() == ErrorKind::WouldBlock => break,
-                    Err(err) if err.kind() == ErrorKind::Interrupted => continue,
-                    Err(_) => {
-                        conn.dead = true;
-                        break;
-                    }
+            any |= Self::pump_write_conn(conn);
+            let desired = Interest {
+                read: conn.peer_open && !conn.close_after_flush && !self.stopping,
+                write: !conn.flushed(),
+            };
+            if !conn.dead && desired != conn.interest {
+                conn.interest = desired;
+                if self.poller.modify(conn.fd, id, desired).is_err() {
+                    conn.dead = true;
                 }
-            }
-            // Reclaim the flushed prefix. On a fully drained buffer this is
-            // a free clear; under sustained backpressure (a pipelining
-            // client that keeps the socket's send buffer saturated, so
-            // rounds always end in WouldBlock) the prefix would otherwise
-            // accumulate every byte ever sent on the connection.
-            if conn.flushed() {
-                conn.out.clear();
-                conn.out_pos = 0;
-            } else if conn.out_pos > READ_CHUNK {
-                conn.out.drain(..conn.out_pos);
-                conn.out_pos = 0;
-            }
-            if conn.out.len() - conn.out_pos > MAX_OUT_BUFFER {
-                conn.dead = true; // requests heavily, never reads
             }
         }
         any
     }
 
-    fn reap(&mut self) {
-        let gone: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, conn)| {
+    /// Writes as much of one connection's buffer as the socket accepts.
+    fn pump_write_conn(conn: &mut Conn) -> bool {
+        let mut any = false;
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    any = true;
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        // Reclaim the flushed prefix. On a fully drained buffer this is
+        // a free clear; under sustained backpressure (a pipelining
+        // client that keeps the socket's send buffer saturated, so
+        // rounds always end in WouldBlock) the prefix would otherwise
+        // accumulate every byte ever sent on the connection.
+        if conn.flushed() {
+            conn.out.clear();
+            conn.out_pos = 0;
+        } else if conn.out_pos > READ_CHUNK {
+            conn.out.drain(..conn.out_pos);
+            conn.out_pos = 0;
+        }
+        if conn.out.len() - conn.out_pos > MAX_OUT_BUFFER {
+            conn.dead = true; // requests heavily, never reads
+        }
+        any
+    }
+
+    /// Drops connections that are finished — dead, or closed with nothing
+    /// left to flush. Only this round's touched ids are examined: every
+    /// transition into a reapable state (an I/O error, a hangup event, an
+    /// EOF read, the final flush of a closing connection, a completion
+    /// landing on an EOF'd connection) happens on a path that pushed the
+    /// id, so nothing lingers — it just waits for its transition round.
+    fn reap(&mut self, ids: &[u64]) {
+        for &id in ids {
+            let gone = self.conns.get(&id).is_some_and(|conn| {
                 conn.dead
                     || ((!conn.peer_open || conn.close_after_flush)
                         && conn.slots.is_empty()
                         && conn.flushed())
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        for id in gone {
-            self.conns.remove(&id);
+            });
+            if !gone {
+                continue;
+            }
+            let conn = self.conns.remove(&id).expect("presence just checked");
+            // Deregister before the socket drops: a dead fd must leave
+            // the interest list (the old loop kept re-scanning dead
+            // connection slots until the end of the round that freed
+            // them; the epoll backend would leak a kernel registration).
+            let _ = self.poller.deregister(conn.fd, id);
             self.hub.remove(id, &self.shared.repl);
             self.shared
                 .metrics

@@ -14,6 +14,8 @@
 //! * `--auto-promote` takes over after a missed-heartbeat window without
 //!   any operator involvement.
 
+mod common;
+
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -216,9 +218,75 @@ fn followers_replay_snapshot_and_live_stream_byte_identically() {
 }
 
 #[test]
+fn an_idle_followers_segment_is_group_fsynced_without_client_traffic() {
+    common::for_each_backend("follower-idle-fsync", follower_idle_fsync_leg);
+}
+
+/// Regression test: replicated records land on the follower's *feed
+/// thread*, but the group-fsync clock (`--fsync interval`) is serviced by
+/// the follower's event loop. Without an explicit wake after a feed-side
+/// append, an otherwise-idle follower under the epoll backend blocks in
+/// an unbounded wait with a dirty segment — the durability window
+/// silently stretches from 100 ms to "whenever a client next connects"
+/// (the scan backend's background sweep masked this). All observations go
+/// through `ServerHandle::status`, which snapshots shared state without
+/// touching the loop, so the test cannot wake it by accident.
+fn follower_idle_fsync_leg(kind: PollerKind) {
+    let follower_base = persist_base(&format!("idle-fsync-{kind}"));
+    scrub(&follower_base, 0);
+
+    let leader = server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        cache_capacity: 64,
+        poller: Some(kind),
+        ..ServerConfig::default()
+    })
+    .expect("bind leader");
+    let follower = server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        cache_capacity: 64,
+        persist_path: Some(follower_base.clone()),
+        follow: Some(leader.addr().to_string()),
+        fsync: FsyncPolicy::parse("interval:100").expect("policy"),
+        poller: Some(kind),
+        ..ServerConfig::default()
+    })
+    .expect("bind follower");
+
+    // One replicated record, no client ever touching the follower.
+    let mut at_leader = Client::connect(leader.addr()).expect("connect leader");
+    at_leader.solve(&request(0)).expect("leader solve");
+    wait_until(
+        "the follower applies the record",
+        Duration::from_secs(5),
+        || follower.status().cache.entries >= 1,
+    );
+    // The fsync window must elapse and the barrier run with no help from
+    // any connection — only the feed thread's wake can get the loop there.
+    wait_until("the idle follower fsyncs", Duration::from_secs(3), || {
+        follower.status().persist.expect("persist stats").fsyncs >= 1
+    });
+
+    at_leader.shutdown().expect("shutdown leader");
+    leader.wait();
+    follower.shutdown();
+    follower.wait();
+    scrub(&follower_base, 0);
+}
+
+#[test]
 fn kill_promote_failover_and_refuse_the_resurrected_old_leader() {
-    let leader_base = persist_base("promo-leader");
-    let follower_base = persist_base("promo-follower");
+    // Fail-over is the replication suite's sharpest behavioral proof, so
+    // the whole kill → promote → refuse-the-resurrected-leader arc runs
+    // once per poller backend.
+    common::for_each_backend("kill-promote-failover", failover_leg);
+}
+
+fn failover_leg(kind: PollerKind) {
+    let leader_base = persist_base(&format!("promo-leader-{kind}"));
+    let follower_base = persist_base(&format!("promo-follower-{kind}"));
     scrub(&leader_base, 1);
     scrub(&follower_base, 1);
     let spec = ShardSpec { index: 0, count: 1 };
@@ -230,6 +298,7 @@ fn kill_promote_failover_and_refuse_the_resurrected_old_leader() {
         cache_capacity: 64,
         persist_path: Some(leader_base.clone()),
         shard: Some(spec),
+        poller: Some(kind),
         ..ServerConfig::default()
     })
     .expect("bind leader");
@@ -242,6 +311,7 @@ fn kill_promote_failover_and_refuse_the_resurrected_old_leader() {
         persist_path: Some(follower_base.clone()),
         shard: Some(spec),
         follow: Some(leader_addr.clone()),
+        poller: Some(kind),
         ..ServerConfig::default()
     })
     .expect("bind follower");
@@ -326,6 +396,7 @@ fn kill_promote_failover_and_refuse_the_resurrected_old_leader() {
         cache_capacity: 64,
         persist_path: Some(leader_base.clone()),
         shard: Some(spec),
+        poller: Some(kind),
         ..ServerConfig::default()
     })
     .expect("resurrect old leader");

@@ -1,6 +1,13 @@
 //! Service-level tests over real TCP: concurrency, single-flight
 //! accounting, cache behaviour, batch envelopes, persistence/warm starts,
 //! graceful shutdown, and protocol robustness.
+//!
+//! The behavior-critical tests (byte-identical warm starts,
+//! drain-on-shutdown, slow-reader flushing) run once per poller backend
+//! via [`common::for_each_backend`]; the rest honor the `STRUDEL_POLLER`
+//! override, which CI uses to re-run the whole suite per backend.
+
+mod common;
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -16,6 +23,17 @@ fn start_test_server(workers: usize, cache_capacity: usize) -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         workers,
         cache_capacity,
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral port")
+}
+
+fn start_test_server_on(kind: PollerKind, workers: usize, cache_capacity: usize) -> ServerHandle {
+    server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        cache_capacity,
+        poller: Some(kind),
         ..ServerConfig::default()
     })
     .expect("binding an ephemeral port")
@@ -343,13 +361,18 @@ fn status_exposes_evictions_capacity_batch_counters_and_open_connections() {
 
 #[test]
 fn warm_start_replays_the_segment_and_serves_byte_identical_answers() {
-    let path = persist_path("warm-start");
+    common::for_each_backend("warm-start", warm_start_leg);
+}
+
+fn warm_start_leg(kind: PollerKind) {
+    let path = persist_path(&format!("warm-start-{kind}"));
     std::fs::remove_file(&path).ok();
     let config = ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         cache_capacity: 64,
         persist_path: Some(path.clone()),
+        poller: Some(kind),
         ..ServerConfig::default()
     };
 
@@ -410,9 +433,13 @@ fn warm_start_replays_the_segment_and_serves_byte_identical_answers() {
 
 #[test]
 fn graceful_shutdown_drains_in_flight_work_before_exit() {
+    common::for_each_backend("drain-on-shutdown", graceful_shutdown_leg);
+}
+
+fn graceful_shutdown_leg(kind: PollerKind) {
     // One worker and a deep backlog: the shutdown request arrives while
     // most of the batch is still queued or solving.
-    let handle = start_test_server(1, 256);
+    let handle = start_test_server_on(kind, 1, 256);
     let addr = handle.addr();
 
     let worker = thread::spawn(move || {
@@ -441,6 +468,80 @@ fn graceful_shutdown_drains_in_flight_work_before_exit() {
         status.refine, 32,
         "every queued element was solved, none abandoned"
     );
+}
+
+#[test]
+fn a_slow_reader_is_flushed_as_it_drains_without_losing_lines() {
+    common::for_each_backend("slow-reader-flush", slow_reader_leg);
+}
+
+/// Regression test for the scan loop's flush-starvation edge: a
+/// connection whose write buffer has filled (the client pipelines
+/// requests but reads nothing) used to wait out a park cycle per flush
+/// opportunity; under the poller trait it holds explicit WRITE interest
+/// and is flushed the moment the peer drains. The observable contract —
+/// asserted here against both backends — is that every pipelined
+/// response arrives intact once the client starts reading, with the
+/// server's buffers forced through repeated backpressure cycles.
+fn slow_reader_leg(kind: PollerKind) {
+    use std::io::{BufRead, BufReader, Write};
+    const LINES: usize = 200;
+    const PER_BATCH: usize = 50;
+
+    let handle = start_test_server_on(kind, 1, 8);
+    let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+
+    // Pipeline LINES batch envelopes of PER_BATCH status requests without
+    // reading a byte: the responses (~MBs in total) overflow the socket's
+    // send buffer, so the server is forced to hold un-flushed bytes and
+    // wait for writability.
+    let element = "{\"op\":\"status\"}";
+    let batch = format!(
+        "{{\"op\":\"batch\",\"requests\":[{}]}}\n",
+        vec![element; PER_BATCH].join(",")
+    );
+    for _ in 0..LINES {
+        stream.write_all(batch.as_bytes()).expect("pipeline write");
+    }
+    // Let the server catch up and hit the backpressure wall before the
+    // reader shows up.
+    thread::sleep(std::time::Duration::from_millis(200));
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut received = 0usize;
+    let mut line = String::new();
+    while received < LINES {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read response line");
+        assert!(n > 0, "EOF after only {received}/{LINES} responses");
+        assert!(
+            line.starts_with("{\"ok\":true,\"op\":\"batch\""),
+            "response {received} is not a batch envelope: {}",
+            &line[..line.len().min(120)]
+        );
+        assert_eq!(
+            line.matches("\"op\":\"status\"").count(),
+            PER_BATCH,
+            "response {received} lost elements"
+        );
+        received += 1;
+    }
+
+    let mut client = Client::connect(handle.addr()).expect("control connection");
+    let status = client.status().expect("status");
+    let result = status.result().expect("status result").clone();
+    let poller = result.get("poller").expect("poller status block");
+    assert_eq!(
+        poller.get("backend").and_then(Json::as_str),
+        Some(kind.name()),
+        "the configured backend is the one reported: {poller:?}"
+    );
+    assert!(
+        poller.get("registered").and_then(Json::as_int) >= Some(2),
+        "both live connections are registered: {poller:?}"
+    );
+    client.shutdown().expect("shutdown");
+    handle.wait();
 }
 
 #[test]
