@@ -23,7 +23,15 @@
 //! without recomputing (also asserted). The cluster section compares a
 //! key-diverse cold workload on one process vs 3 shards behind the
 //! `Router` (≥ 2× is asserted on machines with at least 4 cores — the
-//! speedup is real parallelism, so it needs real cores).
+//! speedup is real parallelism, so it needs real cores). The tenant
+//! section floods a rate-limited tenant against an unlimited one and
+//! asserts admission control bounds the flood while the quiet tenant's
+//! cached path keeps most of its solo throughput.
+//!
+//! Besides the printed tables, every section persists a
+//! `BENCH_<section>.json` trajectory file (throughput, p99, counters —
+//! integers only, so runs diff cleanly) into the working directory, or
+//! into `STRUDEL_BENCH_DIR` when set — CI archives these per run.
 
 use std::sync::Arc;
 use std::thread;
@@ -60,6 +68,7 @@ fn request(variant: usize) -> SolveRequest {
         max_k: None,
         time_limit: None,
         routing: None,
+        tenant: None,
     }
 }
 
@@ -67,6 +76,39 @@ fn requests_per_second(count: usize, run: impl FnOnce()) -> f64 {
     let begin = Instant::now();
     run();
     count as f64 / begin.elapsed().as_secs_f64()
+}
+
+/// Persists one section's numbers as `BENCH_<section>.json` — the
+/// trajectory file CI archives per run. Integer fields only, so two runs
+/// diff line by line. Emission failure is reported, never fatal: the
+/// benchmark's asserts are the contract, the files are telemetry.
+fn emit_trajectory(section: &str, fields: Vec<(&str, Json)>) {
+    let dir = std::env::var_os("STRUDEL_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = dir.join(format!("BENCH_{section}.json"));
+    let line = format!("{}\n", Json::obj(fields).to_text());
+    if let Err(err) = std::fs::write(&path, line) {
+        eprintln!("  (could not write {}: {err})", path.display());
+    }
+}
+
+/// The named tenant's integer counter out of a status response.
+fn tenant_counter(client: &mut Client, name: &str, field: &str) -> i64 {
+    client
+        .status()
+        .expect("status")
+        .result()
+        .and_then(|result| result.get("tenants"))
+        .and_then(Json::as_arr)
+        .and_then(|tenants| {
+            tenants
+                .iter()
+                .find(|t| t.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|t| t.get(field))
+                .and_then(Json::as_int)
+        })
+        .unwrap_or(-1)
 }
 
 fn main() {
@@ -186,6 +228,20 @@ fn main() {
         "batching must amortize the cached path by at least {min_speedup}× \
          on the {backend} backend, measured {batch_speedup:.1}×"
     );
+    emit_trajectory(
+        "throughput",
+        vec![
+            ("backend", Json::str(backend.clone())),
+            ("cold_rps", Json::Int(cold_rps as i64)),
+            ("cached_rps", Json::Int(cached_rps as i64)),
+            ("batched_rps", Json::Int(batched_rps as i64)),
+            ("coalesced_rps", Json::Int(coalesced_rps as i64)),
+            (
+                "batch_speedup_pct",
+                Json::Int((batch_speedup * 100.0) as i64),
+            ),
+        ],
+    );
 
     client.shutdown().expect("shutdown");
     handle.wait();
@@ -262,6 +318,15 @@ fn main() {
     println!(
         "  speedup warm/cold:       {:>8.1}×  ({hits} hits, {replayed} replayed, 0 recomputed)",
         cold_fill.as_secs_f64() / warm_serve.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+    emit_trajectory(
+        "warm_start",
+        vec![
+            ("cold_fill_us", Json::Int(cold_fill.as_micros() as i64)),
+            ("warm_serve_us", Json::Int(warm_serve.as_micros() as i64)),
+            ("hits", Json::Int(hits)),
+            ("replayed", Json::Int(replayed)),
+        ],
     );
 
     client.shutdown().expect("shutdown");
@@ -362,6 +427,15 @@ fn main() {
     } else {
         println!("  (speedup assertion skipped: needs >= 4 cores, found {cores})");
     }
+    emit_trajectory(
+        "cluster",
+        vec![
+            ("single_rps", Json::Int(single_rps as i64)),
+            ("cluster_rps", Json::Int(cluster_rps as i64)),
+            ("speedup_pct", Json::Int((cluster_speedup * 100.0) as i64)),
+            ("cores", Json::Int(cores as i64)),
+        ],
+    );
 
     // ── Replication ─────────────────────────────────────────────────────
     // A leader solves REPL distinct instances while a follower replays the
@@ -454,6 +528,15 @@ fn main() {
     println!(
         "  promoted standby serves: {:>8.1} ms ({REPL} byte-identical cache hits, 0 recomputed)",
         served.as_secs_f64() * 1e3
+    );
+    emit_trajectory(
+        "replication",
+        vec![
+            ("instances", Json::Int(REPL as i64)),
+            ("leader_fill_us", Json::Int(fill.as_micros() as i64)),
+            ("catchup_us", Json::Int(catchup.as_micros() as i64)),
+            ("promoted_serve_us", Json::Int(served.as_micros() as i64)),
+        ],
     );
 
     at_follower.shutdown().expect("shutdown standby");
@@ -548,6 +631,21 @@ fn main() {
             run.cached_rps,
         );
     }
+    emit_trajectory(
+        "poller",
+        runs.iter()
+            .map(|run| {
+                (
+                    run.kind.name(),
+                    Json::obj(vec![
+                        ("idle_wakeups_per_s", Json::Int(run.idle_rate as i64)),
+                        ("cached_p99_us", Json::Int(run.p99.as_micros() as i64)),
+                        ("cached_rps", Json::Int(run.cached_rps as i64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
     let epoll = runs.iter().find(|run| run.kind == PollerKind::Epoll);
     let scan = runs
         .iter()
@@ -581,4 +679,157 @@ fn main() {
             scan.p99
         );
     }
+
+    // ── Multi-tenant QoS ────────────────────────────────────────────────
+    // The noisy-neighbor scenario the tenant layer exists for: a steady
+    // tenant's cached path is measured solo, then again while a
+    // rate-limited tenant floods cold solves from another connection.
+    // Asserted: the token bucket bounds what the flood actually lands
+    // (burst + rate × window, with slack for requests in flight), every
+    // refusal is the structured `over_quota`, the steady tenant is never
+    // refused, and its contended throughput keeps at least 20% of solo —
+    // admission does the isolating, not luck.
+    const TENANT_CACHED: usize = 1000;
+    const NOISY_RATE: u64 = 50;
+    const NOISY_BURST: u64 = 10;
+    let handle = server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_capacity: 4096,
+        tenants: Some(
+            TenantSpecSet::parse(&format!(
+                "noisy:rate={NOISY_RATE},burst={NOISY_BURST};steady"
+            ))
+            .expect("tenant spec"),
+        ),
+        ..ServerConfig::default()
+    })
+    .expect("bind tenant-bench server");
+    let addr = handle.addr();
+    let mut steady = Client::connect(addr).expect("connect steady");
+    let steady_request = {
+        let mut request = request(0);
+        request.tenant = Some("steady".to_owned());
+        request
+    };
+    steady
+        .solve(&steady_request)
+        .expect("warm the steady cache");
+
+    let measure_steady = |steady: &mut Client| -> (f64, std::time::Duration) {
+        let mut latencies = Vec::with_capacity(TENANT_CACHED);
+        for _ in 0..TENANT_CACHED {
+            let began = Instant::now();
+            let response = steady.solve(&steady_request).expect("steady cached solve");
+            latencies.push(began.elapsed());
+            assert_eq!(response.source(), Some(Source::Cache));
+        }
+        latencies.sort_unstable();
+        let p99 = latencies[(TENANT_CACHED * 99) / 100 - 1];
+        let total: std::time::Duration = latencies.iter().sum();
+        (TENANT_CACHED as f64 / total.as_secs_f64(), p99)
+    };
+    let (solo_rps, solo_p99) = measure_steady(&mut steady);
+
+    // The flood: distinct cold instances, as fast as refusals come back,
+    // for at least a second — long enough that a 50/s bucket must refuse
+    // the overwhelming majority.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flood_stop = Arc::clone(&stop);
+    let flood_started = Instant::now();
+    let flood = thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect noisy");
+        let (mut admitted, mut refused) = (0u64, 0u64);
+        let mut variant = 10_000;
+        while !flood_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            let mut flood_request = request(variant);
+            variant += 1;
+            flood_request.tenant = Some("noisy".to_owned());
+            match client.solve(&flood_request) {
+                Ok(_) => admitted += 1,
+                Err(ClientError::OverQuota { detail, .. }) => {
+                    assert_eq!(detail.tenant, "noisy");
+                    assert!(detail.retry_after_ms >= 1);
+                    refused += 1;
+                }
+                Err(other) => panic!("expected over_quota under the flood, got: {other}"),
+            }
+        }
+        (admitted, refused)
+    });
+    let (contended_rps, contended_p99) = measure_steady(&mut steady);
+    while flood_started.elapsed() < std::time::Duration::from_secs(1) {
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (admitted, refused) = flood.join().expect("flood thread");
+    let flood_window = flood_started.elapsed();
+
+    let isolation = contended_rps / solo_rps.max(f64::MIN_POSITIVE);
+    println!("multi-tenant QoS (steady cached path vs a rate-limited flood, {TENANT_CACHED} round-trips each):");
+    println!(
+        "  steady solo:        {solo_rps:>10.0} req/s   p99 {:>8.1} µs",
+        solo_p99.as_secs_f64() * 1e6
+    );
+    println!(
+        "  steady under flood: {contended_rps:>10.0} req/s   p99 {:>8.1} µs",
+        contended_p99.as_secs_f64() * 1e6
+    );
+    println!(
+        "  noisy flood:        {admitted:>10} admitted / {refused} refused ({NOISY_RATE}/s bucket, burst {NOISY_BURST}, {:.2} s window)",
+        flood_window.as_secs_f64()
+    );
+    println!(
+        "  isolation:               {:>8.0} % of solo throughput kept",
+        isolation * 100.0
+    );
+
+    // The bucket's arithmetic is exact; the slack covers requests already
+    // past admission when the window closed.
+    let admission_ceiling =
+        (NOISY_BURST as f64 + NOISY_RATE as f64 * flood_window.as_secs_f64()) * 1.25 + 5.0;
+    assert!(
+        (admitted as f64) <= admission_ceiling,
+        "the token bucket must bound the flood: {admitted} admitted in \
+         {:.2} s exceeds the ceiling of {admission_ceiling:.0}",
+        flood_window.as_secs_f64()
+    );
+    assert!(
+        refused >= 1,
+        "a flood against a {NOISY_RATE}/s bucket must see refusals"
+    );
+    assert_eq!(
+        tenant_counter(&mut steady, "steady", "refusals"),
+        0,
+        "the unlimited tenant is never refused"
+    );
+    assert_eq!(
+        tenant_counter(&mut steady, "steady", "hits"),
+        2 * TENANT_CACHED as i64,
+        "every steady read must be a cache hit"
+    );
+    assert!(
+        isolation >= 0.20,
+        "the steady tenant must keep at least 20% of its solo cached \
+         throughput under the flood, measured {:.0}%",
+        isolation * 100.0
+    );
+    emit_trajectory(
+        "tenants",
+        vec![
+            ("steady_solo_rps", Json::Int(solo_rps as i64)),
+            ("steady_contended_rps", Json::Int(contended_rps as i64)),
+            ("steady_solo_p99_us", Json::Int(solo_p99.as_micros() as i64)),
+            (
+                "steady_contended_p99_us",
+                Json::Int(contended_p99.as_micros() as i64),
+            ),
+            ("noisy_admitted", Json::Int(admitted as i64)),
+            ("noisy_refused", Json::Int(refused as i64)),
+            ("isolation_pct", Json::Int((isolation * 100.0) as i64)),
+        ],
+    );
+
+    steady.shutdown().expect("shutdown");
+    handle.wait();
 }

@@ -27,6 +27,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "step",
         "max-k",
         "time-limit",
+        "tenant",
     ],
     flags: &["raw"],
     min_positional: 1,
@@ -38,7 +39,7 @@ pub const USAGE: &str =
     "strudel client <refine|highest-theta|lowest-k|batch|status|shutdown> [FILE]
                [--addr HOST:PORT | --cluster HOST:PORT,HOST:PORT,…] [--sort IRI]
                [--rule SPEC] [--engine hybrid|ilp|greedy] [--k N] [--theta X]
-               [--step X] [--max-k N] [--time-limit SECS] [--raw]
+               [--step X] [--max-k N] [--time-limit SECS] [--tenant NAME] [--raw]
   Sends one request to a running 'strudel serve' (default --addr 127.0.0.1:7464).
   Solve operations load FILE, build its signature view locally, and ship the view;
   repeated identical requests are answered from the server's cache. 'batch' reads
@@ -52,7 +53,12 @@ pub const USAGE: &str =
   replication standbys after '+' (--cluster a:1+a2:1,b:1+b2:1): when a shard's
   primary is unreachable the router retries with jittered backoff, then fails
   over to its standbys in order, adopting a promoted follower's replication
-  epoch so a resurrected old leader is refused instead of serving stale.";
+  epoch so a resurrected old leader is refused instead of serving stale.
+  --tenant NAME tags solve requests with a tenant id (a server started with
+  'serve --tenants' meters each tenant's cache share, admission rate, and
+  compute-pool share; unset rides the unlimited 'default' tenant). An
+  over-limit request gets a structured over_quota error naming the tenant
+  and a retry_after_ms hint.";
 
 /// Runs the command.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -239,6 +245,48 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         "{:<5} {:<21} {:<8} {:<7} {solves:>8} {hits:>8} {misses:>8} {total_rate:>8} {entries:>8} {wrong:>11}\n",
         "total", "", "", "",
     ));
+    // Per-tenant roll-up across shards, shown only when some shard knows a
+    // tenant beyond the implicit 'default' (a tenancy-free cluster keeps
+    // the pre-tenancy table shape).
+    let mut tenants: Vec<(String, [i64; 4])> = Vec::new();
+    for response in statuses.iter().flatten() {
+        let Some(result) = response.result() else {
+            continue;
+        };
+        let Some(Json::Arr(list)) = result.get("tenants") else {
+            continue;
+        };
+        for tenant in list {
+            let name = tenant
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_owned();
+            let field = |key: &str| tenant.get(key).and_then(Json::as_int).unwrap_or(0);
+            let row = [
+                field("hits"),
+                field("misses"),
+                field("refusals"),
+                field("entries"),
+            ];
+            match tenants.iter_mut().find(|(seen, _)| *seen == name) {
+                Some((_, acc)) => {
+                    for (sum, add) in acc.iter_mut().zip(row) {
+                        *sum += add;
+                    }
+                }
+                None => tenants.push((name, row)),
+            }
+        }
+    }
+    if tenants.iter().any(|(name, _)| name != "default") {
+        out.push_str("tenants:\n");
+        for (name, [hits, misses, refusals, entries]) in &tenants {
+            out.push_str(&format!(
+                "  {name}: {hits} hits, {misses} misses, {refusals} refusals, {entries} entries\n"
+            ));
+        }
+    }
     Ok(out)
 }
 
@@ -349,6 +397,15 @@ fn build_solve_request(
         Some(text) => Some(parse_ratio(text, "step")?),
         None => None,
     };
+    let tenant = match parsed.option("tenant") {
+        Some(name) => {
+            strudel_server::protocol::validate_tenant(name).map_err(|err| {
+                CliError::Usage(format!("invalid value '{name}' for --tenant: {err}"))
+            })?;
+            Some(name.to_owned())
+        }
+        None => None,
+    };
     let request = SolveRequest {
         op,
         view,
@@ -360,6 +417,7 @@ fn build_solve_request(
         max_k: parsed.option_parsed::<usize>("max-k")?,
         time_limit: parse_time_limit(parsed)?,
         routing: None, // the Router stamps this when --cluster is given
+        tenant,
     };
     // Mirror the server's validation client-side for friendlier messages.
     match op {
@@ -533,6 +591,23 @@ fn render_status(result: &Json) -> String {
             int(&["replication", "records_sent"]),
             int(&["replication", "records_applied"]),
         ));
+    }
+    if let Some(Json::Arr(tenants)) = result.get("tenants") {
+        for tenant in tenants {
+            let name = tenant.get("name").and_then(Json::as_str).unwrap_or("?");
+            let field = |key: &str| tenant.get(key).and_then(Json::as_int).unwrap_or(0);
+            out.push_str(&format!(
+                "tenant {name}: {} hits, {} misses, {} evictions, {} refusals, \
+                 {} inflight, {} resident (reserve {})\n",
+                field("hits"),
+                field("misses"),
+                field("evictions"),
+                field("refusals"),
+                field("inflight"),
+                field("entries"),
+                field("reserved"),
+            ));
+        }
     }
     out
 }

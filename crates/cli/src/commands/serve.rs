@@ -1,6 +1,6 @@
 //! `strudel serve` — run the refinement service.
 
-use strudel_server::prelude::{FsyncPolicy, PollerKind, ServerConfig, ShardSpec};
+use strudel_server::prelude::{FsyncPolicy, PollerKind, ServerConfig, ShardSpec, TenantSpecSet};
 
 use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
@@ -18,6 +18,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "follow",
         "auto-promote",
         "poller",
+        "tenants",
     ],
     flags: &[],
     min_positional: 0,
@@ -28,6 +29,7 @@ pub const SPEC: ArgSpec = ArgSpec {
 pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache N]
              [--persist FILE] [--compact-dead N] [--fsync POLICY] [--shard I/N]
              [--follow LEADER:PORT] [--auto-promote MS] [--poller BACKEND]
+             [--tenants SPEC]
   Runs the refinement service: line-delimited JSON over TCP driven by a
   readiness-based event loop, with a fixed-size compute pool, a
   content-addressed result cache (LRU), single-flight deduplication of
@@ -53,6 +55,14 @@ pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache
   hits read-only, and refuses writes with a structured not_leader error
   until promoted ('strudel promote', or --auto-promote MS to take over
   automatically once the leader has been silent MS milliseconds).
+  --tenants SPEC configures per-tenant QoS, e.g.
+  'acme:weight=3,rate=100,pool=2;beta:weight=1' — each ';'-separated entry
+  names a tenant and sets any of weight (relative cache reserve), rate
+  (admitted requests/second, token bucket), burst (bucket depth, default
+  = rate), and pool (max concurrently-led solves). Clients pick a tenant
+  with 'strudel client --tenant NAME' (unset = the unlimited 'default'
+  tenant); over-limit requests get a structured over_quota error with a
+  retry_after_ms hint, refused per batch element.
   Defaults: --addr 127.0.0.1:7464, --workers 4, --cache 1024
   entries. Blocks until a client sends {\"op\":\"shutdown\"}; shutdown drains
   in-flight solves and flushes the segment, then reports the final counters.";
@@ -94,6 +104,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             CliError::Usage(format!("invalid value '{backend}' for --poller: {err}"))
         })?;
         config.poller = Some(kind);
+    }
+    if let Some(spec) = parsed.option("tenants") {
+        config.tenants = Some(TenantSpecSet::parse(spec).map_err(|err| {
+            CliError::Usage(format!("invalid value '{spec}' for --tenants: {err}"))
+        })?);
     }
     if let Some(window) = parsed.option_parsed::<u64>("auto-promote")? {
         if config.follow.is_none() {
@@ -311,6 +326,11 @@ mod tests {
         assert!(run(&args(&["--fsync", "sometimes"])).is_err());
         assert!(run(&args(&["--fsync", "interval:0"])).is_err());
         assert!(run(&args(&["--poller", "kqueue"])).is_err());
+        // Tenant specs are validated up front: unknown knobs, zero
+        // values, and malformed entries are usage errors.
+        assert!(run(&args(&["--tenants", "acme:speed=9"])).is_err());
+        assert!(run(&args(&["--tenants", "acme:rate=0"])).is_err());
+        assert!(run(&args(&["--tenants", "not a tenant!"])).is_err());
         // --auto-promote needs --follow, and has a sanity floor.
         assert!(run(&args(&["--auto-promote", "1000"])).is_err());
         assert!(run(&args(&["--follow", "127.0.0.1:1", "--auto-promote", "100"])).is_err());
@@ -361,6 +381,7 @@ mod tests {
             max_k: None,
             time_limit: None,
             routing: None,
+            tenant: None,
         };
         let owner = ring.route(request.view.cache_key());
         let outcome = client.solve(&request);

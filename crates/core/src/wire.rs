@@ -51,6 +51,40 @@ fn fold_key(key: u128) -> u64 {
     mix64((key >> 64) as u64 ^ mix64(key as u64))
 }
 
+/// The implicit tenant of every request that does not name one. Existing
+/// clients, segments, and replication streams predate tenancy entirely;
+/// mapping their traffic onto this reserved id is what lets the tenant
+/// subsystem exist without a wire or disk-format break: a default-tenant
+/// request, segment record, and replication record are byte-identical to
+/// their pre-tenancy encodings.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Validates a tenant id: 1–64 characters of `[A-Za-z0-9_-]`.
+///
+/// The charset is deliberately narrow because tenant ids travel in
+/// whitespace-delimited segment-record headers and in cache-key params
+/// joined by `|` — both would be corrupted by spaces, newlines, or pipes.
+pub fn validate_tenant(id: &str) -> Result<(), String> {
+    if id.is_empty() {
+        return Err("tenant id must not be empty".to_owned());
+    }
+    if id.len() > 64 {
+        return Err(format!(
+            "tenant id '{}…' is longer than 64 characters",
+            &id[..16]
+        ));
+    }
+    if let Some(bad) = id
+        .chars()
+        .find(|c| !c.is_ascii_alphanumeric() && *c != '_' && *c != '-')
+    {
+        return Err(format!(
+            "tenant id '{id}' contains '{bad}'; allowed are letters, digits, '_' and '-'"
+        ));
+    }
+    Ok(())
+}
+
 /// Identity of one shard in a cluster: `index` of `count`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardSpec {
@@ -183,6 +217,10 @@ pub enum ReplRecord {
         params: String,
         /// The canonical serialized result, verbatim.
         result: String,
+        /// The tenant owning the entry. Travels only when it is not the
+        /// [`DEFAULT_TENANT`] (and decodes to it when absent), so the
+        /// stream stays readable by pre-tenancy followers and vice versa.
+        tenant: String,
     },
     /// A cache eviction: drop `(view, params)`.
     Evict {
@@ -243,6 +281,21 @@ impl ReplRecord {
 pub struct NotLeader {
     /// The leader's address as the follower knows it (`--follow ADDR`).
     pub leader: String,
+}
+
+/// Structured detail of an `over_quota` error: a server refusing a request
+/// that exceeded its tenant's admission rate or compute-pool share names
+/// the tenant and how long to back off, so clients retry politely instead
+/// of hammering. Like `wrong_shard` and `not_leader`, the refusal is a
+/// per-request (and in batches per-element) answer on a healthy
+/// connection — never connection-fatal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverQuota {
+    /// The tenant whose quota the request exceeded.
+    pub tenant: String,
+    /// Suggested back-off before retrying, in milliseconds (the next
+    /// token-bucket refill plus deterministic jitter).
+    pub retry_after_ms: u64,
 }
 
 /// The next replication epoch after a promotion.
@@ -692,6 +745,7 @@ mod tests {
             view: 0xfeed,
             params: "refine|hybrid|cov|2|1/2|||".into(),
             result: "{\"outcome\":\"infeasible\"}".into(),
+            tenant: DEFAULT_TENANT.to_owned(),
         };
         let evict = ReplRecord::Evict {
             seq: 8,
@@ -724,6 +778,17 @@ mod tests {
         // greater — the property routers rely on to refuse downgrades.
         if base < u64::MAX - 2 {
             assert!(once > base && twice > once);
+        }
+    }
+
+    #[test]
+    fn tenant_ids_are_validated() {
+        for good in ["default", "acme", "Tenant-7", "a_b", "x"] {
+            assert!(validate_tenant(good).is_ok(), "must accept '{good}'");
+        }
+        let long = "t".repeat(65);
+        for bad in ["", "a b", "a|b", "a\nb", "café", long.as_str()] {
+            assert!(validate_tenant(bad).is_err(), "must reject {bad:?}");
         }
     }
 

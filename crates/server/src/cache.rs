@@ -34,6 +34,8 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use strudel_core::wire::DEFAULT_TENANT;
+
 use crate::protocol::CacheKey;
 
 /// When the segment store fsyncs its appends (`serve --fsync …`).
@@ -118,12 +120,61 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
-/// An exact least-recently-used cache.
+/// Per-owner (tenant) accounting inside an [`LruCache`]: residency, the
+/// reserved floor granted by the weighted-eviction policy, and evictions
+/// charged against the owner (part of the `status` tenants block).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OwnerCacheStats {
+    /// The owner (tenant) name.
+    pub name: String,
+    /// Entries currently resident for this owner.
+    pub entries: usize,
+    /// The owner's reserved entry count — the weighted-eviction policy
+    /// never evicts the owner below this floor to make room for others.
+    pub reserved: usize,
+    /// This owner's entries pushed out by capacity pressure.
+    pub evictions: u64,
+}
+
+/// An entry pushed out of an [`LruCache`] by capacity pressure, tagged with
+/// the owner it was resident under (the persistent layer tombstones the key
+/// and the registry charges the eviction to the owner).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evicted<K, V> {
+    /// The evicted key.
+    pub key: K,
+    /// The evicted value.
+    pub value: V,
+    /// The owner (tenant) the entry belonged to.
+    pub owner: String,
+}
+
+#[derive(Debug)]
+struct OwnerSlot {
+    name: String,
+    count: usize,
+    reserved: usize,
+    evictions: u64,
+}
+
+/// An exact least-recently-used cache with weighted per-owner partitioning.
+///
+/// Every entry is resident *under an owner* (a tenant name; plain
+/// [`Self::insert`] uses the reserved default owner). Owners may be granted
+/// weights via [`Self::set_weights`], which translate into reserved entry
+/// floors: when the cache is full, the victim is the globally
+/// least-recently-used entry **among owners strictly over their reserve**,
+/// falling back to the inserting owner's own LRU entry, and only then to
+/// the plain global LRU entry. With no weights configured every reserve is
+/// zero, every owner is "over", and the policy degenerates to exact global
+/// LRU — byte-for-byte the pre-tenancy behavior.
 #[derive(Debug)]
 pub struct LruCache<K, V> {
     capacity: usize,
-    map: HashMap<K, (V, u64)>,
+    map: HashMap<K, (V, u64, u32)>,
     recency: BTreeMap<u64, K>,
+    owners: Vec<OwnerSlot>,
+    owner_ids: HashMap<String, u32>,
     next_stamp: u64,
     hits: u64,
     misses: u64,
@@ -139,6 +190,8 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             capacity,
             map: HashMap::new(),
             recency: BTreeMap::new(),
+            owners: Vec::new(),
+            owner_ids: HashMap::new(),
             next_stamp: 0,
             hits: 0,
             misses: 0,
@@ -153,11 +206,46 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         stamp
     }
 
+    fn owner_id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.owner_ids.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.owners.len()).expect("fewer than 2^32 owners");
+        self.owners.push(OwnerSlot {
+            name: name.to_owned(),
+            count: 0,
+            reserved: 0,
+            evictions: 0,
+        });
+        self.owner_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Installs the weighted partitioning policy: each `(owner, weight)`
+    /// pair reserves `capacity × weight / Σweights` entries (floored) for
+    /// that owner. Owners absent from `weights` (including the lazily
+    /// created default) keep a reserve of zero. Calling this again replaces
+    /// the previous reserves wholesale.
+    pub fn set_weights(&mut self, weights: &[(String, u64)]) {
+        for slot in &mut self.owners {
+            slot.reserved = 0;
+        }
+        let total: u64 = weights.iter().map(|(_, w)| *w).sum();
+        if total == 0 {
+            return;
+        }
+        for (name, weight) in weights {
+            let id = self.owner_id(name);
+            let reserved = (self.capacity as u64).saturating_mul(*weight) / total;
+            self.owners[id as usize].reserved = usize::try_from(reserved).unwrap_or(usize::MAX);
+        }
+    }
+
     /// Looks up a key, marking it most-recently-used on a hit.
     pub fn get(&mut self, key: &K) -> Option<V> {
         let stamp = self.stamp();
         match self.map.get_mut(key) {
-            Some((value, old_stamp)) => {
+            Some((value, old_stamp, _)) => {
                 self.recency.remove(old_stamp);
                 self.recency.insert(stamp, key.clone());
                 *old_stamp = stamp;
@@ -171,41 +259,89 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         }
     }
 
-    /// Inserts a value, evicting the least-recently-used entry when full.
-    /// Inserting an existing key replaces its value and freshens it.
+    /// Picks the eviction victim's recency stamp under the weighted
+    /// policy: the oldest entry whose owner is strictly over its reserve;
+    /// else the inserting owner's own oldest entry (the owner is about to
+    /// grow past what the others will yield, so it eats its own tail);
+    /// else — every resident owner at or under reserve, which can only
+    /// happen when floors round down — the plain global LRU entry.
+    fn pick_victim(&self, inserting: u32) -> Option<u64> {
+        let mut own_oldest = None;
+        for (&stamp, key) in &self.recency {
+            let (_, _, owner) = &self.map[key];
+            let slot = &self.owners[*owner as usize];
+            if slot.count > slot.reserved {
+                return Some(stamp);
+            }
+            if own_oldest.is_none() && *owner == inserting {
+                own_oldest = Some(stamp);
+            }
+        }
+        own_oldest.or_else(|| self.recency.keys().next().copied())
+    }
+
+    /// Inserts a value under `owner`, evicting per the weighted policy
+    /// when full. Inserting an existing key replaces its value, freshens
+    /// it, and transfers it to `owner`.
     ///
     /// Returns the evicted entry, if capacity pressure pushed one out — the
     /// persistent layer tombstones it so disk stays in sync with memory.
     /// (With capacity 0 the inserted entry itself comes straight back.)
-    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+    pub fn insert_for(&mut self, owner: &str, key: K, value: V) -> Option<Evicted<K, V>> {
         self.insertions += 1;
+        let owner_id = self.owner_id(owner);
         let stamp = self.stamp();
         let mut evicted = None;
-        if let Some((_, old_stamp)) = self.map.remove(&key) {
+        if let Some((_, old_stamp, old_owner)) = self.map.remove(&key) {
             self.recency.remove(&old_stamp);
+            self.owners[old_owner as usize].count -= 1;
         } else if self.map.len() >= self.capacity {
-            // Evict the oldest stamp (smallest key of the recency index).
-            if let Some((&oldest, _)) = self.recency.iter().next() {
+            if let Some(oldest) = self.pick_victim(owner_id) {
                 let victim = self.recency.remove(&oldest).expect("stamp just seen");
-                let (value, _) = self.map.remove(&victim).expect("victim is resident");
+                let (value, _, victim_owner) =
+                    self.map.remove(&victim).expect("victim is resident");
                 self.evictions += 1;
-                evicted = Some((victim, value));
+                let slot = &mut self.owners[victim_owner as usize];
+                slot.count -= 1;
+                slot.evictions += 1;
+                evicted = Some(Evicted {
+                    key: victim,
+                    value,
+                    owner: slot.name.clone(),
+                });
             }
             if self.capacity == 0 {
                 // Nothing can be resident; count the insert as an
                 // instant eviction so the arithmetic stays honest.
                 self.evictions += 1;
-                return Some((key, value));
+                let slot = &mut self.owners[owner_id as usize];
+                slot.evictions += 1;
+                let owner = slot.name.clone();
+                return Some(Evicted { key, value, owner });
             }
         }
-        self.map.insert(key.clone(), (value, stamp));
+        self.map.insert(key.clone(), (value, stamp, owner_id));
+        self.owners[owner_id as usize].count += 1;
         self.recency.insert(stamp, key);
         evicted
+    }
+
+    /// Inserts a value under the default owner (the pre-tenancy behavior,
+    /// kept for single-tenant callers and tests). See [`Self::insert_for`].
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.insert_for(DEFAULT_TENANT, key, value)
+            .map(|evicted| (evicted.key, evicted.value))
     }
 
     /// Whether a key is resident, without touching recency or counters.
     pub fn contains(&self, key: &K) -> bool {
         self.map.contains_key(key)
+    }
+
+    /// The owner a resident key is accounted under.
+    pub fn owner_of(&self, key: &K) -> Option<&str> {
+        let (_, _, owner) = self.map.get(key)?;
+        Some(&self.owners[*owner as usize].name)
     }
 
     /// Removes a key outright, returning its value if it was resident.
@@ -214,8 +350,9 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     /// leader's replicated tombstone), not capacity pressure, so it does
     /// not count as an eviction.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let (value, stamp) = self.map.remove(key)?;
+        let (value, stamp, owner) = self.map.remove(key)?;
         self.recency.remove(&stamp);
+        self.owners[owner as usize].count -= 1;
         Some(value)
     }
 
@@ -226,8 +363,37 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         self.recency
             .values()
             .map(|key| {
-                let (value, _) = &self.map[key];
+                let (value, _, _) = &self.map[key];
                 (key.clone(), value.clone())
+            })
+            .collect()
+    }
+
+    /// [`Self::snapshot_lru_order`] with each entry's owner — what the
+    /// server's compaction feeds the segment store so the rewritten file
+    /// preserves every entry's tenant tag.
+    pub fn snapshot_lru_order_with_owners(&self) -> Vec<(K, V, String)> {
+        self.recency
+            .values()
+            .map(|key| {
+                let (value, _, owner) = &self.map[key];
+                let name = self.owners[*owner as usize].name.clone();
+                (key.clone(), value.clone(), name)
+            })
+            .collect()
+    }
+
+    /// Per-owner accounting, in owner-registration order. Owners with no
+    /// residency, reserve, or evictions yet still appear once registered
+    /// (via an insert or [`Self::set_weights`]).
+    pub fn owner_stats(&self) -> Vec<OwnerCacheStats> {
+        self.owners
+            .iter()
+            .map(|slot| OwnerCacheStats {
+                name: slot.name.clone(),
+                entries: slot.count,
+                reserved: slot.reserved,
+                evictions: slot.evictions,
             })
             .collect()
     }
@@ -265,6 +431,10 @@ pub struct PersistStats {
     pub file_bytes: u64,
     /// Fsync barriers issued since startup (per the [`FsyncPolicy`]).
     pub fsyncs: u64,
+    /// Records with an unknown kind skipped during replay — a segment
+    /// written by a newer (or older) version stays loadable; the entries
+    /// we cannot parse are simply not warmed.
+    pub skipped_records: u64,
     /// The replication sequence number recorded by the newest compaction
     /// checkpoint in the file, if any (0 when none) — lets a restarted
     /// leader resume its publication counter past everything compacted.
@@ -272,7 +442,7 @@ pub struct PersistStats {
 }
 
 /// The write-through persistent half of the result cache: an append-only
-/// segment file of `P`ut and `D`elete records.
+/// segment file of `P`ut and `D`elete records, plus tenant-tagged `T` puts.
 ///
 /// Record framing is a header line with length prefixes, then the exact
 /// payload bytes (which may themselves contain anything):
@@ -281,6 +451,7 @@ pub struct PersistStats {
 /// P <view-hash-hex> <params-bytes> <result-bytes>\n<params>\n<result>\n
 /// D <view-hash-hex> <params-bytes>\n<params>\n
 /// C <seq>\n
+/// T <view-hash-hex> <blob-bytes>\n<tenant>\n<params>\n<result>\n
 /// ```
 ///
 /// `C` is a compaction checkpoint: appended right after a compaction (and
@@ -288,6 +459,18 @@ pub struct PersistStats {
 /// number at that point so a restarted leader resumes its counter instead
 /// of reissuing sequence numbers followers have already seen. Replay treats
 /// it as metadata — it neither adds an entry nor counts as dead weight.
+///
+/// `T` is a put owned by a non-default tenant: its single length prefix
+/// covers the whole `tenant\nparams\nresult` blob, so even a reader that
+/// predates the kind can skip the record wholesale. Default-tenant puts
+/// keep the legacy `P` encoding — a single-tenant deployment's segment is
+/// byte-identical before and after tenancy, in both directions.
+///
+/// Replay is forward compatible: an *unknown* record kind whose framing is
+/// intact (a header whose final field is the payload length, or a bare
+/// metadata line) is skipped and counted in
+/// [`PersistStats::skipped_records`] rather than treated as corruption;
+/// only a record that cannot be framed truncates the tail.
 ///
 /// The store tracks which keys are live so it can count dead records; the
 /// in-memory [`LruCache`] stays the authority on residency, and the server
@@ -309,15 +492,22 @@ pub struct SegmentStore {
     dirty: bool,
     last_sync: Instant,
     fsyncs: u64,
+    skipped: u64,
     checkpoint_seq: u64,
 }
 
+/// One entry surviving a segment replay: `(key, result, tenant)`, in
+/// append order — ready for [`LruCache::insert_for`].
+pub type ReplayedEntry = (CacheKey, String, String);
+
 impl SegmentStore {
     /// Opens (creating if absent) the segment at `path` and replays it,
-    /// returning the store plus the surviving entries in append order —
-    /// the caller inserts them into its [`LruCache`] in that order, which
-    /// reconstructs the pre-restart recency ranking. A torn tail record
-    /// (crash mid-append) is truncated away.
+    /// returning the store plus the surviving [`ReplayedEntry`] rows in
+    /// append order — the caller inserts them into its
+    /// [`LruCache`] in that order, which reconstructs the pre-restart
+    /// recency ranking *and* the per-tenant accounting. A torn tail record
+    /// (crash mid-append) is truncated away; whole records of an unknown
+    /// kind are skipped and counted, not treated as corruption.
     ///
     /// `dead_threshold` is the number of dead records that triggers
     /// compaction (see [`Self::should_compact`]); `policy` decides when
@@ -326,7 +516,7 @@ impl SegmentStore {
         path: impl Into<PathBuf>,
         dead_threshold: u64,
         policy: FsyncPolicy,
-    ) -> std::io::Result<(Self, Vec<(CacheKey, String)>)> {
+    ) -> std::io::Result<(Self, Vec<ReplayedEntry>)> {
         let path = path.into();
         let mut file = OpenOptions::new()
             .read(true)
@@ -342,18 +532,19 @@ impl SegmentStore {
         // be reconstructed by one sort at the end; maintaining an ordered
         // list during the scan would be O(dead × live)), and drop
         // tombstoned keys.
-        let mut latest: HashMap<CacheKey, (u64, String)> = HashMap::new();
+        let mut latest: HashMap<CacheKey, (u64, String, String)> = HashMap::new();
         let mut records: u64 = 0;
+        let mut skipped = 0u64;
         let mut checkpoint_seq = 0u64;
         let mut good = 0usize; // offset after the last whole record
         let mut pos = 0usize;
         while pos < bytes.len() {
             match parse_record(&bytes, pos) {
-                Some((record, next)) => {
+                Parsed::Rec(record, next) => {
                     match record {
-                        Record::Put(key, text) => {
+                        Record::Put(key, text, tenant) => {
                             records += 1;
-                            latest.insert(key, (records, text));
+                            latest.insert(key, (records, text, tenant));
                         }
                         Record::Delete(key) => {
                             records += 1;
@@ -366,7 +557,13 @@ impl SegmentStore {
                     pos = next;
                     good = next;
                 }
-                None => break, // torn tail
+                // A whole record from a foreign version: step over it.
+                Parsed::Skipped(next) => {
+                    skipped += 1;
+                    pos = next;
+                    good = next;
+                }
+                Parsed::Torn => break, // torn tail
             }
         }
         if good < bytes.len() {
@@ -375,16 +572,16 @@ impl SegmentStore {
         }
         file.seek(SeekFrom::End(0))?;
 
-        let mut ordered: Vec<(u64, CacheKey, String)> = latest
+        let mut ordered: Vec<(u64, CacheKey, String, String)> = latest
             .into_iter()
-            .map(|(key, (seq, text))| (seq, key, text))
+            .map(|(key, (seq, text, tenant))| (seq, key, text, tenant))
             .collect();
-        ordered.sort_unstable_by_key(|(seq, _, _)| *seq);
-        let entries: Vec<(CacheKey, String)> = ordered
+        ordered.sort_unstable_by_key(|(seq, _, _, _)| *seq);
+        let entries: Vec<(CacheKey, String, String)> = ordered
             .into_iter()
-            .map(|(_, key, text)| (key, text))
+            .map(|(_, key, text, tenant)| (key, text, tenant))
             .collect();
-        let live: HashSet<CacheKey> = entries.iter().map(|(k, _)| k.clone()).collect();
+        let live: HashSet<CacheKey> = entries.iter().map(|(k, _, _)| k.clone()).collect();
         let store = SegmentStore {
             path,
             file,
@@ -400,6 +597,7 @@ impl SegmentStore {
             dirty: false,
             last_sync: Instant::now(),
             fsyncs: 0,
+            skipped,
             checkpoint_seq,
         };
         Ok((store, entries))
@@ -458,13 +656,27 @@ impl SegmentStore {
         Ok(())
     }
 
-    /// Appends a put record (write-through on cache insert). Re-putting a
-    /// live key supersedes its previous record, which becomes dead weight.
+    /// Appends a put record (write-through on cache insert) under the
+    /// default tenant — the legacy single-tenant entry point, kept so
+    /// pre-tenancy callers and tests stay byte-compatible.
     pub fn record_put(&mut self, key: &CacheKey, result_text: &str) -> std::io::Result<()> {
+        self.record_put_for(key, result_text, DEFAULT_TENANT)
+    }
+
+    /// Appends a put record owned by `tenant` (write-through on cache
+    /// insert). The default tenant writes the legacy `P` encoding; any
+    /// other tenant writes a self-framing `T` record. Re-putting a live
+    /// key supersedes its previous record, which becomes dead weight.
+    pub fn record_put_for(
+        &mut self,
+        key: &CacheKey,
+        result_text: &str,
+        tenant: &str,
+    ) -> std::io::Result<()> {
         if !self.live.insert(key.clone()) {
             self.dead += 1; // the superseded put
         }
-        let record = encode_put(key, result_text);
+        let record = encode_put(key, result_text, tenant);
         self.file.write_all(&record)?;
         self.puts += 1;
         self.file_bytes += record.len() as u64;
@@ -491,22 +703,24 @@ impl SegmentStore {
         self.dead >= self.dead_threshold && self.dead > self.live.len() as u64
     }
 
-    /// Rewrites the segment with only `entries` (the caller's live set, in
-    /// the order replay should re-insert them — LRU first), atomically
-    /// replacing the old file via a sibling temp file and rename, then
-    /// appends a `C` checkpoint carrying `checkpoint_seq` (the replication
-    /// publication counter at this point; pass 0 when replication is off).
+    /// Rewrites the segment with only `entries` (the caller's live set as
+    /// `(key, result, tenant)`, in the order replay should re-insert them
+    /// — LRU first), atomically replacing the old file via a sibling temp
+    /// file and rename, then appends a `C` checkpoint carrying
+    /// `checkpoint_seq` (the replication publication counter at this
+    /// point; pass 0 when replication is off). Unknown-kind records that
+    /// replay skipped are dropped by the rewrite.
     pub fn compact<'a>(
         &mut self,
-        entries: impl IntoIterator<Item = (&'a CacheKey, &'a str)>,
+        entries: impl IntoIterator<Item = (&'a CacheKey, &'a str, &'a str)>,
         checkpoint_seq: u64,
     ) -> std::io::Result<()> {
         let tmp_path = self.path.with_extension("compact");
         let mut tmp = File::create(&tmp_path)?;
         let mut live = HashSet::new();
         let mut written = 0u64;
-        for (key, text) in entries {
-            let record = encode_put(key, text);
+        for (key, text, tenant) in entries {
+            let record = encode_put(key, text, tenant);
             tmp.write_all(&record)?;
             written += record.len() as u64;
             live.insert(key.clone());
@@ -552,28 +766,60 @@ impl SegmentStore {
             compactions: self.compactions,
             file_bytes: self.file_bytes,
             fsyncs: self.fsyncs,
+            skipped_records: self.skipped,
             checkpoint_seq: self.checkpoint_seq,
         }
     }
 }
 
 enum Record {
-    Put(CacheKey, String),
+    /// A put: key, serialized result, owning tenant.
+    Put(CacheKey, String, String),
     Delete(CacheKey),
     Checkpoint(u64),
 }
 
-fn encode_put(key: &CacheKey, result_text: &str) -> Vec<u8> {
-    let mut out = Vec::with_capacity(key.params.len() + result_text.len() + 64);
-    out.extend_from_slice(
-        format!(
-            "P {:032x} {} {}\n",
-            key.view,
-            key.params.len(),
-            result_text.len()
-        )
-        .as_bytes(),
-    );
+/// The outcome of parsing one record during replay.
+enum Parsed {
+    /// A record this version understands, and the offset just past it.
+    Rec(Record, usize),
+    /// A whole record of an unknown kind (foreign version); the offset
+    /// just past it. Replay steps over it and counts it.
+    Skipped(usize),
+    /// A torn or corrupt record — replay stops and truncates here.
+    Torn,
+}
+
+fn encode_put(key: &CacheKey, result_text: &str, tenant: &str) -> Vec<u8> {
+    if tenant == DEFAULT_TENANT {
+        // Legacy encoding: a default-tenant segment stays byte-identical
+        // to one written before tenancy existed.
+        let mut out = Vec::with_capacity(key.params.len() + result_text.len() + 64);
+        out.extend_from_slice(
+            format!(
+                "P {:032x} {} {}\n",
+                key.view,
+                key.params.len(),
+                result_text.len()
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(key.params.as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(result_text.as_bytes());
+        out.push(b'\n');
+        return out;
+    }
+    // Tenant-tagged put. One length prefix covers the whole
+    // tenant\nparams\nresult blob, so the header's *final* field is the
+    // payload length — exactly the shape the unknown-kind skipper
+    // understands, which is what makes `T` backward compatible: an old
+    // reader skips it instead of truncating.
+    let blob_len = tenant.len() + 1 + key.params.len() + 1 + result_text.len();
+    let mut out = Vec::with_capacity(blob_len + 48);
+    out.extend_from_slice(format!("T {:032x} {blob_len}\n", key.view).as_bytes());
+    out.extend_from_slice(tenant.as_bytes());
+    out.push(b'\n');
     out.extend_from_slice(key.params.as_bytes());
     out.push(b'\n');
     out.extend_from_slice(result_text.as_bytes());
@@ -593,13 +839,35 @@ fn encode_checkpoint(seq: u64) -> Vec<u8> {
     format!("C {seq}\n").into_bytes()
 }
 
-/// Parses one record starting at `pos`. Returns the record and the offset
-/// just past it, or `None` for a torn/corrupt record (replay stops there).
-fn parse_record(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
-    let header_end = bytes[pos..].iter().position(|&b| b == b'\n')? + pos;
-    let header = std::str::from_utf8(&bytes[pos..header_end]).ok()?;
+/// Parses one record starting at `pos`: a known record, a skippable
+/// unknown one, or a torn/corrupt record (replay stops and truncates).
+fn parse_record(bytes: &[u8], pos: usize) -> Parsed {
+    let Some(newline) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+        return Parsed::Torn;
+    };
+    let header_end = pos + newline;
+    let Ok(header) = std::str::from_utf8(&bytes[pos..header_end]) else {
+        return Parsed::Torn;
+    };
+    let kind = header.split(' ').next().unwrap_or("");
+    match kind {
+        "P" | "D" | "C" | "T" => match parse_known(kind, header, bytes, header_end) {
+            Some(parsed) => Parsed::Rec(parsed.0, parsed.1),
+            None => Parsed::Torn,
+        },
+        _ => parse_unknown(kind, header, bytes, header_end),
+    }
+}
+
+/// Parses the body of a record whose kind this version understands.
+fn parse_known(
+    kind: &str,
+    header: &str,
+    bytes: &[u8],
+    header_end: usize,
+) -> Option<(Record, usize)> {
     let mut fields = header.split(' ');
-    let kind = fields.next()?;
+    fields.next(); // the kind, already dispatched on
     if kind == "C" {
         let seq: u64 = fields.next()?.parse().ok()?;
         if fields.next().is_some() {
@@ -608,7 +876,7 @@ fn parse_record(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
         return Some((Record::Checkpoint(seq), header_end + 1));
     }
     let view = u128::from_str_radix(fields.next()?, 16).ok()?;
-    let params_len: usize = fields.next()?.parse().ok()?;
+    let first_len: usize = fields.next()?.parse().ok()?;
     let take = |start: usize, len: usize| -> Option<(String, usize)> {
         let end = start.checked_add(len)?;
         if end >= bytes.len() || bytes[end] != b'\n' {
@@ -623,19 +891,68 @@ fn parse_record(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
             if fields.next().is_some() {
                 return None;
             }
-            let (params, after_params) = take(header_end + 1, params_len)?;
+            let (params, after_params) = take(header_end + 1, first_len)?;
             let (result, next) = take(after_params, result_len)?;
-            Some((Record::Put(CacheKey { view, params }, result), next))
+            Some((
+                Record::Put(CacheKey { view, params }, result, DEFAULT_TENANT.to_owned()),
+                next,
+            ))
         }
         "D" => {
             if fields.next().is_some() {
                 return None;
             }
-            let (params, next) = take(header_end + 1, params_len)?;
+            let (params, next) = take(header_end + 1, first_len)?;
             Some((Record::Delete(CacheKey { view, params }), next))
+        }
+        "T" => {
+            if fields.next().is_some() {
+                return None;
+            }
+            let (blob, next) = take(header_end + 1, first_len)?;
+            let (tenant, rest) = blob.split_once('\n')?;
+            let (params, result) = rest.split_once('\n')?;
+            Some((
+                Record::Put(
+                    CacheKey {
+                        view,
+                        params: params.to_owned(),
+                    },
+                    result.to_owned(),
+                    tenant.to_owned(),
+                ),
+                next,
+            ))
         }
         _ => None,
     }
+}
+
+/// Decides whether an unknown record kind can be stepped over. The rule
+/// every future kind must honor (and `T` does): an alphabetic kind tag,
+/// and either a header whose *final* field is the byte length of a single
+/// newline-terminated payload, or a bare header line with no payload
+/// (non-numeric fields — metadata like `C`). Anything else is
+/// indistinguishable from corruption and truncates as a torn tail.
+fn parse_unknown(kind: &str, header: &str, bytes: &[u8], header_end: usize) -> Parsed {
+    if kind.is_empty() || !kind.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Parsed::Torn;
+    }
+    let last = header.split(' ').next_back().unwrap_or("");
+    if last != kind {
+        if let Ok(len) = last.parse::<usize>() {
+            let start = header_end + 1;
+            let Some(end) = start.checked_add(len) else {
+                return Parsed::Torn;
+            };
+            if end < bytes.len() && bytes[end] == b'\n' {
+                return Parsed::Skipped(end + 1);
+            }
+            return Parsed::Torn;
+        }
+    }
+    // No payload length to honor: a metadata-style header-only record.
+    Parsed::Skipped(header_end + 1)
 }
 
 #[cfg(test)]
@@ -835,7 +1152,7 @@ mod tests {
 
         let live = [(key(1), "{\"keep\":true}"), (key(2), "{\"round\":4}")];
         store
-            .compact(live.iter().map(|(k, v)| (k, *v)), 41)
+            .compact(live.iter().map(|(k, v)| (k, *v, DEFAULT_TENANT)), 41)
             .unwrap();
         let stats = store.stats();
         assert_eq!(stats.dead, 0);
@@ -849,7 +1166,7 @@ mod tests {
         store.flush().unwrap();
         drop(store);
         let (store, entries) = SegmentStore::open(&path, 4, FsyncPolicy::Off).unwrap();
-        let keys: Vec<&CacheKey> = entries.iter().map(|(k, _)| k).collect();
+        let keys: Vec<&CacheKey> = entries.iter().map(|(k, _, _)| k).collect();
         assert_eq!(keys, vec![&key(1), &key(2), &key(7)]);
         // The checkpoint written by the compaction above replays too.
         assert_eq!(store.stats().checkpoint_seq, 41);
@@ -919,9 +1236,12 @@ mod tests {
             drive(&mut store, &mut cache, n);
         }
         assert!(store.should_compact(), "{:?}", store.stats());
-        let snapshot = cache.snapshot_lru_order();
+        let snapshot = cache.snapshot_lru_order_with_owners();
         store
-            .compact(snapshot.iter().map(|(k, v)| (k, v.as_str())), 8)
+            .compact(
+                snapshot.iter().map(|(k, v, t)| (k, v.as_str(), t.as_str())),
+                8,
+            )
             .unwrap();
         // The burst keeps going after the compaction.
         for n in 8..14 {
@@ -931,7 +1251,7 @@ mod tests {
         assert_eq!(store.stats().live, 3);
         drop(store);
         let (_, entries) = SegmentStore::open(&path, 4, FsyncPolicy::Off).unwrap();
-        let replayed: Vec<&CacheKey> = entries.iter().map(|(k, _)| k).collect();
+        let replayed: Vec<&CacheKey> = entries.iter().map(|(k, _, _)| k).collect();
         let resident: Vec<CacheKey> = cache
             .snapshot_lru_order()
             .into_iter()
@@ -952,7 +1272,7 @@ mod tests {
         // compact() appends the checkpoint last, so the file now *ends* in
         // a C record.
         store
-            .compact(live.iter().map(|(k, v)| (k, *v)), 77)
+            .compact(live.iter().map(|(k, v)| (k, *v, DEFAULT_TENANT)), 77)
             .unwrap();
         drop(store);
         let (store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
@@ -1050,5 +1370,212 @@ mod tests {
         cache.insert("d", 4);
         cache.insert("e", 5);
         assert_eq!(cache.stats().entries, 4);
+    }
+
+    #[test]
+    fn unweighted_owners_share_one_global_lru() {
+        // Without set_weights every reserve is 0, so multi-owner traffic
+        // must evict in exact global LRU order — the pre-tenancy policy.
+        let mut cache: LruCache<&str, i32> = LruCache::new(2);
+        cache.insert_for("alpha", "a1", 1);
+        cache.insert_for("beta", "b1", 2);
+        let evicted = cache.insert_for("beta", "b2", 3).expect("cache was full");
+        assert_eq!(evicted.key, "a1", "global LRU ignores owners");
+        assert_eq!(evicted.owner, "alpha");
+        let evicted = cache.insert_for("alpha", "a2", 4).expect("cache was full");
+        assert_eq!(evicted.key, "b1");
+        assert_eq!(evicted.owner, "beta");
+    }
+
+    #[test]
+    fn weighted_eviction_protects_a_reserved_share() {
+        let mut cache: LruCache<&str, i32> = LruCache::new(4);
+        cache.set_weights(&[("alpha".to_owned(), 1), ("beta".to_owned(), 1)]);
+        // Beta fills its reserve (2 of 4), then alpha fills the rest.
+        cache.insert_for("beta", "b1", 1);
+        cache.insert_for("beta", "b2", 2);
+        cache.insert_for("alpha", "a1", 3);
+        cache.insert_for("alpha", "a2", 4);
+        // Alpha floods: every victim must be alpha's own entry, because
+        // beta sits exactly at its reserve. Beta's oldest entry "b1" is
+        // the global LRU and would be the victim under the old policy.
+        for (n, key) in ["a3", "a4", "a5"].iter().enumerate() {
+            let evicted = cache
+                .insert_for("alpha", key, 10 + n as i32)
+                .expect("cache stays full");
+            assert_eq!(
+                evicted.owner, "alpha",
+                "beta is at reserve; alpha eats its own tail"
+            );
+        }
+        assert!(
+            cache.contains(&"b1"),
+            "beta's working set survives the flood"
+        );
+        assert!(cache.contains(&"b2"));
+        let alpha = cache
+            .owner_stats()
+            .into_iter()
+            .find(|s| s.name == "alpha")
+            .unwrap();
+        assert_eq!(alpha.evictions, 3, "alpha was charged its own evictions");
+
+        // Conversely, an owner holding *more* than its reserve is the
+        // eviction target even when its entries are not globally LRU.
+        let mut cache: LruCache<&str, i32> = LruCache::new(4);
+        cache.set_weights(&[("alpha".to_owned(), 3), ("beta".to_owned(), 1)]);
+        cache.insert_for("beta", "b1", 1);
+        cache.insert_for("beta", "b2", 2);
+        cache.insert_for("alpha", "a1", 3);
+        cache.insert_for("alpha", "a2", 4);
+        let evicted = cache.insert_for("alpha", "a3", 5).expect("cache was full");
+        assert_eq!(evicted.owner, "beta", "beta is over its reserve of 1");
+        assert_eq!(evicted.key, "b1", "beta yields its own LRU entry");
+    }
+
+    #[test]
+    fn weighted_eviction_invariant_holds_under_random_traffic() {
+        // Property: whenever an eviction happens while *some* owner is
+        // over its reserve, the victim's owner must itself be over its
+        // reserve — a protected tenant is never pushed below its floor to
+        // make room for a noisy one.
+        use strudel_rdf::rng::StdRng;
+        let owners = ["alpha", "beta", "gamma"];
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(0x7e0a_0000 + seed);
+            let mut cache: LruCache<u32, u32> = LruCache::new(12);
+            cache.set_weights(&[
+                ("alpha".to_owned(), 2),
+                ("beta".to_owned(), 1),
+                ("gamma".to_owned(), 1),
+            ]);
+            let mut next_key = 0u32;
+            for _ in 0..600 {
+                let owner = owners[rng.gen_range(0..owners.len())];
+                if rng.gen_bool(0.3) {
+                    // Touch a random (possibly absent) key: recency churn.
+                    let probe = rng.gen_range(0..next_key.max(1));
+                    cache.get(&probe);
+                    continue;
+                }
+                let before = cache.owner_stats();
+                let key = next_key;
+                next_key += 1;
+                if let Some(evicted) = cache.insert_for(owner, key, key) {
+                    let any_over = before.iter().any(|s| s.entries > s.reserved);
+                    if any_over {
+                        let victim = before
+                            .iter()
+                            .find(|s| s.name == evicted.owner)
+                            .expect("victim owner is registered");
+                        assert!(
+                            victim.entries > victim.reserved,
+                            "seed {seed}: evicted {} (entries {} ≤ reserve {}) while another owner was over",
+                            evicted.owner,
+                            victim.entries,
+                            victim.reserved
+                        );
+                    }
+                }
+                let stats = cache.stats();
+                assert!(stats.entries <= 12);
+            }
+            // The reserves themselves are honored at rest: total reserve
+            // never exceeds capacity, so everyone can hold their floor.
+            let reserved: usize = cache.owner_stats().iter().map(|s| s.reserved).sum();
+            assert!(reserved <= 12);
+        }
+    }
+
+    #[test]
+    fn tenant_tagged_records_roundtrip_and_survive_compaction() {
+        let path = temp_segment("tenant-roundtrip");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut store, _) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+            store
+                .record_put_for(&key(1), "{\"who\":\"acme\"}", "acme")
+                .unwrap();
+            store.record_put(&key(2), "{\"who\":\"default\"}").unwrap();
+            store
+                .record_put_for(&key(3), "{\"who\":\"beta\"}", "beta-corp")
+                .unwrap();
+            store.flush().unwrap();
+        }
+        // Default-tenant puts keep the legacy P framing on disk.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.contains("\nP "), "default put uses the legacy kind");
+        assert!(raw.starts_with("T "), "non-default put uses the T kind");
+
+        let (mut store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+        let tenants: Vec<&str> = entries.iter().map(|(_, _, t)| t.as_str()).collect();
+        assert_eq!(tenants, vec!["acme", "default", "beta-corp"]);
+        assert_eq!(entries[0].1, "{\"who\":\"acme\"}");
+        assert_eq!(store.stats().skipped_records, 0);
+
+        // Compaction rewrites each entry under its own tenant.
+        store
+            .compact(
+                entries.iter().map(|(k, v, t)| (k, v.as_str(), t.as_str())),
+                9,
+            )
+            .unwrap();
+        drop(store);
+        let (store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+        let tenants: Vec<&str> = entries.iter().map(|(_, _, t)| t.as_str()).collect();
+        assert_eq!(tenants, vec!["acme", "default", "beta-corp"]);
+        assert_eq!(store.stats().checkpoint_seq, 9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_record_kinds_are_skipped_and_counted_not_fatal() {
+        let path = temp_segment("unknown-kinds");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut store, _) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+            store.record_put(&key(1), "{\"ok\":1}").unwrap();
+            store.flush().unwrap();
+        }
+        // Splice in two records from an imaginary future version: one
+        // payload-framed (final header field = payload length), one a
+        // bare metadata line — then a record this version does know.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"X 00000000000000000000000000000042 5\nhello\n");
+        bytes.extend_from_slice(b"Z lease holder-a\n");
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            let (mut store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+            assert_eq!(
+                entries.len(),
+                1,
+                "known records replay around the foreign ones"
+            );
+            assert_eq!(store.stats().skipped_records, 2);
+            // The file was NOT truncated: appends land after the foreign
+            // records, which stay intact for the version that wrote them.
+            assert_eq!(store.stats().file_bytes, bytes.len() as u64);
+            store.record_put(&key(2), "{\"ok\":2}").unwrap();
+            store.flush().unwrap();
+        }
+        let (store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+        assert_eq!(entries.len(), 2, "records after the skipped ones replay");
+        assert_eq!(entries[1].0, key(2));
+        assert_eq!(store.stats().skipped_records, 2);
+
+        // An unknown kind with *broken* framing is still a torn tail.
+        drop(store);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let whole = bytes.len();
+        bytes.extend_from_slice(b"Q 999\nshort");
+        std::fs::write(&path, &bytes).unwrap();
+        let (store, entries) = SegmentStore::open(&path, 1024, FsyncPolicy::Off).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            store.stats().file_bytes,
+            whole as u64,
+            "the unframeable record is truncated away"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -12,7 +12,7 @@ use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use strudel_core::wire::{NotLeader, WireEnvelope, WrongShard};
+use strudel_core::wire::{NotLeader, OverQuota, WireEnvelope, WrongShard};
 
 use crate::json::{self, Json};
 use crate::protocol::{self, SolveRequest, Source};
@@ -51,6 +51,18 @@ pub enum ClientError {
         /// The leader's address, for redirecting.
         detail: NotLeader,
     },
+    /// The server refused the request because its tenant is over quota
+    /// (admission rate or compute-pool share) — the structured
+    /// `over_quota` error, with a deterministic retry hint. A
+    /// request-level refusal, not a connection failure: the socket stays
+    /// usable and a retry after `detail.retry_after_ms` is expected to
+    /// be admitted.
+    OverQuota {
+        /// The server's human-readable message.
+        message: String,
+        /// The refused tenant and the suggested back-off.
+        detail: OverQuota,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -70,6 +82,11 @@ impl fmt::Display for ClientError {
             ClientError::NotLeader { message, detail } => {
                 write!(f, "not the leader: {message} (leader is {})", detail.leader)
             }
+            ClientError::OverQuota { message, detail } => write!(
+                f,
+                "over quota: {message} (tenant '{}', retry after {} ms)",
+                detail.tenant, detail.retry_after_ms
+            ),
         }
     }
 }
@@ -335,7 +352,10 @@ impl Client {
                     Some(detail) => ClientError::WrongShard { message, detail },
                     None => match protocol::not_leader_from_json(&value) {
                         Some(detail) => ClientError::NotLeader { message, detail },
-                        None => ClientError::Server(message),
+                        None => match protocol::over_quota_from_json(&value) {
+                            Some(detail) => ClientError::OverQuota { message, detail },
+                            None => ClientError::Server(message),
+                        },
                     },
                 })
             }

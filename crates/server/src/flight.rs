@@ -86,6 +86,13 @@ impl<K: Hash + Eq + Clone, T> FlightBoard<K, T> {
         self.pending.remove(key).unwrap_or_default()
     }
 
+    /// Whether a solve for `key` is currently in flight. Admission control
+    /// asks this before charging a would-be leader against its tenant's
+    /// compute-pool share — joining an open flight costs no worker slot.
+    pub fn contains(&self, key: &K) -> bool {
+        self.pending.contains_key(key)
+    }
+
     /// Number of keys currently in flight.
     pub fn in_flight(&self) -> usize {
         self.pending.len()

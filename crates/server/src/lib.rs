@@ -39,7 +39,16 @@
 //!   `not_leader` error; promotion (`strudel promote` or
 //!   `--auto-promote`) bumps a replication epoch, and the router fails
 //!   over to `+`-listed standbys, refusing resurrected stale leaders via
-//!   the same epoch machinery.
+//!   the same epoch machinery,
+//! * a **multi-tenant QoS layer** ([`tenant`]) — requests carry a tenant
+//!   id (absent = `default`), resolved against a registry configured via
+//!   `serve --tenants`; each tenant gets a weighted reserve of the cache
+//!   (a hot tenant evicts its own tail, never a sibling's reserve), a
+//!   deterministic token-bucket admission rate, and a bounded share of
+//!   the compute pool, with over-limit requests refused per-element via
+//!   a structured `over_quota` error carrying `retry_after_ms`. Segment
+//!   records and the replication stream are tenant-tagged, so warm
+//!   restarts and promoted followers preserve per-tenant accounting.
 //!
 //! The protocol speaks six operations — `refine`, `highest-theta`,
 //! `lowest-k`, `batch`, `status`, `shutdown` — carrying signature views and
@@ -79,6 +88,7 @@
 //!     max_k: None,
 //!     time_limit: None,
 //!     routing: None,
+//!     tenant: None,
 //! };
 //! let cold = client.solve(&request).unwrap();
 //! assert_eq!(cold.source(), Some(Source::Solved));
@@ -112,18 +122,21 @@ pub mod protocol;
 pub mod replica;
 pub mod router;
 pub mod server;
+pub mod tenant;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, FsyncPolicy, LruCache, PersistStats, SegmentStore};
+    pub use crate::cache::{
+        CacheStats, Evicted, FsyncPolicy, LruCache, OwnerCacheStats, PersistStats, SegmentStore,
+    };
     pub use crate::client::{Client, ClientError, ClientOptions, Response};
     pub use crate::flight::{BoardJoin, FlightBoard, FlightStats};
     pub use crate::json::Json;
     pub use crate::poller::{Event, Interest, Poller, PollerKind, PollerStats, Waker};
     pub use crate::pool::WorkerPool;
     pub use crate::protocol::{
-        CacheKey, EngineKind, NotLeader, ReplRecord, Request, ShardRing, ShardSpec, ShardStamp,
-        SolveOp, SolveRequest, Source, WrongShard,
+        CacheKey, EngineKind, NotLeader, OverQuota, ReplRecord, Request, ShardRing, ShardSpec,
+        ShardStamp, SolveOp, SolveRequest, Source, WrongShard, DEFAULT_TENANT,
     };
     pub use crate::replica::{ReplRole, ReplStatus, HEARTBEAT_INTERVAL};
     pub use crate::router::{Router, RouterOptions};
@@ -131,4 +144,5 @@ pub mod prelude {
     pub use crate::server::{
         self, serve, shard_segment_path, ServerConfig, ServerHandle, ShardStatus, StatusSnapshot,
     };
+    pub use crate::tenant::{TenantCounters, TenantQos, TenantRegistry, TenantSpecSet};
 }

@@ -63,7 +63,8 @@ use strudel_core::wire::{
 };
 
 pub use strudel_core::wire::{
-    NotLeader, ReplRecord, ShardRing, ShardSpec, ShardStamp, Source, WrongShard,
+    validate_tenant, NotLeader, OverQuota, ReplRecord, ShardRing, ShardSpec, ShardStamp, Source,
+    WrongShard, DEFAULT_TENANT,
 };
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
@@ -169,6 +170,13 @@ pub struct SolveRequest {
     /// describes where the request travels, not what it asks — and ignored
     /// by unsharded servers; a sharded server validates it on dispatch.
     pub routing: Option<ShardStamp>,
+    /// The tenant issuing the request (`"tenant"` wire field). `None` is
+    /// the default tenant — decode normalises an explicit `"default"` to
+    /// `None`, so the two spellings are one identity everywhere. Unlike
+    /// the routing stamp this *is* part of the cache key: tenants are
+    /// namespaces, and two tenants asking the same question own separate
+    /// entries (and separate single-flights).
+    pub tenant: Option<String>,
 }
 
 /// The key of a solve request in the result cache: the content hash of the
@@ -182,7 +190,10 @@ pub struct SolveRequest {
 pub struct CacheKey {
     /// [`SignatureView::cache_key`] of the request's view.
     pub view: u128,
-    /// Canonical `op|engine|rule|k|theta|step|max_k|time_limit` text.
+    /// Canonical `op|engine|rule|k|theta|step|max_k|time_limit` text, with
+    /// a `|tenant=<id>` suffix for non-default tenants (the default tenant
+    /// keeps the bare form, so pre-tenancy keys — and the segments built
+    /// from them — stay byte-identical).
     pub params: String,
 }
 
@@ -192,21 +203,29 @@ impl SolveRequest {
     pub fn cache_key(&self) -> CacheKey {
         let fmt_ratio = |r: &Option<Ratio>| r.map(|r| r.to_string()).unwrap_or_default();
         let fmt_usize = |n: &Option<usize>| n.map(|n| n.to_string()).unwrap_or_default();
+        let mut params = format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}",
+            self.op.name(),
+            self.engine.name(),
+            self.spec.spec_string(),
+            fmt_usize(&self.k),
+            fmt_ratio(&self.theta),
+            fmt_ratio(&self.step),
+            fmt_usize(&self.max_k),
+            self.time_limit
+                .map(|d| d.as_millis().to_string())
+                .unwrap_or_default(),
+        );
+        if let Some(tenant) = &self.tenant {
+            // Tenants are namespaces: the suffix keeps their entries
+            // apart. The default tenant stays suffix-free so existing
+            // segments replay onto the same keys.
+            params.push_str("|tenant=");
+            params.push_str(tenant);
+        }
         CacheKey {
             view: self.view.cache_key(),
-            params: format!(
-                "{}|{}|{}|{}|{}|{}|{}|{}",
-                self.op.name(),
-                self.engine.name(),
-                self.spec.spec_string(),
-                fmt_usize(&self.k),
-                fmt_ratio(&self.theta),
-                fmt_ratio(&self.step),
-                fmt_usize(&self.max_k),
-                self.time_limit
-                    .map(|d| d.as_millis().to_string())
-                    .unwrap_or_default(),
-            ),
+            params,
         }
     }
 
@@ -239,6 +258,9 @@ impl SolveRequest {
         if let Some(stamp) = self.routing {
             members.push(("shard".to_owned(), Json::Int(i64::from(stamp.shard))));
             members.push(("epoch".to_owned(), Json::Int(stamp.epoch as i64)));
+        }
+        if let Some(tenant) = &self.tenant {
+            members.push(("tenant".to_owned(), Json::str(tenant.clone())));
         }
         Json::Obj(members)
     }
@@ -467,6 +489,22 @@ fn decode_solve(value: &Json, op: SolveOp) -> Result<Request, ProtocolError> {
         }
     };
 
+    // The tenant identity. A missing field and an explicit "default" are
+    // the same tenant, normalised to `None` so every later comparison
+    // (cache key, registry lookup, segment encoding) sees one spelling.
+    let tenant = match value.get("tenant") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(id)) => {
+            validate_tenant(id).map_err(|err| ProtocolError::new(format!("'tenant': {err}")))?;
+            if id == DEFAULT_TENANT {
+                None
+            } else {
+                Some(id.clone())
+            }
+        }
+        Some(_) => return Err(ProtocolError::new("'tenant' must be a string")),
+    };
+
     // Op-specific required parameters.
     match op {
         SolveOp::Refine => {
@@ -497,6 +535,7 @@ fn decode_solve(value: &Json, op: SolveOp) -> Result<Request, ProtocolError> {
         max_k,
         time_limit,
         routing,
+        tenant,
     })))
 }
 
@@ -810,6 +849,35 @@ pub fn not_leader_from_json(value: &Json) -> Option<NotLeader> {
     })
 }
 
+/// Builds the structured `over_quota` error line admission control sends
+/// when a tenant's token bucket runs dry: the plain error fields plus a
+/// machine-readable `code`, the refused tenant, and the deterministic
+/// retry hint. Per-request (and per-batch-element), never connection-fatal.
+pub fn encode_over_quota(message: &str, detail: &OverQuota) -> String {
+    let mut out = String::with_capacity(message.len() + detail.tenant.len() + 80);
+    out.push_str("{\"ok\":false,\"error\":");
+    Json::str(message).write_into(&mut out);
+    out.push_str(",\"code\":\"over_quota\",\"tenant\":");
+    Json::str(detail.tenant.clone()).write_into(&mut out);
+    out.push_str(&format!(
+        ",\"retry_after_ms\":{}}}",
+        detail.retry_after_ms as i64
+    ));
+    out
+}
+
+/// Reads the structured `over_quota` detail out of a parsed error response,
+/// if the `code` marks one.
+pub fn over_quota_from_json(value: &Json) -> Option<OverQuota> {
+    if value.get("code").and_then(Json::as_str) != Some("over_quota") {
+        return None;
+    }
+    Some(OverQuota {
+        tenant: value.get("tenant").and_then(Json::as_str)?.to_owned(),
+        retry_after_ms: value.get("retry_after_ms").and_then(Json::as_int)? as u64,
+    })
+}
+
 /// Encodes the replication subscribe handshake line a follower opens its
 /// feed connection with.
 pub fn encode_repl_subscribe(shard: Option<&ShardSpec>) -> String {
@@ -840,12 +908,20 @@ pub fn encode_repl_record(record: &ReplRecord) -> String {
             view,
             params,
             result,
+            tenant,
             ..
         } => {
             out.push_str(&format!(",\"view\":\"{view:032x}\",\"params\":"));
             Json::str(params.clone()).write_into(&mut out);
             out.push_str(",\"result\":");
             Json::str(result.clone()).write_into(&mut out);
+            // The tenant travels only when it is not the default — an old
+            // follower decoding a default-tenant stream sees the exact
+            // pre-tenancy line bytes.
+            if tenant != DEFAULT_TENANT {
+                out.push_str(",\"tenant\":");
+                Json::str(tenant.clone()).write_into(&mut out);
+            }
         }
         ReplRecord::Evict { view, params, .. } => {
             out.push_str(&format!(",\"view\":\"{view:032x}\",\"params\":"));
@@ -895,6 +971,14 @@ pub fn repl_record_from_json(value: &Json) -> Result<ReplRecord, ProtocolError> 
             view: view()?,
             params: text("params")?,
             result: text("result")?,
+            // Absent on pre-tenancy (and default-tenant) streams; a
+            // missing field is the default tenant, never a decode error —
+            // the follower feed treats decode errors as a lost feed.
+            tenant: value
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or(DEFAULT_TENANT)
+                .to_owned(),
         }),
         Some("evict") => Ok(ReplRecord::Evict {
             seq,
@@ -1041,6 +1125,7 @@ mod tests {
                 shard: 2,
                 epoch: u64::MAX - 17, // exercises the i64 wire crossing
             }),
+            tenant: Some("acme".to_owned()),
         };
         let line = request.to_json().to_text();
         let Request::Solve(back) = decode_request(&line).unwrap() else {
@@ -1053,6 +1138,7 @@ mod tests {
         assert_eq!(back.theta, Some(Ratio::new(1, 2)));
         assert_eq!(back.time_limit, Some(Duration::from_millis(1500)));
         assert_eq!(back.routing, request.routing);
+        assert_eq!(back.tenant, request.tenant);
         assert_eq!(back.cache_key(), request.cache_key());
     }
 
@@ -1069,6 +1155,7 @@ mod tests {
             max_k: None,
             time_limit: None,
             routing: None,
+            tenant: None,
         };
         let bare = request.cache_key();
         request.routing = Some(ShardStamp {
@@ -1080,6 +1167,80 @@ mod tests {
             bare,
             "routing metadata describes the journey, not the question"
         );
+    }
+
+    #[test]
+    fn tenants_partition_the_cache_key_space() {
+        let mut request = SolveRequest {
+            op: SolveOp::Refine,
+            view: sample_view(),
+            spec: SigmaSpec::Coverage,
+            engine: EngineKind::Hybrid,
+            k: Some(2),
+            theta: Some(Ratio::new(1, 2)),
+            step: None,
+            max_k: None,
+            time_limit: None,
+            routing: None,
+            tenant: None,
+        };
+        let bare = request.cache_key();
+        assert!(
+            !bare.params.contains("tenant="),
+            "the default tenant keeps the pre-tenancy key bytes"
+        );
+        request.tenant = Some("acme".to_owned());
+        let acme = request.cache_key();
+        assert_ne!(acme, bare, "a tenant is a namespace, not metadata");
+        assert!(acme.params.ends_with("|tenant=acme"));
+        request.tenant = Some("globex".to_owned());
+        assert_ne!(request.cache_key(), acme, "tenants do not share entries");
+
+        // Decode normalises the explicit default spelling away.
+        let view_json = view_to_json(&sample_view()).to_text();
+        let line = format!(
+            "{{\"op\":\"refine\",\"view\":{view_json},\"k\":2,\"theta\":\"1/2\",\
+             \"tenant\":\"default\"}}"
+        );
+        let Ok(Request::Solve(solve)) = decode_request(&line) else {
+            panic!("expected a solve request");
+        };
+        assert_eq!(solve.tenant, None);
+        assert_eq!(solve.cache_key(), bare);
+
+        // Invalid tenant ids are refused at decode time.
+        for bad in ["\"\"", "\"a b\"", "\"a|b\"", "\"café\"", "7"] {
+            let line = format!(
+                "{{\"op\":\"refine\",\"view\":{view_json},\"k\":2,\"theta\":\"1/2\",\
+                 \"tenant\":{bad}}}"
+            );
+            assert!(decode_request(&line).is_err(), "must reject tenant {bad}");
+        }
+    }
+
+    #[test]
+    fn over_quota_errors_round_trip_their_structure() {
+        let detail = OverQuota {
+            tenant: "acme".into(),
+            retry_after_ms: 125,
+        };
+        let line = encode_over_quota("tenant 'acme' is over its rate limit", &detail);
+        let value = json::parse(&line).unwrap();
+        assert_eq!(value.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(value.get("code").and_then(Json::as_str), Some("over_quota"));
+        assert_eq!(over_quota_from_json(&value), Some(detail));
+        // Plain errors (and the other structured codes) carry no detail.
+        assert_eq!(
+            over_quota_from_json(&json::parse(&encode_error("boom")).unwrap()),
+            None
+        );
+        let other = encode_not_leader(
+            "nope",
+            &NotLeader {
+                leader: "x:1".into(),
+            },
+        );
+        assert_eq!(over_quota_from_json(&json::parse(&other).unwrap()), None);
     }
 
     #[test]
@@ -1142,6 +1303,7 @@ mod tests {
             max_k: None,
             time_limit: None,
             routing: None,
+            tenant: None,
         };
         let decimal = request.cache_key();
         request.theta = Some(Ratio::parse("1/2").unwrap());
@@ -1345,6 +1507,15 @@ mod tests {
                 view: 0xdead_beef_dead_beef_dead_beef_dead_beef,
                 params: "refine|hybrid|cov|2|1/2|||".into(),
                 result: "{\"outcome\":\"infeasible\",\"note\":\"quoted \\\"x\\\"\"}".into(),
+                tenant: DEFAULT_TENANT.into(),
+            },
+            ReplRecord::Put {
+                seq: 5,
+                epoch: 9,
+                view: 7,
+                params: "refine|hybrid|cov|2|1/2||||tenant=acme".into(),
+                result: "{\"outcome\":\"unknown\"}".into(),
+                tenant: "acme".into(),
             },
             ReplRecord::Evict {
                 seq: 4,
@@ -1364,6 +1535,11 @@ mod tests {
             let back = repl_record_from_json(&value).unwrap();
             assert_eq!(&back, record, "line: {line}");
         }
+        // A default-tenant put omits the field (pre-tenancy line bytes),
+        // a non-default one carries it, and a stream from a version that
+        // predates tenancy decodes to the default tenant, not an error.
+        assert!(!encode_repl_record(&records[0]).contains("\"tenant\""));
+        assert!(encode_repl_record(&records[1]).contains("\"tenant\":\"acme\""));
         // The result payload survives escaping verbatim — the byte-identity
         // guarantee crosses the replication stream.
         let ReplRecord::Put { result, .. } = &records[0] else {

@@ -57,6 +57,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+#[cfg(test)]
+use strudel_core::wire::DEFAULT_TENANT;
 use strudel_core::wire::{bump_repl_epoch, ReplRecord, ShardSpec};
 
 use crate::json::{self, Json};
@@ -331,14 +333,16 @@ impl ReplicaHub {
         Some((protocol::encode_repl_record(record), self.ids()))
     }
 
-    /// Publishes a cache insert. The sequence number advances whether or
-    /// not anyone is listening — it is the leader's publication clock, and
-    /// late subscribers pick it up from their snapshot checkpoint.
+    /// Publishes a cache insert owned by `tenant`. The sequence number
+    /// advances whether or not anyone is listening — it is the leader's
+    /// publication clock, and late subscribers pick it up from their
+    /// snapshot checkpoint.
     pub fn publish_put(
         &mut self,
         state: &ReplState,
         key: &CacheKey,
         result: &str,
+        tenant: &str,
     ) -> Option<(String, Vec<u64>)> {
         let record = ReplRecord::Put {
             seq: state.next_seq(),
@@ -346,6 +350,7 @@ impl ReplicaHub {
             view: key.view,
             params: key.params.clone(),
             result: result.to_owned(),
+            tenant: tenant.to_owned(),
         };
         self.fan_out(state, &record)
     }
@@ -407,13 +412,14 @@ impl Default for ReplicaHub {
 /// records carry `seq` 0 — they are a point-in-time copy, not publications;
 /// the checkpoint closing the snapshot tells the follower where the live
 /// stream stands.
-pub fn snapshot_record(epoch: u64, key: &CacheKey, result: &str) -> String {
+pub fn snapshot_record(epoch: u64, key: &CacheKey, result: &str, tenant: &str) -> String {
     protocol::encode_repl_record(&ReplRecord::Put {
         seq: 0,
         epoch,
         view: key.view,
         params: key.params.clone(),
         result: result.to_owned(),
+        tenant: tenant.to_owned(),
     })
 }
 
@@ -421,8 +427,10 @@ pub fn snapshot_record(epoch: u64, key: &CacheKey, result: &str) -> String {
 /// server's shared state implements this; the indirection keeps the feed
 /// loop testable and free of the server's internals.
 pub trait FollowerHost: Send + Sync + 'static {
-    /// Replays a put record into the local cache (and segment, if any).
-    fn apply_put(&self, key: &CacheKey, result: &str);
+    /// Replays a put record into the local cache (and segment, if any),
+    /// accounted under `tenant` — so a later promotion starts with the
+    /// leader's per-tenant residency, not a flattened one.
+    fn apply_put(&self, key: &CacheKey, result: &str, tenant: &str);
     /// Replays an eviction record.
     fn apply_evict(&self, key: &CacheKey);
     /// Whether the server is shutting down (the thread exits promptly).
@@ -566,6 +574,7 @@ fn run_feed<H: FollowerHost>(
                         view,
                         params,
                         result,
+                        tenant,
                         ..
                     } => host.apply_put(
                         &CacheKey {
@@ -573,6 +582,7 @@ fn run_feed<H: FollowerHost>(
                             params: params.clone(),
                         },
                         result,
+                        tenant,
                     ),
                     ReplRecord::Evict { view, params, .. } => host.apply_evict(&CacheKey {
                         view: *view,
@@ -698,6 +708,7 @@ mod tests {
             view: 1,
             params: "p".into(),
             result: "{}".into(),
+            tenant: DEFAULT_TENANT.into(),
         });
         assert_eq!(state.status().lag, 1);
         assert_eq!(state.status().records_applied, 1);
@@ -742,7 +753,9 @@ mod tests {
     fn the_hub_assigns_seqs_even_with_no_subscribers() {
         let state = ReplState::leader(5);
         let mut hub = ReplicaHub::new();
-        assert!(hub.publish_put(&state, &key(1), "{}").is_none());
+        assert!(hub
+            .publish_put(&state, &key(1), "{}", DEFAULT_TENANT)
+            .is_none());
         assert!(hub.publish_evict(&state, &key(1)).is_none());
         assert_eq!(
             state.last_seq(),
@@ -761,12 +774,18 @@ mod tests {
         hub.add(3, &state); // duplicate adds are idempotent
         assert_eq!(state.status().subscribers, 2);
 
-        let (line, ids) = hub.publish_put(&state, &key(2), "{\"x\":1}").expect("line");
+        let (line, ids) = hub
+            .publish_put(&state, &key(2), "{\"x\":1}", "acme")
+            .expect("line");
         assert_eq!(ids, vec![3, 9]);
         let record = protocol::repl_record_from_json(&json::parse(&line).unwrap()).expect("record");
         assert_eq!(record.seq(), 1);
         assert_eq!(record.epoch(), 5);
         assert_eq!(record.kind(), "put");
+        let ReplRecord::Put { ref tenant, .. } = record else {
+            panic!("expected a put")
+        };
+        assert_eq!(tenant, "acme", "the owner rides the stream");
         assert_eq!(state.status().records_sent, 2, "one per subscriber");
 
         assert!(hub.remove(3, &state));
@@ -781,7 +800,7 @@ mod tests {
         let state = ReplState::leader(1);
         let mut hub = ReplicaHub::new();
         hub.add(1, &state);
-        hub.publish_put(&state, &key(1), "{}");
+        hub.publish_put(&state, &key(1), "{}", DEFAULT_TENANT);
         let (line, _) = hub.publish_checkpoint(&state, 1).expect("checkpoint");
         let record = protocol::repl_record_from_json(&json::parse(&line).unwrap()).unwrap();
         assert_eq!(record.seq(), 1, "checkpoint repeats the current seq");
@@ -790,10 +809,14 @@ mod tests {
 
     #[test]
     fn snapshot_records_carry_seq_zero_and_the_payload_verbatim() {
-        let line = snapshot_record(9, &key(4), "{\"outcome\":\"unknown\"}");
+        let line = snapshot_record(9, &key(4), "{\"outcome\":\"unknown\"}", "acme");
         let record = protocol::repl_record_from_json(&json::parse(&line).unwrap()).unwrap();
         let ReplRecord::Put {
-            seq, epoch, result, ..
+            seq,
+            epoch,
+            result,
+            tenant,
+            ..
         } = record
         else {
             panic!("snapshot records are puts");
@@ -801,6 +824,7 @@ mod tests {
         assert_eq!(seq, 0);
         assert_eq!(epoch, 9);
         assert_eq!(result, "{\"outcome\":\"unknown\"}");
+        assert_eq!(tenant, "acme");
     }
 
     #[test]
@@ -821,7 +845,7 @@ mod tests {
 
     /// A host that records applications and never stops.
     struct RecordingHost {
-        puts: Mutex<Vec<(CacheKey, String)>>,
+        puts: Mutex<Vec<(CacheKey, String, String)>>,
         evicts: Mutex<Vec<CacheKey>>,
         stop: AtomicBool,
     }
@@ -837,11 +861,11 @@ mod tests {
     }
 
     impl FollowerHost for RecordingHost {
-        fn apply_put(&self, key: &CacheKey, result: &str) {
+        fn apply_put(&self, key: &CacheKey, result: &str, tenant: &str) {
             self.puts
                 .lock()
                 .unwrap()
-                .push((key.clone(), result.to_owned()));
+                .push((key.clone(), result.to_owned(), tenant.to_owned()));
         }
         fn apply_evict(&self, key: &CacheKey) {
             self.evicts.lock().unwrap().push(key.clone());
@@ -879,6 +903,7 @@ mod tests {
                     view: key(1).view,
                     params: key(1).params,
                     result: "{\"a\":1}".into(),
+                    tenant: DEFAULT_TENANT.into(),
                 },
                 ReplRecord::Put {
                     seq: 2,
@@ -886,6 +911,7 @@ mod tests {
                     view: key(2).view,
                     params: key(2).params,
                     result: "{\"b\":2}".into(),
+                    tenant: "acme".into(),
                 },
                 ReplRecord::Evict {
                     seq: 3,
@@ -929,6 +955,8 @@ mod tests {
         let puts = host.puts.lock().unwrap();
         assert_eq!(puts.len(), 2);
         assert_eq!(puts[0].1, "{\"a\":1}");
+        assert_eq!(puts[0].2, DEFAULT_TENANT);
+        assert_eq!(puts[1].2, "acme", "the owner survives the feed");
         assert_eq!(host.evicts.lock().unwrap().as_slice(), &[key(1)]);
         assert_eq!(state.status().records_applied, 4);
         assert_eq!(state.status().lag, 0);

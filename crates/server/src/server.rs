@@ -64,7 +64,9 @@ use std::time::{Duration, Instant};
 use strudel_core::prelude::{highest_theta, lowest_k, HighestThetaOptions, SweepDirection};
 use strudel_core::wire::{WireHighestTheta, WireLowestK, WireOutcome};
 
-use crate::cache::{CacheStats, FsyncPolicy, LruCache, PersistStats, SegmentStore};
+use crate::cache::{
+    CacheStats, FsyncPolicy, LruCache, OwnerCacheStats, PersistStats, SegmentStore,
+};
 use crate::flight::{BoardJoin, FlightBoard, FlightStats};
 use crate::json::Json;
 use crate::poller::{
@@ -72,11 +74,12 @@ use crate::poller::{
 };
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    self, encode_batch, encode_error, encode_not_leader, encode_success, encode_wrong_shard,
-    CacheKey, Decoded, NotLeader, Request, ShardRing, ShardSpec, SolveOp, SolveRequest, Source,
-    WrongShard,
+    self, encode_batch, encode_error, encode_not_leader, encode_over_quota, encode_success,
+    encode_wrong_shard, CacheKey, Decoded, NotLeader, OverQuota, Request, ShardRing, ShardSpec,
+    SolveOp, SolveRequest, Source, WrongShard, DEFAULT_TENANT,
 };
 use crate::replica::{self, FollowerConfig, FollowerHost, ReplState, ReplStatus, ReplicaHub};
+use crate::tenant::{TenantCounters, TenantRegistry, TenantSpecSet};
 
 /// Configuration of a server instance.
 #[derive(Clone, Debug)]
@@ -117,6 +120,11 @@ pub struct ServerConfig {
     /// conformance matrix uses it) first, then epoll on Linux, scan
     /// elsewhere — see [`PollerKind::resolve`].
     pub poller: Option<PollerKind>,
+    /// Per-tenant QoS configuration (`serve --tenants SPEC`): cache
+    /// weights, admission rates, and compute-pool shares (see
+    /// [`TenantSpecSet::parse`]). `None` runs a single unlimited
+    /// `default` tenant — exactly the pre-tenancy behavior.
+    pub tenants: Option<TenantSpecSet>,
 }
 
 impl Default for ServerConfig {
@@ -132,9 +140,15 @@ impl Default for ServerConfig {
             follow: None,
             auto_promote: None,
             poller: None,
+            tenants: None,
         }
     }
 }
+
+/// Seed of the tenant registry's refusal-jitter RNG. Fixed (not
+/// wall-clock derived) so a refusal trace is reproducible run to run —
+/// the determinism property tests depend on it.
+const TENANT_JITTER_SEED: u64 = 0x7465_6e61_6e74_7331; // "tenants1"
 
 /// The per-shard namespace of a persistent segment: every shard of a
 /// cluster can be pointed at the *same* `--persist` base path and still
@@ -163,6 +177,9 @@ struct Shared {
     repl: Arc<ReplState>,
     cache: Mutex<LruCache<CacheKey, Arc<String>>>,
     persist: Mutex<Option<SegmentStore>>,
+    /// The tenant control plane: admission buckets, pool shares, and the
+    /// per-tenant counters (interior-mutexed; see [`TenantRegistry`]).
+    tenants: TenantRegistry,
     pool: WorkerPool,
     metrics: Metrics,
     stop: AtomicBool,
@@ -185,10 +202,13 @@ struct Shared {
     completions: Arc<Mutex<Vec<Completion>>>,
 }
 
-/// One finished solve: the flight key and the serialized result (or the
-/// error message shared by everyone parked on the flight).
+/// One finished solve: the flight key, the tenant that led it (the key
+/// namespaces tenants, so every waiter on the flight shares it), and the
+/// serialized result (or the error message shared by everyone parked on
+/// the flight).
 struct Completion {
     key: CacheKey,
+    tenant: String,
     outcome: Result<String, String>,
 }
 
@@ -282,6 +302,11 @@ pub struct StatusSnapshot {
     pub replication: ReplStatus,
     /// Writes refused because this server is an unpromoted follower.
     pub not_leader: u64,
+    /// Per-tenant QoS counters, in registry order (configured tenants
+    /// first, then unknown tenants in first-seen order).
+    pub tenants: Vec<TenantCounters>,
+    /// Per-tenant cache occupancy (entries resident, reserve floor).
+    pub tenant_cache: Vec<OwnerCacheStats>,
 }
 
 impl StatusSnapshot {
@@ -298,8 +323,41 @@ impl StatusSnapshot {
                 ("compactions", Json::Int(stats.compactions as i64)),
                 ("file_bytes", Json::Int(stats.file_bytes as i64)),
                 ("fsyncs", Json::Int(stats.fsyncs as i64)),
+                ("skipped", Json::Int(stats.skipped_records as i64)),
                 ("errors", Json::Int(self.persist_errors as i64)),
             ]),
+        };
+        // The tenants block joins the registry's counters with the cache's
+        // per-owner occupancy by name; a tenant that has never inserted
+        // simply reports zero entries.
+        let tenants = {
+            let occupancy: HashMap<&str, (usize, usize)> = self
+                .tenant_cache
+                .iter()
+                .map(|o| (o.name.as_str(), (o.entries, o.reserved)))
+                .collect();
+            Json::Arr(
+                self.tenants
+                    .iter()
+                    .map(|t| {
+                        let (entries, reserved) =
+                            occupancy.get(t.name.as_str()).copied().unwrap_or((0, 0));
+                        Json::obj(vec![
+                            ("name", Json::str(t.name.clone())),
+                            ("hits", Json::Int(t.hits as i64)),
+                            ("misses", Json::Int(t.misses as i64)),
+                            ("evictions", Json::Int(t.evictions as i64)),
+                            ("refusals", Json::Int(t.refusals as i64)),
+                            ("inflight", Json::Int(t.inflight as i64)),
+                            ("entries", Json::Int(entries as i64)),
+                            ("reserved", Json::Int(reserved as i64)),
+                            ("weight", Json::Int(t.weight as i64)),
+                            ("rate", Json::Int(t.rate as i64)),
+                            ("pool", Json::Int(t.pool as i64)),
+                        ])
+                    })
+                    .collect(),
+            )
         };
         let replication = {
             let repl = &self.replication;
@@ -388,6 +446,7 @@ impl StatusSnapshot {
                 ]),
             ),
             ("persist", persist),
+            ("tenants", tenants),
         ])
     }
 }
@@ -457,7 +516,9 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     // order, which reconstructs the pre-restart recency ranking. A shard
     // replays (and writes) only its own namespaced file.
     let metrics = Metrics::default();
+    let tenants = TenantRegistry::new(config.tenants.as_ref(), TENANT_JITTER_SEED);
     let mut cache = LruCache::new(config.cache_capacity);
+    cache.set_weights(&tenants.weights());
     let persist = match &config.persist_path {
         None => None,
         Some(path) => {
@@ -467,11 +528,12 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
             };
             let (mut store, entries) =
                 SegmentStore::open(path, config.compact_dead_threshold, config.fsync)?;
-            for (key, text) in entries {
-                if let Some((victim, _)) = cache.insert(key, Arc::new(text)) {
+            for (key, text, tenant) in entries {
+                if let Some(victim) = cache.insert_for(&tenant, key, Arc::new(text)) {
                     // The segment outgrew this instance's capacity: keep
                     // disk consistent with what is actually resident.
-                    if let Err(err) = store.record_evict(&victim) {
+                    tenants.count_eviction(&victim.owner);
+                    if let Err(err) = store.record_evict(&victim.key) {
                         metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
                         eprintln!("strudel-server: replay-overflow tombstone failed: {err}");
                     }
@@ -489,6 +551,7 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         repl,
         cache: Mutex::new(cache),
         persist: Mutex::new(persist),
+        tenants,
         pool: WorkerPool::new(config.workers),
         metrics,
         stop: AtomicBool::new(false),
@@ -534,20 +597,24 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
 /// Locks are taken one at a time except for the documented persist→cache
 /// nesting during compaction (see [`EventLoop::persist_insert`]).
 impl FollowerHost for Shared {
-    fn apply_put(&self, key: &CacheKey, result: &str) {
-        let evicted = self
-            .cache
-            .lock()
-            .expect("cache lock")
-            .insert(key.clone(), Arc::new(result.to_owned()))
-            .map(|(victim, _)| victim);
+    fn apply_put(&self, key: &CacheKey, result: &str, tenant: &str) {
+        let evicted = self.cache.lock().expect("cache lock").insert_for(
+            tenant,
+            key.clone(),
+            Arc::new(result.to_owned()),
+        );
+        if let Some(victim) = &evicted {
+            // The follower mirrors the leader's per-tenant accounting so
+            // a promotion starts with honest eviction counters.
+            self.tenants.count_eviction(&victim.owner);
+        }
         let mut persist = self.persist.lock().expect("persist lock");
         let Some(store) = persist.as_mut() else {
             return;
         };
-        let mut outcome = store.record_put(key, result);
+        let mut outcome = store.record_put_for(key, result, tenant);
         if let Some(victim) = &evicted {
-            outcome = outcome.and_then(|()| store.record_evict(victim));
+            outcome = outcome.and_then(|()| store.record_evict(&victim.key));
         }
         if let Err(err) = outcome {
             self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
@@ -555,9 +622,13 @@ impl FollowerHost for Shared {
             return;
         }
         if store.should_compact() {
-            let snapshot = self.cache.lock().expect("cache lock").snapshot_lru_order();
+            let snapshot = self
+                .cache
+                .lock()
+                .expect("cache lock")
+                .snapshot_lru_order_with_owners();
             if let Err(err) = store.compact(
-                snapshot.iter().map(|(k, v)| (k, v.as_str())),
+                snapshot.iter().map(|(k, v, t)| (k, v.as_str(), t.as_str())),
                 self.repl.last_seq(),
             ) {
                 self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
@@ -638,7 +709,10 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
     // The locks are taken strictly one at a time (each guard is a
     // temporary), so this never nests against the event loop's
     // cache-then-persist ordering.
-    let cache = shared.cache.lock().expect("cache lock").stats();
+    let (cache, tenant_cache) = {
+        let guard = shared.cache.lock().expect("cache lock");
+        (guard.stats(), guard.owner_stats())
+    };
     let persist = shared
         .persist
         .lock()
@@ -676,6 +750,8 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
         persist_errors: metrics.persist_errors.load(Ordering::Relaxed),
         replication: shared.repl.status(),
         not_leader: metrics.not_leader.load(Ordering::Relaxed),
+        tenants: shared.tenants.snapshot(),
+        tenant_cache,
     }
 }
 
@@ -967,6 +1043,13 @@ impl EventLoop {
             timeout = Some(timeout.map_or(due, |current: Duration| current.min(due)));
         };
         if let Some(due) = self.hub.heartbeat_due_in() {
+            consider(due);
+        }
+        // A refused tenant's next token arrival bounds the wait, so a
+        // retrying client is admitted as soon as its bucket refills even
+        // on an otherwise-idle epoll server (which would block forever).
+        let tenants = &self.shared.tenants;
+        if let Some(due) = tenants.next_refill_due_in(tenants.now()) {
             consider(due);
         }
         if let Some(store) = self.shared.persist.lock().expect("persist lock").as_ref() {
@@ -1362,7 +1445,7 @@ impl EventLoop {
             .cache
             .lock()
             .expect("cache lock")
-            .snapshot_lru_order();
+            .snapshot_lru_order_with_owners();
         let response = encode_success(
             "repl_subscribe",
             Source::Solved,
@@ -1382,7 +1465,7 @@ impl EventLoop {
         // closed by a checkpoint announcing where the live stream stands.
         let mut lines: Vec<String> = snapshot
             .iter()
-            .map(|(key, text)| replica::snapshot_record(repl.epoch(), key, text))
+            .map(|(key, text, tenant)| replica::snapshot_record(repl.epoch(), key, text, tenant))
             .collect();
         lines.push(protocol::encode_repl_record(
             &strudel_core::wire::ReplRecord::Checkpoint {
@@ -1508,10 +1591,34 @@ impl EventLoop {
                         ));
                     }
                 }
+                // Admission gate: the tenant's token bucket meters every
+                // solve — hit or miss — *before* the cache is touched, so
+                // a flooding tenant cannot even monopolise lookup
+                // bandwidth. Refusals are per-element (a mixed batch keeps
+                // its other answers) and structured: the client learns the
+                // tenant and a deterministic `retry_after_ms`.
+                let tenant = solve
+                    .tenant
+                    .clone()
+                    .unwrap_or_else(|| DEFAULT_TENANT.to_owned());
+                if let Err(retry_after_ms) = self.shared.tenants.admit(&tenant) {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let message =
+                        format!("tenant '{tenant}' is over its admission rate; retry later");
+                    return Some(encode_over_quota(
+                        &message,
+                        &OverQuota {
+                            tenant,
+                            retry_after_ms,
+                        },
+                    ));
+                }
                 metrics.count_solve(solve.op);
                 if let Some(result) = self.shared.cache.lock().expect("cache lock").get(&key) {
+                    self.shared.tenants.count_hit(&tenant);
                     return Some(encode_success(solve.op.name(), Source::Cache, &result));
                 }
+                self.shared.tenants.count_miss(&tenant);
                 // Follower gate: a standby answers what its replicated
                 // cache already holds (the hit path above); anything that
                 // would *compute and insert* is a write, refused toward
@@ -1525,6 +1632,23 @@ impl EventLoop {
                         &NotLeader { leader },
                     ));
                 }
+                // Pool gate: only a request that would *lead* a new solve
+                // (no flight open for its key) is charged against its
+                // tenant's compute-pool share — joining an open flight
+                // costs no worker slot, so coalesced followers ride free.
+                if !self.board.contains(&key) && !self.shared.tenants.pool_available(&tenant) {
+                    let retry_after_ms = self.shared.tenants.refuse_pool(&tenant);
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let message =
+                        format!("tenant '{tenant}' has no compute-pool share free; retry later");
+                    return Some(encode_over_quota(
+                        &message,
+                        &OverQuota {
+                            tenant,
+                            retry_after_ms,
+                        },
+                    ));
+                }
                 let waiter = Waiter {
                     conn,
                     slot,
@@ -1534,6 +1658,7 @@ impl EventLoop {
                 match self.board.join(key.clone(), waiter) {
                     BoardJoin::Lead => {
                         metrics.flight_leaders.fetch_add(1, Ordering::Relaxed);
+                        self.shared.tenants.begin_solve(&tenant);
                         self.pending_jobs += 1;
                         // Capture only the completion queue and the
                         // poller's waker (see the field doc on
@@ -1551,7 +1676,11 @@ impl EventLoop {
                             completions
                                 .lock()
                                 .expect("completions lock")
-                                .push(Completion { key, outcome });
+                                .push(Completion {
+                                    key,
+                                    tenant,
+                                    outcome,
+                                });
                             waker.wake();
                         });
                     }
@@ -1575,19 +1704,23 @@ impl EventLoop {
         }
         for completion in completed {
             self.pending_jobs -= 1;
+            self.shared.tenants.end_solve(&completion.tenant);
             let tokens = self.board.complete(&completion.key);
             match completion.outcome {
                 Ok(text) => {
                     let text = Arc::new(text);
-                    let evicted = self
-                        .shared
-                        .cache
-                        .lock()
-                        .expect("cache lock")
-                        .insert(completion.key.clone(), Arc::clone(&text))
-                        .map(|(victim, _)| victim);
-                    let compacted = self.persist_insert(&completion.key, &text, evicted.as_ref());
-                    self.replicate_insert(&completion.key, &text, evicted.as_ref());
+                    let evicted = self.shared.cache.lock().expect("cache lock").insert_for(
+                        &completion.tenant,
+                        completion.key.clone(),
+                        Arc::clone(&text),
+                    );
+                    if let Some(victim) = &evicted {
+                        self.shared.tenants.count_eviction(&victim.owner);
+                    }
+                    let victim_key = evicted.as_ref().map(|victim| &victim.key);
+                    let compacted =
+                        self.persist_insert(&completion.key, &text, &completion.tenant, victim_key);
+                    self.replicate_insert(&completion.key, &text, &completion.tenant, victim_key);
                     if compacted {
                         let live = self
                             .shared
@@ -1631,7 +1764,13 @@ impl EventLoop {
     /// segment, compacting when dead records cross the threshold. Returns
     /// whether a compaction ran (the caller announces it to replication
     /// subscribers as a checkpoint).
-    fn persist_insert(&mut self, key: &CacheKey, text: &str, evicted: Option<&CacheKey>) -> bool {
+    fn persist_insert(
+        &mut self,
+        key: &CacheKey,
+        text: &str,
+        tenant: &str,
+        evicted: Option<&CacheKey>,
+    ) -> bool {
         // This is the one place a lock is acquired while another is held
         // (cache inside persist, for the compaction snapshot). It cannot
         // deadlock because no other path holds the cache lock across a
@@ -1642,7 +1781,7 @@ impl EventLoop {
             let Some(store) = persist.as_mut() else {
                 return false;
             };
-            let mut result = store.record_put(key, text);
+            let mut result = store.record_put_for(key, text, tenant);
             if let Some(victim) = evicted {
                 result = result.and_then(|()| store.record_evict(victim));
             }
@@ -1665,14 +1804,14 @@ impl EventLoop {
                 .cache
                 .lock()
                 .expect("cache lock")
-                .snapshot_lru_order()
+                .snapshot_lru_order_with_owners()
         };
         let mut persist = self.shared.persist.lock().expect("persist lock");
         let Some(store) = persist.as_mut() else {
             return false;
         };
         if let Err(err) = store.compact(
-            snapshot.iter().map(|(k, v)| (k, v.as_str())),
+            snapshot.iter().map(|(k, v, t)| (k, v.as_str(), t.as_str())),
             self.shared.repl.last_seq(),
         ) {
             self.shared
@@ -1689,8 +1828,14 @@ impl EventLoop {
     /// capacity pushed something out, the matching evict record) to every
     /// subscriber feed. The publication clock ticks even with no
     /// subscribers — late joiners pick it up from their snapshot.
-    fn replicate_insert(&mut self, key: &CacheKey, text: &str, evicted: Option<&CacheKey>) {
-        if let Some((line, ids)) = self.hub.publish_put(&self.shared.repl, key, text) {
+    fn replicate_insert(
+        &mut self,
+        key: &CacheKey,
+        text: &str,
+        tenant: &str,
+        evicted: Option<&CacheKey>,
+    ) {
+        if let Some((line, ids)) = self.hub.publish_put(&self.shared.repl, key, text, tenant) {
             self.deliver_to_subscribers(line, ids);
         }
         if let Some(victim) = evicted {

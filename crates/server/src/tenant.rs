@@ -1,0 +1,703 @@
+//! Multi-tenant namespaces with per-tenant QoS.
+//!
+//! One server (and one cluster) hosts many *tenants* — independent
+//! workloads sharing the process. Without isolation a single noisy tenant
+//! evicts the whole fleet's working set and occupies every solver slot;
+//! this module is the control plane that prevents it. Three QoS planes,
+//! each enforced at a different layer but configured here:
+//!
+//! * **Cache weight** — every tenant named in the spec reserves a share of
+//!   the LRU proportional to its `weight`. The weighted eviction policy
+//!   itself lives in [`LruCache`](crate::cache::LruCache) (which tags every
+//!   entry with its owner); the registry merely translates weights into
+//!   reserved entry counts at startup.
+//! * **Admission rate** — a deterministic token bucket per tenant
+//!   ([`TokenBucket`]): `rate` tokens/second with a `burst` ceiling,
+//!   refilled lazily from *logical elapsed time* (a `Duration` the caller
+//!   passes in), never from wall-clock sampling inside the bucket — so the
+//!   property tests replay identical admission traces. An over-limit
+//!   request is refused with a structured `over_quota` error carrying
+//!   `retry_after_ms`: the time to the next token plus bounded jitter from
+//!   a seeded [`StdRng`] (deterministic by construction, and spread so a
+//!   refused fleet does not retry in lockstep).
+//! * **Compute-pool share** — a per-tenant in-flight ceiling (`pool`)
+//!   checked before a request may *lead* a solve. Joining an existing
+//!   single-flight is always free: coalescing costs no solver slot.
+//!
+//! Tenants not named in the spec are admitted unlimited (and tracked under
+//! their own counters); the [`DEFAULT_TENANT`] exists implicitly, so a
+//! server started without `--tenants` behaves exactly as before tenancy.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use strudel_core::wire::{validate_tenant, DEFAULT_TENANT};
+use strudel_rdf::rng::StdRng;
+
+/// One micro-token: buckets account in millionths of a token so integer
+/// arithmetic stays exact at any refill granularity.
+const MICRO: u64 = 1_000_000;
+
+/// Per-tenant QoS knobs, parsed from one `--tenants` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantQos {
+    /// The tenant id (validated by `strudel_core::wire::validate_tenant`).
+    pub name: String,
+    /// Relative cache weight; the tenant reserves
+    /// `capacity × weight / Σweights` LRU entries (default 1).
+    pub weight: u64,
+    /// Admission rate in requests/second; `None` means unlimited.
+    pub rate: Option<u64>,
+    /// Token-bucket capacity (burst); defaults to `rate` when a rate is
+    /// set, meaningless otherwise.
+    pub burst: Option<u64>,
+    /// Maximum concurrent solves the tenant may lead; `None` = unlimited.
+    pub pool: Option<usize>,
+}
+
+impl TenantQos {
+    /// An unlimited tenant with weight 1 — the shape every tenant not
+    /// named in the spec gets.
+    fn unlimited(name: &str) -> Self {
+        TenantQos {
+            name: name.to_owned(),
+            weight: 1,
+            rate: None,
+            burst: None,
+            pool: None,
+        }
+    }
+}
+
+/// The parsed `serve --tenants` spec: a list of named tenants with knobs.
+///
+/// Grammar (whitespace-tolerant):
+///
+/// ```text
+/// SPEC   := ENTRY (';' ENTRY)*
+/// ENTRY  := NAME (':' KNOB (',' KNOB)*)?
+/// KNOB   := ('weight'|'rate'|'burst'|'pool') '=' INTEGER
+/// ```
+///
+/// Example: `alpha:weight=2,rate=50,burst=100,pool=2;beta:weight=1`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantSpecSet {
+    /// The configured tenants, in spec order.
+    pub tenants: Vec<TenantQos>,
+}
+
+impl TenantSpecSet {
+    /// Parses the `--tenants` notation. Rejects empty specs, invalid
+    /// tenant ids, duplicate names, unknown knobs, zero values, and a
+    /// `burst` without a `rate` (a burst ceiling on an unlimited bucket
+    /// would silently do nothing).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut tenants: Vec<TenantQos> = Vec::new();
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, knobs) = match entry.split_once(':') {
+                Some((name, knobs)) => (name.trim(), knobs.trim()),
+                None => (entry, ""),
+            };
+            validate_tenant(name)?;
+            if tenants.iter().any(|t| t.name == name) {
+                return Err(format!("tenant '{name}' appears twice in the spec"));
+            }
+            let mut qos = TenantQos::unlimited(name);
+            for knob in knobs.split(',') {
+                let knob = knob.trim();
+                if knob.is_empty() {
+                    continue;
+                }
+                let (key, value) = knob
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected KNOB=VALUE in '{knob}' for '{name}'"))?;
+                let value: u64 = value.trim().parse().map_err(|_| {
+                    format!(
+                        "invalid value '{}' for {} of '{name}'",
+                        value.trim(),
+                        key.trim()
+                    )
+                })?;
+                if value == 0 {
+                    return Err(format!("{} of '{name}' must be at least 1", key.trim()));
+                }
+                match key.trim() {
+                    "weight" => qos.weight = value,
+                    "rate" => qos.rate = Some(value),
+                    "burst" => qos.burst = Some(value),
+                    "pool" => qos.pool = Some(value as usize),
+                    other => {
+                        return Err(format!(
+                            "unknown knob '{other}' for '{name}'; expected weight, rate, \
+                             burst, or pool"
+                        ))
+                    }
+                }
+            }
+            if qos.burst.is_some() && qos.rate.is_none() {
+                return Err(format!(
+                    "'{name}' sets burst without rate; a burst only bounds a rate-limited bucket"
+                ));
+            }
+            tenants.push(qos);
+        }
+        if tenants.is_empty() {
+            return Err("the tenant spec names no tenants".to_owned());
+        }
+        Ok(TenantSpecSet { tenants })
+    }
+
+    /// `(name, weight)` pairs for the cache's weighted-eviction policy.
+    pub fn weights(&self) -> Vec<(String, u64)> {
+        self.tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.weight))
+            .collect()
+    }
+}
+
+/// A deterministic token bucket: `rate` tokens/second up to `burst`,
+/// refilled lazily from the logical time the caller passes in.
+///
+/// All arithmetic is integral (micro-tokens), so two buckets fed the same
+/// sequence of `now` values make byte-identical decisions — the
+/// reproducibility contract the admission property tests pin down.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate: u64,
+    burst: u64,
+    micro: u64,
+    last: Duration,
+}
+
+impl TokenBucket {
+    /// A full bucket holding `burst` tokens, refilling at `rate`/second.
+    /// Both must be non-zero.
+    pub fn new(rate: u64, burst: u64) -> Self {
+        assert!(rate > 0 && burst > 0, "a bucket needs a rate and a burst");
+        TokenBucket {
+            rate,
+            burst,
+            micro: burst.saturating_mul(MICRO),
+            last: Duration::ZERO,
+        }
+    }
+
+    /// Takes one token at logical time `now`, or reports how long until
+    /// the next token refills. `now` values must be non-decreasing per
+    /// bucket (they come from one monotonic clock); an out-of-order `now`
+    /// is treated as "no time has passed".
+    pub fn try_take(&mut self, now: Duration) -> Result<(), Duration> {
+        self.refill(now);
+        if self.micro >= MICRO {
+            self.micro -= MICRO;
+            return Ok(());
+        }
+        let deficit = MICRO - self.micro;
+        // deficit micro-tokens at `rate` tokens/s refill in
+        // deficit / rate microseconds (1 token = 1e6 micro-tokens,
+        // 1 s = 1e6 µs — the scales cancel).
+        Err(Duration::from_micros(deficit.div_ceil(self.rate)))
+    }
+
+    /// Tokens currently available (whole tokens, rounded down), after
+    /// refilling to `now`.
+    pub fn available(&mut self, now: Duration) -> u64 {
+        self.refill(now);
+        self.micro / MICRO
+    }
+
+    fn refill(&mut self, now: Duration) {
+        if now <= self.last {
+            return;
+        }
+        let elapsed_micros = (now - self.last).as_micros().min(u128::from(u64::MAX)) as u64;
+        let gained = elapsed_micros.saturating_mul(self.rate);
+        self.micro = self
+            .micro
+            .saturating_add(gained)
+            .min(self.burst.saturating_mul(MICRO));
+        self.last = now;
+    }
+}
+
+/// One tenant's live state: its knobs, bucket, and counters.
+struct TenantState {
+    qos: TenantQos,
+    bucket: Option<TokenBucket>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    refusals: u64,
+    inflight: usize,
+    /// While the tenant is being refused, the logical time its bucket next
+    /// holds a token — the deadline the event loop folds into its poller
+    /// wait so a throttled-but-idle server wakes exactly when admission
+    /// reopens. Cleared once the deadline passes.
+    throttled_until: Option<Duration>,
+}
+
+impl TenantState {
+    fn new(qos: TenantQos) -> Self {
+        let bucket = qos
+            .rate
+            .map(|rate| TokenBucket::new(rate, qos.burst.unwrap_or(rate).max(1)));
+        TenantState {
+            qos,
+            bucket,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            refusals: 0,
+            inflight: 0,
+            throttled_until: None,
+        }
+    }
+}
+
+/// A point-in-time copy of one tenant's counters, for `status`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// The tenant id.
+    pub name: String,
+    /// Cache hits served to this tenant.
+    pub hits: u64,
+    /// Cache misses (requests that went to a solver or a flight).
+    pub misses: u64,
+    /// Entries of this tenant evicted from the cache.
+    pub evictions: u64,
+    /// Requests refused with `over_quota` (rate or pool share).
+    pub refusals: u64,
+    /// Solves this tenant is currently leading.
+    pub inflight: u64,
+    /// The configured cache weight.
+    pub weight: u64,
+    /// The configured admission rate, 0 when unlimited.
+    pub rate: u64,
+    /// The configured pool share, 0 when unlimited.
+    pub pool: u64,
+}
+
+struct Inner {
+    tenants: HashMap<String, TenantState>,
+    /// Stable listing order: configured tenants first (spec order), then
+    /// unknown tenants in first-seen order.
+    order: Vec<String>,
+    rng: StdRng,
+}
+
+impl Inner {
+    fn state(&mut self, tenant: &str) -> &mut TenantState {
+        if !self.tenants.contains_key(tenant) {
+            self.order.push(tenant.to_owned());
+            self.tenants.insert(
+                tenant.to_owned(),
+                TenantState::new(TenantQos::unlimited(tenant)),
+            );
+        }
+        self.tenants.get_mut(tenant).expect("just inserted")
+    }
+}
+
+/// The server's tenant control plane: resolves tenant ids to their QoS
+/// state, admits or refuses requests, meters the per-tenant compute-pool
+/// share, and keeps the per-tenant counters `status` reports.
+///
+/// Interior-mutexed so the event loop and the status snapshot path (a
+/// different thread) can both read it; every method takes `&self`.
+pub struct TenantRegistry {
+    started: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl TenantRegistry {
+    /// Builds the registry from a parsed spec (or `None` for a fully
+    /// unlimited single-`default` world) and the jitter seed.
+    pub fn new(spec: Option<&TenantSpecSet>, seed: u64) -> Self {
+        let mut inner = Inner {
+            tenants: HashMap::new(),
+            order: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        };
+        if let Some(spec) = spec {
+            for qos in &spec.tenants {
+                inner.order.push(qos.name.clone());
+                inner
+                    .tenants
+                    .insert(qos.name.clone(), TenantState::new(qos.clone()));
+            }
+        }
+        // The default tenant always exists: pre-tenancy traffic lands here.
+        if !inner.tenants.contains_key(DEFAULT_TENANT) {
+            inner.order.push(DEFAULT_TENANT.to_owned());
+            inner.tenants.insert(
+                DEFAULT_TENANT.to_owned(),
+                TenantState::new(TenantQos::unlimited(DEFAULT_TENANT)),
+            );
+        }
+        TenantRegistry {
+            started: Instant::now(),
+            inner: Mutex::new(inner),
+        }
+    }
+
+    /// The registry's logical clock: elapsed time since construction.
+    pub fn now(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Admits one request for `tenant` at the registry's current logical
+    /// time. See [`TenantRegistry::admit_at`].
+    pub fn admit(&self, tenant: &str) -> Result<(), u64> {
+        self.admit_at(tenant, self.now())
+    }
+
+    /// Admits one request for `tenant` at logical time `now`, or refuses
+    /// with the suggested `retry_after_ms` (time to the next token plus up
+    /// to 25% seeded jitter, never below 1 ms). A refusal counts into the
+    /// tenant's `refusals` and arms its refill deadline for
+    /// [`TenantRegistry::next_refill_due_in`].
+    pub fn admit_at(&self, tenant: &str, now: Duration) -> Result<(), u64> {
+        let mut inner = self.inner.lock().expect("tenant registry poisoned");
+        let state = state_and_rng(&mut inner, tenant);
+        let (state, rng) = state;
+        let Some(bucket) = state.bucket.as_mut() else {
+            return Ok(());
+        };
+        match bucket.try_take(now) {
+            Ok(()) => {
+                state.throttled_until = None;
+                Ok(())
+            }
+            Err(until_token) => {
+                state.refusals += 1;
+                state.throttled_until = Some(now + until_token);
+                let base = until_token.as_micros().min(u128::from(u64::MAX)) as u64;
+                let jitter = rng.gen_range(0..(base / 4).max(1));
+                Err(((base + jitter).div_ceil(1000)).max(1))
+            }
+        }
+    }
+
+    /// Whether `tenant` may *lead* another solve right now (its in-flight
+    /// count is below its pool share). Joining an existing flight is not
+    /// gated — coalescing costs no solver slot.
+    pub fn pool_available(&self, tenant: &str) -> bool {
+        let mut inner = self.inner.lock().expect("tenant registry poisoned");
+        let state = inner.state(tenant);
+        match state.qos.pool {
+            Some(limit) => state.inflight < limit,
+            None => true,
+        }
+    }
+
+    /// Refuses one request for pool exhaustion: counts the refusal and
+    /// returns the suggested back-off in milliseconds (a slot frees when a
+    /// solve completes, which the registry cannot predict — the jittered
+    /// floor keeps retries cheap and unsynchronized).
+    pub fn refuse_pool(&self, tenant: &str) -> u64 {
+        let mut inner = self.inner.lock().expect("tenant registry poisoned");
+        let (state, rng) = state_and_rng(&mut inner, tenant);
+        state.refusals += 1;
+        1 + rng.gen_range(0..4u64)
+    }
+
+    /// Marks `tenant` as leading one more solve.
+    pub fn begin_solve(&self, tenant: &str) {
+        let mut inner = self.inner.lock().expect("tenant registry poisoned");
+        inner.state(tenant).inflight += 1;
+    }
+
+    /// Marks one of `tenant`'s solves complete.
+    pub fn end_solve(&self, tenant: &str) {
+        let mut inner = self.inner.lock().expect("tenant registry poisoned");
+        let state = inner.state(tenant);
+        state.inflight = state.inflight.saturating_sub(1);
+    }
+
+    /// Counts a cache hit for `tenant`.
+    pub fn count_hit(&self, tenant: &str) {
+        let mut inner = self.inner.lock().expect("tenant registry poisoned");
+        inner.state(tenant).hits += 1;
+    }
+
+    /// Counts a cache miss for `tenant`.
+    pub fn count_miss(&self, tenant: &str) {
+        let mut inner = self.inner.lock().expect("tenant registry poisoned");
+        inner.state(tenant).misses += 1;
+    }
+
+    /// Counts an eviction of one of `tenant`'s entries.
+    pub fn count_eviction(&self, tenant: &str) {
+        let mut inner = self.inner.lock().expect("tenant registry poisoned");
+        inner.state(tenant).evictions += 1;
+    }
+
+    /// The soonest armed refill deadline at logical time `now`, for the
+    /// event loop's wait-timeout computation: a throttled-but-otherwise-
+    /// idle server wakes when admission reopens instead of sleeping
+    /// indefinitely. Deadlines already in the past are cleared, not
+    /// reported.
+    pub fn next_refill_due_in(&self, now: Duration) -> Option<Duration> {
+        let mut inner = self.inner.lock().expect("tenant registry poisoned");
+        let mut soonest: Option<Duration> = None;
+        for state in inner.tenants.values_mut() {
+            match state.throttled_until {
+                Some(until) if until > now => {
+                    let due = until - now;
+                    soonest = Some(soonest.map_or(due, |best: Duration| best.min(due)));
+                }
+                Some(_) => state.throttled_until = None,
+                None => {}
+            }
+        }
+        soonest
+    }
+
+    /// `(name, weight)` pairs of the *configured* tenants (the ones with a
+    /// reserved cache share). Unknown tenants reserve nothing.
+    pub fn weights(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock().expect("tenant registry poisoned");
+        inner
+            .order
+            .iter()
+            .filter_map(|name| {
+                let state = inner.tenants.get(name)?;
+                Some((name.clone(), state.qos.weight))
+            })
+            .collect()
+    }
+
+    /// A point-in-time copy of every tenant's counters, in stable order
+    /// (configured tenants first, then unknown tenants as first seen).
+    pub fn snapshot(&self) -> Vec<TenantCounters> {
+        let inner = self.inner.lock().expect("tenant registry poisoned");
+        inner
+            .order
+            .iter()
+            .filter_map(|name| {
+                let state = inner.tenants.get(name)?;
+                Some(TenantCounters {
+                    name: name.clone(),
+                    hits: state.hits,
+                    misses: state.misses,
+                    evictions: state.evictions,
+                    refusals: state.refusals,
+                    inflight: state.inflight as u64,
+                    weight: state.qos.weight,
+                    rate: state.qos.rate.unwrap_or(0),
+                    pool: state.qos.pool.map_or(0, |p| p as u64),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Splits the borrow: the per-tenant state and the shared jitter RNG,
+/// mutably at once (the borrow checker cannot see through `Inner` that
+/// `state()` and `rng` are disjoint).
+fn state_and_rng<'a>(inner: &'a mut Inner, tenant: &str) -> (&'a mut TenantState, &'a mut StdRng) {
+    if !inner.tenants.contains_key(tenant) {
+        inner.order.push(tenant.to_owned());
+        inner.tenants.insert(
+            tenant.to_owned(),
+            TenantState::new(TenantQos::unlimited(tenant)),
+        );
+    }
+    let Inner { tenants, rng, .. } = inner;
+    (tenants.get_mut(tenant).expect("just inserted"), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_names_and_knobs() {
+        let set = TenantSpecSet::parse("alpha:weight=2,rate=50,burst=100,pool=2;beta").unwrap();
+        assert_eq!(set.tenants.len(), 2);
+        assert_eq!(
+            set.tenants[0],
+            TenantQos {
+                name: "alpha".into(),
+                weight: 2,
+                rate: Some(50),
+                burst: Some(100),
+                pool: Some(2),
+            }
+        );
+        assert_eq!(set.tenants[1], TenantQos::unlimited("beta"));
+        assert_eq!(
+            set.weights(),
+            vec![("alpha".to_owned(), 2), ("beta".to_owned(), 1)]
+        );
+        // Whitespace-tolerant.
+        let spaced = TenantSpecSet::parse(" alpha : weight = 2 ; beta ").unwrap();
+        assert_eq!(spaced.tenants[0].weight, 2);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "",
+            ";;",
+            "a b:weight=1",   // invalid id
+            "alpha;alpha",    // duplicate
+            "alpha:weight=0", // zero knob
+            "alpha:rate=x",   // non-numeric
+            "alpha:frobs=3",  // unknown knob
+            "alpha:weight",   // missing '='
+            "alpha:burst=10", // burst without rate
+        ] {
+            assert!(TenantSpecSet::parse(bad).is_err(), "must reject '{bad}'");
+        }
+    }
+
+    #[test]
+    fn buckets_refill_at_their_rate_and_cap_at_burst() {
+        let mut bucket = TokenBucket::new(10, 2); // 10/s, burst 2
+        let t0 = Duration::ZERO;
+        assert!(bucket.try_take(t0).is_ok());
+        assert!(bucket.try_take(t0).is_ok());
+        // Empty: the next token is 100 ms away at 10/s.
+        let retry = bucket.try_take(t0).unwrap_err();
+        assert_eq!(retry, Duration::from_millis(100));
+        // 50 ms later, still short — and the estimate shrinks accordingly.
+        let retry = bucket.try_take(Duration::from_millis(50)).unwrap_err();
+        assert_eq!(retry, Duration::from_millis(50));
+        // At 100 ms the token is there.
+        assert!(bucket.try_take(Duration::from_millis(100)).is_ok());
+        // A long idle period refills to burst, not beyond.
+        assert_eq!(bucket.available(Duration::from_secs(60)), 2);
+    }
+
+    #[test]
+    fn bucket_decisions_are_deterministic_for_identical_traces() {
+        // Property: two buckets fed the same (seeded-random) sequence of
+        // non-decreasing timestamps make identical decisions, including
+        // the retry estimates.
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..50 {
+            let rate = rng.gen_range(1..40u64);
+            let burst = rng.gen_range(1..10u64);
+            let mut a = TokenBucket::new(rate, burst);
+            let mut b = TokenBucket::new(rate, burst);
+            let mut now = Duration::ZERO;
+            for _ in 0..200 {
+                now += Duration::from_micros(rng.gen_range(0..200_000u64));
+                assert_eq!(a.try_take(now), b.try_take(now));
+            }
+        }
+    }
+
+    #[test]
+    fn registries_admit_deterministically_under_one_seed() {
+        let spec = TenantSpecSet::parse("alpha:rate=5,burst=2").unwrap();
+        let trace: Vec<Duration> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut now = Duration::ZERO;
+            (0..100)
+                .map(|_| {
+                    now += Duration::from_micros(rng.gen_range(0..400_000u64));
+                    now
+                })
+                .collect()
+        };
+        let run = |seed: u64| -> Vec<Result<(), u64>> {
+            let registry = TenantRegistry::new(Some(&spec), seed);
+            trace
+                .iter()
+                .map(|&now| registry.admit_at("alpha", now))
+                .collect()
+        };
+        let first = run(42);
+        assert_eq!(first, run(42), "same seed, same trace, same decisions");
+        assert!(
+            first.iter().any(|d| d.is_err()),
+            "the trace must actually exercise refusals"
+        );
+        assert!(
+            first.iter().any(|d| d.is_ok()),
+            "the trace must actually exercise admissions"
+        );
+        // Refusal advice always respects the 1 ms floor.
+        for decision in &first {
+            if let Err(retry_ms) = decision {
+                assert!(*retry_ms >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tenants_are_unlimited_but_counted() {
+        let registry = TenantRegistry::new(None, 1);
+        for _ in 0..1000 {
+            assert!(registry.admit("wanderer").is_ok());
+        }
+        registry.count_hit("wanderer");
+        registry.count_miss("wanderer");
+        let snapshot = registry.snapshot();
+        let wanderer = snapshot.iter().find(|t| t.name == "wanderer").unwrap();
+        assert_eq!(
+            (wanderer.hits, wanderer.misses, wanderer.refusals),
+            (1, 1, 0)
+        );
+        // The default tenant always exists, even unconfigured.
+        assert!(snapshot.iter().any(|t| t.name == DEFAULT_TENANT));
+    }
+
+    #[test]
+    fn pool_shares_bound_concurrent_leadership() {
+        let spec = TenantSpecSet::parse("alpha:pool=2").unwrap();
+        let registry = TenantRegistry::new(Some(&spec), 1);
+        assert!(registry.pool_available("alpha"));
+        registry.begin_solve("alpha");
+        registry.begin_solve("alpha");
+        assert!(!registry.pool_available("alpha"));
+        // Other tenants are unaffected by alpha's saturation.
+        assert!(registry.pool_available("beta"));
+        let retry = registry.refuse_pool("alpha");
+        assert!(retry >= 1);
+        registry.end_solve("alpha");
+        assert!(registry.pool_available("alpha"));
+        let alpha = registry
+            .snapshot()
+            .into_iter()
+            .find(|t| t.name == "alpha")
+            .unwrap();
+        assert_eq!(alpha.refusals, 1);
+        assert_eq!(alpha.inflight, 1);
+    }
+
+    #[test]
+    fn refill_deadlines_are_armed_by_refusals_and_expire() {
+        let spec = TenantSpecSet::parse("alpha:rate=10,burst=1").unwrap();
+        let registry = TenantRegistry::new(Some(&spec), 3);
+        let t0 = Duration::from_millis(1);
+        assert!(registry.admit_at("alpha", t0).is_ok());
+        assert!(registry.admit_at("alpha", t0).is_err());
+        // The deadline is the 100 ms refill at 10/s.
+        let due = registry.next_refill_due_in(t0).expect("armed deadline");
+        assert_eq!(due, Duration::from_millis(100));
+        // Mid-window it shrinks; past the window it clears.
+        let mid = registry.next_refill_due_in(t0 + Duration::from_millis(40));
+        assert_eq!(mid, Some(Duration::from_millis(60)));
+        assert_eq!(
+            registry.next_refill_due_in(t0 + Duration::from_millis(150)),
+            None
+        );
+        // And once admitted again nothing is armed.
+        assert!(registry
+            .admit_at("alpha", t0 + Duration::from_millis(200))
+            .is_ok());
+        assert_eq!(
+            registry.next_refill_due_in(t0 + Duration::from_millis(200)),
+            None
+        );
+    }
+}

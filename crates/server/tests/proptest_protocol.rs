@@ -100,6 +100,12 @@ fn random_request(rng: &mut StdRng) -> SolveRequest {
             shard: rng.gen_range(0u64..8) as u32,
             epoch: rng.gen_range(0u64..u64::MAX),
         }),
+        // Never "default": the decoder normalizes an explicit default to
+        // `None`, which would be a (correct) canonicalization, not a
+        // round-trip — the byte-identity assertion below wants the latter.
+        tenant: rng
+            .gen_bool(0.3)
+            .then(|| format!("tenant-{}", rng.gen_range(0u64..5))),
         op,
         view,
         spec,
@@ -131,6 +137,7 @@ fn random_solve_requests_round_trip_with_cache_key_intact() {
             "seed {seed} case {case}"
         );
         assert_eq!(back.routing, request.routing, "seed {seed} case {case}");
+        assert_eq!(back.tenant, request.tenant, "seed {seed} case {case}");
         assert_eq!(
             back.cache_key(),
             request.cache_key(),

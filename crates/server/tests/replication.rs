@@ -75,6 +75,7 @@ fn request(variant: usize) -> SolveRequest {
         max_k: None,
         time_limit: None,
         routing: None,
+        tenant: None,
     }
 }
 

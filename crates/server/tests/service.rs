@@ -75,6 +75,7 @@ fn refine_request(theta: Ratio) -> SolveRequest {
         max_k: None,
         time_limit: None,
         routing: None,
+        tenant: None,
     }
 }
 
@@ -93,6 +94,7 @@ fn concurrent_identical_requests_solve_exactly_once() {
         max_k: None,
         time_limit: None,
         routing: None,
+        tenant: None,
     });
 
     const CLIENTS: usize = 8;

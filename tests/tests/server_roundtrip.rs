@@ -37,6 +37,7 @@ fn persons_refine_request() -> SolveRequest {
         max_k: None,
         time_limit: None,
         routing: None,
+        tenant: None,
     }
 }
 
