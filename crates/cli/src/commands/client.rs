@@ -5,7 +5,8 @@ use strudel_core::sigma::SigmaSpec;
 use strudel_core::wire::WireRefinement;
 use strudel_rules::prelude::Ratio;
 use strudel_server::prelude::{
-    Client, ClientError, EngineKind, Json, Response, Router, SolveOp, SolveRequest, Source,
+    Client, ClientError, ClientOptions, EngineKind, FramingMode, Json, Response, Router,
+    RouterOptions, SolveOp, SolveRequest, Source,
 };
 use strudel_server::protocol::refinement_from_json;
 
@@ -28,6 +29,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "max-k",
         "time-limit",
         "tenant",
+        "framing",
     ],
     flags: &["raw"],
     min_positional: 1,
@@ -39,7 +41,8 @@ pub const USAGE: &str =
     "strudel client <refine|highest-theta|lowest-k|batch|status|shutdown> [FILE]
                [--addr HOST:PORT | --cluster HOST:PORT,HOST:PORT,…] [--sort IRI]
                [--rule SPEC] [--engine hybrid|ilp|greedy] [--k N] [--theta X]
-               [--step X] [--max-k N] [--time-limit SECS] [--tenant NAME] [--raw]
+               [--step X] [--max-k N] [--time-limit SECS] [--tenant NAME]
+               [--framing bin|json|auto] [--raw]
   Sends one request to a running 'strudel serve' (default --addr 127.0.0.1:7464).
   Solve operations load FILE, build its signature view locally, and ship the view;
   repeated identical requests are answered from the server's cache. 'batch' reads
@@ -58,7 +61,11 @@ pub const USAGE: &str =
   'serve --tenants' meters each tenant's cache share, admission rate, and
   compute-pool share; unset rides the unlimited 'default' tenant). An
   over-limit request gets a structured over_quota error naming the tenant
-  and a retry_after_ms hint.";
+  and a retry_after_ms hint. --framing picks the wire framing: 'json' is the
+  line-delimited default, 'bin' negotiates the length-prefixed bin1 framing
+  (failing if the server refuses), and 'auto' tries bin1 but falls back to
+  json. Responses are byte-identical either way; unset defers to the
+  STRUDEL_FRAMING environment variable.";
 
 /// Runs the command.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -73,7 +80,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return run_cluster(op_text, cluster, &parsed);
     }
     let addr = parsed.option("addr").unwrap_or("127.0.0.1:7464");
-    let mut client = Client::connect(addr).map_err(client_error)?;
+    let options = ClientOptions {
+        framing: framing_option(&parsed)?,
+        ..ClientOptions::default()
+    };
+    let mut client = Client::connect_with(addr, options).map_err(client_error)?;
 
     let response = match op_text {
         "status" => client.status().map_err(client_error)?,
@@ -118,7 +129,14 @@ fn run_cluster(
             "--cluster needs a comma-separated list of shard addresses".to_owned(),
         ));
     }
-    let mut router = Router::connect(&addrs).map_err(client_error)?;
+    let options = RouterOptions {
+        client: ClientOptions {
+            framing: framing_option(parsed)?,
+            ..ClientOptions::default()
+        },
+        ..RouterOptions::default()
+    };
+    let mut router = Router::connect_with(&addrs, options).map_err(client_error)?;
     match op_text {
         "status" => render_cluster_status(&mut router, parsed.has_flag("raw")),
         "shutdown" => {
@@ -358,6 +376,17 @@ fn render_batch_outcomes(
     Ok(out)
 }
 
+/// The validated `--framing` choice, if any. `None` lets the client defer
+/// to `STRUDEL_FRAMING` and then to the line-JSON default.
+fn framing_option(parsed: &crate::args::ParsedArgs) -> Result<Option<FramingMode>, CliError> {
+    match parsed.option("framing") {
+        Some(text) => FramingMode::parse(text)
+            .map(Some)
+            .map_err(|err| CliError::Usage(format!("invalid value '{text}' for --framing: {err}"))),
+        None => Ok(None),
+    }
+}
+
 fn client_error(err: ClientError) -> CliError {
     match err {
         ClientError::Io(source) => CliError::Io {
@@ -560,6 +589,19 @@ fn render_status(result: &Json) -> String {
             int(&["poller", "wakeups"]),
             int(&["poller", "spurious"]),
             int(&["poller", "registered"]),
+        ));
+    }
+    if result.get("wire").is_some() {
+        out.push_str(&format!(
+            "wire: {} frames in / {} out, {} bytes in / {} out, {} decode errors, \
+             {} bin1 + {} json connection(s)\n",
+            int(&["wire", "frames_in"]),
+            int(&["wire", "frames_out"]),
+            int(&["wire", "bytes_in"]),
+            int(&["wire", "bytes_out"]),
+            int(&["wire", "decode_errors"]),
+            int(&["wire", "connections", "bin1"]),
+            int(&["wire", "connections", "json"]),
         ));
     }
     if result.get("persist").map(|p| p != &Json::Null) == Some(true) {
@@ -854,6 +896,54 @@ mod tests {
             handle.wait();
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn framing_flag_negotiates_bin1_and_answers_identically() {
+        let (handle, addr) = start_test_server();
+        let file = write_persons_ntriples("client-framing");
+        let file = file.to_str().unwrap();
+
+        let request = |framing: &str| {
+            [
+                "refine",
+                file,
+                "--addr",
+                &addr,
+                "--sort",
+                "http://ex/Person",
+                "--k",
+                "2",
+                "--theta",
+                "0.8",
+                "--framing",
+                framing,
+                "--raw",
+            ]
+            .map(str::to_owned)
+            .to_vec()
+        };
+        let over_json = run(&request("json")).unwrap();
+        let over_bin = run(&request("bin")).unwrap();
+        assert!(over_json.starts_with("{\"ok\":true,"), "json: {over_json}");
+        assert_eq!(
+            over_json.replace("\"source\":\"solved\"", "\"source\":\"X\""),
+            over_bin.replace("\"source\":\"cache\"", "\"source\":\"X\""),
+            "responses must be byte-identical across framings"
+        );
+
+        // The status report shows the negotiated connection in the wire
+        // block (and `auto` negotiates against a current server too).
+        let status = run(&args(&["status", "--addr", &addr, "--framing", "auto"])).unwrap();
+        assert!(status.contains("wire:"), "status: {status}");
+        assert!(status.contains("frames in"), "status: {status}");
+
+        let err = run(&args(&["status", "--addr", &addr, "--framing", "morse"])).unwrap_err();
+        assert!(err.to_string().contains("morse"), "err: {err}");
+
+        run(&args(&["shutdown", "--addr", &addr])).unwrap();
+        handle.wait();
+        std::fs::remove_file(file).ok();
     }
 
     #[test]

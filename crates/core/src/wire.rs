@@ -51,6 +51,201 @@ fn fold_key(key: u128) -> u64 {
     mix64((key >> 64) as u64 ^ mix64(key as u64))
 }
 
+/// First magic byte of a `bin1` frame. `0xB5` is outside ASCII and outside
+/// UTF-8 continuation-start ranges a JSON line could begin with, so a
+/// server reading a connection can never confuse the two framings: a line
+/// starts with `{` (or whitespace), a frame starts with `0xB5 0x01`.
+pub const FRAME_MAGIC: [u8; 2] = [0xB5, 0x01];
+
+/// Version byte of the `bin1` framing. Bumped on any layout change; a
+/// mismatch is connection-fatal (the peer negotiated a framing this
+/// server does not speak).
+pub const FRAME_VERSION: u8 = 1;
+
+/// What a `bin1` frame carries. The kind byte is part of the header so a
+/// frame can be classified — and a response frame spliced verbatim into a
+/// batch — without touching the payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A client→server request payload.
+    Request,
+    /// A server→client response payload.
+    Response,
+}
+
+impl FrameKind {
+    /// The wire byte.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+        }
+    }
+
+    /// Parses the wire byte.
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            1 => Some(FrameKind::Request),
+            2 => Some(FrameKind::Response),
+            _ => None,
+        }
+    }
+}
+
+/// Appends a LEB128 varint (7 bits per byte, low groups first, high bit =
+/// continuation). `u64::MAX` takes 10 bytes; lengths under 128 take one.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 varint from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer ends mid-varint (read more bytes and
+/// retry), `Ok(Some((value, consumed)))` on success, and `Err` when the
+/// encoding itself is malformed (more than 10 bytes, or bit 64 overflow) —
+/// a fatal condition no amount of further input can repair.
+pub fn read_varint(buf: &[u8]) -> Result<Option<(u64, usize)>, String> {
+    let mut value: u64 = 0;
+    for (idx, &byte) in buf.iter().enumerate() {
+        if idx >= 10 || (idx == 9 && byte > 0x01) {
+            return Err("varint overflows 64 bits".to_owned());
+        }
+        value |= u64::from(byte & 0x7F) << (idx * 7);
+        if byte & 0x80 == 0 {
+            return Ok(Some((value, idx + 1)));
+        }
+    }
+    if buf.len() >= 10 {
+        return Err("varint overflows 64 bits".to_owned());
+    }
+    Ok(None)
+}
+
+/// One decoded `bin1` frame, borrowing from the connection's read buffer.
+///
+/// The layout on the wire is
+///
+/// ```text
+/// magic(2) version(1) kind(1) varint(tenant len) tenant varint(payload len) payload
+/// ```
+///
+/// The tenant travels in the *header* (empty = the default tenant) so
+/// per-tenant accounting can classify a frame before decoding its payload;
+/// request payloads do not repeat it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    /// Request or response.
+    pub kind: FrameKind,
+    /// The tenant named in the header; empty means the default tenant.
+    pub tenant: &'a str,
+    /// The frame payload, borrowed verbatim from the input buffer.
+    pub payload: &'a [u8],
+    /// Total encoded size of the frame, header included: the caller
+    /// consumes exactly this many bytes from the front of its buffer.
+    pub consumed: usize,
+}
+
+/// Encodes the header of a `bin1` frame (everything before the payload).
+///
+/// Separated from the payload on purpose: a vectored writer emits the
+/// small header as one chunk and splices the (possibly shared) payload as
+/// another, so a cached result is never copied per response.
+pub fn encode_frame_header(kind: FrameKind, tenant: &str, payload_len: usize) -> Vec<u8> {
+    let mut header = Vec::with_capacity(4 + 10 + tenant.len() + 10);
+    header.extend_from_slice(&FRAME_MAGIC);
+    header.push(FRAME_VERSION);
+    header.push(kind.as_byte());
+    write_varint(&mut header, tenant.len() as u64);
+    header.extend_from_slice(tenant.as_bytes());
+    write_varint(&mut header, payload_len as u64);
+    header
+}
+
+/// Appends one complete `bin1` frame (header + payload) to `out`.
+pub fn encode_frame_into(out: &mut Vec<u8>, kind: FrameKind, tenant: &str, payload: &[u8]) {
+    out.extend_from_slice(&encode_frame_header(kind, tenant, payload.len()));
+    out.extend_from_slice(payload);
+}
+
+/// Tries to decode one `bin1` frame from the front of `buf`.
+///
+/// The tri-state return is the contract the read pump depends on:
+///
+/// * `Ok(None)` — the buffer holds a *torn* frame (or nothing): keep the
+///   bytes, read more, retry. Never an error.
+/// * `Ok(Some(frame))` — one whole frame; consume `frame.consumed` bytes.
+/// * `Err(message)` — the bytes can never become a valid frame (bad magic,
+///   unknown version or kind, malformed varint, tenant not UTF-8, or a
+///   payload length above `max_payload`). Connection-fatal: the stream
+///   framing is lost and resynchronization is impossible.
+pub fn try_decode_frame(buf: &[u8], max_payload: usize) -> Result<Option<FrameView<'_>>, String> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] != FRAME_MAGIC[0] || (buf.len() > 1 && buf[1] != FRAME_MAGIC[1]) {
+        return Err(format!(
+            "bad frame magic 0x{:02X}{:02X} (expected 0x{:02X}{:02X})",
+            buf[0],
+            buf.get(1).copied().unwrap_or(0),
+            FRAME_MAGIC[0],
+            FRAME_MAGIC[1]
+        ));
+    }
+    if buf.len() > 2 && buf[2] != FRAME_VERSION {
+        return Err(format!(
+            "unsupported frame version {} (this side speaks {FRAME_VERSION})",
+            buf[2]
+        ));
+    }
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let kind = FrameKind::from_byte(buf[3])
+        .ok_or_else(|| format!("unknown frame kind byte {}", buf[3]))?;
+    let mut at = 4;
+    let Some((tenant_len, used)) = read_varint(&buf[at..])? else {
+        return Ok(None);
+    };
+    at += used;
+    if tenant_len > 64 {
+        return Err(format!("frame tenant length {tenant_len} exceeds 64"));
+    }
+    let tenant_len = tenant_len as usize;
+    if buf.len() < at + tenant_len {
+        return Ok(None);
+    }
+    let tenant = std::str::from_utf8(&buf[at..at + tenant_len])
+        .map_err(|_| "frame tenant is not valid UTF-8".to_owned())?;
+    at += tenant_len;
+    let Some((payload_len, used)) = read_varint(&buf[at..])? else {
+        return Ok(None);
+    };
+    at += used;
+    if payload_len > max_payload as u64 {
+        return Err(format!(
+            "frame payload of {payload_len} bytes exceeds the {max_payload}-byte limit"
+        ));
+    }
+    let payload_len = payload_len as usize;
+    if buf.len() < at + payload_len {
+        return Ok(None);
+    }
+    Ok(Some(FrameView {
+        kind,
+        tenant,
+        payload: &buf[at..at + payload_len],
+        consumed: at + payload_len,
+    }))
+}
+
 /// The implicit tenant of every request that does not name one. Existing
 /// clients, segments, and replication streams predate tenancy entirely;
 /// mapping their traffic onto this reserved id is what lets the tenant
@@ -790,6 +985,127 @@ mod tests {
         for bad in ["", "a b", "a|b", "a\nb", "café", long.as_str()] {
             assert!(validate_tenant(bad).is_err(), "must reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn varints_round_trip_across_the_whole_range() {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value);
+            assert!(buf.len() <= 10);
+            let (back, used) = read_varint(&buf).unwrap().unwrap();
+            assert_eq!(back, value);
+            assert_eq!(used, buf.len());
+            // Trailing bytes are left untouched.
+            buf.push(0xAB);
+            let (back, used) = read_varint(&buf).unwrap().unwrap();
+            assert_eq!(back, value);
+            assert_eq!(used, buf.len() - 1);
+        }
+    }
+
+    #[test]
+    fn torn_varints_ask_for_more_and_overlong_ones_fail() {
+        // Every prefix of a multi-byte varint is "need more", not an error.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert_eq!(read_varint(&buf[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        // 10 continuation bytes can never finish a 64-bit value.
+        assert!(read_varint(&[0x80; 10]).is_err());
+        // Bit-64 overflow in the 10th byte is rejected.
+        let mut overflow = vec![0xFF; 9];
+        overflow.push(0x02);
+        assert!(read_varint(&overflow).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_with_and_without_a_tenant() {
+        for tenant in ["", "acme"] {
+            let payload = b"{\"op\":\"status\"}";
+            let mut buf = Vec::new();
+            encode_frame_into(&mut buf, FrameKind::Request, tenant, payload);
+            let frame = try_decode_frame(&buf, 1 << 20).unwrap().unwrap();
+            assert_eq!(frame.kind, FrameKind::Request);
+            assert_eq!(frame.tenant, tenant);
+            assert_eq!(frame.payload, payload);
+            assert_eq!(frame.consumed, buf.len());
+            // The header helper and the whole-frame helper agree.
+            let header = encode_frame_header(FrameKind::Request, tenant, payload.len());
+            assert_eq!(&buf[..header.len()], header.as_slice());
+        }
+    }
+
+    #[test]
+    fn torn_frames_ask_for_more_at_every_cut() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, FrameKind::Response, "tenant-x", b"payload bytes");
+        for cut in 0..buf.len() {
+            assert_eq!(
+                try_decode_frame(&buf[..cut], 1 << 20).unwrap(),
+                None,
+                "cut at {cut} must be need-more, not an error"
+            );
+        }
+        // Two frames back to back: the first decode consumes exactly one.
+        let first = buf.len();
+        encode_frame_into(&mut buf, FrameKind::Request, "", b"second");
+        let frame = try_decode_frame(&buf, 1 << 20).unwrap().unwrap();
+        assert_eq!(frame.consumed, first);
+        let rest = try_decode_frame(&buf[first..], 1 << 20).unwrap().unwrap();
+        assert_eq!(rest.payload, b"second");
+    }
+
+    #[test]
+    fn corrupt_frames_are_fatal_not_need_more() {
+        // Bad magic — including a JSON line arriving on a binary stream.
+        assert!(try_decode_frame(b"{\"op\":\"status\"}", 1 << 20).is_err());
+        assert!(try_decode_frame(&[FRAME_MAGIC[0], 0xFF], 1 << 20).is_err());
+        // Wrong version.
+        assert!(try_decode_frame(&[FRAME_MAGIC[0], FRAME_MAGIC[1], 9, 1, 0, 0], 1 << 20).is_err());
+        // Unknown kind byte.
+        assert!(try_decode_frame(&[FRAME_MAGIC[0], FRAME_MAGIC[1], 1, 7, 0, 0], 1 << 20).is_err());
+        // Oversized payload length is refused before any payload arrives.
+        let mut big = Vec::new();
+        big.extend_from_slice(&FRAME_MAGIC);
+        big.push(FRAME_VERSION);
+        big.push(FrameKind::Request.as_byte());
+        write_varint(&mut big, 0); // tenant
+        write_varint(&mut big, 1 << 30); // payload length
+        assert!(try_decode_frame(&big, 1 << 20).is_err());
+        // Over-long tenant.
+        let mut long_tenant = Vec::new();
+        long_tenant.extend_from_slice(&FRAME_MAGIC);
+        long_tenant.push(FRAME_VERSION);
+        long_tenant.push(FrameKind::Request.as_byte());
+        write_varint(&mut long_tenant, 65);
+        assert!(try_decode_frame(&long_tenant, 1 << 20).is_err());
+        // Tenant bytes that are not UTF-8.
+        let mut bad_utf8 = Vec::new();
+        bad_utf8.extend_from_slice(&FRAME_MAGIC);
+        bad_utf8.push(FRAME_VERSION);
+        bad_utf8.push(FrameKind::Request.as_byte());
+        write_varint(&mut bad_utf8, 2);
+        bad_utf8.extend_from_slice(&[0xC3, 0x28]);
+        write_varint(&mut bad_utf8, 0);
+        assert!(try_decode_frame(&bad_utf8, 1 << 20).is_err());
+        // Frame kinds round-trip their wire bytes.
+        for kind in [FrameKind::Request, FrameKind::Response] {
+            assert_eq!(FrameKind::from_byte(kind.as_byte()), Some(kind));
+        }
+        assert_eq!(FrameKind::from_byte(0), None);
     }
 
     #[test]

@@ -15,7 +15,59 @@ use std::time::Duration;
 use strudel_core::wire::{NotLeader, OverQuota, WireEnvelope, WrongShard};
 
 use crate::json::{self, Json};
-use crate::protocol::{self, SolveRequest, Source};
+use crate::protocol::{self, FrameKind, Framing, SolveRequest, Source, FRAME_MAGIC};
+
+/// The largest response frame the client will buffer — matches the
+/// server's own output-buffer cap, so anything larger is a protocol
+/// violation, not a legitimate response.
+const MAX_RESPONSE_FRAME: usize = 64 * 1024 * 1024;
+
+/// Which wire framing a [`Client`] should speak (see
+/// [`Framing`] for the on-the-wire details).
+///
+/// Resolution order: an explicit [`ClientOptions::framing`] wins; otherwise
+/// the `STRUDEL_FRAMING` environment variable (`json`, `bin`, or `auto`) is
+/// consulted — the hook the e2e suites use to re-run unmodified over the
+/// binary framing — and absent both, the client speaks line-JSON, keeping
+/// default behaviour byte-identical to pre-framing servers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FramingMode {
+    /// Line-delimited JSON, no negotiation (the default).
+    Json,
+    /// Negotiate `bin1` and fail the first call if the server refuses.
+    Bin1,
+    /// Negotiate `bin1` but fall back to line-JSON if the server refuses
+    /// (or predates the framing) — for mixed-version fleets.
+    Auto,
+}
+
+impl FramingMode {
+    /// Parses a mode name as accepted by `--framing` and `STRUDEL_FRAMING`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "json" => Ok(FramingMode::Json),
+            "bin" | "bin1" => Ok(FramingMode::Bin1),
+            "auto" => Ok(FramingMode::Auto),
+            other => Err(format!(
+                "unknown framing '{other}' (expected json, bin, or auto)"
+            )),
+        }
+    }
+
+    /// Resolves the mode to use: the explicit choice if given, else the
+    /// `STRUDEL_FRAMING` environment variable, else [`FramingMode::Json`].
+    pub fn resolve(explicit: Option<FramingMode>) -> Result<FramingMode, String> {
+        if let Some(mode) = explicit {
+            return Ok(mode);
+        }
+        match std::env::var("STRUDEL_FRAMING") {
+            Ok(value) => {
+                FramingMode::parse(value.trim()).map_err(|err| format!("STRUDEL_FRAMING: {err}"))
+            }
+            Err(_) => Ok(FramingMode::Json),
+        }
+    }
+}
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -124,6 +176,10 @@ pub struct ClientOptions {
     pub read_timeout: Option<Duration>,
     /// Deadline for each request write (default 10 s).
     pub write_timeout: Option<Duration>,
+    /// Which wire framing to speak. `None` defers to the `STRUDEL_FRAMING`
+    /// environment variable and then to [`FramingMode::Json`] (see
+    /// [`FramingMode::resolve`]).
+    pub framing: Option<FramingMode>,
 }
 
 impl Default for ClientOptions {
@@ -132,6 +188,7 @@ impl Default for ClientOptions {
             connect_timeout: Some(Duration::from_secs(3)),
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(10)),
+            framing: None,
         }
     }
 }
@@ -145,6 +202,7 @@ impl ClientOptions {
             connect_timeout: None,
             read_timeout: None,
             write_timeout: None,
+            framing: None,
         }
     }
 }
@@ -202,6 +260,16 @@ pub struct Client {
     /// fail until the caller reconnects — silently reading the previous
     /// request's answer would be far worse than an error.
     poisoned: bool,
+    /// The framing currently on the wire. Starts as [`Framing::Json`]
+    /// (every connection does) and flips to [`Framing::Bin1`] once the
+    /// `hello` handshake succeeds.
+    framing: Framing,
+    /// A deferred `bin1` negotiation, run lazily before the first request
+    /// so that `connect` itself never blocks on a wedged peer's reply —
+    /// the first *call* carries the timeout, exactly as for any request.
+    pending: Option<FramingMode>,
+    /// Reassembly buffer for response frames (only used on `bin1`).
+    frame_buf: Vec<u8>,
 }
 
 impl Client {
@@ -259,17 +327,33 @@ impl Client {
         stream.set_read_timeout(options.read_timeout)?;
         stream.set_write_timeout(options.write_timeout)?;
         let writer = stream.try_clone()?;
+        let mode = FramingMode::resolve(options.framing)
+            .map_err(|err| ClientError::Io(std::io::Error::new(ErrorKind::InvalidInput, err)))?;
+        let pending = match mode {
+            FramingMode::Json => None,
+            FramingMode::Bin1 | FramingMode::Auto => Some(mode),
+        };
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
             options,
             poisoned: false,
+            framing: Framing::Json,
+            pending,
+            frame_buf: Vec::new(),
         })
     }
 
     /// The deadlines this client was connected with.
     pub fn options(&self) -> ClientOptions {
         self.options
+    }
+
+    /// The framing negotiated on the wire so far. A client in
+    /// [`FramingMode::Bin1`]/[`FramingMode::Auto`] reports
+    /// [`Framing::Json`] until its first call runs the handshake.
+    pub fn framing(&self) -> Framing {
+        self.framing
     }
 
     fn write_deadline_error(&mut self, err: std::io::Error) -> ClientError {
@@ -296,23 +380,41 @@ impl Client {
         }
     }
 
-    /// Sends one raw request line and returns the raw response line.
-    pub fn call_raw(&mut self, line: &str) -> Result<String, ClientError> {
-        debug_assert!(!line.contains('\n'), "requests are single lines");
+    /// Fails fast when an earlier timeout desynced the wire.
+    fn check_usable(&self) -> Result<(), ClientError> {
         if self.poisoned {
             return Err(ClientError::Io(std::io::Error::new(
                 ErrorKind::BrokenPipe,
                 "connection is desynced after an earlier timeout; reconnect",
             )));
         }
+        Ok(())
+    }
+
+    /// Writes one request line (with its newline) to the socket.
+    fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
         let written = self
             .writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
             .and_then(|()| self.writer.flush());
-        if let Err(err) = written {
-            return Err(self.write_deadline_error(err));
-        }
+        written.map_err(|err| self.write_deadline_error(err))
+    }
+
+    /// Writes one `bin1` request frame around `payload`. The header names
+    /// no tenant — the payload's own envelope carries it.
+    fn send_payload(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        let mut frame = Vec::with_capacity(payload.len() + 24);
+        protocol::encode_frame_into(&mut frame, FrameKind::Request, "", payload);
+        let written = self
+            .writer
+            .write_all(&frame)
+            .and_then(|()| self.writer.flush());
+        written.map_err(|err| self.write_deadline_error(err))
+    }
+
+    /// Reads one response line (line-JSON framing).
+    fn read_reply_line(&mut self) -> Result<String, ClientError> {
         let mut response = String::new();
         let read = match self.reader.read_line(&mut response) {
             Ok(read) => read,
@@ -332,12 +434,178 @@ impl Client {
         Ok(response)
     }
 
+    /// Reads one `bin1` response frame and returns its payload — the
+    /// canonical JSON response line, byte-identical to what the line
+    /// framing would have carried.
+    fn read_frame_line(&mut self) -> Result<String, ClientError> {
+        loop {
+            match protocol::try_decode_frame(&self.frame_buf, MAX_RESPONSE_FRAME) {
+                Err(message) => {
+                    // The length prefix is gone; nothing after this point
+                    // can be re-synchronized.
+                    self.poisoned = true;
+                    return Err(ClientError::BadResponse(format!(
+                        "invalid response frame: {message}"
+                    )));
+                }
+                Ok(Some(view)) => {
+                    if view.kind != FrameKind::Response {
+                        self.poisoned = true;
+                        return Err(ClientError::BadResponse(
+                            "expected a response frame".to_owned(),
+                        ));
+                    }
+                    let payload = view.payload.to_vec();
+                    let consumed = view.consumed;
+                    self.frame_buf.drain(..consumed);
+                    return String::from_utf8(payload).map_err(|_| {
+                        ClientError::BadResponse("response frame payload is not UTF-8".to_owned())
+                    });
+                }
+                Ok(None) => {}
+            }
+            let taken = match self.reader.fill_buf() {
+                Ok([]) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(chunk) => {
+                    self.frame_buf.extend_from_slice(chunk);
+                    chunk.len()
+                }
+                Err(err) => {
+                    if err.kind() == ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(self.read_deadline_error(err));
+                }
+            };
+            self.reader.consume(taken);
+        }
+    }
+
+    /// Blocks until the next reply's first byte is buffered and returns it
+    /// without consuming — how the `hello` handshake tells a `bin1` frame
+    /// (magic byte) from a JSON line (`{`) before committing to a framing.
+    fn peek_reply_byte(&mut self) -> Result<u8, ClientError> {
+        loop {
+            match self.reader.fill_buf() {
+                Ok([]) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(chunk) => return Ok(chunk[0]),
+                Err(err) => {
+                    if err.kind() == ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(self.read_deadline_error(err));
+                }
+            }
+        }
+    }
+
+    /// Runs the deferred `hello` handshake, if one is pending. Called at
+    /// the top of every request path so the negotiation round trip rides
+    /// on the first call's deadlines.
+    fn ensure_negotiated(&mut self) -> Result<(), ClientError> {
+        let Some(mode) = self.pending else {
+            return Ok(());
+        };
+        self.negotiate(mode)?;
+        self.pending = None;
+        Ok(())
+    }
+
+    /// Sends `hello {"framing":"bin1"}` and classifies the reply: a frame
+    /// means the switch happened; a JSON line means the server declined
+    /// (or predates the framing), which [`FramingMode::Auto`] accepts and
+    /// [`FramingMode::Bin1`] surfaces as an error.
+    fn negotiate(&mut self, mode: FramingMode) -> Result<(), ClientError> {
+        self.send_line(&protocol::encode_hello(Framing::Bin1))?;
+        if self.peek_reply_byte()? == FRAME_MAGIC[0] {
+            // The ack itself travels in the newly negotiated framing.
+            self.framing = Framing::Bin1;
+            let ack = self.read_frame_line()?;
+            let acknowledged = json::parse(&ack)
+                .ok()
+                .and_then(|value| value.get("ok").and_then(Json::as_bool))
+                == Some(true);
+            if !acknowledged {
+                self.poisoned = true;
+                return Err(ClientError::BadResponse(format!(
+                    "hello was not acknowledged: {ack}"
+                )));
+            }
+            return Ok(());
+        }
+        let line = self.read_reply_line()?;
+        match mode {
+            FramingMode::Auto => Ok(()), // stay on line-JSON
+            _ => {
+                let message = json::parse(&line)
+                    .ok()
+                    .and_then(|value| value.get("error").and_then(Json::as_str).map(str::to_owned))
+                    .unwrap_or(line);
+                Err(ClientError::Server(format!(
+                    "bin1 framing was refused: {message}"
+                )))
+            }
+        }
+    }
+
+    /// Sends one raw request line and returns the raw response line.
+    ///
+    /// On a `bin1` connection the line is transcoded into a binary
+    /// payload (or shipped as an embedded-JSON payload when it is not a
+    /// recognizable request) — the response line returned is byte-identical
+    /// either way.
+    pub fn call_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        self.check_usable()?;
+        self.ensure_negotiated()?;
+        match self.framing {
+            Framing::Json => {
+                self.send_line(line)?;
+                self.read_reply_line()
+            }
+            Framing::Bin1 => {
+                let payload = match json::parse(line) {
+                    Ok(value) => encode_value_payload(&value),
+                    Err(_) => protocol::encode_json_payload(line),
+                };
+                self.send_payload(&payload)?;
+                self.read_frame_line()
+            }
+        }
+    }
+
     /// Sends a request value and decodes the response envelope, turning
     /// server-side errors into [`ClientError::Server`] (or
     /// [`ClientError::WrongShard`] when the error carries the structured
     /// shard-routing detail).
     pub fn call(&mut self, request: &Json) -> Result<Response, ClientError> {
-        let raw = self.call_raw(&request.to_text())?;
+        self.check_usable()?;
+        self.ensure_negotiated()?;
+        let raw = match self.framing {
+            Framing::Json => {
+                self.send_line(&request.to_text())?;
+                self.read_reply_line()?
+            }
+            Framing::Bin1 => {
+                self.send_payload(&encode_value_payload(request))?;
+                self.read_frame_line()?
+            }
+        };
+        self.decode_single(raw)
+    }
+
+    /// Decodes one success/error envelope line into a [`Response`].
+    fn decode_single(&self, raw: String) -> Result<Response, ClientError> {
         let value = json::parse(&raw)
             .map_err(|err| ClientError::BadResponse(format!("{err} in '{raw}'")))?;
         match value.get("ok").and_then(Json::as_bool) {
@@ -365,8 +633,17 @@ impl Client {
         }
     }
 
-    /// Runs a solve request.
+    /// Runs a solve request. On a `bin1` connection the request is encoded
+    /// straight to the compact binary payload — no JSON serialization of
+    /// the request at all, which is the framing's hot-path win.
     pub fn solve(&mut self, request: &SolveRequest) -> Result<Response, ClientError> {
+        self.check_usable()?;
+        self.ensure_negotiated()?;
+        if self.framing == Framing::Bin1 {
+            self.send_payload(&protocol::encode_solve_bin(request))?;
+            let raw = self.read_frame_line()?;
+            return self.decode_single(raw);
+        }
         self.call(&request.to_json())
     }
 
@@ -381,8 +658,29 @@ impl Client {
         &mut self,
         requests: &[Json],
     ) -> Result<Vec<Result<Response, String>>, ClientError> {
-        let raw = self.call_raw(&protocol::encode_batch_request(requests))?;
-        let value = json::parse(&raw)
+        self.check_usable()?;
+        self.ensure_negotiated()?;
+        let raw = match self.framing {
+            Framing::Json => {
+                self.send_line(&protocol::encode_batch_request(requests))?;
+                self.read_reply_line()?
+            }
+            Framing::Bin1 => {
+                let elements: Vec<Vec<u8>> = requests.iter().map(encode_value_payload).collect();
+                self.send_payload(&protocol::encode_batch_bin(&elements))?;
+                self.read_frame_line()?
+            }
+        };
+        self.decode_batch(&raw, requests.len())
+    }
+
+    /// Decodes a batch response envelope into per-element outcomes.
+    fn decode_batch(
+        &self,
+        raw: &str,
+        expected: usize,
+    ) -> Result<Vec<Result<Response, String>>, ClientError> {
+        let value = json::parse(raw)
             .map_err(|err| ClientError::BadResponse(format!("{err} in '{raw}'")))?;
         let envelope = protocol::envelope_from_json(&value)
             .map_err(|err| ClientError::BadResponse(err.message))?;
@@ -396,10 +694,9 @@ impl Client {
                     .get("results")
                     .and_then(Json::as_arr)
                     .ok_or_else(|| ClientError::BadResponse("batch lacks 'results'".to_owned()))?;
-                if results.len() != requests.len() {
+                if results.len() != expected {
                     return Err(ClientError::BadResponse(format!(
-                        "batch of {} requests got {} results",
-                        requests.len(),
+                        "batch of {expected} requests got {} results",
                         results.len()
                     )));
                 }
@@ -421,11 +718,20 @@ impl Client {
         }
     }
 
-    /// Sends many solve requests as one batch envelope.
+    /// Sends many solve requests as one batch envelope. On a `bin1`
+    /// connection every element goes straight to its binary payload.
     pub fn solve_batch(
         &mut self,
         requests: &[SolveRequest],
     ) -> Result<Vec<Result<Response, String>>, ClientError> {
+        self.check_usable()?;
+        self.ensure_negotiated()?;
+        if self.framing == Framing::Bin1 {
+            let elements: Vec<Vec<u8>> = requests.iter().map(protocol::encode_solve_bin).collect();
+            self.send_payload(&protocol::encode_batch_bin(&elements))?;
+            let raw = self.read_frame_line()?;
+            return self.decode_batch(&raw, requests.len());
+        }
         let values: Vec<Json> = requests.iter().map(SolveRequest::to_json).collect();
         self.call_batch(&values)
     }
@@ -445,5 +751,17 @@ impl Client {
     /// [`ClientError::Server`] on a server that is already the leader.
     pub fn promote(&mut self) -> Result<Response, ClientError> {
         self.call(&Json::obj(vec![("op", Json::str("promote"))]))
+    }
+}
+
+/// Encodes a request value as a `bin1` payload: the typed binary codec
+/// when the value decodes as a request, else the embedded-JSON payload —
+/// which the server runs through the full line-JSON decode path, so
+/// anything expressible as a line (including deliberately malformed test
+/// traffic) still gets the same answer.
+fn encode_value_payload(request: &Json) -> Vec<u8> {
+    match protocol::decode_request_value(request) {
+        Ok(decoded) => protocol::encode_request_bin(&decoded),
+        Err(_) => protocol::encode_json_payload(&request.to_text()),
     }
 }

@@ -129,7 +129,7 @@ pub mod prelude {
     pub use crate::cache::{
         CacheStats, Evicted, FsyncPolicy, LruCache, OwnerCacheStats, PersistStats, SegmentStore,
     };
-    pub use crate::client::{Client, ClientError, ClientOptions, Response};
+    pub use crate::client::{Client, ClientError, ClientOptions, FramingMode, Response};
     pub use crate::flight::{BoardJoin, FlightBoard, FlightStats};
     pub use crate::json::Json;
     pub use crate::poller::{Event, Interest, Poller, PollerKind, PollerStats, Waker};

@@ -59,17 +59,66 @@ use strudel_core::engine::{
 };
 use strudel_core::sigma::{parse_spec, SigmaSpec};
 use strudel_core::wire::{
-    WireEnvelope, WireHighestTheta, WireLowestK, WireOutcome, WireRefinement, WireSort,
+    read_varint, write_varint, WireEnvelope, WireHighestTheta, WireLowestK, WireOutcome,
+    WireRefinement, WireSort,
 };
 
 pub use strudel_core::wire::{
-    validate_tenant, NotLeader, OverQuota, ReplRecord, ShardRing, ShardSpec, ShardStamp, Source,
-    WrongShard, DEFAULT_TENANT,
+    encode_frame_header, encode_frame_into, try_decode_frame, validate_tenant, FrameKind,
+    FrameView, NotLeader, OverQuota, ReplRecord, ShardRing, ShardSpec, ShardStamp, Source,
+    WrongShard, DEFAULT_TENANT, FRAME_MAGIC, FRAME_VERSION,
 };
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
 
 use crate::json::{self, Json};
+
+/// The two wire framings a connection can speak.
+///
+/// Every connection starts in [`Framing::Json`] — one JSON object per
+/// line, the debug and interop surface. A client may negotiate
+/// [`Framing::Bin1`] with `{"op":"hello","framing":"bin1"}`: from the
+/// byte after the hello line onward, both directions carry length-prefixed
+/// `bin1` frames (see `strudel_core::wire::try_decode_frame` for the
+/// layout). Request frames carry a compact binary payload decoded in a
+/// single zero-copy pass; response frames carry the *canonical JSON
+/// response line* as their payload, so a response is byte-identical across
+/// framings — the byte-identity guarantee of the cache does not fork per
+/// framing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Framing {
+    /// Line-delimited JSON (the default).
+    Json,
+    /// Length-prefixed binary frames, negotiated via `hello`.
+    Bin1,
+}
+
+impl Framing {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framing::Json => "json",
+            Framing::Bin1 => "bin1",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(text: &str) -> Result<Self, ProtocolError> {
+        match text {
+            "json" => Ok(Framing::Json),
+            "bin1" => Ok(Framing::Bin1),
+            other => Err(ProtocolError::new(format!(
+                "unknown framing '{other}'; expected json or bin1"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Framing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// The three operations that run a solver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -287,6 +336,14 @@ pub enum Request {
     /// Promote this server (a follower) to leader: bump the replication
     /// epoch and start accepting writes.
     Promote,
+    /// Negotiate the connection's wire framing. Asking for the framing the
+    /// connection already speaks is a no-op; switching a `bin1` connection
+    /// back to `json` is refused (frame boundaries and line boundaries
+    /// cannot be re-synchronized mid-stream).
+    Hello {
+        /// The framing the client wants to switch to.
+        framing: Framing,
+    },
 }
 
 /// A malformed or invalid request.
@@ -338,13 +395,27 @@ pub enum Decoded {
 /// Decodes one request line, recognising the batch envelope. Malformed
 /// JSON, a bad batch container, or an oversized batch yield
 /// `Single(Err(…))` — one error response for the whole line.
+///
+/// This is a single pass: the text is parsed once and the `op` of every
+/// object is extracted once, routing both the envelope decision (batch or
+/// not) and the parameter decode. The binary framing's [`decode_payload`]
+/// lowers into the same request layer.
 pub fn decode_line(line: &str) -> Decoded {
     let value = match json::parse(line) {
         Ok(value) => value,
         Err(err) => return Decoded::Single(Err(err.into())),
     };
-    if value.get("op").and_then(Json::as_str) != Some("batch") {
-        return Decoded::Single(decode_request_value(&value));
+    decode_value(&value)
+}
+
+/// Decodes one parsed request object, recognising the batch envelope.
+pub fn decode_value(value: &Json) -> Decoded {
+    let op = match request_op(value) {
+        Ok(op) => op,
+        Err(err) => return Decoded::Single(Err(err)),
+    };
+    if op != "batch" {
+        return Decoded::Single(decode_request_with_op(op, value));
     }
     let Some(requests) = value.get("requests").and_then(Json::as_arr) else {
         return Decoded::Single(Err(ProtocolError::new(
@@ -360,22 +431,33 @@ pub fn decode_line(line: &str) -> Decoded {
     Decoded::Batch(requests.iter().map(decode_batch_element).collect())
 }
 
-fn decode_batch_element(value: &Json) -> Result<Request, ProtocolError> {
-    match value.get("op").and_then(Json::as_str) {
-        Some("batch") => Err(ProtocolError::new("batch envelopes cannot nest")),
-        Some("shutdown") => Err(ProtocolError::new(
-            "'shutdown' is not allowed inside a batch; send it on its own line",
-        )),
-        // Both rebind connection- or server-wide state, which has no
-        // per-element meaning inside an envelope.
-        Some("repl_subscribe") => Err(ProtocolError::new(
-            "'repl_subscribe' is not allowed inside a batch; send it on its own line",
-        )),
-        Some("promote") => Err(ProtocolError::new(
-            "'promote' is not allowed inside a batch; send it on its own line",
-        )),
-        _ => decode_request_value(value),
+/// Extracts the `op` of a request object — done exactly once per object.
+fn request_op(value: &Json) -> Result<&str, ProtocolError> {
+    value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new("request needs a string 'op' field"))
+}
+
+/// The ops refused inside a batch envelope, with the refusal message. All
+/// of them rebind connection- or server-wide state, which has no
+/// per-element meaning inside an envelope.
+fn refuse_in_batch(op: &str) -> Option<ProtocolError> {
+    match op {
+        "batch" => Some(ProtocolError::new("batch envelopes cannot nest")),
+        "shutdown" | "repl_subscribe" | "promote" | "hello" => Some(ProtocolError::new(format!(
+            "'{op}' is not allowed inside a batch; send it on its own line"
+        ))),
+        _ => None,
     }
+}
+
+fn decode_batch_element(value: &Json) -> Result<Request, ProtocolError> {
+    let op = request_op(value)?;
+    if let Some(err) = refuse_in_batch(op) {
+        return Err(err);
+    }
+    decode_request_with_op(op, value)
 }
 
 /// Decodes one request line (no batch envelope).
@@ -385,14 +467,23 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
 
 /// Decodes one parsed request object.
 pub fn decode_request_value(value: &Json) -> Result<Request, ProtocolError> {
-    let op = value
-        .get("op")
-        .and_then(Json::as_str)
-        .ok_or_else(|| ProtocolError::new("request needs a string 'op' field"))?;
+    decode_request_with_op(request_op(value)?, value)
+}
+
+/// Decodes one parsed request object whose `op` was already extracted.
+fn decode_request_with_op(op: &str, value: &Json) -> Result<Request, ProtocolError> {
     match op {
         "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
         "promote" => Ok(Request::Promote),
+        "hello" => {
+            let framing = match value.get("framing") {
+                None | Some(Json::Null) => Framing::Json,
+                Some(Json::Str(name)) => Framing::parse(name)?,
+                Some(_) => return Err(ProtocolError::new("'framing' must be a string")),
+            };
+            Ok(Request::Hello { framing })
+        }
         "repl_subscribe" => {
             let shard = match value.get("shard") {
                 None | Some(Json::Null) => None,
@@ -412,7 +503,7 @@ pub fn decode_request_value(value: &Json) -> Result<Request, ProtocolError> {
         "lowest-k" => decode_solve(value, SolveOp::LowestK),
         other => Err(ProtocolError::new(format!(
             "unknown op '{other}'; expected refine, highest-theta, lowest-k, batch, \
-             status, shutdown, promote, or repl_subscribe"
+             status, shutdown, promote, repl_subscribe, or hello"
         ))),
     }
 }
@@ -457,15 +548,7 @@ fn decode_solve(value: &Json, op: SolveOp) -> Result<Request, ProtocolError> {
     let k = get_usize(value, "k")?;
     let theta = get_ratio(value, "theta")?;
     let step = get_ratio(value, "step")?;
-    if let Some(step) = step {
-        // A non-positive step would keep the highest-theta sweep at the
-        // same threshold forever; refuse before a worker is committed.
-        if step <= strudel_rules::prelude::Ratio::ZERO {
-            return Err(ProtocolError::new(
-                "'step' must be strictly positive (e.g. \"1/100\")",
-            ));
-        }
-    }
+    require_positive_step(step)?;
     let max_k = get_usize(value, "max_k")?;
     let time_limit = get_usize(value, "time_limit_ms")?.map(|ms| Duration::from_millis(ms as u64));
     // The routing stamp travels as a pair: a shard without an epoch (or
@@ -505,7 +588,43 @@ fn decode_solve(value: &Json, op: SolveOp) -> Result<Request, ProtocolError> {
         Some(_) => return Err(ProtocolError::new("'tenant' must be a string")),
     };
 
-    // Op-specific required parameters.
+    require_solve_params(op, k, theta)?;
+
+    Ok(Request::Solve(Box::new(SolveRequest {
+        op,
+        view,
+        spec,
+        engine,
+        k,
+        theta,
+        step,
+        max_k,
+        time_limit,
+        routing,
+        tenant,
+    })))
+}
+
+/// A non-positive step would keep the highest-theta sweep at the same
+/// threshold forever; refuse before a worker is committed. Shared by both
+/// framings' decoders.
+fn require_positive_step(step: Option<Ratio>) -> Result<(), ProtocolError> {
+    if let Some(step) = step {
+        if step <= Ratio::ZERO {
+            return Err(ProtocolError::new(
+                "'step' must be strictly positive (e.g. \"1/100\")",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Op-specific required parameters, shared by both framings' decoders.
+fn require_solve_params(
+    op: SolveOp,
+    k: Option<usize>,
+    theta: Option<Ratio>,
+) -> Result<(), ProtocolError> {
     match op {
         SolveOp::Refine => {
             if k.is_none() || theta.is_none() {
@@ -523,20 +642,7 @@ fn decode_solve(value: &Json, op: SolveOp) -> Result<Request, ProtocolError> {
             }
         }
     }
-
-    Ok(Request::Solve(Box::new(SolveRequest {
-        op,
-        view,
-        spec,
-        engine,
-        k,
-        theta,
-        step,
-        max_k,
-        time_limit,
-        routing,
-        tenant,
-    })))
+    Ok(())
 }
 
 fn get_usize(value: &Json, field: &str) -> Result<Option<usize>, ProtocolError> {
@@ -560,6 +666,469 @@ fn get_ratio(value: &Json, field: &str) -> Result<Option<Ratio>, ProtocolError> 
             "'{field}' must be a ratio string like \"1/2\" (or an integer)"
         ))),
     }
+}
+
+// ---------------------------------------------------------------------
+// The `bin1` request payload codec.
+//
+// A request frame's payload starts with a kind byte:
+//
+// | byte | payload after it                                         |
+// |------|----------------------------------------------------------|
+// | 1–3  | a solve body (`refine`, `highest-theta`, `lowest-k`)     |
+// | 4–6  | nothing (`status`, `shutdown`, `promote`)                |
+// | 7    | a batch: varint count, then per element varint length +  |
+// |      | a nested request payload (same kind bytes, minus the     |
+// |      | ops refused inside batches)                              |
+// | 8    | a canonical JSON request object, verbatim — the escape   |
+// |      | hatch that keeps the binary framing fully general        |
+//
+// A solve body is `engine byte · flags byte · view · spec · optionals in
+// flag order`. Strings are varint-length-prefixed UTF-8; integers are
+// varints; ratios travel as their canonical text (exactness is the
+// protocol's contract, and the text is already the canonical form the
+// cache key is built from). The decoder is a single forward pass over the
+// payload slice, borrowing every string until it materialises the
+// `SolveRequest` — no intermediate `Json` tree, no per-element `String`.
+// ---------------------------------------------------------------------
+
+/// Kind byte of a binary `refine` request payload.
+const BIN_REFINE: u8 = 1;
+/// Kind byte of a binary `highest-theta` request payload.
+const BIN_HIGHEST_THETA: u8 = 2;
+/// Kind byte of a binary `lowest-k` request payload.
+const BIN_LOWEST_K: u8 = 3;
+/// Kind byte of a binary `status` request payload.
+const BIN_STATUS: u8 = 4;
+/// Kind byte of a binary `shutdown` request payload.
+const BIN_SHUTDOWN: u8 = 5;
+/// Kind byte of a binary `promote` request payload.
+const BIN_PROMOTE: u8 = 6;
+/// Kind byte of a binary batch payload.
+const BIN_BATCH: u8 = 7;
+/// Kind byte of an embedded-JSON request payload.
+const BIN_JSON: u8 = 8;
+
+/// Flag bits marking which optional fields a binary solve body carries.
+const SF_K: u8 = 1;
+const SF_THETA: u8 = 2;
+const SF_STEP: u8 = 4;
+const SF_MAX_K: u8 = 8;
+const SF_TIME_LIMIT: u8 = 16;
+const SF_ROUTING: u8 = 32;
+const SF_TENANT: u8 = 64;
+const SF_ALL: u8 = SF_K | SF_THETA | SF_STEP | SF_MAX_K | SF_TIME_LIMIT | SF_ROUTING | SF_TENANT;
+
+fn engine_byte(engine: EngineKind) -> u8 {
+    match engine {
+        EngineKind::Hybrid => 1,
+        EngineKind::Ilp => 2,
+        EngineKind::Greedy => 3,
+    }
+}
+
+fn engine_from_byte(byte: u8) -> Result<EngineKind, ProtocolError> {
+    match byte {
+        1 => Ok(EngineKind::Hybrid),
+        2 => Ok(EngineKind::Ilp),
+        3 => Ok(EngineKind::Greedy),
+        other => Err(ProtocolError::new(format!(
+            "unknown engine byte {other}; expected 1 (hybrid), 2 (ilp), or 3 (greedy)"
+        ))),
+    }
+}
+
+/// Appends a varint-length-prefixed UTF-8 string.
+fn put_str(out: &mut Vec<u8>, text: &str) {
+    write_varint(out, text.len() as u64);
+    out.extend_from_slice(text.as_bytes());
+}
+
+/// A forward-only cursor over a frame payload. Every read is
+/// bounds-checked against the slice; claimed lengths are additionally
+/// bounded by the bytes actually remaining, so a hostile length prefix can
+/// never drive allocation past the frame it arrived in.
+struct BinCursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> BinCursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        BinCursor { buf, at: 0 }
+    }
+
+    fn varint(&mut self) -> Result<u64, ProtocolError> {
+        match read_varint(&self.buf[self.at..]) {
+            Ok(Some((value, used))) => {
+                self.at += used;
+                Ok(value)
+            }
+            Ok(None) => Err(ProtocolError::new("truncated binary payload")),
+            Err(message) => Err(ProtocolError::new(message)),
+        }
+    }
+
+    fn usize_value(&mut self) -> Result<usize, ProtocolError> {
+        usize::try_from(self.varint()?)
+            .map_err(|_| ProtocolError::new("binary integer is out of range"))
+    }
+
+    /// A varint announcing upcoming items or bytes, each at least one byte
+    /// wide — so any claim beyond the remaining payload is malformed.
+    fn bounded_len(&mut self) -> Result<usize, ProtocolError> {
+        let value = self.varint()?;
+        if value > (self.buf.len() - self.at) as u64 {
+            return Err(ProtocolError::new(
+                "binary length prefix overruns the payload",
+            ));
+        }
+        Ok(value as usize)
+    }
+
+    fn byte(&mut self) -> Result<u8, ProtocolError> {
+        let byte = *self
+            .buf
+            .get(self.at)
+            .ok_or_else(|| ProtocolError::new("truncated binary payload"))?;
+        self.at += 1;
+        Ok(byte)
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .at
+            .checked_add(len)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| ProtocolError::new("truncated binary payload"))?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    /// A varint-length-prefixed UTF-8 string, borrowed from the payload.
+    fn str_slice(&mut self) -> Result<&'a str, ProtocolError> {
+        let len = self.bounded_len()?;
+        std::str::from_utf8(self.bytes(len)?)
+            .map_err(|_| ProtocolError::new("binary string is not valid UTF-8"))
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+/// Encodes a solve request as its binary payload (kind byte included).
+pub fn encode_solve_bin(solve: &SolveRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    out.push(match solve.op {
+        SolveOp::Refine => BIN_REFINE,
+        SolveOp::HighestTheta => BIN_HIGHEST_THETA,
+        SolveOp::LowestK => BIN_LOWEST_K,
+    });
+    out.push(engine_byte(solve.engine));
+    let mut flags = 0u8;
+    let set = |present: bool, bit: u8| if present { bit } else { 0 };
+    flags |= set(solve.k.is_some(), SF_K);
+    flags |= set(solve.theta.is_some(), SF_THETA);
+    flags |= set(solve.step.is_some(), SF_STEP);
+    flags |= set(solve.max_k.is_some(), SF_MAX_K);
+    flags |= set(solve.time_limit.is_some(), SF_TIME_LIMIT);
+    flags |= set(solve.routing.is_some(), SF_ROUTING);
+    flags |= set(solve.tenant.is_some(), SF_TENANT);
+    out.push(flags);
+    let properties = solve.view.properties();
+    write_varint(&mut out, properties.len() as u64);
+    for property in properties {
+        put_str(&mut out, property);
+    }
+    let entries = solve.view.entries();
+    write_varint(&mut out, entries.len() as u64);
+    for entry in entries {
+        let support = entry.support();
+        write_varint(&mut out, support.len() as u64);
+        for index in support {
+            write_varint(&mut out, index as u64);
+        }
+        write_varint(&mut out, entry.count as u64);
+    }
+    put_str(&mut out, &solve.spec.spec_string());
+    if let Some(k) = solve.k {
+        write_varint(&mut out, k as u64);
+    }
+    if let Some(theta) = solve.theta {
+        put_str(&mut out, &theta.to_string());
+    }
+    if let Some(step) = solve.step {
+        put_str(&mut out, &step.to_string());
+    }
+    if let Some(max_k) = solve.max_k {
+        write_varint(&mut out, max_k as u64);
+    }
+    if let Some(limit) = solve.time_limit {
+        write_varint(&mut out, limit.as_millis() as u64);
+    }
+    if let Some(stamp) = solve.routing {
+        write_varint(&mut out, u64::from(stamp.shard));
+        write_varint(&mut out, stamp.epoch);
+    }
+    if let Some(tenant) = &solve.tenant {
+        put_str(&mut out, tenant);
+    }
+    out
+}
+
+/// Encodes any decoded request as its binary payload. Requests with no
+/// compact form (`repl_subscribe`, `hello`) ride the embedded-JSON escape
+/// hatch.
+pub fn encode_request_bin(request: &Request) -> Vec<u8> {
+    match request {
+        Request::Solve(solve) => encode_solve_bin(solve),
+        Request::Status => vec![BIN_STATUS],
+        Request::Shutdown => vec![BIN_SHUTDOWN],
+        Request::Promote => vec![BIN_PROMOTE],
+        Request::ReplSubscribe { shard } => {
+            encode_json_payload(&encode_repl_subscribe(shard.as_ref()))
+        }
+        Request::Hello { framing } => encode_json_payload(&encode_hello(*framing)),
+    }
+}
+
+/// Wraps a canonical JSON request object as an embedded-JSON payload.
+pub fn encode_json_payload(text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(text.len() + 1);
+    out.push(BIN_JSON);
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+/// Builds a binary batch payload from already-encoded element payloads.
+pub fn encode_batch_bin(elements: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = elements.iter().map(|el| el.len() + 10).sum();
+    let mut out = Vec::with_capacity(total + 11);
+    out.push(BIN_BATCH);
+    write_varint(&mut out, elements.len() as u64);
+    for element in elements {
+        write_varint(&mut out, element.len() as u64);
+        out.extend_from_slice(element);
+    }
+    out
+}
+
+/// Decodes a `bin1` request frame's payload, recognising the batch
+/// payload — the binary mirror of [`decode_line`], lowering into the same
+/// request layer and the same per-element error isolation.
+pub fn decode_payload(payload: &[u8]) -> Decoded {
+    match payload.first() {
+        None => Decoded::Single(Err(ProtocolError::new("empty request frame"))),
+        Some(&BIN_BATCH) => {
+            let mut cur = BinCursor::new(&payload[1..]);
+            let count = match cur.usize_value() {
+                Ok(count) => count,
+                Err(err) => return Decoded::Single(Err(err)),
+            };
+            if count > MAX_BATCH_REQUESTS {
+                return Decoded::Single(Err(ProtocolError::new(format!(
+                    "batch of {count} requests exceeds the limit of {MAX_BATCH_REQUESTS}"
+                ))));
+            }
+            let mut elements = Vec::with_capacity(count);
+            for _ in 0..count {
+                match cur.bounded_len().and_then(|len| cur.bytes(len)) {
+                    Ok(element) => elements.push(decode_request_bin(element, true)),
+                    Err(err) => return Decoded::Single(Err(err)),
+                }
+            }
+            if !cur.done() {
+                return Decoded::Single(Err(ProtocolError::new(
+                    "trailing bytes after the batch payload",
+                )));
+            }
+            Decoded::Batch(elements)
+        }
+        // The embedded-JSON escape hatch keeps full decode_line semantics,
+        // batch envelopes included.
+        Some(&BIN_JSON) => match std::str::from_utf8(&payload[1..]) {
+            Ok(text) => decode_line(text),
+            Err(_) => Decoded::Single(Err(ProtocolError::new(
+                "embedded JSON payload is not valid UTF-8",
+            ))),
+        },
+        Some(_) => Decoded::Single(decode_request_bin(payload, false)),
+    }
+}
+
+/// Decodes one binary request payload (a whole frame's, or one batch
+/// element's — `in_batch` applies the same op refusals as JSON batches).
+fn decode_request_bin(payload: &[u8], in_batch: bool) -> Result<Request, ProtocolError> {
+    let Some((&kind, body)) = payload.split_first() else {
+        return Err(ProtocolError::new("empty request payload"));
+    };
+    let expect_empty = |body: &[u8], op: &str| {
+        if body.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolError::new(format!(
+                "trailing bytes after the '{op}' payload"
+            )))
+        }
+    };
+    let refused = |op: &str| refuse_in_batch(op).expect("op is refused in batches");
+    match kind {
+        BIN_REFINE => decode_solve_bin(SolveOp::Refine, body),
+        BIN_HIGHEST_THETA => decode_solve_bin(SolveOp::HighestTheta, body),
+        BIN_LOWEST_K => decode_solve_bin(SolveOp::LowestK, body),
+        BIN_STATUS => {
+            expect_empty(body, "status")?;
+            Ok(Request::Status)
+        }
+        BIN_SHUTDOWN => {
+            if in_batch {
+                return Err(refused("shutdown"));
+            }
+            expect_empty(body, "shutdown")?;
+            Ok(Request::Shutdown)
+        }
+        BIN_PROMOTE => {
+            if in_batch {
+                return Err(refused("promote"));
+            }
+            expect_empty(body, "promote")?;
+            Ok(Request::Promote)
+        }
+        BIN_BATCH => Err(refused("batch")),
+        BIN_JSON => {
+            let text = std::str::from_utf8(body)
+                .map_err(|_| ProtocolError::new("embedded JSON payload is not valid UTF-8"))?;
+            let value = json::parse(text)?;
+            let op = request_op(&value)?;
+            if in_batch {
+                if let Some(err) = refuse_in_batch(op) {
+                    return Err(err);
+                }
+            }
+            decode_request_with_op(op, &value)
+        }
+        other => Err(ProtocolError::new(format!(
+            "unknown binary request kind {other}"
+        ))),
+    }
+}
+
+/// Decodes a binary solve body in one forward pass, borrowing every
+/// string from the payload until the final materialisation.
+fn decode_solve_bin(op: SolveOp, body: &[u8]) -> Result<Request, ProtocolError> {
+    let mut cur = BinCursor::new(body);
+    let engine = engine_from_byte(cur.byte()?)?;
+    let flags = cur.byte()?;
+    if flags & !SF_ALL != 0 {
+        return Err(ProtocolError::new(format!(
+            "unknown solve flag bits 0x{:02X}",
+            flags & !SF_ALL
+        )));
+    }
+    let nprops = cur.bounded_len()?;
+    let mut properties = Vec::with_capacity(nprops);
+    for _ in 0..nprops {
+        properties.push(cur.str_slice()?.to_owned());
+    }
+    let nsigs = cur.bounded_len()?;
+    let mut signatures = Vec::with_capacity(nsigs);
+    for _ in 0..nsigs {
+        let nidx = cur.bounded_len()?;
+        let mut indexes = Vec::with_capacity(nidx);
+        for _ in 0..nidx {
+            indexes.push(cur.usize_value()?);
+        }
+        let count = cur.usize_value()?;
+        signatures.push((indexes, count));
+    }
+    let view = SignatureView::from_counts(properties, signatures)
+        .map_err(|err| ProtocolError::new(format!("invalid view: {err}")))?;
+    let spec = parse_spec(cur.str_slice()?).map_err(|err| ProtocolError::new(err.to_string()))?;
+    let ratio_field = |text: &str, field: &str| {
+        Ratio::parse(text).map_err(|err| ProtocolError::new(format!("invalid '{field}': {err}")))
+    };
+    let k = if flags & SF_K != 0 {
+        Some(cur.usize_value()?)
+    } else {
+        None
+    };
+    let theta = if flags & SF_THETA != 0 {
+        Some(ratio_field(cur.str_slice()?, "theta")?)
+    } else {
+        None
+    };
+    let step = if flags & SF_STEP != 0 {
+        Some(ratio_field(cur.str_slice()?, "step")?)
+    } else {
+        None
+    };
+    require_positive_step(step)?;
+    let max_k = if flags & SF_MAX_K != 0 {
+        Some(cur.usize_value()?)
+    } else {
+        None
+    };
+    let time_limit = if flags & SF_TIME_LIMIT != 0 {
+        Some(Duration::from_millis(cur.varint()?))
+    } else {
+        None
+    };
+    let routing = if flags & SF_ROUTING != 0 {
+        Some(ShardStamp {
+            shard: u32::try_from(cur.varint()?)
+                .map_err(|_| ProtocolError::new("'shard' is out of range"))?,
+            epoch: cur.varint()?,
+        })
+    } else {
+        None
+    };
+    let tenant = if flags & SF_TENANT != 0 {
+        let id = cur.str_slice()?;
+        validate_tenant(id).map_err(|err| ProtocolError::new(format!("'tenant': {err}")))?;
+        if id == DEFAULT_TENANT {
+            None
+        } else {
+            Some(id.to_owned())
+        }
+    } else {
+        None
+    };
+    if !cur.done() {
+        return Err(ProtocolError::new("trailing bytes after the solve payload"));
+    }
+    require_solve_params(op, k, theta)?;
+    Ok(Request::Solve(Box::new(SolveRequest {
+        op,
+        view,
+        spec,
+        engine,
+        k,
+        theta,
+        step,
+        max_k,
+        time_limit,
+        routing,
+        tenant,
+    })))
+}
+
+/// Encodes the `hello` negotiation request line.
+pub fn encode_hello(framing: Framing) -> String {
+    format!("{{\"op\":\"hello\",\"framing\":\"{}\"}}", framing.name())
+}
+
+/// Encodes the server's `hello` acknowledgement. It travels in the *newly
+/// negotiated* framing (as a frame payload when switching to `bin1`), so a
+/// client can classify the reply by its first byte: `0xB5` means the
+/// switch happened, `{` means a JSON answer — either the acknowledgement
+/// of `"framing":"json"` or an old server's unknown-op error.
+pub fn encode_hello_ok(framing: Framing) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"hello\",\"framing\":\"{}\"}}",
+        framing.name()
+    )
 }
 
 /// Encodes a signature view as its wire object.
@@ -776,14 +1345,29 @@ pub fn lowest_k_to_json(result: &WireLowestK) -> Json {
     ])
 }
 
+/// The success envelope split around its `result` slot: an owned prefix
+/// and the closing suffix. The server's vectored writer splices the cached
+/// result text between the two without copying it; joining the parts with
+/// the result in the middle is byte-identical to [`encode_success`].
+pub fn encode_success_parts(op: &str, source: Source) -> (String, &'static str) {
+    (
+        format!(
+            "{{\"ok\":true,\"op\":\"{op}\",\"source\":\"{}\",\"result\":",
+            source.name()
+        ),
+        "}",
+    )
+}
+
 /// Builds a success response line. `result_text` must be the canonical
 /// serialization of the result object; it is spliced in verbatim, which is
 /// what makes cache replays byte-identical to the original response body.
 pub fn encode_success(op: &str, source: Source, result_text: &str) -> String {
-    format!(
-        "{{\"ok\":true,\"op\":\"{op}\",\"source\":\"{}\",\"result\":{result_text}}}",
-        source.name()
-    )
+    let (mut out, suffix) = encode_success_parts(op, source);
+    out.reserve(result_text.len() + suffix.len());
+    out.push_str(result_text);
+    out.push_str(suffix);
+    out
 }
 
 /// Builds an error response line.
@@ -1005,16 +1589,23 @@ pub fn repl_record_from_json(value: &Json) -> Result<ReplRecord, ProtocolError> 
 pub fn encode_batch(items: &[String]) -> String {
     let total: usize = items.iter().map(|item| item.len() + 1).sum();
     let mut out = String::with_capacity(total + 40);
-    out.push_str("{\"ok\":true,\"op\":\"batch\",\"results\":[");
+    out.push_str(BATCH_ENVELOPE_PREFIX);
     for (idx, item) in items.iter().enumerate() {
         if idx > 0 {
             out.push(',');
         }
         out.push_str(item);
     }
-    out.push_str("]}");
+    out.push_str(BATCH_ENVELOPE_SUFFIX);
     out
 }
+
+/// The batch envelope split around its `results` array, for chunk-splicing
+/// assemblers: `prefix + items.join(",") + suffix` is byte-identical to
+/// [`encode_batch`].
+pub const BATCH_ENVELOPE_PREFIX: &str = "{\"ok\":true,\"op\":\"batch\",\"results\":[";
+/// See [`BATCH_ENVELOPE_PREFIX`].
+pub const BATCH_ENVELOPE_SUFFIX: &str = "]}";
 
 /// Encodes any wire envelope to its response line.
 pub fn encode_envelope(envelope: &WireEnvelope) -> String {
@@ -1604,6 +2195,202 @@ mod tests {
             not_leader_from_json(&json::parse(&encode_error("boom")).unwrap()),
             None
         );
+    }
+
+    #[test]
+    fn hello_lines_negotiate_framings() {
+        assert!(matches!(
+            decode_request(&encode_hello(Framing::Bin1)),
+            Ok(Request::Hello {
+                framing: Framing::Bin1
+            })
+        ));
+        assert!(matches!(
+            decode_request(&encode_hello(Framing::Json)),
+            Ok(Request::Hello {
+                framing: Framing::Json
+            })
+        ));
+        // A bare hello defaults to json (a no-op), unknown framings fail.
+        assert!(matches!(
+            decode_request("{\"op\":\"hello\"}"),
+            Ok(Request::Hello {
+                framing: Framing::Json
+            })
+        ));
+        assert!(decode_request("{\"op\":\"hello\",\"framing\":\"bin9\"}").is_err());
+        assert!(decode_request("{\"op\":\"hello\",\"framing\":7}").is_err());
+        // Refused inside a batch like the other connection-rebinding ops.
+        let line = "{\"op\":\"batch\",\"requests\":[{\"op\":\"hello\",\"framing\":\"bin1\"}]}";
+        let Decoded::Batch(elements) = decode_line(line) else {
+            panic!("expected a batch");
+        };
+        assert!(elements[0].is_err());
+        // The acknowledgement parses as a well-formed response object.
+        let ack = json::parse(&encode_hello_ok(Framing::Bin1)).unwrap();
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ack.get("framing").and_then(Json::as_str), Some("bin1"));
+        // Framing names round-trip.
+        for framing in [Framing::Json, Framing::Bin1] {
+            assert_eq!(Framing::parse(framing.name()).unwrap(), framing);
+        }
+    }
+
+    #[test]
+    fn binary_solve_payloads_decode_to_the_same_request() {
+        let request = SolveRequest {
+            op: SolveOp::HighestTheta,
+            view: sample_view(),
+            spec: SigmaSpec::Similarity,
+            engine: EngineKind::Greedy,
+            k: Some(3),
+            theta: None,
+            step: Some(Ratio::new(1, 10)),
+            max_k: Some(5),
+            time_limit: Some(Duration::from_millis(750)),
+            routing: Some(ShardStamp {
+                shard: 2,
+                epoch: u64::MAX - 17,
+            }),
+            tenant: Some("acme".to_owned()),
+        };
+        let payload = encode_solve_bin(&request);
+        let Decoded::Single(Ok(Request::Solve(back))) = decode_payload(&payload) else {
+            panic!("expected a solve request");
+        };
+        assert_eq!(back.op, request.op);
+        assert_eq!(back.engine, request.engine);
+        assert_eq!(back.spec, request.spec);
+        assert_eq!(back.k, request.k);
+        assert_eq!(back.step, request.step);
+        assert_eq!(back.max_k, request.max_k);
+        assert_eq!(back.time_limit, request.time_limit);
+        assert_eq!(back.routing, request.routing);
+        assert_eq!(back.tenant, request.tenant);
+        assert_eq!(back.cache_key(), request.cache_key());
+        // And it agrees with the JSON framing's decode of the same request.
+        let Ok(Request::Solve(via_json)) = decode_request(&request.to_json().to_text()) else {
+            panic!("expected a solve request");
+        };
+        assert_eq!(via_json.cache_key(), back.cache_key());
+        // An explicit default tenant normalises to None, like JSON.
+        let mut spelled = request.clone();
+        spelled.tenant = Some(DEFAULT_TENANT.to_owned());
+        let Decoded::Single(Ok(Request::Solve(normalised))) =
+            decode_payload(&encode_solve_bin(&spelled))
+        else {
+            panic!("expected a solve request");
+        };
+        assert_eq!(normalised.tenant, None);
+    }
+
+    #[test]
+    fn binary_batches_mirror_json_batch_semantics() {
+        let solve = SolveRequest {
+            op: SolveOp::Refine,
+            view: sample_view(),
+            spec: SigmaSpec::Coverage,
+            engine: EngineKind::Hybrid,
+            k: Some(2),
+            theta: Some(Ratio::new(1, 2)),
+            step: None,
+            max_k: None,
+            time_limit: None,
+            routing: None,
+            tenant: None,
+        };
+        let payload = encode_batch_bin(&[
+            encode_solve_bin(&solve),
+            vec![BIN_STATUS],
+            vec![BIN_SHUTDOWN],
+            vec![BIN_PROMOTE],
+            encode_batch_bin(&[]),
+            encode_json_payload("{\"op\":\"status\"}"),
+            encode_json_payload(&encode_hello(Framing::Bin1)),
+        ]);
+        let Decoded::Batch(elements) = decode_payload(&payload) else {
+            panic!("expected a batch");
+        };
+        assert_eq!(elements.len(), 7);
+        assert!(matches!(&elements[0], Ok(Request::Solve(s)) if s.op == SolveOp::Refine));
+        assert!(matches!(elements[1], Ok(Request::Status)));
+        assert!(elements[2].is_err(), "shutdown refused inside a batch");
+        assert!(elements[3].is_err(), "promote refused inside a batch");
+        assert!(elements[4].is_err(), "batches cannot nest");
+        assert!(
+            matches!(elements[5], Ok(Request::Status)),
+            "embedded JSON elements decode like batch elements"
+        );
+        assert!(elements[6].is_err(), "hello refused inside a batch");
+        // The embedded-JSON escape hatch carries whole lines, batch
+        // envelopes included, with full decode_line semantics.
+        let Decoded::Batch(via_json) =
+            decode_payload(&encode_json_payload("{\"op\":\"batch\",\"requests\":[]}"))
+        else {
+            panic!("expected a batch");
+        };
+        assert!(via_json.is_empty());
+        // Control requests ride the typed kinds; the rest the escape hatch.
+        assert_eq!(encode_request_bin(&Request::Status), vec![BIN_STATUS]);
+        assert!(matches!(
+            decode_payload(&encode_request_bin(&Request::ReplSubscribe { shard: None })),
+            Decoded::Single(Ok(Request::ReplSubscribe { shard: None }))
+        ));
+    }
+
+    #[test]
+    fn hostile_binary_payloads_fail_cleanly() {
+        let solve = SolveRequest {
+            op: SolveOp::Refine,
+            view: sample_view(),
+            spec: SigmaSpec::Coverage,
+            engine: EngineKind::Hybrid,
+            k: Some(2),
+            theta: Some(Ratio::new(1, 2)),
+            step: None,
+            max_k: None,
+            time_limit: None,
+            routing: None,
+            tenant: None,
+        };
+        let good = encode_solve_bin(&solve);
+        // Every strict prefix is a truncation error, never a panic.
+        for cut in 0..good.len() {
+            assert!(
+                matches!(decode_payload(&good[..cut.max(1)]), Decoded::Single(Err(_)))
+                    || cut == good.len(),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage is refused (the payload length is authoritative).
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(matches!(decode_payload(&padded), Decoded::Single(Err(_))));
+        // Unknown kind bytes, engines, and flag bits are refused.
+        assert!(matches!(decode_payload(&[0xEE]), Decoded::Single(Err(_))));
+        let mut bad_engine = good.clone();
+        bad_engine[1] = 9;
+        assert!(matches!(
+            decode_payload(&bad_engine),
+            Decoded::Single(Err(_))
+        ));
+        let mut bad_flags = good.clone();
+        bad_flags[2] |= 0x80;
+        assert!(matches!(
+            decode_payload(&bad_flags),
+            Decoded::Single(Err(_))
+        ));
+        // A length prefix claiming more than the payload holds is refused
+        // before any allocation happens.
+        let mut hostile = vec![BIN_REFINE, 1, 0];
+        write_varint(&mut hostile, u64::MAX);
+        assert!(matches!(decode_payload(&hostile), Decoded::Single(Err(_))));
+        // Oversized batch counts are refused like their JSON counterpart.
+        let mut big = vec![BIN_BATCH];
+        write_varint(&mut big, (MAX_BATCH_REQUESTS + 1) as u64);
+        assert!(matches!(decode_payload(&big), Decoded::Single(Err(_))));
+        // The empty payload is an error, not a panic.
+        assert!(matches!(decode_payload(&[]), Decoded::Single(Err(_))));
     }
 
     #[test]

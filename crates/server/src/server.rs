@@ -53,7 +53,7 @@
 //! process (segment replay) — receives those same bytes.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,9 +74,10 @@ use crate::poller::{
 };
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    self, encode_batch, encode_error, encode_not_leader, encode_over_quota, encode_success,
-    encode_wrong_shard, CacheKey, Decoded, NotLeader, OverQuota, Request, ShardRing, ShardSpec,
-    SolveOp, SolveRequest, Source, WrongShard, DEFAULT_TENANT,
+    self, encode_error, encode_frame_header, encode_hello_ok, encode_not_leader, encode_over_quota,
+    encode_success, encode_success_parts, encode_wrong_shard, try_decode_frame, CacheKey, Decoded,
+    FrameKind, FrameView, Framing, NotLeader, OverQuota, Request, ShardRing, ShardSpec, SolveOp,
+    SolveRequest, Source, WrongShard, DEFAULT_TENANT,
 };
 use crate::replica::{self, FollowerConfig, FollowerHost, ReplState, ReplStatus, ReplicaHub};
 use crate::tenant::{TenantCounters, TenantRegistry, TenantSpecSet};
@@ -231,6 +232,22 @@ struct Metrics {
     persist_errors: AtomicU64,
     wrong_shard: AtomicU64,
     not_leader: AtomicU64,
+    /// `bin1` request frames decoded (JSON lines are not counted here;
+    /// they show up under the per-op request counters).
+    frames_in: AtomicU64,
+    /// `bin1` response frames staged for writing.
+    frames_out: AtomicU64,
+    /// Bytes read off client sockets, both framings.
+    wire_bytes_in: AtomicU64,
+    /// Bytes written to client sockets, both framings.
+    wire_bytes_out: AtomicU64,
+    /// Fatal frame-level decode failures (bad magic/version/kind,
+    /// malformed varints, oversized payloads).
+    wire_decode_errors: AtomicU64,
+    /// `hello` negotiations that switched a connection to `bin1`.
+    bin_negotiated: AtomicU64,
+    /// Gauge: open connections currently speaking `bin1`.
+    bin_connections: AtomicU64,
 }
 
 impl Metrics {
@@ -256,6 +273,29 @@ pub struct ShardStatus {
     /// Solve requests refused because this shard does not own their key
     /// (or their stamp carried a different ring epoch).
     pub wrong_shard: u64,
+}
+
+/// Wire-level counters of the `status` payload: traffic volume per
+/// framing, frame counts, and the negotiated-framing roll-up across open
+/// connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// `bin1` request frames decoded.
+    pub frames_in: u64,
+    /// `bin1` response frames written.
+    pub frames_out: u64,
+    /// Bytes read off client sockets (both framings).
+    pub bytes_in: u64,
+    /// Bytes written to client sockets (both framings).
+    pub bytes_out: u64,
+    /// Fatal frame decode failures.
+    pub decode_errors: u64,
+    /// `hello` negotiations that switched a connection to `bin1`.
+    pub bin_negotiated: u64,
+    /// Open connections currently speaking `bin1`.
+    pub connections_bin: u64,
+    /// Open connections on the default line-JSON framing.
+    pub connections_json: u64,
 }
 
 /// A point-in-time view of the server's counters (the `status` payload).
@@ -307,6 +347,8 @@ pub struct StatusSnapshot {
     pub tenants: Vec<TenantCounters>,
     /// Per-tenant cache occupancy (entries resident, reserve floor).
     pub tenant_cache: Vec<OwnerCacheStats>,
+    /// Wire-level traffic counters and the per-connection framing roll-up.
+    pub wire: WireStats,
 }
 
 impl StatusSnapshot {
@@ -404,9 +446,25 @@ impl StatusSnapshot {
             ("spurious", Json::Int(self.poller.spurious as i64)),
             ("registered", Json::Int(self.poller.registered as i64)),
         ]);
+        let wire = Json::obj(vec![
+            ("frames_in", Json::Int(self.wire.frames_in as i64)),
+            ("frames_out", Json::Int(self.wire.frames_out as i64)),
+            ("bytes_in", Json::Int(self.wire.bytes_in as i64)),
+            ("bytes_out", Json::Int(self.wire.bytes_out as i64)),
+            ("decode_errors", Json::Int(self.wire.decode_errors as i64)),
+            ("bin_negotiated", Json::Int(self.wire.bin_negotiated as i64)),
+            (
+                "connections",
+                Json::obj(vec![
+                    ("bin1", Json::Int(self.wire.connections_bin as i64)),
+                    ("json", Json::Int(self.wire.connections_json as i64)),
+                ]),
+            ),
+        ]);
         Json::obj(vec![
             ("workers", Json::Int(self.workers as i64)),
             ("poller", poller),
+            ("wire", wire),
             ("shard", shard),
             ("replication", replication),
             ("uptime_ms", Json::Int(self.uptime_ms as i64)),
@@ -720,6 +778,18 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
         .as_ref()
         .map(SegmentStore::stats);
     let metrics = &shared.metrics;
+    let open = metrics.open_connections.load(Ordering::Relaxed);
+    let connections_bin = metrics.bin_connections.load(Ordering::Relaxed);
+    let wire = WireStats {
+        frames_in: metrics.frames_in.load(Ordering::Relaxed),
+        frames_out: metrics.frames_out.load(Ordering::Relaxed),
+        bytes_in: metrics.wire_bytes_in.load(Ordering::Relaxed),
+        bytes_out: metrics.wire_bytes_out.load(Ordering::Relaxed),
+        decode_errors: metrics.wire_decode_errors.load(Ordering::Relaxed),
+        bin_negotiated: metrics.bin_negotiated.load(Ordering::Relaxed),
+        connections_bin,
+        connections_json: open.saturating_sub(connections_bin),
+    };
     StatusSnapshot {
         poller: shared.poller_counters.stats(shared.poller_backend),
         shard: shared.shard.as_ref().map(|state| ShardStatus {
@@ -752,6 +822,7 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
         not_leader: metrics.not_leader.load(Ordering::Relaxed),
         tenants: shared.tenants.snapshot(),
         tenant_cache,
+        wire,
     }
 }
 
@@ -772,28 +843,149 @@ const DRAIN_GRACE: Duration = Duration::from_secs(5);
 /// Bytes read per `read()` call on a readable socket.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// Slack on top of [`MAX_REQUEST_LINE`] for a buffered-but-incomplete
+/// `bin1` frame: a maximal header (magic, version, kind, tenant up to 64
+/// bytes, two varints) in front of a maximal payload.
+const MAX_FRAME_HEADER: usize = 96;
+
+/// Upper bound on iovec entries per `write_vectored` call (Linux caps a
+/// single writev at `IOV_MAX`/1024; 64 already amortises the syscall).
+const WRITE_BATCH_IOVECS: usize = 64;
+
+/// Owned output fragments at or below this size are merged into the
+/// previous owned fragment instead of costing their own iovec entry
+/// (envelope prefixes, separators, frame headers are all tiny).
+const MERGE_CHUNK: usize = 4096;
+
 /// How long the listener stays muted after a persistent `accept` failure
 /// (EMFILE under fd exhaustion being the classic) before the loop re-arms
 /// it and retries. Level-triggered backends would otherwise re-report the
 /// un-drained backlog every `wait` and spin the retry at full speed.
 const ACCEPT_RETRY: Duration = Duration::from_millis(50);
 
+/// One piece of an outgoing message. Owned fragments carry envelopes,
+/// separators, and frame headers; shared fragments alias the cache's
+/// `Arc<String>` result texts, so a hit's payload is flushed to the socket
+/// without ever being copied into a per-response `String`.
+enum Chunk {
+    Owned(Vec<u8>),
+    Shared(Arc<String>),
+}
+
+impl Chunk {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Chunk::Owned(bytes) => bytes,
+            Chunk::Shared(text) => text.as_bytes(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_bytes().len()
+    }
+}
+
+/// One response payload, assembled as a chunk list instead of a
+/// concatenated `String`: a batch splices its elements' chunks between the
+/// envelope fragments (no `Vec<String>` join), and cache hits alias the
+/// cached result text. The line terminator (JSON framing) or frame header
+/// (`bin1`) is added when the message is staged for writing.
+struct Msg {
+    chunks: Vec<Chunk>,
+    len: usize,
+}
+
+impl Msg {
+    fn new() -> Msg {
+        Msg {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn from_line(line: String) -> Msg {
+        let mut msg = Msg::new();
+        msg.push_owned(line.into_bytes());
+        msg
+    }
+
+    fn push_owned(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.len += bytes.len();
+        if let Some(Chunk::Owned(back)) = self.chunks.last_mut() {
+            if back.len() + bytes.len() <= MERGE_CHUNK {
+                back.extend_from_slice(&bytes);
+                return;
+            }
+        }
+        self.chunks.push(Chunk::Owned(bytes));
+    }
+
+    fn push_str(&mut self, text: &str) {
+        if text.is_empty() {
+            return;
+        }
+        self.len += text.len();
+        if let Some(Chunk::Owned(back)) = self.chunks.last_mut() {
+            if back.len() + text.len() <= MERGE_CHUNK {
+                back.extend_from_slice(text.as_bytes());
+                return;
+            }
+        }
+        self.chunks.push(Chunk::Owned(text.as_bytes().to_vec()));
+    }
+
+    fn push_shared(&mut self, text: Arc<String>) {
+        if text.is_empty() {
+            return;
+        }
+        self.len += text.len();
+        self.chunks.push(Chunk::Shared(text));
+    }
+
+    fn append(&mut self, other: Msg) {
+        for chunk in other.chunks {
+            match chunk {
+                Chunk::Owned(bytes) => self.push_owned(bytes),
+                Chunk::Shared(text) => self.push_shared(text),
+            }
+        }
+    }
+}
+
+/// The chunked equivalent of [`encode_success`] for a result that already
+/// lives behind an `Arc` (cache hits, completion fan-out): the envelope
+/// fragments are owned, the result text is aliased.
+fn success_msg(op: &str, source: Source, result: &Arc<String>) -> Msg {
+    let (prefix, suffix) = encode_success_parts(op, source);
+    let mut msg = Msg::new();
+    msg.push_owned(prefix.into_bytes());
+    msg.push_shared(Arc::clone(result));
+    msg.push_str(suffix);
+    msg
+}
+
 /// One response being assembled. Slots leave the connection in FIFO order,
 /// so responses are written in request order even when solves complete out
-/// of order.
+/// of order. Each slot captures the framing negotiated when its request
+/// arrived, so responses pipelined behind a `hello` still leave in the
+/// framing their requests were sent under.
 struct Slot {
     id: u64,
+    framing: Framing,
     body: SlotBody,
 }
 
 enum SlotBody {
-    /// The response line is complete (not yet moved to the write buffer).
-    Ready(String),
+    /// The response payload is complete (not yet staged for writing).
+    Ready(Msg),
     /// A single request waiting on a solve completion.
     PendingSingle,
     /// A batch waiting on `remaining` of its elements.
     Batch {
-        items: Vec<Option<String>>,
+        items: Vec<Option<Msg>>,
         remaining: usize,
     },
 }
@@ -819,8 +1011,19 @@ struct Conn {
     /// (write interest on when bytes queue, off when they drain).
     interest: Interest,
     read_buf: Vec<u8>,
-    out: Vec<u8>,
-    out_pos: usize,
+    /// The framing this connection's *incoming* bytes are parsed under.
+    /// Starts as line-JSON; a `hello {"framing":"bin1"}` switches it, and
+    /// every byte after that hello's terminator must be a frame.
+    framing: Framing,
+    /// Un-flushed output, as a chunk queue: staged messages append their
+    /// chunks here and `pump_write_conn` flushes them with vectored
+    /// writes, so a response's bytes are never concatenated into one
+    /// buffer.
+    out: VecDeque<Chunk>,
+    /// Bytes of `out`'s front chunk already written to the socket.
+    out_front: usize,
+    /// Total un-flushed bytes across `out` (backpressure accounting).
+    out_len: usize,
     slots: VecDeque<Slot>,
     next_slot: u64,
     /// False once the peer half-closed (EOF); pending responses still
@@ -845,8 +1048,10 @@ impl Conn {
             fd,
             interest: Interest::READ,
             read_buf: Vec::new(),
-            out: Vec::new(),
-            out_pos: 0,
+            framing: Framing::Json,
+            out: VecDeque::new(),
+            out_front: 0,
+            out_len: 0,
             slots: VecDeque::new(),
             next_slot: 0,
             peer_open: true,
@@ -855,21 +1060,87 @@ impl Conn {
         }
     }
 
-    /// Moves every leading completed slot into the write buffer, in order.
-    fn stage_ready(&mut self) {
+    /// Appends one chunk to the output queue, merging small owned
+    /// fragments into the previous owned chunk so a control response does
+    /// not fan out into per-fragment iovec entries.
+    fn push_out(&mut self, chunk: Chunk) {
+        let len = chunk.len();
+        if len == 0 {
+            return;
+        }
+        self.out_len += len;
+        if let (Chunk::Owned(bytes), Some(Chunk::Owned(back))) = (&chunk, self.out.back_mut()) {
+            if back.len() + len <= MERGE_CHUNK {
+                back.extend_from_slice(bytes);
+                return;
+            }
+        }
+        self.out.push_back(chunk);
+    }
+
+    /// Moves every leading completed slot into the output queue, in order,
+    /// adding the framing-appropriate envelope: a line terminator for the
+    /// JSON framing, a response frame header for `bin1`. Returns the
+    /// number of `bin1` frames staged (the caller counts them).
+    fn stage_ready(&mut self) -> u64 {
+        let mut frames = 0u64;
         while matches!(self.slots.front(), Some(slot) if matches!(slot.body, SlotBody::Ready(_))) {
             let slot = self.slots.pop_front().expect("front just matched");
-            let SlotBody::Ready(line) = slot.body else {
+            let SlotBody::Ready(msg) = slot.body else {
                 unreachable!("front just matched Ready");
             };
-            self.out.reserve(line.len() + 1);
-            self.out.extend_from_slice(line.as_bytes());
-            self.out.push(b'\n');
+            match slot.framing {
+                Framing::Json => {
+                    for chunk in msg.chunks {
+                        self.push_out(chunk);
+                    }
+                    match self.out.back_mut() {
+                        Some(Chunk::Owned(back)) => {
+                            back.push(b'\n');
+                            self.out_len += 1;
+                        }
+                        _ => self.push_out(Chunk::Owned(vec![b'\n'])),
+                    }
+                }
+                Framing::Bin1 => {
+                    // Responses carry no tenant tag in the header; the
+                    // payload's envelope already says everything.
+                    let header = encode_frame_header(FrameKind::Response, "", msg.len);
+                    self.push_out(Chunk::Owned(header));
+                    for chunk in msg.chunks {
+                        self.push_out(chunk);
+                    }
+                    frames += 1;
+                }
+            }
+        }
+        frames
+    }
+
+    /// Consumes `n` flushed bytes off the front of the output queue.
+    /// Fully-written chunks are popped (no memmove of the remainder, which
+    /// is what the old contiguous `out` buffer paid under backpressure).
+    fn advance_out(&mut self, mut n: usize) {
+        self.out_len -= n;
+        while n > 0 {
+            let front_left = self
+                .out
+                .front()
+                .map(|chunk| chunk.len() - self.out_front)
+                .expect("advance_out past the queue");
+            if n >= front_left {
+                n -= front_left;
+                self.out.pop_front();
+                self.out_front = 0;
+            } else {
+                self.out_front += n;
+                n = 0;
+            }
         }
     }
 
     fn flushed(&self) -> bool {
-        self.out_pos == self.out.len()
+        self.out_len == 0
     }
 
     /// Queues an error response as the final slot and begins teardown.
@@ -878,7 +1149,8 @@ impl Conn {
         self.next_slot += 1;
         self.slots.push_back(Slot {
             id,
-            body: SlotBody::Ready(encode_error(message)),
+            framing: self.framing,
+            body: SlotBody::Ready(Msg::from_line(encode_error(message))),
         });
         self.peer_open = false;
         self.close_after_flush = true;
@@ -1133,7 +1405,8 @@ impl EventLoop {
             conn.next_slot += 1;
             conn.slots.push_back(Slot {
                 id: slot_id,
-                body: SlotBody::Ready(line.clone()),
+                framing: conn.framing,
+                body: SlotBody::Ready(Msg::from_line(line.clone())),
             });
             conn.stage_ready();
         }
@@ -1285,10 +1558,34 @@ impl EventLoop {
                     break;
                 }
                 Ok(n) => {
-                    conn.read_buf.extend_from_slice(&self.scratch[..n]);
                     any = true;
-                    if conn.read_buf.len() > MAX_REQUEST_LINE + READ_CHUNK {
-                        break; // enough to detect the violation below
+                    self.shared
+                        .metrics
+                        .wire_bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    if conn.read_buf.is_empty() {
+                        // Fast path (the common case): no partial request
+                        // is buffered, so parse straight out of the
+                        // scratch buffer and copy only an incomplete tail
+                        // into the connection buffer — a whole request
+                        // per read never touches `read_buf` at all.
+                        let scratch = std::mem::take(&mut self.scratch);
+                        let consumed = self.process_input(id, conn, &scratch[..n]);
+                        conn.read_buf.extend_from_slice(&scratch[consumed..n]);
+                        self.scratch = scratch;
+                    } else {
+                        conn.read_buf.extend_from_slice(&self.scratch[..n]);
+                        let buf = std::mem::take(&mut conn.read_buf);
+                        let consumed = self.process_input(id, conn, &buf);
+                        conn.read_buf = buf;
+                        conn.read_buf.drain(..consumed);
+                    }
+                    if conn.close_after_flush || self.stopping {
+                        break; // a fatal input, or a shutdown request, stops intake
+                    }
+                    if conn.read_buf.len() > MAX_REQUEST_LINE + MAX_FRAME_HEADER {
+                        conn.fatal(&oversized_line_message());
+                        break;
                     }
                 }
                 Err(err) if err.kind() == ErrorKind::WouldBlock => break,
@@ -1299,33 +1596,89 @@ impl EventLoop {
                 }
             }
         }
+        // A final JSON request may arrive without its trailing newline
+        // right before EOF (`printf '…' | nc` clients): dispatch the
+        // buffered remainder as a line instead of silently dropping it. A
+        // torn frame at EOF has no such convention — the connection just
+        // closes.
+        if !conn.peer_open
+            && !conn.close_after_flush
+            && !self.stopping
+            && !conn.read_buf.is_empty()
+            && conn.framing == Framing::Json
+        {
+            let buf = std::mem::take(&mut conn.read_buf);
+            any |= self.handle_line_bytes(id, conn, &buf);
+        }
+        let staged = conn.stage_ready();
+        if staged > 0 {
+            self.shared
+                .metrics
+                .frames_out
+                .fetch_add(staged, Ordering::Relaxed);
+        }
+        any
+    }
 
-        // Frame and dispatch every complete line.
-        let buf = std::mem::take(&mut conn.read_buf);
+    /// Parses and dispatches every complete request in `buf` under the
+    /// connection's current framing — newline-delimited JSON lines, or
+    /// `bin1` frames — and returns how many bytes were consumed. The
+    /// framing can flip *mid-buffer*: bytes pipelined behind a
+    /// `hello {"framing":"bin1"}` line parse as frames.
+    fn process_input(&mut self, id: u64, conn: &mut Conn, buf: &[u8]) -> usize {
         let mut consumed = 0usize;
-        while let Some(nl) = buf[consumed..].iter().position(|&b| b == b'\n') {
-            let line_bytes = &buf[consumed..consumed + nl];
-            consumed += nl + 1;
-            any |= self.handle_line_bytes(id, conn, line_bytes);
+        while consumed < buf.len() {
             if conn.close_after_flush || self.stopping {
-                break; // a fatal line, or a shutdown request, stops intake
+                break;
+            }
+            match conn.framing {
+                Framing::Json => {
+                    let Some(nl) = buf[consumed..].iter().position(|&b| b == b'\n') else {
+                        break;
+                    };
+                    let line_bytes = &buf[consumed..consumed + nl];
+                    consumed += nl + 1;
+                    self.handle_line_bytes(id, conn, line_bytes);
+                }
+                Framing::Bin1 => match try_decode_frame(&buf[consumed..], MAX_REQUEST_LINE) {
+                    Ok(None) => break, // torn frame: wait for more bytes
+                    Ok(Some(view)) => {
+                        let frame_len = view.consumed;
+                        self.handle_frame(id, conn, &view);
+                        consumed += frame_len;
+                    }
+                    Err(message) => {
+                        self.shared
+                            .metrics
+                            .wire_decode_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        conn.fatal(&format!("invalid frame: {message}"));
+                        break;
+                    }
+                },
             }
         }
-        // A final request may arrive without its trailing newline right
-        // before EOF (`printf '…' | nc` clients): dispatch the buffered
-        // remainder as a line instead of silently dropping it.
-        if !conn.peer_open && !conn.close_after_flush && !self.stopping && consumed < buf.len() {
-            any |= self.handle_line_bytes(id, conn, &buf[consumed..]);
-            consumed = buf.len();
+        consumed
+    }
+
+    /// Dispatches one decoded `bin1` request frame. The payload is decoded
+    /// zero-copy out of the read buffer; only the typed request that comes
+    /// out of it owns its strings.
+    fn handle_frame(&mut self, id: u64, conn: &mut Conn, view: &FrameView<'_>) {
+        self.shared
+            .metrics
+            .frames_in
+            .fetch_add(1, Ordering::Relaxed);
+        if view.kind != FrameKind::Request {
+            self.shared
+                .metrics
+                .wire_decode_errors
+                .fetch_add(1, Ordering::Relaxed);
+            conn.fatal("response frames are not valid requests");
+            return;
         }
-        conn.read_buf = buf;
-        conn.read_buf.drain(..consumed);
-        if conn.read_buf.len() > MAX_REQUEST_LINE && !conn.close_after_flush {
-            conn.fatal(&oversized_line_message());
-            any = true;
-        }
-        conn.stage_ready();
-        any
+        let decoded = protocol::decode_payload(view.payload);
+        self.dispatch_decoded(id, conn, decoded);
     }
 
     /// Validates and dispatches one framed line — the single code path for
@@ -1350,40 +1703,64 @@ impl EventLoop {
         }
     }
 
-    /// Handles one request line: opens batch envelopes, runs each element
-    /// through cache and flight board, and queues the response slot.
+    /// Handles one request line: decodes it and hands off to the shared
+    /// dispatch layer both framings lower into.
     fn dispatch_line(&mut self, id: u64, conn: &mut Conn, line: &str) {
+        let decoded = protocol::decode_line(line);
+        self.dispatch_decoded(id, conn, decoded);
+    }
+
+    /// The framing-independent dispatch: opens batch envelopes, runs each
+    /// element through cache and flight board, and queues the response
+    /// slot. Both the line path and the frame path end here.
+    fn dispatch_decoded(&mut self, id: u64, conn: &mut Conn, decoded: Decoded) {
         let slot_id = conn.next_slot;
         conn.next_slot += 1;
-        let metrics = &self.shared.metrics;
-        let body = match protocol::decode_line(line) {
+        let body = match decoded {
             Decoded::Single(Err(err)) => {
-                metrics.errors.fetch_add(1, Ordering::Relaxed);
-                SlotBody::Ready(encode_error(&err.message))
+                self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                SlotBody::Ready(Msg::from_line(encode_error(&err.message)))
             }
             // The replication handshake rebinds the connection (it becomes
             // a feed), so it is handled here where the connection is in
             // hand; it queues its own slots (response, snapshot, live).
+            // Feeds stream newline-delimited record lines, so the
+            // handshake requires the line framing.
             Decoded::Single(Ok(Request::ReplSubscribe { shard })) => {
-                self.handle_subscribe(id, conn, slot_id, shard);
-                return;
+                if conn.framing == Framing::Bin1 {
+                    self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    SlotBody::Ready(Msg::from_line(encode_error(
+                        "repl_subscribe needs the line-JSON framing; it streams record lines",
+                    )))
+                } else {
+                    self.handle_subscribe(id, conn, slot_id, shard);
+                    return;
+                }
+            }
+            // The framing negotiation also rebinds the connection: the
+            // acknowledgement (and everything after it) travels in the
+            // *new* framing, while slots queued before the hello keep the
+            // framing their requests arrived under.
+            Decoded::Single(Ok(Request::Hello { framing })) => {
+                SlotBody::Ready(Msg::from_line(self.handle_hello(conn, framing)))
             }
             Decoded::Single(Ok(request)) => match self.handle_request(request, id, slot_id, None) {
                 Some(response) => SlotBody::Ready(response),
                 None => SlotBody::PendingSingle,
             },
             Decoded::Batch(elements) => {
+                let metrics = &self.shared.metrics;
                 metrics.batches.fetch_add(1, Ordering::Relaxed);
                 metrics
                     .batched_requests
                     .fetch_add(elements.len() as u64, Ordering::Relaxed);
-                let mut items: Vec<Option<String>> = Vec::with_capacity(elements.len());
+                let mut items: Vec<Option<Msg>> = Vec::with_capacity(elements.len());
                 let mut remaining = 0usize;
                 for (elem, element) in elements.into_iter().enumerate() {
                     match element {
                         Err(err) => {
                             self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                            items.push(Some(encode_error(&err.message)));
+                            items.push(Some(Msg::from_line(encode_error(&err.message))));
                         }
                         Ok(request) => {
                             match self.handle_request(request, id, slot_id, Some(elem)) {
@@ -1403,7 +1780,34 @@ impl EventLoop {
                 }
             }
         };
-        conn.slots.push_back(Slot { id: slot_id, body });
+        conn.slots.push_back(Slot {
+            id: slot_id,
+            framing: conn.framing,
+            body,
+        });
+    }
+
+    /// Applies a `hello` framing negotiation to the connection and returns
+    /// the response line. Switching json→bin1 flips the connection before
+    /// the slot is created, so the acknowledgement itself travels framed —
+    /// the client learns the outcome from the first response byte (`0xB5`
+    /// for a frame, `{` for a JSON line). Re-requesting the current
+    /// framing is a no-op; bin1→json is refused (reconnect instead).
+    fn handle_hello(&mut self, conn: &mut Conn, framing: Framing) -> String {
+        match (conn.framing, framing) {
+            (Framing::Json, Framing::Bin1) => {
+                conn.framing = Framing::Bin1;
+                let metrics = &self.shared.metrics;
+                metrics.bin_negotiated.fetch_add(1, Ordering::Relaxed);
+                metrics.bin_connections.fetch_add(1, Ordering::Relaxed);
+                encode_hello_ok(Framing::Bin1)
+            }
+            (Framing::Bin1, Framing::Json) => {
+                self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                encode_error("the framing cannot be renegotiated back to json; reconnect instead")
+            }
+            (current, _same) => encode_hello_ok(current),
+        }
     }
 
     /// Turns a connection into a replication feed: validate the handshake,
@@ -1434,7 +1838,8 @@ impl EventLoop {
             self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
             conn.slots.push_back(Slot {
                 id: slot_id,
-                body: SlotBody::Ready(encode_error(&message)),
+                framing: conn.framing,
+                body: SlotBody::Ready(Msg::from_line(encode_error(&message))),
             });
             return;
         }
@@ -1458,7 +1863,8 @@ impl EventLoop {
         );
         conn.slots.push_back(Slot {
             id: slot_id,
-            body: SlotBody::Ready(response),
+            framing: conn.framing,
+            body: SlotBody::Ready(Msg::from_line(response)),
         });
         // The snapshot travels as ordinary put records (seq 0) in LRU
         // order — replaying it reconstructs the leader's recency ranking —
@@ -1480,7 +1886,8 @@ impl EventLoop {
             conn.next_slot += 1;
             conn.slots.push_back(Slot {
                 id: slot_id,
-                body: SlotBody::Ready(line),
+                framing: conn.framing,
+                body: SlotBody::Ready(Msg::from_line(line)),
             });
         }
         conn.stage_ready();
@@ -1497,40 +1904,52 @@ impl EventLoop {
         conn: u64,
         slot: u64,
         elem: Option<usize>,
-    ) -> Option<String> {
+    ) -> Option<Msg> {
         let metrics = &self.shared.metrics;
         match request {
             Request::Status => {
                 metrics.status.fetch_add(1, Ordering::Relaxed);
                 let body = snapshot(&self.shared).to_json().to_text();
-                Some(encode_success("status", Source::Solved, &body))
+                Some(Msg::from_line(encode_success(
+                    "status",
+                    Source::Solved,
+                    &body,
+                )))
             }
             Request::Shutdown => {
                 metrics.shutdown.fetch_add(1, Ordering::Relaxed);
                 self.shared.stop.store(true, Ordering::SeqCst);
                 self.begin_stop();
-                Some(encode_success(
+                Some(Msg::from_line(encode_success(
                     "shutdown",
                     Source::Solved,
                     "{\"stopping\":true}",
-                ))
+                )))
             }
-            // Handled in dispatch_line (it rebinds the connection); an
+            // Handled in dispatch_decoded (they rebind the connection); an
             // element reaching here slipped past decode validation.
             Request::ReplSubscribe { .. } => {
                 metrics.errors.fetch_add(1, Ordering::Relaxed);
-                Some(encode_error("repl_subscribe must arrive on its own line"))
+                Some(Msg::from_line(encode_error(
+                    "repl_subscribe must arrive on its own line",
+                )))
+            }
+            Request::Hello { .. } => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Some(Msg::from_line(encode_error(
+                    "hello must arrive on its own line",
+                )))
             }
             Request::Promote => {
                 if self.shared.repl.is_writable() {
                     metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    return Some(encode_error(
+                    return Some(Msg::from_line(encode_error(
                         "already the leader; promote targets a follower",
-                    ));
+                    )));
                 }
                 let epoch = self.shared.repl.promote();
                 eprintln!("strudel-server: promoted to leader (replication epoch {epoch})");
-                Some(encode_success(
+                Some(Msg::from_line(encode_success(
                     "promote",
                     Source::Solved,
                     &Json::obj(vec![
@@ -1538,7 +1957,7 @@ impl EventLoop {
                         ("epoch", Json::Int(epoch as i64)),
                     ])
                     .to_text(),
-                ))
+                )))
             }
             Request::Solve(solve) => {
                 let key = solve.cache_key();
@@ -1581,14 +2000,14 @@ impl EventLoop {
                     if let Some(message) = refusal {
                         metrics.wrong_shard.fetch_add(1, Ordering::Relaxed);
                         metrics.errors.fetch_add(1, Ordering::Relaxed);
-                        return Some(encode_wrong_shard(
+                        return Some(Msg::from_line(encode_wrong_shard(
                             &message,
                             &WrongShard {
                                 shard: index,
                                 owner,
                                 epoch,
                             },
-                        ));
+                        )));
                     }
                 }
                 // Admission gate: the tenant's token bucket meters every
@@ -1605,18 +2024,22 @@ impl EventLoop {
                     metrics.errors.fetch_add(1, Ordering::Relaxed);
                     let message =
                         format!("tenant '{tenant}' is over its admission rate; retry later");
-                    return Some(encode_over_quota(
+                    return Some(Msg::from_line(encode_over_quota(
                         &message,
                         &OverQuota {
                             tenant,
                             retry_after_ms,
                         },
-                    ));
+                    )));
                 }
                 metrics.count_solve(solve.op);
                 if let Some(result) = self.shared.cache.lock().expect("cache lock").get(&key) {
                     self.shared.tenants.count_hit(&tenant);
-                    return Some(encode_success(solve.op.name(), Source::Cache, &result));
+                    // The hit's payload is aliased, not copied: the
+                    // envelope fragments own a few dozen bytes and the
+                    // cached `Arc<String>` travels to the socket as its
+                    // own iovec entry.
+                    return Some(success_msg(solve.op.name(), Source::Cache, &result));
                 }
                 self.shared.tenants.count_miss(&tenant);
                 // Follower gate: a standby answers what its replicated
@@ -1627,10 +2050,10 @@ impl EventLoop {
                     metrics.not_leader.fetch_add(1, Ordering::Relaxed);
                     metrics.errors.fetch_add(1, Ordering::Relaxed);
                     let leader = self.shared.repl.leader_addr().unwrap_or_default();
-                    return Some(encode_not_leader(
+                    return Some(Msg::from_line(encode_not_leader(
                         &format!("this shard is a follower; send writes to its leader at {leader}"),
                         &NotLeader { leader },
-                    ));
+                    )));
                 }
                 // Pool gate: only a request that would *lead* a new solve
                 // (no flight open for its key) is charged against its
@@ -1641,13 +2064,13 @@ impl EventLoop {
                     metrics.errors.fetch_add(1, Ordering::Relaxed);
                     let message =
                         format!("tenant '{tenant}' has no compute-pool share free; retry later");
-                    return Some(encode_over_quota(
+                    return Some(Msg::from_line(encode_over_quota(
                         &message,
                         &OverQuota {
                             tenant,
                             retry_after_ms,
                         },
-                    ));
+                    )));
                 }
                 let waiter = Waiter {
                     conn,
@@ -1741,8 +2164,8 @@ impl EventLoop {
                         } else {
                             Source::Coalesced
                         };
-                        let line = encode_success(waiter.op.name(), source, &text);
-                        self.fill(waiter, line);
+                        let msg = success_msg(waiter.op.name(), source, &text);
+                        self.fill(waiter, msg);
                     }
                 }
                 Err(message) => {
@@ -1751,8 +2174,8 @@ impl EventLoop {
                     // persisted: a later retry re-solves.
                     for waiter in tokens {
                         self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                        let line = encode_error(&message);
-                        self.fill(waiter, line);
+                        let msg = Msg::from_line(encode_error(&message));
+                        self.fill(waiter, msg);
                     }
                 }
             }
@@ -1847,22 +2270,22 @@ impl EventLoop {
 
     /// Routes a completed response into its slot; tokens whose connection
     /// is already gone are counted as aborted.
-    fn fill(&mut self, waiter: Waiter, line: String) {
+    fn fill(&mut self, waiter: Waiter, msg: Msg) {
         self.touched.push(waiter.conn);
-        let aborted = &self.shared.metrics.flight_aborted;
+        let metrics = &self.shared.metrics;
         let Some(conn) = self.conns.get_mut(&waiter.conn) else {
-            aborted.fetch_add(1, Ordering::Relaxed);
+            metrics.flight_aborted.fetch_add(1, Ordering::Relaxed);
             return;
         };
         let Some(slot) = conn.slots.iter_mut().find(|slot| slot.id == waiter.slot) else {
-            aborted.fetch_add(1, Ordering::Relaxed);
+            metrics.flight_aborted.fetch_add(1, Ordering::Relaxed);
             return;
         };
         match (&mut slot.body, waiter.elem) {
-            (SlotBody::PendingSingle, None) => slot.body = SlotBody::Ready(line),
+            (SlotBody::PendingSingle, None) => slot.body = SlotBody::Ready(msg),
             (SlotBody::Batch { items, remaining }, Some(elem)) => {
                 if items[elem].is_none() {
-                    items[elem] = Some(line);
+                    items[elem] = Some(msg);
                     *remaining -= 1;
                 }
                 if *remaining == 0 {
@@ -1872,7 +2295,10 @@ impl EventLoop {
             }
             _ => {}
         }
-        conn.stage_ready();
+        let staged = conn.stage_ready();
+        if staged > 0 {
+            metrics.frames_out.fetch_add(staged, Ordering::Relaxed);
+        }
     }
 
     /// Pumps writes and re-evaluates poller interest for every connection
@@ -1895,7 +2321,7 @@ impl EventLoop {
             if conn.dead {
                 continue;
             }
-            any |= Self::pump_write_conn(conn);
+            any |= Self::pump_write_conn(conn, &self.shared.metrics);
             let desired = Interest {
                 read: conn.peer_open && !conn.close_after_flush && !self.stopping,
                 write: !conn.flushed(),
@@ -1910,17 +2336,34 @@ impl EventLoop {
         any
     }
 
-    /// Writes as much of one connection's buffer as the socket accepts.
-    fn pump_write_conn(conn: &mut Conn) -> bool {
+    /// Writes as much of one connection's output queue as the socket
+    /// accepts, gathering up to [`WRITE_BATCH_IOVECS`] chunks per
+    /// `writev`-style vectored call: a batch of responses — envelope
+    /// fragments, shared cache payloads, frame headers — leaves in one
+    /// syscall without ever being copied into a contiguous buffer.
+    fn pump_write_conn(conn: &mut Conn, metrics: &Metrics) -> bool {
         let mut any = false;
-        while conn.out_pos < conn.out.len() {
-            match conn.stream.write(&conn.out[conn.out_pos..]) {
+        while conn.out_len > 0 {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(conn.out.len().min(WRITE_BATCH_IOVECS));
+            let mut chunks = conn.out.iter();
+            if let Some(front) = chunks.next() {
+                slices.push(IoSlice::new(&front.as_bytes()[conn.out_front..]));
+            }
+            for chunk in chunks.take(WRITE_BATCH_IOVECS - 1) {
+                slices.push(IoSlice::new(chunk.as_bytes()));
+            }
+            match conn.stream.write_vectored(&slices) {
                 Ok(0) => {
                     conn.dead = true;
                     break;
                 }
                 Ok(n) => {
-                    conn.out_pos += n;
+                    drop(slices);
+                    metrics
+                        .wire_bytes_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    conn.advance_out(n);
                     any = true;
                 }
                 Err(err) if err.kind() == ErrorKind::WouldBlock => break,
@@ -1931,19 +2374,7 @@ impl EventLoop {
                 }
             }
         }
-        // Reclaim the flushed prefix. On a fully drained buffer this is
-        // a free clear; under sustained backpressure (a pipelining
-        // client that keeps the socket's send buffer saturated, so
-        // rounds always end in WouldBlock) the prefix would otherwise
-        // accumulate every byte ever sent on the connection.
-        if conn.flushed() {
-            conn.out.clear();
-            conn.out_pos = 0;
-        } else if conn.out_pos > READ_CHUNK {
-            conn.out.drain(..conn.out_pos);
-            conn.out_pos = 0;
-        }
-        if conn.out.len() - conn.out_pos > MAX_OUT_BUFFER {
+        if conn.out_len > MAX_OUT_BUFFER {
             conn.dead = true; // requests heavily, never reads
         }
         any
@@ -1973,6 +2404,12 @@ impl EventLoop {
             // them; the epoll backend would leak a kernel registration).
             let _ = self.poller.deregister(conn.fd, id);
             self.hub.remove(id, &self.shared.repl);
+            if conn.framing == Framing::Bin1 {
+                self.shared
+                    .metrics
+                    .bin_connections
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
             self.shared
                 .metrics
                 .open_connections
@@ -1985,14 +2422,21 @@ fn oversized_line_message() -> String {
     format!("request line exceeds {MAX_REQUEST_LINE} bytes; closing the connection")
 }
 
-/// Joins completed batch elements into the envelope line. All items are
-/// `Some` by construction (`remaining` reached 0).
-fn assemble_batch(items: Vec<Option<String>>) -> String {
-    let items: Vec<String> = items
-        .into_iter()
-        .map(|item| item.expect("all elements complete"))
-        .collect();
-    encode_batch(&items)
+/// Splices completed batch elements between the envelope fragments. All
+/// items are `Some` by construction (`remaining` reached 0). Each
+/// element's chunks — including shared cache payloads — move into the
+/// batch message as-is: no per-element `String`, no join.
+fn assemble_batch(items: Vec<Option<Msg>>) -> Msg {
+    let mut msg = Msg::new();
+    msg.push_str(protocol::BATCH_ENVELOPE_PREFIX);
+    for (idx, item) in items.into_iter().enumerate() {
+        if idx > 0 {
+            msg.push_str(",");
+        }
+        msg.append(item.expect("all elements complete"));
+    }
+    msg.push_str(protocol::BATCH_ENVELOPE_SUFFIX);
+    msg
 }
 
 /// Runs one solve on the worker thread. Returns the canonical serialization

@@ -15,8 +15,9 @@ use strudel_rules::prelude::Ratio;
 use strudel_server::json::{self, Json};
 use strudel_server::prelude::{EngineKind, Request, ShardStamp, SolveOp, SolveRequest, Source};
 use strudel_server::protocol::{
-    decode_line, decode_request, encode_batch, encode_batch_request, encode_error, encode_success,
-    view_from_json, view_to_json, Decoded,
+    decode_line, decode_payload, decode_request, encode_batch, encode_batch_request, encode_error,
+    encode_frame_into, encode_solve_bin, encode_success, try_decode_frame, view_from_json,
+    view_to_json, Decoded, FrameKind, FRAME_MAGIC,
 };
 
 const CASES: u64 = 300;
@@ -230,7 +231,12 @@ fn random_batches_decode_element_wise_with_order_preserved() {
                 Ok(Request::Status) => {
                     assert_eq!(original.get("op").and_then(Json::as_str), Some("status"));
                 }
-                Ok(Request::Shutdown | Request::Promote | Request::ReplSubscribe { .. }) => {
+                Ok(
+                    Request::Shutdown
+                    | Request::Promote
+                    | Request::ReplSubscribe { .. }
+                    | Request::Hello { .. },
+                ) => {
                     panic!(
                         "seed {seed} case {case}: connection/server-wide ops must not \
                          decode in a batch"
@@ -284,6 +290,169 @@ fn random_batch_responses_frame_elements_byte_identically() {
                 "seed {seed} case {case} element {idx}"
             );
         }
+    }
+}
+
+/// Binary↔JSON framing equivalence: the same random request decoded
+/// through the `bin1` payload codec and through the JSON line codec yields
+/// the *same* typed request — same cache key, byte-identical canonical
+/// re-encode — so both framings produce byte-identical `result_text`s
+/// (responses are keyed and replayed by exactly those two properties),
+/// tenant-tagged requests included.
+#[test]
+fn random_requests_decode_identically_under_both_framings() {
+    let seed = 48151623;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let request = random_request(&mut rng);
+        let line = request.to_json().to_text();
+        let Ok(Request::Solve(via_json)) = decode_request(&line) else {
+            panic!("seed {seed} case {case}: JSON decode rejected '{line}'");
+        };
+        let Decoded::Single(Ok(Request::Solve(via_bin))) =
+            decode_payload(&encode_solve_bin(&request))
+        else {
+            panic!("seed {seed} case {case}: binary decode rejected the same request");
+        };
+        assert_eq!(
+            via_bin.cache_key(),
+            via_json.cache_key(),
+            "seed {seed} case {case}: framings must agree on the cache key"
+        );
+        assert_eq!(
+            via_bin.to_json().to_text(),
+            via_json.to_json().to_text(),
+            "seed {seed} case {case}: framings must agree byte-for-byte"
+        );
+        assert_eq!(via_bin.tenant, via_json.tenant, "seed {seed} case {case}");
+    }
+}
+
+/// Error-envelope equivalence across framings: a batch mixing good, bad,
+/// and tenant-tagged elements decodes to the same per-element outcomes —
+/// errors in the same positions, identical requests elsewhere — whether it
+/// travels as a JSON batch line or a `bin1` batch payload (with broken
+/// elements riding the embedded-JSON escape hatch).
+#[test]
+fn random_batches_decode_identically_under_both_framings() {
+    let seed = 31337;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..10);
+        let values: Vec<Json> = (0..n)
+            .map(|_| match rng.gen_range(0usize..4) {
+                0 => random_bad_request(&mut rng),
+                1 => Json::obj(vec![("op", Json::str("status"))]),
+                _ => random_request(&mut rng).to_json(),
+            })
+            .collect();
+        let line = encode_batch_request(&values);
+        let Decoded::Batch(via_json) = decode_line(&line) else {
+            panic!("seed {seed} case {case}: batch line decoded as single");
+        };
+        let elements: Vec<Vec<u8>> = values
+            .iter()
+            .map(|value| strudel_server::protocol::encode_json_payload(&value.to_text()))
+            .collect();
+        let payload = strudel_server::protocol::encode_batch_bin(&elements);
+        let Decoded::Batch(via_bin) = decode_payload(&payload) else {
+            panic!("seed {seed} case {case}: batch payload decoded as single");
+        };
+        assert_eq!(via_bin.len(), via_json.len(), "seed {seed} case {case}");
+        for (idx, (bin, json_side)) in via_bin.iter().zip(&via_json).enumerate() {
+            match (bin, json_side) {
+                (Ok(Request::Solve(a)), Ok(Request::Solve(b))) => {
+                    assert_eq!(
+                        a.to_json().to_text(),
+                        b.to_json().to_text(),
+                        "seed {seed} case {case} element {idx}"
+                    );
+                }
+                (Ok(a), Ok(b)) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "seed {seed} case {case} element {idx}"
+                ),
+                (Err(_), Err(_)) => {}
+                (bin, json_side) => panic!(
+                    "seed {seed} case {case} element {idx}: framings disagree \
+                     (bin ok={}, json ok={})",
+                    bin.is_ok(),
+                    json_side.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// Frame-level robustness: random frames survive encode → decode with
+/// every field intact, every torn prefix asks for more bytes instead of
+/// failing, and corruption (bad magic, oversized payload claims) is
+/// rejected without consuming or corrupting a following healthy frame.
+#[test]
+fn random_frames_round_trip_and_reject_corruption_cleanly() {
+    let seed = 60221413;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_payload = 1 << 20;
+    for case in 0..CASES {
+        let tenant = if rng.gen_bool(0.4) {
+            format!("tenant-{}", rng.gen_range(0u64..5))
+        } else {
+            String::new()
+        };
+        let payload: Vec<u8> = (0..rng.gen_range(0usize..200))
+            .map(|_| rng.gen_range(0u64..256) as u8)
+            .collect();
+        let kind = if rng.gen_bool(0.5) {
+            FrameKind::Request
+        } else {
+            FrameKind::Response
+        };
+        let mut wire = Vec::new();
+        encode_frame_into(&mut wire, kind, &tenant, &payload);
+
+        // Every strict prefix is "need more", never an error or a frame.
+        for cut in 0..wire.len() {
+            match try_decode_frame(&wire[..cut], max_payload) {
+                Ok(None) => {}
+                other => panic!(
+                    "seed {seed} case {case}: cut {cut}/{} produced {other:?}",
+                    wire.len()
+                ),
+            }
+        }
+        // The whole frame decodes with every field intact, and a trailing
+        // healthy frame is untouched by the first one's consumption.
+        let mut doubled = wire.clone();
+        encode_frame_into(&mut doubled, FrameKind::Request, "", b"after");
+        let view = try_decode_frame(&doubled, max_payload)
+            .expect("healthy frame")
+            .expect("complete frame");
+        assert_eq!(view.kind, kind, "seed {seed} case {case}");
+        assert_eq!(view.tenant, tenant, "seed {seed} case {case}");
+        assert_eq!(view.payload, &payload[..], "seed {seed} case {case}");
+        assert_eq!(view.consumed, wire.len(), "seed {seed} case {case}");
+        let consumed = view.consumed;
+        let second = try_decode_frame(&doubled[consumed..], max_payload)
+            .expect("second frame healthy")
+            .expect("second frame complete");
+        assert_eq!(second.payload, b"after", "seed {seed} case {case}");
+
+        // Corrupt magic is a hard error, not a request for more bytes.
+        let mut bad_magic = wire.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(
+            try_decode_frame(&bad_magic, max_payload).is_err(),
+            "seed {seed} case {case}: bad magic must be fatal"
+        );
+        assert_ne!(FRAME_MAGIC[0] ^ 0xFF, FRAME_MAGIC[0]);
+
+        // A payload-length claim beyond the decoder's cap is refused
+        // up front — oversized frames never buffer unboundedly.
+        assert!(
+            try_decode_frame(&wire, payload.len().saturating_sub(1)).is_err() || payload.is_empty(),
+            "seed {seed} case {case}: oversized payload claims must be fatal"
+        );
     }
 }
 
