@@ -197,7 +197,7 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         value.as_int().unwrap_or(0)
     };
     let mut out = format!(
-        "{:<5} {:<21} {:<8} {:<7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11} {:>6}\n",
+        "{:<5} {:<21} {:<8} {:<7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11} {:>6}\n",
         "shard",
         "addr",
         "role",
@@ -206,11 +206,13 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         "hits",
         "misses",
         "hit_rate",
+        "warm",
         "entries",
         "wrong_shard",
         "lag"
     );
     let (mut solves, mut hits, mut misses, mut entries, mut wrong) = (0i64, 0i64, 0i64, 0i64, 0i64);
+    let mut warm = 0i64;
     for (idx, status) in statuses.iter().enumerate() {
         let addr = addrs.get(idx).map(String::as_str).unwrap_or("?");
         match status {
@@ -240,8 +242,9 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
                     .and_then(|poller| poller.get("backend"))
                     .and_then(Json::as_str)
                     .unwrap_or("?");
+                let row_warm = int(result, &["solver", "warm_solves"]);
                 out.push_str(&format!(
-                    "{idx:<5} {addr:<21} {role:<8} {backend:<7} {row_solves:>8} {row_hits:>8} {row_misses:>8} {hit_rate:>8} {:>8} {:>11} {:>6}\n",
+                    "{idx:<5} {addr:<21} {role:<8} {backend:<7} {row_solves:>8} {row_hits:>8} {row_misses:>8} {hit_rate:>8} {row_warm:>8} {:>8} {:>11} {:>6}\n",
                     int(result, &["cache", "entries"]),
                     int(result, &["shard", "wrong_shard"]),
                     int(result, &["replication", "lag"]),
@@ -249,6 +252,7 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
                 solves += row_solves;
                 hits += row_hits;
                 misses += row_misses;
+                warm += row_warm;
                 entries += int(result, &["cache", "entries"]);
                 wrong += int(result, &["shard", "wrong_shard"]);
             }
@@ -260,7 +264,7 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         format!("{:.4}", hits as f64 / (hits + misses) as f64)
     };
     out.push_str(&format!(
-        "{:<5} {:<21} {:<8} {:<7} {solves:>8} {hits:>8} {misses:>8} {total_rate:>8} {entries:>8} {wrong:>11}\n",
+        "{:<5} {:<21} {:<8} {:<7} {solves:>8} {hits:>8} {misses:>8} {total_rate:>8} {warm:>8} {entries:>8} {wrong:>11}\n",
         "total", "", "", "",
     ));
     // Per-tenant roll-up across shards, shown only when some shard knows a
@@ -604,6 +608,33 @@ fn render_status(result: &Json) -> String {
             int(&["wire", "connections", "json"]),
         ));
     }
+    if let Some(solver) = result.get("solver") {
+        let mode = solver.get("mode").and_then(Json::as_str).unwrap_or("?");
+        let seed_rate = solver
+            .get("seed_hit_rate")
+            .and_then(Json::as_str)
+            .unwrap_or("0.0000");
+        out.push_str(&format!(
+            "solver: {mode} mode, {} cold / {} warm solves (seed rate {seed_rate}), \
+             {} hints repaired, {} nodes, {} restarts\n",
+            int(&["solver", "cold_solves"]),
+            int(&["solver", "warm_solves"]),
+            int(&["solver", "repaired_hints"]),
+            int(&["solver", "nodes"]),
+            int(&["solver", "restarts"]),
+        ));
+        let wins = int(&["solver", "portfolio", "greedy"])
+            + int(&["solver", "portfolio", "ilp_warm"])
+            + int(&["solver", "portfolio", "ilp_cold"]);
+        if wins > 0 {
+            out.push_str(&format!(
+                "portfolio wins: {} greedy / {} ilp-warm / {} ilp-cold\n",
+                int(&["solver", "portfolio", "greedy"]),
+                int(&["solver", "portfolio", "ilp_warm"]),
+                int(&["solver", "portfolio", "ilp_cold"]),
+            ));
+        }
+    }
     if result.get("persist").map(|p| p != &Json::Null) == Some(true) {
         out.push_str(&format!(
             "persist: {} replayed, {} puts, {} tombstones, {} dead of {} live, {} compactions, {} fsyncs\n",
@@ -707,6 +738,7 @@ mod tests {
 
         let status = run(&args(&["status", "--addr", &addr])).unwrap();
         assert!(status.contains("cache: 1 hits"), "status: {status}");
+        assert!(status.contains("solver: request mode"), "status: {status}");
 
         run(&args(&["shutdown", "--addr", &addr])).unwrap();
         handle.wait();
@@ -854,6 +886,7 @@ mod tests {
         let status = run(&args(&["status", "--cluster", &cluster])).unwrap();
         assert!(status.contains("shard"), "status: {status}");
         assert!(status.contains("hit_rate"), "status: {status}");
+        assert!(status.contains("warm"), "status: {status}");
         assert!(status.contains("total"), "status: {status}");
         // Three shard rows plus the header and the totals row.
         assert_eq!(status.lines().count(), 5, "status: {status}");

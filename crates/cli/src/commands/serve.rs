@@ -1,6 +1,8 @@
 //! `strudel serve` — run the refinement service.
 
-use strudel_server::prelude::{FsyncPolicy, PollerKind, ServerConfig, ShardSpec, TenantSpecSet};
+use strudel_server::prelude::{
+    FsyncPolicy, PollerKind, ServerConfig, ShardSpec, SolverMode, TenantSpecSet,
+};
 
 use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
@@ -19,6 +21,8 @@ pub const SPEC: ArgSpec = ArgSpec {
         "auto-promote",
         "poller",
         "tenants",
+        "solver",
+        "solver-restarts",
     ],
     flags: &[],
     min_positional: 0,
@@ -29,7 +33,7 @@ pub const SPEC: ArgSpec = ArgSpec {
 pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache N]
              [--persist FILE] [--compact-dead N] [--fsync POLICY] [--shard I/N]
              [--follow LEADER:PORT] [--auto-promote MS] [--poller BACKEND]
-             [--tenants SPEC]
+             [--tenants SPEC] [--solver MODE] [--solver-restarts N]
   Runs the refinement service: line-delimited JSON over TCP driven by a
   readiness-based event loop, with a fixed-size compute pool, a
   content-addressed result cache (LRU), single-flight deduplication of
@@ -63,6 +67,16 @@ pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache
   with 'strudel client --tenant NAME' (unset = the unlimited 'default'
   tenant); over-limit requests get a structured over_quota error with a
   retry_after_ms hint, refused per batch element.
+  --solver request|portfolio|ilp|greedy picks the cache-miss compute
+  strategy: request (the default) honors each request's engine field;
+  ilp routes every solve through the exact solver core, warm-started
+  from the nearest cached neighbor's solution; portfolio races greedy,
+  warm ILP, and cold ILP per solve and takes the first decisive arm;
+  greedy answers heuristically only. --solver-restarts N enables Luby
+  restarts with base N conflicts (and activity branching) in the ILP
+  solver core. The status payload's 'solver' block reports cold/warm
+  solve counts, the seed hit-rate, repaired hints, nodes, restarts,
+  and portfolio winners.
   Defaults: --addr 127.0.0.1:7464, --workers 4, --cache 1024
   entries. Blocks until a client sends {\"op\":\"shutdown\"}; shutdown drains
   in-flight solves and flushes the segment, then reports the final counters.";
@@ -109,6 +123,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         config.tenants = Some(TenantSpecSet::parse(spec).map_err(|err| {
             CliError::Usage(format!("invalid value '{spec}' for --tenants: {err}"))
         })?);
+    }
+    if let Some(mode) = parsed.option("solver") {
+        config.solver = SolverMode::parse(mode).ok_or_else(|| {
+            CliError::Usage(format!(
+                "invalid value '{mode}' for --solver: expected request, portfolio, ilp, or greedy"
+            ))
+        })?;
+    }
+    if let Some(base) = parsed.option_parsed::<u64>("solver-restarts")? {
+        if base == 0 {
+            return Err(CliError::Usage(
+                "--solver-restarts 0 is meaningless; omit the flag to disable restarts".to_owned(),
+            ));
+        }
+        config.solver_restarts = Some(base);
     }
     if let Some(window) = parsed.option_parsed::<u64>("auto-promote")? {
         if config.follow.is_none() {
@@ -160,6 +189,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     out.push_str(&format!(
         "single-flight: {} solves led, {} requests coalesced\n",
         status.flight.leaders, status.flight.shared,
+    ));
+    out.push_str(&format!(
+        "solver: {} mode, {} cold / {} warm solves, {} hints repaired, {} nodes, {} restarts\n",
+        status.solver.mode,
+        status.solver.cold_solves,
+        status.solver.warm_solves,
+        status.solver.repaired_hints,
+        status.solver.nodes,
+        status.solver.restarts,
     ));
     if let Some(persist) = &status.persist {
         out.push_str(&format!(
@@ -261,6 +299,7 @@ mod tests {
         assert!(report.contains("cache:"), "report: {report}");
         assert!(report.contains("batches:"), "report: {report}");
         assert!(report.contains("single-flight:"), "report: {report}");
+        assert!(report.contains("solver: request mode"), "report: {report}");
         assert!(
             !report.contains("persist:"),
             "no persistence configured: {report}"
@@ -334,6 +373,10 @@ mod tests {
         // --auto-promote needs --follow, and has a sanity floor.
         assert!(run(&args(&["--auto-promote", "1000"])).is_err());
         assert!(run(&args(&["--follow", "127.0.0.1:1", "--auto-promote", "100"])).is_err());
+        // Solver modes are a closed set, and a zero restart base is refused.
+        assert!(run(&args(&["--solver", "simplex"])).is_err());
+        assert!(run(&args(&["--solver-restarts", "0"])).is_err());
+        assert!(run(&args(&["--solver-restarts", "many"])).is_err());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! beyond the exact engines and serves as the fast path of the hybrid engine
 //! and as the ablation baseline in the benchmark suite.
 
+use std::time::{Duration, Instant};
+
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
 
@@ -32,6 +34,11 @@ pub struct GreedyConfig {
     pub improvement_passes: usize,
     /// Whether to run the sort-merging consolidation phase.
     pub consolidate: bool,
+    /// Wall-clock budget. The heuristic checks the deadline between
+    /// placements/moves: construction interrupted mid-way answers
+    /// [`RefineOutcome::Unknown`], while a deadline during the improvement
+    /// phases just stops improving and returns the current partition.
+    pub time_limit: Option<Duration>,
 }
 
 impl Default for GreedyConfig {
@@ -39,6 +46,7 @@ impl Default for GreedyConfig {
         GreedyConfig {
             improvement_passes: 3,
             consolidate: true,
+            time_limit: None,
         }
     }
 }
@@ -138,6 +146,19 @@ impl GreedyEngine {
     pub fn with_config(config: GreedyConfig) -> Self {
         GreedyEngine { config }
     }
+
+    /// Creates an engine with a wall-clock budget.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        GreedyEngine::with_config(GreedyConfig {
+            time_limit: Some(limit),
+            ..GreedyConfig::default()
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GreedyConfig {
+        &self.config
+    }
 }
 
 impl RefinementEngine for GreedyEngine {
@@ -155,10 +176,16 @@ impl RefinementEngine for GreedyEngine {
         crate::encode::validate_inputs(view, theta, k)?;
         let signatures = view.signature_count();
         let mut partition = Partition::new(view, spec, k);
+        let deadline = self.config.time_limit.map(|limit| Instant::now() + limit);
+        let expired = || deadline.is_some_and(|deadline| Instant::now() >= deadline);
 
         // Phase 1 — greedy construction, largest signature sets first (the
         // view is already ordered that way).
         for sig in 0..signatures {
+            if expired() {
+                // An unfinished construction is not a usable partition.
+                return Ok(RefineOutcome::Unknown);
+            }
             let mut best: Option<(Ratio, usize)> = None;
             let mut saw_empty_sort = false;
             for candidate in 0..k {
@@ -179,9 +206,12 @@ impl RefinementEngine for GreedyEngine {
 
         // Phase 2 — local search: move single signatures while the minimum
         // per-sort σ improves.
-        for _ in 0..self.config.improvement_passes {
+        'improve: for _ in 0..self.config.improvement_passes {
             let mut improved = false;
             for sig in 0..signatures {
+                if expired() {
+                    break 'improve;
+                }
                 let assignment = partition.assignment();
                 let current_sort = assignment[sig];
                 if partition.members[current_sort].len() == 1 {
@@ -233,6 +263,9 @@ impl RefinementEngine for GreedyEngine {
         // the threshold, so the result also uses few sorts.
         if self.config.consolidate && partition.quality() >= theta {
             loop {
+                if expired() {
+                    break;
+                }
                 let occupied: Vec<usize> = (0..k)
                     .filter(|&sort| !partition.members[sort].is_empty())
                     .collect();
@@ -302,6 +335,16 @@ mod tests {
         let refinement = outcome.refinement().expect("greedy reaches θ = 0.65");
         refinement.validate(&view).unwrap();
         assert!(refinement.min_sigma() >= Ratio::new(13, 20));
+    }
+
+    #[test]
+    fn an_expired_budget_yields_unknown_not_a_partial_partition() {
+        let view = view();
+        let engine = GreedyEngine::with_time_limit(std::time::Duration::ZERO);
+        let outcome = engine
+            .refine(&view, &SigmaSpec::Coverage, 2, Ratio::new(1, 2))
+            .unwrap();
+        assert!(matches!(outcome, RefineOutcome::Unknown));
     }
 
     #[test]

@@ -9,19 +9,28 @@
 //! heuristic cannot settle — including every infeasibility proof, which only
 //! the ILP engine can provide.
 
+use std::time::{Duration, Instant};
+
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
 
 use crate::error::RefineError;
 use crate::sigma::SigmaSpec;
 
-use super::{GreedyEngine, IlpEngine, RefineOutcome, RefinementEngine};
+use super::{
+    GreedyConfig, GreedyEngine, IlpEngine, IlpEngineConfig, RefineOutcome, RefinementEngine,
+};
 
 /// Greedy-then-ILP engine.
 #[derive(Clone, Debug, Default)]
 pub struct HybridEngine {
     greedy: GreedyEngine,
     ilp: IlpEngine,
+    /// Shared wall-clock budget across both phases: the greedy phase runs
+    /// under the full budget and the ILP fallback gets whatever remains, so
+    /// a `--time-limit` covers the whole hybrid solve rather than each phase
+    /// independently (the greedy phase used to ignore it entirely).
+    time_limit: Option<Duration>,
 }
 
 impl HybridEngine {
@@ -32,7 +41,17 @@ impl HybridEngine {
 
     /// Creates a hybrid engine from explicit sub-engines.
     pub fn with_engines(greedy: GreedyEngine, ilp: IlpEngine) -> Self {
-        HybridEngine { greedy, ilp }
+        HybridEngine {
+            greedy,
+            ilp,
+            time_limit: None,
+        }
+    }
+
+    /// Sets a wall-clock budget shared by the greedy and ILP phases.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
     }
 }
 
@@ -48,12 +67,34 @@ impl RefinementEngine for HybridEngine {
         k: usize,
         theta: Ratio,
     ) -> Result<RefineOutcome, RefineError> {
-        match self.greedy.refine(view, spec, k, theta)? {
+        let Some(budget) = self.time_limit else {
+            return match self.greedy.refine(view, spec, k, theta)? {
+                RefineOutcome::Refinement(refinement) => Ok(RefineOutcome::Refinement(refinement)),
+                // The greedy engine answers Unknown when it cannot reach the
+                // threshold and never answers Infeasible; either way the
+                // exact engine decides.
+                _ => self.ilp.refine(view, spec, k, theta),
+            };
+        };
+
+        let start = Instant::now();
+        let greedy = GreedyEngine::with_config(GreedyConfig {
+            time_limit: Some(budget),
+            ..self.greedy.config().clone()
+        });
+        match greedy.refine(view, spec, k, theta)? {
             RefineOutcome::Refinement(refinement) => Ok(RefineOutcome::Refinement(refinement)),
-            // The greedy engine answers Unknown when it cannot reach the
-            // threshold and never answers Infeasible; either way the exact
-            // engine decides.
-            _ => self.ilp.refine(view, spec, k, theta),
+            _ => {
+                let remaining = budget.saturating_sub(start.elapsed());
+                if remaining.is_zero() {
+                    return Ok(RefineOutcome::Unknown);
+                }
+                let ilp = IlpEngine::with_config(IlpEngineConfig {
+                    time_limit: Some(remaining),
+                    ..self.ilp.config().clone()
+                });
+                ilp.refine(view, spec, k, theta)
+            }
         }
     }
 }
@@ -107,6 +148,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn an_exhausted_budget_yields_unknown() {
+        let view = view();
+        let hybrid = HybridEngine::new().with_time_limit(std::time::Duration::ZERO);
+        // A zero budget expires during the greedy phase and leaves nothing
+        // for the ILP fallback: the only honest answer is Unknown.
+        let outcome = hybrid
+            .refine(&view, &SigmaSpec::Coverage, 2, Ratio::new(19, 20))
+            .unwrap();
+        assert!(matches!(outcome, RefineOutcome::Unknown));
+    }
+
+    #[test]
+    fn a_generous_budget_still_decides_exactly() {
+        let view = view();
+        let hybrid = HybridEngine::new().with_time_limit(std::time::Duration::from_secs(60));
+        let outcome = hybrid
+            .refine(&view, &SigmaSpec::Coverage, 1, Ratio::ONE)
+            .unwrap();
+        // Greedy cannot prove this infeasible; the ILP fallback must still
+        // run (with the remaining budget) and decide it.
+        assert!(matches!(outcome, RefineOutcome::Infeasible));
     }
 
     #[test]

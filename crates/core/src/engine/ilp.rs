@@ -1,8 +1,12 @@
 //! The ILP-backed refinement engine — the paper's solution strategy.
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
-use strudel_ilp::prelude::{presolve, SolveStatus, Solver, SolverConfig};
+use strudel_ilp::prelude::{
+    presolve, BrancherKind, SolveStats, SolveStatus, Solver, SolverConfig, VarId, WarmStart,
+};
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::eval::RoughCountTable;
 use strudel_rules::prelude::Ratio;
@@ -27,6 +31,20 @@ pub struct IlpEngineConfig {
     pub node_limit: Option<u64>,
     /// Whether to run presolve on the encoded model before solving.
     pub presolve: bool,
+    /// Whether the solver may compute an LP root bound (only meaningful for
+    /// objective-bearing models; sort-refinement instances are pure
+    /// feasibility problems, so the default is off).
+    pub use_lp_root_bound: bool,
+    /// Size cap (`variables + constraints`) below which the LP root bound is
+    /// attempted; forwarded to [`SolverConfig::lp_size_limit`].
+    pub lp_size_limit: usize,
+    /// Branching heuristic for the solver.
+    pub brancher: BrancherKind,
+    /// Luby restart base in conflicts; `None` disables restarts.
+    pub restart_conflict_base: Option<u64>,
+    /// Cooperative cancellation flag forwarded to the solver (used by the
+    /// portfolio engine to stop losing arms).
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for IlpEngineConfig {
@@ -36,7 +54,62 @@ impl Default for IlpEngineConfig {
             time_limit: None,
             node_limit: None,
             presolve: true,
+            use_lp_root_bound: false,
+            lp_size_limit: SolverConfig::default().lp_size_limit,
+            brancher: BrancherKind::InputOrder,
+            restart_conflict_base: None,
+            stop: None,
         }
+    }
+}
+
+/// A warm-start hint at the refinement level: which sort each signature was
+/// assigned to in a *neighboring* solution, keyed by signature identity (a
+/// hash of the signature's property-name set) so it survives the entry
+/// reordering between a view and its ±-one-signature neighbors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RefinementHint {
+    /// `(signature identity, sort index)` pairs from the prior solution.
+    pub assignments: Vec<(u64, usize)>,
+}
+
+impl RefinementHint {
+    /// Whether the hint carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+/// Order-independent identity of one signature of a view: an FNV-1a hash of
+/// the property *names* in the signature. Counts and entry positions are
+/// excluded on purpose — a neighbor instance reorders entries and may have
+/// slightly different counts, but the property set is what identifies "the
+/// same" signature across instances.
+pub fn signature_identity(view: &SignatureView, sig: usize) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for col in view.entries()[sig].signature.iter() {
+        for byte in view.properties()[col].as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Builds a hint from a solved refinement of `view`, keyed by signature
+/// identity so a neighboring instance can consume it.
+pub fn hint_from_refinement(view: &SignatureView, refinement: &SortRefinement) -> RefinementHint {
+    let assignment = refinement.assignment(view);
+    RefinementHint {
+        assignments: assignment
+            .iter()
+            .enumerate()
+            .map(|(sig, &sort)| (signature_identity(view, sig), sort))
+            .collect(),
     }
 }
 
@@ -65,6 +138,11 @@ impl IlpEngine {
         })
     }
 
+    /// The engine's configuration.
+    pub fn config(&self) -> &IlpEngineConfig {
+        &self.config
+    }
+
     /// Solves one instance reusing a precomputed rough-count table (the table
     /// depends only on the rule and the dataset, so θ- and k-sweeps avoid
     /// recomputing it).
@@ -76,32 +154,131 @@ impl IlpEngine {
         k: usize,
         theta: Ratio,
     ) -> Result<RefineOutcome, RefineError> {
+        self.refine_with_table_and_hint(view, spec, table, k, theta, None)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Solves one instance warm-started from a neighboring solution,
+    /// returning the solver statistics alongside the outcome so callers can
+    /// report warm-start effectiveness (nodes, restarts, repaired hints).
+    pub fn refine_with_hint(
+        &self,
+        view: &SignatureView,
+        spec: &SigmaSpec,
+        k: usize,
+        theta: Ratio,
+        hint: Option<&RefinementHint>,
+    ) -> Result<(RefineOutcome, SolveStats), RefineError> {
+        crate::encode::validate_inputs(view, theta, k)?;
+        let rule = spec.rule();
+        let table = strudel_rules::eval::Evaluator::new(view)
+            .rough_counts(&rule)
+            .map_err(RefineError::from)?;
+        self.refine_with_table_and_hint(view, spec, table, k, theta, hint)
+    }
+
+    /// The full solve path: encode, presolve, translate the refinement-level
+    /// hint into solver variable values, and solve.
+    pub fn refine_with_table_and_hint(
+        &self,
+        view: &SignatureView,
+        spec: &SigmaSpec,
+        table: RoughCountTable,
+        k: usize,
+        theta: Ratio,
+        hint: Option<&RefinementHint>,
+    ) -> Result<(RefineOutcome, SolveStats), RefineError> {
         let encoding = encode_with_table(view, table, k, theta, &self.config.encoding)?;
         let mut model = encoding.model.clone();
         if self.config.presolve {
             presolve(&mut model);
         }
+        let warm = hint.and_then(|hint| self.warm_start_for(&encoding, view, hint));
         let solver = Solver::with_config(SolverConfig {
             time_limit: self.config.time_limit,
             node_limit: self.config.node_limit,
-            use_lp_root_bound: false,
+            use_lp_root_bound: self.config.use_lp_root_bound,
+            lp_size_limit: self.config.lp_size_limit,
             first_solution_only: true,
-            ..SolverConfig::default()
+            brancher: self.config.brancher,
+            restart_conflict_base: self.config.restart_conflict_base,
+            stop: self.config.stop.clone(),
         });
         let result = solver
-            .solve(&model)
+            .solve_with_hint(&model, warm.as_ref())
             .map_err(|e| RefineError::Ilp(e.to_string()))?;
-        match result.status {
+        let stats = result.stats;
+        let outcome = match result.status {
             SolveStatus::Optimal | SolveStatus::Feasible => {
                 let solution = result.solution.expect("status guarantees a solution");
                 let assignment = encoding.extract_assignment(&solution);
                 let refinement =
                     SortRefinement::from_assignment(view, spec, theta, &assignment, k)?;
-                Ok(RefineOutcome::Refinement(refinement))
+                RefineOutcome::Refinement(refinement)
             }
-            SolveStatus::Infeasible => Ok(RefineOutcome::Infeasible),
-            SolveStatus::Unknown => Ok(RefineOutcome::Unknown),
+            SolveStatus::Infeasible => RefineOutcome::Infeasible,
+            SolveStatus::Unknown => RefineOutcome::Unknown,
+        };
+        Ok((outcome, stats))
+    }
+
+    /// Translates a refinement-level hint into solver variable values.
+    ///
+    /// The hint's sort indexes are opaque labels from the neighbor's
+    /// solution; the encoding's labels are pinned by the symmetry-breaking
+    /// `hash(i) ≤ hash(i+1)` constraints (empty sorts hash to 0, so used
+    /// sorts occupy the *highest* labels in ascending hash order). Relabeling
+    /// the hint the same way lands it exactly on the canonical solution's
+    /// labels, so an up-to-date hint dives conflict-free.
+    fn warm_start_for(
+        &self,
+        encoding: &crate::encode::Encoding,
+        view: &SignatureView,
+        hint: &RefinementHint,
+    ) -> Option<WarmStart> {
+        let k = encoding.k;
+        let lookup: std::collections::HashMap<u64, usize> =
+            hint.assignments.iter().copied().collect();
+        // Prior sort label → member signatures of the *new* view.
+        let mut members: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for sig in 0..view.signature_count() {
+            if let Some(&sort) = lookup.get(&signature_identity(view, sig)) {
+                members.entry(sort).or_default().push(sig);
+            }
         }
+        if members.is_empty() || members.len() > k {
+            return None;
+        }
+        let mut order: Vec<(u128, usize, usize)> = members
+            .iter()
+            .map(|(&sort, sigs)| {
+                let hash: u128 = sigs
+                    .iter()
+                    .map(|&sig| 1u128 << (sig as u32).min(self.config.encoding.max_hash_exponent))
+                    .sum();
+                let first_member = sigs[0];
+                (hash, first_member, sort)
+            })
+            .collect();
+        let offset = if self.config.encoding.symmetry_breaking {
+            // Ascending hash; used sorts take the highest labels.
+            order.sort();
+            k - order.len()
+        } else {
+            // Without symmetry breaking the canonical solution opens sorts in
+            // first-appearance order starting at label 0.
+            order.sort_by_key(|&(_, first_member, sort)| (first_member, sort));
+            0
+        };
+        let mut values: Vec<(VarId, i64)> = Vec::new();
+        for (position, &(_, _, prior_sort)) in order.iter().enumerate() {
+            let label = offset + position;
+            for &sig in &members[&prior_sort] {
+                values.push((encoding.x[label][sig], 1));
+            }
+        }
+        Some(WarmStart::from_values(values))
     }
 }
 
@@ -199,6 +376,104 @@ mod tests {
         let refinement = outcome.refinement().expect("singleton sorts have σCov = 1");
         assert_eq!(refinement.k(), view.signature_count());
         assert_eq!(refinement.min_sigma(), Ratio::ONE);
+    }
+
+    #[test]
+    fn warm_hint_from_a_neighbor_reproduces_the_cold_solution() {
+        let view = view();
+        // The neighbor drops the last signature (the S − 1 instance).
+        let neighbor = SignatureView::from_counts(
+            vec![
+                "http://ex/name".into(),
+                "http://ex/birthDate".into(),
+                "http://ex/deathDate".into(),
+                "http://ex/deathPlace".into(),
+            ],
+            vec![
+                (vec![0], 40),
+                (vec![0, 1], 25),
+                (vec![0, 1, 2], 10),
+                (vec![0, 1, 2, 3], 5),
+            ],
+        )
+        .unwrap();
+        let engine = IlpEngine::new();
+        let theta = Ratio::new(13, 20);
+        let spec = SigmaSpec::Coverage;
+
+        let prior = engine
+            .refine(&neighbor, &spec, 2, theta)
+            .unwrap()
+            .refinement()
+            .cloned()
+            .expect("neighbor instance is feasible");
+        let hint = hint_from_refinement(&neighbor, &prior);
+        assert!(!hint.is_empty());
+
+        let (cold, cold_stats) = engine
+            .refine_with_hint(&view, &spec, 2, theta, None)
+            .unwrap();
+        let (warm, warm_stats) = engine
+            .refine_with_hint(&view, &spec, 2, theta, Some(&hint))
+            .unwrap();
+        assert_eq!(cold_stats.hint_vars, 0);
+        assert!(warm_stats.hint_vars > 0);
+        assert!(warm_stats.nodes <= cold_stats.nodes);
+        let cold = cold.refinement().expect("feasible");
+        let warm = warm.refinement().expect("feasible");
+        assert_eq!(cold.assignment(&view), warm.assignment(&view));
+    }
+
+    #[test]
+    fn a_stale_hint_still_solves_correctly() {
+        let view = view();
+        let engine = IlpEngine::new();
+        let theta = Ratio::new(13, 20);
+        // A deliberately bad hint: every signature in one sort (σCov too low
+        // to be a real solution shape at this threshold with k = 2 the
+        // solver must repair toward a feasible split).
+        let hint = RefinementHint {
+            assignments: (0..view.signature_count())
+                .map(|sig| (signature_identity(&view, sig), 0))
+                .collect(),
+        };
+        let (outcome, _) = engine
+            .refine_with_hint(&view, &SigmaSpec::Coverage, 2, theta, Some(&hint))
+            .unwrap();
+        let refinement = outcome.refinement().expect("still feasible");
+        refinement.validate(&view).unwrap();
+        assert!(refinement.min_sigma() >= theta);
+    }
+
+    #[test]
+    fn signature_identity_is_order_independent() {
+        let view = view();
+        let permuted = SignatureView::from_counts(
+            vec![
+                "http://ex/name".into(),
+                "http://ex/birthDate".into(),
+                "http://ex/deathDate".into(),
+                "http://ex/deathPlace".into(),
+            ],
+            vec![
+                (vec![0, 1, 2, 3], 5),
+                (vec![0, 2, 3], 2),
+                (vec![0], 40),
+                (vec![0, 1], 25),
+                (vec![0, 1, 2], 10),
+            ],
+        )
+        .unwrap();
+        // Same signatures, different entry order: identities must match up.
+        let mut ours: Vec<u64> = (0..view.signature_count())
+            .map(|sig| signature_identity(&view, sig))
+            .collect();
+        let mut theirs: Vec<u64> = (0..permuted.signature_count())
+            .map(|sig| signature_identity(&permuted, sig))
+            .collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs);
     }
 
     #[test]

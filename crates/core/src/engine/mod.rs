@@ -14,11 +14,18 @@ mod exhaustive;
 mod greedy;
 mod hybrid;
 mod ilp;
+mod portfolio;
 
 pub use exhaustive::{ExhaustiveConfig, ExhaustiveEngine};
 pub use greedy::{GreedyConfig, GreedyEngine};
 pub use hybrid::HybridEngine;
-pub use ilp::{IlpEngine, IlpEngineConfig};
+pub use ilp::{
+    hint_from_refinement, signature_identity, IlpEngine, IlpEngineConfig, RefinementHint,
+};
+pub use portfolio::{PortfolioArm, PortfolioEngine, PortfolioOutcome};
+// Re-exported so downstream crates (the server configures branchers and
+// reads solve statistics) need no direct `strudel-ilp` dependency.
+pub use strudel_ilp::prelude::{BrancherKind, SolveStats};
 
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;

@@ -1,11 +1,21 @@
 //! The propagation engine: normalized constraints, bound tracking with a
-//! backtrackable trail, and integer bound propagation.
+//! backtrackable trail, and event-driven integer bound propagation.
 //!
 //! Every model constraint is normalized into one or two `Σ aᵢ·xᵢ ≤ rhs`
 //! rows. The engine maintains, for each row, the *minimum activity* — the
 //! smallest value the left-hand side can take under the current bounds — and
 //! uses it both to detect conflicts early and to tighten variable bounds
 //! (standard bounds-consistency propagation for linear constraints).
+//!
+//! Propagation is *event-driven*: every row **watches** exactly the bound
+//! events that can raise its minimum activity. A row watches the *lower*
+//! bound of variables it holds with a positive coefficient and the *upper*
+//! bound of variables with a negative coefficient; any other bound event on
+//! its variables cannot produce a new inference from that row, so the row is
+//! not woken. Each watch carries its coefficient, so posting an event updates
+//! the watching rows' activities in one multiply-add per watcher — the
+//! per-event linear rescan of the row (`row_coeff`) that the first version
+//! of this engine paid is gone, on the hot path and on backtracking alike.
 
 use std::collections::VecDeque;
 
@@ -26,6 +36,16 @@ struct Row {
     rhs: i128,
 }
 
+/// One entry of a variable's watcher list: the row to wake and the
+/// coefficient the variable carries in it. Watches are built once at
+/// construction; carrying the coefficient makes both the activity update and
+/// the wake decision O(1) per watcher.
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    row: u32,
+    coeff: i64,
+}
+
 /// A recorded bound change, undone on backtracking.
 #[derive(Debug, Clone, Copy)]
 enum TrailEntry {
@@ -33,11 +53,15 @@ enum TrailEntry {
     Upper { var: usize, old: i64 },
 }
 
-/// Propagation engine over the normalized form of a model.
+/// Event-driven propagation engine over the normalized form of a model.
 pub struct Engine {
     rows: Vec<Row>,
-    /// var → indexes of rows mentioning it.
-    var_rows: Vec<Vec<usize>>,
+    /// var → rows watching the variable's *lower* bound (positive
+    /// coefficient: a raised lower bound raises the row's min activity).
+    lower_watches: Vec<Vec<Watch>>,
+    /// var → rows watching the variable's *upper* bound (negative
+    /// coefficient: a lowered upper bound raises the row's min activity).
+    upper_watches: Vec<Vec<Watch>>,
     lower: Vec<i64>,
     upper: Vec<i64>,
     min_activity: Vec<i128>,
@@ -47,6 +71,9 @@ pub struct Engine {
     in_queue: Vec<bool>,
     /// Total number of bound tightenings performed.
     pub propagations: u64,
+    /// Total number of bound events posted to watcher lists (a tightening
+    /// wakes each row watching that bound once).
+    pub events: u64,
 }
 
 fn floor_div(a: i128, b: i128) -> i128 {
@@ -110,10 +137,19 @@ impl Engine {
             }
         }
 
-        let mut var_rows = vec![Vec::new(); num_vars];
+        let mut lower_watches = vec![Vec::new(); num_vars];
+        let mut upper_watches = vec![Vec::new(); num_vars];
         for (row_idx, row) in rows.iter().enumerate() {
-            for &(var, _) in &row.terms {
-                var_rows[var].push(row_idx);
+            for &(var, coeff) in &row.terms {
+                let watch = Watch {
+                    row: row_idx as u32,
+                    coeff,
+                };
+                if coeff > 0 {
+                    lower_watches[var].push(watch);
+                } else if coeff < 0 {
+                    upper_watches[var].push(watch);
+                }
             }
         }
 
@@ -124,13 +160,15 @@ impl Engine {
             min_activity: vec![0; rows.len()],
             in_queue: vec![false; rows.len()],
             rows,
-            var_rows,
+            lower_watches,
+            upper_watches,
             lower,
             upper,
             trail: Vec::new(),
             level_marks: Vec::new(),
             queue: VecDeque::new(),
             propagations: 0,
+            events: 0,
         };
         for row_idx in 0..engine.rows.len() {
             engine.min_activity[row_idx] = engine.compute_min_activity(row_idx);
@@ -184,6 +222,17 @@ impl Engine {
         self.lower.len()
     }
 
+    /// The `(variable, coefficient)` terms of a normalized row. Branchers
+    /// use this to credit the variables of a conflicting row.
+    pub fn row_terms(&self, row: usize) -> &[(usize, i64)] {
+        &self.rows[row].terms
+    }
+
+    /// The current decision depth (number of open levels).
+    pub fn level(&self) -> usize {
+        self.level_marks.len()
+    }
+
     /// Opens a new decision level.
     pub fn push_level(&mut self) {
         self.level_marks.push(self.trail.len());
@@ -199,24 +248,16 @@ impl Engine {
             let entry = self.trail.pop().expect("trail length checked");
             match entry {
                 TrailEntry::Lower { var, old } => {
-                    let current = self.lower[var];
-                    for &row_idx in &self.var_rows[var] {
-                        let coeff = self.row_coeff(row_idx, var);
-                        if coeff > 0 {
-                            self.min_activity[row_idx] -=
-                                i128::from(coeff) * i128::from(current - old);
-                        }
+                    let delta = i128::from(self.lower[var] - old);
+                    for watch in &self.lower_watches[var] {
+                        self.min_activity[watch.row as usize] -= i128::from(watch.coeff) * delta;
                     }
                     self.lower[var] = old;
                 }
                 TrailEntry::Upper { var, old } => {
-                    let current = self.upper[var];
-                    for &row_idx in &self.var_rows[var] {
-                        let coeff = self.row_coeff(row_idx, var);
-                        if coeff < 0 {
-                            self.min_activity[row_idx] -=
-                                i128::from(coeff) * i128::from(current - old);
-                        }
+                    let delta = i128::from(self.upper[var] - old);
+                    for watch in &self.upper_watches[var] {
+                        self.min_activity[watch.row as usize] -= i128::from(watch.coeff) * delta;
                     }
                     self.upper[var] = old;
                 }
@@ -226,26 +267,8 @@ impl Engine {
         self.in_queue.iter_mut().for_each(|flag| *flag = false);
     }
 
-    fn row_coeff(&self, row_idx: usize, var: usize) -> i64 {
-        self.rows[row_idx]
-            .terms
-            .iter()
-            .find(|&&(v, _)| v == var)
-            .map(|&(_, c)| c)
-            .unwrap_or(0)
-    }
-
-    fn enqueue_rows_of(&mut self, var: usize) {
-        for idx in self.var_rows[var].clone() {
-            if !self.in_queue[idx] {
-                self.in_queue[idx] = true;
-                self.queue.push_back(idx);
-            }
-        }
-    }
-
     /// Tightens the lower bound of a variable, recording the change on the
-    /// trail and scheduling affected rows for propagation.
+    /// trail and waking exactly the rows watching the event.
     pub fn set_lower(&mut self, var: usize, value: i64) -> Result<(), Conflict> {
         if value <= self.lower[var] {
             return Ok(());
@@ -255,15 +278,19 @@ impl Engine {
         }
         let old = self.lower[var];
         self.trail.push(TrailEntry::Lower { var, old });
-        for &row_idx in &self.var_rows[var] {
-            let coeff = self.row_coeff(row_idx, var);
-            if coeff > 0 {
-                self.min_activity[row_idx] += i128::from(coeff) * i128::from(value - old);
-            }
-        }
+        let delta = i128::from(value - old);
         self.lower[var] = value;
         self.propagations += 1;
-        self.enqueue_rows_of(var);
+        self.events += 1;
+        for watch_idx in 0..self.lower_watches[var].len() {
+            let watch = self.lower_watches[var][watch_idx];
+            let row = watch.row as usize;
+            self.min_activity[row] += i128::from(watch.coeff) * delta;
+            if !self.in_queue[row] {
+                self.in_queue[row] = true;
+                self.queue.push_back(row);
+            }
+        }
         Ok(())
     }
 
@@ -277,15 +304,19 @@ impl Engine {
         }
         let old = self.upper[var];
         self.trail.push(TrailEntry::Upper { var, old });
-        for &row_idx in &self.var_rows[var] {
-            let coeff = self.row_coeff(row_idx, var);
-            if coeff < 0 {
-                self.min_activity[row_idx] += i128::from(coeff) * i128::from(value - old);
-            }
-        }
+        let delta = i128::from(value - old);
         self.upper[var] = value;
         self.propagations += 1;
-        self.enqueue_rows_of(var);
+        self.events += 1;
+        for watch_idx in 0..self.upper_watches[var].len() {
+            let watch = self.upper_watches[var][watch_idx];
+            let row = watch.row as usize;
+            self.min_activity[row] += i128::from(watch.coeff) * delta;
+            if !self.in_queue[row] {
+                self.in_queue[row] = true;
+                self.queue.push_back(row);
+            }
+        }
         Ok(())
     }
 
@@ -461,5 +492,47 @@ mod tests {
             Engine::new(&broken),
             Err(IlpError::UnknownVariable { .. })
         ));
+    }
+
+    /// Events only wake rows the bound change can actually tighten: a
+    /// raised lower bound must not wake a row holding the variable with a
+    /// negative coefficient.
+    #[test]
+    fn events_wake_only_affected_rows() {
+        let mut model = Model::new();
+        let x = model.add_integer("x", 0, 10);
+        let y = model.add_integer("y", 0, 10);
+        // y - x ≤ 5: watches lower(y) and upper(x), NOT lower(x).
+        model.add_constraint("row", LinExpr::new().plus(1, y).plus(-1, x), Cmp::Le, 5);
+        let mut engine = Engine::new(&model).unwrap();
+        engine.schedule_all();
+        engine.propagate().unwrap();
+        // Raising lower(x) cannot tighten the row; no wake, queue stays empty.
+        engine.set_lower(x.index(), 3).unwrap();
+        assert!(engine.queue.is_empty());
+        // Lowering upper(x) raises min activity and wakes the row, which
+        // tightens upper(y) to 9.
+        engine.set_upper(x.index(), 4).unwrap();
+        assert!(!engine.queue.is_empty());
+        engine.propagate().unwrap();
+        assert_eq!(engine.upper(y.index()), 9);
+    }
+
+    /// Backtracking through the watcher lists restores exact activities:
+    /// propagate → conflict → pop must reproduce the root state bit for bit.
+    #[test]
+    fn pop_level_restores_activities_exactly() {
+        let (model, vars) = simple_model();
+        let mut engine = Engine::new(&model).unwrap();
+        engine.schedule_all();
+        engine.propagate().unwrap();
+        let baseline = engine.min_activity.clone();
+        for round in 0..3 {
+            engine.push_level();
+            let _ = engine.fix(vars[round % 2].index(), 1);
+            let _ = engine.propagate();
+            engine.pop_level();
+            assert_eq!(engine.min_activity, baseline, "round {round}");
+        }
     }
 }

@@ -12,10 +12,15 @@
 //!   constraints, optional objective, and *decision groups* (branching hints
 //!   for assignment-shaped problems such as the paper's `X_{i,µ}` variables),
 //! * [`presolve`] — cheap solution-preserving reductions,
-//! * [`engine`] — normalized rows, backtrackable bounds, and integer bound
-//!   propagation,
-//! * [`solver`] — depth-first branch & bound with incumbent-based objective
-//!   bounding,
+//! * [`engine`] — normalized rows, backtrackable bounds, and event-driven
+//!   integer bound propagation (rows watch the bound events that can raise
+//!   their minimum activity),
+//! * [`brancher`] — pluggable branching heuristics (input-order, first-fail,
+//!   conflict activity),
+//! * [`search`] — the depth-first search loop: Luby-scheduled restarts and
+//!   [`search::WarmStart`] hints from prior solutions,
+//! * [`solver`] — the facade: configuration, `solve`, and `solve_with_hint`
+//!   with incumbent-based objective bounding,
 //! * [`simplex`] / [`lp_relax`] — a dense two-phase simplex and the LP
 //!   relaxation used for root-node bounding.
 //!
@@ -39,21 +44,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod brancher;
 pub mod engine;
 pub mod error;
 pub mod lp_relax;
 pub mod model;
 pub mod presolve;
+pub mod search;
 pub mod simplex;
 pub mod solution;
 pub mod solver;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::brancher::{BranchChoice, Brancher, BrancherKind};
     pub use crate::error::IlpError;
     pub use crate::lp_relax::{lp_objective_bound, lp_relaxation};
     pub use crate::model::{Cmp, Constraint, LinExpr, Model, Objective, Sense, VarDef, VarId};
     pub use crate::presolve::{presolve, PresolveReport};
+    pub use crate::search::{luby, WarmStart};
     pub use crate::simplex::{solve_lp, LpOutcome, LpProblem};
     pub use crate::solution::{SolveResult, SolveStats, SolveStatus};
     pub use crate::solver::{Solver, SolverConfig};

@@ -58,6 +58,13 @@ pub struct SolveStats {
     pub conflicts: u64,
     /// Number of LP relaxations solved for bounding.
     pub lp_relaxations: u64,
+    /// Number of times the search restarted from the root.
+    pub restarts: u64,
+    /// Number of variables covered by the warm-start hint (0 = cold solve).
+    pub hint_vars: u64,
+    /// Number of hinted variables whose final value differs from the hint —
+    /// nonzero means the hint was stale and the search repaired it.
+    pub hint_mismatches: u64,
     /// Wall-clock time spent solving.
     pub elapsed: Duration,
 }

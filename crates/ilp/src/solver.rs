@@ -1,4 +1,5 @@
-//! Branch & bound search over the propagation engine.
+//! The solver facade: configuration and the `solve` / `solve_with_hint`
+//! entry points over the search core in [`crate::search`].
 //!
 //! The solver is tuned for the shape of the paper's sort-refinement
 //! instances: almost all variables (`U_{i,p}`, `T_{i,τ}`) are functionally
@@ -9,13 +10,15 @@
 //! branching, and objective-bearing models are handled with incumbent-based
 //! bounding (plus an optional LP relaxation bound at the root).
 
-use std::time::{Duration, Instant};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
 
-use crate::engine::Engine;
+use crate::brancher::BrancherKind;
 use crate::error::IlpError;
-use crate::lp_relax::lp_objective_bound;
-use crate::model::{Model, Objective, Sense};
-use crate::solution::{SolveResult, SolveStats, SolveStatus};
+use crate::model::Model;
+use crate::search::{self, WarmStart};
+use crate::solution::SolveResult;
 
 /// Configuration of the branch & bound search.
 #[derive(Clone, Debug)]
@@ -32,6 +35,19 @@ pub struct SolverConfig {
     pub lp_size_limit: usize,
     /// Stop at the first feasible solution even if an objective is present.
     pub first_solution_only: bool,
+    /// Which branching heuristic drives the search. The default
+    /// ([`BrancherKind::InputOrder`]) explores the solver's canonical tree,
+    /// so node counts and returned solutions are stable across releases.
+    pub brancher: BrancherKind,
+    /// Luby restart base, in conflicts: run `i` of the search is restarted
+    /// after `base × luby(i)` conflicts. `None` disables restarts. Restarts
+    /// pair best with [`BrancherKind::Activity`]; the stateless branchers
+    /// re-explore the same tree after a restart.
+    pub restart_conflict_base: Option<u64>,
+    /// Cooperative cancellation: when the flag becomes true the solve aborts
+    /// at the next node, reporting `Feasible`/`Unknown` like a time limit.
+    /// Used to cancel losing arms of an engine portfolio.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SolverConfig {
@@ -42,6 +58,9 @@ impl Default for SolverConfig {
             use_lp_root_bound: true,
             lp_size_limit: 2_000,
             first_solution_only: false,
+            brancher: BrancherKind::InputOrder,
+            restart_conflict_base: None,
+            stop: None,
         }
     }
 }
@@ -50,21 +69,6 @@ impl Default for SolverConfig {
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
     config: SolverConfig,
-}
-
-struct SearchState<'a> {
-    engine: Engine,
-    model: &'a Model,
-    config: &'a SolverConfig,
-    deadline: Option<Instant>,
-    nodes: u64,
-    conflicts: u64,
-    lp_relaxations: u64,
-    incumbent: Option<Vec<i64>>,
-    incumbent_objective: Option<i128>,
-    /// Root LP bound on the objective (in maximization orientation).
-    root_bound: Option<f64>,
-    aborted: bool,
 }
 
 impl Solver {
@@ -80,257 +84,32 @@ impl Solver {
         Solver { config }
     }
 
-    /// Solves the model.
+    /// Solves the model cold.
     pub fn solve(&self, model: &Model) -> Result<SolveResult, IlpError> {
-        let start = Instant::now();
-        let mut engine = Engine::new(model)?;
-        engine.schedule_all();
-
-        let mut state = SearchState {
-            engine,
-            model,
-            config: &self.config,
-            deadline: self.config.time_limit.map(|limit| start + limit),
-            nodes: 0,
-            conflicts: 0,
-            lp_relaxations: 0,
-            incumbent: None,
-            incumbent_objective: None,
-            root_bound: None,
-            aborted: false,
-        };
-
-        let root_feasible = state.engine.propagate().is_ok();
-        if root_feasible {
-            if let Some(objective) = model.objective() {
-                if self.config.use_lp_root_bound
-                    && model.num_vars() + model.num_constraints() <= self.config.lp_size_limit
-                {
-                    if let Ok(bound) = lp_objective_bound(model) {
-                        state.root_bound = Some(bound);
-                        state.lp_relaxations += 1;
-                    }
-                }
-                let _ = objective;
-            }
-            state.search();
-        }
-
-        let stats = SolveStats {
-            nodes: state.nodes,
-            propagations: state.engine.propagations,
-            conflicts: state.conflicts,
-            lp_relaxations: state.lp_relaxations,
-            elapsed: start.elapsed(),
-        };
-
-        let status = match (&state.incumbent, state.aborted) {
-            (Some(_), false) => SolveStatus::Optimal,
-            (Some(_), true) => SolveStatus::Feasible,
-            (None, false) => SolveStatus::Infeasible,
-            (None, true) => SolveStatus::Unknown,
-        };
-
-        Ok(SolveResult {
-            status,
-            objective: state.incumbent_objective,
-            solution: state.incumbent,
-            stats,
-        })
-    }
-}
-
-impl<'a> SearchState<'a> {
-    /// Orientation-normalized objective value: larger is always better.
-    fn oriented(objective: &Objective, value: i128) -> i128 {
-        match objective.sense {
-            Sense::Maximize => value,
-            Sense::Minimize => -value,
-        }
+        search::run(model, &self.config, None)
     }
 
-    fn out_of_budget(&mut self) -> bool {
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
-                self.aborted = true;
-                return true;
-            }
-        }
-        if let Some(limit) = self.config.node_limit {
-            if self.nodes >= limit {
-                self.aborted = true;
-                return true;
-            }
-        }
-        false
+    /// Solves the model seeded with a warm-start hint from a prior solution.
+    ///
+    /// The hint biases value ordering (hinted values are tried first) and,
+    /// for objective-bearing models, seeds the incumbent bound when the hint
+    /// verifies feasible. It never removes alternatives, so the search stays
+    /// complete: status and objective value are the same as a cold solve,
+    /// only the path to them changes.
+    pub fn solve_with_hint(
+        &self,
+        model: &Model,
+        hint: Option<&WarmStart>,
+    ) -> Result<SolveResult, IlpError> {
+        search::run(model, &self.config, hint.filter(|h| !h.is_empty()))
     }
-
-    /// Upper bound (in oriented terms) on the objective achievable from the
-    /// current bounds; used to prune dominated subtrees.
-    fn objective_upper_bound(&self, objective: &Objective) -> i128 {
-        let oriented_constant = match objective.sense {
-            Sense::Maximize => i128::from(objective.expr.constant),
-            Sense::Minimize => -i128::from(objective.expr.constant),
-        };
-        let mut bound = oriented_constant;
-        for &(var, coeff) in &objective.expr.terms {
-            let coeff_i = i128::from(coeff);
-            let oriented_coeff = match objective.sense {
-                Sense::Maximize => coeff_i,
-                Sense::Minimize => -coeff_i,
-            };
-            let value = if oriented_coeff >= 0 {
-                i128::from(self.engine.upper(var.index()))
-            } else {
-                i128::from(self.engine.lower(var.index()))
-            };
-            bound += oriented_coeff * value;
-        }
-        bound
-    }
-
-    /// Returns true when the search in this subtree should stop entirely
-    /// (budget exhausted or a satisfying solution found for a pure
-    /// feasibility problem).
-    fn search(&mut self) -> bool {
-        self.nodes += 1;
-        if self.out_of_budget() {
-            return true;
-        }
-
-        // Prune by objective bound.
-        if let (Some(objective), Some(best)) = (self.model.objective(), self.incumbent_objective) {
-            let oriented_best = Self::oriented(objective, best);
-            if self.objective_upper_bound(objective) <= oriented_best {
-                return false;
-            }
-            if let Some(root_bound) = self.root_bound {
-                // The root LP bound is global: once the incumbent matches it
-                // the incumbent is optimal.
-                if (oriented_best as f64) >= root_bound - 1e-6 {
-                    return true;
-                }
-            }
-        }
-
-        if self.engine.all_fixed() {
-            let assignment = self.engine.assignment();
-            debug_assert_eq!(self.model.check_assignment(&assignment), Ok(()));
-            let objective_value = self
-                .model
-                .objective()
-                .map(|objective| objective.expr.evaluate(&assignment));
-            let improves = match (self.model.objective(), self.incumbent_objective) {
-                (None, _) => true,
-                (Some(_), None) => true,
-                (Some(objective), Some(best)) => {
-                    Self::oriented(objective, objective_value.expect("objective evaluated"))
-                        > Self::oriented(objective, best)
-                }
-            };
-            if improves {
-                self.incumbent = Some(assignment);
-                self.incumbent_objective = objective_value;
-            }
-            // A feasibility problem (or first-solution mode) stops at the
-            // first solution; an optimization problem keeps searching.
-            return self.model.objective().is_none() || self.config.first_solution_only;
-        }
-
-        for value_choice in self.branch_choices() {
-            self.engine.push_level();
-            let feasible =
-                self.apply_choice(&value_choice).is_ok() && self.engine.propagate().is_ok();
-            let stop = if feasible {
-                self.search()
-            } else {
-                self.conflicts += 1;
-                false
-            };
-            self.engine.pop_level();
-            if stop {
-                return true;
-            }
-            if self.out_of_budget() {
-                return true;
-            }
-        }
-        false
-    }
-
-    fn apply_choice(&mut self, choice: &BranchChoice) -> Result<(), crate::engine::Conflict> {
-        match *choice {
-            BranchChoice::Fix { var, value } => self.engine.fix(var, value),
-            BranchChoice::UpperAtMost { var, value } => self.engine.set_upper(var, value),
-            BranchChoice::LowerAtLeast { var, value } => self.engine.set_lower(var, value),
-        }
-    }
-
-    /// Decides what to branch on at this node.
-    fn branch_choices(&self) -> Vec<BranchChoice> {
-        // 1. Decision groups: find the first group not yet decided (no member
-        //    fixed to 1) and branch over its still-possible members.
-        for group in self.model.decision_groups() {
-            let decided = group.iter().any(|&var| self.engine.lower(var.index()) == 1);
-            if decided {
-                continue;
-            }
-            let free: Vec<BranchChoice> = group
-                .iter()
-                .filter(|&&var| self.engine.upper(var.index()) == 1)
-                .map(|&var| BranchChoice::Fix {
-                    var: var.index(),
-                    value: 1,
-                })
-                .collect();
-            if !free.is_empty() {
-                return free;
-            }
-            // All members are forced to 0: the group's exactly-one constraint
-            // will conflict during propagation of the child; branch on the
-            // first member to surface the conflict.
-            return vec![BranchChoice::Fix {
-                var: group[0].index(),
-                value: 0,
-            }];
-        }
-
-        // 2. Fallback: branch on the first unfixed variable.
-        for var in 0..self.engine.num_vars() {
-            if !self.engine.is_fixed(var) {
-                let lower = self.engine.lower(var);
-                let upper = self.engine.upper(var);
-                if upper - lower == 1 {
-                    return vec![
-                        BranchChoice::Fix { var, value: upper },
-                        BranchChoice::Fix { var, value: lower },
-                    ];
-                }
-                let mid = lower + (upper - lower) / 2;
-                return vec![
-                    BranchChoice::UpperAtMost { var, value: mid },
-                    BranchChoice::LowerAtLeast {
-                        var,
-                        value: mid + 1,
-                    },
-                ];
-            }
-        }
-        Vec::new()
-    }
-}
-
-/// A single branching decision.
-enum BranchChoice {
-    Fix { var: usize, value: i64 },
-    UpperAtMost { var: usize, value: i64 },
-    LowerAtLeast { var: usize, value: i64 },
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Cmp, LinExpr, Model, Sense};
+    use crate::model::{Cmp, LinExpr, Model, Sense, VarId};
+    use crate::solution::SolveStatus;
 
     #[test]
     fn solves_a_small_assignment_feasibility_problem() {
@@ -380,10 +159,9 @@ mod tests {
         assert!(result.solution.is_none());
     }
 
-    #[test]
-    fn maximizes_a_knapsack() {
+    fn knapsack() -> Model {
         // Classic 0/1 knapsack: weights 2,3,4,5 values 3,4,5,6, capacity 5.
-        // Optimum is items {2,3} (weights 2+3) with value 7.
+        // Optimum is items {0,1} (weights 2+3) with value 7.
         let mut model = Model::new();
         let weights = [2i64, 3, 4, 5];
         let values = [3i64, 4, 5, 6];
@@ -396,12 +174,51 @@ mod tests {
         }
         model.add_constraint("capacity", weight_expr, Cmp::Le, 5);
         model.set_objective(Sense::Maximize, value_expr);
+        model
+    }
+
+    #[test]
+    fn maximizes_a_knapsack() {
+        let model = knapsack();
         let result = Solver::new().solve(&model).unwrap();
         assert_eq!(result.status, SolveStatus::Optimal);
         assert_eq!(result.objective, Some(7));
         let solution = result.solution.unwrap();
         assert_eq!(solution[0], 1);
         assert_eq!(solution[1], 1);
+    }
+
+    #[test]
+    fn every_brancher_reaches_the_knapsack_optimum() {
+        let model = knapsack();
+        for kind in [
+            BrancherKind::InputOrder,
+            BrancherKind::FirstFail,
+            BrancherKind::Activity,
+        ] {
+            let config = SolverConfig {
+                brancher: kind,
+                use_lp_root_bound: false,
+                ..SolverConfig::default()
+            };
+            let result = Solver::with_config(config).solve(&model).unwrap();
+            assert_eq!(result.status, SolveStatus::Optimal, "{}", kind.name());
+            assert_eq!(result.objective, Some(7), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn restarts_preserve_the_optimum() {
+        let model = knapsack();
+        let config = SolverConfig {
+            restart_conflict_base: Some(1),
+            use_lp_root_bound: false,
+            brancher: BrancherKind::Activity,
+            ..SolverConfig::default()
+        };
+        let result = Solver::with_config(config).solve(&model).unwrap();
+        assert_eq!(result.status, SolveStatus::Optimal);
+        assert_eq!(result.objective, Some(7));
     }
 
     #[test]
@@ -465,5 +282,77 @@ mod tests {
         let result = Solver::new().solve(&model).unwrap();
         assert_eq!(result.status, SolveStatus::Optimal);
         assert_eq!(result.solution.unwrap().len(), 0);
+    }
+
+    #[test]
+    fn exact_hint_is_followed_without_conflicts() {
+        let model = knapsack();
+        let config = SolverConfig {
+            use_lp_root_bound: false,
+            ..SolverConfig::default()
+        };
+        let hint = WarmStart::from_values(vec![
+            (VarId(0), 1),
+            (VarId(1), 1),
+            (VarId(2), 0),
+            (VarId(3), 0),
+        ]);
+        let result = Solver::with_config(config)
+            .solve_with_hint(&model, Some(&hint))
+            .unwrap();
+        assert_eq!(result.status, SolveStatus::Optimal);
+        assert_eq!(result.objective, Some(7));
+        assert_eq!(result.stats.hint_vars, 4);
+        assert_eq!(result.stats.hint_mismatches, 0);
+    }
+
+    #[test]
+    fn stale_hint_is_repaired_to_the_same_optimum() {
+        let model = knapsack();
+        let config = SolverConfig {
+            use_lp_root_bound: false,
+            ..SolverConfig::default()
+        };
+        // Item 3 alone (value 6) is feasible but suboptimal, and hinting
+        // items 2+3 (weight 9) is outright infeasible: the search must
+        // repair the hint and still prove value 7 optimal.
+        let hint = WarmStart::from_values(vec![(VarId(2), 1), (VarId(3), 1)]);
+        let result = Solver::with_config(config)
+            .solve_with_hint(&model, Some(&hint))
+            .unwrap();
+        assert_eq!(result.status, SolveStatus::Optimal);
+        assert_eq!(result.objective, Some(7));
+        assert_eq!(result.stats.hint_vars, 2);
+        assert!(result.stats.hint_mismatches > 0);
+    }
+
+    #[test]
+    fn hint_with_out_of_range_variables_is_tolerated() {
+        let model = knapsack();
+        let hint = WarmStart::from_values(vec![(VarId(0), 1), (VarId(99), 1)]);
+        let result = Solver::new().solve_with_hint(&model, Some(&hint)).unwrap();
+        assert_eq!(result.objective, Some(7));
+        assert_eq!(result.stats.hint_vars, 1);
+    }
+
+    #[test]
+    fn stop_flag_aborts_the_solve() {
+        let mut model = Model::new();
+        let vars: Vec<_> = (0..12).map(|i| model.add_binary(format!("x{i}"))).collect();
+        let mut expr = LinExpr::new();
+        for &v in &vars {
+            expr.add_term(1, v);
+        }
+        model.add_constraint("half", expr.clone(), Cmp::Ge, 6);
+        model.set_objective(Sense::Maximize, expr);
+        let stop = Arc::new(AtomicBool::new(true));
+        let config = SolverConfig {
+            stop: Some(stop),
+            use_lp_root_bound: false,
+            ..SolverConfig::default()
+        };
+        let result = Solver::with_config(config).solve(&model).unwrap();
+        // Pre-set flag: aborted at the first node without a conclusion.
+        assert_eq!(result.status, SolveStatus::Unknown);
     }
 }

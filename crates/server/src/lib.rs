@@ -115,6 +115,7 @@
 pub mod cache;
 pub mod client;
 pub mod flight;
+pub mod hints;
 pub mod json;
 pub mod poller;
 pub mod pool;
@@ -131,6 +132,7 @@ pub mod prelude {
     };
     pub use crate::client::{Client, ClientError, ClientOptions, FramingMode, Response};
     pub use crate::flight::{BoardJoin, FlightBoard, FlightStats};
+    pub use crate::hints::{HintIndex, SolveTelemetry, SolvedHint, SolverMode};
     pub use crate::json::Json;
     pub use crate::poller::{Event, Interest, Poller, PollerKind, PollerStats, Waker};
     pub use crate::pool::WorkerPool;
@@ -142,7 +144,8 @@ pub mod prelude {
     pub use crate::router::{Router, RouterOptions};
     pub use crate::server::start as start_server;
     pub use crate::server::{
-        self, serve, shard_segment_path, ServerConfig, ServerHandle, ShardStatus, StatusSnapshot,
+        self, serve, shard_segment_path, ServerConfig, ServerHandle, ShardStatus, SolverStats,
+        StatusSnapshot,
     };
     pub use crate::tenant::{TenantCounters, TenantQos, TenantRegistry, TenantSpecSet};
 }

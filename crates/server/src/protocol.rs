@@ -55,7 +55,7 @@ use std::fmt;
 use std::time::Duration;
 
 use strudel_core::engine::{
-    GreedyEngine, HybridEngine, IlpEngine, IlpEngineConfig, RefinementEngine,
+    GreedyConfig, GreedyEngine, HybridEngine, IlpEngine, IlpEngineConfig, RefinementEngine,
 };
 use strudel_core::sigma::{parse_spec, SigmaSpec};
 use strudel_core::wire::{
@@ -176,19 +176,35 @@ impl EngineKind {
     }
 
     /// Builds a fresh engine instance. Engines are cheap stateless structs;
-    /// the server constructs one per job inside the worker thread.
+    /// the server constructs one per job inside the worker thread. The time
+    /// limit reaches *every* family: the ILP engine's branch & bound budget,
+    /// the greedy engine's construction/improvement deadline, and the hybrid
+    /// engine's shared two-phase budget (it used to stop at the ILP config,
+    /// so `serve --time-limit` silently ignored greedy-side work).
     pub fn build(self, time_limit: Option<Duration>) -> Box<dyn RefinementEngine> {
         let ilp_config = IlpEngineConfig {
             time_limit,
             ..IlpEngineConfig::default()
         };
         match self {
-            EngineKind::Hybrid => Box::new(HybridEngine::with_engines(
-                GreedyEngine::new(),
-                IlpEngine::with_config(ilp_config),
-            )),
+            EngineKind::Hybrid => {
+                let hybrid = HybridEngine::with_engines(
+                    GreedyEngine::new(),
+                    IlpEngine::with_config(ilp_config),
+                );
+                match time_limit {
+                    Some(limit) => Box::new(hybrid.with_time_limit(limit)),
+                    None => Box::new(hybrid),
+                }
+            }
             EngineKind::Ilp => Box::new(IlpEngine::with_config(ilp_config)),
-            EngineKind::Greedy => Box::new(GreedyEngine::new()),
+            EngineKind::Greedy => {
+                let config = GreedyConfig {
+                    time_limit,
+                    ..GreedyConfig::default()
+                };
+                Box::new(GreedyEngine::with_config(config))
+            }
         }
     }
 }

@@ -61,8 +61,16 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use strudel_core::prelude::{highest_theta, lowest_k, HighestThetaOptions, SweepDirection};
+use strudel_core::engine::{
+    hint_from_refinement, BrancherKind, GreedyConfig, GreedyEngine, IlpEngine, IlpEngineConfig,
+    PortfolioArm, PortfolioEngine, RefineOutcome, RefinementHint, SolveStats,
+};
+use strudel_core::prelude::{
+    highest_theta, lowest_k, HighestThetaOptions, RefinementEngine, SweepDirection,
+};
 use strudel_core::wire::{WireHighestTheta, WireLowestK, WireOutcome};
+
+use crate::hints::{view_identities, HintIndex, SolveTelemetry, SolvedHint, SolverMode};
 
 use crate::cache::{
     CacheStats, FsyncPolicy, LruCache, OwnerCacheStats, PersistStats, SegmentStore,
@@ -126,6 +134,16 @@ pub struct ServerConfig {
     /// [`TenantSpecSet::parse`]). `None` runs a single unlimited
     /// `default` tenant — exactly the pre-tenancy behavior.
     pub tenants: Option<TenantSpecSet>,
+    /// Miss-path solver strategy (`serve --solver`). The default honors
+    /// each request's `engine` field; `ilp` and `portfolio` additionally
+    /// warm-start solves from the nearest cached neighbor (see
+    /// [`SolverMode`] and [`crate::hints`]).
+    pub solver: SolverMode,
+    /// Luby restart base in conflicts for the ILP solver core
+    /// (`serve --solver-restarts`); `None` disables restarts. Enabling
+    /// restarts also switches branching to the activity heuristic —
+    /// restarting an input-order search would replay the identical tree.
+    pub solver_restarts: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +160,8 @@ impl Default for ServerConfig {
             auto_promote: None,
             poller: None,
             tenants: None,
+            solver: SolverMode::default(),
+            solver_restarts: None,
         }
     }
 }
@@ -201,6 +221,10 @@ struct Shared {
     /// `WorkerPool::drop`, which joins that very thread (a self-join that
     /// never returns).
     completions: Arc<Mutex<Vec<Completion>>>,
+    /// Miss-path solver strategy (`--solver`).
+    solver: SolverMode,
+    /// Luby restart base for the ILP solver core (`--solver-restarts`).
+    solver_restarts: Option<u64>,
 }
 
 /// One finished solve: the flight key, the tenant that led it (the key
@@ -211,6 +235,8 @@ struct Completion {
     key: CacheKey,
     tenant: String,
     outcome: Result<String, String>,
+    /// Solver-core counters and the exported solution for the hint index.
+    telemetry: SolveTelemetry,
 }
 
 /// Per-operation request counters and gauges.
@@ -248,6 +274,26 @@ struct Metrics {
     bin_negotiated: AtomicU64,
     /// Gauge: open connections currently speaking `bin1`.
     bin_connections: AtomicU64,
+    /// Pool solves dispatched without a warm-start seed.
+    solver_cold: AtomicU64,
+    /// Pool solves seeded from a cached neighbor's solution.
+    solver_warm: AtomicU64,
+    /// Warm solves whose hint was stale and repaired by propagation.
+    solver_repaired: AtomicU64,
+    /// Neighbor-index consultations on the miss path.
+    solver_seed_lookups: AtomicU64,
+    /// Consultations that found a close-enough neighbor.
+    solver_seed_hits: AtomicU64,
+    /// Branch-and-bound nodes explored across all solves.
+    solver_nodes: AtomicU64,
+    /// Solver restarts across all solves.
+    solver_restarts: AtomicU64,
+    /// Portfolio races won by the greedy arm.
+    portfolio_greedy: AtomicU64,
+    /// Portfolio races won by the warm ILP arm.
+    portfolio_warm: AtomicU64,
+    /// Portfolio races won by the cold ILP arm.
+    portfolio_cold: AtomicU64,
 }
 
 impl Metrics {
@@ -296,6 +342,36 @@ pub struct WireStats {
     pub connections_bin: u64,
     /// Open connections on the default line-JSON framing.
     pub connections_json: u64,
+}
+
+/// Solver-core block of the `status` payload: how the miss path computed,
+/// how often warm starts landed, and how the portfolio races resolved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Active solver mode name (`request`, `portfolio`, `ilp`, `greedy`).
+    pub mode: &'static str,
+    /// Luby restart base in conflicts; 0 when restarts are disabled.
+    pub restart_base: u64,
+    /// Solves dispatched without a warm-start seed.
+    pub cold_solves: u64,
+    /// Solves seeded from a cached neighbor's solution.
+    pub warm_solves: u64,
+    /// Warm solves whose stale hint was repaired on the way to a solution.
+    pub repaired_hints: u64,
+    /// Neighbor-index consultations on the miss path.
+    pub seed_lookups: u64,
+    /// Consultations that produced a usable seed.
+    pub seed_hits: u64,
+    /// Branch-and-bound nodes explored across all solves.
+    pub nodes: u64,
+    /// Solver restarts across all solves.
+    pub restarts: u64,
+    /// Portfolio races won by the greedy arm.
+    pub portfolio_greedy: u64,
+    /// Portfolio races won by the warm ILP arm.
+    pub portfolio_warm: u64,
+    /// Portfolio races won by the cold ILP arm.
+    pub portfolio_cold: u64,
 }
 
 /// A point-in-time view of the server's counters (the `status` payload).
@@ -349,6 +425,8 @@ pub struct StatusSnapshot {
     pub tenant_cache: Vec<OwnerCacheStats>,
     /// Wire-level traffic counters and the per-connection framing roll-up.
     pub wire: WireStats,
+    /// Solver-core counters: warm starts, repairs, nodes, portfolio wins.
+    pub solver: SolverStats,
 }
 
 impl StatusSnapshot {
@@ -446,6 +524,41 @@ impl StatusSnapshot {
             ("spurious", Json::Int(self.poller.spurious as i64)),
             ("registered", Json::Int(self.poller.registered as i64)),
         ]);
+        let solver = {
+            // Same fixed-point convention as the cache hit rate: the wire
+            // JSON is integer-only, so the derived rate is a string.
+            let seed_hit_rate = if self.solver.seed_lookups == 0 {
+                "0.0000".to_owned()
+            } else {
+                format!(
+                    "{:.4}",
+                    self.solver.seed_hits as f64 / self.solver.seed_lookups as f64
+                )
+            };
+            Json::obj(vec![
+                ("mode", Json::str(self.solver.mode)),
+                ("restart_base", Json::Int(self.solver.restart_base as i64)),
+                ("cold_solves", Json::Int(self.solver.cold_solves as i64)),
+                ("warm_solves", Json::Int(self.solver.warm_solves as i64)),
+                ("seed_lookups", Json::Int(self.solver.seed_lookups as i64)),
+                ("seed_hits", Json::Int(self.solver.seed_hits as i64)),
+                ("seed_hit_rate", Json::str(seed_hit_rate)),
+                (
+                    "repaired_hints",
+                    Json::Int(self.solver.repaired_hints as i64),
+                ),
+                ("nodes", Json::Int(self.solver.nodes as i64)),
+                ("restarts", Json::Int(self.solver.restarts as i64)),
+                (
+                    "portfolio",
+                    Json::obj(vec![
+                        ("greedy", Json::Int(self.solver.portfolio_greedy as i64)),
+                        ("ilp_warm", Json::Int(self.solver.portfolio_warm as i64)),
+                        ("ilp_cold", Json::Int(self.solver.portfolio_cold as i64)),
+                    ]),
+                ),
+            ])
+        };
         let wire = Json::obj(vec![
             ("frames_in", Json::Int(self.wire.frames_in as i64)),
             ("frames_out", Json::Int(self.wire.frames_out as i64)),
@@ -503,6 +616,7 @@ impl StatusSnapshot {
                     ("aborted", Json::Int(self.flight.aborted as i64)),
                 ]),
             ),
+            ("solver", solver),
             ("persist", persist),
             ("tenants", tenants),
         ])
@@ -618,6 +732,8 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         poller_counters,
         poller_backend: poller_kind.name(),
         completions: Arc::new(Mutex::new(Vec::new())),
+        solver: config.solver,
+        solver_restarts: config.solver_restarts,
     });
 
     let loop_shared = Arc::clone(&shared);
@@ -823,6 +939,20 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
         tenants: shared.tenants.snapshot(),
         tenant_cache,
         wire,
+        solver: SolverStats {
+            mode: shared.solver.name(),
+            restart_base: shared.solver_restarts.unwrap_or(0),
+            cold_solves: metrics.solver_cold.load(Ordering::Relaxed),
+            warm_solves: metrics.solver_warm.load(Ordering::Relaxed),
+            repaired_hints: metrics.solver_repaired.load(Ordering::Relaxed),
+            seed_lookups: metrics.solver_seed_lookups.load(Ordering::Relaxed),
+            seed_hits: metrics.solver_seed_hits.load(Ordering::Relaxed),
+            nodes: metrics.solver_nodes.load(Ordering::Relaxed),
+            restarts: metrics.solver_restarts.load(Ordering::Relaxed),
+            portfolio_greedy: metrics.portfolio_greedy.load(Ordering::Relaxed),
+            portfolio_warm: metrics.portfolio_warm.load(Ordering::Relaxed),
+            portfolio_cold: metrics.portfolio_cold.load(Ordering::Relaxed),
+        },
     }
 }
 
@@ -1201,6 +1331,10 @@ struct EventLoop {
     /// re-evaluation, so a round's cost tracks the work it did, not the
     /// number of open connections.
     touched: Vec<u64>,
+    /// Recently solved `refine` instances, consulted on the miss path for
+    /// warm-start neighbors (see [`crate::hints`]). Owned by the loop
+    /// thread, so no lock: workers only carry hints, never the index.
+    hints: HintIndex,
 }
 
 impl EventLoop {
@@ -1222,6 +1356,7 @@ impl EventLoop {
             poller,
             events: Vec::new(),
             touched: Vec::new(),
+            hints: HintIndex::new(),
         }
     }
 
@@ -2083,6 +2218,25 @@ impl EventLoop {
                         metrics.flight_leaders.fetch_add(1, Ordering::Relaxed);
                         self.shared.tenants.begin_solve(&tenant);
                         self.pending_jobs += 1;
+                        // Warm-start lookup: under a hint-consuming solver
+                        // mode, a `refine` miss first asks the neighbor
+                        // index for the nearest solved instance of the
+                        // same question (params string, tenant included)
+                        // over an almost-identical signature set. The hint
+                        // travels into the worker; the index stays here.
+                        let mode = self.shared.solver;
+                        let restart_base = self.shared.solver_restarts;
+                        let hint = if solve.op == SolveOp::Refine && mode.wants_hints() {
+                            metrics.solver_seed_lookups.fetch_add(1, Ordering::Relaxed);
+                            let identities = view_identities(&solve.view);
+                            let hint = self.hints.lookup(&key.params, &identities);
+                            if hint.is_some() {
+                                metrics.solver_seed_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            hint
+                        } else {
+                            None
+                        };
                         // Capture only the completion queue and the
                         // poller's waker (see the field doc on
                         // `Shared::completions`), never `Shared`.
@@ -2091,11 +2245,16 @@ impl EventLoop {
                         self.shared.pool.submit(move || {
                             // A panicking solve must complete its flight
                             // regardless — followers are parked on it.
-                            let outcome =
+                            let (outcome, telemetry) =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    solve_job(&solve)
+                                    solve_job(&solve, mode, restart_base, hint)
                                 }))
-                                .unwrap_or_else(|_| Err("solve panicked in the worker".to_owned()));
+                                .unwrap_or_else(|_| {
+                                    (
+                                        Err("solve panicked in the worker".to_owned()),
+                                        SolveTelemetry::default(),
+                                    )
+                                });
                             completions
                                 .lock()
                                 .expect("completions lock")
@@ -2103,6 +2262,7 @@ impl EventLoop {
                                     key,
                                     tenant,
                                     outcome,
+                                    telemetry,
                                 });
                             waker.wake();
                         });
@@ -2129,6 +2289,7 @@ impl EventLoop {
             self.pending_jobs -= 1;
             self.shared.tenants.end_solve(&completion.tenant);
             let tokens = self.board.complete(&completion.key);
+            self.account_solver(&completion);
             match completion.outcome {
                 Ok(text) => {
                     let text = Arc::new(text);
@@ -2181,6 +2342,46 @@ impl EventLoop {
             }
         }
         true
+    }
+
+    /// Rolls one completion's solver telemetry into the metrics and, on a
+    /// successful `refine`, remembers the solution in the neighbor index
+    /// so the *next* close-by instance starts warm.
+    fn account_solver(&mut self, completion: &Completion) {
+        let metrics = &self.shared.metrics;
+        let telemetry = &completion.telemetry;
+        if telemetry.warm {
+            metrics.solver_warm.fetch_add(1, Ordering::Relaxed);
+        } else {
+            metrics.solver_cold.fetch_add(1, Ordering::Relaxed);
+        }
+        if telemetry.repaired {
+            metrics.solver_repaired.fetch_add(1, Ordering::Relaxed);
+        }
+        metrics
+            .solver_nodes
+            .fetch_add(telemetry.nodes, Ordering::Relaxed);
+        metrics
+            .solver_restarts
+            .fetch_add(telemetry.restarts, Ordering::Relaxed);
+        match telemetry.winner {
+            Some("greedy") => {
+                metrics.portfolio_greedy.fetch_add(1, Ordering::Relaxed);
+            }
+            Some("ilp-warm") => {
+                metrics.portfolio_warm.fetch_add(1, Ordering::Relaxed);
+            }
+            Some("ilp-cold") => {
+                metrics.portfolio_cold.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if completion.outcome.is_ok() {
+            if let Some(solved) = &telemetry.solved {
+                self.hints
+                    .remember(&completion.key.params, completion.key.view, solved.clone());
+            }
+        }
     }
 
     /// Write-through: append the put (plus any eviction tombstone) to the
@@ -2439,19 +2640,132 @@ fn assemble_batch(items: Vec<Option<Msg>>) -> Msg {
     msg
 }
 
+/// The ILP configuration of the solver core: the request's budget, the
+/// configured restart schedule, and — because restarting an input-order
+/// search would replay the identical tree — activity branching whenever
+/// restarts are on.
+fn solver_ilp_config(time_limit: Option<Duration>, restart_base: Option<u64>) -> IlpEngineConfig {
+    IlpEngineConfig {
+        time_limit,
+        restart_conflict_base: restart_base,
+        brancher: if restart_base.is_some() {
+            BrancherKind::Activity
+        } else {
+            BrancherKind::default()
+        },
+        ..IlpEngineConfig::default()
+    }
+}
+
 /// Runs one solve on the worker thread. Returns the canonical serialization
-/// of the result object, or an error message.
-fn solve_job(request: &SolveRequest) -> Result<String, String> {
-    let engine = request.engine.build(request.time_limit);
-    let result = match request.op {
-        SolveOp::Refine => {
-            let k = request.k.expect("validated at decode");
-            let theta = request.theta.expect("validated at decode");
-            let outcome = engine
-                .refine(&request.view, &request.spec, k, theta)
-                .map_err(|err| err.to_string())?;
-            protocol::outcome_to_json(&WireOutcome::from_outcome(&outcome))
+/// of the result object (or an error message) plus the solver telemetry the
+/// event loop rolls into its counters and neighbor index.
+fn solve_job(
+    request: &SolveRequest,
+    mode: SolverMode,
+    restart_base: Option<u64>,
+    hint: Option<RefinementHint>,
+) -> (Result<String, String>, SolveTelemetry) {
+    let mut telemetry = SolveTelemetry::default();
+    let outcome = solve_job_inner(request, mode, restart_base, hint, &mut telemetry);
+    (outcome, telemetry)
+}
+
+fn solve_job_inner(
+    request: &SolveRequest,
+    mode: SolverMode,
+    restart_base: Option<u64>,
+    hint: Option<RefinementHint>,
+    telemetry: &mut SolveTelemetry,
+) -> Result<String, String> {
+    // `refine` is the solver core's op: it can warm-start, race the
+    // portfolio, and export its solution for future neighbors. The sweep
+    // ops below only pick their engine per mode.
+    if request.op == SolveOp::Refine {
+        let k = request.k.expect("validated at decode");
+        let theta = request.theta.expect("validated at decode");
+        let (outcome, stats): (RefineOutcome, Option<SolveStats>) = match mode {
+            SolverMode::Request => {
+                let engine = request.engine.build(request.time_limit);
+                let outcome = engine
+                    .refine(&request.view, &request.spec, k, theta)
+                    .map_err(|err| err.to_string())?;
+                (outcome, None)
+            }
+            SolverMode::Greedy => {
+                let engine = GreedyEngine::with_config(GreedyConfig {
+                    time_limit: request.time_limit,
+                    ..GreedyConfig::default()
+                });
+                let outcome = engine
+                    .refine(&request.view, &request.spec, k, theta)
+                    .map_err(|err| err.to_string())?;
+                (outcome, None)
+            }
+            SolverMode::Ilp => {
+                let engine =
+                    IlpEngine::with_config(solver_ilp_config(request.time_limit, restart_base));
+                let (outcome, stats) = engine
+                    .refine_with_hint(&request.view, &request.spec, k, theta, hint.as_ref())
+                    .map_err(|err| err.to_string())?;
+                (outcome, Some(stats))
+            }
+            SolverMode::Portfolio => {
+                let mut portfolio = PortfolioEngine::with_engines(
+                    GreedyEngine::new(),
+                    IlpEngine::with_config(solver_ilp_config(None, restart_base)),
+                );
+                if let Some(limit) = request.time_limit {
+                    portfolio = portfolio.with_time_limit(limit);
+                }
+                let raced = portfolio
+                    .refine_raced(&request.view, &request.spec, k, theta, hint.as_ref())
+                    .map_err(|err| err.to_string())?;
+                telemetry.winner = raced.winner.map(PortfolioArm::name);
+                (raced.outcome, raced.stats)
+            }
+        };
+        if let Some(stats) = stats {
+            telemetry.warm = stats.hint_vars > 0;
+            telemetry.nodes = stats.nodes;
+            telemetry.restarts = stats.restarts;
+            telemetry.repaired =
+                telemetry.warm && stats.hint_mismatches > 0 && outcome.refinement().is_some();
         }
+        if mode.wants_hints() {
+            if let Some(refinement) = outcome.refinement() {
+                telemetry.solved = Some(SolvedHint {
+                    identities: view_identities(&request.view),
+                    assignments: hint_from_refinement(&request.view, refinement).assignments,
+                });
+            }
+        }
+        return Ok(protocol::outcome_to_json(&WireOutcome::from_outcome(&outcome)).to_text());
+    }
+
+    let engine: Box<dyn RefinementEngine> = match mode {
+        SolverMode::Request => request.engine.build(request.time_limit),
+        SolverMode::Greedy => Box::new(GreedyEngine::with_config(GreedyConfig {
+            time_limit: request.time_limit,
+            ..GreedyConfig::default()
+        })),
+        SolverMode::Ilp => Box::new(IlpEngine::with_config(solver_ilp_config(
+            request.time_limit,
+            restart_base,
+        ))),
+        SolverMode::Portfolio => {
+            let portfolio = PortfolioEngine::with_engines(
+                GreedyEngine::new(),
+                IlpEngine::with_config(solver_ilp_config(None, restart_base)),
+            );
+            Box::new(match request.time_limit {
+                Some(limit) => portfolio.with_time_limit(limit),
+                None => portfolio,
+            })
+        }
+    };
+    let result = match request.op {
+        SolveOp::Refine => unreachable!("handled above"),
         SolveOp::HighestTheta => {
             let k = request.k.expect("validated at decode");
             let mut options = HighestThetaOptions::default();

@@ -670,3 +670,72 @@ fn shutdown_stops_accepting_new_connections() {
     }
     assert!(refused, "the server must stop serving after shutdown");
 }
+
+/// The solver core's serving-stack seam: under `--solver ilp` the first
+/// `refine` of a family solves cold and registers its solution in the
+/// neighbor index; an S+1 variant of the same question then solves warm,
+/// and the `status` solver block accounts both.
+#[test]
+fn a_neighboring_instance_solves_warm_under_the_ilp_solver_mode() {
+    let handle = server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_capacity: 64,
+        solver: SolverMode::Ilp,
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral port");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let properties: Vec<String> = (0..4).map(|i| format!("http://ex/p{i}")).collect();
+    let base: Vec<(Vec<usize>, usize)> = vec![
+        (vec![0], 40),
+        (vec![0, 1], 25),
+        (vec![0, 1, 2], 10),
+        (vec![0, 1, 2, 3], 5),
+        (vec![0, 2, 3], 2),
+    ];
+    let mut neighbor = base.clone();
+    neighbor.push((vec![1, 2], 3)); // S+1: one extra signature
+    let request = |signatures: Vec<(Vec<usize>, usize)>| SolveRequest {
+        op: SolveOp::Refine,
+        view: SignatureView::from_counts(properties.clone(), signatures).expect("valid view"),
+        spec: SigmaSpec::Coverage,
+        engine: EngineKind::Ilp,
+        k: Some(2),
+        theta: Some(Ratio::new(1, 2)),
+        step: None,
+        max_k: None,
+        time_limit: None,
+        routing: None,
+        tenant: None,
+    };
+
+    let cold = client.solve(&request(base)).expect("cold solve");
+    assert_eq!(cold.source(), Some(Source::Solved));
+    let warm = client.solve(&request(neighbor)).expect("warm solve");
+    assert_eq!(warm.source(), Some(Source::Solved));
+
+    let status = client.status().expect("status");
+    let result = status.result().expect("status result").clone();
+    let solver = result.get("solver").expect("solver block").clone();
+    let int = |field: &str| {
+        solver
+            .get(field)
+            .and_then(Json::as_int)
+            .unwrap_or_else(|| panic!("solver block lacks {field}: {solver:?}"))
+    };
+    assert_eq!(
+        solver.get("mode").and_then(Json::as_str),
+        Some("ilp"),
+        "mode: {solver:?}"
+    );
+    assert_eq!(int("cold_solves"), 1);
+    assert_eq!(int("warm_solves"), 1, "the S+1 variant must seed warm");
+    assert_eq!(int("seed_lookups"), 2);
+    assert_eq!(int("seed_hits"), 1);
+    assert!(int("nodes") >= 2, "both exact solves explore nodes");
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
