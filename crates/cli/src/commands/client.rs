@@ -1,5 +1,6 @@
 //! `strudel client` — query a running refinement service.
 
+use strudel_core::metrics::HistogramSnapshot;
 use strudel_core::prelude::format_sigma;
 use strudel_core::sigma::SigmaSpec;
 use strudel_core::wire::WireRefinement;
@@ -9,6 +10,7 @@ use strudel_server::prelude::{
     RouterOptions, SolveOp, SolveRequest, Source,
 };
 use strudel_server::protocol::refinement_from_json;
+use strudel_server::trace::histogram_from_json;
 
 use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
@@ -31,18 +33,18 @@ pub const SPEC: ArgSpec = ArgSpec {
         "tenant",
         "framing",
     ],
-    flags: &["raw"],
+    flags: &["raw", "slow"],
     min_positional: 1,
     max_positional: 2,
 };
 
 /// Usage text of `client`.
 pub const USAGE: &str =
-    "strudel client <refine|highest-theta|lowest-k|batch|status|shutdown> [FILE]
+    "strudel client <refine|highest-theta|lowest-k|batch|status|trace|shutdown> [FILE]
                [--addr HOST:PORT | --cluster HOST:PORT,HOST:PORT,…] [--sort IRI]
                [--rule SPEC] [--engine hybrid|ilp|greedy] [--k N] [--theta X]
                [--step X] [--max-k N] [--time-limit SECS] [--tenant NAME]
-               [--framing bin|json|auto] [--raw]
+               [--framing bin|json|auto] [--raw] [--slow]
   Sends one request to a running 'strudel serve' (default --addr 127.0.0.1:7464).
   Solve operations load FILE, build its signature view locally, and ship the view;
   repeated identical requests are answered from the server's cache. 'batch' reads
@@ -65,7 +67,14 @@ pub const USAGE: &str =
   line-delimited default, 'bin' negotiates the length-prefixed bin1 framing
   (failing if the server refuses), and 'auto' tries bin1 but falls back to
   json. Responses are byte-identical either way; unset defers to the
-  STRUDEL_FRAMING environment variable.";
+  STRUDEL_FRAMING environment variable. 'trace' dumps the server's flight
+  recorder — the per-request lifecycle spans 'serve --trace-sample' /
+  '--trace-slow-ms' record — as one JSON object per line: --slow keeps only
+  spans the slow-request log promoted, and --tenant filters to one tenant's
+  spans. When tracing is on, 'status' renders the observe block: per-stage
+  latency histograms (decode, admission, cache, solve, flush, total) and
+  the recorder's depth/dropped gauges; the cluster status table adds a
+  per-shard and merged total-latency p99 column.";
 
 /// Runs the command.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -90,6 +99,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "status" => client.status().map_err(client_error)?,
         "shutdown" => client.shutdown().map_err(client_error)?,
         "batch" => return run_batch(&mut client, &parsed),
+        "trace" => {
+            let response = client
+                .trace(parsed.has_flag("slow"), parsed.option("tenant"))
+                .map_err(client_error)?;
+            if parsed.has_flag("raw") {
+                return Ok(response.raw.clone());
+            }
+            return render_trace(&response);
+        }
         "refine" | "highest-theta" | "lowest-k" => {
             let op = match op_text {
                 "refine" => SolveOp::Refine,
@@ -102,7 +120,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         other => {
             return Err(CliError::Usage(format!(
                 "unknown client operation '{other}'; expected refine, highest-theta, \
-                 lowest-k, batch, status, or shutdown"
+                 lowest-k, batch, status, trace, or shutdown"
             )))
         }
     };
@@ -139,6 +157,24 @@ fn run_cluster(
     let mut router = Router::connect_with(&addrs, options).map_err(client_error)?;
     match op_text {
         "status" => render_cluster_status(&mut router, parsed.has_flag("raw")),
+        "trace" => {
+            let outcomes = router.trace_all(parsed.has_flag("slow"), parsed.option("tenant"));
+            let mut out = String::new();
+            for (idx, outcome) in outcomes.iter().enumerate() {
+                match outcome {
+                    Err(err) => out.push_str(&format!("shard {idx}: unreachable: {err}\n")),
+                    Ok(response) if parsed.has_flag("raw") => {
+                        out.push_str(&response.raw);
+                        out.push('\n');
+                    }
+                    Ok(response) => {
+                        out.push_str(&format!("shard {idx}:\n"));
+                        out.push_str(&render_trace(response)?);
+                    }
+                }
+            }
+            Ok(out)
+        }
         "shutdown" => {
             router.shutdown_all().map_err(client_error)?;
             Ok(format!("{} shard(s) are stopping\n", router.shard_count()))
@@ -166,9 +202,31 @@ fn run_cluster(
         }
         other => Err(CliError::Usage(format!(
             "unknown client operation '{other}'; expected refine, highest-theta, \
-             lowest-k, batch, status, or shutdown"
+             lowest-k, batch, status, trace, or shutdown"
         ))),
     }
+}
+
+/// `client trace`: the recorder gauges plus one JSON object per span.
+fn render_trace(response: &Response) -> Result<String, CliError> {
+    let Some(result) = response.result() else {
+        return Err(CliError::Usage("malformed trace response".to_owned()));
+    };
+    let depth = result.get("depth").and_then(Json::as_int).unwrap_or(0);
+    let dropped = result.get("dropped").and_then(Json::as_int).unwrap_or(0);
+    let spans: &[Json] = match result.get("spans") {
+        Some(Json::Arr(spans)) => spans,
+        _ => &[],
+    };
+    let mut out = format!(
+        "trace: {} span(s), recorder depth {depth}, dropped {dropped}\n",
+        spans.len()
+    );
+    for span in spans {
+        out.push_str(&span.to_string());
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// `client status --cluster …`: one row per shard plus aggregate totals.
@@ -186,18 +244,8 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         }
         return Ok(out);
     }
-    let int = |result: &Json, path: &[&str]| -> i64 {
-        let mut value = result;
-        for key in path {
-            match value.get(key) {
-                Some(inner) => value = inner,
-                None => return 0,
-            }
-        }
-        value.as_int().unwrap_or(0)
-    };
     let mut out = format!(
-        "{:<5} {:<21} {:<8} {:<7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11} {:>6}\n",
+        "{:<5} {:<21} {:<8} {:<7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11} {:>6} {:>8}\n",
         "shard",
         "addr",
         "role",
@@ -209,64 +257,61 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         "warm",
         "entries",
         "wrong_shard",
-        "lag"
+        "lag",
+        "p99_us"
     );
-    let (mut solves, mut hits, mut misses, mut entries, mut wrong) = (0i64, 0i64, 0i64, 0i64, 0i64);
-    let mut warm = 0i64;
+    let mut totals = ClusterTotals::default();
     for (idx, status) in statuses.iter().enumerate() {
         let addr = addrs.get(idx).map(String::as_str).unwrap_or("?");
         match status {
             Err(err) => out.push_str(&format!("{idx:<5} {addr:<21} unreachable: {err}\n")),
-            Ok(response) => {
-                let Some(result) = response.result() else {
-                    out.push_str(&format!("{idx:<5} {addr:<21} malformed status\n"));
-                    continue;
-                };
-                let row_solves = int(result, &["requests", "refine"])
-                    + int(result, &["requests", "highest_theta"])
-                    + int(result, &["requests", "lowest_k"]);
-                let row_hits = int(result, &["cache", "hits"]);
-                let row_misses = int(result, &["cache", "misses"]);
-                let hit_rate = result
-                    .get("cache")
-                    .and_then(|cache| cache.get("hit_rate"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("0.0000");
-                let role = result
-                    .get("replication")
-                    .and_then(|repl| repl.get("role"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("?");
-                let backend = result
-                    .get("poller")
-                    .and_then(|poller| poller.get("backend"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("?");
-                let row_warm = int(result, &["solver", "warm_solves"]);
-                out.push_str(&format!(
-                    "{idx:<5} {addr:<21} {role:<8} {backend:<7} {row_solves:>8} {row_hits:>8} {row_misses:>8} {hit_rate:>8} {row_warm:>8} {:>8} {:>11} {:>6}\n",
-                    int(result, &["cache", "entries"]),
-                    int(result, &["shard", "wrong_shard"]),
-                    int(result, &["replication", "lag"]),
-                ));
-                solves += row_solves;
-                hits += row_hits;
-                misses += row_misses;
-                warm += row_warm;
-                entries += int(result, &["cache", "entries"]);
-                wrong += int(result, &["shard", "wrong_shard"]);
-            }
+            Ok(response) => match response.result() {
+                None => out.push_str(&format!("{idx:<5} {addr:<21} malformed status\n")),
+                Some(result) => out.push_str(&shard_status_row(idx, addr, result, &mut totals)),
+            },
         }
     }
-    let total_rate = if hits + misses == 0 {
+    let total_rate = if totals.hits + totals.misses == 0 {
         "0.0000".to_owned()
     } else {
-        format!("{:.4}", hits as f64 / (hits + misses) as f64)
+        format!(
+            "{:.4}",
+            totals.hits as f64 / (totals.hits + totals.misses) as f64
+        )
     };
+    let total_p99 = totals
+        .stages
+        .iter()
+        .find(|(name, _)| name == "total")
+        .map_or_else(|| "-".to_owned(), |(_, merged)| merged.p99().to_string());
     out.push_str(&format!(
-        "{:<5} {:<21} {:<8} {:<7} {solves:>8} {hits:>8} {misses:>8} {total_rate:>8} {warm:>8} {entries:>8} {wrong:>11}\n",
-        "total", "", "", "",
+        "{:<5} {:<21} {:<8} {:<7} {:>8} {:>8} {:>8} {total_rate:>8} {:>8} {:>8} {:>11} {:>6} {total_p99:>8}\n",
+        "total",
+        "",
+        "",
+        "",
+        totals.solves,
+        totals.hits,
+        totals.misses,
+        totals.warm,
+        totals.entries,
+        totals.wrong,
+        "",
     ));
+    // Fleet-wide stage quantiles, merged bucket-by-bucket from every
+    // reporting shard's observe histograms. Absent with tracing off.
+    if !totals.stages.is_empty() {
+        out.push_str("stages (merged across shards):\n");
+        for (name, merged) in &totals.stages {
+            out.push_str(&format!(
+                "  {name:<10} {:>8} spans, p50 {:>6} us, p99 {:>6} us, max {:>6} us\n",
+                merged.count,
+                merged.p50(),
+                merged.p99(),
+                merged.max,
+            ));
+        }
+    }
     // Per-tenant roll-up across shards, shown only when some shard knows a
     // tenant beyond the implicit 'default' (a tenancy-free cluster keeps
     // the pre-tenancy table shape).
@@ -310,6 +355,102 @@ fn render_cluster_status(router: &mut Router, raw: bool) -> Result<String, CliEr
         }
     }
     Ok(out)
+}
+
+/// Accumulated cluster totals: scalar counters summed across shards, plus
+/// per-stage latency histograms merged for fleet-wide quantiles.
+#[derive(Default)]
+struct ClusterTotals {
+    solves: i64,
+    hits: i64,
+    misses: i64,
+    warm: i64,
+    entries: i64,
+    wrong: i64,
+    stages: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Walks a nested path of status object members.
+fn status_path<'a>(result: &'a Json, path: &[&str]) -> Option<&'a Json> {
+    let mut value = result;
+    for key in path {
+        value = value.get(key)?;
+    }
+    Some(value)
+}
+
+/// A counter cell of the cluster table: the value at `path`, or `-` when
+/// the shard's status lacks the enclosing `block` entirely (an older build,
+/// or a feature left off). A missing block must read as missing — rendering
+/// it as a silent zero hides which shards actually reported.
+fn block_cell(result: &Json, block: &str, path: &[&str]) -> String {
+    match result.get(block) {
+        None => "-".to_owned(),
+        Some(_) => status_path(result, path)
+            .and_then(Json::as_int)
+            .unwrap_or(0)
+            .to_string(),
+    }
+}
+
+/// One shard's row of the cluster status table, accumulated into `totals`
+/// (blocks the shard didn't report contribute nothing).
+fn shard_status_row(idx: usize, addr: &str, result: &Json, totals: &mut ClusterTotals) -> String {
+    let int = |path: &[&str]| {
+        status_path(result, path)
+            .and_then(Json::as_int)
+            .unwrap_or(0)
+    };
+    let row_solves = int(&["requests", "refine"])
+        + int(&["requests", "highest_theta"])
+        + int(&["requests", "lowest_k"]);
+    let row_hits = int(&["cache", "hits"]);
+    let row_misses = int(&["cache", "misses"]);
+    let hit_rate = status_path(result, &["cache", "hit_rate"])
+        .and_then(Json::as_str)
+        .unwrap_or("-");
+    let role = status_path(result, &["replication", "role"])
+        .and_then(Json::as_str)
+        .unwrap_or("-");
+    let backend = status_path(result, &["poller", "backend"])
+        .and_then(Json::as_str)
+        .unwrap_or("-");
+    let warm = block_cell(result, "solver", &["solver", "warm_solves"]);
+    let entries = int(&["cache", "entries"]);
+    let wrong = block_cell(result, "shard", &["shard", "wrong_shard"]);
+    let lag = block_cell(result, "replication", &["replication", "lag"]);
+    let mut p99 = "-".to_owned();
+    if let Some(Json::Obj(members)) = status_path(result, &["observe", "stages"]) {
+        for (name, stage) in members {
+            let Some(histogram) = histogram_from_json(stage) else {
+                continue;
+            };
+            if histogram.count == 0 {
+                continue;
+            }
+            if name == "total" {
+                p99 = histogram.p99().to_string();
+            }
+            match totals.stages.iter_mut().find(|(seen, _)| seen == name) {
+                Some((_, merged)) => merged.merge(&histogram),
+                None => totals.stages.push((name.clone(), histogram)),
+            }
+        }
+    }
+    totals.solves += row_solves;
+    totals.hits += row_hits;
+    totals.misses += row_misses;
+    totals.entries += entries;
+    if result.get("solver").is_some() {
+        totals.warm += int(&["solver", "warm_solves"]);
+    }
+    if result.get("shard").is_some() {
+        totals.wrong += int(&["shard", "wrong_shard"]);
+    }
+    format!(
+        "{idx:<5} {addr:<21} {role:<8} {backend:<7} {row_solves:>8} {row_hits:>8} \
+         {row_misses:>8} {hit_rate:>8} {warm:>8} {entries:>8} {wrong:>11} {lag:>6} {p99:>8}\n"
+    )
 }
 
 /// Reads the `client batch` FILE: one JSON request object per line.
@@ -616,11 +757,13 @@ fn render_status(result: &Json) -> String {
             .unwrap_or("0.0000");
         out.push_str(&format!(
             "solver: {mode} mode, {} cold / {} warm solves (seed rate {seed_rate}), \
-             {} hints repaired, {} nodes, {} restarts\n",
+             {} hints repaired, {} nodes ({} propagations, {} conflicts), {} restarts\n",
             int(&["solver", "cold_solves"]),
             int(&["solver", "warm_solves"]),
             int(&["solver", "repaired_hints"]),
             int(&["solver", "nodes"]),
+            int(&["solver", "propagations"]),
+            int(&["solver", "conflicts"]),
             int(&["solver", "restarts"]),
         ));
         let wins = int(&["solver", "portfolio", "greedy"])
@@ -633,6 +776,67 @@ fn render_status(result: &Json) -> String {
                 int(&["solver", "portfolio", "ilp_warm"]),
                 int(&["solver", "portfolio", "ilp_cold"]),
             ));
+        }
+    }
+    if let Some(observe) = result.get("observe") {
+        let sample = int(&["observe", "sample_every"]);
+        let slow_ms = observe.get("slow_ms").and_then(Json::as_int).unwrap_or(-1);
+        // Silent unless tracing is (or was) on: a tracing-free server keeps
+        // the pre-observability report shape.
+        if sample > 0 || slow_ms >= 0 || int(&["observe", "ticks"]) > 0 {
+            let sampling = if sample > 0 {
+                format!("1/{sample}")
+            } else {
+                "off".to_owned()
+            };
+            let slow = if slow_ms >= 0 {
+                format!(">= {slow_ms} ms")
+            } else {
+                "off".to_owned()
+            };
+            out.push_str(&format!(
+                "observe: sampling {sampling}, slow log {slow}, {} seen ({} sampled, {} slow), \
+                 recorder {}/{} (dropped {})\n",
+                int(&["observe", "ticks"]),
+                int(&["observe", "sampled"]),
+                int(&["observe", "slow"]),
+                int(&["observe", "recorder", "depth"]),
+                int(&["observe", "recorder", "capacity"]),
+                int(&["observe", "recorder", "dropped"]),
+            ));
+            out.push_str(&format!(
+                "  {:<10} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                "stage", "count", "p50_us", "p90_us", "p99_us", "max_us"
+            ));
+            if let Some(Json::Obj(stages)) = observe.get("stages") {
+                for (name, stage) in stages {
+                    let field = |key: &str| stage.get(key).and_then(Json::as_int).unwrap_or(0);
+                    out.push_str(&format!(
+                        "  {name:<10} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                        field("count"),
+                        field("p50"),
+                        field("p90"),
+                        field("p99"),
+                        field("max"),
+                    ));
+                }
+            }
+            if let Some(Json::Arr(tenants)) = observe.get("tenants") {
+                for tenant in tenants {
+                    let name = tenant.get("name").and_then(Json::as_str).unwrap_or("?");
+                    let field = |key: &str| tenant.get(key).and_then(Json::as_int).unwrap_or(0);
+                    // The lone implicit tenant adds nothing over the
+                    // 'total' stage row.
+                    if name != "default" || tenants.len() > 1 {
+                        out.push_str(&format!(
+                            "  tenant {name}: {} span(s), p50 {} us, p99 {} us\n",
+                            field("count"),
+                            field("p50"),
+                            field("p99"),
+                        ));
+                    }
+                }
+            }
         }
     }
     if result.get("persist").map(|p| p != &Json::Null) == Some(true) {
@@ -977,6 +1181,138 @@ mod tests {
         run(&args(&["shutdown", "--addr", &addr])).unwrap();
         handle.wait();
         std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn trace_dumps_spans_and_status_renders_the_observe_block() {
+        let handle = start_server(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_capacity: 16,
+            trace_sample: Some(1),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let file = write_persons_ntriples("client-trace");
+        let file = file.to_str().unwrap();
+
+        let request = [
+            "refine",
+            file,
+            "--addr",
+            &addr,
+            "--sort",
+            "http://ex/Person",
+            "--k",
+            "2",
+            "--theta",
+            "0.8",
+        ];
+        run(&args(&request)).unwrap();
+        run(&args(&request)).unwrap();
+
+        // Every span (a solve and a cache hit) is sampled at 1/1 and dumps
+        // as one JSON object per line.
+        let dump = run(&args(&["trace", "--addr", &addr])).unwrap();
+        assert!(dump.contains("2 span(s)"), "dump: {dump}");
+        let span_line = dump.lines().nth(1).expect("a span line");
+        assert!(span_line.starts_with("{\"seq\":1,"), "dump: {dump}");
+        assert!(span_line.contains("\"op\":\"refine\""), "dump: {dump}");
+        assert!(span_line.contains("\"outcome\":\"solved\""), "dump: {dump}");
+        assert!(span_line.contains("\"total_us\":"), "dump: {dump}");
+        assert!(dump.contains("\"outcome\":\"cache\""), "dump: {dump}");
+
+        // The slow log is off, so --slow filters everything out; no span
+        // rode the 'acme' tenant either.
+        let slow = run(&args(&["trace", "--addr", &addr, "--slow"])).unwrap();
+        assert!(slow.contains("0 span(s)"), "slow: {slow}");
+        let acme = run(&args(&["trace", "--addr", &addr, "--tenant", "acme"])).unwrap();
+        assert!(acme.contains("0 span(s)"), "acme: {acme}");
+
+        let status = run(&args(&["status", "--addr", &addr])).unwrap();
+        assert!(status.contains("observe: sampling 1/1"), "status: {status}");
+        assert!(status.contains("slow log off"), "status: {status}");
+        for stage in ["decode", "admission", "cache", "solve", "flush", "total"] {
+            assert!(status.contains(stage), "missing {stage} row: {status}");
+        }
+
+        run(&args(&["shutdown", "--addr", &addr])).unwrap();
+        handle.wait();
+        std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn cluster_rows_render_missing_status_blocks_as_dashes() {
+        // A shard speaking an older status dialect: no poller, solver,
+        // shard, replication, or observe blocks at all.
+        let old = strudel_server::json::parse(
+            "{\"requests\":{\"refine\":3},\
+              \"cache\":{\"hits\":1,\"misses\":2,\"entries\":2,\"hit_rate\":\"0.3333\"}}",
+        )
+        .unwrap();
+        let mut totals = ClusterTotals::default();
+        let row = shard_status_row(0, "127.0.0.1:1", &old, &mut totals);
+        let cells: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(
+            cells,
+            vec![
+                "0",
+                "127.0.0.1:1",
+                "-",
+                "-",
+                "3",
+                "1",
+                "2",
+                "0.3333",
+                "-",
+                "2",
+                "-",
+                "-",
+                "-"
+            ],
+            "missing blocks must render as '-', not silent zeros: {row}"
+        );
+        assert_eq!(totals.warm, 0);
+        assert_eq!(totals.wrong, 0);
+
+        // A current shard fills every cell and sums into the totals.
+        let histogram = strudel_core::metrics::LatencyHistogram::new();
+        histogram.record(100);
+        histogram.record(200);
+        let stage = strudel_server::trace::histogram_to_json(&histogram.snapshot());
+        let new = Json::obj(vec![
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Int(4)),
+                    ("misses", Json::Int(4)),
+                    ("entries", Json::Int(4)),
+                    ("hit_rate", Json::str("0.5000")),
+                ]),
+            ),
+            ("solver", Json::obj(vec![("warm_solves", Json::Int(5))])),
+            ("shard", Json::obj(vec![("wrong_shard", Json::Int(1))])),
+            ("poller", Json::obj(vec![("backend", Json::str("epoll"))])),
+            (
+                "replication",
+                Json::obj(vec![("role", Json::str("leader")), ("lag", Json::Int(0))]),
+            ),
+            (
+                "observe",
+                Json::obj(vec![(
+                    "stages",
+                    Json::Obj(vec![("total".to_owned(), stage)]),
+                )]),
+            ),
+        ]);
+        let row = shard_status_row(1, "127.0.0.1:2", &new, &mut totals);
+        assert!(!row.contains('-'), "every reported cell is concrete: {row}");
+        assert_eq!(totals.warm, 5);
+        assert_eq!(totals.wrong, 1);
+        let (name, merged) = totals.stages.first().expect("merged total stage");
+        assert_eq!(name, "total");
+        assert_eq!(merged.count, 2);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub const SPEC: ArgSpec = ArgSpec {
         "tenants",
         "solver",
         "solver-restarts",
+        "trace-sample",
+        "trace-slow-ms",
     ],
     flags: &[],
     min_positional: 0,
@@ -34,6 +36,7 @@ pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache
              [--persist FILE] [--compact-dead N] [--fsync POLICY] [--shard I/N]
              [--follow LEADER:PORT] [--auto-promote MS] [--poller BACKEND]
              [--tenants SPEC] [--solver MODE] [--solver-restarts N]
+             [--trace-sample N] [--trace-slow-ms MS]
   Runs the refinement service: line-delimited JSON over TCP driven by a
   readiness-based event loop, with a fixed-size compute pool, a
   content-addressed result cache (LRU), single-flight deduplication of
@@ -75,8 +78,18 @@ pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache
   greedy answers heuristically only. --solver-restarts N enables Luby
   restarts with base N conflicts (and activity branching) in the ILP
   solver core. The status payload's 'solver' block reports cold/warm
-  solve counts, the seed hit-rate, repaired hints, nodes, restarts,
-  and portfolio winners.
+  solve counts, the seed hit-rate, repaired hints, nodes, propagations,
+  conflicts, restarts, and portfolio winners.
+  --trace-sample N records every Nth solve request as a lifecycle span
+  (per-stage micros: decode, admission, cache, solve, flush) in a
+  fixed-size in-memory flight recorder dumped by 'strudel client trace'
+  (0, the default, disables sampling; the STRUDEL_TRACE_SAMPLE
+  environment variable overrides an unset flag). --trace-slow-ms MS is
+  the always-on slow-request log: every request is timed and any whose
+  total reaches MS milliseconds is recorded regardless of sampling
+  (unset = off; STRUDEL_TRACE_SLOW_MS overrides an unset flag). The
+  status payload's 'observe' block reports per-stage latency histograms
+  (p50/p90/p99, tenant-tagged totals) and the recorder's gauges.
   Defaults: --addr 127.0.0.1:7464, --workers 4, --cache 1024
   entries. Blocks until a client sends {\"op\":\"shutdown\"}; shutdown drains
   in-flight solves and flushes the segment, then reports the final counters.";
@@ -138,6 +151,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             ));
         }
         config.solver_restarts = Some(base);
+    }
+    if let Some(every) = parsed.option_parsed::<u64>("trace-sample")? {
+        config.trace_sample = Some(every);
+    }
+    if let Some(slow_ms) = parsed.option_parsed::<u64>("trace-slow-ms")? {
+        config.trace_slow_ms = Some(slow_ms);
     }
     if let Some(window) = parsed.option_parsed::<u64>("auto-promote")? {
         if config.follow.is_none() {
@@ -377,6 +396,9 @@ mod tests {
         assert!(run(&args(&["--solver", "simplex"])).is_err());
         assert!(run(&args(&["--solver-restarts", "0"])).is_err());
         assert!(run(&args(&["--solver-restarts", "many"])).is_err());
+        // Trace knobs must be numeric.
+        assert!(run(&args(&["--trace-sample", "often"])).is_err());
+        assert!(run(&args(&["--trace-slow-ms", "slowish"])).is_err());
     }
 
     #[test]

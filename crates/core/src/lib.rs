@@ -56,6 +56,7 @@ pub mod dependency;
 pub mod encode;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod problem;
 pub mod reduction;
 pub mod refinement;
@@ -78,6 +79,7 @@ pub mod prelude {
         RefinementEngine,
     };
     pub use crate::error::{AnnotateError, RefineError, ValidationError};
+    pub use crate::metrics::{HistogramSnapshot, LatencyHistogram, StageTimer};
     pub use crate::problem::exists_sort_refinement;
     pub use crate::reduction::{
         coloring_achieves_threshold_one, coloring_partition, reduction_instance, rule_r0, sigma_r0,

@@ -1,0 +1,302 @@
+//! Latency measurement primitives for the serving layer: a fixed-bucket
+//! log-scale histogram cheap enough to sit on the request hot path, and a
+//! stage timer that stamps monotonic ticks as a request crosses pipeline
+//! stages.
+//!
+//! The histogram is log-linear: values below [`LINEAR_LIMIT`] get exact
+//! one-per-value buckets, and every octave above is split into
+//! [`SUB_BUCKETS`] equal sub-ranges, so a reported quantile is never more
+//! than `1/SUB_BUCKETS` (12.5%) above the true value. Recording is a single
+//! relaxed `fetch_add` per atomic counter — no locks, no allocation — so
+//! many threads can record into one histogram concurrently, and a snapshot
+//! is a plain copy that supports quantile readout and merging (the cluster
+//! roll-up path: each shard ships its buckets, the client merges and reads
+//! quantiles over the fleet).
+//!
+//! Units are deliberately unspecified: the serving layer records
+//! microseconds, but nothing here assumes it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Values below this limit get exact one-per-value buckets.
+pub const LINEAR_LIMIT: u64 = 8;
+
+/// Sub-buckets per octave above the linear range. The maximum relative
+/// error of a quantile readout is `1 / SUB_BUCKETS`.
+pub const SUB_BUCKETS: u64 = 8;
+
+/// Total bucket count: 8 linear buckets plus 8 sub-buckets for each of the
+/// 61 octaves `[2^3, 2^4)` through `[2^63, 2^64)`.
+pub const BUCKETS: usize = 496;
+
+/// Maps a value to its bucket index. Total order is preserved: `a <= b`
+/// implies `bucket_index(a) <= bucket_index(b)`.
+pub fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_LIMIT {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as u64; // value in [2^exp, 2^(exp+1))
+    let sub = (value >> (exp - 3)) & (SUB_BUCKETS - 1);
+    ((exp - 2) * SUB_BUCKETS + sub) as usize
+}
+
+/// The largest value a bucket covers — what a quantile readout reports for
+/// any value that landed in it, so estimates err high, never low.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index < LINEAR_LIMIT as usize {
+        return index as u64;
+    }
+    let exp = index as u64 / SUB_BUCKETS + 2;
+    let sub = index as u64 % SUB_BUCKETS;
+    let lower = (1u64 << exp) | (sub << (exp - 3));
+    lower + ((1u64 << (exp - 3)) - 1)
+}
+
+/// A fixed-bucket log-scale latency histogram with atomic counters.
+///
+/// See the [module docs](self) for the bucketing scheme. All methods take
+/// `&self`; recording threads never contend on anything but the cache line
+/// of the bucket they hit.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Copies the current counters into a [`HistogramSnapshot`]. Concurrent
+    /// recorders may land between the individual loads, so `count`/`sum` can
+    /// momentarily disagree with the buckets by in-flight records — fine for
+    /// a monitoring surface.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], supporting quantile
+/// readout and merging for cluster roll-ups.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Dense per-bucket counts ([`BUCKETS`] entries).
+    buckets: Vec<u64>,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot — the identity element of [`merge`](Self::merge).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Rebuilds a snapshot from its sparse wire form (see
+    /// [`sparse`](Self::sparse)). Out-of-range bucket indices — a newer
+    /// peer with a different bucketing — are ignored rather than trusted.
+    pub fn from_sparse(pairs: &[(usize, u64)], count: u64, sum: u64, max: u64) -> Self {
+        let mut snapshot = HistogramSnapshot::empty();
+        for &(index, bucket_count) in pairs {
+            if index < BUCKETS {
+                snapshot.buckets[index] += bucket_count;
+            }
+        }
+        snapshot.count = count;
+        snapshot.sum = sum;
+        snapshot.max = max;
+        snapshot
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs — the wire form for
+    /// shipping a histogram inside a status response.
+    pub fn sparse(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(index, count)| (index, *count))
+            .collect()
+    }
+
+    /// Folds another snapshot into this one: bucket-wise counter addition,
+    /// so `merge(a, b)` reads out exactly as if every value had been
+    /// recorded into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th smallest recorded value, capped at
+    /// the observed maximum. Returns 0 on an empty snapshot. The estimate
+    /// is never below the true value and at most `1/SUB_BUCKETS` above it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, bucket_count) in self.buckets.iter().enumerate() {
+            seen += bucket_count;
+            if seen >= rank {
+                return bucket_upper_bound(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median ([`quantile`](Self::quantile) at 0.50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Stamps monotonic ticks as a request crosses pipeline stages.
+///
+/// One timer per traced request: [`lap`](Self::lap) returns the
+/// microseconds since the previous lap (or start) and advances the mark, so
+/// consecutive laps partition the request's wall time — the per-stage
+/// micros of a trace span sum to its total by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct StageTimer {
+    started: Instant,
+    last: Instant,
+}
+
+impl StageTimer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        let now = Instant::now();
+        StageTimer {
+            started: now,
+            last: now,
+        }
+    }
+
+    /// Microseconds since the previous lap (or since start), advancing the
+    /// mark to now.
+    pub fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let micros = now.duration_since(self.last).as_micros() as u64;
+        self.last = now;
+        micros
+    }
+
+    /// Total microseconds since the timer started.
+    pub fn total_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        for value in 0..LINEAR_LIMIT {
+            assert_eq!(bucket_index(value), value as usize);
+            assert_eq!(bucket_upper_bound(value as usize), value);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip() {
+        // Every bucket's upper bound maps back to that bucket, and bounds
+        // are strictly increasing.
+        let mut previous = None;
+        for index in 0..BUCKETS {
+            let upper = bucket_upper_bound(index);
+            assert_eq!(bucket_index(upper), index, "index {index}");
+            if let Some(previous) = previous {
+                assert!(upper > previous, "index {index}");
+            }
+            previous = Some(upper);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_cap_at_observed_max() {
+        let histogram = LatencyHistogram::new();
+        histogram.record(1000);
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.p50(), 1000);
+        assert_eq!(snapshot.p99(), 1000);
+        assert_eq!(snapshot.max, 1000);
+        assert_eq!(snapshot.count, 1);
+        assert_eq!(snapshot.sum, 1000);
+    }
+
+    #[test]
+    fn sparse_round_trips() {
+        let histogram = LatencyHistogram::new();
+        for value in [0, 1, 7, 8, 100, 4096, 123_456] {
+            histogram.record(value);
+        }
+        let snapshot = histogram.snapshot();
+        let rebuilt = HistogramSnapshot::from_sparse(
+            &snapshot.sparse(),
+            snapshot.count,
+            snapshot.sum,
+            snapshot.max,
+        );
+        assert_eq!(rebuilt, snapshot);
+    }
+}

@@ -741,6 +741,25 @@ impl Client {
         self.call(&Json::obj(vec![("op", Json::str("status"))]))
     }
 
+    /// Dumps the server's flight recorder: the most recent traced request
+    /// spans, optionally restricted to slow-log promotions and/or one
+    /// tenant. The result object carries `spans` (oldest first) plus the
+    /// recorder's `depth` and `dropped` gauges.
+    pub fn trace(
+        &mut self,
+        slow_only: bool,
+        tenant: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let mut members = vec![("op", Json::str("trace"))];
+        if slow_only {
+            members.push(("slow", Json::Bool(true)));
+        }
+        if let Some(tenant) = tenant {
+            members.push(("tenant", Json::str(tenant)));
+        }
+        self.call(&Json::obj(members))
+    }
+
     /// Asks the server to shut down.
     pub fn shutdown(&mut self) -> Result<Response, ClientError> {
         self.call(&Json::obj(vec![("op", Json::str("shutdown"))]))

@@ -117,6 +117,10 @@ pub struct SolveTelemetry {
     pub repaired: bool,
     /// Branch-and-bound nodes explored (0 for greedy-only solves).
     pub nodes: u64,
+    /// Constraint propagations performed (0 for greedy-only solves).
+    pub propagations: u64,
+    /// Search conflicts — dead ends that forced a backtrack.
+    pub conflicts: u64,
     /// Restarts performed.
     pub restarts: u64,
     /// Winning portfolio arm name, when the portfolio raced.

@@ -50,8 +50,15 @@
 //!   records and the replication stream are tenant-tagged, so warm
 //!   restarts and promoted followers preserve per-tenant accounting.
 //!
-//! The protocol speaks six operations — `refine`, `highest-theta`,
-//! `lowest-k`, `batch`, `status`, `shutdown` — carrying signature views and
+//! * an **observability layer** ([`trace`]) — every Nth solve request (and
+//!   every request over a slow-log threshold) carries a span through the
+//!   pipeline, stamping per-stage micros (decode → admission → cache →
+//!   solve → flush) into log-scale histograms surfaced by the `status`
+//!   response's `observe` block, and into a fixed-size **flight recorder**
+//!   dumped by the `trace` wire command.
+//!
+//! The protocol speaks seven operations — `refine`, `highest-theta`,
+//! `lowest-k`, `batch`, `status`, `trace`, `shutdown` — carrying signature views and
 //! exact rationals as canonical strings over a deliberately tiny
 //! integer-only JSON ([`json`]). [`server`] is the daemon, [`client`] the
 //! blocking client the CLI (`strudel serve` / `strudel client`) wraps.
@@ -124,6 +131,7 @@ pub mod replica;
 pub mod router;
 pub mod server;
 pub mod tenant;
+pub mod trace;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -148,4 +156,5 @@ pub mod prelude {
         StatusSnapshot,
     };
     pub use crate::tenant::{TenantCounters, TenantQos, TenantRegistry, TenantSpecSet};
+    pub use crate::trace::{FlightRecorder, ObserveSnapshot, ObserveState, SpanRecord};
 }

@@ -352,6 +352,14 @@ pub enum Request {
     /// Promote this server (a follower) to leader: bump the replication
     /// epoch and start accepting writes.
     Promote,
+    /// Dump the flight recorder: the most recent traced request spans,
+    /// optionally restricted to slow-log promotions and/or one tenant.
+    Trace {
+        /// Only spans promoted by the slow-request log.
+        slow_only: bool,
+        /// Only spans of this tenant.
+        tenant: Option<String>,
+    },
     /// Negotiate the connection's wire framing. Asking for the framing the
     /// connection already speaks is a no-op; switching a `bin1` connection
     /// back to `json` is refused (frame boundaries and line boundaries
@@ -492,6 +500,19 @@ fn decode_request_with_op(op: &str, value: &Json) -> Result<Request, ProtocolErr
         "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
         "promote" => Ok(Request::Promote),
+        "trace" => {
+            let slow_only = match value.get("slow") {
+                None | Some(Json::Null) => false,
+                Some(Json::Bool(flag)) => *flag,
+                Some(_) => return Err(ProtocolError::new("'slow' in trace must be a boolean")),
+            };
+            let tenant = match value.get("tenant") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(name)) => Some(name.clone()),
+                Some(_) => return Err(ProtocolError::new("'tenant' in trace must be a string")),
+            };
+            Ok(Request::Trace { slow_only, tenant })
+        }
         "hello" => {
             let framing = match value.get("framing") {
                 None | Some(Json::Null) => Framing::Json,
@@ -519,7 +540,7 @@ fn decode_request_with_op(op: &str, value: &Json) -> Result<Request, ProtocolErr
         "lowest-k" => decode_solve(value, SolveOp::LowestK),
         other => Err(ProtocolError::new(format!(
             "unknown op '{other}'; expected refine, highest-theta, lowest-k, batch, \
-             status, shutdown, promote, repl_subscribe, or hello"
+             status, trace, shutdown, promote, repl_subscribe, or hello"
         ))),
     }
 }
@@ -907,6 +928,9 @@ pub fn encode_request_bin(request: &Request) -> Vec<u8> {
             encode_json_payload(&encode_repl_subscribe(shard.as_ref()))
         }
         Request::Hello { framing } => encode_json_payload(&encode_hello(*framing)),
+        Request::Trace { slow_only, tenant } => {
+            encode_json_payload(&encode_trace(*slow_only, tenant.as_deref()))
+        }
     }
 }
 
@@ -1476,6 +1500,18 @@ pub fn over_quota_from_json(value: &Json) -> Option<OverQuota> {
         tenant: value.get("tenant").and_then(Json::as_str)?.to_owned(),
         retry_after_ms: value.get("retry_after_ms").and_then(Json::as_int)? as u64,
     })
+}
+
+/// Encodes a `trace` request (the client side of the flight-recorder dump).
+pub fn encode_trace(slow_only: bool, tenant: Option<&str>) -> String {
+    let mut members = vec![("op", Json::str("trace"))];
+    if slow_only {
+        members.push(("slow", Json::Bool(true)));
+    }
+    if let Some(tenant) = tenant {
+        members.push(("tenant", Json::str(tenant)));
+    }
+    Json::obj(members).to_text()
 }
 
 /// Encodes the replication subscribe handshake line a follower opens its

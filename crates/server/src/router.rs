@@ -486,6 +486,19 @@ impl Router {
             .collect()
     }
 
+    /// Dumps every shard's flight recorder, in shard-id order. Like
+    /// [`Self::status_all`], per-shard failures are reported in place.
+    pub fn trace_all(
+        &mut self,
+        slow_only: bool,
+        tenant: Option<&str>,
+    ) -> Vec<Result<Response, ClientError>> {
+        self.shards
+            .iter_mut()
+            .map(|shard| shard.call(|client, _| client.trace(slow_only, tenant)))
+            .collect()
+    }
+
     /// Asks every shard to shut down, returning the first failure (after
     /// attempting all of them).
     pub fn shutdown_all(&mut self) -> Result<(), ClientError> {

@@ -89,6 +89,7 @@ use crate::protocol::{
 };
 use crate::replica::{self, FollowerConfig, FollowerHost, ReplState, ReplStatus, ReplicaHub};
 use crate::tenant::{TenantCounters, TenantRegistry, TenantSpecSet};
+use crate::trace::{self, ActiveSpan, ObserveSnapshot, ObserveState};
 
 /// Configuration of a server instance.
 #[derive(Clone, Debug)]
@@ -144,6 +145,16 @@ pub struct ServerConfig {
     /// restarts also switches branching to the activity heuristic —
     /// restarting an input-order search would replay the identical tree.
     pub solver_restarts: Option<u64>,
+    /// Trace-sampling divisor (`serve --trace-sample N`): every Nth solve
+    /// request is recorded as a flight-recorder span; 0 disables sampling.
+    /// `None` consults the `STRUDEL_TRACE_SAMPLE` environment override (the
+    /// CI trace-smoke matrix uses it), then defaults to 0.
+    pub trace_sample: Option<u64>,
+    /// Slow-request threshold in milliseconds (`serve --trace-slow-ms`):
+    /// when set, every request is timed and any at or over the threshold is
+    /// recorded regardless of sampling. `None` consults
+    /// `STRUDEL_TRACE_SLOW_MS`, then leaves the slow log off.
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +173,8 @@ impl Default for ServerConfig {
             tenants: None,
             solver: SolverMode::default(),
             solver_restarts: None,
+            trace_sample: None,
+            trace_slow_ms: None,
         }
     }
 }
@@ -225,6 +238,9 @@ struct Shared {
     solver: SolverMode,
     /// Luby restart base for the ILP solver core (`--solver-restarts`).
     solver_restarts: Option<u64>,
+    /// The observability surface: span sampling, stage histograms, and the
+    /// flight recorder (`--trace-sample` / `--trace-slow-ms`).
+    observe: ObserveState,
 }
 
 /// One finished solve: the flight key, the tenant that led it (the key
@@ -286,8 +302,14 @@ struct Metrics {
     solver_seed_hits: AtomicU64,
     /// Branch-and-bound nodes explored across all solves.
     solver_nodes: AtomicU64,
+    /// Constraint propagations across all solves.
+    solver_propagations: AtomicU64,
+    /// Search conflicts (dead ends) across all solves.
+    solver_conflicts: AtomicU64,
     /// Solver restarts across all solves.
     solver_restarts: AtomicU64,
+    /// `trace` requests served.
+    trace: AtomicU64,
     /// Portfolio races won by the greedy arm.
     portfolio_greedy: AtomicU64,
     /// Portfolio races won by the warm ILP arm.
@@ -364,6 +386,10 @@ pub struct SolverStats {
     pub seed_hits: u64,
     /// Branch-and-bound nodes explored across all solves.
     pub nodes: u64,
+    /// Constraint propagations across all solves.
+    pub propagations: u64,
+    /// Search conflicts (dead ends) across all solves.
+    pub conflicts: u64,
     /// Solver restarts across all solves.
     pub restarts: u64,
     /// Portfolio races won by the greedy arm.
@@ -427,6 +453,11 @@ pub struct StatusSnapshot {
     pub wire: WireStats,
     /// Solver-core counters: warm starts, repairs, nodes, portfolio wins.
     pub solver: SolverStats,
+    /// `trace` requests served.
+    pub traces: u64,
+    /// The observability surface: per-stage histograms, sampling counters,
+    /// and the flight recorder's depth/dropped gauges.
+    pub observe: ObserveSnapshot,
 }
 
 impl StatusSnapshot {
@@ -548,6 +579,8 @@ impl StatusSnapshot {
                     Json::Int(self.solver.repaired_hints as i64),
                 ),
                 ("nodes", Json::Int(self.solver.nodes as i64)),
+                ("propagations", Json::Int(self.solver.propagations as i64)),
+                ("conflicts", Json::Int(self.solver.conflicts as i64)),
                 ("restarts", Json::Int(self.solver.restarts as i64)),
                 (
                     "portfolio",
@@ -590,6 +623,7 @@ impl StatusSnapshot {
                     ("highest_theta", Json::Int(self.highest_theta as i64)),
                     ("lowest_k", Json::Int(self.lowest_k as i64)),
                     ("status", Json::Int(self.status as i64)),
+                    ("trace", Json::Int(self.traces as i64)),
                     ("shutdown", Json::Int(self.shutdowns as i64)),
                     ("errors", Json::Int(self.errors as i64)),
                     ("batch", Json::Int(self.batches as i64)),
@@ -617,6 +651,7 @@ impl StatusSnapshot {
                 ]),
             ),
             ("solver", solver),
+            ("observe", self.observe.to_json()),
             ("persist", persist),
             ("tenants", tenants),
         ])
@@ -734,6 +769,10 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         completions: Arc::new(Mutex::new(Vec::new())),
         solver: config.solver,
         solver_restarts: config.solver_restarts,
+        observe: ObserveState::new(
+            trace::resolve_sample(config.trace_sample),
+            trace::resolve_slow_ms(config.trace_slow_ms).map(|ms| ms.saturating_mul(1000)),
+        ),
     });
 
     let loop_shared = Arc::clone(&shared);
@@ -948,11 +987,15 @@ fn snapshot(shared: &Shared) -> StatusSnapshot {
             seed_lookups: metrics.solver_seed_lookups.load(Ordering::Relaxed),
             seed_hits: metrics.solver_seed_hits.load(Ordering::Relaxed),
             nodes: metrics.solver_nodes.load(Ordering::Relaxed),
+            propagations: metrics.solver_propagations.load(Ordering::Relaxed),
+            conflicts: metrics.solver_conflicts.load(Ordering::Relaxed),
             restarts: metrics.solver_restarts.load(Ordering::Relaxed),
             portfolio_greedy: metrics.portfolio_greedy.load(Ordering::Relaxed),
             portfolio_warm: metrics.portfolio_warm.load(Ordering::Relaxed),
             portfolio_cold: metrics.portfolio_cold.load(Ordering::Relaxed),
         },
+        traces: metrics.trace.load(Ordering::Relaxed),
+        observe: shared.observe.snapshot(),
     }
 }
 
@@ -1023,6 +1066,10 @@ impl Chunk {
 struct Msg {
     chunks: Vec<Chunk>,
     len: usize,
+    /// Trace spans riding with this response: they finish (and reach the
+    /// histograms/recorder) only once the response's last byte has been
+    /// flushed to the socket, so the flush stage is measured honestly.
+    spans: Vec<ActiveSpan>,
 }
 
 impl Msg {
@@ -1030,6 +1077,7 @@ impl Msg {
         Msg {
             chunks: Vec::new(),
             len: 0,
+            spans: Vec::new(),
         }
     }
 
@@ -1082,6 +1130,14 @@ impl Msg {
                 Chunk::Shared(text) => self.push_shared(text),
             }
         }
+        self.spans.extend(other.spans);
+    }
+
+    /// Attaches a traced request's span (if any) to this response.
+    fn attach(&mut self, span: Option<Box<ActiveSpan>>) {
+        if let Some(span) = span {
+            self.spans.push(*span);
+        }
     }
 }
 
@@ -1128,6 +1184,9 @@ struct Waiter {
     slot: u64,
     elem: Option<usize>,
     op: SolveOp,
+    /// The requester's trace span, parked with the token while the solve
+    /// is in flight (the whole wait is the span's solve stage).
+    span: Option<Box<ActiveSpan>>,
 }
 
 /// One client connection owned by the event loop.
@@ -1164,6 +1223,13 @@ struct Conn {
     close_after_flush: bool,
     /// Set on socket errors: drop the connection without further I/O.
     dead: bool,
+    /// Cumulative bytes flushed to the socket over the connection's life
+    /// (the clock `pending_spans` offsets are measured against).
+    flushed_bytes: u64,
+    /// Spans whose response has been staged: `(offset, span)`, finalized
+    /// once `flushed_bytes` reaches the offset — i.e. once the span's
+    /// response bytes have actually left the server.
+    pending_spans: VecDeque<(u64, ActiveSpan)>,
 }
 
 impl Conn {
@@ -1187,6 +1253,8 @@ impl Conn {
             peer_open: true,
             close_after_flush: false,
             dead: false,
+            flushed_bytes: 0,
+            pending_spans: VecDeque::new(),
         }
     }
 
@@ -1216,9 +1284,10 @@ impl Conn {
         let mut frames = 0u64;
         while matches!(self.slots.front(), Some(slot) if matches!(slot.body, SlotBody::Ready(_))) {
             let slot = self.slots.pop_front().expect("front just matched");
-            let SlotBody::Ready(msg) = slot.body else {
+            let SlotBody::Ready(mut msg) = slot.body else {
                 unreachable!("front just matched Ready");
             };
+            let spans = std::mem::take(&mut msg.spans);
             match slot.framing {
                 Framing::Json => {
                     for chunk in msg.chunks {
@@ -1243,6 +1312,12 @@ impl Conn {
                     frames += 1;
                 }
             }
+            // The response's last byte now sits `out_len` flushed bytes
+            // away; its spans finish when the flush clock reaches it.
+            let offset = self.flushed_bytes + self.out_len as u64;
+            for span in spans {
+                self.pending_spans.push_back((offset, span));
+            }
         }
         frames
     }
@@ -1251,6 +1326,7 @@ impl Conn {
     /// Fully-written chunks are popped (no memmove of the remainder, which
     /// is what the old contiguous `out` buffer paid under backpressure).
     fn advance_out(&mut self, mut n: usize) {
+        self.flushed_bytes += n as u64;
         self.out_len -= n;
         while n > 0 {
             let front_left = self
@@ -1335,6 +1411,11 @@ struct EventLoop {
     /// warm-start neighbors (see [`crate::hints`]). Owned by the loop
     /// thread, so no lock: workers only carry hints, never the index.
     hints: HintIndex,
+    /// Micros the current request line/frame took to decode, stamped right
+    /// after the decode call and read by `handle_request` when it opens a
+    /// span (elements of one batch share the line's decode cost). Always 0
+    /// when tracing is disabled — decode is not timed at all then.
+    pending_decode_us: u64,
 }
 
 impl EventLoop {
@@ -1357,6 +1438,7 @@ impl EventLoop {
             events: Vec::new(),
             touched: Vec::new(),
             hints: HintIndex::new(),
+            pending_decode_us: 0,
         }
     }
 
@@ -1812,7 +1894,10 @@ impl EventLoop {
             conn.fatal("response frames are not valid requests");
             return;
         }
+        let decode_started = self.shared.observe.enabled().then(Instant::now);
         let decoded = protocol::decode_payload(view.payload);
+        self.pending_decode_us =
+            decode_started.map_or(0, |started| started.elapsed().as_micros() as u64);
         self.dispatch_decoded(id, conn, decoded);
     }
 
@@ -1841,7 +1926,10 @@ impl EventLoop {
     /// Handles one request line: decodes it and hands off to the shared
     /// dispatch layer both framings lower into.
     fn dispatch_line(&mut self, id: u64, conn: &mut Conn, line: &str) {
+        let decode_started = self.shared.observe.enabled().then(Instant::now);
         let decoded = protocol::decode_line(line);
+        self.pending_decode_us =
+            decode_started.map_or(0, |started| started.elapsed().as_micros() as u64);
         self.dispatch_decoded(id, conn, decoded);
     }
 
@@ -2094,7 +2182,33 @@ impl EventLoop {
                     .to_text(),
                 )))
             }
+            Request::Trace { slow_only, tenant } => {
+                metrics.trace.fetch_add(1, Ordering::Relaxed);
+                let spans = self.shared.observe.dump(slow_only, tenant.as_deref());
+                let (depth, dropped) = self.shared.observe.recorder_stats();
+                let body = Json::obj(vec![
+                    ("depth", Json::Int(depth as i64)),
+                    ("dropped", Json::Int(dropped as i64)),
+                    (
+                        "spans",
+                        Json::Arr(spans.iter().map(|span| span.to_json()).collect()),
+                    ),
+                ])
+                .to_text();
+                Some(Msg::from_line(encode_success(
+                    "trace",
+                    Source::Solved,
+                    &body,
+                )))
+            }
             Request::Solve(solve) => {
+                // The span (if this request is traced) rides the whole
+                // pipeline: stage laps are stamped at each gate below and
+                // the span finishes when the response bytes are flushed.
+                let mut span =
+                    self.shared
+                        .observe
+                        .begin(conn, solve.op.name(), self.pending_decode_us);
                 let key = solve.cache_key();
                 // Ownership gate: a sharded server answers only keys its
                 // ring arc covers. Misrouted or stale-ring requests get the
@@ -2135,14 +2249,19 @@ impl EventLoop {
                     if let Some(message) = refusal {
                         metrics.wrong_shard.fetch_add(1, Ordering::Relaxed);
                         metrics.errors.fetch_add(1, Ordering::Relaxed);
-                        return Some(Msg::from_line(encode_wrong_shard(
+                        let mut msg = Msg::from_line(encode_wrong_shard(
                             &message,
                             &WrongShard {
                                 shard: index,
                                 owner,
                                 epoch,
                             },
-                        )));
+                        ));
+                        if let Some(span) = span.as_mut() {
+                            span.set_outcome("wrong_shard");
+                        }
+                        msg.attach(span);
+                        return Some(msg);
                     }
                 }
                 // Admission gate: the tenant's token bucket meters every
@@ -2155,17 +2274,29 @@ impl EventLoop {
                     .tenant
                     .clone()
                     .unwrap_or_else(|| DEFAULT_TENANT.to_owned());
+                if let Some(span) = span.as_mut() {
+                    span.set_tenant(&tenant);
+                }
                 if let Err(retry_after_ms) = self.shared.tenants.admit(&tenant) {
                     metrics.errors.fetch_add(1, Ordering::Relaxed);
                     let message =
                         format!("tenant '{tenant}' is over its admission rate; retry later");
-                    return Some(Msg::from_line(encode_over_quota(
+                    let mut msg = Msg::from_line(encode_over_quota(
                         &message,
                         &OverQuota {
                             tenant,
                             retry_after_ms,
                         },
-                    )));
+                    ));
+                    if let Some(span) = span.as_mut() {
+                        span.lap_admission();
+                        span.set_outcome("over_quota");
+                    }
+                    msg.attach(span);
+                    return Some(msg);
+                }
+                if let Some(span) = span.as_mut() {
+                    span.lap_admission();
                 }
                 metrics.count_solve(solve.op);
                 if let Some(result) = self.shared.cache.lock().expect("cache lock").get(&key) {
@@ -2174,9 +2305,18 @@ impl EventLoop {
                     // envelope fragments own a few dozen bytes and the
                     // cached `Arc<String>` travels to the socket as its
                     // own iovec entry.
-                    return Some(success_msg(solve.op.name(), Source::Cache, &result));
+                    let mut msg = success_msg(solve.op.name(), Source::Cache, &result);
+                    if let Some(span) = span.as_mut() {
+                        span.lap_cache();
+                        span.set_outcome("cache");
+                    }
+                    msg.attach(span);
+                    return Some(msg);
                 }
                 self.shared.tenants.count_miss(&tenant);
+                if let Some(span) = span.as_mut() {
+                    span.lap_cache();
+                }
                 // Follower gate: a standby answers what its replicated
                 // cache already holds (the hit path above); anything that
                 // would *compute and insert* is a write, refused toward
@@ -2185,10 +2325,15 @@ impl EventLoop {
                     metrics.not_leader.fetch_add(1, Ordering::Relaxed);
                     metrics.errors.fetch_add(1, Ordering::Relaxed);
                     let leader = self.shared.repl.leader_addr().unwrap_or_default();
-                    return Some(Msg::from_line(encode_not_leader(
+                    let mut msg = Msg::from_line(encode_not_leader(
                         &format!("this shard is a follower; send writes to its leader at {leader}"),
                         &NotLeader { leader },
-                    )));
+                    ));
+                    if let Some(span) = span.as_mut() {
+                        span.set_outcome("not_leader");
+                    }
+                    msg.attach(span);
+                    return Some(msg);
                 }
                 // Pool gate: only a request that would *lead* a new solve
                 // (no flight open for its key) is charged against its
@@ -2199,19 +2344,25 @@ impl EventLoop {
                     metrics.errors.fetch_add(1, Ordering::Relaxed);
                     let message =
                         format!("tenant '{tenant}' has no compute-pool share free; retry later");
-                    return Some(Msg::from_line(encode_over_quota(
+                    let mut msg = Msg::from_line(encode_over_quota(
                         &message,
                         &OverQuota {
                             tenant,
                             retry_after_ms,
                         },
-                    )));
+                    ));
+                    if let Some(span) = span.as_mut() {
+                        span.set_outcome("over_quota");
+                    }
+                    msg.attach(span);
+                    return Some(msg);
                 }
                 let waiter = Waiter {
                     conn,
                     slot,
                     elem,
                     op: solve.op,
+                    span,
                 };
                 match self.board.join(key.clone(), waiter) {
                     BoardJoin::Lead => {
@@ -2319,13 +2470,26 @@ impl EventLoop {
                             self.deliver_to_subscribers(line, ids);
                         }
                     }
-                    for (rank, waiter) in tokens.into_iter().enumerate() {
+                    let engine = completion
+                        .telemetry
+                        .winner
+                        .unwrap_or_else(|| self.shared.solver.name());
+                    let nodes = completion.telemetry.nodes;
+                    for (rank, mut waiter) in tokens.into_iter().enumerate() {
                         let source = if rank == 0 {
                             Source::Solved
                         } else {
                             Source::Coalesced
                         };
-                        let msg = success_msg(waiter.op.name(), source, &text);
+                        let mut msg = success_msg(waiter.op.name(), source, &text);
+                        if let Some(mut span) = waiter.span.take() {
+                            // The whole flight wait — queueing, solving,
+                            // single-flight parking — is the solve stage.
+                            span.lap_solve();
+                            span.set_engine(engine, nodes);
+                            span.set_outcome(if rank == 0 { "solved" } else { "coalesced" });
+                            msg.attach(Some(span));
+                        }
                         self.fill(waiter, msg);
                     }
                 }
@@ -2333,9 +2497,14 @@ impl EventLoop {
                     // Errors are shared with everyone parked on the flight
                     // (they asked the same question) but never cached or
                     // persisted: a later retry re-solves.
-                    for waiter in tokens {
+                    for mut waiter in tokens {
                         self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                        let msg = Msg::from_line(encode_error(&message));
+                        let mut msg = Msg::from_line(encode_error(&message));
+                        if let Some(mut span) = waiter.span.take() {
+                            span.lap_solve();
+                            span.set_outcome("error");
+                            msg.attach(Some(span));
+                        }
                         self.fill(waiter, msg);
                     }
                 }
@@ -2361,6 +2530,12 @@ impl EventLoop {
         metrics
             .solver_nodes
             .fetch_add(telemetry.nodes, Ordering::Relaxed);
+        metrics
+            .solver_propagations
+            .fetch_add(telemetry.propagations, Ordering::Relaxed);
+        metrics
+            .solver_conflicts
+            .fetch_add(telemetry.conflicts, Ordering::Relaxed);
         metrics
             .solver_restarts
             .fetch_add(telemetry.restarts, Ordering::Relaxed);
@@ -2523,6 +2698,17 @@ impl EventLoop {
                 continue;
             }
             any |= Self::pump_write_conn(conn, &self.shared.metrics);
+            // Spans whose response bytes have fully left the socket are
+            // done: stamp the flush stage and roll them into the
+            // histograms/recorder.
+            while conn
+                .pending_spans
+                .front()
+                .is_some_and(|(offset, _)| *offset <= conn.flushed_bytes)
+            {
+                let (_, span) = conn.pending_spans.pop_front().expect("front just matched");
+                self.shared.observe.finish(span);
+            }
             let desired = Interest {
                 read: conn.peer_open && !conn.close_after_flush && !self.stopping,
                 write: !conn.flushed(),
@@ -2728,6 +2914,8 @@ fn solve_job_inner(
         if let Some(stats) = stats {
             telemetry.warm = stats.hint_vars > 0;
             telemetry.nodes = stats.nodes;
+            telemetry.propagations = stats.propagations;
+            telemetry.conflicts = stats.conflicts;
             telemetry.restarts = stats.restarts;
             telemetry.repaired =
                 telemetry.warm && stats.hint_mismatches > 0 && outcome.refinement().is_some();

@@ -199,9 +199,13 @@ fn random_batches_decode_element_wise_with_order_preserved() {
         // deliberately broken object; remember which, in order.
         let mut elements: Vec<(Json, bool)> = Vec::with_capacity(n);
         for _ in 0..n {
-            match rng.gen_range(0usize..4) {
+            match rng.gen_range(0usize..5) {
                 0 => elements.push((random_bad_request(&mut rng), false)),
                 1 => elements.push((Json::obj(vec![("op", Json::str("status"))]), true)),
+                2 => elements.push((
+                    Json::obj(vec![("op", Json::str("trace")), ("slow", Json::Bool(true))]),
+                    true,
+                )),
                 _ => elements.push((random_request(&mut rng).to_json(), true)),
             }
         }
@@ -230,6 +234,10 @@ fn random_batches_decode_element_wise_with_order_preserved() {
                 }
                 Ok(Request::Status) => {
                     assert_eq!(original.get("op").and_then(Json::as_str), Some("status"));
+                }
+                Ok(Request::Trace { slow_only, .. }) => {
+                    assert_eq!(original.get("op").and_then(Json::as_str), Some("trace"));
+                    assert!(slow_only, "seed {seed} case {case}: 'slow' flag dropped");
                 }
                 Ok(
                     Request::Shutdown
