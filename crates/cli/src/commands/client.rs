@@ -729,10 +729,12 @@ fn render_status(result: &Json) -> String {
     if let Some(poller) = result.get("poller") {
         let backend = poller.get("backend").and_then(Json::as_str).unwrap_or("?");
         out.push_str(&format!(
-            "poller: {backend} backend, {} waits, {} wakeups, {} spurious, {} fds registered\n",
+            "poller: {backend} backend, {} waits, {} wakeups, {} spurious, {} syscalls, \
+             {} fds registered\n",
             int(&["poller", "waits"]),
             int(&["poller", "wakeups"]),
             int(&["poller", "spurious"]),
+            int(&["poller", "syscalls"]),
             int(&["poller", "registered"]),
         ));
     }

@@ -41,11 +41,14 @@ pub const USAGE: &str = "strudel serve [--addr HOST:PORT] [--workers N] [--cache
   readiness-based event loop, with a fixed-size compute pool, a
   content-addressed result cache (LRU), single-flight deduplication of
   concurrent identical solves, and a batch envelope amortizing framing.
-  --poller epoll|scan|auto picks the event loop's readiness backend:
-  epoll (Linux kernel readiness; idle costs zero wake-ups), scan (the
-  portable full-scan/park fallback), or auto (the default: epoll on
-  Linux, scan elsewhere; the STRUDEL_POLLER environment variable
-  overrides auto).
+  --poller uring|epoll|scan|auto picks the event loop's readiness backend:
+  uring (Linux 5.1+ io_uring poll mode; batched interest changes, one
+  kernel entry per loop round), epoll (Linux kernel readiness; idle costs
+  zero wake-ups), scan (the portable full-scan/park fallback), or auto
+  (the default: uring where a startup probe confirms kernel support,
+  epoll on other Linux, scan elsewhere; the STRUDEL_POLLER environment
+  variable overrides auto). An explicit uring/epoll on a platform that
+  cannot run it is an error; only auto falls back.
   --persist FILE write-through caches results to an append-only segment file
   replayed on the next start (warm start, byte-identical answers);
   --compact-dead N compacts the segment once N dead records accumulate
@@ -180,8 +183,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     out.push_str("server stopped\n");
     out.push_str(&format!(
-        "poller: {} backend, {} waits, {} wakeups, {} spurious\n",
-        status.poller.backend, status.poller.waits, status.poller.wakeups, status.poller.spurious,
+        "poller: {} backend, {} waits, {} wakeups, {} spurious, {} syscalls\n",
+        status.poller.backend,
+        status.poller.waits,
+        status.poller.wakeups,
+        status.poller.spurious,
+        status.poller.syscalls,
     ));
     out.push_str(&format!(
         "connections: {} ({} still open), requests: {} refine / {} highest-theta / {} lowest-k / {} status, errors: {}\n",

@@ -103,6 +103,18 @@ impl<K: Hash + Eq + Clone, T> FlightBoard<K, T> {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// Abandons every flight, returning all parked tokens in arbitrary
+    /// flight order (leaders first within each flight). Shutdown teardown
+    /// uses this so tokens carrying accounting (trace spans) can be
+    /// closed out instead of dropped when the drain grace expires with
+    /// solves still in the air.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.pending
+            .drain()
+            .flat_map(|(_, tokens)| tokens)
+            .collect()
+    }
 }
 
 impl<K: Hash + Eq + Clone, T> Default for FlightBoard<K, T> {

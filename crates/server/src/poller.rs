@@ -4,8 +4,15 @@
 //! non-blocking socket and needs exactly one primitive from the platform:
 //! *which file descriptors are ready for the I/O I care about, and wake me
 //! early when a compute-pool completion lands*. This module puts that
-//! primitive behind the [`Poller`] trait and ships two implementations:
+//! primitive behind the [`Poller`] trait and ships three implementations:
 //!
+//! * [`UringPoller`] (Linux 5.1+) — kernel readiness via io_uring in poll
+//!   mode: interest changes are 64-byte submission-queue entries, so N
+//!   registrations/modifications per loop round cost *one* `io_uring_enter`
+//!   (bundled with the wait itself) instead of N `epoll_ctl` round trips,
+//!   and wait deadlines carry native nanosecond precision. Multishot
+//!   `POLL_ADD` where the kernel supports it (5.13+), one-shot re-arming
+//!   otherwise. See [`uring`] for the mechanics.
 //! * [`EpollPoller`] (Linux) — a real kernel readiness queue built on
 //!   direct `extern "C"` bindings to `epoll_create1`/`epoll_ctl`/
 //!   `epoll_wait` plus an `eventfd` [`Waker`]. No external crates: the
@@ -20,12 +27,15 @@
 //!   discovers the truth via `WouldBlock` — which is exactly the contract
 //!   the event loop's pump paths were built on.
 //!
-//! The backend is picked at runtime (`serve --poller epoll|scan`, or the
-//! `STRUDEL_POLLER` environment override the conformance matrix uses);
-//! [`PollerKind::resolve`] auto-detects epoll on Linux. Both backends are
-//! driven through the same loop and proven behaviorally identical by the
-//! backend-parameterized e2e suites (see `tests/poller.rs` for the
-//! contract tests of this module itself).
+//! The backend is picked at runtime (`serve --poller uring|epoll|scan`, or
+//! the `STRUDEL_POLLER` environment override the conformance matrix uses);
+//! [`PollerKind::resolve`] auto-detects the best supported backend — uring
+//! where a startup probe confirms the kernel cooperates (old kernels and
+//! seccomp'd CI sandboxes fail the probe and silently get epoll; an
+//! *explicit* `--poller uring` on such a kernel is a hard error instead).
+//! All backends are driven through the same loop and proven behaviorally
+//! identical by the backend-parameterized e2e suites (see `tests/poller.rs`
+//! for the contract tests of this module itself).
 //!
 //! ## The contract
 //!
@@ -46,9 +56,25 @@
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, Thread};
 use std::time::Duration;
+
+/// Direct syscall bindings (epoll, eventfd, io_uring): the one sanctioned
+/// `unsafe` module in the crate — see `lib.rs`. Exposes generic SQE/CQE
+/// plumbing, not poll-op-specific helpers, so the follow-on
+/// completion-mode rung (submission-queue reads/writes) builds on the
+/// same surface.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sys;
+
+/// The io_uring readiness backend (safe code over [`sys`]).
+#[cfg(target_os = "linux")]
+mod uring;
+
+#[cfg(target_os = "linux")]
+pub use uring::UringPoller;
 
 /// A file descriptor as the poller sees it (`c_int` on every Unix). The
 /// scan backend never dereferences it, so non-Unix builds can pass 0.
@@ -142,6 +168,15 @@ pub trait Poller: Send {
     /// `timeout` (`None` means until an event or a wake; the scan backend
     /// caps that at [`MAX_PARK`] since its readiness is clock-driven).
     fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()>;
+    /// Submission seam, called once per event-loop round after all of the
+    /// round's interest changes: backends that queue changes (uring) may
+    /// push them to the kernel here if their queue is filling; backends
+    /// that apply changes eagerly (epoll, scan) need nothing and inherit
+    /// this no-op. `wait` always flushes whatever is still queued, so
+    /// skipping this call affects batching, not correctness.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
     /// A cross-thread wake handle tied to this poller.
     fn waker(&self) -> Arc<dyn Waker>;
 }
@@ -162,6 +197,14 @@ pub struct PollerCounters {
     pub spurious: AtomicU64,
     /// Currently registered fds (listener + live connections).
     pub registered: AtomicU64,
+    /// Kernel entries the backend performed for readiness work: every
+    /// `epoll_ctl` + `epoll_wait` on the epoll backend, every
+    /// `io_uring_enter` on the uring backend (whose batching is exactly
+    /// what makes this number smaller), zero on the scan backend. Waker
+    /// eventfd writes from other threads are excluded — the counter
+    /// prices the loop thread's syscall burn, which is what
+    /// syscalls-per-request benchmarks divide by.
+    pub syscalls: AtomicU64,
 }
 
 /// A point-in-time view of the poller counters (the `status` payload's
@@ -178,6 +221,8 @@ pub struct PollerStats {
     pub spurious: u64,
     /// Currently registered fds.
     pub registered: u64,
+    /// Readiness syscalls performed by the loop thread so far.
+    pub syscalls: u64,
 }
 
 impl PollerCounters {
@@ -189,6 +234,7 @@ impl PollerCounters {
             wakeups: self.wakeups.load(Ordering::Relaxed),
             spurious: self.spurious.load(Ordering::Relaxed),
             registered: self.registered.load(Ordering::Relaxed),
+            syscalls: self.syscalls.load(Ordering::Relaxed),
         }
     }
 }
@@ -197,25 +243,50 @@ impl PollerCounters {
 /// `STRUDEL_POLLER` environment variable both parse into this.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PollerKind {
+    /// Kernel readiness via io_uring poll submissions (Linux 5.1+).
+    Uring,
     /// Kernel readiness via epoll (Linux only).
     Epoll,
     /// Portable full-scan/park emulation (the pre-epoll event loop).
     Scan,
 }
 
+/// Whether this kernel actually runs io_uring, probed once per process:
+/// sets up a tiny ring *and* enters it, because a seccomp profile may
+/// permit `io_uring_setup` while blocking `io_uring_enter` (or deny both
+/// with `EPERM`/`ENOSYS`). Old kernels fail the setup. Either way the
+/// answer is cached and `auto` quietly picks epoll.
+#[cfg(target_os = "linux")]
+fn uring_supported() -> bool {
+    static PROBE: OnceLock<bool> = OnceLock::new();
+    *PROBE.get_or_init(|| sys::uring_probe().is_ok())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn uring_supported() -> bool {
+    false
+}
+
 impl PollerKind {
-    /// The backend name (`"epoll"` / `"scan"`).
+    /// The backend name (`"uring"` / `"epoll"` / `"scan"`).
     pub fn name(self) -> &'static str {
         match self {
+            PollerKind::Uring => "uring",
             PollerKind::Epoll => "epoll",
             PollerKind::Scan => "scan",
         }
     }
 
-    /// The backends this platform can actually run, best first.
+    /// The backends this platform can actually run, best first. Uring
+    /// leads only when the startup probe proves the kernel cooperates, so
+    /// `auto` never errors on an old kernel or a seccomp'd CI sandbox.
     pub fn available() -> Vec<PollerKind> {
         if cfg!(target_os = "linux") {
-            vec![PollerKind::Epoll, PollerKind::Scan]
+            if uring_supported() {
+                vec![PollerKind::Uring, PollerKind::Epoll, PollerKind::Scan]
+            } else {
+                vec![PollerKind::Epoll, PollerKind::Scan]
+            }
         } else {
             vec![PollerKind::Scan]
         }
@@ -224,20 +295,35 @@ impl PollerKind {
     /// Resolves the backend to run: an explicit configuration wins, then
     /// the `STRUDEL_POLLER` environment override (how the CI conformance
     /// matrix forces each backend through every suite), then platform
-    /// auto-detection (epoll on Linux, scan elsewhere). A malformed
-    /// override is an error, not a silent fallback — a typo in the matrix
-    /// must not fake coverage.
+    /// auto-detection (uring where probed, epoll on other Linux, scan
+    /// elsewhere). A malformed override is an error, not a silent
+    /// fallback — a typo in the matrix must not fake coverage — but an
+    /// override naming a backend this *kernel* cannot run falls back
+    /// loudly: the same matrix file runs on io_uring-capable and
+    /// incapable hosts, and only the host knows which it is.
     pub fn resolve(configured: Option<PollerKind>) -> io::Result<PollerKind> {
         if let Some(kind) = configured {
             return Ok(kind);
         }
         match std::env::var("STRUDEL_POLLER") {
-            Ok(value) => value.parse().map_err(|message: String| {
-                io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!("STRUDEL_POLLER: {message}"),
-                )
-            }),
+            Ok(value) => {
+                let kind: PollerKind = value.parse().map_err(|message: String| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("STRUDEL_POLLER: {message}"),
+                    )
+                })?;
+                if !PollerKind::available().contains(&kind) {
+                    let fallback = *PollerKind::available().first().expect("scan always exists");
+                    eprintln!(
+                        "strudel: STRUDEL_POLLER={} is not supported on this kernel; \
+                         falling back to {fallback}",
+                        kind.name()
+                    );
+                    return Ok(fallback);
+                }
+                Ok(kind)
+            }
             Err(_) => Ok(*PollerKind::available().first().expect("scan always exists")),
         }
     }
@@ -248,11 +334,12 @@ impl std::str::FromStr for PollerKind {
 
     fn from_str(text: &str) -> Result<Self, Self::Err> {
         match text.trim().to_ascii_lowercase().as_str() {
+            "uring" => Ok(PollerKind::Uring),
             "epoll" => Ok(PollerKind::Epoll),
             "scan" => Ok(PollerKind::Scan),
             "auto" => Ok(*PollerKind::available().first().expect("scan always exists")),
             other => Err(format!(
-                "unknown poller backend '{other}' (expected epoll, scan, or auto)"
+                "unknown poller backend '{other}' (expected uring, epoll, scan, or auto)"
             )),
         }
     }
@@ -264,7 +351,9 @@ impl std::fmt::Display for PollerKind {
     }
 }
 
-/// Opens the requested backend over the given (shared) counters.
+/// Opens the requested backend over the given (shared) counters. An
+/// explicitly requested backend the platform cannot run is a hard error —
+/// fallback is `auto`'s job, not `open`'s.
 pub fn open(kind: PollerKind, counters: Arc<PollerCounters>) -> io::Result<Box<dyn Poller>> {
     match kind {
         PollerKind::Scan => Ok(Box::new(ScanPoller::new(counters))),
@@ -274,6 +363,13 @@ pub fn open(kind: PollerKind, counters: Arc<PollerCounters>) -> io::Result<Box<d
         PollerKind::Epoll => Err(io::Error::new(
             io::ErrorKind::Unsupported,
             "the epoll poller is only available on Linux; use --poller scan",
+        )),
+        #[cfg(target_os = "linux")]
+        PollerKind::Uring => Ok(Box::new(UringPoller::new(counters)?)),
+        #[cfg(not(target_os = "linux"))]
+        PollerKind::Uring => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the uring poller is only available on Linux; use --poller scan",
         )),
     }
 }
@@ -440,127 +536,8 @@ impl Poller for ScanPoller {
 }
 
 // ─── Epoll backend (Linux) ──────────────────────────────────────────────
-
-/// Minimal direct bindings to the four syscalls the epoll backend needs.
-/// The workspace bans external crates, so these mirror the kernel ABI by
-/// hand; every call site checks the return value and surfaces
-/// `io::Error::last_os_error()`. This module is the only place in the
-/// crate allowed to use `unsafe` (see `lib.rs`): the FFI surface is four
-/// functions over plain integers and one `#[repr(C)]` struct, with no
-/// pointer lifetime subtleties — buffers live on the caller's stack or in
-/// a `Vec` that outlives the call.
-#[cfg(target_os = "linux")]
-#[allow(unsafe_code)]
-mod sys {
-    use std::io;
-    use std::os::raw::{c_int, c_uint, c_void};
-
-    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
-    pub const EPOLL_CTL_ADD: c_int = 1;
-    pub const EPOLL_CTL_DEL: c_int = 2;
-    pub const EPOLL_CTL_MOD: c_int = 3;
-    pub const EPOLLIN: u32 = 0x001;
-    pub const EPOLLOUT: u32 = 0x004;
-    pub const EPOLLERR: u32 = 0x008;
-    pub const EPOLLHUP: u32 = 0x010;
-    pub const EPOLLRDHUP: u32 = 0x2000;
-    pub const EFD_CLOEXEC: c_int = 0o2000000;
-    pub const EFD_NONBLOCK: c_int = 0o4000;
-
-    /// The kernel's `struct epoll_event`. Packed on x86-64 (a 32-bit-era
-    /// ABI decision the kernel is stuck with), naturally aligned
-    /// elsewhere; `data` carries the registration token verbatim.
-    #[repr(C)]
-    #[cfg_attr(target_arch = "x86_64", repr(packed))]
-    #[derive(Clone, Copy)]
-    pub struct EpollEvent {
-        pub events: u32,
-        pub data: u64,
-    }
-
-    extern "C" {
-        fn epoll_create1(flags: c_int) -> c_int;
-        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
-        fn epoll_wait(
-            epfd: c_int,
-            events: *mut EpollEvent,
-            maxevents: c_int,
-            timeout: c_int,
-        ) -> c_int;
-        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
-        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
-        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
-        fn close(fd: c_int) -> c_int;
-    }
-
-    pub fn create() -> io::Result<i32> {
-        // SAFETY: no pointers; the kernel returns a new fd or -1.
-        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
-        if fd < 0 {
-            return Err(io::Error::last_os_error());
-        }
-        Ok(fd)
-    }
-
-    pub fn ctl(epfd: i32, op: c_int, fd: i32, events: u32, token: u64) -> io::Result<()> {
-        let mut event = EpollEvent {
-            events,
-            data: token,
-        };
-        // SAFETY: `event` outlives the call; the kernel copies it.
-        let rc = unsafe { epoll_ctl(epfd, op, fd, &mut event) };
-        if rc < 0 {
-            return Err(io::Error::last_os_error());
-        }
-        Ok(())
-    }
-
-    /// Waits for events; `timeout_ms` of -1 blocks indefinitely. `EINTR`
-    /// is reported as zero events (the loop just goes around again).
-    pub fn wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
-        // SAFETY: `buf` is a live, exclusively borrowed slice; the kernel
-        // writes at most `buf.len()` entries.
-        let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
-        if n < 0 {
-            let err = io::Error::last_os_error();
-            if err.kind() == io::ErrorKind::Interrupted {
-                return Ok(0);
-            }
-            return Err(err);
-        }
-        Ok(n as usize)
-    }
-
-    pub fn new_eventfd() -> io::Result<i32> {
-        // SAFETY: no pointers; returns a new fd or -1.
-        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
-        if fd < 0 {
-            return Err(io::Error::last_os_error());
-        }
-        Ok(fd)
-    }
-
-    /// Adds 1 to an eventfd counter (the wake signal). `EAGAIN` means the
-    /// counter is saturated — the fd is already readable, so the wake is
-    /// delivered regardless and the error is ignored.
-    pub fn eventfd_signal(fd: i32) {
-        let value: u64 = 1;
-        // SAFETY: writes 8 bytes from a live stack value.
-        let _ = unsafe { write(fd, (&value as *const u64).cast::<c_void>(), 8) };
-    }
-
-    /// Drains an eventfd counter so the next wake re-arms it.
-    pub fn eventfd_drain(fd: i32) {
-        let mut value: u64 = 0;
-        // SAFETY: reads 8 bytes into a live stack value.
-        let _ = unsafe { read(fd, (&mut value as *mut u64).cast::<c_void>(), 8) };
-    }
-
-    pub fn close_fd(fd: i32) {
-        // SAFETY: closing an owned fd; errors at close are unactionable.
-        let _ = unsafe { close(fd) };
-    }
-}
+// (The syscall bindings live in `poller/sys.rs`, shared with the uring
+// backend.)
 
 /// Kernel readiness on Linux: one epoll instance owns the interest list,
 /// and an `eventfd` registered under [`WAKER_TOKEN`] carries cross-thread
@@ -660,6 +637,7 @@ impl Poller for EpollPoller {
                 "token u64::MAX is reserved for the waker",
             ));
         }
+        self.counters.syscalls.fetch_add(1, Ordering::Relaxed);
         sys::ctl(
             self.epfd,
             sys::EPOLL_CTL_ADD,
@@ -672,6 +650,7 @@ impl Poller for EpollPoller {
     }
 
     fn modify(&mut self, fd: Fd, token: u64, interest: Interest) -> io::Result<()> {
+        self.counters.syscalls.fetch_add(1, Ordering::Relaxed);
         sys::ctl(
             self.epfd,
             sys::EPOLL_CTL_MOD,
@@ -682,6 +661,7 @@ impl Poller for EpollPoller {
     }
 
     fn deregister(&mut self, fd: Fd, token: u64) -> io::Result<()> {
+        self.counters.syscalls.fetch_add(1, Ordering::Relaxed);
         sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, token)?;
         self.counters.registered.fetch_sub(1, Ordering::Relaxed);
         Ok(())
@@ -690,6 +670,7 @@ impl Poller for EpollPoller {
     fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
         events.clear();
         self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        self.counters.syscalls.fetch_add(1, Ordering::Relaxed);
         let timeout_ms = match timeout {
             None => -1,
             Some(d) if d.is_zero() => 0,
@@ -736,6 +717,7 @@ mod tests {
 
     #[test]
     fn kind_parses_and_resolves() {
+        assert_eq!("uring".parse::<PollerKind>(), Ok(PollerKind::Uring));
         assert_eq!("epoll".parse::<PollerKind>(), Ok(PollerKind::Epoll));
         assert_eq!("Scan".parse::<PollerKind>(), Ok(PollerKind::Scan));
         assert!("kqueue".parse::<PollerKind>().is_err());
@@ -746,6 +728,11 @@ mod tests {
             PollerKind::resolve(Some(PollerKind::Scan)).unwrap(),
             PollerKind::Scan
         );
+        // Scan is unconditional; anything uring-shaped in `available` is
+        // probe-gated, so the list is ordered best-first with scan last.
+        let available = PollerKind::available();
+        assert_eq!(available.last(), Some(&PollerKind::Scan));
+        assert!(available.contains(&PollerKind::Uring) == uring_supported());
     }
 
     #[test]

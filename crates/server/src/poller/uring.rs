@@ -1,0 +1,444 @@
+//! The io_uring readiness backend ([`UringPoller`]): the same level-ish
+//! readiness contract as the epoll backend, but every interest change is
+//! a 64-byte submission-queue entry instead of an `epoll_ctl` syscall —
+//! a round that registers, modifies, and deregisters N connections costs
+//! *one* `io_uring_enter` (bundled with the wait itself), not N kernel
+//! round trips.
+//!
+//! Mechanics, all through the generic SQE/CQE plumbing in [`super::sys`]:
+//!
+//! * **Arms.** Each registered fd with a non-empty interest holds one
+//!   `IORING_OP_POLL_ADD` in flight — multishot where the kernel supports
+//!   it (5.13+), with a self-correcting downgrade: a multishot arm failing
+//!   `EINVAL` flips the poller to one-shot arms, which are re-armed as
+//!   their completions are consumed. Re-arming checks current readiness at
+//!   submission, so an fd that is ready and *stays* ready keeps being
+//!   reported — no lost readiness, the contract the event loop needs.
+//! * **Stale completions.** Arms are identified by a monotonically
+//!   increasing internal `user_data` id mapped back to the caller's token;
+//!   `modify`/`deregister` queue an `IORING_OP_POLL_REMOVE` for the old id
+//!   and drop it from the map, so a completion that was already in flight
+//!   when its registration changed is discarded instead of resurrecting a
+//!   dead token.
+//! * **Timeouts.** `wait` deadlines ride an `IORING_OP_TIMEOUT` SQE with a
+//!   native nanosecond timespec — no millisecond rounding at all, where
+//!   the epoll backend must round sub-millisecond deadlines *up* to avoid
+//!   busy-looping. A stale timeout from an early-returning wait is
+//!   cancelled (`IORING_OP_TIMEOUT_REMOVE`) before the next blocking wait
+//!   so it cannot cut that wait short.
+//! * **Waker.** An `eventfd` armed like any other fd, under a reserved
+//!   token: `wake` is one `write(2)` from any thread and works on every
+//!   io_uring kernel (`IORING_OP_MSG_RING` would need a second ring per
+//!   waking thread). Wakes coalesce in the eventfd counter and a wake
+//!   racing `wait` completes the arm immediately — never lost.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::sys::{self, Cqe, Sqe, Timespec64, UringRing};
+use super::{Event, Fd, Interest, Poller, PollerCounters, Waker, WAKER_TOKEN};
+
+/// SQ slots; the kernel sizes the CQ at twice this. One arm per
+/// registered fd is in flight at a time, so 1024 slots absorb a full
+/// round of interest churn across a busy accept burst before the
+/// push path has to flush early.
+const SQ_ENTRIES: u32 = 1024;
+
+/// `user_data` for SQEs whose completions carry no information
+/// (`POLL_REMOVE`, `TIMEOUT_REMOVE`): dropped on arrival.
+const UD_DISCARD: u64 = u64::MAX;
+/// `user_data` of the in-flight wait-deadline `TIMEOUT`, if any.
+const UD_TIMEOUT: u64 = u64::MAX - 1;
+/// First id handed to poll arms (ids grow upward from here).
+const UD_FIRST: u64 = 1;
+
+const EINVAL: i32 = 22;
+const ECANCELED: i32 = 125;
+const ETIME: i32 = 62;
+
+/// One registration: the fd, its current interest, and the `user_data`
+/// id of the poll arm currently in flight for it (if the interest is
+/// non-empty and the arm has not completed).
+struct Reg {
+    fd: Fd,
+    interest: Interest,
+    arm: Option<u64>,
+}
+
+/// Kernel readiness on Linux 5.1+ via io_uring in poll (readiness) mode.
+/// See the module docs for the mechanics; see `super::PollerKind` for
+/// selection and the epoll fallback.
+pub struct UringPoller {
+    ring: UringRing,
+    counters: Arc<PollerCounters>,
+    waker: Arc<UringWaker>,
+    /// token → registration state.
+    regs: HashMap<u64, Reg>,
+    /// in-flight poll-arm `user_data` → token (the waker's arm maps to
+    /// [`WAKER_TOKEN`]). A completion whose id is absent here is stale.
+    arms: HashMap<u64, u64>,
+    next_ud: u64,
+    /// Multishot poll arms supported (assumed until a kernel says EINVAL).
+    multishot: bool,
+    /// A wait-deadline `TIMEOUT` SQE is armed and has not completed.
+    timeout_pending: bool,
+    /// Backing store for the `TIMEOUT` SQE's timespec pointer. The kernel
+    /// copies it while `io_uring_enter` submits, but it is boxed and kept
+    /// for the poller's lifetime so the pointer is valid even if a flush
+    /// is deferred.
+    timespec: Box<Timespec64>,
+}
+
+struct UringWaker {
+    eventfd: Fd,
+    counters: Arc<PollerCounters>,
+}
+
+impl Waker for UringWaker {
+    fn wake(&self) {
+        self.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+        sys::eventfd_signal(self.eventfd);
+    }
+}
+
+impl Drop for UringWaker {
+    fn drop(&mut self) {
+        sys::close_fd(self.eventfd);
+    }
+}
+
+impl UringPoller {
+    /// Sets up the ring and arms the eventfd waker. Fails with the OS
+    /// error on kernels without io_uring (callers that want a fallback
+    /// probe first — see `PollerKind::available`).
+    pub fn new(counters: Arc<PollerCounters>) -> io::Result<Self> {
+        let ring = UringRing::new(SQ_ENTRIES)?;
+        let eventfd = sys::new_eventfd()?;
+        let waker = Arc::new(UringWaker {
+            eventfd,
+            counters: Arc::clone(&counters),
+        });
+        let mut poller = UringPoller {
+            ring,
+            counters,
+            waker,
+            regs: HashMap::new(),
+            arms: HashMap::new(),
+            next_ud: UD_FIRST,
+            multishot: true,
+            timeout_pending: false,
+            timespec: Box::new(Timespec64::default()),
+        };
+        poller.arm(eventfd, WAKER_TOKEN, Interest::READ)?;
+        Ok(poller)
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut mask = 0;
+        if interest.read {
+            mask |= sys::POLLIN | sys::POLLRDHUP;
+        }
+        if interest.write {
+            mask |= sys::POLLOUT;
+        }
+        mask
+    }
+
+    /// Queues an SQE, flushing the ring first if it is full (the one case
+    /// where an interest change costs its own syscall).
+    fn push(&mut self, sqe: Sqe) -> io::Result<()> {
+        while !self.ring.push(sqe) {
+            self.enter(0, 0)?;
+        }
+        Ok(())
+    }
+
+    /// One `io_uring_enter`, submitting everything queued. `EINTR` while
+    /// blocking is reported as a normal (empty) return, like the epoll
+    /// backend's wait.
+    fn enter(&mut self, min_complete: u32, flags: u32) -> io::Result<()> {
+        let to_submit = self.ring.pending();
+        self.counters.syscalls.fetch_add(1, Ordering::Relaxed);
+        match self.ring.enter(to_submit, min_complete, flags) {
+            Ok(_) => Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Queues a poll arm for `(fd, token, interest)` and records it; a
+    /// no-direction interest arms nothing (the fd stays registered but
+    /// silent, per the trait contract).
+    fn arm(&mut self, fd: Fd, token: u64, interest: Interest) -> io::Result<Option<u64>> {
+        let mask = Self::mask(interest);
+        if mask == 0 {
+            return Ok(None);
+        }
+        let ud = self.next_ud;
+        self.next_ud += 1;
+        let sqe = Sqe {
+            opcode: sys::IORING_OP_POLL_ADD,
+            fd,
+            op_flags: mask,
+            len: if self.multishot {
+                sys::IORING_POLL_ADD_MULTI
+            } else {
+                0
+            },
+            user_data: ud,
+            ..Sqe::default()
+        };
+        self.push(sqe)?;
+        self.arms.insert(ud, token);
+        Ok(Some(ud))
+    }
+
+    /// Queues a cancel for an in-flight arm and forgets it; its
+    /// completion (if one was already posted) is dropped as stale.
+    fn disarm(&mut self, ud: u64) -> io::Result<()> {
+        self.arms.remove(&ud);
+        let sqe = Sqe {
+            opcode: sys::IORING_OP_POLL_REMOVE,
+            fd: -1,
+            addr: ud,
+            user_data: UD_DISCARD,
+            ..Sqe::default()
+        };
+        self.push(sqe)
+    }
+
+    /// Consumes one completion: waker wakes, wait deadlines, downgraded
+    /// multishot arms, stale ids, and genuine readiness reports.
+    fn consume(&mut self, cqe: Cqe, events: &mut Vec<Event>, woken: &mut bool) -> io::Result<()> {
+        match cqe.user_data {
+            UD_DISCARD => return Ok(()),
+            UD_TIMEOUT => {
+                // -ETIME: the deadline fired. -ECANCELED: a later wait
+                // cancelled it. Either way it is no longer armed.
+                self.timeout_pending = false;
+                return Ok(());
+            }
+            _ => {}
+        }
+        let Some(&token) = self.arms.get(&cqe.user_data) else {
+            return Ok(()); // stale: its registration changed under it
+        };
+        let spent = cqe.flags & sys::IORING_CQE_F_MORE == 0;
+        if cqe.res < 0 {
+            self.arms.remove(&cqe.user_data);
+            if -cqe.res == EINVAL && self.multishot {
+                // Pre-5.13 kernel: multishot poll does not exist. Flip to
+                // one-shot arms and re-arm this one; other in-flight
+                // multishot arms correct themselves the same way.
+                self.multishot = false;
+                self.rearm(token)?;
+                return Ok(());
+            }
+            if -cqe.res == ECANCELED {
+                return Ok(());
+            }
+            // A poll that genuinely failed (closed fd, resource limit):
+            // report a hangup so the loop tears the connection down
+            // instead of waiting forever on an arm that no longer exists.
+            if token != WAKER_TOKEN {
+                if let Some(reg) = self.regs.get_mut(&token) {
+                    reg.arm = None;
+                }
+                events.push(Event {
+                    token,
+                    readable: false,
+                    writable: false,
+                    hangup: true,
+                });
+            }
+            return Ok(());
+        }
+        let mask = cqe.res as u32;
+        if token == WAKER_TOKEN {
+            sys::eventfd_drain(self.waker.eventfd);
+            *woken = true;
+            if spent {
+                self.arms.remove(&cqe.user_data);
+                self.arm(self.waker.eventfd, WAKER_TOKEN, Interest::READ)?;
+            }
+            return Ok(());
+        }
+        events.push(Event {
+            token,
+            readable: mask & (sys::POLLIN | sys::POLLRDHUP) != 0,
+            writable: mask & sys::POLLOUT != 0,
+            hangup: mask & (sys::POLLHUP | sys::POLLERR) != 0,
+        });
+        if spent {
+            self.arms.remove(&cqe.user_data);
+            self.rearm(token)?;
+        }
+        Ok(())
+    }
+
+    /// Re-arms a registration whose one-shot arm was just consumed.
+    /// Submission re-checks current readiness, so still-ready fds keep
+    /// completing — one-shot mode is level-triggered one wait late.
+    fn rearm(&mut self, token: u64) -> io::Result<()> {
+        let Some(reg) = self.regs.get(&token) else {
+            return Ok(());
+        };
+        let (fd, interest) = (reg.fd, reg.interest);
+        let arm = self.arm(fd, token, interest)?;
+        if let Some(reg) = self.regs.get_mut(&token) {
+            reg.arm = arm;
+        }
+        Ok(())
+    }
+
+    /// ETIME leftovers aside, cancels the previous wait's still-armed
+    /// deadline so it cannot fire into (and cut short) this one.
+    fn cancel_stale_timeout(&mut self) -> io::Result<()> {
+        if !self.timeout_pending {
+            return Ok(());
+        }
+        let sqe = Sqe {
+            opcode: sys::IORING_OP_TIMEOUT_REMOVE,
+            fd: -1,
+            addr: UD_TIMEOUT,
+            user_data: UD_DISCARD,
+            ..Sqe::default()
+        };
+        self.push(sqe)
+    }
+}
+
+impl Drop for UringPoller {
+    fn drop(&mut self) {
+        // Submit whatever is still queued — above all `POLL_REMOVE`s from
+        // deregistrations in the loop's final round (a shutdown can break
+        // the loop between queueing and the next wait). An un-cancelled
+        // poll arm holds a kernel file reference to its socket, and ring
+        // teardown releases those *asynchronously*: without this enter, a
+        // deregistered-and-closed listener can keep its port bound for a
+        // few milliseconds after the server thread has exited, making an
+        // immediate rebind flaky. Cancellations are processed inline
+        // during the enter, so the references are gone when drop returns.
+        let _ = self.enter(0, 0);
+    }
+}
+
+impl Poller for UringPoller {
+    fn backend(&self) -> &'static str {
+        "uring"
+    }
+
+    fn register(&mut self, fd: Fd, token: u64, interest: Interest) -> io::Result<()> {
+        if token == WAKER_TOKEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "token u64::MAX is reserved for the waker",
+            ));
+        }
+        if self.regs.contains_key(&token) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("token {token} is already registered"),
+            ));
+        }
+        let arm = self.arm(fd, token, interest)?;
+        self.regs.insert(token, Reg { fd, interest, arm });
+        self.counters.registered.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn modify(&mut self, _fd: Fd, token: u64, interest: Interest) -> io::Result<()> {
+        let Some(reg) = self.regs.get(&token) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("token {token} is not registered"),
+            ));
+        };
+        let (fd, old_arm) = (reg.fd, reg.arm);
+        if let Some(ud) = old_arm {
+            self.disarm(ud)?;
+        }
+        let arm = self.arm(fd, token, interest)?;
+        let reg = self.regs.get_mut(&token).expect("presence just checked");
+        reg.interest = interest;
+        reg.arm = arm;
+        Ok(())
+    }
+
+    fn deregister(&mut self, _fd: Fd, token: u64) -> io::Result<()> {
+        let Some(reg) = self.regs.remove(&token) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("token {token} is not registered"),
+            ));
+        };
+        if let Some(ud) = reg.arm {
+            self.disarm(ud)?;
+        }
+        self.counters.registered.fetch_sub(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        let blocking = timeout != Some(Duration::ZERO);
+        if blocking {
+            self.cancel_stale_timeout()?;
+        }
+        if let Some(deadline) = timeout.filter(|d| !d.is_zero()) {
+            // The native nanosecond deadline: no rounding at all, where
+            // epoll_wait forces a round-up to whole milliseconds.
+            *self.timespec = Timespec64 {
+                tv_sec: deadline.as_secs() as i64,
+                tv_nsec: i64::from(deadline.subsec_nanos()),
+            };
+            let sqe = Sqe {
+                opcode: sys::IORING_OP_TIMEOUT,
+                fd: -1,
+                addr: std::ptr::addr_of!(*self.timespec) as u64,
+                len: 1,
+                user_data: UD_TIMEOUT,
+                ..Sqe::default()
+            };
+            self.push(sqe)?;
+            self.timeout_pending = true;
+        }
+        // One syscall submits every interest change queued since the last
+        // round *and* blocks for completions: the batching the epoll
+        // backend cannot do (each epoll_ctl is its own kernel entry).
+        let min_complete = u32::from(blocking);
+        self.enter(min_complete, sys::IORING_ENTER_GETEVENTS)?;
+        let mut woken = false;
+        while let Some(cqe) = self.ring.pop() {
+            self.consume(cqe, events, &mut woken)?;
+        }
+        if events.is_empty() && !woken {
+            self.counters.spurious.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // The per-round relief valve: ordinary rounds let `wait` bundle
+        // queued SQEs into its own enter, but a round that queued a burst
+        // of interest changes (an accept storm, a mass reap) submits early
+        // so the ring cannot overflow mid-round.
+        if self.ring.pending() >= SQ_ENTRIES / 2 {
+            self.enter(0, 0)?;
+        }
+        Ok(())
+    }
+
+    fn waker(&self) -> Arc<dyn Waker> {
+        Arc::clone(&self.waker) as Arc<dyn Waker>
+    }
+}
+
+// ETIME is deliberately unused by name in match arms above (the timeout
+// completion is recognized by its user_data, whatever its result), but
+// keeping the constant documents the contract.
+const _: i32 = ETIME;

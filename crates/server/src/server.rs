@@ -554,6 +554,7 @@ impl StatusSnapshot {
             ("wakeups", Json::Int(self.poller.wakeups as i64)),
             ("spurious", Json::Int(self.poller.spurious as i64)),
             ("registered", Json::Int(self.poller.registered as i64)),
+            ("syscalls", Json::Int(self.poller.syscalls as i64)),
         ]);
         let solver = {
             // Same fixed-point convention as the cache hit rate: the wire
@@ -1349,6 +1350,29 @@ impl Conn {
         self.out_len == 0
     }
 
+    /// Drains every span still waiting on this connection — in
+    /// `pending_spans` behind the flush clock, or buried in a not-yet
+    /// staged slot — for teardown accounting. A connection that dies
+    /// mid-flush must not strand its spans: the caller finishes them as
+    /// `aborted` so they still roll into the histograms and the flight
+    /// recorder instead of silently vanishing from the books.
+    fn take_orphan_spans(&mut self) -> Vec<ActiveSpan> {
+        let mut orphans: Vec<ActiveSpan> =
+            self.pending_spans.drain(..).map(|(_, span)| span).collect();
+        for slot in &mut self.slots {
+            match &mut slot.body {
+                SlotBody::Ready(msg) => orphans.append(&mut msg.spans),
+                SlotBody::Batch { items, .. } => {
+                    for item in items.iter_mut().flatten() {
+                        orphans.append(&mut item.spans);
+                    }
+                }
+                SlotBody::PendingSingle => {}
+            }
+        }
+        orphans
+    }
+
     /// Queues an error response as the final slot and begins teardown.
     fn fatal(&mut self, message: &str) {
         let id = self.next_slot;
@@ -1515,6 +1539,13 @@ impl EventLoop {
             self.reap(&touched);
             touched.clear();
             self.touched = touched; // hand the allocation back
+
+            // The round's interest changes are all in: backends that
+            // batch them (uring) get one chance to submit before the
+            // wait, so N changes cost one kernel entry, not N.
+            if let Err(err) = self.poller.flush() {
+                eprintln!("strudel-server: poller flush failed: {err}");
+            }
             if self.stopping && self.drained() {
                 break;
             }
@@ -1685,9 +1716,23 @@ impl EventLoop {
                 .all(|conn| conn.dead || (conn.slots.is_empty() && conn.flushed()))
     }
 
-    /// Final barrier: flush and fsync the persistent segment so a restart
-    /// replays everything acknowledged before exit.
+    /// Final barrier: close out anything the drain left behind (dead
+    /// connections keep their un-flushed spans until here), then flush
+    /// and fsync the persistent segment so a restart replays everything
+    /// acknowledged before exit.
     fn finish(&mut self) {
+        for conn in self.conns.values_mut() {
+            for span in conn.take_orphan_spans() {
+                self.shared.observe.finish_aborted(span);
+            }
+        }
+        // A drain grace that expired mid-solve leaves waiters parked on
+        // the flight board; their spans abort like any other orphan.
+        for mut waiter in self.board.drain_all() {
+            if let Some(span) = waiter.span.take() {
+                self.shared.observe.finish_aborted(*span);
+            }
+        }
         let mut persist = self.shared.persist.lock().expect("persist lock");
         if let Some(store) = persist.as_mut() {
             if let Err(err) = store.flush() {
@@ -2646,15 +2691,24 @@ impl EventLoop {
 
     /// Routes a completed response into its slot; tokens whose connection
     /// is already gone are counted as aborted.
-    fn fill(&mut self, waiter: Waiter, msg: Msg) {
+    fn fill(&mut self, waiter: Waiter, mut msg: Msg) {
         self.touched.push(waiter.conn);
         let metrics = &self.shared.metrics;
+        // Either abort path strands the spans riding on `msg` (the
+        // requester's connection is gone, so their responses will never
+        // flush): close them as `aborted` instead of dropping them.
         let Some(conn) = self.conns.get_mut(&waiter.conn) else {
             metrics.flight_aborted.fetch_add(1, Ordering::Relaxed);
+            for span in msg.spans.drain(..) {
+                self.shared.observe.finish_aborted(span);
+            }
             return;
         };
         let Some(slot) = conn.slots.iter_mut().find(|slot| slot.id == waiter.slot) else {
             metrics.flight_aborted.fetch_add(1, Ordering::Relaxed);
+            for span in msg.spans.drain(..) {
+                self.shared.observe.finish_aborted(span);
+            }
             return;
         };
         match (&mut slot.body, waiter.elem) {
@@ -2784,7 +2838,12 @@ impl EventLoop {
             if !gone {
                 continue;
             }
-            let conn = self.conns.remove(&id).expect("presence just checked");
+            let mut conn = self.conns.remove(&id).expect("presence just checked");
+            // A span whose response never fully left the server would
+            // otherwise wait forever on a flush clock that has stopped.
+            for span in conn.take_orphan_spans() {
+                self.shared.observe.finish_aborted(span);
+            }
             // Deregister before the socket drops: a dead fd must leave
             // the interest list (the old loop kept re-scanning dead
             // connection slots until the end of the round that freed
@@ -2985,4 +3044,98 @@ fn solve_job_inner(
 /// point) and returns the final counters.
 pub fn serve(config: &ServerConfig) -> std::io::Result<StatusSnapshot> {
     Ok(start(config)?.wait())
+}
+
+#[cfg(test)]
+mod conn_tests {
+    use super::*;
+
+    fn conn_with_chunks(chunks: Vec<Chunk>) -> Conn {
+        // A throwaway socket: these tests only exercise the output-queue
+        // bookkeeping, never the stream itself.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut conn = Conn::new(stream);
+        for chunk in chunks {
+            conn.out_len += chunk.len();
+            conn.out.push_back(chunk);
+        }
+        conn
+    }
+
+    fn remaining(conn: &Conn) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for (idx, chunk) in conn.out.iter().enumerate() {
+            let skip = if idx == 0 { conn.out_front } else { 0 };
+            bytes.extend_from_slice(&chunk.as_bytes()[skip..]);
+        }
+        bytes
+    }
+
+    /// Pins the short-write bookkeeping for the case the vectored flush
+    /// path depends on: one `write_vectored` consuming the whole front
+    /// chunk *and* part of a later one (a large shared cache payload
+    /// spliced mid-batch). The consumed count must pop fully-written
+    /// chunks and re-offset into the first partial one — never re-send
+    /// or skip a byte.
+    #[test]
+    fn advance_out_spans_chunk_boundaries() {
+        let payload: Vec<u8> = (0u8..=255).cycle().take(9000).collect();
+        let mut conn = conn_with_chunks(vec![
+            Chunk::Owned(payload[..100].to_vec()),
+            Chunk::Shared(Arc::new(String::from_utf8(vec![b'x'; 8000]).unwrap())),
+            Chunk::Owned(payload[..900].to_vec()),
+        ]);
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&payload[..100]);
+        expected.extend_from_slice(&vec![b'x'; 8000]);
+        expected.extend_from_slice(&payload[..900]);
+        assert_eq!(remaining(&conn), expected);
+
+        // Front chunk + 60 bytes into the shared chunk, in one write.
+        conn.advance_out(160);
+        assert_eq!(conn.out.len(), 2);
+        assert_eq!(conn.out_front, 60);
+        assert_eq!(conn.out_len, expected.len() - 160);
+        assert_eq!(remaining(&conn), &expected[160..]);
+
+        // The rest of the shared chunk + the entire tail chunk: exactly
+        // to the end, leaving a clean (empty, zero-offset) queue.
+        conn.advance_out(expected.len() - 160);
+        assert!(conn.out.is_empty());
+        assert_eq!(conn.out_front, 0);
+        assert_eq!(conn.out_len, 0);
+        assert_eq!(conn.flushed_bytes, expected.len() as u64);
+    }
+
+    /// A short write inside the front chunk only moves the offset; a
+    /// follow-up that exactly finishes the chunk pops it and resets the
+    /// offset for the next front.
+    #[test]
+    fn advance_out_partial_front_then_exact_pop() {
+        let mut conn = conn_with_chunks(vec![
+            Chunk::Owned(vec![1u8; 50]),
+            Chunk::Owned(vec![2u8; 70]),
+        ]);
+        conn.advance_out(20);
+        assert_eq!((conn.out.len(), conn.out_front, conn.out_len), (2, 20, 100));
+        conn.advance_out(30);
+        assert_eq!((conn.out.len(), conn.out_front, conn.out_len), (1, 0, 70));
+        conn.advance_out(70);
+        assert!(conn.out.is_empty() && conn.flushed());
+    }
+
+    /// Multi-chunk consumption in a single call across *three* chunks —
+    /// two popped whole, the third entered partially.
+    #[test]
+    fn advance_out_pops_multiple_whole_chunks() {
+        let mut conn = conn_with_chunks(vec![
+            Chunk::Owned(vec![1u8; 10]),
+            Chunk::Owned(vec![2u8; 10]),
+            Chunk::Owned(vec![3u8; 10]),
+        ]);
+        conn.advance_out(25);
+        assert_eq!((conn.out.len(), conn.out_front, conn.out_len), (1, 5, 5));
+        assert_eq!(remaining(&conn), vec![3u8; 5]);
+    }
 }

@@ -336,6 +336,17 @@ impl ObserveState {
         }
     }
 
+    /// Closes a span whose response never (fully) reached the peer — the
+    /// connection died with the span still waiting on the flush clock, or
+    /// with its request still in flight. The span rolls into the same
+    /// histograms and recorder accounting as a flushed one (so aborted
+    /// work is priced, not leaked), but its outcome says `aborted`: the
+    /// flush stage measures time-until-teardown, not a delivery.
+    pub fn finish_aborted(&self, mut span: ActiveSpan) {
+        span.record.outcome = "aborted";
+        self.finish(span);
+    }
+
     /// Dumps the flight recorder (the `trace` wire command).
     pub fn dump(&self, slow_only: bool, tenant: Option<&str>) -> Vec<SpanRecord> {
         self.recorder.dump(slow_only, tenant)

@@ -9,14 +9,15 @@
 
 mod common;
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
 
 use strudel_core::sigma::SigmaSpec;
 use strudel_rdf::signature::SignatureView;
 use strudel_rules::prelude::Ratio;
 use strudel_server::prelude::*;
-use strudel_server::protocol::{self, Framing};
+use strudel_server::protocol::{self, FrameKind, Framing};
 
 fn start_server_on(kind: PollerKind) -> ServerHandle {
     server::start(&ServerConfig {
@@ -300,6 +301,141 @@ fn a_json_server_speaks_json_until_asked_and_auto_prefers_bin1() {
             );
 
             auto.shutdown().expect("shutdown");
+            handle.wait();
+        },
+    );
+}
+
+/// Reads the whole remaining stream in deliberately small sips, pausing
+/// between batches of sips — a throttled reader that keeps the server's
+/// socket buffer full, so the flush path lives off partial vectored
+/// writes resuming mid-chunk.
+fn read_throttled(stream: &mut TcpStream) -> Vec<u8> {
+    let mut received = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let mut sips = 0u32;
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                received.extend_from_slice(&chunk[..n]);
+                sips += 1;
+                if sips % 8 == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+            Err(err) => panic!("throttled read failed: {err}"),
+        }
+    }
+    received
+}
+
+/// The short-write regression: a peer that drains its socket one sip at
+/// a time forces the flush path into repeated partial vectored writes,
+/// so nearly every resume lands mid-chunk and exercises the `out_front`
+/// bookkeeping across thousands of chunk boundaries. Any lost,
+/// duplicated, or reordered byte forks the stream and fails the
+/// N-identical-responses assertions. Both framings run, because their
+/// chunk layouts differ: envelope fragments around a shared cache
+/// payload on line-JSON, a frame header plus payload on `bin1`.
+#[test]
+fn a_throttled_reader_forces_partial_writes_without_corruption() {
+    // Roughly 1 MB of queued responses — several times what the loopback
+    // send buffer and the un-drained peer window absorb, so the server
+    // spends most of the test mid-backlog.
+    const PIPELINED: usize = 2500;
+    common::for_each_backend(
+        "a_throttled_reader_forces_partial_writes_without_corruption",
+        |kind| {
+            let handle = start_server_on(kind);
+            let request = refine_request(Ratio::new(3, 10));
+
+            // Prime the cache so every pipelined response below is the
+            // same byte-replayed envelope.
+            let mut primer = Client::connect(handle.addr()).expect("connect primer");
+            primer.solve(&request).expect("prime the cache");
+            let reference = primer.solve(&request).expect("cached reference");
+            assert_eq!(reference.source(), Some(Source::Cache));
+
+            // — line-JSON framing —
+            let mut raw = TcpStream::connect(handle.addr()).expect("connect raw");
+            raw.set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("read timeout");
+            let line = request.to_json().to_text();
+            let mut burst = Vec::with_capacity((line.len() + 1) * PIPELINED);
+            for _ in 0..PIPELINED {
+                burst.extend_from_slice(line.as_bytes());
+                burst.push(b'\n');
+            }
+            raw.write_all(&burst).expect("pipelined burst");
+            raw.shutdown(Shutdown::Write).expect("half-close");
+            // Let responses pile up behind the un-drained socket before
+            // the first sip: from here on, every flush is a short write.
+            std::thread::sleep(Duration::from_millis(200));
+            let text = String::from_utf8(read_throttled(&mut raw)).expect("utf8 stream");
+            let lines: Vec<&str> = text.split_terminator('\n').collect();
+            assert_eq!(lines.len(), PIPELINED, "every pipelined request answered");
+            for (index, received) in lines.iter().enumerate() {
+                assert_eq!(
+                    *received, reference.raw,
+                    "response {index} must be the byte-replayed envelope"
+                );
+            }
+
+            // — bin1 framing —
+            let mut raw = TcpStream::connect(handle.addr()).expect("connect raw");
+            raw.write_all(protocol::encode_hello(Framing::Bin1).as_bytes())
+                .and_then(|()| raw.write_all(b"\n"))
+                .expect("hello line");
+            // Drain the framed ack; its exact length is a handshake
+            // detail, so read until the wire goes quiet.
+            raw.set_read_timeout(Some(Duration::from_millis(300)))
+                .expect("ack timeout");
+            let mut ack = Vec::new();
+            let mut chunk = [0u8; 256];
+            loop {
+                match raw.read(&mut chunk) {
+                    Ok(0) => panic!("server closed during the handshake"),
+                    Ok(n) => ack.extend_from_slice(&chunk[..n]),
+                    Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                    Err(err)
+                        if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+                    {
+                        break
+                    }
+                    Err(err) => panic!("ack read failed: {err}"),
+                }
+            }
+            assert_eq!(ack.first(), Some(&protocol::FRAME_MAGIC[0]), "framed ack");
+            raw.set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("read timeout");
+            let payload = protocol::encode_solve_bin(&request);
+            let mut frame = Vec::with_capacity(payload.len() + 24);
+            protocol::encode_frame_into(&mut frame, FrameKind::Request, "", &payload);
+            let mut burst = Vec::with_capacity(frame.len() * PIPELINED);
+            for _ in 0..PIPELINED {
+                burst.extend_from_slice(&frame);
+            }
+            raw.write_all(&burst).expect("pipelined frames");
+            raw.shutdown(Shutdown::Write).expect("half-close");
+            std::thread::sleep(Duration::from_millis(200));
+            let received = read_throttled(&mut raw);
+            // Identical cached requests replay identical frames: the
+            // stream must be exactly N copies of one response frame.
+            assert!(
+                !received.is_empty() && received.len() % PIPELINED == 0,
+                "stream of {} bytes must divide into {PIPELINED} equal frames",
+                received.len()
+            );
+            let frame_len = received.len() / PIPELINED;
+            let first = &received[..frame_len];
+            assert_eq!(first[0], protocol::FRAME_MAGIC[0], "response frame magic");
+            for (index, piece) in received.chunks(frame_len).enumerate() {
+                assert_eq!(piece, first, "frame {index} forked from the first");
+            }
+
+            primer.shutdown().expect("shutdown");
             handle.wait();
         },
     );

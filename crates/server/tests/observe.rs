@@ -6,7 +6,9 @@
 
 mod common;
 
-use std::time::Instant;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use strudel_core::sigma::SigmaSpec;
 use strudel_rdf::signature::SignatureView;
@@ -186,6 +188,113 @@ fn slow_log_promotes_past_sampling_and_tenants_filter() {
             handle.wait();
         },
     );
+}
+
+/// A view the exact ILP engine cannot polish off quickly: many wide,
+/// heavily overlapping signatures and a near-unreachable θ leave branch &
+/// bound a deep tree to prune, so the solve reliably runs until its time
+/// budget instead of returning in microseconds.
+fn hard_view() -> SignatureView {
+    let properties: Vec<String> = (0..24).map(|i| format!("http://ex/p{i}")).collect();
+    let signatures: Vec<(Vec<usize>, usize)> = (0..72)
+        .map(|i| {
+            let width = 3 + (i % 7);
+            let start = (i * 5) % 12;
+            ((start..start + width).collect(), 10 + (i * 13) % 97)
+        })
+        .collect();
+    SignatureView::from_counts(properties, signatures).expect("valid synthetic view")
+}
+
+/// A refine the victim connection will not live to see answered. The time
+/// limit is a cap, not the expected runtime — it just guarantees the
+/// worker frees up promptly after the abort.
+fn doomed_request() -> SolveRequest {
+    SolveRequest {
+        op: SolveOp::Refine,
+        view: hard_view(),
+        spec: SigmaSpec::Coverage,
+        engine: EngineKind::Ilp,
+        k: Some(8),
+        theta: Some(Ratio::new(99, 100)),
+        step: None,
+        max_k: None,
+        time_limit: Some(Duration::from_millis(600)),
+        routing: None,
+        tenant: Some("doomed".to_owned()),
+    }
+}
+
+/// The orphaned-span regression: a connection that dies with a solve
+/// still in flight must close that span as `aborted` — not leak it (the
+/// old bug: the span waited forever on a flush that could never happen,
+/// invisible to the histograms and the flight recorder alike).
+#[test]
+fn a_dying_connection_closes_its_spans_as_aborted() {
+    common::for_each_backend("a_dying_connection_closes_its_spans_as_aborted", |kind| {
+        // 0 ms slow threshold: every finished span reaches the recorder,
+        // aborted ones included.
+        let handle = start_traced_server(Some(kind), Some(0), Some(0));
+        let addr = handle.addr();
+
+        // The victim speaks line-JSON on a raw socket — the Client type
+        // insists on reading each response, and the point here is to
+        // leave one unread and then disappear.
+        let mut victim = TcpStream::connect(addr).expect("victim connects");
+        victim
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let fast = refine_request(0, None).to_json().to_text();
+        victim
+            .write_all(fast.as_bytes())
+            .and_then(|()| victim.write_all(b"\n"))
+            .expect("fast request");
+        // Block until the fast response is sitting *unread* in the
+        // victim's receive buffer: dropping a socket with unread data
+        // makes the kernel send RST rather than FIN, which is what kills
+        // the connection server-side while the next solve is in flight.
+        let mut peeked = [0u8; 1];
+        victim
+            .peek(&mut peeked)
+            .expect("fast response reaches the victim's buffer");
+
+        let slow = doomed_request().to_json().to_text();
+        victim
+            .write_all(slow.as_bytes())
+            .and_then(|()| victim.write_all(b"\n"))
+            .expect("slow request");
+        // Long enough for the event loop to read and dispatch the slow
+        // solve; far shorter than the solve itself.
+        std::thread::sleep(Duration::from_millis(100));
+        drop(victim); // unread data in the buffer: this close is an RST
+
+        // The span closes when the stranded completion lands, so give the
+        // poll loop the solve's full time budget plus slack.
+        let mut observer = Client::connect(addr).expect("observer connects");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let aborted = loop {
+            let spans = spans_of(&observer.trace(false, Some("doomed")).expect("trace"));
+            let found = spans
+                .iter()
+                .find(|span| span.get("outcome").and_then(Json::as_str) == Some("aborted"));
+            if let Some(span) = found {
+                break span.clone();
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no aborted span surfaced; tenant spans: {spans:?}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        // The aborted span is a full citizen of the wire contract: the
+        // work is priced into the stage laps like any flushed span.
+        assert_well_formed(&aborted);
+        assert_eq!(aborted.get("op").and_then(Json::as_str), Some("refine"));
+        assert_eq!(aborted.get("tenant").and_then(Json::as_str), Some("doomed"));
+
+        handle.shutdown();
+        handle.wait();
+    });
 }
 
 #[test]
